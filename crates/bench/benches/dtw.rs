@@ -1,0 +1,44 @@
+//! Criterion bench for §6.1: DTW vs the envelope lower bound (the
+//! paper's 100x claim), windowed vs full DTW, and the segment voting
+//! pipeline — the DESIGN.md ablations of window size and LB on/off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_core::{ClusterConfig, DtwMatcher};
+use locble_dsp::{dtw_distance, dtw_distance_windowed, lb_keogh, Envelope, TimeSeries};
+use std::hint::black_box;
+
+fn seq(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64) * 0.55 + phase).sin() * 2.5)
+        .collect()
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let a = seq(10, 0.0);
+    let b10 = seq(10, 0.4);
+
+    c.bench_function("dtw_full_segment10", |bch| {
+        bch.iter(|| black_box(dtw_distance(&a, &b10)))
+    });
+    for w in [1usize, 3] {
+        c.bench_function(&format!("dtw_windowed_w{w}_segment10"), |bch| {
+            bch.iter(|| black_box(dtw_distance_windowed(&a, &b10, w)))
+        });
+    }
+    let env_a = Envelope::new(&a, 1);
+    c.bench_function("lb_keogh_segment10", |bch| {
+        bch.iter(|| black_box(lb_keogh(&b10, &env_a)))
+    });
+
+    // Whole-sequence voting (interpolate + smooth + segment + LB + DTW).
+    let t: Vec<f64> = (0..60).map(|i| i as f64 * 0.111).collect();
+    let target = TimeSeries::new(t.clone(), seq(60, 0.0));
+    let cand = TimeSeries::new(t, seq(60, 0.3));
+    let matcher = DtwMatcher::new(ClusterConfig::default());
+    c.bench_function("cluster_vote_60_samples", |bch| {
+        bch.iter(|| black_box(matcher.vote(&target, &cand)))
+    });
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

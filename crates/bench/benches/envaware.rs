@@ -1,0 +1,49 @@
+//! Criterion bench for §4.1: EnvAware feature extraction, SVM training,
+//! and window classification (vs the tree/forest ensemble).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_core::envaware::{build_feature_dataset, EnvAware, EnvAwareConfig};
+use locble_dsp::window_features;
+use locble_ml::{
+    Classifier, DecisionTree, RandomForest, RandomForestConfig, StandardScaler, TreeConfig,
+};
+use locble_scenario::training_windows;
+use std::hint::black_box;
+
+fn bench_envaware(c: &mut Criterion) {
+    let windows = training_windows(60, 9);
+    let window = &windows[0].0;
+
+    c.bench_function("window_features_18_samples", |b| {
+        b.iter(|| black_box(window_features(window)))
+    });
+
+    c.bench_function("envaware_train_180_windows", |b| {
+        b.iter(|| black_box(EnvAware::train(&windows, &EnvAwareConfig::default())))
+    });
+
+    let model = EnvAware::train(&windows, &EnvAwareConfig::default());
+    c.bench_function("envaware_classify_window", |b| {
+        b.iter(|| black_box(model.classify_window(window)))
+    });
+
+    // Ensemble comparison at inference time.
+    let raw = build_feature_dataset(&windows);
+    let scaler = StandardScaler::fit(&raw.features);
+    let mut scaled = locble_ml::Dataset::new();
+    for (f, &l) in raw.features.iter().zip(&raw.labels) {
+        scaled.push(scaler.transform(f), l);
+    }
+    let tree = DecisionTree::train(&scaled, &TreeConfig::default());
+    let forest = RandomForest::train(&scaled, &RandomForestConfig::default());
+    let features = scaler.transform(&window_features(window));
+    c.bench_function("tree_classify_window", |b| {
+        b.iter(|| black_box(tree.predict(&features)))
+    });
+    c.bench_function("forest_classify_window", |b| {
+        b.iter(|| black_box(forest.predict(&features)))
+    });
+}
+
+criterion_group!(benches, bench_envaware);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench for the fig4 filtering pipeline: Butterworth design,
+//! BF filtering, AKF fusion, and the zero-phase batch variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_core::AdaptiveNoiseFilter;
+use locble_dsp::{AdaptiveKalman, Butterworth};
+use locble_rf::randn::normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn signal(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(4);
+    (0..n)
+        .map(|i| -70.0 - (i as f64 * 0.02) + normal(&mut rng, 0.0, 3.0))
+        .collect()
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let raw = signal(400); // one 40 s trace at 10 Hz
+
+    c.bench_function("butterworth_design_6th_order", |b| {
+        b.iter(|| black_box(Butterworth::paper_default(10.0).design()))
+    });
+
+    c.bench_function("bf_filter_400_samples", |b| {
+        let mut f = Butterworth::paper_default(10.0).design();
+        b.iter(|| {
+            f.reset();
+            black_box(f.filter(&raw))
+        })
+    });
+
+    c.bench_function("akf_fuse_400_samples", |b| {
+        let mut bf = Butterworth::paper_default(10.0).design();
+        let bf_out = bf.filter(&raw);
+        let mut akf = AdaptiveKalman::paper_default();
+        b.iter(|| {
+            akf.reset();
+            black_box(akf.filter(&raw, &bf_out))
+        })
+    });
+
+    c.bench_function("anf_zero_phase_400_samples", |b| {
+        let mut anf = AdaptiveNoiseFilter::new(10.0);
+        b.iter(|| black_box(anf.filter_zero_phase(&raw)))
+    });
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for §5.2: coordinate alignment, step detection, turn
+//! detection, and the full motion tracker on one measurement walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_geom::Pose2;
+use locble_motion::{
+    align, detect_steps, detect_turns, track, StepsConfig, TrackerConfig, TurnsConfig,
+};
+use locble_sensors::{simulate_walk, GaitConfig, WalkPlan};
+use std::hint::black_box;
+
+fn bench_motion(c: &mut Criterion) {
+    let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+    let sim = simulate_walk(&plan, &GaitConfig::default(), 7);
+
+    c.bench_function("align_l_walk_imu", |b| {
+        b.iter(|| black_box(align(&sim.imu)))
+    });
+
+    let aligned = align(&sim.imu);
+    c.bench_function("detect_steps_l_walk", |b| {
+        b.iter(|| black_box(detect_steps(&aligned, &StepsConfig::default())))
+    });
+    c.bench_function("detect_turns_l_walk", |b| {
+        b.iter(|| black_box(detect_turns(&aligned, &TurnsConfig::default())))
+    });
+    c.bench_function("full_motion_track_l_walk", |b| {
+        b.iter(|| black_box(track(&sim.imu, &TrackerConfig::default())))
+    });
+}
+
+criterion_group!(benches, bench_motion);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for §7.8: the full LocBLE per-measurement pipeline vs
+//! the Dartle ranging baseline, and the end-to-end session simulation
+//! cost (substrate overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+use locble_core::{DartleRanger, Estimator, EstimatorConfig};
+use locble_geom::Vec2;
+use locble_motion::{track, TrackerConfig};
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, plan_l_walk, BeaconSpec, SessionConfig};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let env = environment_by_index(4).expect("living room");
+    let beacons = [BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(5.5, 5.5),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    }];
+    let plan = plan_l_walk(&env, Vec2::new(0.9, 1.1), 3.0, 2.5, 0.3).expect("plan");
+    let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(0xBE));
+    let rss = session.rss_of(BeaconId(1)).expect("heard").clone();
+    let observer = track(&session.walk.imu, &TrackerConfig::default());
+    let estimator = Estimator::new(EstimatorConfig::default());
+
+    c.bench_function("locble_estimate_one_measurement", |b| {
+        b.iter(|| black_box(estimator.estimate_stationary(&rss, &observer)))
+    });
+
+    c.bench_function("dartle_range_one_measurement", |b| {
+        b.iter(|| {
+            let mut ranger = DartleRanger::paper_default();
+            black_box(ranger.range_of(&rss))
+        })
+    });
+
+    c.bench_function("simulate_full_session", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(simulate_session(
+                &env,
+                &beacons,
+                &plan,
+                &SessionConfig::paper_default(seed),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion bench for §5: the circular fit, the leg fit, the anchored
+//! fit, and the exponent search — including the DESIGN.md ablation of
+//! grid-only vs golden-section-refined search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_core::exponent::{search_exponent, ExponentSearch};
+use locble_core::regression::{CircularFit, LegFit, RssPoint};
+use locble_geom::Vec2;
+use locble_rf::LogDistanceModel;
+use std::hint::black_box;
+
+fn l_points(n_per_leg: usize) -> Vec<RssPoint> {
+    let target = Vec2::new(3.0, 4.5);
+    let model = LogDistanceModel::new(-59.0, 2.3);
+    let mut path = Vec::new();
+    for i in 0..n_per_leg {
+        path.push(Vec2::new(4.0 * i as f64 / (n_per_leg - 1) as f64, 0.0));
+    }
+    for i in 1..n_per_leg {
+        path.push(Vec2::new(4.0, 3.0 * i as f64 / (n_per_leg - 1) as f64));
+    }
+    path.into_iter()
+        .map(|pos| RssPoint::from_observer_displacement(pos, model.rss_at(target.distance(pos))))
+        .collect()
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let pts = l_points(20); // ~40 samples, one measurement walk
+
+    c.bench_function("circular_fit_fixed_exponent", |b| {
+        b.iter(|| black_box(CircularFit::solve(&pts, 2.3)))
+    });
+
+    c.bench_function("anchored_fit_fixed_exponent", |b| {
+        b.iter(|| black_box(CircularFit::solve_anchored(&pts, 2.3, -59.0)))
+    });
+
+    let leg_positions: Vec<Vec2> = (0..20).map(|i| Vec2::new(i as f64 * 0.2, 0.0)).collect();
+    let model = LogDistanceModel::new(-59.0, 2.0);
+    let leg_rss: Vec<f64> = leg_positions
+        .iter()
+        .map(|p| model.rss_at(Vec2::new(3.0, 4.0).distance(*p)))
+        .collect();
+    c.bench_function("leg_fit_fixed_exponent", |b| {
+        b.iter(|| black_box(LegFit::solve(&leg_positions, &leg_rss, 2.0)))
+    });
+
+    // Ablation: grid-only vs golden-refined exponent search.
+    c.bench_function("exponent_search_grid_only", |b| {
+        let search = ExponentSearch {
+            refine_iters: 0,
+            ..Default::default()
+        };
+        b.iter(|| black_box(search_exponent(&pts, &search)))
+    });
+    c.bench_function("exponent_search_with_refinement", |b| {
+        let search = ExponentSearch::default();
+        b.iter(|| black_box(search_exponent(&pts, &search)))
+    });
+}
+
+criterion_group!(benches, bench_regression);
+criterion_main!(benches);

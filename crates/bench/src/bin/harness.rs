@@ -1,0 +1,46 @@
+//! Experiment harness CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! harness <exp-id> [...]   run specific experiments (fig2, table1, ...)
+//! harness all              run everything, in paper order
+//! harness list             list experiment ids
+//! ```
+
+use locble_bench::{run_experiment, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: harness <exp-id>... | all | list");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let mut failed = false;
+    for id in ids {
+        let t0 = Instant::now();
+        match run_experiment(id) {
+            Some(report) => {
+                println!("{report}  ({:.1} s)\n", t0.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

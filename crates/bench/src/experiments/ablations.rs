@@ -1,0 +1,267 @@
+//! Ablations of the design choices DESIGN.md §5 calls out, measured on
+//! fixed workloads:
+//!
+//! 1. exponent search: grid-only vs golden-section refinement;
+//! 2. regression ladder: free fit vs anchored-only;
+//! 3. clustering calibration: confidence-weighted vs unweighted mean;
+//! 4. DTW segment voting: lower-bound pre-filter on vs off (accuracy
+//!    must be unchanged, only cost differs);
+//! 5. ANF on/off at the regression level.
+
+use crate::stats::mean;
+use crate::util::{header, parallel_map, row, StationaryRun};
+use locble_ble::BeaconKind;
+use locble_core::exponent::{search_exponent, ExponentSearch};
+use locble_core::regression::{CircularFit, RssPoint};
+use locble_core::{calibrate, ClusterConfig, DtwMatcher, Estimator, EstimatorConfig};
+use locble_geom::Vec2;
+use locble_rf::randn::normal;
+use locble_rf::LogDistanceModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Noisy L-walk points for the regression-level ablations.
+fn noisy_points(seed: u64) -> (Vec<RssPoint>, Vec2) {
+    let target = Vec2::new(3.5, 4.0);
+    let model = LogDistanceModel::new(-61.0, 2.4);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::new();
+    for i in 0..20 {
+        let pos = Vec2::new(i as f64 * 0.22, 0.0);
+        pts.push(RssPoint::from_observer_displacement(
+            pos,
+            model.rss_at(target.distance(pos)) + normal(&mut rng, 0.0, 2.0),
+        ));
+    }
+    for i in 1..20 {
+        let pos = Vec2::new(4.18, i as f64 * 0.18);
+        pts.push(RssPoint::from_observer_displacement(
+            pos,
+            model.rss_at(target.distance(pos)) + normal(&mut rng, 0.0, 2.0),
+        ));
+    }
+    (pts, target)
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = header(
+        "ablations",
+        "design-choice ablations (DESIGN.md section 5)",
+        "n/a (implementation study, not a paper artifact)",
+    );
+
+    // 1. Grid-only vs refined exponent search.
+    let mut err_grid = Vec::new();
+    let mut err_refined = Vec::new();
+    for seed in 0..20u64 {
+        let (pts, target) = noisy_points(seed);
+        let grid = ExponentSearch {
+            refine_iters: 0,
+            ..Default::default()
+        };
+        if let Some(f) = search_exponent(&pts, &grid) {
+            err_grid.push(f.position.distance(target));
+        }
+        if let Some(f) = search_exponent(&pts, &ExponentSearch::default()) {
+            err_refined.push(f.position.distance(target));
+        }
+    }
+    out.push_str(&row(
+        "exponent search: grid / refined (m)",
+        format!("{:.2} / {:.2}", mean(&err_grid), mean(&err_refined)),
+    ));
+
+    // 2. Free fit vs anchored-only (advertised Γ).
+    let mut err_free = Vec::new();
+    let mut err_anchored = Vec::new();
+    for seed in 0..20u64 {
+        let (pts, target) = noisy_points(seed);
+        if let Some(f) = search_exponent(&pts, &ExponentSearch::default()) {
+            err_free.push(f.position.distance(target));
+        }
+        // Anchored to −59 while the truth is −61: the 2 dB anchor error
+        // is the price of not fitting Γ.
+        let mut best: Option<CircularFit> = None;
+        for k in 0..22 {
+            let n = 1.4 + (5.5 - 1.4) * k as f64 / 21.0;
+            if let Some(f) = CircularFit::solve_anchored(&pts, n, -59.0) {
+                if best.as_ref().is_none_or(|b| f.residual_db < b.residual_db) {
+                    best = Some(f);
+                }
+            }
+        }
+        if let Some(f) = best {
+            err_anchored.push(f.position.distance(target));
+        }
+    }
+    out.push_str(&row(
+        "regression: free(unguarded) / anchored (m)",
+        format!("{:.2} / {:.2}", mean(&err_free), mean(&err_anchored)),
+    ));
+    out.push_str(concat!(
+        "  note: the unguarded free fit runs down the flat (Γ, n) residual valley under
+",
+        "  iid 2 dB noise — this is precisely why the estimator wraps it in the
+",
+        "  plausibility guard + anchored fallback ladder.
+",
+    ));
+
+    // 3. Confidence-weighted vs unweighted calibration on synthetic
+    // estimate ensembles (one accurate + confident, two sloppy).
+    let mut err_weighted = Vec::new();
+    let mut err_unweighted = Vec::new();
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(0xCA11 + seed);
+        let truth = Vec2::new(4.0, 4.0);
+        let estimates: Vec<(Vec2, f64)> = vec![
+            (
+                truth + Vec2::new(normal(&mut rng, 0.0, 0.4), normal(&mut rng, 0.0, 0.4)),
+                0.9,
+            ),
+            (
+                truth + Vec2::new(normal(&mut rng, 0.0, 1.8), normal(&mut rng, 0.0, 1.8)),
+                0.15,
+            ),
+            (
+                truth + Vec2::new(normal(&mut rng, 0.0, 1.8), normal(&mut rng, 0.0, 1.8)),
+                0.15,
+            ),
+        ];
+        if let Some(p) = calibrate(&estimates) {
+            err_weighted.push(p.distance(truth));
+        }
+        let equal: Vec<(Vec2, f64)> = estimates.iter().map(|(p, _)| (*p, 1.0)).collect();
+        if let Some(p) = calibrate(&equal) {
+            err_unweighted.push(p.distance(truth));
+        }
+    }
+    out.push_str(&row(
+        "calibration: weighted / unweighted (m)",
+        format!("{:.2} / {:.2}", mean(&err_weighted), mean(&err_unweighted)),
+    ));
+    out.push_str(&row(
+        "confidence weighting helps",
+        mean(&err_weighted) < mean(&err_unweighted),
+    ));
+
+    // 4. LB pre-filter must not change any vote, only cost.
+    let matcher_lb = DtwMatcher::new(ClusterConfig::default());
+    let matcher_nolb = DtwMatcher::new(ClusterConfig {
+        use_lower_bound: false,
+        ..Default::default()
+    });
+    let mut votes_equal = true;
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(0x1B + seed);
+        let t: Vec<f64> = (0..60).map(|i| i as f64 * 0.111).collect();
+        let a: Vec<f64> = (0..60)
+            .map(|i| -70.0 + 3.0 * (i as f64 * 0.2).sin() + normal(&mut rng, 0.0, 0.8))
+            .collect();
+        let b: Vec<f64> = (0..60)
+            .map(|i| -72.0 + 3.0 * (i as f64 * 0.2 + 0.15).sin() + normal(&mut rng, 0.0, 0.8))
+            .collect();
+        let sa = locble_dsp::TimeSeries::new(t.clone(), a);
+        let sb = locble_dsp::TimeSeries::new(t, b);
+        votes_equal &=
+            matcher_lb.vote(&sa, &sb).is_match() == matcher_nolb.vote(&sa, &sb).is_match();
+    }
+    out.push_str(&row("LB pre-filter changes no verdict", votes_equal));
+
+    // 5. Fallback ladder on/off across a varied workload (all nine
+    // environments, short walks): the free fit alone fails or goes
+    // implausible on roughly half of these; the ladder answers them all.
+    let ladder_runs = |use_fallback_ladder: bool| -> (usize, usize, Vec<f64>) {
+        let mut jobs = Vec::new();
+        for env_index in 1..=9usize {
+            let env = locble_scenario::environment_by_index(env_index).expect("env");
+            for k in 0..8u64 {
+                jobs.push(StationaryRun {
+                    env_index,
+                    target: Vec2::new(
+                        (2.0 + (k % 4) as f64 * 1.2).min(env.width_m - 0.5),
+                        (2.0 + (k % 3) as f64 * 1.5).min(env.depth_m - 0.5),
+                    ),
+                    start: Vec2::new(1.0, 1.0),
+                    legs: (2.0 + (k % 2) as f64, 1.5),
+                    kind: BeaconKind::Estimote,
+                    seed: 0xDB9 + k * 7 + env_index as u64 * 101,
+                });
+            }
+        }
+        let total = jobs.len();
+        let outcomes: Vec<Option<f64>> = parallel_map(total, |i| {
+            jobs[i]
+                .execute(&Estimator::new(EstimatorConfig {
+                    use_fallback_ladder,
+                    ..Default::default()
+                }))
+                .map(|o| o.error_m)
+        });
+        let ok: Vec<f64> = outcomes.iter().flatten().copied().collect();
+        (ok.len(), total, ok)
+    };
+    let (n_ladder, total, err_ladder) = ladder_runs(true);
+    let (n_pure, _, err_pure) = ladder_runs(false);
+    out.push_str(&row(
+        "ladder on: success / mean error",
+        format!("{n_ladder}/{total} / {:.2} m", mean(&err_ladder)),
+    ));
+    out.push_str(&row(
+        "ladder off (paper-pure): success / mean error",
+        format!("{n_pure}/{total} / {:.2} m", mean(&err_pure)),
+    ));
+    out.push_str(&row(
+        "ladder recovers otherwise-failed runs",
+        n_ladder > n_pure,
+    ));
+
+    // 6. ANF on/off, end to end on a fixed noisy workload.
+    let anf_errors = |use_anf: bool| -> Vec<f64> {
+        parallel_map(12, |i| {
+            StationaryRun {
+                env_index: 4,
+                target: Vec2::new(5.8, 5.2),
+                start: Vec2::new(0.9, 0.9),
+                legs: (2.8, 2.5),
+                kind: BeaconKind::Estimote,
+                seed: 0xAB1A + i as u64 * 3,
+            }
+            .execute(&Estimator::new(EstimatorConfig {
+                use_anf,
+                ..Default::default()
+            }))
+            .map(|o| o.error_m)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    out.push_str(&row(
+        "end-to-end: ANF on / off (m)",
+        format!(
+            "{:.2} / {:.2}",
+            mean(&anf_errors(true)),
+            mean(&anf_errors(false))
+        ),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablation_report_runs() {
+        let report = super::run();
+        assert!(report.contains("exponent search"), "{report}");
+        assert!(
+            crate::util::flag_is_true(&report, "confidence weighting helps"),
+            "{report}"
+        );
+        assert!(
+            crate::util::flag_is_true(&report, "LB pre-filter changes no verdict"),
+            "{report}"
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 10b — LocBLE in action: measure + navigate, overall error.
+//!
+//! Paper §7.3: an Estimote beacon is placed randomly in an office; the
+//! user measures, then navigates to the estimate; the distance from the
+//! navigation destination to the true beacon is the overall error. Over
+//! 20 runs (4–12 m away): median 1.5 m, p75 2 m, max < 3 m.
+
+use crate::stats::{median, percentile};
+use crate::util::{default_estimator, header, parallel_map, row};
+use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+use locble_core::Navigator;
+use locble_geom::{Pose2, Vec2};
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, localize, plan_l_walk, BeaconSpec, SessionConfig};
+
+fn one_run(run: u64) -> Option<f64> {
+    // Office-like environment (#4 living room stands in for the office;
+    // target distances 4-9 m as in the demo).
+    let env = environment_by_index(4)?;
+    let item = Vec2::new(
+        1.0 + (run as f64 * 0.83) % (env.width_m - 2.0),
+        2.5 + (run as f64 * 1.37) % (env.depth_m - 3.5),
+    );
+    let beacon = BeaconSpec {
+        id: BeaconId(1),
+        position: item,
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    };
+    let start = Vec2::new(0.8, 0.8);
+    let plan = plan_l_walk(&env, start, 2.8, 2.2, 0.4)?;
+    let session = simulate_session(
+        &env,
+        &[beacon],
+        &plan,
+        &SessionConfig::paper_default(0xA00 + run),
+    );
+    let outcome = localize(&session, BeaconId(1), &default_estimator())?;
+
+    // Navigate from the walk end toward the estimate with mild
+    // dead-reckoning noise.
+    let walk_end_world = session.walk.trajectory.points().last()?.pos;
+    let walk_end_local = session.start.world_to_local(walk_end_world);
+    let nav = Navigator::new(outcome.estimate.position);
+    let poses = nav.simulate(Pose2::new(walk_end_local, 0.0), 0.7, 60, |k| {
+        let s = if k % 2 == 0 { 1.0 } else { -1.0 };
+        (s * 0.06, s * 0.04)
+    });
+    Some(poses.last()?.position.distance(outcome.truth_local))
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = header(
+        "fig10b",
+        "overall error of measure + navigate (20 runs)",
+        "median 1.5 m, p75 2 m, max < 3 m",
+    );
+    let errors: Vec<f64> = parallel_map(20, |i| one_run(i as u64))
+        .into_iter()
+        .flatten()
+        .collect();
+    out.push_str(&row("runs completed", errors.len()));
+    out.push_str(&row("median (m)", format!("{:.2}", median(&errors))));
+    out.push_str(&row("p75 (m)", format!("{:.2}", percentile(&errors, 75.0))));
+    out.push_str(&row(
+        "max (m)",
+        format!("{:.2}", percentile(&errors, 100.0)),
+    ));
+    out.push_str(&row(
+        "median within 2x of paper (<3 m)",
+        median(&errors) < 3.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn median_overall_error_in_band() {
+        let report = super::run();
+        assert!(
+            crate::util::flag_is_true(&report, "median within 2x of paper"),
+            "{report}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Fig. 11a — stationary target: per-environment x/h/absolute errors and
+//! the Dartle ranging baseline.
+//!
+//! Paper: environments #1–#6 with target distances 4.5/6.4/6.7/6.8/9.1/
+//! 7.9 m; LocBLE reports the actual (x, h) location, which "no existing
+//! solution" can; against the best ranging app (Dartle), LocBLE achieves
+//! ~30 % less error.
+
+use crate::stats::mean;
+use crate::util::{default_estimator, header, parallel_map, StationaryRun};
+use locble_ble::{BeaconHardware, BeaconId};
+use locble_core::DartleRanger;
+use locble_rf::randn::normal;
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, localize, plan_l_walk, BeaconSpec, SessionConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct EnvResult {
+    x_err: f64,
+    h_err: f64,
+    abs_err: f64,
+    dartle_err: f64,
+    runs: usize,
+}
+
+fn run_env(env_index: usize) -> EnvResult {
+    let env = environment_by_index(env_index).expect("env exists");
+    let estimator = default_estimator();
+    let outcomes = parallel_map(12, |i| {
+        // Same tuned geometry as the Table-1 reproduction (distances in
+        // the paper's 4.4-8 m band). The beacon is a *real manufactured
+        // unit* with calibration spread: "the parameters in the log-based
+        // model fluctuate due to different environments and hardware
+        // configurations" (paper §1) is exactly what a fixed-calibration
+        // ranging app cannot absorb and LocBLE's parameter estimation can.
+        let StationaryRun {
+            target,
+            start,
+            legs,
+            kind,
+            ..
+        } = crate::experiments::table1::run_for(env_index, 0);
+        let mut rng = StdRng::seed_from_u64(0x11AF + i as u64 * 7 + env_index as u64);
+        let hardware = BeaconHardware {
+            kind,
+            unit_offset_db: normal(&mut rng, 0.0, kind.calibration_sigma_db()),
+        };
+        let beacons = [BeaconSpec {
+            id: BeaconId(1),
+            position: target,
+            hardware,
+        }];
+        let plan = plan_l_walk(&env, start, legs.0, legs.1, 0.3)?;
+        let session = simulate_session(
+            &env,
+            &beacons,
+            &plan,
+            &SessionConfig::paper_default(0x11A0 + i as u64 * 17 + env_index as u64),
+        );
+        let outcome = localize(&session, BeaconId(1), &estimator)?;
+        // Dartle baseline at the *original* distance (the paper's 4.5-9.1
+        // m test variable): the app's range readout after the first ~1.5 s
+        // of standing at the start, vs the true start distance. Output is
+        // capped at BLE's ~15 m audible range, as a real app would.
+        let rss = session.rss_of(BeaconId(1))?;
+        let first: Vec<f64> = rss.v.iter().take(15).copied().collect();
+        let mut ranger = DartleRanger::paper_default();
+        let mut dartle_range = 0.0;
+        for &v in &first {
+            dartle_range = ranger.step(v).min(15.0);
+        }
+        let true_range = start.distance(target);
+        Some((
+            (outcome.estimate.position.x - outcome.truth_local.x).abs(),
+            (outcome.estimate.position.y - outcome.truth_local.y).abs(),
+            outcome.error_m,
+            (dartle_range - true_range).abs(),
+        ))
+    });
+    let ok: Vec<_> = outcomes.into_iter().flatten().collect();
+    EnvResult {
+        x_err: mean(&ok.iter().map(|o| o.0).collect::<Vec<_>>()),
+        h_err: mean(&ok.iter().map(|o| o.1).collect::<Vec<_>>()),
+        abs_err: mean(&ok.iter().map(|o| o.2).collect::<Vec<_>>()),
+        dartle_err: mean(&ok.iter().map(|o| o.3).collect::<Vec<_>>()),
+        runs: ok.len(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = header(
+        "fig11a",
+        "stationary target: x/h/abs error per env #1-#6 + Dartle baseline",
+        "LocBLE gives 2-D locations; ~30 % less error than Dartle's ranging",
+    );
+    out.push_str("  env   x err   h err   LocBLE abs   Dartle   runs\n");
+    let mut loc_all = Vec::new();
+    let mut dartle_all = Vec::new();
+    for k in 0..6usize {
+        let r = run_env(k + 1);
+        out.push_str(&format!(
+            "   {}   {:>5.2}   {:>5.2}   {:>7.2}      {:>5.2}    {}\n",
+            k + 1,
+            r.x_err,
+            r.h_err,
+            r.abs_err,
+            r.dartle_err,
+            r.runs
+        ));
+        loc_all.push(r.abs_err);
+        dartle_all.push(r.dartle_err);
+    }
+    let improvement = 100.0 * (1.0 - mean(&loc_all) / mean(&dartle_all));
+    out.push_str(&format!(
+        "  LocBLE vs Dartle improvement: {improvement:.0} % (paper: ~30 %)\n",
+    ));
+    out.push_str(&format!(
+        "  LocBLE beats Dartle: {}\n",
+        mean(&loc_all) < mean(&dartle_all)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn locble_beats_dartle() {
+        let report = super::run();
+        assert!(
+            crate::util::flag_is_true(&report, "LocBLE beats Dartle"),
+            "{report}"
+        );
+    }
+}

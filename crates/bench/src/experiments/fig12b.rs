@@ -1,0 +1,77 @@
+//! Fig. 12b — navigation performance vs remaining distance.
+//!
+//! Paper: an observer 16.5 m from the target estimates, then follows the
+//! guidance, re-estimating along the way; error starts near 5 m (long
+//! distance, little data) and falls to ~1 m when within 3 m.
+
+use crate::stats::mean;
+use crate::util::{default_estimator, header, StationaryRun};
+use locble_ble::BeaconKind;
+use locble_geom::Vec2;
+
+/// Checkpoint distances of the paper's x-axis (m remaining).
+const CHECKPOINTS: [f64; 6] = [17.0, 14.0, 11.0, 9.0, 6.0, 3.0];
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = header(
+        "fig12b",
+        "estimation error while approaching the target (nav mode)",
+        "error ~5 m at 17 m falls to ~1 m at 3 m remaining",
+    );
+    let estimator = default_estimator();
+    // Target fixed at one far corner of the parking lot; the observer's
+    // measurement anchor approaches it along the diagonal.
+    let target = Vec2::new(14.5, 13.5);
+
+    out.push_str("  remaining (m)   mean error (m)   runs\n");
+    let mut series = Vec::new();
+    for (k, &remaining) in CHECKPOINTS.iter().enumerate() {
+        let dir = Vec2::new(-1.0, -0.93).normalized().expect("unit");
+        let mut start = target + dir * remaining;
+        start.x = start.x.clamp(0.8, 15.2);
+        start.y = start.y.clamp(0.8, 14.2);
+        let mut errors = Vec::new();
+        for rep in 0..3u64 {
+            let outcome = StationaryRun {
+                env_index: 9,
+                target,
+                start,
+                legs: (3.5, 2.5),
+                kind: BeaconKind::Estimote,
+                seed: 0x12B0 + k as u64 * 7 + rep,
+            }
+            .execute(&estimator);
+            if let Some(o) = outcome {
+                errors.push(o.error_m);
+            }
+        }
+        let m = mean(&errors);
+        out.push_str(&format!(
+            "  {remaining:>10.1}      {m:>9.2}       {}\n",
+            errors.len()
+        ));
+        series.push((remaining, m));
+    }
+    let first = series.first().expect("non-empty").1;
+    let last = series.last().expect("non-empty").1;
+    out.push_str(&format!(
+        "  shape: error shrinks while approaching ({first:.2} m @17 m -> {last:.2} m @3 m): {}\n",
+        last < first
+    ));
+    out.push_str(&format!(
+        "  shape: final error < 3 m and >3x better than start: {}\n",
+        last < 3.0 && last * 3.0 < first
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn error_shrinks_on_approach() {
+        let report = super::run();
+        assert!(report.contains("shrinks while approaching"), "{report}");
+        assert!(report.contains("better than start: true"), "{report}");
+    }
+}

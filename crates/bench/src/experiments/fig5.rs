@@ -1,0 +1,152 @@
+//! Fig. 5 — ablation of the data-preprocessing stages.
+//!
+//! Paper: "we tested performance in environments #2–#4 … such as the
+//! observer moves from behind the wall (NLOS) to line-of-sight (LOS)
+//! w.r.t. the target; people randomly come in between". Removing
+//! EnvAware increases median error by >1 m (stale cross-environment data
+//! biases the regression); removing ANF costs >1.5 m.
+//!
+//! The walks here are staged so a genuine propagation transition happens
+//! mid-measurement: the first leg is blocked, the second leg clears the
+//! blocker (lab wall / restaurant crowd / bedroom wardrobe edge).
+
+use crate::stats::{cdf_at, median};
+use crate::util::{header, parallel_map, row, shared_envaware};
+use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+use locble_core::{Estimator, EstimatorConfig};
+use locble_geom::{Pose2, Vec2};
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, localize, BeaconSpec, SessionConfig};
+use locble_sensors::{WalkLeg, WalkPlan};
+use std::f64::consts::FRAC_PI_2;
+
+struct Case {
+    env_index: usize,
+    target: Vec2,
+    plan: WalkPlan,
+}
+
+/// Transition-heavy walks: the first leg sees the target through a
+/// blocker, the second leg walks clear of it.
+fn cases() -> Vec<Case> {
+    let l_plan = |start: Vec2, heading: f64, leg1: f64, turn: f64, leg2: f64| WalkPlan {
+        start: Pose2::new(start, heading),
+        legs: vec![WalkLeg { distance_m: leg1 }, WalkLeg { distance_m: leg2 }],
+        turn_angles: vec![turn],
+    };
+    vec![
+        // Hallway: the wooden door edge blocks the first part of the
+        // walk toward the target at the far end.
+        Case {
+            env_index: 2,
+            target: Vec2::new(6.8, 1.5),
+            plan: l_plan(Vec2::new(0.8, 1.0), 0.0, 3.2, FRAC_PI_2, 1.4),
+        },
+        // Bedroom: the wardrobe (x=5.5, y 1..3) blocks the first leg to
+        // the target at (6.5, 2.0); the second leg clears it.
+        Case {
+            env_index: 3,
+            target: Vec2::new(6.5, 2.0),
+            plan: l_plan(Vec2::new(1.0, 2.0), FRAC_PI_2, 2.8, -FRAC_PI_2, 2.8),
+        },
+        // Living room: sofa and media shelf interrupt parts of the walk
+        // toward the far-corner target.
+        Case {
+            env_index: 4,
+            target: Vec2::new(5.5, 5.5),
+            plan: l_plan(Vec2::new(0.9, 1.1), 0.4, 3.0, FRAC_PI_2, 2.5),
+        },
+    ]
+}
+
+fn errors(estimator: &Estimator) -> Vec<f64> {
+    let all = cases();
+    let seeds = 14u64;
+    parallel_map(all.len() * seeds as usize, |i| {
+        let case = &all[i % all.len()];
+        let env = environment_by_index(case.env_index)?;
+        let beacons = [BeaconSpec {
+            id: BeaconId(1),
+            position: case.target,
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        }];
+        // "People randomly come in between during the observer's
+        // movement": two transient passers-by block the path for ~1.5 s.
+        let mut config = SessionConfig::paper_default(0x500 + i as u64 * 7);
+        let phase = (i as f64 * 0.37) % 1.0;
+        config.transient_blockages = vec![
+            (0.8 + phase, 2.3 + phase, 6.0),
+            (3.4 + phase, 4.6 + phase, 5.0),
+        ];
+        let session = simulate_session(&env, &beacons, &case.plan, &config);
+        localize(&session, BeaconId(1), estimator).map(|o| o.error_m)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Runs the experiment.
+pub fn run() -> String {
+    let mut out = header(
+        "fig5",
+        "preprocessing ablation (CDF of estimation error, NLOS->LOS walks)",
+        "removing EnvAware costs >1 m median; removing ANF costs >1.5 m",
+    );
+    let full = errors(&Estimator::with_envaware(
+        EstimatorConfig::default(),
+        shared_envaware(),
+    ));
+    let no_env = errors(&Estimator::with_envaware(
+        EstimatorConfig {
+            use_envaware: false,
+            ..Default::default()
+        },
+        shared_envaware(),
+    ));
+    let no_anf = errors(&Estimator::with_envaware(
+        EstimatorConfig {
+            use_anf: false,
+            ..Default::default()
+        },
+        shared_envaware(),
+    ));
+
+    let probes = [1.0, 2.0, 3.0, 4.0, 5.0, 7.0];
+    for (name, errs) in [
+        ("w. ANF + EnvAware", &full),
+        ("w/o EnvAware", &no_env),
+        ("w/o ANF", &no_anf),
+    ] {
+        out.push_str(&format!("  {name:<20} median {:.2} m   CDF:", median(errs)));
+        for (p, f) in cdf_at(errs, &probes) {
+            out.push_str(&format!("  {f:.2}@{p:.0}m"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  note: ablation deltas are {:+.2} m (EnvAware) / {:+.2} m (ANF) at the median.\n",
+        median(&no_env) - median(&full),
+        median(&no_anf) - median(&full),
+    ));
+    out.push_str(
+        "  note: the paper's >1 m / >1.5 m gaps do not reproduce at system level: this\n         \x20 implementation refits (Γ, n) freely per measurement and falls back to an\n         \x20 anchored-Γ sweep, which absorbs environment changes whether or not EnvAware\n         \x20 flags them. The components' benefits are visible in isolation (fig4, sec4_1\n         \x20 and the regression-level ANF test).\n",
+    );
+    out.push_str(&row(
+        "all arms in sane range (<5 m median)",
+        [&full, &no_env, &no_anf].iter().all(|e| median(e) < 5.0),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_arms_run_and_report() {
+        let report = super::run();
+        assert!(report.contains("w. ANF + EnvAware"), "{report}");
+        assert!(report.contains("w/o EnvAware"), "{report}");
+        assert!(report.contains("w/o ANF"), "{report}");
+        assert!(crate::util::flag_is_true(&report, "sane range"), "{report}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Small statistics helpers for the experiment reports.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than 2 samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Percentile in `[0, 100]` with linear interpolation.
+///
+/// # Panics
+/// Panics on empty input or out-of-range percentile.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// The half-width of the central 75 % interval — the "±" the paper's
+/// Table 1 reports ("mean accuracy with a 75%-confidence interval").
+pub fn ci75_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    (percentile(xs, 87.5) - percentile(xs, 12.5)) / 2.0
+}
+
+/// Renders a textual CDF at the given probe points.
+pub fn cdf_at(xs: &[f64], probes: &[f64]) -> Vec<(f64, f64)> {
+    let n = xs.len() as f64;
+    probes
+        .iter()
+        .map(|&p| {
+            let frac = xs.iter().filter(|&&x| x <= p).count() as f64 / n.max(1.0);
+            (p, frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert!((percentile(&xs, 75.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_counts_fractions() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let cdf = cdf_at(&xs, &[0.5, 2.0, 10.0]);
+        assert_eq!(cdf[0].1, 0.0);
+        assert_eq!(cdf[1].1, 0.5);
+        assert_eq!(cdf[2].1, 1.0);
+    }
+
+    #[test]
+    fn ci75_of_symmetric_sample() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        // Central 75 % of U(0,100) spans 12.5..87.5 → half-width 37.5.
+        assert!((ci75_half_width(&xs) - 37.5).abs() < 0.1);
+    }
+}

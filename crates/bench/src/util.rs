@@ -1,0 +1,147 @@
+//! Shared experiment plumbing: standard runs, parallel seed sweeps,
+//! report formatting.
+
+use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+use locble_core::{Estimator, EstimatorConfig};
+use locble_geom::Vec2;
+use locble_scenario::world::simulate_session;
+use locble_scenario::{
+    environment_by_index, localize, plan_l_walk, train_default_envaware, BeaconSpec, RunOutcome,
+    SessionConfig,
+};
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+
+/// One shared EnvAware model for the whole harness run (training the SVM
+/// once instead of per experiment).
+pub fn shared_envaware() -> locble_core::EnvAware {
+    static MODEL: OnceLock<locble_core::EnvAware> = OnceLock::new();
+    MODEL.get_or_init(|| train_default_envaware(0xE7A)).clone()
+}
+
+/// The default estimator used by every experiment unless it ablates
+/// something: EnvAware + ANF, paper configuration.
+pub fn default_estimator() -> Estimator {
+    Estimator::with_envaware(EstimatorConfig::default(), shared_envaware())
+}
+
+/// Parameters of one stationary-target run.
+#[derive(Debug, Clone, Copy)]
+pub struct StationaryRun {
+    /// Table-1 environment index.
+    pub env_index: usize,
+    /// Beacon position (world frame).
+    pub target: Vec2,
+    /// Walk start (world frame).
+    pub start: Vec2,
+    /// L legs, metres.
+    pub legs: (f64, f64),
+    /// Beacon hardware.
+    pub kind: BeaconKind,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl StationaryRun {
+    /// Executes the run with the given estimator. `None` when the plan
+    /// does not fit or the beacon goes unheard.
+    pub fn execute(&self, estimator: &Estimator) -> Option<RunOutcome> {
+        let env = environment_by_index(self.env_index)?;
+        let beacons = [BeaconSpec {
+            id: BeaconId(1),
+            position: self.target,
+            hardware: BeaconHardware::ideal(self.kind),
+        }];
+        let plan = plan_l_walk(&env, self.start, self.legs.0, self.legs.1, 0.3)?;
+        let session = simulate_session(
+            &env,
+            &beacons,
+            &plan,
+            &SessionConfig::paper_default(self.seed),
+        );
+        localize(&session, BeaconId(1), estimator)
+    }
+}
+
+/// Runs a set of independent jobs across threads (crossbeam scoped), in a
+/// deterministic output order.
+pub fn parallel_map<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(jobs.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                *results[i].lock() = Some(f(i));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every job ran"))
+        .collect()
+}
+
+/// Formats a labeled row of a report table.
+pub fn row(label: &str, value: impl std::fmt::Display) -> String {
+    format!("  {label:<34} {value}\n")
+}
+
+/// `true` when the report line containing `label` ends with "true"
+/// (robust to column padding).
+pub fn flag_is_true(report: &str, label: &str) -> bool {
+    report
+        .lines()
+        .any(|l| l.contains(label) && l.trim_end().ends_with("true"))
+}
+
+/// Report header with the experiment id and the paper's claim.
+pub fn header(id: &str, title: &str, paper_claim: &str) -> String {
+    format!("== {id}: {title} ==\npaper: {paper_claim}\n",)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_run_executes() {
+        let run = StationaryRun {
+            env_index: 1,
+            target: Vec2::new(4.0, 4.0),
+            start: Vec2::new(1.0, 1.0),
+            legs: (2.5, 2.0),
+            kind: BeaconKind::Estimote,
+            seed: 5,
+        };
+        let estimator = Estimator::new(EstimatorConfig::default());
+        let outcome = run.execute(&estimator).expect("run succeeds");
+        assert!(outcome.error_m.is_finite());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_coverage() {
+        let out = parallel_map(64, |i| i * i);
+        assert_eq!(out.len(), 64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn parallel_map_zero_jobs() {
+        let out: Vec<usize> = parallel_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Active scanning: the SCAN_REQ / SCAN_RSP exchange.
+//!
+//! Paper §2.2: a *connectable* BLE peripheral answers scan requests,
+//! while non-connectable beacons "work only in broadcasting mode" — and
+//! LocBLE deliberately targets the latter to respect their power budget
+//! ("the non-connectible mode of BLE beacons can extend battery life by
+//! limiting the interaction between the peripheral and central
+//! devices"). This module models that distinction: an active scanner
+//! issues `SCAN_REQ` after a received advertisement; scannable
+//! advertisers (`ADV_IND` / `ADV_SCAN_IND`) answer with `SCAN_RSP`
+//! within the inter-frame space, non-connectable ones stay silent — and
+//! every response costs the peripheral transmit energy, which the module
+//! accounts so the paper's battery argument is quantifiable.
+
+use crate::pdu::{AdvPdu, PduType};
+use bytes::Bytes;
+
+/// The spec's inter-frame space between an advertisement and the scan
+/// request/response that follows it, seconds (T_IFS = 150 µs).
+pub const T_IFS_S: f64 = 150e-6;
+
+/// Energy cost of one PDU transmission, in arbitrary charge units
+/// (relative accounting is what the battery argument needs).
+pub const TX_COST_UNITS: f64 = 1.0;
+
+/// Outcome of offering an advertisement to an active scanner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanExchange {
+    /// The advertiser is not scannable: no request was sent.
+    NotScannable,
+    /// Request sent and answered: the scan response payload arrives
+    /// `2 × T_IFS` after the advertisement.
+    Answered {
+        /// The scan-response PDU.
+        response: AdvPdu,
+        /// Arrival time of the response, seconds.
+        t: f64,
+    },
+}
+
+/// A scannable peripheral's responder state: holds the scan-response
+/// payload and counts the energy spent answering.
+#[derive(Debug, Clone)]
+pub struct ScanResponder {
+    /// Advertiser address (echoed in responses).
+    pub adv_address: [u8; 6],
+    /// Scan-response payload (e.g. a device-name AD structure).
+    pub response_payload: Bytes,
+    tx_count: u64,
+}
+
+impl ScanResponder {
+    /// Creates a responder.
+    ///
+    /// # Panics
+    /// Panics when the payload exceeds the 31-byte AD limit.
+    pub fn new(adv_address: [u8; 6], response_payload: Bytes) -> ScanResponder {
+        assert!(
+            response_payload.len() <= 31,
+            "scan-response payload too large: {} bytes",
+            response_payload.len()
+        );
+        ScanResponder {
+            adv_address,
+            response_payload,
+            tx_count: 0,
+        }
+    }
+
+    /// Total transmit energy spent on scan responses, charge units.
+    pub fn energy_spent(&self) -> f64 {
+        self.tx_count as f64 * TX_COST_UNITS
+    }
+
+    /// Number of scan responses transmitted.
+    pub fn responses_sent(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Processes an incoming scan request that followed an advertisement
+    /// of `adv_type` transmitted at `t_adv`. Returns the exchange result.
+    pub fn handle_scan_request(&mut self, adv_type: PduType, t_adv: f64) -> ScanExchange {
+        let scannable = matches!(adv_type, PduType::AdvInd | PduType::AdvScanInd);
+        if !scannable {
+            return ScanExchange::NotScannable;
+        }
+        self.tx_count += 1;
+        let response = AdvPdu {
+            pdu_type: PduType::ScanRsp,
+            tx_add_random: true,
+            adv_address: self.adv_address,
+            payload: self.response_payload.clone(),
+        };
+        ScanExchange::Answered {
+            response,
+            t: t_adv + 2.0 * T_IFS_S,
+        }
+    }
+}
+
+/// Estimates the relative battery cost of running a beacon scannable vs
+/// non-connectable: with `scanners_nearby` actives each triggering one
+/// exchange per advertising event, a scannable beacon transmits
+/// `1 + scanners_nearby` PDUs per event instead of 1.
+pub fn relative_energy_cost(scanners_nearby: usize) -> f64 {
+    1.0 + scanners_nearby as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn responder() -> ScanResponder {
+        // A shortened local-name AD structure as the response payload.
+        ScanResponder::new(
+            [0xC0, 0xFF, 0xEE, 0x01, 0x02, 0x03],
+            Bytes::from_static(&[0x05, 0x08, b'b', b'c', b'n', b'1']),
+        )
+    }
+
+    #[test]
+    fn nonconnectable_beacons_stay_silent() {
+        // LocBLE's target class: ADV_NONCONN_IND never answers — the
+        // §2.2 battery-preserving behaviour.
+        let mut r = responder();
+        assert_eq!(
+            r.handle_scan_request(PduType::AdvNonconnInd, 1.0),
+            ScanExchange::NotScannable
+        );
+        assert_eq!(r.responses_sent(), 0);
+        assert_eq!(r.energy_spent(), 0.0);
+    }
+
+    #[test]
+    fn scannable_advertisers_answer_within_ifs() {
+        let mut r = responder();
+        match r.handle_scan_request(PduType::AdvInd, 2.0) {
+            ScanExchange::Answered { response, t } => {
+                assert_eq!(response.pdu_type, PduType::ScanRsp);
+                assert_eq!(response.adv_address, [0xC0, 0xFF, 0xEE, 0x01, 0x02, 0x03]);
+                assert!((t - (2.0 + 2.0 * T_IFS_S)).abs() < 1e-12);
+                // The response is a valid on-air PDU.
+                let wire = response.encode();
+                assert!(AdvPdu::decode(wire).is_ok());
+            }
+            other => panic!("expected answer, got {other:?}"),
+        }
+        assert_eq!(r.responses_sent(), 1);
+    }
+
+    #[test]
+    fn adv_scan_ind_is_scannable_but_not_connectable() {
+        let mut r = responder();
+        assert!(matches!(
+            r.handle_scan_request(PduType::AdvScanInd, 0.0),
+            ScanExchange::Answered { .. }
+        ));
+        assert!(!PduType::AdvScanInd.is_connectable());
+    }
+
+    #[test]
+    fn energy_accounting_accumulates() {
+        let mut r = responder();
+        for k in 0..10 {
+            let _ = r.handle_scan_request(PduType::AdvInd, k as f64);
+        }
+        assert_eq!(r.responses_sent(), 10);
+        assert!((r.energy_spent() - 10.0 * TX_COST_UNITS).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scannable_beacons_cost_more_battery() {
+        // The paper's argument quantified: with 3 phones scanning
+        // actively, a scannable beacon spends 4x the TX energy of a
+        // non-connectable one.
+        assert_eq!(relative_energy_cost(0), 1.0);
+        assert_eq!(relative_energy_cost(3), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversize_response_payload_rejected() {
+        ScanResponder::new([0; 6], Bytes::from(vec![0u8; 32]));
+    }
+}

@@ -1,0 +1,373 @@
+//! Beacon payload codecs: iBeacon, Eddystone-UID, AltBeacon.
+//!
+//! The three commodity formats the paper names (§2.3: "existing BLE
+//! beacons, such as iBeacon, EddyStone, and AltBeacon"). Each codec
+//! produces the AD-structure bytes that ride in an `ADV_NONCONN_IND`
+//! payload and parses them back strictly (length, company/service IDs,
+//! frame type are all checked).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Any of the three supported beacon frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeaconFrame {
+    /// Apple iBeacon.
+    IBeacon(IBeaconFrame),
+    /// Google Eddystone-UID.
+    EddystoneUid(EddystoneUidFrame),
+    /// AltBeacon (Radius Networks open spec).
+    AltBeacon(AltBeaconFrame),
+}
+
+impl BeaconFrame {
+    /// Encodes to AD-structure bytes.
+    pub fn encode(&self) -> Bytes {
+        match self {
+            BeaconFrame::IBeacon(f) => f.encode(),
+            BeaconFrame::EddystoneUid(f) => f.encode(),
+            BeaconFrame::AltBeacon(f) => f.encode(),
+        }
+    }
+
+    /// Attempts to parse any supported frame from AD-structure bytes.
+    pub fn decode(bytes: &Bytes) -> Result<BeaconFrame, FrameError> {
+        IBeaconFrame::decode(bytes)
+            .map(BeaconFrame::IBeacon)
+            .or_else(|_| EddystoneUidFrame::decode(bytes).map(BeaconFrame::EddystoneUid))
+            .or_else(|_| AltBeaconFrame::decode(bytes).map(BeaconFrame::AltBeacon))
+    }
+
+    /// Calibrated reference power (dBm): at 1 m for iBeacon/AltBeacon,
+    /// at 0 m for Eddystone (converted to the 1 m convention by the
+    /// standard −41 dB).
+    pub fn reference_power_dbm(&self) -> f64 {
+        match self {
+            BeaconFrame::IBeacon(f) => f.measured_power as f64,
+            BeaconFrame::EddystoneUid(f) => f.tx_power_at_0m as f64 - 41.0,
+            BeaconFrame::AltBeacon(f) => f.reference_rssi as f64,
+        }
+    }
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Too few bytes for the claimed structure.
+    Truncated,
+    /// AD length byte disagrees with the content.
+    BadLength,
+    /// Company / service / beacon-type identifier mismatch.
+    WrongIdentifier,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadLength => write!(f, "AD length mismatch"),
+            FrameError::WrongIdentifier => write!(f, "identifier mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Apple iBeacon frame: 16-byte proximity UUID + major + minor +
+/// calibrated measured power at 1 m.
+///
+/// ```
+/// use locble_ble::IBeaconFrame;
+///
+/// let frame = IBeaconFrame {
+///     uuid: [0xAB; 16],
+///     major: 7,
+///     minor: 42,
+///     measured_power: -59,
+/// };
+/// let decoded = IBeaconFrame::decode(&frame.encode()).unwrap();
+/// assert_eq!(decoded, frame);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IBeaconFrame {
+    /// Proximity UUID.
+    pub uuid: [u8; 16],
+    /// Major group number.
+    pub major: u16,
+    /// Minor identifier.
+    pub minor: u16,
+    /// Calibrated RSSI at 1 m, dBm (two's complement on air).
+    pub measured_power: i8,
+}
+
+impl IBeaconFrame {
+    const COMPANY_APPLE: [u8; 2] = [0x4C, 0x00];
+
+    /// Encodes as a manufacturer-specific AD structure
+    /// (`len, 0xFF, 4C 00, 02 15, uuid, major, minor, power`).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(27);
+        b.put_u8(26); // AD length: 25 payload + type byte
+        b.put_u8(0xFF); // manufacturer specific data
+        b.put_slice(&Self::COMPANY_APPLE);
+        b.put_u8(0x02); // iBeacon type
+        b.put_u8(0x15); // iBeacon length (21)
+        b.put_slice(&self.uuid);
+        b.put_u16(self.major);
+        b.put_u16(self.minor);
+        b.put_u8(self.measured_power as u8);
+        b.freeze()
+    }
+
+    /// Strict parse of [`IBeaconFrame::encode`]'s layout.
+    pub fn decode(bytes: &Bytes) -> Result<IBeaconFrame, FrameError> {
+        if bytes.len() < 27 {
+            return Err(FrameError::Truncated);
+        }
+        if bytes[0] != 26 {
+            return Err(FrameError::BadLength);
+        }
+        if bytes[1] != 0xFF
+            || bytes[2..4] != Self::COMPANY_APPLE
+            || bytes[4] != 0x02
+            || bytes[5] != 0x15
+        {
+            return Err(FrameError::WrongIdentifier);
+        }
+        let mut uuid = [0u8; 16];
+        uuid.copy_from_slice(&bytes[6..22]);
+        Ok(IBeaconFrame {
+            uuid,
+            major: u16::from_be_bytes([bytes[22], bytes[23]]),
+            minor: u16::from_be_bytes([bytes[24], bytes[25]]),
+            measured_power: bytes[26] as i8,
+        })
+    }
+}
+
+/// Google Eddystone-UID frame: 10-byte namespace + 6-byte instance +
+/// calibrated Tx power at 0 m.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EddystoneUidFrame {
+    /// Namespace (10 bytes).
+    pub namespace: [u8; 10],
+    /// Instance (6 bytes).
+    pub instance: [u8; 6],
+    /// Calibrated received power at 0 m, dBm.
+    pub tx_power_at_0m: i8,
+}
+
+impl EddystoneUidFrame {
+    const SERVICE_UUID: [u8; 2] = [0xAA, 0xFE];
+
+    /// Encodes as a service-data AD structure for 0xFEAA.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(24);
+        b.put_u8(23); // AD length
+        b.put_u8(0x16); // service data
+        b.put_slice(&Self::SERVICE_UUID);
+        b.put_u8(0x00); // frame type: UID
+        b.put_u8(self.tx_power_at_0m as u8);
+        b.put_slice(&self.namespace);
+        b.put_slice(&self.instance);
+        b.put_u8(0x00); // RFU
+        b.put_u8(0x00); // RFU
+        b.freeze()
+    }
+
+    /// Strict parse of [`EddystoneUidFrame::encode`]'s layout.
+    pub fn decode(bytes: &Bytes) -> Result<EddystoneUidFrame, FrameError> {
+        if bytes.len() < 24 {
+            return Err(FrameError::Truncated);
+        }
+        if bytes[0] != 23 {
+            return Err(FrameError::BadLength);
+        }
+        if bytes[1] != 0x16 || bytes[2..4] != Self::SERVICE_UUID || bytes[4] != 0x00 {
+            return Err(FrameError::WrongIdentifier);
+        }
+        let mut namespace = [0u8; 10];
+        namespace.copy_from_slice(&bytes[6..16]);
+        let mut instance = [0u8; 6];
+        instance.copy_from_slice(&bytes[16..22]);
+        Ok(EddystoneUidFrame {
+            namespace,
+            instance,
+            tx_power_at_0m: bytes[5] as i8,
+        })
+    }
+}
+
+/// AltBeacon frame: 20-byte beacon id + reference RSSI + manufacturer
+/// reserved byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AltBeaconFrame {
+    /// Manufacturer company identifier (little-endian on air).
+    pub company_id: u16,
+    /// 20-byte beacon identifier.
+    pub beacon_id: [u8; 20],
+    /// Calibrated RSSI at 1 m, dBm.
+    pub reference_rssi: i8,
+    /// Manufacturer-reserved byte.
+    pub mfg_reserved: u8,
+}
+
+impl AltBeaconFrame {
+    const BEACON_CODE: [u8; 2] = [0xBE, 0xAC];
+
+    /// Encodes as a manufacturer-specific AD structure.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(28);
+        b.put_u8(27); // AD length
+        b.put_u8(0xFF);
+        b.put_u16_le(self.company_id);
+        b.put_slice(&Self::BEACON_CODE);
+        b.put_slice(&self.beacon_id);
+        b.put_u8(self.reference_rssi as u8);
+        b.put_u8(self.mfg_reserved);
+        b.freeze()
+    }
+
+    /// Strict parse of [`AltBeaconFrame::encode`]'s layout.
+    pub fn decode(bytes: &Bytes) -> Result<AltBeaconFrame, FrameError> {
+        if bytes.len() < 28 {
+            return Err(FrameError::Truncated);
+        }
+        if bytes[0] != 27 {
+            return Err(FrameError::BadLength);
+        }
+        if bytes[1] != 0xFF || bytes[4..6] != Self::BEACON_CODE {
+            return Err(FrameError::WrongIdentifier);
+        }
+        let mut beacon_id = [0u8; 20];
+        beacon_id.copy_from_slice(&bytes[6..26]);
+        Ok(AltBeaconFrame {
+            company_id: u16::from_le_bytes([bytes[2], bytes[3]]),
+            beacon_id,
+            reference_rssi: bytes[26] as i8,
+            mfg_reserved: bytes[27],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ibeacon() -> IBeaconFrame {
+        IBeaconFrame {
+            uuid: [0xAB; 16],
+            major: 1234,
+            minor: 42,
+            measured_power: -59,
+        }
+    }
+
+    #[test]
+    fn ibeacon_round_trip() {
+        let f = ibeacon();
+        let back = IBeaconFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn eddystone_round_trip() {
+        let f = EddystoneUidFrame {
+            namespace: [7; 10],
+            instance: [9; 6],
+            tx_power_at_0m: -18,
+        };
+        let back = EddystoneUidFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn altbeacon_round_trip() {
+        let f = AltBeaconFrame {
+            company_id: 0x0118, // Radius Networks
+            beacon_id: [3; 20],
+            reference_rssi: -65,
+            mfg_reserved: 0,
+        };
+        let back = AltBeaconFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn dispatch_decodes_each_kind() {
+        let frames = [
+            BeaconFrame::IBeacon(ibeacon()),
+            BeaconFrame::EddystoneUid(EddystoneUidFrame {
+                namespace: [1; 10],
+                instance: [2; 6],
+                tx_power_at_0m: -20,
+            }),
+            BeaconFrame::AltBeacon(AltBeaconFrame {
+                company_id: 0x0118,
+                beacon_id: [4; 20],
+                reference_rssi: -60,
+                mfg_reserved: 1,
+            }),
+        ];
+        for f in frames {
+            let back = BeaconFrame::decode(&f.encode()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn reference_power_conventions() {
+        let ib = BeaconFrame::IBeacon(ibeacon());
+        assert_eq!(ib.reference_power_dbm(), -59.0);
+        // Eddystone advertises power at 0 m; −41 dB converts to 1 m.
+        let ed = BeaconFrame::EddystoneUid(EddystoneUidFrame {
+            namespace: [0; 10],
+            instance: [0; 6],
+            tx_power_at_0m: -18,
+        });
+        assert_eq!(ed.reference_power_dbm(), -59.0);
+    }
+
+    #[test]
+    fn negative_power_survives_two_complement() {
+        let f = IBeaconFrame {
+            measured_power: -100,
+            ..ibeacon()
+        };
+        let back = IBeaconFrame::decode(&f.encode()).unwrap();
+        assert_eq!(back.measured_power, -100);
+    }
+
+    #[test]
+    fn wrong_company_id_rejected() {
+        let mut wire = ibeacon().encode().to_vec();
+        wire[2] = 0x4D; // not Apple
+        assert_eq!(
+            IBeaconFrame::decode(&Bytes::from(wire)),
+            Err(FrameError::WrongIdentifier)
+        );
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let wire = ibeacon().encode();
+        let cut = wire.slice(0..20);
+        assert_eq!(IBeaconFrame::decode(&cut), Err(FrameError::Truncated));
+        assert!(BeaconFrame::decode(&cut).is_err());
+    }
+
+    #[test]
+    fn bad_ad_length_rejected() {
+        let mut wire = ibeacon().encode().to_vec();
+        wire[0] = 25;
+        assert_eq!(
+            IBeaconFrame::decode(&Bytes::from(wire)),
+            Err(FrameError::BadLength)
+        );
+    }
+
+    #[test]
+    fn ibeacon_fits_in_advertising_payload() {
+        // 27 frame bytes + 4 flags-AD bytes = 31, the AD maximum.
+        assert_eq!(ibeacon().encode().len(), 27);
+    }
+}

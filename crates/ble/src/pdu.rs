@@ -1,0 +1,327 @@
+//! Advertising-channel PDU headers and framing.
+//!
+//! Bluetooth Core spec (v4.2, Vol 6 Part B §2.3): an advertising-channel
+//! PDU is a 16-bit header followed by a payload. The header's low nibble
+//! is the PDU type — exactly the "first 4 bits in the header advertising
+//! channel protocol data units" the paper points at (§2.2) for telling
+//! connectable beacons (`ADV_IND`) from non-connectable ones
+//! (`ADV_NONCONN_IND`). LocBLE only locates the latter.
+//!
+//! Header layout (as transmitted, LSB first):
+//! `[ type:4 | rfu:2 | TxAdd:1 | RxAdd:1 ][ length:8 ]` then the payload,
+//! whose first 6 bytes are the AdvA advertiser address for the ADV_* PDU
+//! types used here.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Advertising PDU types (spec Table 2.2; the 4-bit type field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PduType {
+    /// Connectable undirected advertising.
+    AdvInd,
+    /// Connectable directed advertising.
+    AdvDirectInd,
+    /// **Non-connectable** undirected advertising — the beacon mode
+    /// LocBLE targets.
+    AdvNonconnInd,
+    /// Scan request from a scanner.
+    ScanReq,
+    /// Scan response from an advertiser.
+    ScanRsp,
+    /// Connection request.
+    ConnectInd,
+    /// Scannable undirected advertising.
+    AdvScanInd,
+}
+
+impl PduType {
+    /// The 4-bit on-air type code.
+    pub fn code(self) -> u8 {
+        match self {
+            PduType::AdvInd => 0b0000,
+            PduType::AdvDirectInd => 0b0001,
+            PduType::AdvNonconnInd => 0b0010,
+            PduType::ScanReq => 0b0011,
+            PduType::ScanRsp => 0b0100,
+            PduType::ConnectInd => 0b0101,
+            PduType::AdvScanInd => 0b0110,
+        }
+    }
+
+    /// Decodes a 4-bit type code.
+    pub fn from_code(code: u8) -> Option<PduType> {
+        match code & 0x0F {
+            0b0000 => Some(PduType::AdvInd),
+            0b0001 => Some(PduType::AdvDirectInd),
+            0b0010 => Some(PduType::AdvNonconnInd),
+            0b0011 => Some(PduType::ScanReq),
+            0b0100 => Some(PduType::ScanRsp),
+            0b0101 => Some(PduType::ConnectInd),
+            0b0110 => Some(PduType::AdvScanInd),
+            _ => None,
+        }
+    }
+
+    /// Whether a device advertising with this PDU type accepts
+    /// connections — the paper-§2.2 connectivity test.
+    pub fn is_connectable(self) -> bool {
+        matches!(
+            self,
+            PduType::AdvInd | PduType::AdvDirectInd | PduType::ConnectInd
+        )
+    }
+}
+
+/// Decoded 16-bit advertising-channel PDU header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PduHeader {
+    /// PDU type (low nibble of the first byte).
+    pub pdu_type: PduType,
+    /// TxAdd: advertiser address is random (true) or public (false).
+    pub tx_add_random: bool,
+    /// RxAdd: target address is random (true) or public (false).
+    pub rx_add_random: bool,
+    /// Payload length in bytes (6-bit field, 0–63 on air; v4.x allows
+    /// 6–37 for advertising PDUs).
+    pub length: u8,
+}
+
+impl PduHeader {
+    /// Maximum advertising payload per BLE v4.x.
+    pub const MAX_PAYLOAD: usize = 37;
+
+    /// Encodes the header into two bytes.
+    pub fn encode(&self) -> [u8; 2] {
+        let mut b0 = self.pdu_type.code();
+        if self.tx_add_random {
+            b0 |= 1 << 6;
+        }
+        if self.rx_add_random {
+            b0 |= 1 << 7;
+        }
+        [b0, self.length]
+    }
+
+    /// Decodes a header from two bytes; `None` for reserved PDU types.
+    pub fn decode(bytes: [u8; 2]) -> Option<PduHeader> {
+        let pdu_type = PduType::from_code(bytes[0] & 0x0F)?;
+        Some(PduHeader {
+            pdu_type,
+            tx_add_random: bytes[0] & (1 << 6) != 0,
+            rx_add_random: bytes[0] & (1 << 7) != 0,
+            length: bytes[1],
+        })
+    }
+}
+
+/// A complete advertising PDU: header + AdvA address + AD payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvPdu {
+    /// PDU type.
+    pub pdu_type: PduType,
+    /// TxAdd flag.
+    pub tx_add_random: bool,
+    /// 6-byte advertiser address (AdvA).
+    pub adv_address: [u8; 6],
+    /// AD-structure payload (e.g. a beacon frame).
+    pub payload: Bytes,
+}
+
+/// Errors from [`AdvPdu::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PduError {
+    /// Fewer bytes than a header + AdvA.
+    Truncated,
+    /// Reserved / unknown PDU type nibble.
+    UnknownType(u8),
+    /// Header length field disagrees with the actual byte count.
+    LengthMismatch {
+        /// Length claimed by the header.
+        declared: u8,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// Payload exceeds the v4.x 37-byte advertising limit.
+    Oversize(usize),
+}
+
+impl std::fmt::Display for PduError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PduError::Truncated => write!(f, "PDU truncated"),
+            PduError::UnknownType(t) => write!(f, "unknown PDU type {t:#x}"),
+            PduError::LengthMismatch { declared, actual } => {
+                write!(f, "length field {declared} != actual {actual}")
+            }
+            PduError::Oversize(n) => write!(f, "payload of {n} bytes exceeds 37"),
+        }
+    }
+}
+
+impl std::error::Error for PduError {}
+
+impl AdvPdu {
+    /// Builds a non-connectable beacon advertisement.
+    ///
+    /// # Panics
+    /// Panics when the payload exceeds the 31 AD bytes that fit beside
+    /// the 6-byte address within the 37-byte limit.
+    pub fn nonconn_beacon(adv_address: [u8; 6], payload: Bytes) -> AdvPdu {
+        assert!(
+            payload.len() + 6 <= PduHeader::MAX_PAYLOAD,
+            "advertising payload too large: {} bytes",
+            payload.len()
+        );
+        AdvPdu {
+            pdu_type: PduType::AdvNonconnInd,
+            tx_add_random: true,
+            adv_address,
+            payload,
+        }
+    }
+
+    /// Whether the advertiser is connectable (paper §2.2 header test).
+    pub fn is_connectable(&self) -> bool {
+        self.pdu_type.is_connectable()
+    }
+
+    /// Serializes to on-air bytes (header, AdvA, payload).
+    pub fn encode(&self) -> Bytes {
+        let header = PduHeader {
+            pdu_type: self.pdu_type,
+            tx_add_random: self.tx_add_random,
+            rx_add_random: false,
+            length: (6 + self.payload.len()) as u8,
+        };
+        let mut buf = BytesMut::with_capacity(2 + 6 + self.payload.len());
+        buf.put_slice(&header.encode());
+        buf.put_slice(&self.adv_address);
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parses on-air bytes.
+    pub fn decode(mut bytes: Bytes) -> Result<AdvPdu, PduError> {
+        if bytes.len() < 2 + 6 {
+            return Err(PduError::Truncated);
+        }
+        let b0 = bytes.get_u8();
+        let len = bytes.get_u8();
+        let pdu_type = PduType::from_code(b0 & 0x0F).ok_or(PduError::UnknownType(b0 & 0x0F))?;
+        if len as usize != bytes.len() {
+            return Err(PduError::LengthMismatch {
+                declared: len,
+                actual: bytes.len(),
+            });
+        }
+        if bytes.len() > PduHeader::MAX_PAYLOAD {
+            return Err(PduError::Oversize(bytes.len()));
+        }
+        let mut adv_address = [0u8; 6];
+        bytes.copy_to_slice(&mut adv_address);
+        Ok(AdvPdu {
+            pdu_type,
+            tx_add_random: b0 & (1 << 6) != 0,
+            adv_address,
+            payload: bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [
+            PduType::AdvInd,
+            PduType::AdvDirectInd,
+            PduType::AdvNonconnInd,
+            PduType::ScanReq,
+            PduType::ScanRsp,
+            PduType::ConnectInd,
+            PduType::AdvScanInd,
+        ] {
+            assert_eq!(PduType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(PduType::from_code(0b1111), None);
+    }
+
+    #[test]
+    fn connectivity_classification_matches_paper() {
+        // LocBLE's target: ADV_NONCONN_IND is not connectable.
+        assert!(!PduType::AdvNonconnInd.is_connectable());
+        assert!(PduType::AdvInd.is_connectable());
+        assert!(PduType::AdvDirectInd.is_connectable());
+        assert!(!PduType::ScanRsp.is_connectable());
+    }
+
+    #[test]
+    fn header_encode_decode_round_trip() {
+        let h = PduHeader {
+            pdu_type: PduType::AdvNonconnInd,
+            tx_add_random: true,
+            rx_add_random: false,
+            length: 30,
+        };
+        let enc = h.encode();
+        assert_eq!(enc[0] & 0x0F, 0b0010);
+        assert_eq!(PduHeader::decode(enc), Some(h));
+    }
+
+    #[test]
+    fn pdu_round_trip() {
+        let payload = Bytes::from_static(&[0x02, 0x01, 0x06, 0x03, 0x03, 0xAA, 0xFE]);
+        let pdu = AdvPdu::nonconn_beacon([1, 2, 3, 4, 5, 6], payload);
+        let wire = pdu.encode();
+        let back = AdvPdu::decode(wire).unwrap();
+        assert_eq!(back, pdu);
+        assert!(!back.is_connectable());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        assert_eq!(
+            AdvPdu::decode(Bytes::from_static(&[0x02, 0x06, 1, 2, 3])),
+            Err(PduError::Truncated)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_length_mismatch() {
+        let payload = Bytes::from_static(&[1, 2, 3]);
+        let pdu = AdvPdu::nonconn_beacon([0; 6], payload);
+        let mut wire = pdu.encode().to_vec();
+        wire[1] = 20; // lie about the length
+        assert!(matches!(
+            AdvPdu::decode(Bytes::from(wire)),
+            Err(PduError::LengthMismatch { declared: 20, .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_type() {
+        let mut wire = AdvPdu::nonconn_beacon([0; 6], Bytes::new())
+            .encode()
+            .to_vec();
+        wire[0] = (wire[0] & 0xF0) | 0x0F;
+        assert_eq!(
+            AdvPdu::decode(Bytes::from(wire)),
+            Err(PduError::UnknownType(0x0F))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversize_payload_rejected_at_build() {
+        AdvPdu::nonconn_beacon([0; 6], Bytes::from(vec![0u8; 32]));
+    }
+
+    #[test]
+    fn max_size_payload_accepted() {
+        let pdu = AdvPdu::nonconn_beacon([0; 6], Bytes::from(vec![0u8; 31]));
+        let back = AdvPdu::decode(pdu.encode()).unwrap();
+        assert_eq!(back.payload.len(), 31);
+    }
+}

@@ -1,0 +1,144 @@
+//! Beacon hardware profiles.
+//!
+//! Paper §7.6.3 / Fig. 14 compares three commodity targets: an iOS device
+//! acting as a beacon, a RadBeacon USB dongle, and an Estimote beacon.
+//! "Dedicated BLE beacons have slight advantages over smart devices
+//! integrated beacons, as the chips in smart devices are built more
+//! compactly" — modeled as per-unit Tx-power calibration error plus
+//! per-reading Tx instability, both worse on the phone.
+
+use rand::Rng;
+
+/// The beacon models of paper Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BeaconKind {
+    /// A smartphone advertising as a beacon (compact antenna, worst).
+    IosDevice,
+    /// RadBeacon USB dongle.
+    RadBeacon,
+    /// Estimote dedicated beacon (best calibrated).
+    Estimote,
+}
+
+impl BeaconKind {
+    /// All kinds, in Fig. 14 order.
+    pub const ALL: [BeaconKind; 3] = [
+        BeaconKind::IosDevice,
+        BeaconKind::RadBeacon,
+        BeaconKind::Estimote,
+    ];
+
+    /// Std-dev of the per-unit static Tx power calibration error, dB.
+    pub fn calibration_sigma_db(self) -> f64 {
+        match self {
+            BeaconKind::IosDevice => 2.5,
+            BeaconKind::RadBeacon => 1.5,
+            BeaconKind::Estimote => 1.0,
+        }
+    }
+
+    /// Std-dev of per-transmission Tx power instability, dB.
+    pub fn instability_sigma_db(self) -> f64 {
+        match self {
+            BeaconKind::IosDevice => 1.2,
+            BeaconKind::RadBeacon => 0.7,
+            BeaconKind::Estimote => 0.5,
+        }
+    }
+
+    /// Display name as used in Fig. 14.
+    pub fn name(self) -> &'static str {
+        match self {
+            BeaconKind::IosDevice => "iOS",
+            BeaconKind::RadBeacon => "Rad Beacon",
+            BeaconKind::Estimote => "Estimote",
+        }
+    }
+}
+
+/// One physical beacon unit: its kind plus the calibration error drawn
+/// for this specific unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeaconHardware {
+    /// Model.
+    pub kind: BeaconKind,
+    /// This unit's static Tx power error, dB.
+    pub unit_offset_db: f64,
+}
+
+impl BeaconHardware {
+    /// Manufactures one unit, drawing its calibration error.
+    pub fn manufacture<R: Rng + ?Sized>(kind: BeaconKind, rng: &mut R) -> Self {
+        let unit_offset_db = locble_rf::randn::normal(rng, 0.0, kind.calibration_sigma_db());
+        BeaconHardware {
+            kind,
+            unit_offset_db,
+        }
+    }
+
+    /// A perfectly calibrated unit (for controlled experiments).
+    pub fn ideal(kind: BeaconKind) -> Self {
+        BeaconHardware {
+            kind,
+            unit_offset_db: 0.0,
+        }
+    }
+
+    /// Per-transmission Tx power deviation for this unit, dB.
+    pub fn tx_deviation_db<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.unit_offset_db + locble_rf::randn::normal(rng, 0.0, self.kind.instability_sigma_db())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dedicated_beacons_are_better_calibrated() {
+        assert!(
+            BeaconKind::Estimote.calibration_sigma_db()
+                < BeaconKind::IosDevice.calibration_sigma_db()
+        );
+        assert!(
+            BeaconKind::RadBeacon.instability_sigma_db()
+                < BeaconKind::IosDevice.instability_sigma_db()
+        );
+    }
+
+    #[test]
+    fn manufacture_draws_unit_offsets() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = BeaconHardware::manufacture(BeaconKind::Estimote, &mut rng);
+        let b = BeaconHardware::manufacture(BeaconKind::Estimote, &mut rng);
+        assert_ne!(a.unit_offset_db, b.unit_offset_db);
+        assert!(a.unit_offset_db.abs() < 6.0);
+    }
+
+    #[test]
+    fn tx_deviation_centers_on_unit_offset() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let unit = BeaconHardware {
+            kind: BeaconKind::RadBeacon,
+            unit_offset_db: 2.0,
+        };
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| unit.tx_deviation_db(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn ideal_units_have_no_static_offset() {
+        let u = BeaconHardware::ideal(BeaconKind::IosDevice);
+        assert_eq!(u.unit_offset_db, 0.0);
+    }
+
+    #[test]
+    fn names_match_fig14_axis() {
+        assert_eq!(BeaconKind::IosDevice.name(), "iOS");
+        assert_eq!(BeaconKind::RadBeacon.name(), "Rad Beacon");
+        assert_eq!(BeaconKind::Estimote.name(), "Estimote");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the BLE codecs: every syntactically valid frame
+//! must round-trip bit-for-bit, and the PDU layer must be total (parse ∘
+//! encode = identity; arbitrary garbage never panics).
+
+use bytes::Bytes;
+use locble_ble::{
+    AdvPdu, AltBeaconFrame, BeaconFrame, EddystoneUidFrame, IBeaconFrame, PduHeader, PduType,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ibeacon_round_trip(
+        uuid in prop::array::uniform16(any::<u8>()),
+        major in any::<u16>(),
+        minor in any::<u16>(),
+        power in any::<i8>(),
+    ) {
+        let f = IBeaconFrame { uuid, major, minor, measured_power: power };
+        let back = IBeaconFrame::decode(&f.encode()).expect("round trip");
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn eddystone_round_trip(
+        namespace in prop::array::uniform10(any::<u8>()),
+        instance in prop::array::uniform6(any::<u8>()),
+        power in any::<i8>(),
+    ) {
+        let f = EddystoneUidFrame { namespace, instance, tx_power_at_0m: power };
+        let back = EddystoneUidFrame::decode(&f.encode()).expect("round trip");
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn altbeacon_round_trip(
+        company in any::<u16>(),
+        id in prop::array::uniform20(any::<u8>()),
+        rssi in any::<i8>(),
+        reserved in any::<u8>(),
+    ) {
+        let f = AltBeaconFrame {
+            company_id: company,
+            beacon_id: id,
+            reference_rssi: rssi,
+            mfg_reserved: reserved,
+        };
+        let back = AltBeaconFrame::decode(&f.encode()).expect("round trip");
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn dispatch_decodes_any_valid_frame(
+        uuid in prop::array::uniform16(any::<u8>()),
+        major in any::<u16>(),
+        power in any::<i8>(),
+    ) {
+        let f = BeaconFrame::IBeacon(IBeaconFrame { uuid, major, minor: 7, measured_power: power });
+        let back = BeaconFrame::decode(&f.encode()).expect("dispatch");
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn pdu_round_trip(
+        addr in prop::array::uniform6(any::<u8>()),
+        payload in prop::collection::vec(any::<u8>(), 0..=31),
+    ) {
+        let pdu = AdvPdu::nonconn_beacon(addr, Bytes::from(payload));
+        let back = AdvPdu::decode(pdu.encode()).expect("round trip");
+        prop_assert_eq!(back, pdu);
+    }
+
+    /// Arbitrary bytes never panic the parsers; they parse or error.
+    #[test]
+    fn parsers_are_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let b = Bytes::from(bytes);
+        let _ = AdvPdu::decode(b.clone());
+        let _ = IBeaconFrame::decode(&b);
+        let _ = EddystoneUidFrame::decode(&b);
+        let _ = AltBeaconFrame::decode(&b);
+        let _ = BeaconFrame::decode(&b);
+    }
+
+    #[test]
+    fn header_round_trip(type_code in 0u8..7, tx in any::<bool>(), rx in any::<bool>(), len in any::<u8>()) {
+        let h = PduHeader {
+            pdu_type: PduType::from_code(type_code).expect("valid code"),
+            tx_add_random: tx,
+            rx_add_random: rx,
+            length: len,
+        };
+        prop_assert_eq!(PduHeader::decode(h.encode()), Some(h));
+    }
+}

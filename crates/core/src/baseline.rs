@@ -1,0 +1,161 @@
+//! Dartle-style ranging baseline (paper §7.4.1, Fig. 11a).
+//!
+//! "The existing solutions focus on range estimation with BLE proximity
+//! capability. So, we choose the best ranging app called Dartle for
+//! comparison." A ranging app inverts the log-distance model with *fixed*
+//! calibration constants (the beacon's advertised measured power and a
+//! nominal indoor exponent) over smoothed RSS — no environment
+//! adaptation, no motion fusion, 1-D output only. The iBeacon-style
+//! proximity zones (immediate / near / far / unknown) the paper's
+//! introduction contrasts against are provided as well.
+
+use locble_dsp::{MovingAverage, TimeSeries};
+use locble_rf::LogDistanceModel;
+
+/// The four iBeacon proximity zones (paper footnote 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProximityZone {
+    /// Within ~0.5 m.
+    Immediate,
+    /// Within ~3 m.
+    Near,
+    /// Within ~15 m (the useful beacon range).
+    Far,
+    /// Out of range / unusable signal.
+    Unknown,
+}
+
+/// A fixed-calibration log-distance ranger.
+///
+/// ```
+/// use locble_core::DartleRanger;
+///
+/// let mut ranger = DartleRanger::paper_default();
+/// // Feed a steady −71 dBm (≈ 4 m under the default calibration).
+/// let mut range = 0.0;
+/// for _ in 0..20 {
+///     range = ranger.step(-71.0);
+/// }
+/// assert!((range - 3.98).abs() < 0.1);
+/// assert_eq!(DartleRanger::zone_of(range), locble_core::ProximityZone::Far);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DartleRanger {
+    model: LogDistanceModel,
+    smoother: MovingAverage,
+}
+
+impl DartleRanger {
+    /// Creates a ranger with explicit calibration constants.
+    pub fn new(measured_power_dbm: f64, exponent: f64, smooth_window: usize) -> DartleRanger {
+        DartleRanger {
+            model: LogDistanceModel::new(measured_power_dbm, exponent),
+            smoother: MovingAverage::new(smooth_window),
+        }
+    }
+
+    /// The typical app configuration: the iBeacon's advertised −59 dBm
+    /// at 1 m, free-space-ish exponent 2.0, 10-sample smoothing.
+    pub fn paper_default() -> DartleRanger {
+        DartleRanger::new(-59.0, 2.0, 10)
+    }
+
+    /// Feeds one RSSI and returns the current range estimate, metres.
+    pub fn step(&mut self, rssi_dbm: f64) -> f64 {
+        let smoothed = self.smoother.step(rssi_dbm);
+        self.model.distance_for(smoothed)
+    }
+
+    /// Range estimate from a whole trace (the final smoothed estimate).
+    /// `None` on an empty trace.
+    pub fn range_of(&mut self, rss: &TimeSeries) -> Option<f64> {
+        let mut last = None;
+        for &v in &rss.v {
+            last = Some(self.step(v));
+        }
+        last
+    }
+
+    /// Maps a range to the iBeacon proximity zone.
+    pub fn zone_of(range_m: f64) -> ProximityZone {
+        if !range_m.is_finite() || range_m < 0.0 {
+            ProximityZone::Unknown
+        } else if range_m < 0.5 {
+            ProximityZone::Immediate
+        } else if range_m < 3.0 {
+            ProximityZone::Near
+        } else if range_m < 15.0 {
+            ProximityZone::Far
+        } else {
+            ProximityZone::Unknown
+        }
+    }
+
+    /// Resets the smoother.
+    pub fn reset(&mut self) {
+        self.smoother.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_model_rss_inverts_to_distance() {
+        let mut ranger = DartleRanger::paper_default();
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        for d in [1.0, 2.5, 6.0, 12.0] {
+            ranger.reset();
+            let mut est = 0.0;
+            for _ in 0..20 {
+                est = ranger.step(model.rss_at(d));
+            }
+            assert!((est - d).abs() < 1e-9, "d={d}: est {est}");
+        }
+    }
+
+    #[test]
+    fn miscalibrated_exponent_biases_range() {
+        // True channel n=3 (NLOS) but the app assumes n=2: ranges are
+        // overestimated — the structural weakness LocBLE beats.
+        let mut ranger = DartleRanger::paper_default();
+        let true_model = LogDistanceModel::new(-59.0, 3.0);
+        let mut est = 0.0;
+        for _ in 0..20 {
+            est = ranger.step(true_model.rss_at(5.0));
+        }
+        assert!(est > 8.0, "n-mismatch should inflate the range, got {est}");
+    }
+
+    #[test]
+    fn smoothing_reduces_jitter() {
+        let mut ranger = DartleRanger::paper_default();
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        let rss = model.rss_at(4.0);
+        let mut estimates = Vec::new();
+        for i in 0..40 {
+            let noise = if i % 2 == 0 { 4.0 } else { -4.0 };
+            estimates.push(ranger.step(rss + noise));
+        }
+        let tail = &estimates[20..];
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let spread = tail.iter().map(|e| (e - mean).abs()).fold(0.0, f64::max);
+        assert!(spread < 1.0, "smoothed jitter {spread}");
+    }
+
+    #[test]
+    fn zones_match_ibeacon_semantics() {
+        assert_eq!(DartleRanger::zone_of(0.2), ProximityZone::Immediate);
+        assert_eq!(DartleRanger::zone_of(1.5), ProximityZone::Near);
+        assert_eq!(DartleRanger::zone_of(10.0), ProximityZone::Far);
+        assert_eq!(DartleRanger::zone_of(30.0), ProximityZone::Unknown);
+        assert_eq!(DartleRanger::zone_of(f64::NAN), ProximityZone::Unknown);
+    }
+
+    #[test]
+    fn empty_trace_has_no_range() {
+        let mut ranger = DartleRanger::paper_default();
+        assert!(ranger.range_of(&TimeSeries::default()).is_none());
+    }
+}

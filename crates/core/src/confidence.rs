@@ -1,0 +1,158 @@
+//! Estimation confidence (paper §5, "Estimation confidence").
+//!
+//! With the fitted `(n, Γ)`, the per-sample noise is
+//! `δRS_i = RS_i − R̂S_i`. Ideally `δRS ~ N(0, σ)`; in practice its mean
+//! `µ` drifts away from zero when the model mismatches reality. The
+//! paper treats `P(µ)` under `N(0, σ)` as the estimation confidence —
+//! implemented here as the two-sided tail probability
+//! `2·(1 − Φ(|µ|/σ))`, which is 1 for a perfectly centered residual and
+//! decays toward 0 as the bias grows relative to the spread.
+
+use crate::regression::RssPoint;
+use locble_geom::Vec2;
+
+/// Error function (Abramowitz & Stegun 7.1.26, |error| ≤ 1.5e−7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Computes the estimation confidence of a candidate `(position, Γ, n)`
+/// against the fused samples. Returns a value in `[0, 1]`; degenerate
+/// inputs (fewer than 3 samples, zero spread with bias) map to the
+/// appropriate extreme.
+pub fn estimation_confidence(
+    points: &[RssPoint],
+    position: Vec2,
+    gamma_dbm: f64,
+    exponent: f64,
+) -> f64 {
+    if points.len() < 3 {
+        return 0.0;
+    }
+    let residuals: Vec<f64> = points
+        .iter()
+        .map(|pt| {
+            let l = Vec2::new(position.x + pt.p, position.y + pt.q)
+                .norm()
+                .max(0.1);
+            pt.rss - (gamma_dbm - 10.0 * exponent * l.log10())
+        })
+        .collect();
+    let n = residuals.len() as f64;
+    let mu = residuals.iter().sum::<f64>() / n;
+    let var = residuals.iter().map(|r| (r - mu) * (r - mu)).sum::<f64>() / n;
+    // Physical noise floor: RSSI is quantized to 1 dB and chipset noise
+    // never vanishes, so a residual spread below ~0.5 dB carries no
+    // information about bias — without the floor a numerically perfect
+    // fit would divide float noise by float noise.
+    let sigma = var.sqrt().max(0.5);
+    (2.0 * (1.0 - phi(mu.abs() / sigma))).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // The A&S 7.1.26 approximation is accurate to ~1.5e-7.
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!(erf(5.0) > 0.999999);
+    }
+
+    #[test]
+    fn phi_reference_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-7);
+        assert!((phi(1.96) - 0.975).abs() < 1e-3);
+        assert!((phi(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    fn points_with_residuals(residuals: &[f64]) -> (Vec<RssPoint>, Vec2, f64, f64) {
+        // Target at (3,4), Γ=−59, n=2; inject the given residuals.
+        let target = Vec2::new(3.0, 4.0);
+        let pts: Vec<RssPoint> = residuals
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let p = -(i as f64 * 0.5);
+                let l = Vec2::new(target.x + p, target.y).norm();
+                RssPoint {
+                    p,
+                    q: 0.0,
+                    rss: -59.0 - 20.0 * l.log10() + r,
+                }
+            })
+            .collect();
+        (pts, target, -59.0, 2.0)
+    }
+
+    #[test]
+    fn perfect_fit_has_full_confidence() {
+        let (pts, pos, g, n) = points_with_residuals(&[0.0; 10]);
+        assert!((estimation_confidence(&pts, pos, g, n) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centered_noise_keeps_high_confidence() {
+        let r: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.5 } else { -1.5 })
+            .collect();
+        let (pts, pos, g, n) = points_with_residuals(&r);
+        let c = estimation_confidence(&pts, pos, g, n);
+        assert!(c > 0.9, "confidence {c}");
+    }
+
+    #[test]
+    fn biased_residuals_lower_confidence() {
+        // Mean 3 dB bias with ±1.5 dB spread: |µ|/σ = 2 → low confidence.
+        let r: Vec<f64> = (0..20)
+            .map(|i| 3.0 + if i % 2 == 0 { 1.5 } else { -1.5 })
+            .collect();
+        let (pts, pos, g, n) = points_with_residuals(&r);
+        let c = estimation_confidence(&pts, pos, g, n);
+        assert!(c < 0.1, "confidence {c}");
+    }
+
+    #[test]
+    fn confidence_monotone_in_bias() {
+        let mut prev = 1.1;
+        for bias in [0.0, 0.5, 1.0, 2.0, 4.0] {
+            let r: Vec<f64> = (0..30)
+                .map(|i| bias + if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            let (pts, pos, g, n) = points_with_residuals(&r);
+            let c = estimation_confidence(&pts, pos, g, n);
+            assert!(c < prev + 1e-9, "bias {bias}: {c} vs prev {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn too_few_samples_zero_confidence() {
+        let (pts, pos, g, n) = points_with_residuals(&[0.0, 0.0]);
+        assert_eq!(estimation_confidence(&pts, pos, g, n), 0.0);
+    }
+
+    #[test]
+    fn constant_bias_with_zero_spread_is_near_zero() {
+        // With the 0.5 dB noise floor, a 2 dB pure bias is a 4σ event.
+        let (pts, pos, g, n) = points_with_residuals(&[2.0; 8]);
+        assert!(estimation_confidence(&pts, pos, g, n) < 1e-3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Numeric search for the path-loss exponent `n(e)` (paper Eq. 5).
+//!
+//! `n(e)` cannot be solved in closed form because the regression output
+//! `ρ = η^RS` itself depends on `n`. LocBLE therefore finds
+//! `n̂* = argmin (L(x̂, ĥ) − R(n̂, Γ))²` numerically: for every candidate
+//! exponent the inner linear fit runs to completion and the dB residual
+//! of the resulting model is scored; a coarse grid pins the basin and a
+//! golden-section refinement polishes it.
+
+use crate::regression::{CircularFit, RssPoint};
+
+/// Configuration of the exponent search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentSearch {
+    /// Lower bound of the search interval.
+    pub min: f64,
+    /// Upper bound of the search interval.
+    pub max: f64,
+    /// Number of coarse grid points.
+    pub grid: usize,
+    /// Golden-section refinement iterations (0 = grid only).
+    pub refine_iters: usize,
+}
+
+impl Default for ExponentSearch {
+    fn default() -> Self {
+        ExponentSearch {
+            min: 1.4,
+            max: 5.5,
+            grid: 22,
+            refine_iters: 18,
+        }
+    }
+}
+
+impl ExponentSearch {
+    /// Validates the interval.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.min > 0.0 && self.max > self.min) {
+            return Err("need 0 < min < max".into());
+        }
+        if self.grid < 2 {
+            return Err("need at least 2 grid points".into());
+        }
+        Ok(())
+    }
+}
+
+/// Runs the search: returns the best-fit result across exponents, or
+/// `None` when no exponent yields a valid fit.
+pub fn search_exponent(points: &[RssPoint], search: &ExponentSearch) -> Option<CircularFit> {
+    search.validate().ok()?;
+    let score = |n: f64| -> Option<CircularFit> { CircularFit::solve(points, n) };
+
+    // Coarse grid.
+    let mut best: Option<CircularFit> = None;
+    let mut best_n = search.min;
+    for k in 0..search.grid {
+        let n = search.min + (search.max - search.min) * k as f64 / (search.grid - 1) as f64;
+        if let Some(fit) = score(n) {
+            if best
+                .as_ref()
+                .is_none_or(|b| fit.residual_db < b.residual_db)
+            {
+                best_n = n;
+                best = Some(fit);
+            }
+        }
+    }
+    let mut best = best?;
+
+    // Golden-section refinement around the winning grid cell.
+    let step = (search.max - search.min) / (search.grid - 1) as f64;
+    let mut lo = (best_n - step).max(search.min);
+    let mut hi = (best_n + step).min(search.max);
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let res_of = |fit: &Option<CircularFit>| fit.as_ref().map_or(f64::INFINITY, |f| f.residual_db);
+    for _ in 0..search.refine_iters {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        let f1 = score(m1);
+        let f2 = score(m2);
+        if res_of(&f1) <= res_of(&f2) {
+            hi = m2;
+            if let Some(fit) = f1 {
+                if fit.residual_db < best.residual_db {
+                    best = fit;
+                }
+            }
+        } else {
+            lo = m1;
+            if let Some(fit) = f2 {
+                if fit.residual_db < best.residual_db {
+                    best = fit;
+                }
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locble_geom::Vec2;
+    use locble_rf::LogDistanceModel;
+
+    fn synthetic(target: Vec2, gamma: f64, n: f64) -> Vec<RssPoint> {
+        let model = LogDistanceModel::new(gamma, n);
+        let mut path = Vec::new();
+        for i in 0..12 {
+            path.push(Vec2::new(4.0 * i as f64 / 11.0, 0.0));
+        }
+        for i in 1..12 {
+            path.push(Vec2::new(4.0, 3.0 * i as f64 / 11.0));
+        }
+        path.iter()
+            .map(|&pos| {
+                RssPoint::from_observer_displacement(pos, model.rss_at(target.distance(pos)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_true_exponent_and_position() {
+        for n_true in [1.8, 2.0, 2.7, 3.5, 4.2] {
+            let target = Vec2::new(3.0, 4.5);
+            let pts = synthetic(target, -59.0, n_true);
+            let fit = search_exponent(&pts, &ExponentSearch::default()).unwrap();
+            assert!(
+                (fit.exponent - n_true).abs() < 0.05,
+                "n_true {n_true}: found {}",
+                fit.exponent
+            );
+            assert!(
+                fit.position.distance(target) < 0.1,
+                "n_true {n_true}: position {:?}",
+                fit.position
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_gamma_jointly() {
+        let pts = synthetic(Vec2::new(2.0, 5.0), -64.0, 2.4);
+        let fit = search_exponent(&pts, &ExponentSearch::default()).unwrap();
+        assert!(
+            (fit.gamma_dbm + 64.0).abs() < 0.5,
+            "gamma {}",
+            fit.gamma_dbm
+        );
+    }
+
+    #[test]
+    fn refinement_beats_coarse_grid() {
+        let pts = synthetic(Vec2::new(3.0, 4.0), -59.0, 2.63);
+        let coarse = search_exponent(
+            &pts,
+            &ExponentSearch {
+                refine_iters: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let refined = search_exponent(&pts, &ExponentSearch::default()).unwrap();
+        assert!(refined.residual_db <= coarse.residual_db + 1e-12);
+        assert!((refined.exponent - 2.63).abs() < (coarse.exponent - 2.63).abs() + 1e-12);
+    }
+
+    #[test]
+    fn empty_input_returns_none() {
+        assert!(search_exponent(&[], &ExponentSearch::default()).is_none());
+    }
+
+    #[test]
+    fn invalid_interval_returns_none() {
+        let pts = synthetic(Vec2::new(3.0, 4.0), -59.0, 2.0);
+        let bad = ExponentSearch {
+            min: 3.0,
+            max: 2.0,
+            ..Default::default()
+        };
+        assert!(search_exponent(&pts, &bad).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Straight-walk mirror resolution during navigation (paper §9.2,
+//! future work).
+//!
+//! "The observer may just walk straight and leave the symmetry problem
+//! to the navigation stage. During the last turn in navigation, we will
+//! know whether the observer is in a correct direction and correct him
+//! accordingly."
+//!
+//! [`MirrorResolver`] holds the two candidates of a collinear
+//! measurement and watches the RSS trend while the user walks toward the
+//! primary: approaching the true beacon makes RSSI rise; if it falls
+//! while the distance-to-candidate shrinks, the candidates are swapped.
+//! The decision uses a robust slope vote over a sliding window.
+
+use locble_geom::Vec2;
+
+/// Resolves the Fig. 7 mirror ambiguity from navigation-time RSS by
+/// model comparison: whichever candidate's log-distance prediction
+/// explains the observed RSSI series better (offset-free: both sides are
+/// mean-centred, so the unknown Γ cancels) becomes the goal. The
+/// decision commits once it is decisive and never flips again.
+#[derive(Debug, Clone)]
+pub struct MirrorResolver {
+    /// The currently preferred candidate.
+    primary: Vec2,
+    /// The mirrored alternative.
+    mirror: Vec2,
+    /// Path-loss exponent used for the predictions.
+    exponent: f64,
+    /// Raw (position, rssi) observations.
+    history: Vec<(Vec2, f64)>,
+    /// Minimum observations before a decision is attempted.
+    min_observations: usize,
+    /// Required ratio between the worse and better candidate's residual
+    /// sum for the decision to commit.
+    decisiveness: f64,
+    /// Whether the decision has been committed (at most once).
+    resolved: bool,
+}
+
+impl MirrorResolver {
+    /// Creates a resolver over the estimate's candidate pair, using the
+    /// measurement's fitted path-loss exponent (pass ~2.5 if unknown).
+    pub fn with_exponent(primary: Vec2, mirror: Vec2, exponent: f64) -> MirrorResolver {
+        MirrorResolver {
+            primary,
+            mirror,
+            exponent: exponent.max(0.5),
+            history: Vec::new(),
+            min_observations: 8,
+            decisiveness: 1.3,
+            resolved: false,
+        }
+    }
+
+    /// Creates a resolver with a typical indoor exponent.
+    pub fn new(primary: Vec2, mirror: Vec2) -> MirrorResolver {
+        MirrorResolver::with_exponent(primary, mirror, 2.5)
+    }
+
+    /// The current navigation goal.
+    pub fn goal(&self) -> Vec2 {
+        self.primary
+    }
+
+    /// Whether the ambiguity has been committed.
+    pub fn is_resolved(&self) -> bool {
+        self.resolved
+    }
+
+    /// Mean-centred SSE of the log-distance prediction for a candidate.
+    fn residual_sse(&self, candidate: Vec2) -> f64 {
+        let n = self.history.len() as f64;
+        let preds: Vec<f64> = self
+            .history
+            .iter()
+            .map(|(pos, _)| -10.0 * self.exponent * candidate.distance(*pos).max(0.1).log10())
+            .collect();
+        let pred_mean = preds.iter().sum::<f64>() / n;
+        let obs_mean = self.history.iter().map(|(_, r)| r).sum::<f64>() / n;
+        self.history
+            .iter()
+            .zip(&preds)
+            .map(|((_, r), &p)| {
+                let e = (r - obs_mean) - (p - pred_mean);
+                e * e
+            })
+            .sum()
+    }
+
+    /// Feeds one navigation observation: the user's position (estimation
+    /// frame) and the RSSI there. Returns the (possibly updated) goal.
+    pub fn update(&mut self, position: Vec2, rssi_dbm: f64) -> Vec2 {
+        if self.resolved {
+            return self.primary;
+        }
+        self.history.push((position, rssi_dbm));
+        if self.history.len() >= self.min_observations {
+            // Positions must actually spread for the comparison to carry
+            // information.
+            let first = self.history[0].0;
+            let spread = self
+                .history
+                .iter()
+                .map(|(p, _)| p.distance(first))
+                .fold(0.0, f64::max);
+            if spread < 1.0 {
+                return self.primary;
+            }
+            let sse_primary = self.residual_sse(self.primary);
+            let sse_mirror = self.residual_sse(self.mirror);
+            let (better, worse) = if sse_primary <= sse_mirror {
+                (sse_primary, sse_mirror)
+            } else {
+                (sse_mirror, sse_primary)
+            };
+            if worse > better * self.decisiveness + 1.0 {
+                if sse_mirror < sse_primary {
+                    std::mem::swap(&mut self.primary, &mut self.mirror);
+                }
+                self.resolved = true;
+            }
+        }
+        self.primary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locble_rf::LogDistanceModel;
+
+    /// Simulates walking toward `goal_candidate` while the *true* beacon
+    /// sits at `truth`; returns the resolver's final goal.
+    fn walk_and_resolve(primary: Vec2, mirror: Vec2, truth: Vec2) -> Vec2 {
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        let mut resolver = MirrorResolver::new(primary, mirror);
+        let mut pos = Vec2::ZERO;
+        for _ in 0..25 {
+            let goal = resolver.goal();
+            let step = (goal - pos).normalized().unwrap_or(Vec2::UNIT_X) * 0.4;
+            pos += step;
+            let rssi = model.rss_at(truth.distance(pos).max(0.3));
+            resolver.update(pos, rssi);
+        }
+        resolver.goal()
+    }
+
+    #[test]
+    fn correct_primary_is_kept() {
+        let truth = Vec2::new(4.0, 3.0);
+        let goal = walk_and_resolve(truth, Vec2::new(4.0, -3.0), truth);
+        assert_eq!(goal, truth);
+    }
+
+    #[test]
+    fn wrong_primary_is_swapped() {
+        let truth = Vec2::new(4.0, 3.0);
+        let wrong = Vec2::new(4.0, -3.0);
+        let goal = walk_and_resolve(wrong, truth, truth);
+        assert_eq!(goal, truth, "resolver should swap to the true side");
+    }
+
+    #[test]
+    fn resolution_commits_once() {
+        let truth = Vec2::new(3.0, 2.0);
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        let mut resolver = MirrorResolver::new(Vec2::new(3.0, -2.0), truth);
+        let mut pos = Vec2::ZERO;
+        for _ in 0..40 {
+            let step = (resolver.goal() - pos).normalized().unwrap_or(Vec2::UNIT_X) * 0.4;
+            pos += step;
+            resolver.update(pos, model.rss_at(truth.distance(pos).max(0.3)));
+        }
+        assert!(resolver.is_resolved());
+        let committed = resolver.goal();
+        // Further noise must not flip the decision again.
+        resolver.update(pos, -95.0);
+        resolver.update(pos + Vec2::new(0.5, 0.0), -40.0);
+        assert_eq!(resolver.goal(), committed);
+    }
+
+    #[test]
+    fn noisy_rssi_still_resolves_correctly() {
+        let truth = Vec2::new(4.0, 3.0);
+        let wrong = Vec2::new(4.0, -3.0);
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        let mut resolver = MirrorResolver::new(wrong, truth);
+        let mut pos = Vec2::ZERO;
+        for k in 0..30 {
+            let step = (resolver.goal() - pos).normalized().unwrap_or(Vec2::UNIT_X) * 0.4;
+            pos += step;
+            let noise = if k % 2 == 0 { 1.0 } else { -1.0 };
+            resolver.update(pos, model.rss_at(truth.distance(pos).max(0.3)) + noise);
+        }
+        assert_eq!(resolver.goal(), truth);
+    }
+
+    #[test]
+    fn no_information_means_no_commitment() {
+        let mut resolver = MirrorResolver::new(Vec2::new(1.0, 1.0), Vec2::new(1.0, -1.0));
+        // Standing still with constant RSSI: every pair is uninformative.
+        for _ in 0..30 {
+            resolver.update(Vec2::ZERO, -70.0);
+        }
+        assert!(!resolver.is_resolved());
+    }
+}

@@ -1,0 +1,163 @@
+//! Navigation mode (paper §7.1/§7.3).
+//!
+//! "In navigation mode, LocBLE provides instructions based on the
+//! measured target position so that the user can find the target device.
+//! … navigation is based on standard dead-reckoning with a step
+//! counter." The navigator holds the estimated target position (in the
+//! measurement frame) and converts the user's dead-reckoned pose into
+//! turn-and-walk instructions; arrival is declared inside a configurable
+//! radius.
+
+use locble_geom::{signed_angle_diff, Pose2, Vec2};
+
+/// One guidance instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NavInstruction {
+    /// Turn to apply before walking, radians (counter-clockwise
+    /// positive).
+    pub turn: f64,
+    /// Straight-line distance to the target from the current pose,
+    /// metres.
+    pub distance: f64,
+    /// Whether the user is within the arrival radius.
+    pub arrived: bool,
+}
+
+/// Dead-reckoning navigator toward a fixed estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Navigator {
+    /// Estimated target position in the measurement frame.
+    pub target: Vec2,
+    /// Arrival radius, metres.
+    pub arrival_radius: f64,
+}
+
+impl Navigator {
+    /// Creates a navigator toward `target` with a 0.5 m arrival radius.
+    pub fn new(target: Vec2) -> Navigator {
+        Navigator {
+            target,
+            arrival_radius: 0.5,
+        }
+    }
+
+    /// Computes the instruction for a user at `pose` (same frame as the
+    /// estimate).
+    pub fn instruction(&self, pose: &Pose2) -> NavInstruction {
+        let to_target = self.target - pose.position;
+        let distance = to_target.norm();
+        if distance <= self.arrival_radius {
+            return NavInstruction {
+                turn: 0.0,
+                distance,
+                arrived: true,
+            };
+        }
+        let desired = to_target.angle();
+        NavInstruction {
+            turn: signed_angle_diff(pose.heading, desired),
+            distance,
+            arrived: false,
+        }
+    }
+
+    /// Simulates following the instructions with per-step heading and
+    /// step-length noise (dead-reckoning error accumulation), returning
+    /// the walked poses. `step_noise` is a closure providing (heading
+    /// error rad, length error fraction) per step — pass `|_| (0.0, 0.0)`
+    /// for a perfect walker. Gives up after `max_steps`.
+    pub fn simulate<F>(
+        &self,
+        start: Pose2,
+        step_length: f64,
+        max_steps: usize,
+        mut step_noise: F,
+    ) -> Vec<Pose2>
+    where
+        F: FnMut(usize) -> (f64, f64),
+    {
+        assert!(step_length > 0.0, "step length must be positive");
+        let mut poses = vec![start];
+        let mut pose = start;
+        for k in 0..max_steps {
+            let inst = self.instruction(&pose);
+            if inst.arrived {
+                break;
+            }
+            let (dh, dl) = step_noise(k);
+            let heading = pose.heading + inst.turn + dh;
+            let step = (step_length * (1.0 + dl)).min(inst.distance);
+            pose = Pose2::new(pose.position + Vec2::from_angle(heading) * step, heading);
+            poses.push(pose);
+        }
+        poses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn instruction_points_at_target() {
+        let nav = Navigator::new(Vec2::new(0.0, 5.0));
+        let inst = nav.instruction(&Pose2::IDENTITY);
+        assert!((inst.turn - FRAC_PI_2).abs() < 1e-12);
+        assert!((inst.distance - 5.0).abs() < 1e-12);
+        assert!(!inst.arrived);
+    }
+
+    #[test]
+    fn arrival_inside_radius() {
+        let nav = Navigator::new(Vec2::new(0.3, 0.0));
+        let inst = nav.instruction(&Pose2::IDENTITY);
+        assert!(inst.arrived);
+    }
+
+    #[test]
+    fn perfect_walker_reaches_target() {
+        let nav = Navigator::new(Vec2::new(6.0, -4.0));
+        let poses = nav.simulate(Pose2::IDENTITY, 0.75, 100, |_| (0.0, 0.0));
+        let final_pos = poses.last().unwrap().position;
+        assert!(
+            final_pos.distance(nav.target) <= nav.arrival_radius + 0.75,
+            "stopped at {final_pos:?}"
+        );
+        // Straight-line walk: step count ≈ distance / step length.
+        let expected = (Vec2::new(6.0, -4.0).norm() / 0.75).ceil() as usize;
+        assert!(poses.len() <= expected + 2, "took {} poses", poses.len());
+    }
+
+    #[test]
+    fn noisy_walker_still_converges() {
+        let nav = Navigator::new(Vec2::new(8.0, 3.0));
+        // Deterministic alternating heading noise of ±6° and ±5 % length.
+        let poses = nav.simulate(Pose2::IDENTITY, 0.7, 200, |k| {
+            let s = if k % 2 == 0 { 1.0 } else { -1.0 };
+            (s * 0.1, s * 0.05)
+        });
+        let final_pos = poses.last().unwrap().position;
+        assert!(
+            final_pos.distance(nav.target) < 1.5,
+            "stopped at {final_pos:?}"
+        );
+    }
+
+    #[test]
+    fn max_steps_bounds_the_walk() {
+        let nav = Navigator::new(Vec2::new(100.0, 0.0));
+        let poses = nav.simulate(Pose2::IDENTITY, 0.5, 10, |_| (0.0, 0.0));
+        assert_eq!(poses.len(), 11);
+    }
+
+    #[test]
+    fn turn_is_wrap_safe() {
+        // Facing just past +π, target just below −π direction: the turn
+        // must be small, not ~2π.
+        let pose = Pose2::new(Vec2::ZERO, 3.0);
+        let nav = Navigator::new(Vec2::from_angle(-3.1) * 5.0);
+        let inst = nav.instruction(&pose);
+        assert!(inst.turn.abs() < 0.5, "turn {}", inst.turn);
+    }
+}

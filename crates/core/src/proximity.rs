@@ -1,0 +1,256 @@
+//! Last-meter proximity refinement (paper §9.1/§9.2, future work).
+//!
+//! "From our experiments, we observed that the Bluetooth proximity
+//! actually demonstrates fairly good accuracy within 2m. Therefore, if
+//! we incorporate proximity in LocBLE, we will be able to bring accuracy
+//! under 1m or even cm level. We leave this as our future work."
+//!
+//! Implemented here: while navigating, the user collects fresh
+//! `(position, RSSI)` pairs; once the smoothed RSSI indicates the
+//! proximity regime (≲ 2 m), those short-range readings are converted to
+//! ranges with the already-fitted `(Γ, n)` and the estimate is refined by
+//! nonlinear multilateration (Gauss–Newton on the range residuals).
+//! Short-range readings have far better relative ranging accuracy (the
+//! log-model's slope is steep near the beacon), which is what pulls the
+//! fix under a metre.
+
+use locble_geom::Vec2;
+use locble_rf::LogDistanceModel;
+
+/// One navigation-time observation: where the user stood and what they
+/// measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProximityObservation {
+    /// Observer position in the estimation frame, metres.
+    pub position: Vec2,
+    /// Smoothed RSSI at that position, dBm.
+    pub rssi_dbm: f64,
+}
+
+/// Last-meter refiner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProximityConfig {
+    /// RSSI level above which the proximity regime is declared (the
+    /// model's predicted level at [`ProximityConfig::engage_range_m`]).
+    pub engage_range_m: f64,
+    /// Gauss–Newton iterations.
+    pub iterations: usize,
+    /// Minimum observations inside the proximity regime.
+    pub min_observations: usize,
+}
+
+impl Default for ProximityConfig {
+    fn default() -> Self {
+        ProximityConfig {
+            engage_range_m: 2.0,
+            iterations: 12,
+            min_observations: 4,
+        }
+    }
+}
+
+/// The last-meter refiner: holds the measurement-time model fit and
+/// consumes navigation-time observations.
+#[derive(Debug, Clone)]
+pub struct LastMeterRefiner {
+    model: LogDistanceModel,
+    config: ProximityConfig,
+    observations: Vec<ProximityObservation>,
+}
+
+impl LastMeterRefiner {
+    /// Creates a refiner from the measurement's fitted `(Γ, n)`.
+    pub fn new(gamma_dbm: f64, exponent: f64, config: ProximityConfig) -> LastMeterRefiner {
+        LastMeterRefiner {
+            model: LogDistanceModel::new(gamma_dbm, exponent),
+            config,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Whether a reading is inside the proximity regime.
+    pub fn in_proximity(&self, rssi_dbm: f64) -> bool {
+        rssi_dbm >= self.model.rss_at(self.config.engage_range_m)
+    }
+
+    /// Feeds one navigation-time observation; only proximity-regime
+    /// readings are retained. Returns `true` when retained.
+    pub fn observe(&mut self, obs: ProximityObservation) -> bool {
+        if self.in_proximity(obs.rssi_dbm) {
+            self.observations.push(obs);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of retained proximity observations.
+    pub fn observation_count(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Refines `initial` by Gauss–Newton multilateration over the
+    /// retained observations, re-centring `Γ` against the observations at
+    /// every step (the measurement-time fit's offset bias would otherwise
+    /// scale every range by a constant factor). Returns `None` until
+    /// enough observations exist or when the geometry is degenerate.
+    pub fn refine(&self, initial: Vec2) -> Option<Vec2> {
+        if self.observations.len() < self.config.min_observations {
+            return None;
+        }
+        let mut p = initial;
+        let mut model = self.model;
+        for _ in 0..self.config.iterations {
+            // Re-centre Γ: with the current position hypothesis, the
+            // offset that best explains the observations (damped).
+            let gamma_fit = self
+                .observations
+                .iter()
+                .map(|o| {
+                    o.rssi_dbm + 10.0 * model.exponent * p.distance(o.position).max(0.1).log10()
+                })
+                .sum::<f64>()
+                / self.observations.len() as f64;
+            model = LogDistanceModel::new(0.5 * model.gamma_dbm + 0.5 * gamma_fit, model.exponent);
+            // Normal equations of the linearized range residuals.
+            let (mut h11, mut h12, mut h22) = (0.0f64, 0.0f64, 0.0f64);
+            let (mut g1, mut g2) = (0.0f64, 0.0f64);
+            for obs in &self.observations {
+                let d_vec = p - obs.position;
+                let d = d_vec.norm().max(0.05);
+                let unit = d_vec / d;
+                let measured = model.distance_for(obs.rssi_dbm);
+                // The log-model's *absolute* range error grows with the
+                // range itself (a fixed dB error is a fixed relative
+                // distance error), so close readings deserve
+                // quadratically more weight.
+                let w = 1.0 / measured.max(0.3).powi(2);
+                let r = d - measured;
+                h11 += w * unit.x * unit.x;
+                h12 += w * unit.x * unit.y;
+                h22 += w * unit.y * unit.y;
+                g1 += w * unit.x * r;
+                g2 += w * unit.y * r;
+            }
+            // Levenberg damping keeps degenerate geometries stable.
+            let lambda = 1e-6;
+            let det = (h11 + lambda) * (h22 + lambda) - h12 * h12;
+            if det.abs() < 1e-12 {
+                return None;
+            }
+            let dx = ((h22 + lambda) * g1 - h12 * g2) / det;
+            let dy = ((h11 + lambda) * g2 - h12 * g1) / det;
+            p -= Vec2::new(dx, dy);
+            if dx.hypot(dy) < 1e-6 {
+                break;
+            }
+        }
+        p.is_finite().then_some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refiner() -> LastMeterRefiner {
+        LastMeterRefiner::new(-59.0, 2.0, ProximityConfig::default())
+    }
+
+    fn observe_circle(r: &mut LastMeterRefiner, target: Vec2, radius: f64, n: usize) {
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        for k in 0..n {
+            let angle = k as f64 * std::f64::consts::TAU / n as f64;
+            let pos = target + Vec2::from_angle(angle) * radius;
+            r.observe(ProximityObservation {
+                position: pos,
+                rssi_dbm: model.rss_at(radius),
+            });
+        }
+    }
+
+    #[test]
+    fn proximity_regime_threshold() {
+        let r = refiner();
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        assert!(r.in_proximity(model.rss_at(1.0)));
+        assert!(r.in_proximity(model.rss_at(2.0)));
+        assert!(!r.in_proximity(model.rss_at(3.0)));
+    }
+
+    #[test]
+    fn far_readings_are_discarded() {
+        let mut r = refiner();
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        assert!(!r.observe(ProximityObservation {
+            position: Vec2::ZERO,
+            rssi_dbm: model.rss_at(5.0),
+        }));
+        assert_eq!(r.observation_count(), 0);
+    }
+
+    #[test]
+    fn refines_to_submeter_from_coarse_initial() {
+        // A 2 m-wrong initial estimate plus four clean close-range
+        // observations must land within centimetres — the paper's §9.1
+        // claim.
+        let target = Vec2::new(5.0, 3.0);
+        let mut r = refiner();
+        observe_circle(&mut r, target, 1.2, 4);
+        let refined = r.refine(target + Vec2::new(1.5, -1.3)).expect("refined");
+        assert!(
+            refined.distance(target) < 0.05,
+            "refined {refined:?} vs target {target:?}"
+        );
+    }
+
+    #[test]
+    fn noisy_observations_still_bring_submeter() {
+        let target = Vec2::new(2.0, 2.0);
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        let mut r = refiner();
+        for k in 0..8 {
+            let angle = k as f64 * std::f64::consts::TAU / 8.0;
+            let radius = 1.0 + 0.3 * ((k % 3) as f64 - 1.0) * 0.5;
+            let pos = target + Vec2::from_angle(angle) * radius;
+            // ±1.5 dB alternating measurement noise.
+            let noise = if k % 2 == 0 { 1.5 } else { -1.5 };
+            r.observe(ProximityObservation {
+                position: pos,
+                rssi_dbm: model.rss_at(radius) + noise,
+            });
+        }
+        let refined = r.refine(target + Vec2::new(1.0, 1.0)).expect("refined");
+        assert!(
+            refined.distance(target) < 0.6,
+            "refined error {:.2} m",
+            refined.distance(target)
+        );
+    }
+
+    #[test]
+    fn needs_minimum_observations() {
+        let mut r = refiner();
+        observe_circle(&mut r, Vec2::ZERO, 1.0, 3);
+        assert!(r.refine(Vec2::new(1.0, 1.0)).is_none());
+        observe_circle(&mut r, Vec2::ZERO, 1.0, 3);
+        assert!(r.refine(Vec2::new(1.0, 1.0)).is_some());
+    }
+
+    #[test]
+    fn degenerate_geometry_is_safe() {
+        // All observations from the same spot: no geometry to solve.
+        let mut r = refiner();
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        for _ in 0..6 {
+            r.observe(ProximityObservation {
+                position: Vec2::new(1.0, 1.0),
+                rssi_dbm: model.rss_at(1.0),
+            });
+        }
+        // Either a finite answer or a clean None — never NaN.
+        if let Some(p) = r.refine(Vec2::new(2.0, 2.0)) {
+            assert!(p.is_finite());
+        }
+    }
+}

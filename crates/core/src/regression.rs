@@ -1,0 +1,459 @@
+//! The sensor-fusion regression at the heart of LocBLE (paper §5).
+//!
+//! Starting from the path-loss model `RS_i = Γ − 10·n·log10(l_i)` and the
+//! fused geometry `l_i² = (x + p_i)² + (h + q_i)²` (where `(p_i, q_i)` is
+//! the relative displacement between target and observer at sample `i`),
+//! substituting `ε = 10^(Γ/(5n))` and `ρ_i = 10^(−RS_i/(5n))` gives the
+//! paper's Eq. 2/3:
+//!
+//! `A·(p² + q²) + C·p + D·q + G = ρ`, with
+//! `A = 1/ε, C = 2x/ε, D = 2h/ε, G = (x² + h²)/ε`.
+//!
+//! For a *fixed* exponent `n` this is linear least squares (paper Eq. 4);
+//! the exponent itself is found by the outer numeric search in
+//! [`crate::exponent`]. Two fits are provided:
+//!
+//! * [`CircularFit`] — the joint 4-parameter fit over a 2-D movement
+//!   (unique solution when the walk is not collinear);
+//! * [`LegFit`] — the 3-parameter fit over one *straight leg*, which by
+//!   symmetry yields the two mirror candidates of paper Fig. 7; the
+//!   L-shaped movement's second leg disambiguates them.
+
+use locble_geom::Vec2;
+use locble_ml::Matrix;
+
+/// One fused sample: relative displacement `(p, q)` and its RSS reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssPoint {
+    /// `p_i = b_i − a_i`: relative x displacement, metres.
+    pub p: f64,
+    /// `q_i = d_i − c_i`: relative y displacement, metres.
+    pub q: f64,
+    /// Filtered RSS reading, dBm.
+    pub rss: f64,
+}
+
+impl RssPoint {
+    /// Builds a point from an observer displacement (stationary target):
+    /// `p = −a, q = −c`.
+    pub fn from_observer_displacement(disp: Vec2, rss: f64) -> RssPoint {
+        RssPoint {
+            p: -disp.x,
+            q: -disp.y,
+            rss,
+        }
+    }
+
+    /// Builds a point from both displacements (moving target).
+    pub fn from_displacements(target: Vec2, observer: Vec2, rss: f64) -> RssPoint {
+        RssPoint {
+            p: target.x - observer.x,
+            q: target.y - observer.y,
+            rss,
+        }
+    }
+}
+
+/// Result of the joint circular fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircularFit {
+    /// Estimated target position `(x, h)` in the local frame.
+    pub position: Vec2,
+    /// Recovered `Γ` (reference power at 1 m), dBm.
+    pub gamma_dbm: f64,
+    /// The exponent this fit was computed for.
+    pub exponent: f64,
+    /// RMS residual in dB between observed and model-predicted RSS.
+    pub residual_db: f64,
+}
+
+/// Computes `ρ_i = 10^(−RS_i/(5n))`, normalized to mean 1 for numerical
+/// conditioning; returns the values and the normalization scale.
+fn rho_values(points: &[RssPoint], exponent: f64) -> (Vec<f64>, f64) {
+    let raw: Vec<f64> = points
+        .iter()
+        .map(|pt| 10f64.powf(-pt.rss / (5.0 * exponent)))
+        .collect();
+    let scale = raw.iter().sum::<f64>() / raw.len() as f64;
+    let scaled = raw.iter().map(|r| r / scale).collect();
+    (scaled, scale)
+}
+
+/// RMS dB residual of a candidate `(x, h, Γ, n)` against the samples.
+pub fn rss_residual_db(points: &[RssPoint], position: Vec2, gamma: f64, exponent: f64) -> f64 {
+    let sum: f64 = points
+        .iter()
+        .map(|pt| {
+            let l = Vec2::new(position.x + pt.p, position.y + pt.q)
+                .norm()
+                .max(0.1);
+            let pred = gamma - 10.0 * exponent * l.log10();
+            (pt.rss - pred) * (pt.rss - pred)
+        })
+        .sum();
+    (sum / points.len() as f64).sqrt()
+}
+
+impl CircularFit {
+    /// Minimum samples for the 4-parameter fit.
+    pub const MIN_SAMPLES: usize = 6;
+
+    /// Solves the joint fit for a fixed exponent. Returns `None` when the
+    /// system is singular/ill-conditioned (e.g. a collinear walk — use
+    /// [`LegFit`] then) or produces a non-physical `A ≤ 0`.
+    pub fn solve(points: &[RssPoint], exponent: f64) -> Option<CircularFit> {
+        if points.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+            return None;
+        }
+        let (rho, scale) = rho_values(points, exponent);
+        let rows: Vec<Vec<f64>> = points
+            .iter()
+            .map(|pt| vec![pt.p * pt.p + pt.q * pt.q, pt.p, pt.q, 1.0])
+            .collect();
+        let design = Matrix::from_rows(&rows);
+        let theta = design.least_squares(&rho, 1e-9)?;
+        let (a, c, d, _g) = (theta[0], theta[1], theta[2], theta[3]);
+        if a <= 1e-12 || !a.is_finite() {
+            return None;
+        }
+        let x = c / (2.0 * a);
+        let h = d / (2.0 * a);
+        if !x.is_finite() || !h.is_finite() {
+            return None;
+        }
+        // ε accounts for the ρ normalization: physically ρ' = ρ/scale =
+        // l²/(ε·scale), while the fit gives ρ' = A'·l², so ε = 1/(A'·scale).
+        let epsilon = 1.0 / (a * scale);
+        let gamma = 5.0 * exponent * epsilon.log10();
+        let position = Vec2::new(x, h);
+        Some(CircularFit {
+            position,
+            gamma_dbm: gamma,
+            exponent,
+            residual_db: rss_residual_db(points, position, gamma, exponent),
+        })
+    }
+}
+
+impl CircularFit {
+    /// Anchored variant: fixes `Γ` (hence `A = 1/ε`) from the beacon's
+    /// *advertised* measured power — every commodity beacon frame carries
+    /// one (iBeacon "measured power", Eddystone Tx-at-0m, AltBeacon
+    /// reference RSSI) — and solves only the linear `[C, D, G]` system.
+    /// Used when the free fit's quadratic term is not identifiable (its
+    /// `A` comes out non-positive under heavy noise): the anchor restores
+    /// identifiability at the price of trusting the calibration constant.
+    pub fn solve_anchored(
+        points: &[RssPoint],
+        exponent: f64,
+        gamma_dbm: f64,
+    ) -> Option<CircularFit> {
+        if points.len() < 4 || exponent <= 0.0 {
+            return None;
+        }
+        let epsilon = 10f64.powf(gamma_dbm / (5.0 * exponent));
+        let a = 1.0 / epsilon;
+        // ρ − A(p²+q²) = C·p + D·q + G.
+        let rows: Vec<Vec<f64>> = points.iter().map(|pt| vec![pt.p, pt.q, 1.0]).collect();
+        let rhs: Vec<f64> = points
+            .iter()
+            .map(|pt| {
+                let rho = 10f64.powf(-pt.rss / (5.0 * exponent));
+                rho - a * (pt.p * pt.p + pt.q * pt.q)
+            })
+            .collect();
+        let design = Matrix::from_rows(&rows);
+        let theta = design.least_squares(&rhs, 1e-9)?;
+        let (c, d, _g) = (theta[0], theta[1], theta[2]);
+        let x = c / (2.0 * a);
+        let h = d / (2.0 * a);
+        if !x.is_finite() || !h.is_finite() {
+            return None;
+        }
+        let position = Vec2::new(x, h);
+        Some(CircularFit {
+            position,
+            gamma_dbm,
+            exponent,
+            residual_db: rss_residual_db(points, position, gamma_dbm, exponent),
+        })
+    }
+}
+
+/// Result of a single-leg fit: the two mirror candidates of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegFit {
+    /// The two candidate positions, symmetric across the leg's line.
+    pub candidates: [Vec2; 2],
+    /// Recovered `Γ`, dBm.
+    pub gamma_dbm: f64,
+    /// The exponent used.
+    pub exponent: f64,
+    /// RMS residual in dB (identical for both candidates, by symmetry).
+    pub residual_db: f64,
+}
+
+impl LegFit {
+    /// Minimum samples for the 3-parameter leg fit.
+    pub const MIN_SAMPLES: usize = 5;
+
+    /// Fits one straight leg. `positions[i]` is the observer position at
+    /// sample `i` in the local frame (the target is assumed stationary
+    /// relative to the leg — for a moving target, pass relative
+    /// positions). Returns `None` for degenerate legs (no movement,
+    /// singular system, non-physical fit).
+    pub fn solve(positions: &[Vec2], rss: &[f64], exponent: f64) -> Option<LegFit> {
+        assert_eq!(positions.len(), rss.len(), "positions/rss length mismatch");
+        if positions.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+            return None;
+        }
+        // Leg frame: origin at the first position, unit direction u.
+        let origin = positions[0];
+        let span = positions[positions.len() - 1] - origin;
+        let u = span.normalized()?;
+        if span.norm() < 0.5 {
+            return None; // too little movement to regress on
+        }
+        let s: Vec<f64> = positions.iter().map(|&pos| (pos - origin).dot(u)).collect();
+
+        // l_i² = |v − s_i·u|² = s² − 2·s·(v·u) + |v|², where v = target −
+        // origin. Linear in [1, s, s²] against ρ/ε... same trick as the
+        // circular fit: A·s² + B·s + G = ρ with A = 1/ε, B = −2(v·u)/ε,
+        // G = |v|²/ε.
+        let points: Vec<RssPoint> = s
+            .iter()
+            .zip(rss)
+            .map(|(&si, &r)| RssPoint {
+                p: si,
+                q: 0.0,
+                rss: r,
+            })
+            .collect();
+        let (rho, scale) = rho_values(&points, exponent);
+        let rows: Vec<Vec<f64>> = s.iter().map(|&si| vec![si * si, si, 1.0]).collect();
+        let design = Matrix::from_rows(&rows);
+        let theta = design.least_squares(&rho, 1e-9)?;
+        let (a, b, g) = (theta[0], theta[1], theta[2]);
+        if a <= 1e-12 || !a.is_finite() {
+            return None;
+        }
+        let along = -b / (2.0 * a); // v·u
+        let dist_sq = g / a; // |v|²
+        let perp_sq = dist_sq - along * along;
+        // Noise can push perp² slightly negative when the target is on
+        // the leg's line; clamp to zero (both candidates coincide).
+        let perp = perp_sq.max(0.0).sqrt();
+
+        let epsilon = 1.0 / (a * scale);
+        let gamma = 5.0 * exponent * epsilon.log10();
+        let base = origin + u * along;
+        let candidates = [base + u.perp() * perp, base - u.perp() * perp];
+
+        // Residual computed against candidate 0 (symmetry makes both
+        // equal up to floating error).
+        let rel: Vec<RssPoint> = positions
+            .iter()
+            .zip(rss)
+            .map(|(&pos, &r)| RssPoint::from_observer_displacement(pos - positions[0], r))
+            .collect();
+        let residual_db = rss_residual_db(&rel, candidates[0] - positions[0], gamma, exponent);
+        Some(LegFit {
+            candidates,
+            gamma_dbm: gamma,
+            exponent,
+            residual_db,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locble_rf::LogDistanceModel;
+
+    /// Generates noiseless samples for a stationary target seen from a
+    /// moving observer.
+    fn synthetic(
+        target: Vec2,
+        path: &[Vec2],
+        gamma: f64,
+        n: f64,
+    ) -> (Vec<RssPoint>, Vec<Vec2>, Vec<f64>) {
+        let model = LogDistanceModel::new(gamma, n);
+        let mut pts = Vec::new();
+        let mut rss = Vec::new();
+        for &pos in path {
+            let r = model.rss_at(target.distance(pos));
+            pts.push(RssPoint::from_observer_displacement(pos - path[0], r));
+            rss.push(r);
+        }
+        (pts, path.to_vec(), rss)
+    }
+
+    fn l_path(n_per_leg: usize, leg1: f64, leg2: f64) -> Vec<Vec2> {
+        let mut p = Vec::new();
+        for i in 0..n_per_leg {
+            p.push(Vec2::new(leg1 * i as f64 / (n_per_leg - 1) as f64, 0.0));
+        }
+        for i in 1..n_per_leg {
+            p.push(Vec2::new(leg1, leg2 * i as f64 / (n_per_leg - 1) as f64));
+        }
+        p
+    }
+
+    #[test]
+    fn joint_fit_recovers_exact_position_noiseless() {
+        let target = Vec2::new(3.0, 4.0);
+        let (pts, _, _) = synthetic(target, &l_path(12, 4.0, 3.0), -59.0, 2.0);
+        let fit = CircularFit::solve(&pts, 2.0).unwrap();
+        assert!(
+            fit.position.distance(target) < 1e-6,
+            "got {:?}",
+            fit.position
+        );
+        assert!(
+            (fit.gamma_dbm + 59.0).abs() < 1e-6,
+            "gamma {}",
+            fit.gamma_dbm
+        );
+        assert!(fit.residual_db < 1e-6); // ridge + float error leave ~1e-8
+    }
+
+    #[test]
+    fn joint_fit_recovers_target_behind_observer() {
+        let target = Vec2::new(-2.0, -5.0);
+        let (pts, _, _) = synthetic(target, &l_path(12, 4.0, 3.0), -55.0, 2.7);
+        let fit = CircularFit::solve(&pts, 2.7).unwrap();
+        assert!(
+            fit.position.distance(target) < 1e-6,
+            "got {:?}",
+            fit.position
+        );
+    }
+
+    #[test]
+    fn wrong_exponent_has_larger_residual() {
+        let target = Vec2::new(3.0, 4.0);
+        let (pts, _, _) = synthetic(target, &l_path(12, 4.0, 3.0), -59.0, 2.6);
+        let right = CircularFit::solve(&pts, 2.6).unwrap();
+        let wrong = CircularFit::solve(&pts, 4.0).unwrap();
+        assert!(right.residual_db < wrong.residual_db - 0.1);
+    }
+
+    #[test]
+    fn collinear_walk_is_rejected_or_ambiguous_for_joint_fit() {
+        // Straight-line observer: the joint system cannot determine the
+        // sign of h; the ridge-regularized solve returns h ≈ 0 or the
+        // solve fails. Either way the result must not silently claim the
+        // true position.
+        let target = Vec2::new(3.0, 4.0);
+        let path: Vec<Vec2> = (0..12).map(|i| Vec2::new(i as f64 * 0.5, 0.0)).collect();
+        let (pts, _, _) = synthetic(target, &path, -59.0, 2.0);
+        if let Some(fit) = CircularFit::solve(&pts, 2.0) {
+            assert!(
+                fit.position.y.abs() < 1.0,
+                "collinear fit should collapse h toward 0, got {:?}",
+                fit.position
+            );
+        }
+    }
+
+    #[test]
+    fn leg_fit_produces_mirror_candidates() {
+        let target = Vec2::new(3.0, 4.0);
+        let path: Vec<Vec2> = (0..10).map(|i| Vec2::new(i as f64 * 0.45, 0.0)).collect();
+        let (_, positions, rss) = synthetic(target, &path, -59.0, 2.0);
+        let fit = LegFit::solve(&positions, &rss, 2.0).unwrap();
+        // One candidate is the target, the other its mirror across y=0.
+        let mirror = Vec2::new(3.0, -4.0);
+        let d0 = fit.candidates[0]
+            .distance(target)
+            .min(fit.candidates[0].distance(mirror));
+        let d1 = fit.candidates[1]
+            .distance(target)
+            .min(fit.candidates[1].distance(mirror));
+        assert!(d0 < 1e-6 && d1 < 1e-6, "candidates {:?}", fit.candidates);
+        assert!(
+            fit.candidates[0].distance(fit.candidates[1]) > 7.9,
+            "mirror pair should straddle the leg"
+        );
+        assert!((fit.gamma_dbm + 59.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leg_fit_works_for_arbitrary_leg_direction() {
+        let target = Vec2::new(-1.0, 6.0);
+        // Leg at 30° from an offset origin.
+        let dir = Vec2::from_angle(0.52);
+        let origin = Vec2::new(2.0, 1.0);
+        let path: Vec<Vec2> = (0..10).map(|i| origin + dir * (i as f64 * 0.5)).collect();
+        let (_, positions, rss) = synthetic(target, &path, -62.0, 2.4);
+        let fit = LegFit::solve(&positions, &rss, 2.4).unwrap();
+        let best = fit
+            .candidates
+            .iter()
+            .map(|c| c.distance(target))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 1e-6, "candidates {:?}", fit.candidates);
+    }
+
+    #[test]
+    fn second_leg_disambiguates() {
+        // Paper Fig. 7: intersect the candidate sets of the two legs.
+        let target = Vec2::new(3.0, 4.0);
+        let path = l_path(10, 4.0, 3.0);
+        let (_, positions, rss) = synthetic(target, &path, -59.0, 2.0);
+        let leg1 = LegFit::solve(&positions[..10], &rss[..10], 2.0).unwrap();
+        let leg2 = LegFit::solve(&positions[10..], &rss[10..], 2.0).unwrap();
+        // The closest cross-leg candidate pair identifies the target.
+        let mut best = (f64::INFINITY, Vec2::ZERO);
+        for c1 in leg1.candidates {
+            for c2 in leg2.candidates {
+                let d = c1.distance(c2);
+                if d < best.0 {
+                    best = (d, (c1 + c2) * 0.5);
+                }
+            }
+        }
+        assert!(best.0 < 1e-5, "candidate sets should overlap");
+        assert!(best.1.distance(target) < 1e-5, "resolved {:?}", best.1);
+    }
+
+    #[test]
+    fn too_few_samples_returns_none() {
+        let pts = vec![
+            RssPoint {
+                p: 0.0,
+                q: 0.0,
+                rss: -60.0
+            };
+            4
+        ];
+        assert!(CircularFit::solve(&pts, 2.0).is_none());
+        let pos = vec![Vec2::ZERO; 3];
+        assert!(LegFit::solve(&pos, &[-60.0; 3], 2.0).is_none());
+    }
+
+    #[test]
+    fn stationary_observer_leg_rejected() {
+        let pos = vec![Vec2::new(1.0, 1.0); 8];
+        assert!(LegFit::solve(&pos, &[-60.0; 8], 2.0).is_none());
+    }
+
+    #[test]
+    fn noisy_fit_stays_near_target() {
+        let target = Vec2::new(3.0, 4.0);
+        let (mut pts, _, _) = synthetic(target, &l_path(25, 4.5, 3.5), -59.0, 2.0);
+        // Deterministic ±1 dB alternating noise.
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.rss += if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let fit = CircularFit::solve(&pts, 2.0).unwrap();
+        assert!(
+            fit.position.distance(target) < 1.0,
+            "noisy fit {:?}",
+            fit.position
+        );
+        assert!(fit.residual_db > 0.5 && fit.residual_db < 1.5);
+    }
+}

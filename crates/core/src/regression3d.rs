@@ -1,0 +1,317 @@
+//! 3-D extension of the sensor-fusion regression (paper §9.3, future
+//! work).
+//!
+//! "The current LocBLE is designed to show beacons' locations in a 2-D
+//! space. … 3-D localization can be done by modifying our data fusion
+//! and L-shaped movement. We leave the detailed design and evaluation of
+//! this as our future work."
+//!
+//! The modification is exactly what the paper implies: with a relative
+//! displacement `(p, q, r)` per sample (the extra axis coming from, e.g.,
+//! raising the phone, stairs, or a known device height profile), the
+//! Eq. 2 expansion gains one linear term:
+//!
+//! `A·(p² + q² + r²) + C·p + D·q + E·r + G = ρ`,
+//! with `x = C/2A, h = D/2A, z = E/2A`.
+//!
+//! Identifiability needs genuinely 3-D movement: a planar walk leaves the
+//! vertical coordinate with the familiar mirror ambiguity (now across the
+//! walk's plane). [`Fit3d::solve`] rejects near-planar sample sets so the
+//! caller falls back to the 2-D machinery.
+
+use locble_ml::Matrix;
+
+/// A 3-D point/vector (kept local: the rest of the system is planar).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    /// x component, metres.
+    pub x: f64,
+    /// y component, metres.
+    pub y: f64,
+    /// z component, metres.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean distance.
+    pub fn distance(self, o: Vec3) -> f64 {
+        ((self.x - o.x).powi(2) + (self.y - o.y).powi(2) + (self.z - o.z).powi(2)).sqrt()
+    }
+
+    /// `true` when all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+/// One fused 3-D sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssPoint3 {
+    /// Relative displacement (target − observer), metres.
+    pub disp: Vec3,
+    /// Filtered RSS, dBm.
+    pub rss: f64,
+}
+
+impl RssPoint3 {
+    /// Builds a point from an observer displacement (stationary target).
+    pub fn from_observer_displacement(disp: Vec3, rss: f64) -> RssPoint3 {
+        RssPoint3 {
+            disp: Vec3::new(-disp.x, -disp.y, -disp.z),
+            rss,
+        }
+    }
+}
+
+/// Result of the 3-D fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit3d {
+    /// Estimated target position in the local frame.
+    pub position: Vec3,
+    /// Recovered `Γ`, dBm.
+    pub gamma_dbm: f64,
+    /// Exponent the fit used.
+    pub exponent: f64,
+    /// RMS residual in dB.
+    pub residual_db: f64,
+}
+
+impl Fit3d {
+    /// Minimum samples for the 5-parameter fit.
+    pub const MIN_SAMPLES: usize = 8;
+
+    /// Minimum spread (metres) required along the *least-varied* axis of
+    /// the movement for the fit to be identifiable.
+    pub const MIN_AXIS_SPREAD: f64 = 0.3;
+
+    /// Solves the 3-D fit for a fixed exponent. Returns `None` for
+    /// degenerate (near-planar) movement or non-physical solutions.
+    pub fn solve(points: &[RssPoint3], exponent: f64) -> Option<Fit3d> {
+        if points.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+            return None;
+        }
+        // Identifiability: every axis of the relative movement must vary.
+        // (A full PCA is overkill for a guard; per-axis spread catches the
+        // planar-walk case the paper's L-movement produces.)
+        let spread = |f: fn(&Vec3) -> f64| {
+            let lo = points
+                .iter()
+                .map(|p| f(&p.disp))
+                .fold(f64::INFINITY, f64::min);
+            let hi = points
+                .iter()
+                .map(|p| f(&p.disp))
+                .fold(f64::NEG_INFINITY, f64::max);
+            hi - lo
+        };
+        if spread(|v| v.x).min(spread(|v| v.y)).min(spread(|v| v.z)) < Self::MIN_AXIS_SPREAD {
+            return None;
+        }
+
+        let raw_rho: Vec<f64> = points
+            .iter()
+            .map(|pt| 10f64.powf(-pt.rss / (5.0 * exponent)))
+            .collect();
+        let scale = raw_rho.iter().sum::<f64>() / raw_rho.len() as f64;
+        let rho: Vec<f64> = raw_rho.iter().map(|r| r / scale).collect();
+
+        let rows: Vec<Vec<f64>> = points
+            .iter()
+            .map(|pt| {
+                let d = pt.disp;
+                vec![d.x * d.x + d.y * d.y + d.z * d.z, d.x, d.y, d.z, 1.0]
+            })
+            .collect();
+        let theta = Matrix::from_rows(&rows).least_squares(&rho, 1e-9)?;
+        let (a, c, d, e) = (theta[0], theta[1], theta[2], theta[3]);
+        if a <= 1e-12 || !a.is_finite() {
+            return None;
+        }
+        let position = Vec3::new(c / (2.0 * a), d / (2.0 * a), e / (2.0 * a));
+        if !position.is_finite() {
+            return None;
+        }
+        let epsilon = 1.0 / (a * scale);
+        let gamma = 5.0 * exponent * epsilon.log10();
+
+        let residual_db = {
+            let sum: f64 = points
+                .iter()
+                .map(|pt| {
+                    let l = position
+                        .distance(Vec3::new(-pt.disp.x, -pt.disp.y, -pt.disp.z))
+                        .max(0.1);
+                    let pred = gamma - 10.0 * exponent * l.log10();
+                    (pt.rss - pred) * (pt.rss - pred)
+                })
+                .sum();
+            (sum / points.len() as f64).sqrt()
+        };
+        Some(Fit3d {
+            position,
+            gamma_dbm: gamma,
+            exponent,
+            residual_db,
+        })
+    }
+
+    /// Exponent search over the 3-D fit (coarse grid + golden-section),
+    /// mirroring [`crate::exponent::search_exponent`].
+    pub fn search(points: &[RssPoint3], min_n: f64, max_n: f64) -> Option<Fit3d> {
+        if !(min_n > 0.0 && max_n > min_n) {
+            return None;
+        }
+        let grid = 18;
+        let mut best: Option<Fit3d> = None;
+        let mut best_n = min_n;
+        for k in 0..grid {
+            let n = min_n + (max_n - min_n) * k as f64 / (grid - 1) as f64;
+            if let Some(f) = Fit3d::solve(points, n) {
+                if best.as_ref().is_none_or(|b| f.residual_db < b.residual_db) {
+                    best_n = n;
+                    best = Some(f);
+                }
+            }
+        }
+        let mut best = best?;
+        let step = (max_n - min_n) / (grid - 1) as f64;
+        let (mut lo, mut hi) = ((best_n - step).max(min_n), (best_n + step).min(max_n));
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        for _ in 0..16 {
+            let m1 = hi - phi * (hi - lo);
+            let m2 = lo + phi * (hi - lo);
+            let f1 = Fit3d::solve(points, m1);
+            let f2 = Fit3d::solve(points, m2);
+            let r = |f: &Option<Fit3d>| f.as_ref().map_or(f64::INFINITY, |x| x.residual_db);
+            if r(&f1) <= r(&f2) {
+                hi = m2;
+                if let Some(f) = f1 {
+                    if f.residual_db < best.residual_db {
+                        best = f;
+                    }
+                }
+            } else {
+                lo = m1;
+                if let Some(f) = f2 {
+                    if f.residual_db < best.residual_db {
+                        best = f;
+                    }
+                }
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-D "L with a lift": walk +x, turn to +y, then raise the phone
+    /// (the §9.3 movement modification).
+    fn walk_3d() -> Vec<Vec3> {
+        let mut path = Vec::new();
+        for i in 0..8 {
+            path.push(Vec3::new(i as f64 * 0.5, 0.0, 0.0));
+        }
+        for i in 1..8 {
+            path.push(Vec3::new(3.5, i as f64 * 0.4, 0.0));
+        }
+        for i in 1..5 {
+            path.push(Vec3::new(3.5, 2.8, i as f64 * 0.25));
+        }
+        path
+    }
+
+    fn synthetic(target: Vec3, gamma: f64, n: f64) -> Vec<RssPoint3> {
+        walk_3d()
+            .into_iter()
+            .map(|pos| {
+                let rss = gamma - 10.0 * n * target.distance(pos).log10();
+                RssPoint3::from_observer_displacement(pos, rss)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_3d_target_exactly() {
+        let target = Vec3::new(2.0, 4.0, 1.5);
+        let pts = synthetic(target, -59.0, 2.0);
+        let fit = Fit3d::solve(&pts, 2.0).expect("fit");
+        assert!(
+            fit.position.distance(target) < 1e-6,
+            "got {:?}",
+            fit.position
+        );
+        assert!((fit.gamma_dbm + 59.0).abs() < 1e-6);
+        assert!(fit.residual_db < 1e-6);
+    }
+
+    #[test]
+    fn search_recovers_exponent_too() {
+        let target = Vec3::new(-1.0, 3.0, 2.2);
+        let pts = synthetic(target, -62.0, 2.8);
+        let fit = Fit3d::search(&pts, 1.5, 4.5).expect("fit");
+        assert!((fit.exponent - 2.8).abs() < 0.05, "n {}", fit.exponent);
+        assert!(
+            fit.position.distance(target) < 0.05,
+            "got {:?}",
+            fit.position
+        );
+    }
+
+    #[test]
+    fn planar_walk_is_rejected() {
+        // A purely 2-D walk cannot determine z: the guard must refuse.
+        let target = Vec3::new(2.0, 4.0, 1.5);
+        let pts: Vec<RssPoint3> = walk_3d()
+            .into_iter()
+            .map(|mut pos| {
+                pos.z = 0.0;
+                let rss = -59.0 - 20.0 * target.distance(pos).log10();
+                RssPoint3::from_observer_displacement(pos, rss)
+            })
+            .collect();
+        assert!(Fit3d::solve(&pts, 2.0).is_none());
+    }
+
+    #[test]
+    fn negative_z_targets_work() {
+        // A beacon below the walking plane (e.g. under a table).
+        let target = Vec3::new(3.0, 2.0, -1.2);
+        let pts = synthetic(target, -59.0, 2.0);
+        let fit = Fit3d::solve(&pts, 2.0).expect("fit");
+        assert!(
+            fit.position.distance(target) < 1e-6,
+            "got {:?}",
+            fit.position
+        );
+    }
+
+    #[test]
+    fn noisy_3d_fit_stays_close() {
+        let target = Vec3::new(2.0, 3.0, 1.0);
+        let mut pts = synthetic(target, -59.0, 2.0);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.rss += if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let fit = Fit3d::solve(&pts, 2.0).expect("fit");
+        assert!(
+            fit.position.distance(target) < 1.2,
+            "noisy 3-D fit {:?}",
+            fit.position
+        );
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let target = Vec3::new(2.0, 3.0, 1.0);
+        let pts: Vec<RssPoint3> = synthetic(target, -59.0, 2.0).into_iter().take(5).collect();
+        assert!(Fit3d::solve(&pts, 2.0).is_none());
+    }
+}

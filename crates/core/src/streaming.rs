@@ -1,0 +1,250 @@
+//! Streaming (online) estimation — Algorithm 1 as the paper runs it.
+//!
+//! The batch API in [`crate::estimator`] fits a completed measurement;
+//! the app, however, works incrementally: "we collect a new data batch
+//! every 2–3 seconds with approximately 20 RSS samples per data batch"
+//! (§5.3), the estimate updates after every batch, and a confirmed
+//! environment change *restarts the regression* ("start a new regression
+//! with the data"). [`StreamingEstimator`] implements exactly that
+//! regime: it holds the RSS collected since the last environment
+//! restart, refits after each batch, and exposes the evolving estimate —
+//! which is also what the navigation display consumes while the user
+//! walks (Fig. 12b's improving-estimate behaviour).
+
+use crate::envaware::EnvChangeDetector;
+use crate::estimator::{Estimator, LocationEstimate};
+use locble_dsp::TimeSeries;
+use locble_geom::EnvClass;
+use locble_motion::MotionTrack;
+
+/// One RSS data batch (2–3 s of samples).
+#[derive(Debug, Clone, Default)]
+pub struct RssBatch {
+    /// Sample times, seconds.
+    pub t: Vec<f64>,
+    /// RSSI values, dBm.
+    pub v: Vec<f64>,
+}
+
+impl RssBatch {
+    /// Builds a batch from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn new(t: Vec<f64>, v: Vec<f64>) -> RssBatch {
+        assert_eq!(t.len(), v.len(), "batch vectors must match");
+        RssBatch { t, v }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+}
+
+/// The incremental Algorithm-1 driver.
+#[derive(Debug, Clone)]
+pub struct StreamingEstimator {
+    estimator: Estimator,
+    detector: EnvChangeDetector,
+    /// RSS accumulated since the last regression restart.
+    series: TimeSeries,
+    /// Number of restarts so far (for diagnostics).
+    restarts: usize,
+    /// The latest estimate, if any.
+    current: Option<LocationEstimate>,
+}
+
+impl StreamingEstimator {
+    /// Wraps a (possibly EnvAware-equipped) estimator.
+    pub fn new(estimator: Estimator) -> StreamingEstimator {
+        // Restarting throws data away, so the online rule demands at
+        // least two consecutive windows before declaring a change even if
+        // the batch estimator is configured more aggressively.
+        let confirm = estimator.config().env_confirm_windows.max(2);
+        StreamingEstimator {
+            estimator,
+            detector: EnvChangeDetector::new(confirm),
+            series: TimeSeries::default(),
+            restarts: 0,
+            current: None,
+        }
+    }
+
+    /// The latest estimate.
+    pub fn current(&self) -> Option<&LocationEstimate> {
+        self.current.as_ref()
+    }
+
+    /// Samples in the active regression.
+    pub fn active_samples(&self) -> usize {
+        self.series.len()
+    }
+
+    /// How many times the regression has been restarted by environment
+    /// changes.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// Classifies a batch's environment (when EnvAware is attached) and
+    /// applies the restart rule: a *confirmed* change discards the
+    /// accumulated data and starts fresh from this batch.
+    fn apply_restart_rule(&mut self, batch: &RssBatch) {
+        let Some(class) = self.classify(batch) else {
+            return;
+        };
+        let had_regime = self.detector.current().is_some();
+        if self.detector.push(class).is_some() && had_regime {
+            // Paper: "start a new regression with the data".
+            self.series = TimeSeries::default();
+            self.restarts += 1;
+        }
+    }
+
+    fn classify(&self, batch: &RssBatch) -> Option<EnvClass> {
+        if !self.estimator.config().use_envaware || batch.len() < 3 {
+            return None;
+        }
+        self.estimator
+            .envaware_model()
+            .map(|model| model.classify_window(&batch.v))
+    }
+
+    /// Feeds one batch and the observer's motion track so far; returns
+    /// the refreshed estimate when enough data has accumulated.
+    ///
+    /// # Panics
+    /// Panics when the batch's timestamps precede already-consumed data.
+    pub fn push_batch(
+        &mut self,
+        batch: &RssBatch,
+        observer: &MotionTrack,
+    ) -> Option<&LocationEstimate> {
+        if batch.is_empty() {
+            return self.current.as_ref();
+        }
+        self.apply_restart_rule(batch);
+        for (&t, &v) in batch.t.iter().zip(&batch.v) {
+            self.series.push(t, v);
+        }
+        if let Some(est) = self.estimator.estimate_stationary(&self.series, observer) {
+            self.current = Some(est);
+        }
+        self.current.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorConfig;
+    use locble_geom::{Trajectory, Vec2};
+    use locble_motion::StepResult;
+    use locble_rf::LogDistanceModel;
+
+    /// An L-walk sliced into 2.2 s batches with a motion track that grows
+    /// alongside.
+    fn batches(target: Vec2, noise: impl Fn(usize) -> f64) -> (Vec<RssBatch>, MotionTrack) {
+        let model = LogDistanceModel::new(-59.0, 2.0);
+        let dt = 0.11;
+        let mut traj = Trajectory::new();
+        let mut all = Vec::new();
+        let mut pos = Vec2::ZERO;
+        for i in 0..70usize {
+            let t = i as f64 * dt;
+            traj.push(t, pos);
+            all.push((t, model.rss_at(target.distance(pos)) + noise(i)));
+            if i < 40 {
+                pos.x += dt;
+            } else {
+                pos.y += dt;
+            }
+        }
+        let track = MotionTrack {
+            trajectory: traj,
+            steps: StepResult {
+                step_times: vec![],
+                frequency_hz: 1.8,
+                step_length_m: 0.75,
+                distance_m: 7.7,
+            },
+            turns: vec![],
+        };
+        let batches = all
+            .chunks(20)
+            .map(|c| {
+                RssBatch::new(
+                    c.iter().map(|(t, _)| *t).collect(),
+                    c.iter().map(|(_, v)| *v).collect(),
+                )
+            })
+            .collect();
+        (batches, track)
+    }
+
+    #[test]
+    fn estimate_refines_as_batches_arrive() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let mut streaming = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        let mut errors = Vec::new();
+        for b in &batches {
+            if let Some(est) = streaming.push_batch(b, &track) {
+                errors.push(est.position.distance(target));
+            }
+        }
+        assert!(errors.len() >= 3, "estimates from {} batches", errors.len());
+        // The final estimate (full L) must beat the first (single leg).
+        assert!(
+            errors.last().unwrap() < errors.first().unwrap(),
+            "errors did not refine: {errors:?}"
+        );
+        assert!(
+            errors.last().unwrap() < &1.0,
+            "final error {:?}",
+            errors.last()
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_harmless() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |_| 0.0);
+        let mut streaming = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        assert!(streaming.push_batch(&RssBatch::default(), &track).is_none());
+        streaming.push_batch(&batches[0], &track);
+        let before = streaming.current().copied();
+        streaming.push_batch(&RssBatch::default(), &track);
+        assert_eq!(streaming.current().copied(), before);
+    }
+
+    #[test]
+    fn active_window_grows_without_env_changes() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |_| 0.0);
+        let mut streaming = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        let mut last = 0;
+        for b in &batches {
+            streaming.push_batch(b, &track);
+            assert!(streaming.active_samples() > last);
+            last = streaming.active_samples();
+        }
+        assert_eq!(streaming.restarts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_travel_between_batches() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |_| 0.0);
+        let mut streaming = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        streaming.push_batch(&batches[1], &track);
+        streaming.push_batch(&batches[0], &track);
+    }
+}

@@ -1,0 +1,57 @@
+//! Differencing and signal normalization helpers for DTW preprocessing.
+//!
+//! Paper §6.1: "our BLE signal processing algorithm filters out
+//! high-frequency noises, and then **differentiates the RSS sequences to
+//! avoid using absolute values**" — different receivers have different RSS
+//! offsets (paper Fig. 2), so clustering compares trends, not levels.
+
+/// First difference: `out[i] = x[i+1] − x[i]`. Output is one shorter than
+/// the input; empty/one-element inputs give an empty output.
+pub fn first_difference(x: &[f64]) -> Vec<f64> {
+    if x.len() < 2 {
+        return Vec::new();
+    }
+    x.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Removes the mean of a signal (an alternative offset-invariance
+/// transform, used in ablations against differencing).
+pub fn remove_mean(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    x.iter().map(|v| v - mean).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_of_ramp_is_constant() {
+        let x = [0.0, 2.0, 4.0, 6.0];
+        assert_eq!(first_difference(&x), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn difference_is_offset_invariant() {
+        let x = [1.0, 3.0, 2.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| v - 17.0).collect();
+        assert_eq!(first_difference(&x), first_difference(&y));
+    }
+
+    #[test]
+    fn short_inputs_give_empty_output() {
+        assert!(first_difference(&[]).is_empty());
+        assert!(first_difference(&[1.0]).is_empty());
+    }
+
+    #[test]
+    fn remove_mean_centers_signal() {
+        let out = remove_mean(&[-72.0, -70.0, -68.0]);
+        assert!((out.iter().sum::<f64>()).abs() < 1e-12);
+        assert_eq!(out, vec![-2.0, 0.0, 2.0]);
+        assert!(remove_mean(&[]).is_empty());
+    }
+}

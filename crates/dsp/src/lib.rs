@@ -1,0 +1,43 @@
+//! Signal-processing substrate for the LocBLE reproduction.
+//!
+//! Paper components implemented here:
+//!
+//! * **Butterworth low-pass filter** (§4.2) — LocBLE's BF stage is a
+//!   6th-order Butterworth; [`butterworth`] designs arbitrary-order
+//!   low-pass cascades of biquad sections via the bilinear transform.
+//! * **Adaptive Kalman filter** (§4.2) — [`kalman`] provides the scalar
+//!   Kalman filter and the AKF that fuses raw RSS with the (smooth but
+//!   delayed) Butterworth output to restore responsiveness.
+//! * **Dynamic time warping** (§6.1) — [`dtw`] computes DTW similarity with
+//!   a Sakoe-Chiba warping window, exposes the cost matrix (paper
+//!   Fig. 9c/d), and implements the LB_Keogh-style envelope lower bound the
+//!   paper uses to pre-filter segments ~100× faster than full DTW.
+//! * **Window statistics** (§4.1) — [`stats`] computes the 9 EnvAware
+//!   features (mean, variance, skewness, min, Q1, median, Q3, max) over
+//!   short RSS windows.
+//! * **Moving average + peak voting** (§5.2.1) — [`moving_average`] and
+//!   [`peaks`] underpin the step counter.
+//! * **Resampling** (§7.6.1) — [`resample`] re-times RSS series to lower
+//!   sampling frequencies for the Fig. 13a sweep.
+
+#![warn(missing_docs)]
+
+pub mod butterworth;
+pub mod diff;
+pub mod dtw;
+pub mod kalman;
+pub mod metrics;
+pub mod moving_average;
+pub mod peaks;
+pub mod resample;
+pub mod stats;
+
+pub use butterworth::{Biquad, Butterworth, SosFilter};
+pub use diff::{first_difference, remove_mean};
+pub use dtw::{dtw_cost_matrix, dtw_distance, dtw_distance_windowed, lb_keogh, Envelope};
+pub use kalman::{AdaptiveKalman, ScalarKalman};
+pub use metrics::{mae, max_abs_error, rmse};
+pub use moving_average::{moving_average_causal, moving_average_centered, MovingAverage};
+pub use peaks::{detect_peaks, PeakConfig};
+pub use resample::{decimate_by_rate, resample_uniform, TimeSeries};
+pub use stats::{quantile, skewness, standardize, window_features, WindowStats, FEATURE_DIM};

@@ -1,0 +1,75 @@
+//! Error metrics shared by tests and the experiment harness.
+
+/// Root-mean-square error between two equal-length slices.
+///
+/// # Panics
+/// Panics when lengths differ or the slices are empty.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal lengths");
+    assert!(!a.is_empty(), "rmse of empty slices");
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Mean absolute error between two equal-length slices.
+///
+/// # Panics
+/// Panics when lengths differ or the slices are empty.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mae requires equal lengths");
+    assert!(!a.is_empty(), "mae of empty slices");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+/// Maximum absolute error between two equal-length slices.
+///
+/// # Panics
+/// Panics when lengths differ or the slices are empty.
+pub fn max_abs_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_error requires equal lengths");
+    assert!(!a.is_empty(), "max_abs_error of empty slices");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_have_zero_error() {
+        let a = [1.0, -2.0, 3.5];
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(mae(&a, &a), 0.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let a = [0.0, 0.0, 0.0, 0.0];
+        let b = [1.0, -1.0, 1.0, -1.0];
+        assert!((rmse(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((mae(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((max_abs_error(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [3.0, 0.0, 0.0, 0.0];
+        assert!((rmse(&a, &c) - 1.5).abs() < 1e-12);
+        assert!((mae(&a, &c) - 0.75).abs() < 1e-12);
+        assert!((max_abs_error(&a, &c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_inequalities() {
+        let a = [0.0; 5];
+        let b = [0.5, -2.0, 1.0, 0.1, -0.7];
+        assert!(mae(&a, &b) <= rmse(&a, &b) + 1e-12);
+        assert!(rmse(&a, &b) <= max_abs_error(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_rejected() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

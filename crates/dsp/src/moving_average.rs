@@ -1,0 +1,146 @@
+//! Moving-average smoothing.
+//!
+//! The step counter (paper §5.2.1) "first smoothes the accelerometer data
+//! by using the moving average filter" before peak voting. Both a causal
+//! streaming form and a centered batch form are provided.
+
+use std::collections::VecDeque;
+
+/// Streaming causal moving average over the last `window` samples.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates an averager over `window` samples.
+    ///
+    /// # Panics
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverage {
+            window,
+            buf: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a sample and returns the average of the samples seen so far
+    /// (up to `window` of them).
+    pub fn step(&mut self, x: f64) -> f64 {
+        self.buf.push_back(x);
+        self.sum += x;
+        if self.buf.len() > self.window {
+            self.sum -= self.buf.pop_front().expect("non-empty buffer");
+        }
+        self.sum / self.buf.len() as f64
+    }
+
+    /// Clears the averager.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Causal moving average of a whole signal (each output uses only past and
+/// current samples).
+pub fn moving_average_causal(signal: &[f64], window: usize) -> Vec<f64> {
+    let mut ma = MovingAverage::new(window);
+    signal.iter().map(|&x| ma.step(x)).collect()
+}
+
+/// Centered moving average: output `i` averages samples in
+/// `[i − half, i + half]` clipped to the signal bounds. Preserves peak
+/// positions (no phase shift), which is what the step detector wants.
+pub fn moving_average_centered(signal: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    let half = window / 2;
+    let n = signal.len();
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums for O(n) averaging.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &x in signal {
+        prefix.push(prefix.last().expect("non-empty prefix") + x);
+    }
+    for i in 0..n {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_average_of_constant() {
+        let out = moving_average_causal(&[2.0; 10], 4);
+        assert!(out.iter().all(|&y| (y - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn causal_warmup_uses_available_samples() {
+        let out = moving_average_causal(&[1.0, 3.0, 5.0, 7.0], 3);
+        assert!((out[0] - 1.0).abs() < 1e-12);
+        assert!((out[1] - 2.0).abs() < 1e-12);
+        assert!((out[2] - 3.0).abs() < 1e-12);
+        assert!((out[3] - 5.0).abs() < 1e-12); // (3+5+7)/3
+    }
+
+    #[test]
+    fn centered_preserves_symmetric_peak_position() {
+        let signal = [0.0, 1.0, 2.0, 5.0, 2.0, 1.0, 0.0];
+        let out = moving_average_centered(&signal, 3);
+        let argmax = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        assert_eq!(argmax, 3);
+    }
+
+    #[test]
+    fn centered_window_one_is_identity() {
+        let signal = [3.0, -1.0, 4.0, 1.0];
+        assert_eq!(moving_average_centered(&signal, 1), signal.to_vec());
+    }
+
+    #[test]
+    fn centered_edges_clip() {
+        let out = moving_average_centered(&[1.0, 2.0, 3.0], 3);
+        assert!((out[0] - 1.5).abs() < 1e-12); // avg(1,2)
+        assert!((out[1] - 2.0).abs() < 1e-12); // avg(1,2,3)
+        assert!((out[2] - 2.5).abs() < 1e-12); // avg(2,3)
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let sig: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin()).collect();
+        let batch = moving_average_causal(&sig, 5);
+        let mut ma = MovingAverage::new(5);
+        let streamed: Vec<f64> = sig.iter().map(|&x| ma.step(x)).collect();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ma = MovingAverage::new(3);
+        ma.step(100.0);
+        ma.reset();
+        assert!((ma.step(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        MovingAverage::new(0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Peak detection with a voting rule.
+//!
+//! Paper §5.2.1: the step counter smooths accelerometer data, "then uses a
+//! voting algorithm to detect the peak, which represents the middle status
+//! of one gait cycle". A candidate sample is elected a peak only when a
+//! majority of its neighbors within a vote window are below it, it clears
+//! an absolute threshold, and it is separated from the previous accepted
+//! peak by a minimum distance (a refractory period, since a human cannot
+//! step twice within ~250 ms).
+
+/// Configuration for [`detect_peaks`].
+#[derive(Debug, Clone, Copy)]
+pub struct PeakConfig {
+    /// Minimum value a sample must reach to be considered.
+    pub min_height: f64,
+    /// Minimum distance in samples between accepted peaks.
+    pub min_distance: usize,
+    /// Half-width of the neighborhood that votes on each candidate.
+    pub vote_radius: usize,
+    /// Fraction of voting neighbors that must lie below the candidate
+    /// (e.g. 0.8 = 80 % of neighbors strictly lower).
+    pub vote_fraction: f64,
+}
+
+impl Default for PeakConfig {
+    fn default() -> Self {
+        PeakConfig {
+            min_height: 0.0,
+            min_distance: 1,
+            vote_radius: 2,
+            vote_fraction: 0.75,
+        }
+    }
+}
+
+/// Detects peak indices in `signal` according to `config`.
+///
+/// Candidates must be local maxima of their immediate neighbors, win the
+/// neighborhood vote, clear `min_height`, and respect `min_distance` from
+/// the previously accepted peak. When two candidates are closer than
+/// `min_distance`, the earlier (already accepted) one wins — matching the
+/// streaming behaviour of a real-time step counter.
+pub fn detect_peaks(signal: &[f64], config: &PeakConfig) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&config.vote_fraction),
+        "vote_fraction must be in [0,1]"
+    );
+    let n = signal.len();
+    let mut peaks = Vec::new();
+    if n < 3 {
+        return peaks;
+    }
+    for i in 1..n - 1 {
+        let x = signal[i];
+        if x < config.min_height {
+            continue;
+        }
+        // Immediate local maximum (plateaus resolved to their left edge).
+        if !(x > signal[i - 1] && x >= signal[i + 1]) {
+            continue;
+        }
+        // Neighborhood vote.
+        let lo = i.saturating_sub(config.vote_radius);
+        let hi = (i + config.vote_radius + 1).min(n);
+        let neighbors = (hi - lo - 1) as f64;
+        if neighbors > 0.0 {
+            let below = (lo..hi).filter(|&j| j != i && signal[j] < x).count() as f64;
+            if below / neighbors < config.vote_fraction {
+                continue;
+            }
+        }
+        // Refractory distance from the last accepted peak.
+        if let Some(&last) = peaks.last() {
+            if i - last < config.min_distance {
+                continue;
+            }
+        }
+        peaks.push(i);
+    }
+    peaks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_peaks(freq: f64, fs: f64, seconds: f64) -> Vec<f64> {
+        let n = (fs * seconds) as usize;
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn counts_sine_cycles() {
+        // 2 Hz "gait" at 50 Hz for 5 s → 10 cycles → 10 peaks.
+        let signal = sine_peaks(2.0, 50.0, 5.0);
+        let peaks = detect_peaks(
+            &signal,
+            &PeakConfig {
+                min_height: 0.5,
+                min_distance: 15,
+                ..Default::default()
+            },
+        );
+        assert_eq!(peaks.len(), 10);
+    }
+
+    #[test]
+    fn min_height_suppresses_small_bumps() {
+        let signal = [0.0, 0.2, 0.0, 0.9, 0.0, 0.1, 0.0];
+        let peaks = detect_peaks(
+            &signal,
+            &PeakConfig {
+                min_height: 0.5,
+                min_distance: 1,
+                vote_radius: 1,
+                vote_fraction: 0.5,
+            },
+        );
+        assert_eq!(peaks, vec![3]);
+    }
+
+    #[test]
+    fn min_distance_enforces_refractory_period() {
+        // Two sharp peaks 2 samples apart; only the first should survive a
+        // min_distance of 5.
+        let signal = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let peaks = detect_peaks(
+            &signal,
+            &PeakConfig {
+                min_height: 0.5,
+                min_distance: 5,
+                vote_radius: 1,
+                vote_fraction: 0.5,
+            },
+        );
+        assert_eq!(peaks, vec![1]);
+    }
+
+    #[test]
+    fn vote_rejects_peaks_in_noisy_plateau() {
+        // Sample 3 is a local max but half its extended neighborhood is
+        // not below it → fails a strict 1.0 vote.
+        let signal = [0.9, 0.95, 0.9, 1.0, 0.9, 0.98, 0.9];
+        let strict = detect_peaks(
+            &signal,
+            &PeakConfig {
+                min_height: 0.0,
+                min_distance: 1,
+                vote_radius: 3,
+                vote_fraction: 1.0,
+            },
+        );
+        assert_eq!(strict, vec![3]); // all neighbors ARE below 1.0 here
+                                     // Make a neighbor equal-height so the strict vote fails.
+        let tie = [0.9, 1.0, 0.9, 1.0, 0.9, 0.5, 0.4];
+        let peaks = detect_peaks(
+            &tie,
+            &PeakConfig {
+                min_height: 0.0,
+                min_distance: 1,
+                vote_radius: 3,
+                vote_fraction: 1.0,
+            },
+        );
+        // Neither 1 nor 3 has *all* neighbors strictly below (they tie).
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn short_signals_have_no_peaks() {
+        assert!(detect_peaks(&[], &PeakConfig::default()).is_empty());
+        assert!(detect_peaks(&[1.0], &PeakConfig::default()).is_empty());
+        assert!(detect_peaks(&[1.0, 2.0], &PeakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn endpoint_maxima_are_not_peaks() {
+        let signal = [5.0, 1.0, 0.5, 1.0, 6.0];
+        let peaks = detect_peaks(
+            &signal,
+            &PeakConfig {
+                min_height: 0.0,
+                min_distance: 1,
+                vote_radius: 1,
+                vote_fraction: 0.5,
+            },
+        );
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn plateau_resolves_to_left_edge() {
+        let signal = [0.0, 1.0, 1.0, 0.0];
+        let peaks = detect_peaks(
+            &signal,
+            &PeakConfig {
+                min_height: 0.0,
+                min_distance: 1,
+                vote_radius: 1,
+                vote_fraction: 0.5,
+            },
+        );
+        assert_eq!(peaks, vec![1]);
+    }
+}

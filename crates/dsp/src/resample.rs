@@ -1,0 +1,217 @@
+//! Time-series resampling.
+//!
+//! Two uses in the reproduction:
+//!
+//! * LocBLE matches RSS batches to motion data by timestamp (Algorithm 1),
+//!   which needs interpolation onto a common clock;
+//! * the Fig. 13a experiment re-samples 9 Hz traces down to 8 / 6.5 /
+//!   5.5 Hz "by inserting an idle delay between two consecutive scans"
+//!   (paper §7.6.1) — i.e. by *dropping* samples, not by interpolating,
+//!   which [`decimate_by_rate`] reproduces.
+
+/// A timestamped scalar series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries {
+    /// Sample times in seconds, non-decreasing.
+    pub t: Vec<f64>,
+    /// Sample values.
+    pub v: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from parallel vectors.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or timestamps decrease.
+    pub fn new(t: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(t.len(), v.len(), "time and value vectors must match");
+        for w in t.windows(2) {
+            assert!(w[1] >= w[0], "timestamps must be non-decreasing");
+        }
+        TimeSeries { t, v }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// `true` when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Pushes one sample.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last timestamp.
+    pub fn push(&mut self, t: f64, v: f64) {
+        if let Some(&last) = self.t.last() {
+            assert!(t >= last, "timestamps must be non-decreasing");
+        }
+        self.t.push(t);
+        self.v.push(v);
+    }
+
+    /// Value at time `t` by linear interpolation, clamped at the ends.
+    /// `None` on an empty series.
+    pub fn sample(&self, t: f64) -> Option<f64> {
+        if self.t.is_empty() {
+            return None;
+        }
+        let n = self.t.len();
+        if t <= self.t[0] {
+            return Some(self.v[0]);
+        }
+        if t >= self.t[n - 1] {
+            return Some(self.v[n - 1]);
+        }
+        let idx = self.t.partition_point(|&x| x <= t);
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        let dt = t1 - t0;
+        if dt <= 0.0 {
+            return Some(v1);
+        }
+        Some(v0 + (v1 - v0) * (t - t0) / dt)
+    }
+
+    /// Mean sample rate in Hz (0 for < 2 samples).
+    pub fn mean_rate(&self) -> f64 {
+        if self.t.len() < 2 {
+            return 0.0;
+        }
+        let span = self.t[self.t.len() - 1] - self.t[0];
+        if span <= 0.0 {
+            0.0
+        } else {
+            (self.t.len() - 1) as f64 / span
+        }
+    }
+}
+
+/// Resamples a series onto a uniform grid at `rate_hz`, covering its time
+/// span, via linear interpolation.
+pub fn resample_uniform(series: &TimeSeries, rate_hz: f64) -> TimeSeries {
+    assert!(rate_hz > 0.0, "rate must be positive");
+    let mut out = TimeSeries::default();
+    if series.is_empty() {
+        return out;
+    }
+    let (start, end) = (series.t[0], series.t[series.t.len() - 1]);
+    let dt = 1.0 / rate_hz;
+    let mut t = start;
+    while t <= end + 1e-9 {
+        let tt = t.min(end);
+        out.push(tt, series.sample(tt).expect("non-empty series"));
+        t += dt;
+    }
+    out
+}
+
+/// Decimates a series to approximately `target_hz` by *dropping* samples —
+/// emulating the paper's "idle delay between two consecutive scans". Keeps
+/// each sample whose timestamp first crosses the next target tick. Returns
+/// the input unchanged when it is already at or below the target rate.
+pub fn decimate_by_rate(series: &TimeSeries, target_hz: f64) -> TimeSeries {
+    assert!(target_hz > 0.0, "rate must be positive");
+    if series.is_empty() || series.mean_rate() <= target_hz {
+        return series.clone();
+    }
+    let period = 1.0 / target_hz;
+    let mut out = TimeSeries::default();
+    let mut next_tick = series.t[0];
+    for (&t, &v) in series.t.iter().zip(&series.v) {
+        if t + 1e-12 >= next_tick {
+            out.push(t, v);
+            // Advance from the scheduled tick (not the kept sample) so the
+            // average output rate tracks the target instead of drifting.
+            while next_tick <= t + 1e-12 {
+                next_tick += period;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, dt: f64) -> TimeSeries {
+        let t: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let v: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        TimeSeries::new(t, v)
+    }
+
+    #[test]
+    fn sample_interpolates_and_clamps() {
+        let s = ramp(5, 1.0); // v(t) = t
+        assert_eq!(s.sample(2.5), Some(2.5));
+        assert_eq!(s.sample(-1.0), Some(0.0));
+        assert_eq!(s.sample(99.0), Some(4.0));
+        assert_eq!(TimeSeries::default().sample(0.0), None);
+    }
+
+    #[test]
+    fn mean_rate_of_uniform_series() {
+        let s = ramp(11, 0.1); // 10 Hz
+        assert!((s.mean_rate() - 10.0).abs() < 1e-9);
+        assert_eq!(TimeSeries::default().mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_linear_signal() {
+        let s = ramp(11, 0.1);
+        let r = resample_uniform(&s, 25.0);
+        for (&t, &v) in r.t.iter().zip(&r.v) {
+            assert!((v - t * 10.0).abs() < 1e-9, "v({t}) = {v}");
+        }
+        assert!((r.mean_rate() - 25.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn decimate_halves_rate() {
+        let s = ramp(101, 0.1); // 10 Hz, 10 s
+        let d = decimate_by_rate(&s, 5.0);
+        assert!((d.mean_rate() - 5.0).abs() < 0.3, "rate {}", d.mean_rate());
+        // Decimation keeps original samples (no interpolation).
+        for (&t, &v) in d.t.iter().zip(&d.v) {
+            assert!((v - t * 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decimate_to_higher_rate_is_identity() {
+        let s = ramp(20, 0.1);
+        let d = decimate_by_rate(&s, 50.0);
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn decimate_9_to_5_5_hz_paper_sweep() {
+        // The Fig. 13a sweep: 9 Hz → 5.5 Hz.
+        let n = 90;
+        let t: Vec<f64> = (0..n).map(|i| i as f64 / 9.0).collect();
+        let v = vec![-70.0; n];
+        let s = TimeSeries::new(t, v);
+        let d = decimate_by_rate(&s, 5.5);
+        assert!(
+            (d.mean_rate() - 5.5).abs() < 0.8,
+            "decimated rate {}",
+            d.mean_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn new_rejects_unsorted_times() {
+        TimeSeries::new(vec![0.0, 1.0, 0.5], vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn new_rejects_mismatched_lengths() {
+        TimeSeries::new(vec![0.0, 1.0], vec![0.0; 3]);
+    }
+}

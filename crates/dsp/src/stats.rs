@@ -1,0 +1,232 @@
+//! Window statistics — the EnvAware feature set.
+//!
+//! Paper §4.1: "our feature vector \[is\] comprised by the statistics of a
+//! new time window vector V: mean, variance, skewness. Beside these
+//! statistics, we also use 5 values directly from V: minimum, first
+//! quartile, median, third quartile, and max value. Finally, our feature
+//! vector is composed of the standardized 9 values described above."
+
+/// Dimensionality of the EnvAware feature vector.
+pub const FEATURE_DIM: usize = 9;
+
+/// Summary statistics of one RSS window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Skewness (third standardized moment; 0 for symmetric data).
+    pub skewness: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl WindowStats {
+    /// Computes all statistics for a window.
+    ///
+    /// # Panics
+    /// Panics on an empty window.
+    pub fn compute(window: &[f64]) -> WindowStats {
+        assert!(
+            !window.is_empty(),
+            "cannot compute statistics of an empty window"
+        );
+        let n = window.len() as f64;
+        let mean = window.iter().sum::<f64>() / n;
+        let variance = window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let skew = skewness(window);
+
+        let mut sorted = window.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in window"));
+        WindowStats {
+            mean,
+            variance,
+            skewness: skew,
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Returns the statistics as the 9-element feature vector: the three
+    /// moments (mean, variance, skewness) and five order statistics
+    /// (min, Q1, median, Q3, max) the paper enumerates, completed to nine
+    /// values with the window range (max − min) — the paper's own list
+    /// names eight concrete values for its "9 standardized values", so
+    /// the range is the natural spread feature closing the gap.
+    pub fn feature_vector(&self) -> [f64; FEATURE_DIM] {
+        [
+            self.mean,
+            self.variance,
+            self.skewness,
+            self.min,
+            self.q1,
+            self.median,
+            self.q3,
+            self.max,
+            self.max - self.min,
+        ]
+    }
+}
+
+/// Computes the skewness (third standardized moment) of a slice. Returns
+/// 0 for constant or near-constant windows and for windows shorter than 3.
+pub fn skewness(values: &[f64]) -> f64 {
+    if values.len() < 3 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let m2 = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let m3 = values.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+    if m2 < 1e-18 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Quantile with linear interpolation, `q` in `[0, 1]`.
+///
+/// # Panics
+/// Panics on an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in values"));
+    quantile_sorted(&sorted, q)
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Standardizes values in place to zero mean and unit variance. Constant
+/// slices map to all zeros.
+pub fn standardize(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    for v in values.iter_mut() {
+        *v = if sd < 1e-12 { 0.0 } else { (*v - mean) / sd };
+    }
+}
+
+/// Computes the raw (un-standardized) 9-feature vector for an RSS window.
+/// Standardization happens at the classifier with statistics learned on
+/// the training set (see `locble-ml`'s scaler).
+pub fn window_features(window: &[f64]) -> [f64; FEATURE_DIM] {
+    WindowStats::compute(window).feature_vector()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_window() {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = WindowStats::compute(&w);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.variance - 2.0).abs() < 1e-12);
+        assert!(s.skewness.abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert!((s.q1 - 2.0).abs() < 1e-12);
+        assert!((s.q3 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&v, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&v, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_sign_matches_tail() {
+        // Right-tailed data has positive skew.
+        let right = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&right) > 0.5);
+        let left = [10.0, 10.0, 10.0, 10.0, 1.0];
+        assert!(skewness(&left) < -0.5);
+        assert_eq!(skewness(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(skewness(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn standardize_zero_mean_unit_var() {
+        let mut v = vec![-80.0, -75.0, -70.0, -65.0, -60.0];
+        standardize(&mut v);
+        let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+        let var: f64 = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_is_zeros() {
+        let mut v = vec![-70.0; 8];
+        standardize(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn feature_vector_dimension() {
+        let f = window_features(&[-70.0, -71.5, -69.0, -70.2, -72.0]);
+        assert_eq!(f.len(), FEATURE_DIM);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn single_element_window() {
+        let s = WindowStats::compute(&[-70.0]);
+        assert_eq!(s.mean, -70.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, -70.0);
+        assert_eq!(s.q1, -70.0);
+        assert_eq!(s.max, -70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_window_panics() {
+        WindowStats::compute(&[]);
+    }
+}

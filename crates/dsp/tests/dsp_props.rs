@@ -1,0 +1,96 @@
+//! Property tests for the DSP substrate: stability, boundedness, and
+//! structural invariants of the filters and detectors.
+
+use locble_dsp::{
+    decimate_by_rate, detect_peaks, moving_average_causal, moving_average_centered, quantile,
+    resample_uniform, Butterworth, PeakConfig, ScalarKalman, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn signal(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..0.0f64, len)
+}
+
+proptest! {
+    /// The Butterworth cascade is BIBO stable: bounded input gives
+    /// bounded output (with a modest transient margin).
+    #[test]
+    fn butterworth_is_stable(sig in signal(10..300), order in 1usize..8) {
+        let mut f = Butterworth { order, cutoff_hz: 1.0, fs: 10.0 }.design();
+        let out = f.filter(&sig);
+        let in_max = sig.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        for &y in &out {
+            prop_assert!(y.is_finite());
+            prop_assert!(y.abs() <= in_max * 3.0 + 1.0, "output {y} vs input max {in_max}");
+        }
+    }
+
+    /// Moving averages stay within the input envelope.
+    #[test]
+    fn moving_average_bounded(sig in signal(1..100), window in 1usize..20) {
+        let lo = sig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for out in [moving_average_causal(&sig, window), moving_average_centered(&sig, window)] {
+            prop_assert_eq!(out.len(), sig.len());
+            for &y in &out {
+                prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// The scalar Kalman filter's output stays within the measurement
+    /// envelope for a random-walk model.
+    #[test]
+    fn kalman_bounded(sig in signal(1..200), q in 1e-4..1.0f64, r in 0.01..10.0f64) {
+        let mut kf = ScalarKalman::new(q, r);
+        let out = kf.filter(&sig);
+        let lo = sig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &y in &out {
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+    }
+
+    /// Peak detection respects the refractory distance and never returns
+    /// more peaks than samples / min_distance.
+    #[test]
+    fn peaks_respect_min_distance(sig in signal(3..200), dist in 1usize..20) {
+        let cfg = PeakConfig { min_distance: dist, min_height: -150.0, ..Default::default() };
+        let peaks = detect_peaks(&sig, &cfg);
+        for w in peaks.windows(2) {
+            prop_assert!(w[1] - w[0] >= dist);
+        }
+        prop_assert!(peaks.len() <= sig.len() / dist + 1);
+    }
+
+    /// Quantiles are bounded by the extremes and monotone in q.
+    #[test]
+    fn quantiles_monotone(sig in signal(1..60)) {
+        let lo = sig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut prev = lo;
+        for k in 0..=10 {
+            let q = quantile(&sig, k as f64 / 10.0);
+            prop_assert!(q >= prev - 1e-9);
+            prop_assert!(q >= lo - 1e-9 && q <= hi + 1e-9);
+            prev = q;
+        }
+    }
+
+    /// Resampling and decimation preserve time order and value bounds.
+    #[test]
+    fn resample_structural(values in signal(2..80), rate in 1.0..30.0f64) {
+        let t: Vec<f64> = (0..values.len()).map(|i| i as f64 * 0.111).collect();
+        let series = TimeSeries::new(t, values.clone());
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for out in [resample_uniform(&series, rate), decimate_by_rate(&series, rate)] {
+            for w in out.t.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+            for &v in &out.v {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

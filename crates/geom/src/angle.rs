@@ -1,0 +1,119 @@
+//! Angle helpers and degree/radian newtypes.
+//!
+//! The motion tracker (paper §5.2.2) measures turning angles by comparing
+//! magnetic headings, which requires care around the ±180° wrap. These
+//! helpers centralize wrap-safe angle arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// An angle in radians. Thin wrapper to keep unit mistakes out of APIs.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Radians(pub f64);
+
+/// An angle in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Degrees(pub f64);
+
+impl Radians {
+    /// Converts to degrees.
+    pub fn to_degrees(self) -> Degrees {
+        Degrees(self.0.to_degrees())
+    }
+
+    /// Wraps into `(-π, π]`.
+    pub fn normalized(self) -> Radians {
+        Radians(normalize_angle(self.0))
+    }
+}
+
+impl Degrees {
+    /// Converts to radians.
+    pub fn to_radians(self) -> Radians {
+        Radians(self.0.to_radians())
+    }
+
+    /// Wraps into `(-180, 180]`.
+    pub fn normalized(self) -> Degrees {
+        Degrees(normalize_angle(self.0.to_radians()).to_degrees())
+    }
+}
+
+impl From<Degrees> for Radians {
+    fn from(d: Degrees) -> Self {
+        d.to_radians()
+    }
+}
+
+impl From<Radians> for Degrees {
+    fn from(r: Radians) -> Self {
+        r.to_degrees()
+    }
+}
+
+/// Wraps an angle in radians into `(-π, π]`.
+pub fn normalize_angle(a: f64) -> f64 {
+    if !a.is_finite() {
+        return a;
+    }
+    let two_pi = 2.0 * PI;
+    let mut r = a % two_pi;
+    if r <= -PI {
+        r += two_pi;
+    } else if r > PI {
+        r -= two_pi;
+    }
+    r
+}
+
+/// Signed smallest difference `b − a` in radians, wrapped into `(-π, π]`.
+///
+/// Positive means `b` is counter-clockwise of `a`. This is how the turn
+/// detector converts two magnetic headings into a turning angle.
+pub fn signed_angle_diff(a: f64, b: f64) -> f64 {
+    normalize_angle(b - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_in_range_is_identity() {
+        for a in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            assert!((normalize_angle(a) - a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_wraps_multiples() {
+        assert!((normalize_angle(2.0 * PI) - 0.0).abs() < 1e-12);
+        assert!((normalize_angle(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(5.0 * PI + 0.25) - (PI + 0.25 - 2.0 * PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_boundary_convention() {
+        // (-π, π]: +π stays, −π maps to +π.
+        assert!((normalize_angle(PI) - PI).abs() < 1e-12);
+        assert!((normalize_angle(-PI) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_wraps_across_pi() {
+        // 170° to −170° is a +20° turn, not −340°.
+        let a = 170f64.to_radians();
+        let b = -170f64.to_radians();
+        assert!((signed_angle_diff(a, b) - 20f64.to_radians()).abs() < 1e-12);
+        assert!((signed_angle_diff(b, a) + 20f64.to_radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_radian_round_trip() {
+        let d = Degrees(123.4);
+        let back: Degrees = d.to_radians().into();
+        assert!((back.0 - d.0).abs() < 1e-9);
+        assert!((Degrees(361.0).normalized().0 - 1.0).abs() < 1e-9);
+    }
+}

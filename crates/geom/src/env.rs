@@ -1,0 +1,131 @@
+//! Propagation-environment classes.
+//!
+//! Paper §4.1 divides signal propagation into three classes that EnvAware
+//! learns to recognize from RSS statistics alone:
+//!
+//! * **LOS** — clear line of sight;
+//! * **partial-LOS (p-LOS)** — blockage with a *low* blocking coefficient
+//!   (glass, wooden door, human body);
+//! * **NLOS** — blockage with a *high* blocking coefficient (concrete wall,
+//!   cinder wall, metal board).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three propagation-environment classes of paper §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EnvClass {
+    /// Clear line of sight between transmitter and receiver.
+    Los,
+    /// Low-coefficient blockage (glass, wood, human body).
+    PartialLos,
+    /// High-coefficient blockage (concrete, cinder block, metal).
+    NonLos,
+}
+
+impl EnvClass {
+    /// All classes, in label order. Label order is the class order used by
+    /// the multi-class SVM and the confusion matrices.
+    pub const ALL: [EnvClass; 3] = [EnvClass::Los, EnvClass::PartialLos, EnvClass::NonLos];
+
+    /// Stable integer label (0 = LOS, 1 = p-LOS, 2 = NLOS).
+    pub fn label(self) -> usize {
+        match self {
+            EnvClass::Los => 0,
+            EnvClass::PartialLos => 1,
+            EnvClass::NonLos => 2,
+        }
+    }
+
+    /// Inverse of [`EnvClass::label`].
+    pub fn from_label(label: usize) -> Option<EnvClass> {
+        match label {
+            0 => Some(EnvClass::Los),
+            1 => Some(EnvClass::PartialLos),
+            2 => Some(EnvClass::NonLos),
+            _ => None,
+        }
+    }
+
+    /// Typical path-loss exponent `n(e)` for this class.
+    ///
+    /// Free space is 2.0; indoor LOS sits slightly above due to floor and
+    /// ceiling reflections; obstructed paths climb toward 3–4 (Tse &
+    /// Viswanath, the paper's model reference \[9\]).
+    pub fn typical_path_loss_exponent(self) -> f64 {
+        match self {
+            EnvClass::Los => 2.0,
+            EnvClass::PartialLos => 2.7,
+            EnvClass::NonLos => 3.5,
+        }
+    }
+
+    /// Typical extra attenuation in dB added by the blocking object itself.
+    pub fn typical_blockage_db(self) -> f64 {
+        match self {
+            EnvClass::Los => 0.0,
+            EnvClass::PartialLos => 4.0,
+            EnvClass::NonLos => 12.0,
+        }
+    }
+
+    /// Typical log-normal shadowing standard deviation in dB. Harsher
+    /// environments fluctuate more — the signal EnvAware keys on.
+    pub fn typical_shadowing_sigma_db(self) -> f64 {
+        match self {
+            EnvClass::Los => 1.7,
+            EnvClass::PartialLos => 3.0,
+            EnvClass::NonLos => 4.0,
+        }
+    }
+}
+
+impl fmt::Display for EnvClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EnvClass::Los => "LOS",
+            EnvClass::PartialLos => "p-LOS",
+            EnvClass::NonLos => "NLOS",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for class in EnvClass::ALL {
+            assert_eq!(EnvClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(EnvClass::from_label(3), None);
+    }
+
+    #[test]
+    fn labels_are_distinct_and_dense() {
+        let mut labels: Vec<usize> = EnvClass::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn severity_orders_physical_parameters() {
+        // Path loss exponent, blockage, and shadowing all increase with
+        // blockage severity; LocBLE's adaptivity depends on this ordering.
+        let (los, plos, nlos) = (EnvClass::Los, EnvClass::PartialLos, EnvClass::NonLos);
+        assert!(los.typical_path_loss_exponent() < plos.typical_path_loss_exponent());
+        assert!(plos.typical_path_loss_exponent() < nlos.typical_path_loss_exponent());
+        assert!(los.typical_blockage_db() < plos.typical_blockage_db());
+        assert!(plos.typical_blockage_db() < nlos.typical_blockage_db());
+        assert!(los.typical_shadowing_sigma_db() < nlos.typical_shadowing_sigma_db());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EnvClass::Los.to_string(), "LOS");
+        assert_eq!(EnvClass::PartialLos.to_string(), "p-LOS");
+        assert_eq!(EnvClass::NonLos.to_string(), "NLOS");
+    }
+}

@@ -1,0 +1,29 @@
+//! Geometry, units, and shared domain types for the LocBLE reproduction.
+//!
+//! This crate is the dependency root of the workspace: every other crate
+//! (RF channel, BLE link layer, IMU simulator, motion tracking, the LocBLE
+//! estimator itself) speaks in the types defined here — 2-D vectors, poses,
+//! timed trajectories, propagation-environment classes, and dB/dBm unit
+//! helpers.
+//!
+//! Everything is plain `f64` mathematics with no allocation beyond
+//! trajectories; the crate has no RNG and no I/O, so it is trivially
+//! deterministic.
+
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod env;
+pub mod pose;
+pub mod segment;
+pub mod traj;
+pub mod units;
+pub mod vec2;
+
+pub use angle::{normalize_angle, signed_angle_diff, Degrees, Radians};
+pub use env::EnvClass;
+pub use pose::Pose2;
+pub use segment::Segment;
+pub use traj::{TimedPoint, Trajectory};
+pub use units::{db_to_linear, dbm_to_mw, linear_to_db, mw_to_dbm};
+pub use vec2::Vec2;

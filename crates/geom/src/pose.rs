@@ -1,0 +1,112 @@
+//! 2-D pose (position + heading) and local/world frame transforms.
+//!
+//! LocBLE's estimation frame is anchored to the observer: the origin is the
+//! starting point of the measurement walk and +x is the starting heading
+//! (paper §5). [`Pose2`] converts between that local frame and whatever
+//! world frame the scenario simulator uses.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// Position and heading in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pose2 {
+    /// Position in the parent (world) frame, metres.
+    pub position: Vec2,
+    /// Heading in radians from the parent frame's +x, counter-clockwise.
+    pub heading: f64,
+}
+
+impl Pose2 {
+    /// Identity pose at the origin facing +x.
+    pub const IDENTITY: Pose2 = Pose2 {
+        position: Vec2::ZERO,
+        heading: 0.0,
+    };
+
+    /// Creates a pose.
+    pub fn new(position: Vec2, heading: f64) -> Self {
+        Pose2 { position, heading }
+    }
+
+    /// Unit vector along the heading.
+    pub fn forward(&self) -> Vec2 {
+        Vec2::from_angle(self.heading)
+    }
+
+    /// Unit vector 90° counter-clockwise from the heading.
+    pub fn left(&self) -> Vec2 {
+        self.forward().perp()
+    }
+
+    /// Maps a point expressed in this pose's local frame into the world
+    /// frame.
+    pub fn local_to_world(&self, local: Vec2) -> Vec2 {
+        self.position + local.rotated(self.heading)
+    }
+
+    /// Maps a world-frame point into this pose's local frame.
+    pub fn world_to_local(&self, world: Vec2) -> Vec2 {
+        (world - self.position).rotated(-self.heading)
+    }
+
+    /// The pose reached by walking `distance` metres along the heading.
+    pub fn advanced(&self, distance: f64) -> Pose2 {
+        Pose2::new(self.position + self.forward() * distance, self.heading)
+    }
+
+    /// The pose after turning in place by `angle` radians (counter-clockwise
+    /// positive).
+    pub fn turned(&self, angle: f64) -> Pose2 {
+        Pose2::new(self.position, self.heading + angle)
+    }
+}
+
+impl Default for Pose2 {
+    fn default() -> Self {
+        Pose2::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn assert_close(a: Vec2, b: Vec2) {
+        assert!(a.distance(b) < 1e-9, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn identity_transforms_are_noops() {
+        let p = Vec2::new(2.0, -1.0);
+        assert_close(Pose2::IDENTITY.local_to_world(p), p);
+        assert_close(Pose2::IDENTITY.world_to_local(p), p);
+    }
+
+    #[test]
+    fn round_trip_world_local() {
+        let pose = Pose2::new(Vec2::new(5.0, 3.0), 0.7);
+        let p = Vec2::new(-2.0, 4.5);
+        assert_close(pose.world_to_local(pose.local_to_world(p)), p);
+        assert_close(pose.local_to_world(pose.world_to_local(p)), p);
+    }
+
+    #[test]
+    fn forward_of_rotated_pose() {
+        let pose = Pose2::new(Vec2::ZERO, FRAC_PI_2);
+        assert_close(pose.forward(), Vec2::UNIT_Y);
+        assert_close(pose.left(), -Vec2::UNIT_X);
+    }
+
+    #[test]
+    fn advance_and_turn_compose_into_l_shape() {
+        // Walk 4 m, turn left 90°, walk 3 m: classic L-shaped measurement.
+        let pose = Pose2::IDENTITY
+            .advanced(4.0)
+            .turned(FRAC_PI_2)
+            .advanced(3.0);
+        assert_close(pose.position, Vec2::new(4.0, 3.0));
+        assert!((pose.heading - FRAC_PI_2).abs() < 1e-12);
+    }
+}

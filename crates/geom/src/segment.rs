@@ -1,0 +1,176 @@
+//! Line segments and intersection tests.
+//!
+//! The RF simulator decides LOS / partial-LOS / NLOS by casting the ray from
+//! transmitter to receiver against obstacle segments (walls, racks, people —
+//! the blocking objects listed in paper §4.1). Robust segment intersection
+//! lives here so `locble-rf` and `locble-scenario` share one implementation.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A finite line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Vec2,
+    /// Second endpoint.
+    pub b: Vec2,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub const fn new(a: Vec2, b: Vec2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Vec2 {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// Direction vector `b − a` (not normalized).
+    pub fn direction(&self) -> Vec2 {
+        self.b - self.a
+    }
+
+    /// Tests whether this segment properly intersects `other`, returning
+    /// the intersection point. Collinear overlaps report the first touching
+    /// endpoint; disjoint or parallel non-overlapping segments return
+    /// `None`.
+    pub fn intersect(&self, other: &Segment) -> Option<Vec2> {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        let qp = other.a - self.a;
+        const EPS: f64 = 1e-12;
+
+        if denom.abs() < EPS {
+            // Parallel. Check collinearity, then 1-D overlap.
+            if qp.cross(r).abs() > EPS {
+                return None;
+            }
+            let rr = r.norm_sq();
+            if rr < EPS {
+                // `self` is a point.
+                return other.contains_point(self.a).then_some(self.a);
+            }
+            let t0 = qp.dot(r) / rr;
+            let t1 = t0 + s.dot(r) / rr;
+            let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+            if hi < 0.0 || lo > 1.0 {
+                return None;
+            }
+            let t = lo.max(0.0);
+            return Some(self.a + r * t);
+        }
+
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.a + r * t)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when the segments intersect (including touching endpoints).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Shortest distance from `p` to this segment.
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        p.distance(self.closest_point(p))
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Vec2) -> Vec2 {
+        let d = self.direction();
+        let dd = d.norm_sq();
+        if dd < 1e-24 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(d) / dd).clamp(0.0, 1.0);
+        self.a + d * t
+    }
+
+    /// `true` when `p` lies on the segment (within a small tolerance).
+    pub fn contains_point(&self, p: Vec2) -> bool {
+        self.distance_to_point(p) < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Vec2::new(ax, ay), Vec2::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect_at_center() {
+        let s1 = seg(-1.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, -1.0, 0.0, 1.0);
+        let p = s1.intersect(&s2).unwrap();
+        assert!(p.distance(Vec2::ZERO) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        // Lines would cross, but beyond the segment extents.
+        let s3 = seg(2.0, -1.0, 2.0, 1.0);
+        assert!(!s1.intersects(&s3));
+    }
+
+    #[test]
+    fn touching_endpoint_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(1.0, 0.0, 1.0, 1.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_detected() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s1.intersects(&s2));
+        let s3 = seg(3.0, 0.0, 4.0, 0.0);
+        assert!(!s1.intersects(&s3));
+    }
+
+    #[test]
+    fn parallel_non_collinear_rejected() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(0.0, 0.5, 2.0, 0.5);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn point_distance_and_projection() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert!((s.distance_to_point(Vec2::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+        // Beyond the end: distance to the endpoint.
+        assert!((s.distance_to_point(Vec2::new(13.0, 4.0)) - 5.0).abs() < 1e-12);
+        assert!(s.contains_point(Vec2::new(7.0, 0.0)));
+        assert!(!s.contains_point(Vec2::new(7.0, 0.1)));
+    }
+
+    #[test]
+    fn degenerate_point_segment() {
+        let p = seg(1.0, 1.0, 1.0, 1.0);
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(p.intersects(&s));
+        assert!((p.length() - 0.0).abs() < 1e-12);
+        let far = seg(0.0, 0.0, -1.0, -1.0);
+        assert!(!p.intersects(&far));
+    }
+}

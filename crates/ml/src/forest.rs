@@ -1,0 +1,166 @@
+//! Random-forest classifier.
+//!
+//! The third member of the paper's §4.1 classifier ensemble. Standard
+//! bagging: each tree trains on a bootstrap resample of the data and a
+//! random subset of √d features; prediction is majority vote.
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree configuration.
+    pub tree: TreeConfig,
+    /// RNG seed for bootstrap resampling and feature subsetting.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        RandomForestConfig {
+            num_trees: 25,
+            tree: TreeConfig::default(),
+            seed: 0xF0_5E57,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains the forest.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or a zero-tree configuration.
+    pub fn train(data: &Dataset, config: &RandomForestConfig) -> RandomForest {
+        assert!(!data.is_empty(), "cannot train on empty dataset");
+        assert!(config.num_trees > 0, "forest needs at least one tree");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = data.len();
+        let dim = data.dim();
+        let subset_size = ((dim as f64).sqrt().ceil() as usize).clamp(1, dim);
+
+        let trees = (0..config.num_trees)
+            .map(|_| {
+                // Bootstrap resample.
+                let mut boot = Dataset::new();
+                for _ in 0..n {
+                    let i = rng.random_range(0..n);
+                    boot.push(data.features[i].clone(), data.labels[i]);
+                }
+                // Random feature subset.
+                let mut features: Vec<usize> = (0..dim).collect();
+                features.shuffle(&mut rng);
+                features.truncate(subset_size);
+                DecisionTree::train_with_features(&boot, &config.tree, Some(&features))
+            })
+            .collect();
+        RandomForest {
+            trees,
+            num_classes: data.num_classes(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, features: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.num_classes.max(1)];
+        for t in &self.trees {
+            let p = t.predict(features);
+            if p < votes.len() {
+                votes[p] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(l, _)| l)
+            .expect("at least one class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_dataset() -> Dataset {
+        let mut d = Dataset::new();
+        let centers = [(0.0, 0.0), (6.0, 6.0), (0.0, 6.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..40 {
+                let dx = ((i * 7) % 11) as f64 * 0.1 - 0.5;
+                let dy = ((i * 3) % 11) as f64 * 0.1 - 0.5;
+                d.push(vec![cx + dx, cy + dy], c);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_blobs() {
+        let d = blob_dataset();
+        let forest = RandomForest::train(&d, &RandomForestConfig::default());
+        let preds = forest.predict_batch(&d.features);
+        let correct = preds.iter().zip(&d.labels).filter(|(p, l)| p == l).count();
+        assert!(
+            correct as f64 / d.len() as f64 > 0.95,
+            "{correct}/{}",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = blob_dataset();
+        let cfg = RandomForestConfig::default();
+        let a = RandomForest::train(&d, &cfg);
+        let b = RandomForest::train(&d, &cfg);
+        let pa = a.predict_batch(&d.features);
+        let pb = b.predict_batch(&d.features);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn configured_tree_count() {
+        let d = blob_dataset();
+        let forest = RandomForest::train(
+            &d,
+            &RandomForestConfig {
+                num_trees: 7,
+                ..Default::default()
+            },
+        );
+        assert_eq!(forest.num_trees(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_zero_trees() {
+        RandomForest::train(
+            &blob_dataset(),
+            &RandomForestConfig {
+                num_trees: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Machine-learning substrate for the LocBLE reproduction.
+//!
+//! The paper leans on two off-the-shelf ML stacks that do not exist in
+//! this environment and are therefore rebuilt from scratch:
+//!
+//! * **sklearn** (paper §4.1) — EnvAware is "implemented by using sklearn
+//!   module in Python": a linear-kernel SVM chosen over decision-tree and
+//!   random-forest classifiers. [`svm`], [`tree`], and [`forest`] provide
+//!   those three classifiers; [`metrics`] provides the precision/recall
+//!   machinery behind the paper's 94.7 % / 94.5 % claim.
+//! * **SWIX** (paper §7.1) — the iOS numeric library used "for the
+//!   regression and machine learning classifier". [`matrix`] provides the
+//!   dense linear algebra (Gaussian elimination, Cholesky, least squares)
+//!   that the elliptical regression of §5 is built on.
+//!
+//! Everything is deterministic given a seed; no SIMD, no unsafe, sizes are
+//! tiny (9-dimensional features, tens of regression rows).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod forest;
+pub mod matrix;
+pub mod metrics;
+pub mod scaler;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::{k_fold, Dataset};
+pub use forest::{RandomForest, RandomForestConfig};
+pub use matrix::Matrix;
+pub use metrics::ConfusionMatrix;
+pub use scaler::StandardScaler;
+pub use svm::{LinearSvm, MultiClassSvm, SvmConfig};
+pub use tree::{DecisionTree, TreeConfig};
+
+/// A trained multi-class classifier: features in, label out.
+pub trait Classifier {
+    /// Predicts a class label for one feature vector.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Predicts labels for a batch of feature vectors.
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+}

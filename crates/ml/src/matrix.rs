@@ -1,0 +1,307 @@
+//! Dense matrices, linear solves, and least squares.
+//!
+//! The elliptical regression of paper §5 is solved by ordinary least
+//! squares, `P = (XᵀX)⁻¹ Xᵀ Y` (paper Eq. 4). Problem sizes are tiny
+//! (≤ ~6 parameters, tens of rows), so a straightforward row-major dense
+//! matrix with partial-pivot Gaussian elimination is both adequate and
+//! easy to audit. A small ridge term is available for the near-singular
+//! design matrices produced by degenerate walks (e.g. a perfectly straight
+//! line with no second leg).
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics when rows have unequal lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Solves `self · x = b` by Gaussian elimination with partial
+    /// pivoting. Returns `None` for singular (or numerically singular)
+    /// systems.
+    ///
+    /// # Panics
+    /// Panics when `self` is not square or `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            let d = a[col * n + col];
+            for r in col + 1..n {
+                let f = a[r * n + col] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in col + 1..n {
+                s -= a[col * n + j] * x[j];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+
+    /// Ordinary least squares: finds `θ` minimizing `‖X·θ − y‖²` where
+    /// `X = self`, via the normal equations `(XᵀX + λI)θ = Xᵀy`. `ridge`
+    /// (λ ≥ 0) regularizes near-singular designs; pass 0 for pure OLS.
+    /// Returns `None` when the normal matrix is singular.
+    ///
+    /// # Panics
+    /// Panics when `y.len() != rows` or `ridge < 0`.
+    pub fn least_squares(&self, y: &[f64], ridge: f64) -> Option<Vec<f64>> {
+        assert_eq!(y.len(), self.rows, "target length mismatch");
+        assert!(ridge >= 0.0, "ridge must be non-negative");
+        let xt = self.transpose();
+        let mut xtx = xt.matmul(self);
+        for i in 0..xtx.rows {
+            xtx[(i, i)] += ridge;
+        }
+        let xty = xt.matvec(y);
+        xtx.solve(&xty)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let i = Matrix::identity(3);
+        let x = i.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x − y = 1  →  x = 2, y = 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = a.solve(&[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the initial diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[7.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn transpose_and_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 3);
+        assert_eq!(at.cols(), 2);
+        let p = a.matmul(&at); // 2×2
+        assert!((p[(0, 0)] - 14.0).abs() < 1e-12);
+        assert!((p[(0, 1)] - 32.0).abs() < 1e-12);
+        assert!((p[(1, 1)] - 77.0).abs() < 1e-12);
+        assert_eq!(p[(0, 1)], p[(1, 0)]);
+    }
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // y = 3x + 2 fit with design [x, 1].
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let design = Matrix::from_rows(&xs.iter().map(|&x| vec![x, 1.0]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 2.0).collect();
+        let theta = design.least_squares(&y, 0.0).unwrap();
+        assert!((theta[0] - 3.0).abs() < 1e-9);
+        assert!((theta[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual_under_noise() {
+        // Deterministic "noise": alternating ±0.5 cancels in the normal
+        // equations for symmetric designs.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 / 2.0).collect();
+        let design = Matrix::from_rows(&xs.iter().map(|&x| vec![x, 1.0]).collect::<Vec<_>>());
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 1.5 * x - 4.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let theta = design.least_squares(&y, 0.0).unwrap();
+        assert!((theta[0] - 1.5).abs() < 0.05, "slope {}", theta[0]);
+        assert!((theta[1] + 4.0).abs() < 0.3, "intercept {}", theta[1]);
+    }
+
+    #[test]
+    fn ridge_rescues_singular_design() {
+        // Duplicated column: OLS normal matrix is singular, ridge is not.
+        let design = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        assert!(design.least_squares(&y, 0.0).is_none());
+        let theta = design.least_squares(&y, 1e-6).unwrap();
+        // Ridge splits the weight across the duplicated columns.
+        assert!((theta[0] + theta[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_rows_rejects_ragged_input() {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn solve_rejects_non_square() {
+        Matrix::zeros(2, 3).solve(&[1.0, 2.0]);
+    }
+}

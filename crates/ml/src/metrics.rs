@@ -1,0 +1,170 @@
+//! Classification metrics: confusion matrix, precision, recall.
+//!
+//! The paper reports EnvAware at "94.7 % precision and 94.5 % recall for
+//! our three-type classification" (§4.1) — macro-averaged over the three
+//! environment classes, which is what [`ConfusionMatrix::macro_precision`]
+//! and [`ConfusionMatrix::macro_recall`] compute.
+
+/// A `k × k` confusion matrix; entry `(actual, predicted)` counts samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch, empty input, or labels ≥ `num_classes`.
+    pub fn from_labels(actual: &[usize], predicted: &[usize], num_classes: usize) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slices must match");
+        assert!(!actual.is_empty(), "no samples");
+        let mut counts = vec![0usize; num_classes * num_classes];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            assert!(a < num_classes && p < num_classes, "label out of range");
+            counts[a * num_classes + p] += 1;
+        }
+        ConfusionMatrix {
+            k: num_classes,
+            counts,
+        }
+    }
+
+    /// Count of samples with `actual` class and `predicted` class.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.k + predicted]
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.k).map(|c| self.count(c, c)).sum();
+        correct as f64 / self.total() as f64
+    }
+
+    /// Precision of one class: TP / (TP + FP). Returns 0 when the class
+    /// was never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: usize = (0..self.k).map(|a| self.count(a, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class: TP / (TP + FN). Returns 0 when the class has
+    /// no actual samples.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: usize = (0..self.k).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// Macro-averaged precision (unweighted mean over classes).
+    pub fn macro_precision(&self) -> f64 {
+        (0..self.k).map(|c| self.precision(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// Macro-averaged recall.
+    pub fn macro_recall(&self) -> f64 {
+        (0..self.k).map(|c| self.recall(c)).sum::<f64>() / self.k as f64
+    }
+
+    /// F1 score of one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "actual \\ predicted")?;
+        for a in 0..self.k {
+            for p in 0..self.k {
+                write!(f, "{:>6}", self.count(a, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let labels = [0, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_labels(&labels, &labels, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_precision(), 1.0);
+        assert_eq!(cm.macro_recall(), 1.0);
+        assert_eq!(cm.f1(0), 1.0);
+    }
+
+    #[test]
+    fn known_binary_case() {
+        // actual:    1 1 1 1 0 0 0 0
+        // predicted: 1 1 1 0 0 0 0 1
+        let actual = [1, 1, 1, 1, 0, 0, 0, 0];
+        let predicted = [1, 1, 1, 0, 0, 0, 0, 1];
+        let cm = ConfusionMatrix::from_labels(&actual, &predicted, 2);
+        // Class 1: TP=3, FP=1, FN=1.
+        assert!((cm.precision(1) - 0.75).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.75).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.f1(1) - 0.75).abs() < 1e-12);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.total(), 8);
+    }
+
+    #[test]
+    fn never_predicted_class_has_zero_precision() {
+        let actual = [0, 1, 0, 1];
+        let predicted = [0, 0, 0, 0];
+        let cm = ConfusionMatrix::from_labels(&actual, &predicted, 2);
+        assert_eq!(cm.precision(1), 0.0);
+        assert_eq!(cm.recall(1), 0.0);
+        assert_eq!(cm.f1(1), 0.0);
+    }
+
+    #[test]
+    fn macro_averages_are_class_means() {
+        let actual = [0, 0, 1, 1, 2, 2];
+        let predicted = [0, 0, 1, 0, 2, 1];
+        let cm = ConfusionMatrix::from_labels(&actual, &predicted, 3);
+        let mp = (cm.precision(0) + cm.precision(1) + cm.precision(2)) / 3.0;
+        assert!((cm.macro_precision() - mp).abs() < 1e-12);
+        let mr = (cm.recall(0) + cm.recall(1) + cm.recall(2)) / 3.0;
+        assert!((cm.macro_recall() - mr).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_label() {
+        ConfusionMatrix::from_labels(&[0, 3], &[0, 1], 3);
+    }
+}

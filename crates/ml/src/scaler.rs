@@ -1,0 +1,128 @@
+//! Feature standardization.
+//!
+//! Paper §4.1: "our feature vector is composed of the **standardized** 9
+//! values" — the classifier sees z-scores, with means and standard
+//! deviations estimated on the training set and reused at inference time
+//! (the usual sklearn `StandardScaler` semantics).
+
+/// Per-feature z-score scaler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on the given samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or ragged feature vectors.
+    pub fn fit(samples: &[Vec<f64>]) -> StandardScaler {
+        assert!(!samples.is_empty(), "cannot fit scaler on empty data");
+        let dim = samples[0].len();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in samples {
+            assert_eq!(s.len(), dim, "ragged feature vectors");
+            for (m, &x) in mean.iter_mut().zip(s) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for s in samples {
+            for ((v, &x), &m) in var.iter_mut().zip(s).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let sd = (v / n).sqrt();
+                if sd < 1e-12 {
+                    1.0 // constant feature: leave centered values at 0
+                } else {
+                    sd
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Transforms one feature vector to z-scores.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.mean.len(), "dimension mismatch");
+        features
+            .iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&x, (&m, &s))| (x - m) / s)
+            .collect()
+    }
+
+    /// Transforms a batch.
+    pub fn transform_batch(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_training_data_is_standardized() {
+        let data = vec![
+            vec![1.0, 100.0],
+            vec![2.0, 200.0],
+            vec![3.0, 300.0],
+            vec![4.0, 400.0],
+        ];
+        let scaler = StandardScaler::fit(&data);
+        let z = scaler.transform_batch(&data);
+        for j in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[j]).sum::<f64>() / 4.0;
+            let var: f64 = z.iter().map(|r| r[j] * r[j]).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let data = vec![vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let scaler = StandardScaler::fit(&data);
+        let z = scaler.transform(&[5.0, 2.0]);
+        assert_eq!(z[0], 0.0);
+        assert_eq!(z[1], 0.0);
+    }
+
+    #[test]
+    fn transform_applies_training_statistics_to_new_data() {
+        let data = vec![vec![0.0], vec![2.0]]; // mean 1, sd 1
+        let scaler = StandardScaler::fit(&data);
+        assert!((scaler.transform(&[3.0])[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn fit_rejects_empty() {
+        StandardScaler::fit(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn transform_rejects_wrong_dim() {
+        let scaler = StandardScaler::fit(&[vec![1.0, 2.0]]);
+        scaler.transform(&[1.0]);
+    }
+}

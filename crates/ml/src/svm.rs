@@ -1,0 +1,255 @@
+//! Linear support vector machines.
+//!
+//! Paper §4.1: "we chose SVM with a linear kernel as our classifier since
+//! it outperforms other algorithms in the ensemble". The binary SVM here
+//! is trained with the Pegasos primal sub-gradient solver
+//! (Shalev-Shwartz et al.) — simple, deterministic given a seed, and more
+//! than adequate for 9-dimensional standardized features. Multi-class is
+//! one-vs-rest with margin voting, mirroring sklearn's `LinearSVC`
+//! default.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`LinearSvm`] training.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmConfig {
+    /// Regularization strength λ (smaller = wider margin tolerance).
+    pub lambda: f64,
+    /// Number of Pegasos iterations.
+    pub iterations: usize,
+    /// RNG seed for sample selection.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 3e-4,
+            iterations: 60_000,
+            seed: 0xB1E,
+        }
+    }
+}
+
+/// A trained binary linear SVM: `sign(w·x + b)`.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Weight vector.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains on `features` with ±1 `targets` using Pegasos.
+    ///
+    /// # Panics
+    /// Panics when inputs are empty, lengths mismatch, or a target is not
+    /// ±1.
+    pub fn train(features: &[Vec<f64>], targets: &[f64], config: &SvmConfig) -> LinearSvm {
+        assert!(!features.is_empty(), "cannot train on empty data");
+        assert_eq!(
+            features.len(),
+            targets.len(),
+            "feature/target length mismatch"
+        );
+        assert!(
+            targets.iter().all(|&y| y == 1.0 || y == -1.0),
+            "targets must be +1 or -1"
+        );
+        let dim = features[0].len();
+        let n = features.len();
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        for t in 1..=config.iterations {
+            let i = rng.random_range(0..n);
+            let x = &features[i];
+            let y = targets[i];
+            let eta = 1.0 / (config.lambda * t as f64);
+            let margin = y * (dot(&w, x) + b);
+            // Sub-gradient step on the hinge loss + L2 penalty.
+            for wj in w.iter_mut() {
+                *wj *= 1.0 - eta * config.lambda;
+            }
+            if margin < 1.0 {
+                for (wj, &xj) in w.iter_mut().zip(x) {
+                    *wj += eta * y * xj;
+                }
+                b += eta * y;
+            }
+            // Pegasos projection onto the ‖w‖ ≤ 1/√λ ball.
+            let norm = dot(&w, &w).sqrt();
+            let cap = 1.0 / config.lambda.sqrt();
+            if norm > cap {
+                let scale = cap / norm;
+                for wj in w.iter_mut() {
+                    *wj *= scale;
+                }
+            }
+        }
+        LinearSvm {
+            weights: w,
+            bias: b,
+        }
+    }
+
+    /// Signed decision value `w·x + b` (positive ⇒ class +1).
+    pub fn decision(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "dimension mismatch");
+        dot(&self.weights, features) + self.bias
+    }
+
+    /// Predicted ±1 label.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        if self.decision(features) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// One-vs-rest multi-class linear SVM.
+#[derive(Debug, Clone)]
+pub struct MultiClassSvm {
+    machines: Vec<LinearSvm>,
+}
+
+impl MultiClassSvm {
+    /// Trains one binary machine per class on the dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train(data: &Dataset, config: &SvmConfig) -> MultiClassSvm {
+        assert!(!data.is_empty(), "cannot train on empty dataset");
+        let classes = data.num_classes();
+        let machines = (0..classes)
+            .map(|c| {
+                let targets: Vec<f64> = data
+                    .labels
+                    .iter()
+                    .map(|&l| if l == c { 1.0 } else { -1.0 })
+                    .collect();
+                let cfg = SvmConfig {
+                    seed: config.seed.wrapping_add(c as u64),
+                    ..*config
+                };
+                LinearSvm::train(&data.features, &targets, &cfg)
+            })
+            .collect();
+        MultiClassSvm { machines }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Per-class decision values.
+    pub fn decision_values(&self, features: &[f64]) -> Vec<f64> {
+        self.machines.iter().map(|m| m.decision(features)).collect()
+    }
+}
+
+impl Classifier for MultiClassSvm {
+    fn predict(&self, features: &[f64]) -> usize {
+        self.decision_values(features)
+            .into_iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite decision values"))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_2d() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Class +1 around (2,2), class −1 around (−2,−2).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let dx = (i % 5) as f64 * 0.1;
+            let dy = (i % 3) as f64 * 0.1;
+            xs.push(vec![2.0 + dx, 2.0 + dy]);
+            ys.push(1.0);
+            xs.push(vec![-2.0 - dx, -2.0 - dy]);
+            ys.push(-1.0);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn separable_data_is_classified_perfectly() {
+        let (xs, ys) = separable_2d();
+        let svm = LinearSvm::train(&xs, &ys, &SvmConfig::default());
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(svm.predict(x), y, "misclassified {x:?}");
+        }
+    }
+
+    #[test]
+    fn decision_margin_sign_and_scale() {
+        let (xs, ys) = separable_2d();
+        let svm = LinearSvm::train(&xs, &ys, &SvmConfig::default());
+        assert!(svm.decision(&[3.0, 3.0]) > 0.0);
+        assert!(svm.decision(&[-3.0, -3.0]) < 0.0);
+        // Points farther from the boundary get larger margins.
+        assert!(svm.decision(&[5.0, 5.0]) > svm.decision(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let (xs, ys) = separable_2d();
+        let a = LinearSvm::train(&xs, &ys, &SvmConfig::default());
+        let b = LinearSvm::train(&xs, &ys, &SvmConfig::default());
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.bias, b.bias);
+    }
+
+    #[test]
+    fn multiclass_three_blobs() {
+        let mut data = Dataset::new();
+        let centers = [(0.0, 5.0), (5.0, -3.0), (-5.0, -3.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..30 {
+                let dx = ((i * 7) % 10) as f64 * 0.08 - 0.4;
+                let dy = ((i * 13) % 10) as f64 * 0.08 - 0.4;
+                data.push(vec![cx + dx, cy + dy], c);
+            }
+        }
+        let svm = MultiClassSvm::train(&data, &SvmConfig::default());
+        assert_eq!(svm.num_classes(), 3);
+        let preds = svm.predict_batch(&data.features);
+        let correct = preds
+            .iter()
+            .zip(&data.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        assert_eq!(correct, data.len(), "blobs should be perfectly separable");
+    }
+
+    #[test]
+    #[should_panic(expected = "+1 or -1")]
+    fn rejects_bad_targets() {
+        LinearSvm::train(&[vec![1.0]], &[2.0], &SvmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_training_set() {
+        LinearSvm::train(&[], &[], &SvmConfig::default());
+    }
+}

@@ -1,0 +1,297 @@
+//! CART decision-tree classifier.
+//!
+//! One of the classifiers in the paper's §4.1 ensemble ("SVM with various
+//! kernels, DecisionTree Classifier, RandomForest Classifier, etc.") that
+//! the linear SVM was chosen over. Standard CART: greedy binary splits
+//! minimizing Gini impurity, depth- and size-limited.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_split: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    num_classes: usize,
+}
+
+impl DecisionTree {
+    /// Trains a tree on the dataset. Optionally restricts candidate split
+    /// features to `feature_subset` (used by the random forest).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn train(data: &Dataset, config: &TreeConfig) -> DecisionTree {
+        Self::train_with_features(data, config, None)
+    }
+
+    /// Trains a tree considering only the features in `feature_subset`
+    /// (all features when `None`).
+    pub fn train_with_features(
+        data: &Dataset,
+        config: &TreeConfig,
+        feature_subset: Option<&[usize]>,
+    ) -> DecisionTree {
+        assert!(!data.is_empty(), "cannot train on empty dataset");
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let num_classes = data.num_classes();
+        let all_features: Vec<usize> = (0..data.dim()).collect();
+        let features = feature_subset.unwrap_or(&all_features);
+        let root = build(data, &idx, features, config, 0, num_classes);
+        DecisionTree { root, num_classes }
+    }
+
+    /// Number of classes seen at training time.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Tree depth (leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict(&self, features: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(data: &Dataset, idx: &[usize], num_classes: usize) -> usize {
+    let mut counts = vec![0usize; num_classes.max(1)];
+    for &i in idx {
+        counts[data.labels[i]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(l, _)| l)
+        .unwrap_or(0)
+}
+
+fn build(
+    data: &Dataset,
+    idx: &[usize],
+    features: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+    num_classes: usize,
+) -> Node {
+    let label = majority(data, idx, num_classes);
+    // Stopping conditions.
+    if depth >= config.max_depth || idx.len() < config.min_samples_split {
+        return Node::Leaf { label };
+    }
+    let first_label = data.labels[idx[0]];
+    if idx.iter().all(|&i| data.labels[i] == first_label) {
+        return Node::Leaf { label: first_label };
+    }
+
+    // Greedy best split by weighted child impurity. Note: no minimum-gain
+    // stop — XOR-like structure has zero first-split gain yet separates
+    // perfectly one level deeper; termination is guaranteed because every
+    // accepted split strictly shrinks both children.
+    let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+    for &f in features {
+        // Candidate thresholds: midpoints between consecutive distinct
+        // sorted values.
+        let mut vals: Vec<f64> = idx.iter().map(|&i| data.features[i][f]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        vals.dedup();
+        for w in vals.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let mut lc = vec![0usize; num_classes];
+            let mut rc = vec![0usize; num_classes];
+            for &i in idx {
+                if data.features[i][f] <= threshold {
+                    lc[data.labels[i]] += 1;
+                } else {
+                    rc[data.labels[i]] += 1;
+                }
+            }
+            let ln: usize = lc.iter().sum();
+            let rn: usize = rc.iter().sum();
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let weighted =
+                (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
+            if best.map_or(true, |(b, _, _)| weighted < b) {
+                best = Some((weighted, f, threshold));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return Node::Leaf { label };
+    };
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .iter()
+        .partition(|&&i| data.features[i][feature] <= threshold);
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(
+            data,
+            &left_idx,
+            features,
+            config,
+            depth + 1,
+            num_classes,
+        )),
+        right: Box::new(build(
+            data,
+            &right_idx,
+            features,
+            config,
+            depth + 1,
+            num_classes,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_dataset() -> Dataset {
+        // XOR is not linearly separable but trivially tree-separable.
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.01;
+            d.push(vec![0.0 + j, 0.0 + j], 0);
+            d.push(vec![1.0 + j, 1.0 + j], 0);
+            d.push(vec![0.0 + j, 1.0 + j], 1);
+            d.push(vec![1.0 + j, 0.0 + j], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_xor() {
+        let d = xor_dataset();
+        let tree = DecisionTree::train(
+            &d,
+            &TreeConfig {
+                max_depth: 10,
+                min_samples_split: 2,
+            },
+        );
+        let preds = tree.predict_batch(&d.features);
+        let correct = preds.iter().zip(&d.labels).filter(|(p, l)| p == l).count();
+        assert_eq!(correct, d.len());
+    }
+
+    #[test]
+    fn pure_dataset_is_a_leaf() {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64], 0);
+        }
+        let tree = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[100.0]), 0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = xor_dataset();
+        let tree = DecisionTree::train(
+            &d,
+            &TreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+            },
+        );
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn simple_threshold_split() {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            d.push(vec![i as f64], usize::from(i >= 10));
+        }
+        let tree = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(tree.predict(&[3.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
+        assert_eq!(tree.predict(&[9.4]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_dataset() {
+        DecisionTree::train(&Dataset::new(), &TreeConfig::default());
+    }
+}

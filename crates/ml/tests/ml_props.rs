@@ -1,0 +1,118 @@
+//! Property tests for the ML substrate: linear-algebra correctness and
+//! classifier sanity on arbitrary inputs.
+
+use locble_ml::{Classifier, ConfusionMatrix, Dataset, Matrix, StandardScaler};
+use proptest::prelude::*;
+
+proptest! {
+    /// `solve` actually solves: A·x = b within numerical tolerance, for
+    /// diagonally dominant (hence nonsingular, well-conditioned) systems.
+    #[test]
+    fn solve_satisfies_system(
+        rows in prop::collection::vec(prop::collection::vec(-1.0..1.0f64, 4), 4),
+        b in prop::collection::vec(-10.0..10.0f64, 4),
+    ) {
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                a[(i, j)] = rows[i][j];
+            }
+            a[(i, i)] += 5.0; // diagonal dominance
+        }
+        let x = a.solve(&b).expect("nonsingular");
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-6, "A·x = {got} vs b = {want}");
+        }
+    }
+
+    /// Least squares beats any perturbation of its own solution.
+    #[test]
+    fn least_squares_is_optimal(
+        xs in prop::collection::vec(-5.0..5.0f64, 8..20),
+        slope in -3.0..3.0f64,
+        intercept in -5.0..5.0f64,
+        noise_scale in 0.0..1.0f64,
+        delta0 in -0.5..0.5f64,
+        delta1 in -0.5..0.5f64,
+    ) {
+        prop_assume!(delta0.abs() + delta1.abs() > 1e-3);
+        // Spread in x is needed for a well-posed fit.
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1.0);
+        let design = Matrix::from_rows(
+            &xs.iter().map(|&x| vec![x, 1.0]).collect::<Vec<_>>(),
+        );
+        let y: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| slope * x + intercept + noise_scale * ((i % 3) as f64 - 1.0))
+            .collect();
+        let theta = design.least_squares(&y, 0.0).expect("solvable");
+        let loss = |t: &[f64]| -> f64 {
+            xs.iter()
+                .zip(&y)
+                .map(|(&x, &yy)| {
+                    let p = t[0] * x + t[1];
+                    (p - yy) * (p - yy)
+                })
+                .sum()
+        };
+        let perturbed = [theta[0] + delta0, theta[1] + delta1];
+        prop_assert!(loss(&theta) <= loss(&perturbed) + 1e-9);
+    }
+
+    /// Scaler transform of training data has zero mean per feature.
+    #[test]
+    fn scaler_centers_training_data(
+        data in prop::collection::vec(prop::collection::vec(-100.0..100.0f64, 3), 2..30),
+    ) {
+        let scaler = StandardScaler::fit(&data);
+        let z = scaler.transform_batch(&data);
+        for j in 0..3 {
+            let mean: f64 = z.iter().map(|r| r[j]).sum::<f64>() / z.len() as f64;
+            prop_assert!(mean.abs() < 1e-9, "feature {j} mean {mean}");
+        }
+    }
+
+    /// Confusion-matrix identities: totals, accuracy bounds, and the
+    /// equality of micro-averaged precision/recall with accuracy.
+    #[test]
+    fn confusion_matrix_identities(
+        labels in prop::collection::vec(0usize..3, 1..50),
+        preds_seed in prop::collection::vec(0usize..3, 1..50),
+    ) {
+        let preds: Vec<usize> =
+            (0..labels.len()).map(|i| preds_seed[i % preds_seed.len()]).collect();
+        let cm = ConfusionMatrix::from_labels(&labels, &preds, 3);
+        prop_assert_eq!(cm.total(), labels.len());
+        let acc = cm.accuracy();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        for c in 0..3 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(c)));
+        }
+    }
+
+    /// Decision trees perfectly memorize distinct training points when
+    /// unconstrained (depth and purity allow).
+    #[test]
+    fn tree_memorizes_distinct_points(
+        points in prop::collection::btree_set((0i32..30, 0i32..30), 4..25),
+    ) {
+        let mut data = Dataset::new();
+        for (k, &(x, y)) in points.iter().enumerate() {
+            data.push(vec![x as f64, y as f64], k % 3);
+        }
+        let tree = locble_ml::DecisionTree::train(
+            &data,
+            &locble_ml::TreeConfig { max_depth: 30, min_samples_split: 2 },
+        );
+        let preds = tree.predict_batch(&data.features);
+        for (p, l) in preds.iter().zip(&data.labels) {
+            prop_assert_eq!(p, l);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Dead-reckoning: steps + turns → local-frame trajectory.
+//!
+//! LocBLE's estimation frame has its origin at the observer's starting
+//! point and +x along the initial walking direction (paper §5). The
+//! tracker therefore starts at heading 0 regardless of the magnetic
+//! heading's absolute value, advances one inferred step length per
+//! detected step, and rotates by each detected turn angle.
+//!
+//! Paper §5.2.2 also notes the measurement can "avoid the turning angle
+//! measurement step by explicitly asking the user to make a right angle
+//! turn" — [`TrackerConfig::snap_right_angles`] reproduces that option by
+//! snapping detected turns to the nearest multiple of 90°.
+
+use crate::alignment::align;
+use crate::steps::{detect_steps, StepResult, StepsConfig};
+use crate::turns::{detect_turns, DetectedTurn, TurnsConfig};
+use locble_geom::{Trajectory, Vec2};
+use locble_sensors::ImuSample;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrackerConfig {
+    /// Step detection tuning.
+    pub steps: StepsConfig,
+    /// Turn detection tuning.
+    pub turns: TurnsConfig,
+    /// Snap turn angles to the nearest 90° multiple (paper §5.2.2's
+    /// guided L-shape variant).
+    pub snap_right_angles: bool,
+}
+
+/// The reconstructed motion of one device.
+#[derive(Debug, Clone)]
+pub struct MotionTrack {
+    /// Local-frame trajectory (origin at start, +x along initial
+    /// heading), one point per detected step plus start/end anchors.
+    pub trajectory: Trajectory,
+    /// Step detection output.
+    pub steps: StepResult,
+    /// Detected turns (after optional right-angle snapping).
+    pub turns: Vec<DetectedTurn>,
+}
+
+impl MotionTrack {
+    /// Displacement from the start at time `t` (the `(a_i, c_i)` of paper
+    /// Eq. 1). `None` when the track is empty.
+    pub fn displacement_at(&self, t: f64) -> Option<Vec2> {
+        self.trajectory.displacement_at(t)
+    }
+
+    /// Total tracked walking distance, metres.
+    pub fn distance(&self) -> f64 {
+        self.steps.distance_m
+    }
+}
+
+/// Runs the full §5.2 pipeline on a phone-frame IMU trace.
+pub fn track(imu: &[ImuSample], config: &TrackerConfig) -> MotionTrack {
+    let aligned = align(imu);
+    let steps = detect_steps(&aligned, &config.steps);
+    let mut turns = detect_turns(&aligned, &config.turns);
+    if config.snap_right_angles {
+        for t in &mut turns {
+            let quarter = std::f64::consts::FRAC_PI_2;
+            t.angle = (t.angle / quarter).round() * quarter;
+        }
+    }
+
+    // Compose: heading starts at 0; each turn rotates it at the turn's
+    // midpoint; each step advances one step length along the heading at
+    // the step's time.
+    let mut trajectory = Trajectory::new();
+    let t0 = imu.first().map_or(0.0, |s| s.t);
+    trajectory.push(t0, Vec2::ZERO);
+
+    let heading_at = |t: f64| -> f64 {
+        turns
+            .iter()
+            .filter(|turn| 0.5 * (turn.t_start + turn.t_end) <= t)
+            .map(|turn| turn.angle)
+            .sum()
+    };
+
+    let mut pos = Vec2::ZERO;
+    for &st in &steps.step_times {
+        pos += Vec2::from_angle(heading_at(st)) * steps.step_length_m;
+        trajectory.push(st, pos);
+    }
+    if let Some(last) = imu.last() {
+        if trajectory.end_time().is_none_or(|e| last.t > e) {
+            trajectory.push(last.t, pos);
+        }
+    }
+    MotionTrack {
+        trajectory,
+        steps,
+        turns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locble_geom::Pose2;
+    use locble_sensors::{simulate_walk, GaitConfig, WalkPlan};
+
+    #[test]
+    fn l_walk_reconstructs_corner_position() {
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 31);
+        let track = track(&sim.imu, &TrackerConfig::default());
+        let end = track.trajectory.points().last().unwrap().pos;
+        let truth = Vec2::new(4.0, 3.0);
+        assert!(
+            end.distance(truth) < 0.8,
+            "reconstructed end {end:?}, truth {truth:?}"
+        );
+    }
+
+    #[test]
+    fn start_is_origin_regardless_of_world_pose() {
+        // A walk starting at (10, −5) heading south-west still tracks
+        // from the local origin.
+        let start = Pose2::new(Vec2::new(10.0, -5.0), -2.3);
+        let plan = WalkPlan::l_shape(start, 4.0, 3.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 32);
+        let track = track(&sim.imu, &TrackerConfig::default());
+        let first = track.trajectory.points().first().unwrap().pos;
+        assert_eq!(first, Vec2::ZERO);
+        // End should be ~ (4, 3) in the *local* frame.
+        let end = track.trajectory.points().last().unwrap().pos;
+        assert!(end.distance(Vec2::new(4.0, 3.0)) < 0.9, "end {end:?}");
+    }
+
+    #[test]
+    fn straight_walk_stays_on_x_axis() {
+        let plan = WalkPlan::straight(Pose2::IDENTITY, 5.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 33);
+        let track = track(&sim.imu, &TrackerConfig::default());
+        let end = track.trajectory.points().last().unwrap().pos;
+        assert!((end.x - 5.0).abs() < 0.6, "end.x {}", end.x);
+        assert!(end.y.abs() < 0.5, "end.y {}", end.y);
+        assert!(track.turns.is_empty());
+    }
+
+    #[test]
+    fn right_angle_snapping_exactifies_the_turn() {
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 34);
+        let cfg = TrackerConfig {
+            snap_right_angles: true,
+            ..Default::default()
+        };
+        let track = track(&sim.imu, &cfg);
+        assert_eq!(track.turns.len(), 1);
+        assert!(
+            (track.turns[0].angle - std::f64::consts::FRAC_PI_2).abs() < 1e-12,
+            "snapped angle {}",
+            track.turns[0].angle
+        );
+    }
+
+    #[test]
+    fn displacement_interpolates_between_steps() {
+        let plan = WalkPlan::straight(Pose2::IDENTITY, 5.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 35);
+        let track = track(&sim.imu, &TrackerConfig::default());
+        let half = track
+            .displacement_at(sim.imu.last().unwrap().t / 2.0)
+            .unwrap();
+        // Halfway through a constant-speed straight walk ≈ half distance.
+        assert!((half.x - 2.5).abs() < 0.8, "half.x {}", half.x);
+    }
+
+    #[test]
+    fn empty_imu_yields_anchor_only() {
+        let track = track(&[], &TrackerConfig::default());
+        assert_eq!(track.trajectory.len(), 1);
+        assert_eq!(track.steps.count(), 0);
+    }
+
+    #[test]
+    fn distance_reported_from_steps() {
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 36);
+        let track = track(&sim.imu, &TrackerConfig::default());
+        assert!(
+            (track.distance() - 7.0).abs() < 1.0,
+            "distance {}",
+            track.distance()
+        );
+    }
+}

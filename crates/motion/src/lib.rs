@@ -1,0 +1,29 @@
+//! Motion tracking for the LocBLE reproduction (paper §5.2).
+//!
+//! Turns raw phone-frame IMU streams into the observer displacement
+//! series `(a_i, c_i)` that the location estimator fuses with RSS:
+//!
+//! * [`alignment`] — "the well-known coordinate alignment for
+//!   transforming phone coordinate to earth coordinate": gravity is
+//!   estimated from the accelerometer itself, the vertical acceleration
+//!   and vertical turn rate are recovered by projection, with no
+//!   knowledge of the phone's posture.
+//! * [`steps`] — the §5.2.1 step counter: moving-average smoothing, then
+//!   peak *voting*; step length inferred from step frequency.
+//! * [`turns`] — the §5.2.2 turn detector: gyroscope bump finds the turn
+//!   boundaries, magnetic heading difference provides the angle.
+//! * [`deadreckon`] — composes steps + headings into the local-frame
+//!   trajectory (origin at the walk start, +x along the initial
+//!   heading) used by the estimator and by navigation mode.
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod deadreckon;
+pub mod steps;
+pub mod turns;
+
+pub use alignment::{align, AlignedImu};
+pub use deadreckon::{track, MotionTrack, TrackerConfig};
+pub use steps::{detect_steps, StepResult, StepsConfig};
+pub use turns::{detect_turns, DetectedTurn, TurnsConfig};

@@ -1,0 +1,232 @@
+//! Turn detection (paper §5.2.2).
+//!
+//! "To measure turns, we first analyze gyroscope to identify turning
+//! behavior, then use magnetic heading to infer a specific turning angle.
+//! … our turn detector inspects gyroscope readings to identify the bump
+//! caused by the turning behavior. Our algorithm can accurately track the
+//! beginning and ending points of a bump. Then, we find the corresponding
+//! points in the magnetic heading to get the turning angle."
+
+use crate::alignment::AlignedImu;
+use locble_dsp::moving_average_centered;
+use locble_geom::signed_angle_diff;
+
+/// Turn-detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct TurnsConfig {
+    /// Moving-average window for the turn-rate signal, seconds.
+    pub smooth_window_s: f64,
+    /// Rate threshold that opens a bump, rad/s.
+    pub start_threshold: f64,
+    /// Rate threshold that closes a bump (hysteresis), rad/s.
+    pub end_threshold: f64,
+    /// Minimum bump duration to count as a turn, seconds.
+    pub min_duration_s: f64,
+    /// Minimum |angle| to count as a turn, radians.
+    pub min_angle: f64,
+    /// Averaging window for the heading endpoints, seconds.
+    pub heading_window_s: f64,
+}
+
+impl Default for TurnsConfig {
+    fn default() -> Self {
+        TurnsConfig {
+            smooth_window_s: 0.2,
+            start_threshold: 0.35,
+            end_threshold: 0.15,
+            min_duration_s: 0.3,
+            min_angle: 0.26, // ~15°
+            heading_window_s: 0.4,
+        }
+    }
+}
+
+/// One detected turn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectedTurn {
+    /// Bump start time, seconds.
+    pub t_start: f64,
+    /// Bump end time, seconds.
+    pub t_end: f64,
+    /// Turn angle from the magnetic heading difference, radians
+    /// (counter-clockwise positive).
+    pub angle: f64,
+    /// Turn angle from integrating the gyroscope over the bump, radians
+    /// (cross-check / fallback when the magnetic field is disturbed).
+    pub gyro_angle: f64,
+}
+
+/// Detects turns in aligned IMU data.
+pub fn detect_turns(aligned: &AlignedImu, config: &TurnsConfig) -> Vec<DetectedTurn> {
+    let fs = aligned.sample_rate();
+    if aligned.len() < 3 || fs <= 0.0 {
+        return Vec::new();
+    }
+    let window = ((config.smooth_window_s * fs).round() as usize).max(1);
+    let rate = moving_average_centered(&aligned.turn_rate, window);
+
+    // Hysteresis bump segmentation on |rate|.
+    let mut turns = Vec::new();
+    let mut open: Option<usize> = None;
+    for i in 0..rate.len() {
+        match open {
+            None if rate[i].abs() >= config.start_threshold => open = Some(i),
+            Some(start) if rate[i].abs() < config.end_threshold || i == rate.len() - 1 => {
+                let end = i;
+                open = None;
+                let duration = aligned.t[end] - aligned.t[start];
+                if duration < config.min_duration_s {
+                    continue;
+                }
+                if let Some(turn) = measure_turn(aligned, &rate, start, end, fs, config) {
+                    if turn.angle.abs() >= config.min_angle {
+                        turns.push(turn);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    turns
+}
+
+fn measure_turn(
+    aligned: &AlignedImu,
+    rate: &[f64],
+    start: usize,
+    end: usize,
+    fs: f64,
+    config: &TurnsConfig,
+) -> Option<DetectedTurn> {
+    let half = ((config.heading_window_s * fs).round() as usize).max(1);
+    // Heading before the bump: mean over [start − half, start).
+    let pre_lo = start.saturating_sub(half);
+    let pre = circular_mean(&aligned.mag_heading[pre_lo..start.max(pre_lo + 1)])?;
+    // Heading after the bump: mean over (end, end + half].
+    let post_hi = (end + 1 + half).min(aligned.len());
+    let post = circular_mean(&aligned.mag_heading[(end + 1).min(post_hi - 1)..post_hi])?;
+    let angle = signed_angle_diff(pre, post);
+
+    let dt = 1.0 / fs;
+    let gyro_angle: f64 = rate[start..=end].iter().map(|r| r * dt).sum();
+    Some(DetectedTurn {
+        t_start: aligned.t[start],
+        t_end: aligned.t[end],
+        angle,
+        gyro_angle,
+    })
+}
+
+/// Mean of angles, wrap-safe (vector averaging). `None` on empty input.
+fn circular_mean(angles: &[f64]) -> Option<f64> {
+    if angles.is_empty() {
+        return None;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    Some(s.atan2(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alignment::align;
+    use locble_geom::Pose2;
+    use locble_sensors::{simulate_walk, GaitConfig, WalkPlan};
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn l_walk_yields_one_left_turn() {
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 21);
+        let turns = detect_turns(&align(&sim.imu), &TurnsConfig::default());
+        assert_eq!(turns.len(), 1, "turns: {turns:?}");
+        let t = turns[0];
+        assert!((t.angle - FRAC_PI_2).abs() < 0.12, "angle {:.3}", t.angle);
+        assert!(
+            (t.gyro_angle - FRAC_PI_2).abs() < 0.15,
+            "gyro {:.3}",
+            t.gyro_angle
+        );
+        // Bump boundaries bracket the true turn.
+        let truth = sim.true_turns[0];
+        assert!(t.t_start >= truth.t_start - 0.5 && t.t_end <= truth.t_end + 0.5);
+    }
+
+    #[test]
+    fn mean_angle_error_matches_paper_regime() {
+        // Paper: "the average angle estimation error is 3.45°".
+        let mut errs = Vec::new();
+        for seed in 0..12 {
+            let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+            let sim = simulate_walk(&plan, &GaitConfig::default(), 100 + seed);
+            let turns = detect_turns(&align(&sim.imu), &TurnsConfig::default());
+            if let Some(t) = turns.first() {
+                errs.push((t.angle - FRAC_PI_2).abs().to_degrees());
+            }
+        }
+        assert!(errs.len() >= 10, "detected {} of 12 turns", errs.len());
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean < 6.0, "mean angle error {mean:.2}°");
+    }
+
+    #[test]
+    fn right_turns_have_negative_angle() {
+        let plan = WalkPlan {
+            start: Pose2::IDENTITY,
+            legs: vec![
+                locble_sensors::WalkLeg { distance_m: 3.0 },
+                locble_sensors::WalkLeg { distance_m: 3.0 },
+            ],
+            turn_angles: vec![-FRAC_PI_2],
+        };
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 23);
+        let turns = detect_turns(&align(&sim.imu), &TurnsConfig::default());
+        assert_eq!(turns.len(), 1);
+        assert!(
+            (turns[0].angle + FRAC_PI_2).abs() < 0.12,
+            "angle {:.3}",
+            turns[0].angle
+        );
+    }
+
+    #[test]
+    fn straight_walk_has_no_turns() {
+        let plan = WalkPlan::straight(Pose2::IDENTITY, 6.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 24);
+        let turns = detect_turns(&align(&sim.imu), &TurnsConfig::default());
+        assert!(turns.is_empty(), "phantom turns: {turns:?}");
+    }
+
+    #[test]
+    fn multiple_turns_all_found() {
+        // A Z-shaped walk: left 90°, then right 90°.
+        let plan = WalkPlan {
+            start: Pose2::IDENTITY,
+            legs: vec![
+                locble_sensors::WalkLeg { distance_m: 3.0 },
+                locble_sensors::WalkLeg { distance_m: 3.0 },
+                locble_sensors::WalkLeg { distance_m: 3.0 },
+            ],
+            turn_angles: vec![FRAC_PI_2, -FRAC_PI_2],
+        };
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 25);
+        let turns = detect_turns(&align(&sim.imu), &TurnsConfig::default());
+        assert_eq!(turns.len(), 2, "turns: {turns:?}");
+        assert!(turns[0].angle > 0.0 && turns[1].angle < 0.0);
+    }
+
+    #[test]
+    fn circular_mean_handles_wraparound() {
+        let angles = [3.1, -3.1, 3.05, -3.05]; // all near ±π
+        let m = circular_mean(&angles).unwrap();
+        assert!(m.abs() > 3.0, "mean {m} should stay near π");
+        assert!(circular_mean(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert!(detect_turns(&align(&[]), &TurnsConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for motion tracking: posture invariance and bounded
+//! reconstruction error across random walk geometries.
+
+use locble_geom::{Pose2, Vec2};
+use locble_motion::{align, detect_steps, track, StepsConfig, TrackerConfig};
+use locble_sensors::{simulate_walk, GaitConfig, WalkPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reconstruction error stays bounded relative to the walk length for
+    /// arbitrary L geometries and phone postures.
+    #[test]
+    fn reconstruction_error_bounded(
+        leg1 in 2.0..5.0f64,
+        leg2 in 2.0..5.0f64,
+        yaw in -1.5..1.5f64,
+        pitch in -0.8..0.8f64,
+        roll in -0.8..0.8f64,
+        seed in 0u64..300,
+    ) {
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, leg1, leg2);
+        let cfg = GaitConfig { phone_ypr: [yaw, pitch, roll], ..Default::default() };
+        let sim = simulate_walk(&plan, &cfg, seed);
+        let tr = track(&sim.imu, &TrackerConfig::default());
+        let end = tr.trajectory.points().last().expect("non-empty").pos;
+        let truth = Vec2::new(leg1, leg2); // local frame of an L
+        let err = end.distance(truth);
+        prop_assert!(
+            err < 0.25 * (leg1 + leg2),
+            "end error {err:.2} m on a {:.1} m walk (posture {yaw:.2}/{pitch:.2}/{roll:.2})",
+            leg1 + leg2
+        );
+    }
+
+    /// The step detector's count never exceeds the physical bound
+    /// (refractory period) and its distance is non-negative.
+    #[test]
+    fn step_counts_physical(
+        leg1 in 1.0..6.0f64,
+        leg2 in 1.0..6.0f64,
+        seed in 0u64..300,
+    ) {
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, leg1, leg2);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), seed);
+        let aligned = align(&sim.imu);
+        let steps = detect_steps(&aligned, &StepsConfig::default());
+        let duration = sim.imu.last().expect("imu").t;
+        prop_assert!(steps.count() as f64 <= duration / 0.3 + 1.0);
+        prop_assert!(steps.distance_m >= 0.0);
+        for w in steps.step_times.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    /// Alignment recovers a unit gravity direction for any posture.
+    #[test]
+    fn gravity_direction_unit(
+        yaw in -3.0..3.0f64,
+        pitch in -1.2..1.2f64,
+        roll in -1.2..1.2f64,
+        seed in 0u64..300,
+    ) {
+        let plan = WalkPlan::straight(Pose2::IDENTITY, 3.0);
+        let cfg = GaitConfig { phone_ypr: [yaw, pitch, roll], ..Default::default() };
+        let sim = simulate_walk(&plan, &cfg, seed);
+        let aligned = align(&sim.imu);
+        let g = aligned.gravity_dir;
+        let norm = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-9);
+    }
+}

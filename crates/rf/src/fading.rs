@@ -1,0 +1,233 @@
+//! Small-scale multipath fading and per-channel frequency selectivity.
+//!
+//! Paper §2.3: "Multipath fading occurs when RF signals reach the
+//! receiving antenna via multiple different paths … this effect further
+//! exacerbates the BLE signal's strength", and §2.2: the 3-channel
+//! advertising hop sequence makes BLE "more susceptible to
+//! frequency-selective fading".
+//!
+//! * [`RicianFading`] models the time-varying multipath gain as a complex
+//!   Gaussian process around a LOS component with Rice factor `K`
+//!   (`K → 0` degenerates to Rayleigh for heavily obstructed paths). The
+//!   in-phase/quadrature components evolve as AR(1) processes with the
+//!   channel coherence time, so a walking observer sees realistically
+//!   *fast but not white* fluctuations.
+//! * [`ChannelFading`] draws one static offset per advertising channel
+//!   (37/38/39) per link: the three channels sit at 2402/2426/2480 MHz,
+//!   far enough apart that their multipath phases differ, which shows up
+//!   as a repeatable per-channel RSS bias.
+
+use crate::randn::normal;
+use rand::Rng;
+
+/// Time-correlated Rician fading gain.
+#[derive(Debug, Clone)]
+pub struct RicianFading {
+    /// Rice factor `K` (linear power ratio LOS / scattered). 0 = Rayleigh.
+    pub k_factor: f64,
+    /// Coherence time of the scattered component, seconds.
+    pub coherence_time_s: f64,
+    // In-phase / quadrature scattered components (AR(1) states).
+    i: f64,
+    q: f64,
+    last_t: Option<f64>,
+}
+
+impl RicianFading {
+    /// Creates a fading process.
+    ///
+    /// # Panics
+    /// Panics when `k_factor < 0` or `coherence_time_s <= 0`.
+    pub fn new(k_factor: f64, coherence_time_s: f64) -> Self {
+        assert!(k_factor >= 0.0, "K factor must be non-negative");
+        assert!(coherence_time_s > 0.0, "coherence time must be positive");
+        RicianFading {
+            k_factor,
+            coherence_time_s,
+            i: 0.0,
+            q: 0.0,
+            last_t: None,
+        }
+    }
+
+    /// Typical K for a line-of-sight indoor link.
+    pub fn los_default() -> Self {
+        RicianFading::new(6.0, 0.1)
+    }
+
+    /// Rayleigh fading for obstructed links.
+    pub fn nlos_default() -> Self {
+        RicianFading::new(0.5, 0.1)
+    }
+
+    /// Samples the fading gain in dB at time `t`. Mean *linear* gain is 1
+    /// (0 dB) by construction. Must be called in time order.
+    ///
+    /// # Panics
+    /// Panics when `t` goes backwards.
+    pub fn sample_at<R: Rng + ?Sized>(&mut self, t: f64, rng: &mut R) -> f64 {
+        // Scattered component variance so that E[|h|²] = 1:
+        // |h|² = K/(K+1) (LOS) + scattered with total power 1/(K+1),
+        // i.e. each quadrature has variance 1/(2(K+1)).
+        let sigma = (1.0 / (2.0 * (self.k_factor + 1.0))).sqrt();
+        match self.last_t {
+            None => {
+                self.i = normal(rng, 0.0, sigma);
+                self.q = normal(rng, 0.0, sigma);
+            }
+            Some(prev) => {
+                assert!(t >= prev, "fading must be sampled in time order");
+                let rho = (-(t - prev) / self.coherence_time_s).exp();
+                let innov = sigma * (1.0 - rho * rho).sqrt();
+                self.i = rho * self.i + normal(rng, 0.0, innov);
+                self.q = rho * self.q + normal(rng, 0.0, innov);
+            }
+        }
+        self.last_t = Some(t);
+        let los = (self.k_factor / (self.k_factor + 1.0)).sqrt();
+        let re = los + self.i;
+        let im = self.q;
+        let power = re * re + im * im;
+        10.0 * power.max(1e-12).log10()
+    }
+
+    /// Resets the process.
+    pub fn reset(&mut self) {
+        self.i = 0.0;
+        self.q = 0.0;
+        self.last_t = None;
+    }
+}
+
+/// Static per-advertising-channel gain offsets for one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelFading {
+    offsets_db: [f64; 3],
+}
+
+impl ChannelFading {
+    /// Draws per-channel offsets with standard deviation `sigma_db`.
+    pub fn draw<R: Rng + ?Sized>(sigma_db: f64, rng: &mut R) -> Self {
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        ChannelFading {
+            offsets_db: [
+                normal(rng, 0.0, sigma_db),
+                normal(rng, 0.0, sigma_db),
+                normal(rng, 0.0, sigma_db),
+            ],
+        }
+    }
+
+    /// No frequency selectivity (all offsets zero).
+    pub fn flat() -> Self {
+        ChannelFading {
+            offsets_db: [0.0; 3],
+        }
+    }
+
+    /// Offset for a BLE advertising channel (37, 38, or 39).
+    ///
+    /// # Panics
+    /// Panics on a non-advertising channel index.
+    pub fn offset_db(&self, channel: u8) -> f64 {
+        match channel {
+            37 => self.offsets_db[0],
+            38 => self.offsets_db[1],
+            39 => self.offsets_db[2],
+            other => panic!("channel {other} is not a BLE advertising channel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_linear_gain_is_unity() {
+        for k in [0.0, 1.0, 6.0, 20.0] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut fading = RicianFading::new(k, 0.05);
+            let n = 40_000;
+            let mean_linear: f64 = (0..n)
+                .map(|i| {
+                    let db = fading.sample_at(i as f64 * 1.0, &mut rng);
+                    10f64.powf(db / 10.0)
+                })
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean_linear - 1.0).abs() < 0.05,
+                "K={k}: mean {mean_linear}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_k_means_less_variance() {
+        let spread = |k: f64| {
+            let mut rng = StdRng::seed_from_u64(22);
+            let mut fading = RicianFading::new(k, 0.05);
+            let samples: Vec<f64> = (0..20_000)
+                .map(|i| fading.sample_at(i as f64, &mut rng))
+                .collect();
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64
+        };
+        let rayleigh = spread(0.0);
+        let strong_los = spread(15.0);
+        assert!(
+            strong_los < rayleigh / 4.0,
+            "rayleigh var {rayleigh}, K=15 var {strong_los}"
+        );
+    }
+
+    #[test]
+    fn consecutive_samples_are_correlated_within_coherence_time() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut fading = RicianFading::new(0.0, 1.0);
+        let mut prev = fading.sample_at(0.0, &mut rng);
+        let mut max_step = 0f64;
+        for i in 1..2_000 {
+            let cur = fading.sample_at(i as f64 * 0.001, &mut rng);
+            max_step = max_step.max((cur - prev).abs());
+            prev = cur;
+        }
+        // 1 ms steps under a 1 s coherence time barely move (in dB this
+        // can still spike near deep fades, so the bound is loose).
+        assert!(max_step < 6.0, "max 1ms step {max_step} dB");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(24);
+            let mut f = RicianFading::los_default();
+            (0..100)
+                .map(|i| f.sample_at(i as f64 * 0.1, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn channel_offsets_are_static_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let ch = ChannelFading::draw(3.0, &mut rng);
+        assert_eq!(ch.offset_db(37), ch.offset_db(37));
+        // With continuous draws the three offsets are a.s. distinct.
+        assert_ne!(ch.offset_db(37), ch.offset_db(38));
+        assert_ne!(ch.offset_db(38), ch.offset_db(39));
+        let flat = ChannelFading::flat();
+        assert_eq!(flat.offset_db(37), 0.0);
+        assert_eq!(flat.offset_db(39), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a BLE advertising channel")]
+    fn data_channel_rejected() {
+        ChannelFading::flat().offset_db(5);
+    }
+}

@@ -1,0 +1,43 @@
+//! RF propagation simulator for the LocBLE reproduction.
+//!
+//! The paper's evaluation ran against real indoor/outdoor radio channels;
+//! this crate is the substitute substrate (see DESIGN.md §2). It
+//! implements, from the paper's own model references (log-distance path
+//! loss [Tse & Viswanath]; fast/frequency-selective fading §2.3; receiver
+//! chipset offsets §2.4), every distortion mechanism LocBLE is designed to
+//! survive:
+//!
+//! * [`pathloss`] — `RS = Γ(e) − 10·n(e)·log10(d)` with environment-
+//!   dependent parameters; this is the model the estimator inverts.
+//! * [`shadowing`] — temporally correlated (AR(1)) log-normal shadowing:
+//!   the slow channel fluctuation EnvAware must see through.
+//! * [`fading`] — Rician/Rayleigh small-scale fading plus per-advertising-
+//!   channel frequency-selective offsets (BLE hops across channels
+//!   37/38/39, §2.2), the fast fluctuations the Butterworth filter
+//!   removes.
+//! * [`obstacles`] — material-tagged wall segments; ray casting decides
+//!   LOS / p-LOS / NLOS and adds per-material penetration loss.
+//! * [`receiver`] — chipset RSSI offset (the ±5 dB BCM4334-class error of
+//!   §2.4), Gaussian measurement noise, 1 dB quantization, sensitivity
+//!   floor.
+//! * [`link`] — the composed end-to-end link: positions in, measured RSSI
+//!   out.
+//!
+//! All randomness is seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod fading;
+pub mod link;
+pub mod obstacles;
+pub mod pathloss;
+pub mod randn;
+pub mod receiver;
+pub mod shadowing;
+
+pub use fading::{ChannelFading, RicianFading};
+pub use link::{LinkConfig, LinkSimulator};
+pub use obstacles::{classify_path, Material, Obstacle, PathClassification};
+pub use pathloss::LogDistanceModel;
+pub use receiver::{ReceiverProfile, RssiReading};
+pub use shadowing::{CorrelatedShadowing, SpatialShadowing};

@@ -1,0 +1,125 @@
+//! Log-distance path-loss model.
+//!
+//! Paper Eq. 1: `RS = Γ(e) − 10·n(e)·log10(l)`. `Γ(e)` bundles the Tx
+//! power, antenna gains, and the hardware power offset `P` plus
+//! environment noise `X(e)`; `n(e)` is the environment-dependent path-loss
+//! exponent. The simulator *generates* RSS with this model (plus the
+//! impairments in the sibling modules); the estimator *inverts* it without
+//! being told the parameters.
+
+use locble_geom::EnvClass;
+
+/// Deterministic mean path-loss model.
+///
+/// ```
+/// use locble_rf::LogDistanceModel;
+///
+/// // A typical iBeacon: −59 dBm at 1 m, free-space-ish exponent.
+/// let model = LogDistanceModel::new(-59.0, 2.0);
+/// assert!((model.rss_at(1.0) + 59.0).abs() < 1e-12);
+/// // Every doubling of distance costs ~6 dB at n = 2.
+/// assert!((model.rss_at(2.0) - model.rss_at(4.0) - 6.02).abs() < 0.01);
+/// // And the model inverts exactly.
+/// assert!((model.distance_for(model.rss_at(7.5)) - 7.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogDistanceModel {
+    /// `Γ`: mean received power at the 1 m reference distance, in dBm.
+    pub gamma_dbm: f64,
+    /// `n`: path-loss exponent.
+    pub exponent: f64,
+}
+
+impl LogDistanceModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics when `exponent <= 0`.
+    pub fn new(gamma_dbm: f64, exponent: f64) -> Self {
+        assert!(exponent > 0.0, "path-loss exponent must be positive");
+        LogDistanceModel {
+            gamma_dbm,
+            exponent,
+        }
+    }
+
+    /// A typical commodity iBeacon in the given environment class:
+    /// 0 dBm Tx power, ~−59 dBm measured at 1 m (the iBeacon "measured
+    /// power" calibration constant), exponent from the class.
+    pub fn for_env(env: EnvClass) -> Self {
+        LogDistanceModel::new(-59.0, env.typical_path_loss_exponent())
+    }
+
+    /// Mean RSS at distance `d` metres. Distances below 0.1 m clamp to
+    /// 0.1 m (the model diverges at 0 and beacons are never inside the
+    /// phone).
+    pub fn rss_at(&self, d: f64) -> f64 {
+        let d = d.max(0.1);
+        self.gamma_dbm - 10.0 * self.exponent * d.log10()
+    }
+
+    /// Inverts the model: the distance at which the mean RSS equals
+    /// `rss_dbm`.
+    pub fn distance_for(&self, rss_dbm: f64) -> f64 {
+        10f64.powf((self.gamma_dbm - rss_dbm) / (10.0 * self.exponent))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_distance_returns_gamma() {
+        let m = LogDistanceModel::new(-59.0, 2.0);
+        assert!((m.rss_at(1.0) + 59.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_space_slope_is_6db_per_doubling() {
+        let m = LogDistanceModel::new(-59.0, 2.0);
+        let drop = m.rss_at(2.0) - m.rss_at(4.0);
+        assert!((drop - 6.02).abs() < 0.01);
+    }
+
+    #[test]
+    fn larger_exponent_decays_faster() {
+        let los = LogDistanceModel::for_env(EnvClass::Los);
+        let nlos = LogDistanceModel::for_env(EnvClass::NonLos);
+        assert!(nlos.rss_at(10.0) < los.rss_at(10.0));
+        assert_eq!(los.rss_at(1.0), nlos.rss_at(1.0));
+    }
+
+    #[test]
+    fn rss_distance_round_trip() {
+        let m = LogDistanceModel::new(-59.0, 2.7);
+        for d in [0.5, 1.0, 3.0, 8.0, 15.0] {
+            let rss = m.rss_at(d);
+            assert!((m.distance_for(rss) - d).abs() < 1e-9, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn tiny_distances_clamp() {
+        let m = LogDistanceModel::new(-59.0, 2.0);
+        assert_eq!(m.rss_at(0.0), m.rss_at(0.05));
+        assert!(m.rss_at(0.0).is_finite());
+    }
+
+    #[test]
+    fn paper_range_is_plausible() {
+        // Paper Fig. 2: RSS spans roughly −50 to −95 dBm over 0–6 m
+        // indoors; our defaults must land in that regime.
+        let m = LogDistanceModel::for_env(EnvClass::PartialLos);
+        let near = m.rss_at(0.5);
+        let far = m.rss_at(6.1);
+        assert!(near > -60.0 && near < -40.0, "near {near}");
+        assert!(far > -95.0 && far < -70.0, "far {far}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_non_positive_exponent() {
+        LogDistanceModel::new(-59.0, 0.0);
+    }
+}

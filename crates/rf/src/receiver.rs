@@ -1,0 +1,189 @@
+//! Receiver-side RSSI impairments.
+//!
+//! Paper §2.4: "noises will be added to RSS readings due to the CMOS
+//! property of analog components, imperfections, and environment
+//! temperature. For example, the widely-used BroadCom BCM4334
+//! WLAN/Bluetooth receiver chipset has ±5 RSS accuracy at room
+//! temperature." Phones also differ by a constant offset (paper Fig. 2
+//! shows three handsets reading the same channel at visibly different
+//! levels with the same trend), report RSSI on an integer dB grid, and
+//! stop hearing beacons below a sensitivity floor.
+
+use crate::randn::normal;
+use rand::Rng;
+
+/// One reported RSSI measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RssiReading {
+    /// The reported (quantized, offset, noisy) value in dBm.
+    pub rssi_dbm: f64,
+    /// The physical received power before receiver impairments, dBm.
+    pub true_power_dbm: f64,
+}
+
+/// A receiver chipset/handset profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReceiverProfile {
+    /// Constant per-device RSSI offset in dB (chipset calibration error).
+    pub offset_db: f64,
+    /// Standard deviation of per-reading measurement noise, dB.
+    pub noise_sigma_db: f64,
+    /// Reporting granularity in dB (1.0 for integer RSSI).
+    pub quantization_db: f64,
+    /// Sensitivity floor: readings below this are lost, dBm.
+    pub sensitivity_dbm: f64,
+}
+
+impl ReceiverProfile {
+    /// An ideal receiver: no offset, no noise, no quantization, no floor.
+    pub fn ideal() -> Self {
+        ReceiverProfile {
+            offset_db: 0.0,
+            noise_sigma_db: 0.0,
+            quantization_db: 0.0,
+            sensitivity_dbm: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A BCM4334-class smartphone radio (paper §2.4): ±5 dB accuracy
+    /// modeled as a per-device constant offset plus per-reading noise,
+    /// integer RSSI, −100 dBm sensitivity.
+    pub fn smartphone(offset_db: f64) -> Self {
+        ReceiverProfile {
+            offset_db,
+            noise_sigma_db: 1.5,
+            quantization_db: 1.0,
+            sensitivity_dbm: -100.0,
+        }
+    }
+
+    /// A Bluetooth 5 receiver using the LE Coded PHY (S = 8): the coding
+    /// gain buys ~5 dB of sensitivity, the "wider coverage" the paper's
+    /// §9.3 notes the upcoming standard brings while staying compatible
+    /// with LocBLE (the estimator still sees only RSSI).
+    pub fn smartphone_ble5(offset_db: f64) -> Self {
+        ReceiverProfile {
+            offset_db,
+            noise_sigma_db: 1.5,
+            quantization_db: 1.0,
+            sensitivity_dbm: -105.0,
+        }
+    }
+
+    /// The three handsets of paper Fig. 2 (iPhone 5s / Nexus 5x /
+    /// Moto Nexus 6), distinguished by their chipset offsets.
+    pub fn fig2_handsets() -> [(&'static str, ReceiverProfile); 3] {
+        [
+            ("iPhone 5s", ReceiverProfile::smartphone(0.0)),
+            ("Nexus 5x", ReceiverProfile::smartphone(-4.0)),
+            ("Moto Nexus 6", ReceiverProfile::smartphone(3.0)),
+        ]
+    }
+
+    /// Applies the receiver chain to a physical received power. Returns
+    /// `None` when the signal falls below the sensitivity floor (the scan
+    /// misses the advertisement).
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        true_power_dbm: f64,
+        rng: &mut R,
+    ) -> Option<RssiReading> {
+        if true_power_dbm < self.sensitivity_dbm {
+            return None;
+        }
+        let mut v = true_power_dbm + self.offset_db;
+        if self.noise_sigma_db > 0.0 {
+            v = normal(rng, v, self.noise_sigma_db);
+        }
+        if self.quantization_db > 0.0 {
+            v = (v / self.quantization_db).round() * self.quantization_db;
+        }
+        Some(RssiReading {
+            rssi_dbm: v,
+            true_power_dbm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_receiver_is_transparent() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let r = ReceiverProfile::ideal();
+        let m = r.measure(-63.7, &mut rng).unwrap();
+        assert_eq!(m.rssi_dbm, -63.7);
+        assert_eq!(m.true_power_dbm, -63.7);
+    }
+
+    #[test]
+    fn offset_shifts_mean() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let r = ReceiverProfile::smartphone(-4.0);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .filter_map(|_| r.measure(-70.0, &mut rng))
+            .map(|m| m.rssi_dbm)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean + 74.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn quantization_grid_respected() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let r = ReceiverProfile::smartphone(0.0);
+        for _ in 0..100 {
+            let m = r.measure(-70.3, &mut rng).unwrap();
+            assert!((m.rssi_dbm - m.rssi_dbm.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn below_sensitivity_is_lost() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let r = ReceiverProfile::smartphone(0.0);
+        assert!(r.measure(-101.0, &mut rng).is_none());
+        assert!(r.measure(-99.0, &mut rng).is_some());
+    }
+
+    #[test]
+    fn noise_spread_matches_sigma() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let r = ReceiverProfile {
+            offset_db: 0.0,
+            noise_sigma_db: 2.0,
+            quantization_db: 0.0,
+            sensitivity_dbm: f64::NEG_INFINITY,
+        };
+        let n = 40_000;
+        let vals: Vec<f64> = (0..n)
+            .map(|_| r.measure(-70.0, &mut rng).unwrap().rssi_dbm)
+            .collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn ble5_coded_phy_extends_range() {
+        // §9.3: BLE 5's coded PHY hears beacons a v4 radio loses.
+        let mut rng = StdRng::seed_from_u64(36);
+        let v4 = ReceiverProfile::smartphone(0.0);
+        let v5 = ReceiverProfile::smartphone_ble5(0.0);
+        assert!(v4.measure(-103.0, &mut rng).is_none());
+        assert!(v5.measure(-103.0, &mut rng).is_some());
+    }
+
+    #[test]
+    fn fig2_handsets_have_distinct_offsets() {
+        let handsets = ReceiverProfile::fig2_handsets();
+        assert_eq!(handsets.len(), 3);
+        let offs: Vec<f64> = handsets.iter().map(|(_, p)| p.offset_db).collect();
+        assert!(offs[0] != offs[1] && offs[1] != offs[2] && offs[0] != offs[2]);
+    }
+}

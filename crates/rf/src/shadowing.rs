@@ -1,0 +1,286 @@
+//! Temporally correlated log-normal shadowing.
+//!
+//! Shadowing (blockage by large objects) varies slowly: it is correlated
+//! over the channel *coherence time* (paper §4.3 attributes part of
+//! LocBLE's difficulty to "low channel coherence time due to user
+//! movements"). The standard Gudmundson-style model is a first-order
+//! autoregressive Gaussian process in dB:
+//!
+//! `S_k = ρ·S_{k−1} + √(1−ρ²)·N(0, σ²)`, with `ρ = exp(−Δt / τ)`.
+
+use crate::randn::normal;
+use locble_geom::Vec2;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// AR(1)-correlated shadowing process in dB.
+#[derive(Debug, Clone)]
+pub struct CorrelatedShadowing {
+    /// Stationary standard deviation σ in dB.
+    pub sigma_db: f64,
+    /// Correlation time constant τ in seconds.
+    pub tau_s: f64,
+    state: f64,
+    last_t: Option<f64>,
+}
+
+impl CorrelatedShadowing {
+    /// Creates a process with stationary deviation `sigma_db` and
+    /// coherence time constant `tau_s`.
+    ///
+    /// # Panics
+    /// Panics when `sigma_db < 0` or `tau_s <= 0`.
+    pub fn new(sigma_db: f64, tau_s: f64) -> Self {
+        assert!(sigma_db >= 0.0, "sigma must be non-negative");
+        assert!(tau_s > 0.0, "tau must be positive");
+        CorrelatedShadowing {
+            sigma_db,
+            tau_s,
+            state: 0.0,
+            last_t: None,
+        }
+    }
+
+    /// Samples the shadowing value at absolute time `t` (seconds).
+    /// Successive calls must not go backwards in time.
+    ///
+    /// # Panics
+    /// Panics when `t` precedes the previous sample time.
+    pub fn sample_at<R: Rng + ?Sized>(&mut self, t: f64, rng: &mut R) -> f64 {
+        match self.last_t {
+            None => {
+                // Start from the stationary distribution.
+                self.state = normal(rng, 0.0, self.sigma_db);
+            }
+            Some(prev) => {
+                assert!(t >= prev, "shadowing must be sampled in time order");
+                let dt = t - prev;
+                let rho = (-dt / self.tau_s).exp();
+                let innov_sigma = self.sigma_db * (1.0 - rho * rho).sqrt();
+                self.state = rho * self.state + normal(rng, 0.0, innov_sigma);
+            }
+        }
+        self.last_t = Some(t);
+        self.state
+    }
+
+    /// Current value without advancing time.
+    pub fn current(&self) -> f64 {
+        self.state
+    }
+
+    /// Resets the process.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+        self.last_t = None;
+    }
+}
+
+/// A *spatially* correlated shadowing field shared by all links of one
+/// environment.
+///
+/// Shadowing is caused by the geometry around the link, so two
+/// transmitters centimetres apart seen from the same phone experience
+/// nearly the same shadowing — which is precisely the correlation the
+/// paper's multi-beacon clustering (§6) exploits. The field is a sum of
+/// `K` random plane waves over the (tx, rx) position pair; its value is
+/// deterministic in the geometry, unit variance, zero mean, and smooth
+/// with a configurable correlation length.
+#[derive(Debug, Clone)]
+pub struct SpatialShadowing {
+    // (k_tx, k_rx, phase, amplitude) per component.
+    components: Vec<(Vec2, Vec2, f64, f64)>,
+}
+
+impl SpatialShadowing {
+    /// Draws a field with `K = 12` plane waves whose wavelengths are
+    /// spread around `correlation_m` (the distance over which shadowing
+    /// decorrelates — a couple of metres indoors).
+    ///
+    /// # Panics
+    /// Panics when `correlation_m <= 0`.
+    pub fn new(correlation_m: f64, seed: u64) -> SpatialShadowing {
+        assert!(correlation_m > 0.0, "correlation length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k_count = 12;
+        let amp = (2.0 / k_count as f64).sqrt(); // unit total variance
+        let components = (0..k_count)
+            .map(|_| {
+                // Random direction + wavelength around the correlation
+                // length (0.5×–2×).
+                let lambda = correlation_m * 2.0f64.powf(rng.random_range(-1.0..1.0));
+                let k_mag = 2.0 * std::f64::consts::PI / lambda;
+                let dir_rx = Vec2::from_angle(rng.random_range(0.0..std::f64::consts::TAU));
+                let dir_tx = Vec2::from_angle(rng.random_range(0.0..std::f64::consts::TAU));
+                // Asymmetric ends: the rx side varies at the correlation
+                // length (the phone walks through the field and the
+                // fluctuations average out of the regression), while the
+                // tx side varies ~4× slower so beacons on the same shelf
+                // stay strongly correlated — the §6 clustering signal.
+                (
+                    dir_tx * (k_mag / 4.0),
+                    dir_rx * k_mag,
+                    rng.random_range(0.0..std::f64::consts::TAU),
+                    amp,
+                )
+            })
+            .collect();
+        SpatialShadowing { components }
+    }
+
+    /// Field value (unit variance) for a link with endpoints `tx`, `rx`.
+    pub fn sample(&self, tx: Vec2, rx: Vec2) -> f64 {
+        self.components
+            .iter()
+            .map(|&(ktx, krx, phase, amp)| amp * (ktx.dot(tx) + krx.dot(rx) + phase).sin())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_variance_is_sigma_squared() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut shade = CorrelatedShadowing::new(4.0, 1.0);
+        // Sample far apart (decorrelated) so values are ~iid N(0, σ²).
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| shade.sample_at(i as f64 * 50.0, &mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "mean {mean}");
+        assert!((var - 16.0).abs() < 1.0, "var {var}");
+    }
+
+    #[test]
+    fn short_lags_are_highly_correlated() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut shade = CorrelatedShadowing::new(4.0, 5.0);
+        let mut prev = shade.sample_at(0.0, &mut rng);
+        // Successive 10 ms steps should barely move (τ = 5 s).
+        let mut max_step = 0f64;
+        for i in 1..500 {
+            let cur = shade.sample_at(i as f64 * 0.01, &mut rng);
+            max_step = max_step.max((cur - prev).abs());
+            prev = cur;
+        }
+        assert!(max_step < 1.5, "max step {max_step} dB at 10 ms lag");
+    }
+
+    #[test]
+    fn empirical_autocorrelation_decays_with_lag() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut shade = CorrelatedShadowing::new(3.0, 1.0);
+        let dt = 0.1;
+        let n = 50_000;
+        let s: Vec<f64> = (0..n)
+            .map(|i| shade.sample_at(i as f64 * dt, &mut rng))
+            .collect();
+        let var = s.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        let corr_at = |lag: usize| {
+            let c: f64 = s[..n - lag]
+                .iter()
+                .zip(&s[lag..])
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                / (n - lag) as f64;
+            c / var
+        };
+        // ρ(lag) ≈ exp(−lag·dt/τ): 0.90 at 1 lag, 0.37 at 10 lags.
+        assert!((corr_at(1) - 0.905).abs() < 0.05, "rho1 {}", corr_at(1));
+        assert!((corr_at(10) - 0.368).abs() < 0.08, "rho10 {}", corr_at(10));
+        assert!(corr_at(40) < 0.1, "rho40 {}", corr_at(40));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut shade = CorrelatedShadowing::new(4.0, 2.0);
+            (0..50)
+                .map(|i| shade.sample_at(i as f64 * 0.1, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_backward_time() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut shade = CorrelatedShadowing::new(1.0, 1.0);
+        shade.sample_at(1.0, &mut rng);
+        shade.sample_at(0.5, &mut rng);
+    }
+
+    #[test]
+    fn spatial_field_has_unit_variance() {
+        let field = SpatialShadowing::new(2.0, 5);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let n = 4000;
+        for i in 0..n {
+            let rx = Vec2::new((i % 63) as f64 * 0.37, (i / 63) as f64 * 0.41);
+            let v = field.sample(Vec2::new(5.0, 5.0), rx);
+            sum += v;
+            sum_sq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn colocated_transmitters_see_nearly_equal_shadowing() {
+        let field = SpatialShadowing::new(2.0, 6);
+        // 30 cm apart (the paper's shelf spacing) vs 5 m apart.
+        let rx = Vec2::new(1.0, 1.0);
+        let a = field.sample(Vec2::new(5.0, 5.0), rx);
+        let near = field.sample(Vec2::new(5.3, 5.0), rx);
+        let _far = field.sample(Vec2::new(10.0, 0.5), rx);
+        assert!((a - near).abs() < 0.6, "near delta {}", (a - near).abs());
+        // Not a strict guarantee point-wise, but across many rx the far
+        // beacon decorrelates; check correlation statistically.
+        let mut c_near = 0.0;
+        let mut c_far = 0.0;
+        let mut v = 0.0;
+        for i in 0..500 {
+            let rx = Vec2::new((i % 23) as f64 * 0.31, (i / 23) as f64 * 0.29);
+            let s = field.sample(Vec2::new(5.0, 5.0), rx);
+            c_near += s * field.sample(Vec2::new(5.3, 5.0), rx);
+            c_far += s * field.sample(Vec2::new(10.0, 0.5), rx);
+            v += s * s;
+        }
+        assert!(c_near / v > 0.75, "near corr {}", c_near / v);
+        assert!(c_far / v < 0.5, "far corr {}", c_far / v);
+    }
+
+    #[test]
+    fn spatial_field_is_smooth_and_deterministic() {
+        let field = SpatialShadowing::new(2.0, 7);
+        let a = field.sample(Vec2::new(3.0, 3.0), Vec2::new(1.0, 1.0));
+        let b = field.sample(Vec2::new(3.0, 3.0), Vec2::new(1.05, 1.0));
+        assert!(
+            (a - b).abs() < 0.4,
+            "5 cm step moved field by {}",
+            (a - b).abs()
+        );
+        let again = SpatialShadowing::new(2.0, 7);
+        assert_eq!(a, again.sample(Vec2::new(3.0, 3.0), Vec2::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn zero_sigma_is_identically_zero() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut shade = CorrelatedShadowing::new(0.0, 1.0);
+        for i in 0..20 {
+            assert_eq!(shade.sample_at(i as f64, &mut rng), 0.0);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the RF substrate: model monotonicity, classifier
+//! consistency, and receiver-chain invariants for arbitrary parameters.
+
+use locble_geom::Vec2;
+use locble_rf::{
+    classify_path, LinkConfig, LinkSimulator, LogDistanceModel, Material, Obstacle,
+    ReceiverProfile, SpatialShadowing,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_material() -> impl Strategy<Value = Material> {
+    prop_oneof![
+        Just(Material::Glass),
+        Just(Material::Wood),
+        Just(Material::HumanBody),
+        Just(Material::Drywall),
+        Just(Material::Concrete),
+        Just(Material::CinderBlock),
+        Just(Material::Metal),
+    ]
+}
+
+proptest! {
+    /// Mean RSS is strictly decreasing in distance for any model.
+    #[test]
+    fn pathloss_monotone_in_distance(
+        gamma in -80.0..-40.0f64,
+        n in 1.2..5.0f64,
+        d1 in 0.2..20.0f64,
+        d2 in 0.2..20.0f64,
+    ) {
+        prop_assume!((d1 - d2).abs() > 1e-6);
+        let model = LogDistanceModel::new(gamma, n);
+        let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(model.rss_at(near) > model.rss_at(far));
+    }
+
+    /// Path classification never depends on ray direction and its
+    /// blockage is the sum of crossed materials.
+    #[test]
+    fn classification_direction_invariant(
+        tx_x in -5.0..5.0f64, tx_y in -5.0..5.0f64,
+        rx_x in -5.0..5.0f64, rx_y in -5.0..5.0f64,
+        wall_x in -4.0..4.0f64,
+        material in arb_material(),
+    ) {
+        let tx = Vec2::new(tx_x, tx_y);
+        let rx = Vec2::new(rx_x, rx_y);
+        let obstacles = [Obstacle::new(
+            Vec2::new(wall_x, -6.0),
+            Vec2::new(wall_x, 6.0),
+            material,
+        )];
+        let a = classify_path(tx, rx, &obstacles);
+        let b = classify_path(rx, tx, &obstacles);
+        prop_assert_eq!(a.env, b.env);
+        prop_assert!((a.blockage_db - b.blockage_db).abs() < 1e-12);
+        prop_assert_eq!(a.crossings, b.crossings);
+        // Blockage equals the material's attenuation iff crossed.
+        if a.crossings == 1 {
+            prop_assert!((a.blockage_db - material.attenuation_db()).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(a.blockage_db, 0.0);
+        }
+    }
+
+    /// The receiver chain reports on its quantization grid and respects
+    /// the sensitivity floor, for arbitrary profiles.
+    #[test]
+    fn receiver_chain_invariants(
+        offset in -6.0..6.0f64,
+        power in -120.0..-30.0f64,
+        seed in 0u64..1000,
+    ) {
+        let profile = ReceiverProfile::smartphone(offset);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match profile.measure(power, &mut rng) {
+            None => prop_assert!(power < profile.sensitivity_dbm),
+            Some(m) => {
+                prop_assert!(power >= profile.sensitivity_dbm);
+                prop_assert!((m.rssi_dbm - m.rssi_dbm.round()).abs() < 1e-9);
+                prop_assert_eq!(m.true_power_dbm, power);
+            }
+        }
+    }
+
+    /// The spatial shadowing field is deterministic in (seed, geometry)
+    /// and bounded by its component count.
+    #[test]
+    fn spatial_field_deterministic_and_bounded(
+        corr in 0.5..4.0f64,
+        seed in 0u64..1000,
+        tx_x in -10.0..10.0f64, tx_y in -10.0..10.0f64,
+        rx_x in -10.0..10.0f64, rx_y in -10.0..10.0f64,
+    ) {
+        let a = SpatialShadowing::new(corr, seed);
+        let b = SpatialShadowing::new(corr, seed);
+        let tx = Vec2::new(tx_x, tx_y);
+        let rx = Vec2::new(rx_x, rx_y);
+        prop_assert_eq!(a.sample(tx, rx), b.sample(tx, rx));
+        // 12 components of amplitude sqrt(2/12): |field| ≤ 12·0.408.
+        prop_assert!(a.sample(tx, rx).abs() <= 12.0 * (2.0f64 / 12.0).sqrt() + 1e-9);
+    }
+
+    /// Whole links are deterministic per seed for any geometry.
+    #[test]
+    fn links_deterministic(
+        seed in 0u64..500,
+        d in 0.5..12.0f64,
+    ) {
+        let run = || {
+            let mut sim = LinkSimulator::new(
+                LinkConfig::default(),
+                ReceiverProfile::smartphone(0.0),
+                seed,
+            );
+            (0..20)
+                .map(|i| {
+                    sim.measure(
+                        i as f64 * 0.1,
+                        Vec2::new(d, 0.0),
+                        Vec2::ZERO,
+                        &[],
+                        37 + (i % 3) as u8,
+                    )
+                    .map(|m| m.rssi_dbm)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

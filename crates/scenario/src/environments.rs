@@ -1,0 +1,296 @@
+//! The nine evaluation environments of paper Table 1.
+//!
+//! | # | Name         | Scale (m²) | Paper accuracy (m) |
+//! |---|--------------|-----------|--------------------|
+//! | 1 | Meeting room | 5×5       | 0.8 ± 0.2          |
+//! | 2 | Hallway      | 8×3       | 1.4 ± 0.3          |
+//! | 3 | Bedroom      | 7×7       | 1.4 ± 0.4          |
+//! | 4 | Living room  | 7×7       | 1.6 ± 0.3          |
+//! | 5 | Restaurant   | 9×10      | 1.6 ± 0.4          |
+//! | 6 | Store        | 9×10      | 1.8 ± 0.6          |
+//! | 7 | Labs         | 8×10      | 2.3 ± 0.5          |
+//! | 8 | Hall         | 9×11      | 2.1 ± 0.5          |
+//! | 9 | Parking lot  | 16×15     | 1.2 ± 0.5          |
+//!
+//! Obstacle layouts are reconstructed from the paper's descriptions
+//! ("direct paths are blocked by furniture, store/shop racks, and human
+//! bodies"; the lab has "server racks", the hall "a construction in
+//! between", §7.7 "a concrete wall block in the transmission path").
+//! Coordinates put the origin at the room's south-west corner.
+
+use locble_geom::Vec2;
+use locble_rf::{LinkConfig, Material, Obstacle};
+
+/// One evaluation environment.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    /// Table-1 index (1-based).
+    pub index: usize,
+    /// Display name as in Table 1.
+    pub name: &'static str,
+    /// Width (x extent), metres.
+    pub width_m: f64,
+    /// Depth (y extent), metres.
+    pub depth_m: f64,
+    /// Outdoor flag (affects the channel defaults).
+    pub outdoor: bool,
+    /// Obstacles in room coordinates.
+    pub obstacles: Vec<Obstacle>,
+    /// Link parameters for this environment.
+    pub link: LinkConfig,
+    /// Paper-reported accuracy: (mean, 75 %-CI half-width), metres.
+    pub paper_accuracy_m: (f64, f64),
+}
+
+impl Environment {
+    /// `true` when `p` lies within the environment bounds.
+    pub fn contains(&self, p: Vec2) -> bool {
+        (0.0..=self.width_m).contains(&p.x) && (0.0..=self.depth_m).contains(&p.y)
+    }
+
+    /// Center of the environment.
+    pub fn center(&self) -> Vec2 {
+        Vec2::new(self.width_m / 2.0, self.depth_m / 2.0)
+    }
+}
+
+fn wall(ax: f64, ay: f64, bx: f64, by: f64, m: Material) -> Obstacle {
+    Obstacle::new(Vec2::new(ax, ay), Vec2::new(bx, by), m)
+}
+
+fn indoor_link() -> LinkConfig {
+    LinkConfig::default()
+}
+
+fn outdoor_link() -> LinkConfig {
+    LinkConfig {
+        // Open space: nearly free-space exponent, calmer shadowing, a
+        // strong LOS component.
+        exponent_scale: 0.95,
+        shadowing_tau_s: 8.0,
+        los_k_factor: 10.0,
+        channel_sigma_db: 0.8,
+        ..LinkConfig::default()
+    }
+}
+
+/// Builds all nine environments in Table-1 order.
+pub fn all_environments() -> Vec<Environment> {
+    vec![
+        Environment {
+            index: 1,
+            name: "Meeting room",
+            width_m: 5.0,
+            depth_m: 5.0,
+            outdoor: false,
+            // One wooden conference table; otherwise clear LOS.
+            obstacles: vec![wall(2.0, 2.3, 3.0, 2.3, Material::Wood)],
+            link: indoor_link(),
+            paper_accuracy_m: (0.8, 0.2),
+        },
+        Environment {
+            index: 2,
+            name: "Hallway",
+            width_m: 8.0,
+            depth_m: 3.0,
+            outdoor: false,
+            // A wooden door edge and a person in the corridor.
+            obstacles: vec![
+                wall(4.0, 0.0, 4.0, 0.8, Material::Wood),
+                wall(6.0, 1.4, 6.0, 1.9, Material::HumanBody),
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (1.4, 0.3),
+        },
+        Environment {
+            index: 3,
+            name: "Bedroom",
+            width_m: 7.0,
+            depth_m: 7.0,
+            outdoor: false,
+            obstacles: vec![
+                wall(1.0, 4.0, 3.0, 4.0, Material::Wood),    // bed frame
+                wall(5.5, 1.0, 5.5, 3.0, Material::Wood),    // wardrobe
+                wall(3.5, 5.8, 5.0, 5.8, Material::Drywall), // partition
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (1.4, 0.4),
+        },
+        Environment {
+            index: 4,
+            name: "Living room",
+            width_m: 7.0,
+            depth_m: 7.0,
+            outdoor: false,
+            obstacles: vec![
+                wall(2.0, 3.0, 4.0, 3.0, Material::Wood),  // sofa
+                wall(3.0, 4.5, 4.0, 4.5, Material::Glass), // glass table
+                wall(5.8, 2.0, 5.8, 4.5, Material::Wood),  // media shelf
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (1.6, 0.3),
+        },
+        Environment {
+            index: 5,
+            name: "Restaurant",
+            width_m: 9.0,
+            depth_m: 10.0,
+            outdoor: false,
+            obstacles: vec![
+                wall(2.0, 2.5, 3.2, 2.5, Material::Wood),
+                wall(5.5, 2.5, 6.7, 2.5, Material::Wood),
+                wall(2.0, 6.0, 3.2, 6.0, Material::Wood),
+                wall(5.5, 6.0, 6.7, 6.0, Material::Wood),
+                wall(4.3, 4.2, 4.3, 4.9, Material::HumanBody),
+                wall(7.5, 7.5, 7.5, 8.1, Material::HumanBody),
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (1.6, 0.4),
+        },
+        Environment {
+            index: 6,
+            name: "Store",
+            width_m: 9.0,
+            depth_m: 10.0,
+            outdoor: false,
+            // Two long metal shelf racks — highly reflective blockers.
+            obstacles: vec![
+                wall(2.0, 3.0, 7.0, 3.0, Material::Metal),
+                wall(2.0, 6.5, 7.0, 6.5, Material::Metal),
+                wall(4.5, 8.5, 4.5, 9.2, Material::HumanBody),
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (1.8, 0.6),
+        },
+        Environment {
+            index: 7,
+            name: "Labs",
+            width_m: 8.0,
+            depth_m: 10.0,
+            outdoor: false,
+            // §7.7: "a lab environment with a concrete wall block in the
+            // transmission path" plus server racks.
+            obstacles: vec![
+                wall(4.0, 2.0, 4.0, 7.0, Material::Concrete),
+                wall(1.5, 4.5, 3.0, 4.5, Material::Metal),
+                wall(5.5, 6.0, 7.0, 6.0, Material::Metal),
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (2.3, 0.5),
+        },
+        Environment {
+            index: 8,
+            name: "Hall",
+            width_m: 9.0,
+            depth_m: 11.0,
+            outdoor: false,
+            // §7.7: "a hall environment with a construction in between".
+            obstacles: vec![
+                wall(3.5, 4.0, 5.5, 4.0, Material::CinderBlock),
+                wall(5.5, 4.0, 5.5, 6.5, Material::CinderBlock),
+                wall(2.0, 8.0, 2.8, 8.0, Material::Wood),
+            ],
+            link: indoor_link(),
+            paper_accuracy_m: (2.1, 0.5),
+        },
+        Environment {
+            index: 9,
+            name: "Parking lot",
+            width_m: 16.0,
+            depth_m: 15.0,
+            outdoor: true,
+            // Open space; two parked cars in the north-west corner, well
+            // off the measurement diagonal.
+            obstacles: vec![
+                wall(0.7, 12.0, 2.7, 12.0, Material::Metal),
+                wall(0.7, 13.5, 2.7, 13.5, Material::Metal),
+            ],
+            link: outdoor_link(),
+            paper_accuracy_m: (1.2, 0.5),
+        },
+    ]
+}
+
+/// Fetches one environment by its Table-1 index (1–9).
+pub fn environment_by_index(index: usize) -> Option<Environment> {
+    all_environments().into_iter().find(|e| e.index == index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locble_geom::EnvClass;
+    use locble_rf::classify_path;
+
+    #[test]
+    fn nine_environments_in_table_order() {
+        let envs = all_environments();
+        assert_eq!(envs.len(), 9);
+        for (k, e) in envs.iter().enumerate() {
+            assert_eq!(e.index, k + 1);
+        }
+        assert_eq!(envs[0].name, "Meeting room");
+        assert_eq!(envs[8].name, "Parking lot");
+        assert!(envs[8].outdoor);
+        assert!(envs[..8].iter().all(|e| !e.outdoor));
+    }
+
+    #[test]
+    fn scales_match_table_1() {
+        let envs = all_environments();
+        let dims: Vec<(f64, f64)> = envs.iter().map(|e| (e.width_m, e.depth_m)).collect();
+        assert_eq!(
+            dims,
+            vec![
+                (5.0, 5.0),
+                (8.0, 3.0),
+                (7.0, 7.0),
+                (7.0, 7.0),
+                (9.0, 10.0),
+                (9.0, 10.0),
+                (8.0, 10.0),
+                (9.0, 11.0),
+                (16.0, 15.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_accuracies_recorded() {
+        let envs = all_environments();
+        assert_eq!(envs[0].paper_accuracy_m, (0.8, 0.2));
+        assert_eq!(envs[6].paper_accuracy_m, (2.3, 0.5));
+        assert_eq!(envs[8].paper_accuracy_m, (1.2, 0.5));
+    }
+
+    #[test]
+    fn obstacles_live_inside_bounds() {
+        for e in all_environments() {
+            for ob in &e.obstacles {
+                assert!(e.contains(ob.segment.a), "{}: {:?}", e.name, ob);
+                assert!(e.contains(ob.segment.b), "{}: {:?}", e.name, ob);
+            }
+        }
+    }
+
+    #[test]
+    fn lab_concrete_wall_blocks_cross_room_path() {
+        let lab = environment_by_index(7).unwrap();
+        let c = classify_path(Vec2::new(1.0, 5.0), Vec2::new(7.0, 5.0), &lab.obstacles);
+        assert_eq!(c.env, EnvClass::NonLos);
+    }
+
+    #[test]
+    fn meeting_room_is_mostly_los() {
+        let room = environment_by_index(1).unwrap();
+        let c = classify_path(Vec2::new(0.5, 0.5), Vec2::new(4.5, 1.0), &room.obstacles);
+        assert_eq!(c.env, EnvClass::Los);
+    }
+
+    #[test]
+    fn index_lookup() {
+        assert!(environment_by_index(0).is_none());
+        assert!(environment_by_index(10).is_none());
+        assert_eq!(environment_by_index(6).unwrap().name, "Store");
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment substrate: the paper's nine evaluation environments and the
+//! end-to-end measurement simulation.
+//!
+//! This crate wires every lower layer together the way the paper's
+//! experiments did physically:
+//!
+//! * [`environments`] — the 9 environments of Table 1 (meeting room …
+//!   parking lot) with their published dimensions, plausible obstacle
+//!   layouts, and the paper's reported accuracies for comparison;
+//! * [`world`] — one *measurement session*: the observer performs a
+//!   scripted walk (IMU simulated by `locble-sensors`), every beacon
+//!   advertises per spec (`locble-ble`), the scanner captures what the RF
+//!   channel (`locble-rf`) delivers, and the session hands back exactly
+//!   what a phone app would have: IMU samples and per-beacon timestamped
+//!   RSSI, plus ground truth for scoring;
+//! * [`paths`] — walk planning inside environment bounds;
+//! * [`trainer`] — synthesizes labeled LOS/p-LOS/NLOS windows from the
+//!   channel simulator and trains the EnvAware classifier (the paper's
+//!   offline training-data collection);
+//! * [`runner`] — glue from a [`world::Session`] to LocBLE estimates and
+//!   localization errors, including the local↔world frame bookkeeping;
+//! * [`trace`] — a plain-text trace format so sessions can be saved,
+//!   diffed, and replayed.
+
+#![warn(missing_docs)]
+
+pub mod environments;
+pub mod paths;
+pub mod runner;
+pub mod trace;
+pub mod trainer;
+pub mod world;
+
+pub use environments::{all_environments, environment_by_index, Environment};
+pub use paths::plan_l_walk;
+pub use runner::{localization_error, localize, RunOutcome};
+pub use trace::{parse_session_trace, session_trace_to_string};
+pub use trainer::{train_default_envaware, training_windows};
+pub use world::{BeaconSpec, Session, SessionConfig};

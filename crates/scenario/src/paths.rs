@@ -1,0 +1,115 @@
+//! Walk planning inside environment bounds.
+//!
+//! The paper's measurement movement is the L-shape of Fig. 7: leg 1, a
+//! 90° turn, leg 2 (§7.6.2: 3.5–5 m total, "around 4–6 steps … usually
+//! taking about 3–5 s"). [`plan_l_walk`] picks a starting heading and
+//! turn direction so the whole L stays inside the room with a safety
+//! margin, preferring headings that roughly face the environment center
+//! (a user naturally walks into the open space, not into a wall).
+
+use crate::environments::Environment;
+use locble_geom::{Pose2, Vec2};
+use locble_sensors::{WalkLeg, WalkPlan};
+use std::f64::consts::FRAC_PI_2;
+
+/// Plans an L-shaped walk of `leg1_m` + `leg2_m` starting at `start`,
+/// staying inside `env` with `margin` metres of clearance. Returns `None`
+/// when no orientation fits (room too small or start too close to a
+/// wall).
+pub fn plan_l_walk(
+    env: &Environment,
+    start: Vec2,
+    leg1_m: f64,
+    leg2_m: f64,
+    margin: f64,
+) -> Option<WalkPlan> {
+    assert!(leg1_m > 0.0 && leg2_m > 0.0, "leg lengths must be positive");
+    if !env.contains(start) {
+        return None;
+    }
+    let inside = |p: Vec2| {
+        (margin..=env.width_m - margin).contains(&p.x)
+            && (margin..=env.depth_m - margin).contains(&p.y)
+    };
+    let to_center = (env.center() - start).angle();
+
+    // Candidate headings, nearest-to-center first.
+    let mut best: Option<(f64, WalkPlan)> = None;
+    for k in 0..16 {
+        let heading = to_center + k as f64 * std::f64::consts::PI / 8.0;
+        for turn in [FRAC_PI_2, -FRAC_PI_2] {
+            let corner = start + Vec2::from_angle(heading) * leg1_m;
+            let end = corner + Vec2::from_angle(heading + turn) * leg2_m;
+            let mid1 = start.lerp(corner, 0.5);
+            let mid2 = corner.lerp(end, 0.5);
+            if [corner, end, mid1, mid2].into_iter().all(inside) {
+                let badness = locble_geom::signed_angle_diff(to_center, heading).abs();
+                if best.as_ref().is_none_or(|(b, _)| badness < *b) {
+                    let plan = WalkPlan {
+                        start: Pose2::new(start, heading),
+                        legs: vec![
+                            WalkLeg { distance_m: leg1_m },
+                            WalkLeg { distance_m: leg2_m },
+                        ],
+                        turn_angles: vec![turn],
+                    };
+                    best = Some((badness, plan));
+                }
+            }
+        }
+    }
+    best.map(|(_, plan)| plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environments::all_environments;
+
+    #[test]
+    fn plans_fit_every_environment() {
+        for env in all_environments() {
+            let start = Vec2::new(env.width_m * 0.25, env.depth_m * 0.25);
+            let plan = plan_l_walk(&env, start, 2.2, 1.8, 0.3)
+                .unwrap_or_else(|| panic!("no plan for {}", env.name));
+            // Verify the corners stay inside.
+            let corner = start + Vec2::from_angle(plan.start.heading) * plan.legs[0].distance_m;
+            let end = corner
+                + Vec2::from_angle(plan.start.heading + plan.turn_angles[0])
+                    * plan.legs[1].distance_m;
+            assert!(env.contains(corner), "{}: corner {corner:?}", env.name);
+            assert!(env.contains(end), "{}: end {end:?}", env.name);
+        }
+    }
+
+    #[test]
+    fn prefers_heading_toward_open_space() {
+        let env = all_environments().remove(0); // 5×5 meeting room
+        let start = Vec2::new(0.5, 0.5);
+        let plan = plan_l_walk(&env, start, 3.0, 2.0, 0.3).unwrap();
+        // Walking from the SW corner, the heading must aim into the room.
+        let h = plan.start.heading;
+        assert!(h.cos() > 0.0 && h.sin() > 0.0, "heading {h}");
+    }
+
+    #[test]
+    fn oversized_l_does_not_fit() {
+        let env = all_environments().remove(0); // 5×5
+        let start = Vec2::new(2.5, 2.5);
+        assert!(plan_l_walk(&env, start, 10.0, 10.0, 0.3).is_none());
+    }
+
+    #[test]
+    fn start_outside_is_rejected() {
+        let env = all_environments().remove(0);
+        assert!(plan_l_walk(&env, Vec2::new(-1.0, 2.0), 2.0, 2.0, 0.3).is_none());
+    }
+
+    #[test]
+    fn plan_validates() {
+        let env = all_environments().remove(4);
+        let plan = plan_l_walk(&env, env.center(), 2.5, 2.0, 0.3).unwrap();
+        assert!(plan.validate().is_ok());
+        assert!((plan.total_distance() - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,254 @@
+//! Plain-text session traces.
+//!
+//! The reproduction bands note that for this paper "only offline filter
+//! replay \[is\] feasible" — so sessions serialize to a line-oriented
+//! trace holding exactly what the app would have logged on-device (IMU
+//! samples, per-beacon RSSI, metadata), and parse back into a
+//! [`ReplayTrace`] that can be fed through the motion tracker and
+//! estimator offline.
+//!
+//! Format (one record per line, space-separated, `#` comments ignored):
+//!
+//! ```text
+//! # locble-trace v1
+//! ENV 7
+//! START <x> <y> <heading>
+//! BEACON <id> <x> <y>
+//! IMU <t> <ax> <ay> <az> <gx> <gy> <gz> <mag_heading>
+//! RSS <t> <beacon-id> <rssi>
+//! ```
+
+use crate::world::Session;
+use locble_ble::BeaconId;
+use locble_dsp::TimeSeries;
+use locble_geom::{Pose2, Vec2};
+use locble_sensors::ImuSample;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed trace: the app-visible data plus scoring metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTrace {
+    /// Table-1 environment index.
+    pub env_index: usize,
+    /// Observer starting pose (world frame).
+    pub start: Pose2,
+    /// Beacon ground-truth positions (world frame).
+    pub beacons: Vec<(BeaconId, Vec2)>,
+    /// IMU stream.
+    pub imu: Vec<ImuSample>,
+    /// Per-beacon RSSI series.
+    pub rss: BTreeMap<BeaconId, TimeSeries>,
+}
+
+/// Serializes a session to the trace format.
+pub fn session_trace_to_string(session: &Session) -> String {
+    let mut out = String::new();
+    out.push_str("# locble-trace v1\n");
+    let _ = writeln!(out, "ENV {}", session.env.index);
+    let _ = writeln!(
+        out,
+        "START {} {} {}",
+        session.start.position.x, session.start.position.y, session.start.heading
+    );
+    for b in &session.beacons {
+        let _ = writeln!(out, "BEACON {} {} {}", b.id.0, b.position.x, b.position.y);
+    }
+    for s in &session.walk.imu {
+        let _ = writeln!(
+            out,
+            "IMU {} {} {} {} {} {} {} {}",
+            s.t, s.accel[0], s.accel[1], s.accel[2], s.gyro[0], s.gyro[1], s.gyro[2], s.mag_heading
+        );
+    }
+    for (id, series) in &session.rss {
+        for (&t, &v) in series.t.iter().zip(&series.v) {
+            let _ = writeln!(out, "RSS {} {} {}", t, id.0, v);
+        }
+    }
+    out
+}
+
+/// Parses a trace produced by [`session_trace_to_string`].
+pub fn parse_session_trace(text: &str) -> Result<ReplayTrace, String> {
+    let mut env_index = None;
+    let mut start = None;
+    let mut beacons = Vec::new();
+    let mut imu = Vec::new();
+    let mut rss_raw: BTreeMap<BeaconId, Vec<(f64, f64)>> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a tag");
+        let fields: Vec<&str> = parts.collect();
+        let ctx = |what: &str| format!("line {}: bad {what}: {line:?}", lineno + 1);
+        let f = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse::<f64>().map_err(|_| ctx(what))
+        };
+        match tag {
+            "ENV" => {
+                let idx: usize = fields
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| ctx("ENV"))?;
+                env_index = Some(idx);
+            }
+            "START" => {
+                if fields.len() != 3 {
+                    return Err(ctx("START"));
+                }
+                start = Some(Pose2::new(
+                    Vec2::new(f(fields[0], "START")?, f(fields[1], "START")?),
+                    f(fields[2], "START")?,
+                ));
+            }
+            "BEACON" => {
+                if fields.len() != 3 {
+                    return Err(ctx("BEACON"));
+                }
+                let id: u32 = fields[0].parse().map_err(|_| ctx("BEACON id"))?;
+                beacons.push((
+                    BeaconId(id),
+                    Vec2::new(f(fields[1], "BEACON")?, f(fields[2], "BEACON")?),
+                ));
+            }
+            "IMU" => {
+                if fields.len() != 8 {
+                    return Err(ctx("IMU"));
+                }
+                let v: Result<Vec<f64>, String> = fields.iter().map(|s| f(s, "IMU")).collect();
+                let v = v?;
+                imu.push(ImuSample {
+                    t: v[0],
+                    accel: [v[1], v[2], v[3]],
+                    gyro: [v[4], v[5], v[6]],
+                    mag_heading: v[7],
+                });
+            }
+            "RSS" => {
+                if fields.len() != 3 {
+                    return Err(ctx("RSS"));
+                }
+                let id: u32 = fields[1].parse().map_err(|_| ctx("RSS id"))?;
+                rss_raw
+                    .entry(BeaconId(id))
+                    .or_default()
+                    .push((f(fields[0], "RSS t")?, f(fields[2], "RSS v")?));
+            }
+            other => return Err(format!("line {}: unknown tag {other:?}", lineno + 1)),
+        }
+    }
+
+    let mut rss = BTreeMap::new();
+    for (id, mut samples) in rss_raw {
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut series = TimeSeries::default();
+        for (t, v) in samples {
+            series.push(t, v);
+        }
+        rss.insert(id, series);
+    }
+
+    Ok(ReplayTrace {
+        env_index: env_index.ok_or("missing ENV record")?,
+        start: start.ok_or("missing START record")?,
+        beacons,
+        imu,
+        rss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environments::environment_by_index;
+    use crate::paths::plan_l_walk;
+    use crate::world::{simulate_session, BeaconSpec, SessionConfig};
+    use locble_ble::{BeaconHardware, BeaconKind};
+
+    fn session() -> Session {
+        let env = environment_by_index(2).unwrap();
+        let beacons = vec![
+            BeaconSpec {
+                id: BeaconId(1),
+                position: Vec2::new(6.0, 1.5),
+                hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+            },
+            BeaconSpec {
+                id: BeaconId(2),
+                position: Vec2::new(7.0, 2.0),
+                hardware: BeaconHardware::ideal(BeaconKind::RadBeacon),
+            },
+        ];
+        let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.5, 1.2, 0.3).unwrap();
+        simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(31))
+    }
+
+    #[test]
+    fn round_trip_preserves_data() {
+        let s = session();
+        let text = session_trace_to_string(&s);
+        let replay = parse_session_trace(&text).unwrap();
+        assert_eq!(replay.env_index, 2);
+        assert!(replay.start.position.distance(s.start.position) < 1e-12);
+        assert_eq!(replay.beacons.len(), 2);
+        assert_eq!(replay.imu.len(), s.walk.imu.len());
+        assert_eq!(replay.imu[10], s.walk.imu[10]);
+        for (id, series) in &s.rss {
+            let got = &replay.rss[id];
+            assert_eq!(got.t, series.t, "beacon {id}");
+            assert_eq!(got.v, series.v, "beacon {id}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nENV 3\nSTART 0 0 0\n";
+        let replay = parse_session_trace(text).unwrap();
+        assert_eq!(replay.env_index, 3);
+        assert!(replay.imu.is_empty());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(parse_session_trace("START 0 0 0\n").is_err());
+        assert!(parse_session_trace("ENV 1\n").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = parse_session_trace("ENV 1\nSTART 0 0 0\nIMU bad\n").unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let err = parse_session_trace("WAT 1\n").unwrap_err();
+        assert!(err.contains("unknown tag"), "{err}");
+    }
+
+    #[test]
+    fn replay_reproduces_localization() {
+        // The whole point of the trace: offline replay gives the same
+        // estimate as the live session.
+        use crate::runner::localize;
+        use locble_core::{Estimator, EstimatorConfig};
+        use locble_motion::{track, TrackerConfig};
+
+        let s = session();
+        let live = localize(&s, BeaconId(1), &Estimator::new(EstimatorConfig::default()))
+            .expect("live estimate");
+
+        let replay = parse_session_trace(&session_trace_to_string(&s)).unwrap();
+        let observer = track(&replay.imu, &TrackerConfig::default());
+        let est = Estimator::new(EstimatorConfig::default())
+            .estimate_stationary(&replay.rss[&BeaconId(1)], &observer)
+            .expect("replay estimate");
+        assert!(
+            est.position.distance(live.estimate.position) < 1e-9,
+            "live {:?} vs replay {:?}",
+            live.estimate.position,
+            est.position
+        );
+    }
+}

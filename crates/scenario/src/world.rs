@@ -1,0 +1,433 @@
+//! One end-to-end measurement session.
+//!
+//! A [`Session`] is everything a phone app would have after the user
+//! performs the measurement walk: the IMU stream, one timestamped RSSI
+//! series per heard beacon — plus the simulation's ground truth (true
+//! trajectory, true beacon positions) for scoring. The composition
+//! mirrors the physical experiment exactly: beacons advertise per the
+//! BLE spec, the RF channel distorts each transmission, the scanner
+//! captures per its window/channel schedule, and the receiver chain
+//! reports an integer RSSI or drops the packet.
+
+use crate::environments::Environment;
+use locble_ble::{
+    AdvEvent, Advertiser, AdvertiserConfig, BeaconHardware, BeaconId, Scanner, ScannerConfig,
+};
+use locble_dsp::TimeSeries;
+use locble_geom::{Pose2, Vec2};
+use locble_rf::{randn, LinkConfig, LinkSimulator, ReceiverProfile, SpatialShadowing};
+use locble_sensors::{simulate_walk, GaitConfig, WalkPlan, WalkSimulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// One deployed beacon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeaconSpec {
+    /// Identifier.
+    pub id: BeaconId,
+    /// World position, metres.
+    pub position: Vec2,
+    /// Hardware profile (kind + unit calibration error).
+    pub hardware: BeaconHardware,
+}
+
+/// Session knobs.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Advertiser timing (paper: 10 Hz non-connectable).
+    pub advertiser: AdvertiserConfig,
+    /// Scanner timing and loss model.
+    pub scanner: ScannerConfig,
+    /// The observer phone's receiver chain.
+    pub receiver: ReceiverProfile,
+    /// Gait / IMU noise parameters.
+    pub gait: GaitConfig,
+    /// Per-beacon link configuration override; defaults to the
+    /// environment's.
+    pub link: Option<LinkConfig>,
+    /// Transient blockage events `(t_start, t_end, extra_dB)`: a person
+    /// stepping into the propagation path for a moment ("people randomly
+    /// come in between during the observer's movement", paper §4.3).
+    /// Applied to every link.
+    pub transient_blockages: Vec<(f64, f64, f64)>,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl SessionConfig {
+    /// The paper's experimental defaults with the given seed.
+    pub fn paper_default(seed: u64) -> SessionConfig {
+        SessionConfig {
+            advertiser: AdvertiserConfig::paper_default(),
+            scanner: ScannerConfig::paper_default(),
+            receiver: ReceiverProfile::smartphone(0.0),
+            gait: GaitConfig::default(),
+            link: None,
+            transient_blockages: Vec::new(),
+            seed,
+        }
+    }
+}
+
+/// The simulated measurement session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// Environment it ran in.
+    pub env: Environment,
+    /// Deployed beacons.
+    pub beacons: Vec<BeaconSpec>,
+    /// The observer's walk (IMU + ground-truth trajectory).
+    pub walk: WalkSimulation,
+    /// The observer's starting pose (defines the local frame).
+    pub start: Pose2,
+    /// Per-beacon captured RSSI series.
+    pub rss: BTreeMap<BeaconId, TimeSeries>,
+}
+
+impl Session {
+    /// RSSI series of one beacon, if it was ever heard.
+    pub fn rss_of(&self, id: BeaconId) -> Option<&TimeSeries> {
+        self.rss.get(&id)
+    }
+
+    /// The spec of one beacon.
+    pub fn beacon(&self, id: BeaconId) -> Option<&BeaconSpec> {
+        self.beacons.iter().find(|b| b.id == id)
+    }
+
+    /// Ground-truth position of a beacon in the observer's local frame
+    /// (origin = walk start, +x = initial heading) — the frame location
+    /// estimates are expressed in.
+    pub fn truth_local(&self, id: BeaconId) -> Option<Vec2> {
+        Some(self.start.world_to_local(self.beacon(id)?.position))
+    }
+}
+
+/// Runs one measurement session: the observer walks `plan` while every
+/// beacon advertises; returns the captured data plus ground truth.
+///
+/// # Panics
+/// Panics when a beacon sits outside the environment or no beacons are
+/// given.
+pub fn simulate_session(
+    env: &Environment,
+    beacons: &[BeaconSpec],
+    plan: &WalkPlan,
+    config: &SessionConfig,
+) -> Session {
+    assert!(!beacons.is_empty(), "session needs at least one beacon");
+    for b in beacons {
+        assert!(
+            env.contains(b.position),
+            "beacon {} at {:?} is outside {}",
+            b.id,
+            b.position,
+            env.name
+        );
+    }
+
+    // The observer's walk and true world trajectory.
+    let walk = simulate_walk(plan, &config.gait, config.seed ^ 0x5751);
+    let duration = walk.imu.last().map_or(0.0, |s| s.t);
+
+    // Every beacon advertises independently; merge events in time order.
+    let mut events: Vec<AdvEvent> = Vec::new();
+    for (k, b) in beacons.iter().enumerate() {
+        let mut adv = Advertiser::new(config.advertiser, b.id, config.seed ^ (0xAD0 + k as u64));
+        events.extend(adv.events_until(duration));
+    }
+    events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+
+    // One RF link per beacon, plus per-beacon TX instability RNG. All
+    // links share one geometry-driven shadowing field so co-located
+    // beacons see correlated shadowing (the basis of §6's clustering).
+    let base_link = config.link.unwrap_or(env.link);
+    let field = SpatialShadowing::new(1.2, config.seed ^ 0xF1E1D);
+    let mut links: BTreeMap<BeaconId, (LinkSimulator, BeaconHardware, StdRng)> = BTreeMap::new();
+    for (k, b) in beacons.iter().enumerate() {
+        let link_cfg = LinkConfig {
+            gamma_1m_dbm: base_link.gamma_1m_dbm + b.hardware.unit_offset_db,
+            ..base_link
+        };
+        links.insert(
+            b.id,
+            (
+                LinkSimulator::new(link_cfg, config.receiver, config.seed ^ (0x117 + k as u64))
+                    .with_spatial_shadowing(field.clone()),
+                b.hardware,
+                StdRng::seed_from_u64(config.seed ^ (0x7F0 + k as u64)),
+            ),
+        );
+    }
+
+    // The scanner hears what the channel delivers.
+    let positions: BTreeMap<BeaconId, Vec2> = beacons.iter().map(|b| (b.id, b.position)).collect();
+    let trajectory = walk.trajectory.clone();
+    let mut scanner = Scanner::new(config.scanner, config.seed ^ 0x5CA);
+    let samples = scanner.capture(&events, |e| {
+        let (link, hw, rng) = links.get_mut(&e.beacon).expect("link exists");
+        let rx = trajectory.sample(e.t).expect("trajectory covers walk");
+        let tx = positions[&e.beacon];
+        // Per-transmission Tx instability (beacon hardware profile); the
+        // unit's static calibration error is already folded into Γ.
+        let mut jitter = randn::normal(rng, 0.0, hw.kind.instability_sigma_db());
+        // Transient blockers (a passer-by) attenuate every link.
+        for &(t0, t1, db) in &config.transient_blockages {
+            if e.t >= t0 && e.t < t1 {
+                jitter -= db;
+            }
+        }
+        link.measure_with_tx_offset(e.t, tx, rx, &env.obstacles, e.channel, jitter)
+            .map(|m| m.rssi_dbm)
+    });
+
+    // Split the capture stream into per-beacon series.
+    let mut rss: BTreeMap<BeaconId, TimeSeries> = BTreeMap::new();
+    for s in samples {
+        rss.entry(s.beacon).or_default().push(s.t, s.rssi_dbm);
+    }
+
+    Session {
+        env: env.clone(),
+        beacons: beacons.to_vec(),
+        walk,
+        start: plan.start,
+        rss,
+    }
+}
+
+/// A moving-target session (paper §7.4.2): the target carries an
+/// advertising device and walks its own path while the observer walks
+/// the measurement L; afterwards the target's motion trace is transferred
+/// to the observer.
+#[derive(Debug, Clone)]
+pub struct MovingSession {
+    /// Environment.
+    pub env: Environment,
+    /// The observer's walk.
+    pub observer_walk: WalkSimulation,
+    /// The target's walk.
+    pub target_walk: WalkSimulation,
+    /// Observer starting pose (world).
+    pub observer_start: Pose2,
+    /// Target starting pose (world).
+    pub target_start: Pose2,
+    /// RSSI of the target's beacon as heard by the observer.
+    pub rss: TimeSeries,
+    /// The target's beacon id.
+    pub target_beacon: BeaconId,
+}
+
+impl MovingSession {
+    /// Ground truth: the target's *initial* position in the observer's
+    /// local frame (the paper measures moving-target error at the
+    /// initial location, §7.2).
+    pub fn truth_local_initial(&self) -> Vec2 {
+        self.observer_start
+            .world_to_local(self.target_start.position)
+    }
+}
+
+/// Runs a moving-target session.
+pub fn simulate_moving_session(
+    env: &Environment,
+    observer_plan: &WalkPlan,
+    target_plan: &WalkPlan,
+    hardware: BeaconHardware,
+    config: &SessionConfig,
+) -> MovingSession {
+    let observer_walk = simulate_walk(observer_plan, &config.gait, config.seed ^ 0x0B5);
+    let target_walk = simulate_walk(target_plan, &config.gait, config.seed ^ 0x769);
+    let duration = observer_walk
+        .imu
+        .last()
+        .map_or(0.0, |s| s.t)
+        .min(target_walk.imu.last().map_or(0.0, |s| s.t));
+
+    let beacon = BeaconId(0);
+    let mut adv = Advertiser::new(config.advertiser, beacon, config.seed ^ 0xADB);
+    let events = adv.events_until(duration);
+
+    let base_link = config.link.unwrap_or(env.link);
+    let link_cfg = LinkConfig {
+        gamma_1m_dbm: base_link.gamma_1m_dbm + hardware.unit_offset_db,
+        ..base_link
+    };
+    let field = SpatialShadowing::new(1.2, config.seed ^ 0xF1E1D);
+    let mut link = LinkSimulator::new(link_cfg, config.receiver, config.seed ^ 0x11B)
+        .with_spatial_shadowing(field);
+    let mut jitter_rng = StdRng::seed_from_u64(config.seed ^ 0x7FB);
+
+    let obs_traj = observer_walk.trajectory.clone();
+    let tgt_traj = target_walk.trajectory.clone();
+    let mut scanner = Scanner::new(config.scanner, config.seed ^ 0x5CB);
+    let samples = scanner.capture(&events, |e| {
+        let rx = obs_traj
+            .sample(e.t)
+            .expect("observer trajectory covers walk");
+        let tx = tgt_traj.sample(e.t).expect("target trajectory covers walk");
+        let mut jitter = randn::normal(&mut jitter_rng, 0.0, hardware.kind.instability_sigma_db());
+        for &(t0, t1, db) in &config.transient_blockages {
+            if e.t >= t0 && e.t < t1 {
+                jitter -= db;
+            }
+        }
+        link.measure_with_tx_offset(e.t, tx, rx, &env.obstacles, e.channel, jitter)
+            .map(|m| m.rssi_dbm)
+    });
+    let mut rss = TimeSeries::default();
+    for s in samples {
+        rss.push(s.t, s.rssi_dbm);
+    }
+
+    MovingSession {
+        env: env.clone(),
+        observer_walk,
+        target_walk,
+        observer_start: observer_plan.start,
+        target_start: target_plan.start,
+        rss,
+        target_beacon: beacon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::environments::environment_by_index;
+    use crate::paths::plan_l_walk;
+    use locble_ble::BeaconKind;
+
+    fn one_beacon_session(seed: u64) -> Session {
+        let env = environment_by_index(1).unwrap();
+        let beacons = vec![BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(4.0, 4.0),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        }];
+        let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.5, 2.0, 0.3).unwrap();
+        simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(seed))
+    }
+
+    #[test]
+    fn session_produces_paper_rate_rss() {
+        let s = one_beacon_session(1);
+        let rss = s.rss_of(BeaconId(1)).expect("beacon heard");
+        let duration = s.walk.imu.last().unwrap().t;
+        let rate = rss.len() as f64 / duration;
+        // ~10 Hz advertising through a continuous scanner with ~5 %
+        // losses lands in the paper's 8–9.5 Hz regime.
+        assert!((6.5..=10.0).contains(&rate), "rate {rate} Hz");
+    }
+
+    #[test]
+    fn rss_values_are_physically_plausible() {
+        let s = one_beacon_session(2);
+        let rss = s.rss_of(BeaconId(1)).unwrap();
+        for &v in &rss.v {
+            assert!((-100.0..=-35.0).contains(&v), "rssi {v}");
+            // Integer grid from the receiver quantizer.
+            assert!((v - v.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn truth_local_matches_manual_transform() {
+        let s = one_beacon_session(3);
+        let truth = s.truth_local(BeaconId(1)).unwrap();
+        let manual = s.start.world_to_local(Vec2::new(4.0, 4.0));
+        assert!(truth.distance(manual) < 1e-12);
+        // The beacon is a few metres away, in front of the walk origin.
+        assert!(truth.norm() > 1.0 && truth.norm() < 6.0);
+    }
+
+    #[test]
+    fn multiple_beacons_all_heard() {
+        let env = environment_by_index(5).unwrap();
+        let beacons: Vec<BeaconSpec> = (0..4)
+            .map(|k| BeaconSpec {
+                id: BeaconId(k),
+                position: Vec2::new(2.0 + k as f64 * 1.5, 7.0),
+                hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+            })
+            .collect();
+        let plan = plan_l_walk(&env, Vec2::new(2.0, 2.0), 3.0, 2.5, 0.3).unwrap();
+        let s = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(4));
+        for k in 0..4 {
+            let rss = s
+                .rss_of(BeaconId(k))
+                .unwrap_or_else(|| panic!("beacon {k} unheard"));
+            assert!(rss.len() > 20, "beacon {k}: {} samples", rss.len());
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let a = one_beacon_session(7);
+        let b = one_beacon_session(7);
+        assert_eq!(
+            a.rss_of(BeaconId(1)).unwrap().v,
+            b.rss_of(BeaconId(1)).unwrap().v
+        );
+        let c = one_beacon_session(8);
+        assert_ne!(
+            a.rss_of(BeaconId(1)).unwrap().v,
+            c.rss_of(BeaconId(1)).unwrap().v
+        );
+    }
+
+    #[test]
+    fn closer_beacon_is_louder() {
+        let env = environment_by_index(9).unwrap(); // open parking lot
+        let beacons = vec![
+            BeaconSpec {
+                id: BeaconId(1),
+                position: Vec2::new(5.0, 6.0),
+                hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+            },
+            BeaconSpec {
+                id: BeaconId(2),
+                position: Vec2::new(14.0, 14.0),
+                hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+            },
+        ];
+        let plan = plan_l_walk(&env, Vec2::new(4.0, 4.0), 3.0, 2.5, 0.5).unwrap();
+        let s = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(5));
+        let mean = |ts: &TimeSeries| ts.v.iter().sum::<f64>() / ts.v.len() as f64;
+        let near = mean(s.rss_of(BeaconId(1)).unwrap());
+        let far = mean(s.rss_of(BeaconId(2)).unwrap());
+        assert!(near > far + 5.0, "near {near:.1}, far {far:.1}");
+    }
+
+    #[test]
+    fn moving_session_produces_rss_and_truth() {
+        let env = environment_by_index(9).unwrap();
+        let obs_plan = plan_l_walk(&env, Vec2::new(4.0, 4.0), 3.0, 2.5, 0.5).unwrap();
+        let tgt_plan = plan_l_walk(&env, Vec2::new(10.0, 9.0), 2.5, 2.0, 0.5).unwrap();
+        let ms = simulate_moving_session(
+            &env,
+            &obs_plan,
+            &tgt_plan,
+            BeaconHardware::ideal(BeaconKind::IosDevice),
+            &SessionConfig::paper_default(41),
+        );
+        assert!(ms.rss.len() > 20, "{} samples", ms.rss.len());
+        let truth = ms.truth_local_initial();
+        let world_dist = Vec2::new(4.0, 4.0).distance(Vec2::new(10.0, 9.0));
+        assert!((truth.norm() - world_dist).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn beacon_outside_room_rejected() {
+        let env = environment_by_index(1).unwrap();
+        let beacons = vec![BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(40.0, 4.0),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        }];
+        let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.0, 2.0, 0.3).unwrap();
+        simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the scenario substrate: walk planning stays in
+//! bounds, sessions are structurally sound, and the trace parser is
+//! total (never panics on arbitrary text).
+
+use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+use locble_geom::Vec2;
+use locble_scenario::world::simulate_session;
+use locble_scenario::{
+    all_environments, environment_by_index, parse_session_trace, plan_l_walk,
+    session_trace_to_string, BeaconSpec, SessionConfig,
+};
+use locble_sensors::simulate_walk;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever walk the planner produces stays inside the environment
+    /// when actually walked (including gait noise).
+    #[test]
+    fn planned_walks_stay_in_bounds(
+        env_index in 1usize..=9,
+        fx in 0.15..0.5f64,
+        fy in 0.15..0.5f64,
+        leg1 in 1.5..3.5f64,
+        leg2 in 1.0..3.0f64,
+        seed in 0u64..200,
+    ) {
+        let env = environment_by_index(env_index).expect("env");
+        let start = Vec2::new(env.width_m * fx, env.depth_m * fy);
+        let Some(plan) = plan_l_walk(&env, start, leg1, leg2, 0.4) else {
+            return Ok(()); // planner may legitimately refuse
+        };
+        let sim = simulate_walk(&plan, &Default::default(), seed);
+        for p in sim.trajectory.points() {
+            prop_assert!(
+                env.contains(p.pos),
+                "{}: walked out of bounds at {:?}",
+                env.name,
+                p.pos
+            );
+        }
+    }
+
+    /// Sessions deliver well-formed RSSI streams for arbitrary beacon
+    /// placements.
+    #[test]
+    fn sessions_are_wellformed(
+        env_index in 1usize..=9,
+        bx in 0.1..0.9f64,
+        by in 0.1..0.9f64,
+        seed in 0u64..200,
+    ) {
+        let env = environment_by_index(env_index).expect("env");
+        let beacon = BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(env.width_m * bx, env.depth_m * by),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        };
+        let start = Vec2::new(env.width_m * 0.25, env.depth_m * 0.25);
+        let Some(plan) = plan_l_walk(&env, start, 2.5, 2.0, 0.4) else {
+            return Ok(());
+        };
+        let session =
+            simulate_session(&env, &[beacon], &plan, &SessionConfig::paper_default(seed));
+        if let Some(rss) = session.rss_of(BeaconId(1)) {
+            for w in rss.t.windows(2) {
+                prop_assert!(w[1] >= w[0]);
+            }
+            for &v in &rss.v {
+                prop_assert!(v.is_finite());
+                prop_assert!((-110.0..=-20.0).contains(&v), "rssi {v}");
+            }
+        }
+    }
+
+    /// The trace parser is total: arbitrary text parses or errors, never
+    /// panics.
+    #[test]
+    fn trace_parser_is_total(text in "\\PC{0,400}") {
+        let _ = parse_session_trace(&text);
+    }
+
+    /// Structured-ish garbage (valid tags, random fields) is also safe.
+    #[test]
+    fn trace_parser_survives_tag_garbage(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just("ENV 3".to_string()),
+                Just("START 0 0 0".to_string()),
+                "(ENV|START|BEACON|IMU|RSS) [0-9a-z\\-\\. ]{0,40}",
+                "\\PC{0,60}",
+            ],
+            0..30,
+        ),
+    ) {
+        let _ = parse_session_trace(&lines.join("\n"));
+    }
+}
+
+#[test]
+fn environments_have_stable_count() {
+    assert_eq!(all_environments().len(), 9);
+}
+
+#[test]
+fn trace_round_trip_is_lossless_for_real_sessions() {
+    let env = environment_by_index(1).expect("env");
+    let beacon = BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(4.0, 4.0),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    };
+    let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.5, 2.0, 0.3).expect("plan");
+    let session = simulate_session(&env, &[beacon], &plan, &SessionConfig::paper_default(77));
+    let replay = parse_session_trace(&session_trace_to_string(&session)).expect("parse");
+    assert_eq!(replay.imu.len(), session.walk.imu.len());
+}

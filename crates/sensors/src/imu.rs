@@ -1,0 +1,49 @@
+//! IMU sample types shared between the simulator and the motion tracker.
+
+/// One IMU sample in the *phone* frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Sample time, seconds.
+    pub t: f64,
+    /// Accelerometer reading in the phone frame, m/s², gravity included.
+    pub accel: [f64; 3],
+    /// Gyroscope reading in the phone frame, rad/s.
+    pub gyro: [f64; 3],
+    /// Tilt-compensated magnetic heading, radians from the world +x axis
+    /// counter-clockwise (what CoreMotion exposes as heading after its
+    /// own fusion), including indoor disturbance.
+    pub mag_heading: f64,
+}
+
+/// Ground truth for one turning maneuver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurnTruth {
+    /// Turn start time, seconds.
+    pub t_start: f64,
+    /// Turn end time, seconds.
+    pub t_end: f64,
+    /// Signed turn angle, radians (counter-clockwise positive).
+    pub angle: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_plain_data() {
+        let s = ImuSample {
+            t: 0.0,
+            accel: [0.0, 0.0, 9.8],
+            gyro: [0.0; 3],
+            mag_heading: 0.5,
+        };
+        let t = TurnTruth {
+            t_start: 1.0,
+            t_end: 2.0,
+            angle: 1.57,
+        };
+        assert_eq!(s, s);
+        assert!(t.t_end > t.t_start);
+    }
+}

@@ -1,0 +1,35 @@
+//! Smartphone IMU simulator for the LocBLE reproduction.
+//!
+//! The paper's data-collection layer reads CoreMotion: accelerometer,
+//! gyroscope, magnetometer (§3, §5.2). There is no phone here, so this
+//! crate synthesizes those streams from a scripted walk:
+//!
+//! * [`gait`] — a pedestrian gait model: per-step vertical acceleration
+//!   bursts whose frequency sets the step length (the [Li et al. 2012]
+//!   relation the paper borrows in §5.2.1), gyroscope bumps during turns,
+//!   magnetometer heading with slowly-drifting indoor disturbance
+//!   ("magnetic field reading is known to fluctuate in indoor
+//!   environments, but it is accurate over a short period time", §5.2.2).
+//! * [`mat3`] — minimal 3-D rotation support so the synthetic phone can be
+//!   held at an arbitrary posture; `locble-motion`'s coordinate alignment
+//!   has to undo it, exactly as the real system uses "the well-known
+//!   coordinate alignment for transforming phone coordinate to earth
+//!   coordinate" (§5.2).
+//! * [`imu`] — the sample types shared with `locble-motion`.
+//!
+//! The generator also emits ground truth (true trajectory, true step
+//! times, true turn intervals) so the motion tracker's accuracy can be
+//! scored (paper: 94.77 % step accuracy, 3.45° turn error).
+
+#![warn(missing_docs)]
+
+pub mod gait;
+pub mod imu;
+pub mod mat3;
+
+pub use gait::{simulate_walk, GaitConfig, WalkLeg, WalkPlan, WalkSimulation};
+pub use imu::{ImuSample, TurnTruth};
+pub use mat3::Mat3;
+
+/// Standard gravity, m/s².
+pub const GRAVITY: f64 = 9.80665;

@@ -1,0 +1,130 @@
+//! Minimal 3×3 rotation matrices.
+//!
+//! Just enough 3-D algebra to pose the simulated phone: compose intrinsic
+//! roll/pitch/yaw rotations, rotate vectors, and transpose (= invert, for
+//! rotations). Row-major, right-handed, column vectors.
+
+/// A 3×3 matrix (row-major).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3(pub [[f64; 3]; 3]);
+
+impl Mat3 {
+    /// Identity.
+    pub const IDENTITY: Mat3 = Mat3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]);
+
+    /// Rotation about the x axis by `a` radians.
+    pub fn rot_x(a: f64) -> Mat3 {
+        let (s, c) = a.sin_cos();
+        Mat3([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+    }
+
+    /// Rotation about the y axis by `a` radians.
+    pub fn rot_y(a: f64) -> Mat3 {
+        let (s, c) = a.sin_cos();
+        Mat3([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+    }
+
+    /// Rotation about the z axis by `a` radians.
+    pub fn rot_z(a: f64) -> Mat3 {
+        let (s, c) = a.sin_cos();
+        Mat3([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Phone attitude from yaw (z), pitch (y), roll (x), applied in that
+    /// order: `R = Rz(yaw)·Ry(pitch)·Rx(roll)`.
+    pub fn from_ypr(yaw: f64, pitch: f64, roll: f64) -> Mat3 {
+        Mat3::rot_z(yaw)
+            .mul(&Mat3::rot_y(pitch))
+            .mul(&Mat3::rot_x(roll))
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, other: &Mat3) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.0[i][k] * other.0[k][j]).sum();
+            }
+        }
+        Mat3(out)
+    }
+
+    /// Applies the rotation to a vector.
+    pub fn apply(&self, v: [f64; 3]) -> [f64; 3] {
+        let mut out = [0.0; 3];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (0..3).map(|k| self.0[i][k] * v[k]).sum();
+        }
+        out
+    }
+
+    /// Transpose (the inverse, for a rotation matrix).
+    pub fn transpose(&self) -> Mat3 {
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.0[j][i];
+            }
+        }
+        Mat3(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn close(a: [f64; 3], b: [f64; 3]) -> bool {
+        a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-12)
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let v = [1.0, -2.0, 3.0];
+        assert!(close(Mat3::IDENTITY.apply(v), v));
+    }
+
+    #[test]
+    fn quarter_turns() {
+        assert!(close(
+            Mat3::rot_z(FRAC_PI_2).apply([1.0, 0.0, 0.0]),
+            [0.0, 1.0, 0.0]
+        ));
+        assert!(close(
+            Mat3::rot_x(FRAC_PI_2).apply([0.0, 1.0, 0.0]),
+            [0.0, 0.0, 1.0]
+        ));
+        assert!(close(
+            Mat3::rot_y(FRAC_PI_2).apply([0.0, 0.0, 1.0]),
+            [1.0, 0.0, 0.0]
+        ));
+    }
+
+    #[test]
+    fn transpose_inverts_rotation() {
+        let r = Mat3::from_ypr(0.4, -0.7, 1.1);
+        let v = [0.3, -2.2, 5.0];
+        let back = r.transpose().apply(r.apply(v));
+        assert!(close(back, v));
+    }
+
+    #[test]
+    fn rotation_preserves_length() {
+        let r = Mat3::from_ypr(1.0, 0.5, -0.3);
+        let v = [3.0, 4.0, 12.0];
+        let w = r.apply(v);
+        let n = |u: [f64; 3]| (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+        assert!((n(v) - n(w)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a = Mat3::rot_z(0.3);
+        let b = Mat3::rot_x(0.8);
+        let v = [1.0, 2.0, 3.0];
+        let seq = a.apply(b.apply(v));
+        let comp = a.mul(&b).apply(v);
+        assert!(close(seq, comp));
+    }
+}

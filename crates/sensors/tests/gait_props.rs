@@ -1,0 +1,78 @@
+//! Property tests for the gait simulator: ground-truth consistency for
+//! arbitrary walk plans and gait parameters.
+
+use locble_geom::{Pose2, Vec2};
+use locble_sensors::{simulate_walk, GaitConfig, WalkLeg, WalkPlan};
+use proptest::prelude::*;
+
+fn arb_plan() -> impl Strategy<Value = WalkPlan> {
+    (
+        1.0..6.0f64,
+        1.0..6.0f64,
+        -3.0..3.0f64,
+        -1.2..1.2f64,
+        -8.0..8.0f64,
+        -8.0..8.0f64,
+    )
+        .prop_map(|(leg1, leg2, heading, turn, sx, sy)| WalkPlan {
+            start: Pose2::new(Vec2::new(sx, sy), heading),
+            legs: vec![WalkLeg { distance_m: leg1 }, WalkLeg { distance_m: leg2 }],
+            turn_angles: vec![if turn.abs() < 0.3 { 0.5 } else { turn }],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The true trajectory walks the planned distance (within sampling
+    /// granularity) and starts at the planned pose.
+    #[test]
+    fn trajectory_matches_plan(plan in arb_plan(), seed in 0u64..500) {
+        let sim = simulate_walk(&plan, &GaitConfig::default(), seed);
+        let start = sim.trajectory.points().first().expect("non-empty").pos;
+        prop_assert!(start.distance(plan.start.position) < 1e-9);
+        let planned = plan.total_distance();
+        prop_assert!(
+            (sim.distance() - planned).abs() < 0.2,
+            "walked {:.2} vs planned {planned:.2}", sim.distance()
+        );
+    }
+
+    /// Step ground truth is consistent with the step-length model.
+    #[test]
+    fn step_count_matches_distance(plan in arb_plan(), seed in 0u64..500) {
+        let cfg = GaitConfig::default();
+        let sim = simulate_walk(&plan, &cfg, seed);
+        let step_len = locble_sensors::gait::step_length_from_frequency(cfg.step_frequency_hz);
+        let expected = (plan.total_distance() / step_len).floor() as usize;
+        prop_assert!(
+            sim.true_step_count().abs_diff(expected) <= 1,
+            "{} steps vs expected ~{expected}", sim.true_step_count()
+        );
+    }
+
+    /// Turn truth records exactly the planned turns.
+    #[test]
+    fn turn_truth_matches_plan(plan in arb_plan(), seed in 0u64..500) {
+        let sim = simulate_walk(&plan, &GaitConfig::default(), seed);
+        prop_assert_eq!(sim.true_turns.len(), plan.turn_angles.len());
+        for (truth, &planned) in sim.true_turns.iter().zip(&plan.turn_angles) {
+            prop_assert!((truth.angle - planned).abs() < 1e-9);
+            prop_assert!(truth.t_end > truth.t_start);
+        }
+    }
+
+    /// IMU timestamps are strictly increasing and samples are finite.
+    #[test]
+    fn imu_stream_is_wellformed(plan in arb_plan(), seed in 0u64..500) {
+        let sim = simulate_walk(&plan, &GaitConfig::default(), seed);
+        for w in sim.imu.windows(2) {
+            prop_assert!(w[1].t > w[0].t);
+        }
+        for s in &sim.imu {
+            prop_assert!(s.accel.iter().all(|a| a.is_finite()));
+            prop_assert!(s.gyro.iter().all(|g| g.is_finite()));
+            prop_assert!(s.mag_heading.is_finite());
+        }
+    }
+}

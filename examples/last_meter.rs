@@ -1,0 +1,160 @@
+//! Last-meter refinement + straight-walk mirror resolution — the two §9
+//! future-work items the paper sketches, working together.
+//!
+//! The user walks a *straight* line (no L — convenient in a narrow
+//! aisle), so the measurement carries the Fig. 7 mirror ambiguity. They
+//! then navigate toward the primary candidate: the RSS trend resolves
+//! the ambiguity on the fly (§9.2), and once the beacon is within ~2 m
+//! the proximity regime engages and Gauss–Newton multilateration pulls
+//! the fix under a metre (§9.1).
+//!
+//! ```text
+//! cargo run --example last_meter
+//! ```
+
+use locble_repro::core::{LastMeterRefiner, MirrorResolver, ProximityConfig, ProximityObservation};
+use locble_repro::prelude::*;
+use locble_repro::rf::{LinkConfig, LinkSimulator, ReceiverProfile};
+use locble_repro::sensors::WalkPlan;
+
+fn main() {
+    let env = environment_by_index(9).expect("parking lot");
+    let beacon_world = Vec2::new(6.5, 2.5);
+    let beacon = BeaconSpec {
+        id: BeaconId(1),
+        position: beacon_world,
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    };
+
+    // 1. Straight measurement walk (no L): 5 m east from (3, 5).
+    let plan = WalkPlan::straight(Pose2::new(Vec2::new(3.0, 5.0), 0.0), 5.0);
+    let session = simulate_session(&env, &[beacon], &plan, &SessionConfig::paper_default(99));
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let outcome = localize(&session, BeaconId(1), &estimator).expect("estimate");
+    let est = outcome.estimate;
+    println!(
+        "straight-walk estimate: ({:.2}, {:.2})",
+        est.position.x, est.position.y
+    );
+    match est.mirror {
+        Some(m) => println!(
+            "mirror candidate:       ({:.2}, {:.2})  <- ambiguity, as §5.1 predicts",
+            m.x, m.y
+        ),
+        None => println!("(no mirror reported — geometry resolved it already)"),
+    }
+    println!(
+        "truth (local frame):    ({:.2}, {:.2})",
+        outcome.truth_local.x, outcome.truth_local.y
+    );
+
+    // 2. Navigate; the mirror resolver watches the live RSS trend.
+    let mut resolver = MirrorResolver::new(est.position, est.mirror.unwrap_or(est.position));
+    let mut refiner =
+        LastMeterRefiner::new(est.gamma_dbm, est.exponent, ProximityConfig::default());
+
+    // A live link provides navigation-time RSSI (the app keeps scanning
+    // while walking).
+    let mut link = LinkSimulator::new(env.link, ReceiverProfile::smartphone(0.0), 4242);
+    // Navigation starts back at the measurement origin, as the app's
+    // navigation mode does.
+    let mut pos_local = Vec2::ZERO;
+    let mut t = session.walk.imu.last().expect("imu").t;
+    let mut measure_at = |pos_local: Vec2, t: f64, step: usize| {
+        let pos_world = session.start.local_to_world(pos_local);
+        link.measure(
+            t,
+            beacon_world,
+            pos_world,
+            &env.obstacles,
+            37 + (step % 3) as u8,
+        )
+        .map(|m| m.rssi_dbm)
+    };
+
+    println!();
+    println!("navigating (goal may flip once the RSS trend disagrees):");
+    let mut step = 0usize;
+    while step < 40 {
+        step += 1;
+        let goal = resolver.goal();
+        let to_goal = goal - pos_local;
+        if to_goal.norm() < 0.4 {
+            break;
+        }
+        pos_local += to_goal.normalized().expect("non-zero") * 0.35;
+        t += 0.4;
+        let Some(rssi) = measure_at(pos_local, t, step) else {
+            continue;
+        };
+        let before = resolver.goal();
+        let after = resolver.update(pos_local, rssi);
+        if before != after {
+            println!(
+                "  step {step:>2}: RSS trend disagreed -> switched goal to ({:.2}, {:.2})",
+                after.x, after.y
+            );
+        }
+        refiner.observe(ProximityObservation {
+            position: pos_local,
+            rssi_dbm: rssi,
+        });
+    }
+
+    // At the goal: look around (a small circle) to collect close-range
+    // geometry for the last-meter refinement. Pausing ~1 s per spot
+    // yields several advertisements to average (the "smoothed RSSI" the
+    // refiner expects).
+    let around = resolver.goal();
+    let mut dwell = |pos: Vec2, t: &mut f64, step: &mut usize, refiner: &mut LastMeterRefiner| {
+        let mut readings = Vec::new();
+        for _ in 0..8 {
+            *step += 1;
+            *t += 0.12;
+            if let Some(rssi) = measure_at(pos, *t, *step) {
+                readings.push(rssi);
+            }
+        }
+        if !readings.is_empty() {
+            let mean = readings.iter().sum::<f64>() / readings.len() as f64;
+            refiner.observe(ProximityObservation {
+                position: pos,
+                rssi_dbm: mean,
+            });
+        }
+    };
+    for k in 0..12 {
+        let angle = k as f64 * std::f64::consts::TAU / 12.0;
+        let pos = around + Vec2::from_angle(angle) * 1.2;
+        dwell(pos, &mut t, &mut step, &mut refiner);
+    }
+    println!(
+        "  collected {} proximity-regime readings during approach + look-around",
+        refiner.observation_count()
+    );
+
+    // 3. Last-meter refinement, two rounds: refine, re-centre the
+    // look-around on the refined fix, refine again.
+    let final_goal = resolver.goal();
+    let mut refined = refiner.refine(final_goal).unwrap_or(final_goal);
+    for k in 0..12 {
+        let angle = (k as f64 + 0.5) * std::f64::consts::TAU / 12.0;
+        let pos = refined + Vec2::from_angle(angle) * 0.9;
+        dwell(pos, &mut t, &mut step, &mut refiner);
+    }
+    refined = refiner.refine(refined).unwrap_or(refined);
+    println!();
+    println!("-- results --");
+    println!(
+        "measurement-only error: {:.2} m",
+        est.position.distance(outcome.truth_local)
+    );
+    println!(
+        "after mirror resolution: {:.2} m",
+        final_goal.distance(outcome.truth_local)
+    );
+    println!(
+        "after last-meter refinement: {:.2} m",
+        refined.distance(outcome.truth_local)
+    );
+}

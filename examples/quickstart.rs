@@ -1,0 +1,92 @@
+//! Quickstart: locate one BLE beacon with an L-shaped walk.
+//!
+//! This is the paper's headline scenario in its simplest form: an
+//! Estimote beacon sits somewhere in a 5×5 m meeting room; the user
+//! walks an L (a few metres, a 90° turn, a few more metres) while the
+//! phone scans; LocBLE fuses RSSI with the phone's motion and reports
+//! where the beacon is.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use locble_repro::prelude::*;
+
+fn main() {
+    // 1. The world: the meeting room of Table 1, one beacon at (4, 4).
+    let env = environment_by_index(1).expect("meeting room");
+    let beacon = BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(4.0, 4.0),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    };
+    println!(
+        "environment: {} ({}x{} m)",
+        env.name, env.width_m, env.depth_m
+    );
+    println!(
+        "true beacon position (world): ({:.1}, {:.1})",
+        beacon.position.x, beacon.position.y
+    );
+
+    // 2. The measurement walk: L-shape from near the door.
+    let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.5, 2.0, 0.3)
+        .expect("an L fits in the meeting room");
+    println!(
+        "walk: start ({:.1}, {:.1}), heading {:.0} deg, legs {:.1} m + {:.1} m",
+        plan.start.position.x,
+        plan.start.position.y,
+        plan.start.heading.to_degrees(),
+        plan.legs[0].distance_m,
+        plan.legs[1].distance_m
+    );
+
+    // 3. Simulate the session: advertising, RF channel, scanner, IMU.
+    let session = simulate_session(&env, &[beacon], &plan, &SessionConfig::paper_default(42));
+    let rss = session.rss_of(BeaconId(1)).expect("beacon heard");
+    println!(
+        "captured {} RSSI samples over {:.1} s (≈{:.1} Hz)",
+        rss.len(),
+        session.walk.imu.last().map_or(0.0, |s| s.t),
+        rss.mean_rate()
+    );
+
+    // 4. Run LocBLE: EnvAware + ANF + sensor-fusion regression.
+    let estimator = Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(7));
+    let outcome = localize(&session, BeaconId(1), &estimator).expect("estimate");
+
+    println!();
+    println!("-- LocBLE estimate (observer's local frame) --");
+    println!(
+        "position: ({:.2}, {:.2}) m   truth: ({:.2}, {:.2}) m",
+        outcome.estimate.position.x,
+        outcome.estimate.position.y,
+        outcome.truth_local.x,
+        outcome.truth_local.y
+    );
+    println!("error: {:.2} m", outcome.error_m);
+    println!("confidence: {:.2}", outcome.estimate.confidence);
+    println!(
+        "fitted path-loss exponent n(e): {:.2}",
+        outcome.estimate.exponent
+    );
+    println!(
+        "fitted reference power: {:.1} dBm",
+        outcome.estimate.gamma_dbm
+    );
+    if let Some(env_class) = outcome.estimate.env {
+        println!("recognized environment: {env_class}");
+    }
+
+    // 5. Contrast with what a ranging app can say (1-D only).
+    let mut dartle = DartleRanger::paper_default();
+    if let Some(range) = dartle.range_of(rss) {
+        println!();
+        println!("-- Dartle-style ranging baseline --");
+        println!("range-only estimate: {:.2} m (no direction!)", range);
+        println!("true final distance: {:.2} m", {
+            let end = session.walk.trajectory.points().last().expect("walk").pos;
+            end.distance(beacon.position)
+        });
+    }
+}

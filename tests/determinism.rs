@@ -1,0 +1,70 @@
+//! Determinism guarantees: identical seeds reproduce identical bits
+//! everywhere — session physics, classifier training, estimation.
+
+use locble_repro::prelude::*;
+
+fn session(seed: u64) -> Session {
+    let env = environment_by_index(3).expect("bedroom");
+    let beacons = [
+        BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(5.8, 5.0),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        },
+        BeaconSpec {
+            id: BeaconId(2),
+            position: Vec2::new(2.0, 5.5),
+            hardware: BeaconHardware::ideal(BeaconKind::RadBeacon),
+        },
+    ];
+    let plan = plan_l_walk(&env, Vec2::new(0.9, 0.9), 2.8, 2.5, 0.3).expect("plan");
+    simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(seed))
+}
+
+#[test]
+fn sessions_reproduce_bit_for_bit() {
+    let a = session(100);
+    let b = session(100);
+    assert_eq!(a.walk.imu.len(), b.walk.imu.len());
+    assert_eq!(a.walk.imu, b.walk.imu);
+    for id in [BeaconId(1), BeaconId(2)] {
+        assert_eq!(a.rss_of(id).map(|r| &r.v), b.rss_of(id).map(|r| &r.v));
+        assert_eq!(a.rss_of(id).map(|r| &r.t), b.rss_of(id).map(|r| &r.t));
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = session(100);
+    let b = session(101);
+    assert_ne!(
+        a.rss_of(BeaconId(1)).unwrap().v,
+        b.rss_of(BeaconId(1)).unwrap().v
+    );
+    assert_ne!(a.walk.imu, b.walk.imu);
+}
+
+#[test]
+fn estimation_is_deterministic() {
+    let s = session(42);
+    let run = || {
+        let estimator = Estimator::new(EstimatorConfig::default());
+        localize(&s, BeaconId(1), &estimator).map(|o| o.estimate.position)
+    };
+    let a = run().expect("estimate");
+    let b = run().expect("estimate");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn envaware_training_is_deterministic() {
+    let s = session(42);
+    let run = |train_seed| {
+        let estimator = Estimator::with_envaware(
+            EstimatorConfig::default(),
+            train_default_envaware(train_seed),
+        );
+        localize(&s, BeaconId(1), &estimator).map(|o| o.estimate.position)
+    };
+    assert_eq!(run(7), run(7));
+}

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full pipeline from simulated
+//! physics to location estimates, exercised through the public API only.
+
+use locble_repro::prelude::*;
+use locble_repro::scenario::runner::{localize_moving, localize_with_track, track_observer};
+
+fn stationary_outcome(
+    env_index: usize,
+    target: Vec2,
+    start: Vec2,
+    seed: u64,
+) -> Option<locble_repro::scenario::RunOutcome> {
+    let env = environment_by_index(env_index)?;
+    let beacons = [BeaconSpec {
+        id: BeaconId(1),
+        position: target,
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    }];
+    let plan = plan_l_walk(&env, start, 2.8, 2.2, 0.3)?;
+    let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(seed));
+    let estimator = Estimator::new(EstimatorConfig::default());
+    localize(&session, BeaconId(1), &estimator)
+}
+
+#[test]
+fn meeting_room_envelope() {
+    // The easiest environment must stay within a tight envelope across
+    // seeds — a canary for accuracy regressions anywhere in the stack.
+    let mut errors = Vec::new();
+    for seed in 0..10 {
+        if let Some(o) = stationary_outcome(1, Vec2::new(4.0, 4.0), Vec2::new(1.0, 1.0), seed) {
+            errors.push(o.error_m);
+        }
+    }
+    assert!(errors.len() >= 8, "only {} runs succeeded", errors.len());
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(mean < 2.0, "meeting-room mean error {mean:.2} m");
+}
+
+#[test]
+fn estimates_carry_full_provenance() {
+    let o = stationary_outcome(1, Vec2::new(4.0, 4.0), Vec2::new(1.0, 1.0), 3).expect("estimate");
+    let e = o.estimate;
+    assert!((0.0..=1.0).contains(&e.confidence));
+    assert!(e.exponent > 1.0 && e.exponent < 6.0);
+    assert!(
+        (-90.0..=-35.0).contains(&e.gamma_dbm),
+        "gamma {}",
+        e.gamma_dbm
+    );
+    assert!(e.points_used >= 8);
+    assert!(e.position.is_finite());
+    assert!(e.range() < 15.0, "BLE range cap violated: {}", e.range());
+}
+
+#[test]
+fn envaware_pipeline_reports_environment() {
+    let env = environment_by_index(7).expect("lab");
+    let beacons = [BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(6.5, 5.0),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    }];
+    let plan = plan_l_walk(&env, Vec2::new(1.5, 2.0), 2.5, 2.0, 0.3).expect("plan");
+    let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(5));
+    let estimator = Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(5));
+    let outcome = localize(&session, BeaconId(1), &estimator).expect("estimate");
+    // Behind the concrete wall the majority regime must be blocked.
+    let env_class = outcome.estimate.env.expect("EnvAware regime");
+    assert_ne!(env_class, EnvClass::Los, "wall path classified as LOS");
+}
+
+#[test]
+fn moving_target_pipeline_end_to_end() {
+    let env = environment_by_index(9).expect("parking lot");
+    let obs_plan = plan_l_walk(&env, Vec2::new(4.0, 4.0), 4.0, 3.0, 0.5).expect("plan");
+    let tgt_plan = plan_l_walk(&env, Vec2::new(9.0, 8.0), 2.5, 2.0, 0.5).expect("plan");
+    let ms = simulate_moving_session(
+        &env,
+        &obs_plan,
+        &tgt_plan,
+        BeaconHardware::ideal(BeaconKind::IosDevice),
+        &SessionConfig::paper_default(11),
+    );
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let outcome = localize_moving(&ms, &estimator).expect("moving estimate");
+    assert!(outcome.error_m.is_finite());
+    assert!(
+        outcome.error_m < 10.0,
+        "moving error {:.2} m",
+        outcome.error_m
+    );
+}
+
+#[test]
+fn one_walk_localizes_many_beacons() {
+    let env = environment_by_index(5).expect("restaurant");
+    let beacons: Vec<BeaconSpec> = (0..4)
+        .map(|k| BeaconSpec {
+            id: BeaconId(k),
+            position: Vec2::new(2.5 + k as f64 * 1.5, 7.8),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        })
+        .collect();
+    let plan = plan_l_walk(&env, Vec2::new(2.0, 2.0), 3.0, 2.5, 0.3).expect("plan");
+    let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(13));
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let observer = track_observer(&session);
+    let mut located = 0;
+    for k in 0..4 {
+        if let Some(o) = localize_with_track(&session, BeaconId(k), &estimator, &observer) {
+            located += 1;
+            assert!(o.error_m < 10.0, "beacon {k}: {:.2} m", o.error_m);
+        }
+    }
+    assert!(located >= 3, "only {located}/4 beacons located");
+}
+
+#[test]
+fn navigation_reaches_good_estimates() {
+    let o = stationary_outcome(1, Vec2::new(4.0, 4.0), Vec2::new(1.0, 1.0), 17).expect("estimate");
+    let nav = Navigator::new(o.estimate.position);
+    let poses = nav.simulate(Pose2::IDENTITY, 0.7, 60, |_| (0.0, 0.0));
+    let arrived = poses.last().expect("poses").position;
+    // Navigation lands at the estimate; overall error is bounded by
+    // estimate error + arrival radius + one step.
+    assert!(
+        arrived.distance(o.truth_local) <= o.error_m + nav.arrival_radius + 0.7 + 1e-9,
+        "arrived {:.2} m from truth, estimate error {:.2} m",
+        arrived.distance(o.truth_local),
+        o.error_m
+    );
+}
+
+#[test]
+fn dartle_baseline_is_available_for_comparison() {
+    let env = environment_by_index(2).expect("hallway");
+    let beacons = [BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(7.0, 1.8),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    }];
+    let plan = plan_l_walk(&env, Vec2::new(0.8, 0.6), 3.2, 1.8, 0.3).expect("plan");
+    let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(19));
+    let mut ranger = DartleRanger::paper_default();
+    let range = ranger
+        .range_of(session.rss_of(BeaconId(1)).expect("heard"))
+        .expect("range");
+    assert!(range > 0.2 && range < 20.0, "range {range}");
+}
+
+#[test]
+fn streaming_estimator_handles_environment_transients() {
+    use locble_repro::core::{RssBatch, StreamingEstimator};
+    use locble_repro::motion::{track, TrackerConfig};
+
+    let env = environment_by_index(4).expect("living room");
+    let beacon = BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(5.8, 5.2),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    };
+    let plan = plan_l_walk(&env, Vec2::new(0.9, 0.9), 2.8, 2.5, 0.3).expect("plan");
+    let mut config = SessionConfig::paper_default(23);
+    // A passer-by blocks the path mid-measurement.
+    config.transient_blockages = vec![(1.5, 3.0, 7.0)];
+    let session = simulate_session(&env, &[beacon], &plan, &config);
+    let rss = session.rss_of(BeaconId(1)).expect("heard");
+    let observer = track(&session.walk.imu, &TrackerConfig::default());
+
+    let estimator =
+        Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(23));
+    let mut streaming = StreamingEstimator::new(estimator);
+    let mut i = 0;
+    while i < rss.len() {
+        let j = (i + 20).min(rss.len());
+        streaming.push_batch(
+            &RssBatch::new(rss.t[i..j].to_vec(), rss.v[i..j].to_vec()),
+            &observer,
+        );
+        i = j;
+    }
+    let est = streaming.current().expect("streaming estimate");
+    let truth = session.truth_local(BeaconId(1)).expect("truth");
+    assert!(
+        est.position.distance(truth) < 10.0,
+        "streaming estimate {:?} vs truth {truth:?}",
+        est.position
+    );
+}

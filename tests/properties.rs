@@ -1,0 +1,182 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use locble_repro::core::confidence::estimation_confidence;
+use locble_repro::core::regression::{CircularFit, RssPoint};
+use locble_repro::dsp::{
+    dtw_distance, dtw_distance_windowed, lb_keogh, standardize, window_features, Envelope,
+};
+use locble_repro::geom::{normalize_angle, signed_angle_diff, Segment, Vec2};
+use locble_repro::rf::LogDistanceModel;
+use proptest::prelude::*;
+
+fn finite_signal(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..0.0f64, len)
+}
+
+proptest! {
+    /// DTW is symmetric and zero exactly on identical sequences.
+    #[test]
+    fn dtw_symmetry(a in finite_signal(1..30), b in finite_signal(1..30)) {
+        let d_ab = dtw_distance(&a, &b);
+        let d_ba = dtw_distance(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!(dtw_distance(&a, &a) < 1e-9);
+    }
+
+    /// Widening the Sakoe-Chiba window never increases DTW distance.
+    #[test]
+    fn dtw_window_monotone(a in finite_signal(2..25), b in finite_signal(2..25)) {
+        let mut prev = f64::INFINITY;
+        for w in [0usize, 1, 2, 4, 8, 32] {
+            let d = dtw_distance_windowed(&a, &b, w);
+            prop_assert!(d <= prev + 1e-9, "window {w}: {d} > {prev}");
+            prev = d;
+        }
+    }
+
+    /// LB_Keogh never exceeds the matching windowed DTW distance.
+    #[test]
+    fn lb_keogh_is_lower_bound(
+        a in finite_signal(3..20),
+        b_seed in finite_signal(3..20),
+        radius in 0usize..5,
+    ) {
+        // Make equal lengths by repeating/truncating b.
+        let b: Vec<f64> = (0..a.len()).map(|i| b_seed[i % b_seed.len()]).collect();
+        let env = Envelope::new(&a, radius);
+        let lb = lb_keogh(&b, &env);
+        let d = dtw_distance_windowed(&b, &a, radius);
+        prop_assert!(lb <= d + 1e-9, "lb {lb} > dtw {d}");
+    }
+
+    /// Standardization always yields zero mean and unit (or zero) variance.
+    #[test]
+    fn standardize_invariants(mut v in finite_signal(1..50)) {
+        standardize(&mut v);
+        let n = v.len() as f64;
+        let mean = v.iter().sum::<f64>() / n;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!(mean.abs() < 1e-9);
+        prop_assert!(var < 1.0 + 1e-9);
+        prop_assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    /// The 9 EnvAware features are finite and ordered (min ≤ q1 ≤ median
+    /// ≤ q3 ≤ max) for any window.
+    #[test]
+    fn window_features_ordered(w in finite_signal(1..40)) {
+        let f = window_features(&w);
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+        let (min, q1, med, q3, max) = (f[3], f[4], f[5], f[6], f[7]);
+        prop_assert!(min <= q1 + 1e-12);
+        prop_assert!(q1 <= med + 1e-12);
+        prop_assert!(med <= q3 + 1e-12);
+        prop_assert!(q3 <= max + 1e-12);
+        prop_assert!((f[8] - (max - min)).abs() < 1e-9);
+    }
+
+    /// Path-loss model round trip: distance_for(rss_at(d)) == d.
+    #[test]
+    fn pathloss_round_trip(
+        gamma in -80.0..-40.0f64,
+        n in 1.2..5.0f64,
+        d in 0.2..30.0f64,
+    ) {
+        let model = LogDistanceModel::new(gamma, n);
+        let rss = model.rss_at(d);
+        prop_assert!((model.distance_for(rss) - d).abs() < 1e-6);
+    }
+
+    /// The circular fit recovers any target exactly from noiseless data
+    /// on a non-degenerate L, for any (Γ, n) in the physical band.
+    #[test]
+    fn circular_fit_exact_recovery(
+        tx in -6.0..6.0f64,
+        ty in 0.5..8.0f64,
+        gamma in -75.0..-45.0f64,
+        n in 1.5..4.5f64,
+    ) {
+        let target = Vec2::new(tx, ty);
+        let model = LogDistanceModel::new(gamma, n);
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            let pos = Vec2::new(i as f64 * 0.4, 0.0);
+            pts.push(RssPoint::from_observer_displacement(pos, model.rss_at(target.distance(pos))));
+        }
+        for i in 1..10 {
+            let pos = Vec2::new(3.6, i as f64 * 0.35);
+            pts.push(RssPoint::from_observer_displacement(pos, model.rss_at(target.distance(pos))));
+        }
+        let fit = CircularFit::solve(&pts, n).expect("fit");
+        // Conditioning worsens when the target grazes the walked path,
+        // so the recovery tolerance is loose-ish but still sub-cm.
+        prop_assert!(fit.position.distance(target) < 5e-3, "got {:?}", fit.position);
+        prop_assert!((fit.gamma_dbm - gamma).abs() < 0.05);
+    }
+
+    /// Confidence is always in [0, 1] for arbitrary inputs.
+    #[test]
+    fn confidence_bounded(
+        rss in prop::collection::vec(-100.0..-40.0f64, 3..40),
+        px in -10.0..10.0f64,
+        py in -10.0..10.0f64,
+        gamma in -80.0..-40.0f64,
+        n in 1.2..5.0f64,
+    ) {
+        let pts: Vec<RssPoint> = rss
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| RssPoint { p: i as f64 * 0.3, q: 0.0, rss: r })
+            .collect();
+        let c = estimation_confidence(&pts, Vec2::new(px, py), gamma, n);
+        prop_assert!((0.0..=1.0).contains(&c), "confidence {c}");
+    }
+
+    /// Angle normalization always lands in (-π, π] and is idempotent.
+    #[test]
+    fn angle_normalization(a in -100.0..100.0f64) {
+        let n = normalize_angle(a);
+        prop_assert!(n > -std::f64::consts::PI - 1e-12);
+        prop_assert!(n <= std::f64::consts::PI + 1e-12);
+        prop_assert!((normalize_angle(n) - n).abs() < 1e-12);
+        // The wrapped angle differs from the original by a multiple of 2π.
+        let k = (a - n) / (2.0 * std::f64::consts::PI);
+        prop_assert!((k - k.round()).abs() < 1e-9);
+    }
+
+    /// Angular differences are antisymmetric after wrapping.
+    #[test]
+    fn angle_diff_antisymmetric(a in -10.0..10.0f64, b in -10.0..10.0f64) {
+        let d1 = signed_angle_diff(a, b);
+        let d2 = signed_angle_diff(b, a);
+        prop_assert!((normalize_angle(d1 + d2)).abs() < 1e-9);
+    }
+
+    /// Segment intersection is symmetric.
+    #[test]
+    fn segment_intersection_symmetric(
+        ax in -5.0..5.0f64, ay in -5.0..5.0f64,
+        bx in -5.0..5.0f64, by in -5.0..5.0f64,
+        cx in -5.0..5.0f64, cy in -5.0..5.0f64,
+        dx in -5.0..5.0f64, dy in -5.0..5.0f64,
+    ) {
+        let s1 = Segment::new(Vec2::new(ax, ay), Vec2::new(bx, by));
+        let s2 = Segment::new(Vec2::new(cx, cy), Vec2::new(dx, dy));
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    /// Mirroring across a line is an involution.
+    #[test]
+    fn mirror_is_involution(
+        px in -5.0..5.0f64, py in -5.0..5.0f64,
+        ax in -5.0..5.0f64, ay in -5.0..5.0f64,
+        bx in -5.0..5.0f64, by in -5.0..5.0f64,
+    ) {
+        prop_assume!((Vec2::new(ax, ay)).distance(Vec2::new(bx, by)) > 1e-3);
+        let p = Vec2::new(px, py);
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        let twice = p.mirrored_across(a, b).mirrored_across(a, b);
+        prop_assert!(twice.distance(p) < 1e-6);
+    }
+}

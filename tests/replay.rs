@@ -1,0 +1,74 @@
+//! Offline replay: traces written by one session reproduce the same
+//! estimates when parsed back — the workflow the reproduction bands call
+//! out ("only offline filter replay feasible").
+
+use locble_repro::motion::{track, TrackerConfig};
+use locble_repro::prelude::*;
+use locble_repro::scenario::{parse_session_trace, session_trace_to_string};
+
+fn session(seed: u64) -> Session {
+    let env = environment_by_index(2).expect("hallway");
+    let beacons = [
+        BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(7.0, 1.8),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        },
+        BeaconSpec {
+            id: BeaconId(7),
+            position: Vec2::new(5.0, 2.4),
+            hardware: BeaconHardware::ideal(BeaconKind::IosDevice),
+        },
+    ];
+    let plan = plan_l_walk(&env, Vec2::new(0.8, 0.6), 3.2, 1.8, 0.3).expect("plan");
+    simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(seed))
+}
+
+#[test]
+fn trace_round_trips_through_disk() {
+    let s = session(21);
+    let text = session_trace_to_string(&s);
+
+    let dir = std::env::temp_dir().join("locble-trace-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("session.trace");
+    std::fs::write(&path, &text).expect("write trace");
+    let read_back = std::fs::read_to_string(&path).expect("read trace");
+    std::fs::remove_file(&path).ok();
+
+    let replay = parse_session_trace(&read_back).expect("parse");
+    assert_eq!(replay.env_index, 2);
+    assert_eq!(replay.beacons.len(), 2);
+    assert_eq!(replay.imu.len(), s.walk.imu.len());
+}
+
+#[test]
+fn replayed_estimates_match_live() {
+    let s = session(22);
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let live = localize(&s, BeaconId(1), &estimator).expect("live estimate");
+
+    let replay = parse_session_trace(&session_trace_to_string(&s)).expect("parse");
+    let observer = track(&replay.imu, &TrackerConfig::default());
+    let offline = estimator
+        .estimate_stationary(&replay.rss[&BeaconId(1)], &observer)
+        .expect("offline estimate");
+    assert!(
+        offline.position.distance(live.estimate.position) < 1e-9,
+        "live {:?} vs replay {:?}",
+        live.estimate.position,
+        offline.position
+    );
+    assert_eq!(offline.method, live.estimate.method);
+}
+
+#[test]
+fn trace_is_humanly_greppable() {
+    let s = session(23);
+    let text = session_trace_to_string(&s);
+    assert!(text.starts_with("# locble-trace v1"));
+    assert!(text.lines().any(|l| l.starts_with("ENV 2")));
+    assert!(text.lines().filter(|l| l.starts_with("BEACON ")).count() == 2);
+    assert!(text.lines().filter(|l| l.starts_with("IMU ")).count() > 100);
+    assert!(text.lines().filter(|l| l.starts_with("RSS ")).count() > 30);
+}
