@@ -28,6 +28,15 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(estimator.estimate_stationary(&rss, &observer)))
     });
 
+    // Observability overhead: the default handle above is the no-op
+    // (`Obs::noop()` — one branch per instrumentation site); this pins
+    // the cost of actually recording into a ring buffer next to it.
+    c.bench_function("locble_estimate_one_measurement_ring_obs", |b| {
+        let obs = locble_obs::Obs::ring(4096);
+        let instrumented = Estimator::new(EstimatorConfig::default()).with_obs(obs);
+        b.iter(|| black_box(instrumented.estimate_stationary(&rss, &observer)))
+    });
+
     c.bench_function("dartle_range_one_measurement", |b| {
         b.iter(|| {
             let mut ranger = DartleRanger::paper_default();

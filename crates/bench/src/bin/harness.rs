@@ -5,14 +5,23 @@
 //! harness all              run everything, in paper order
 //! harness list             list experiment ids
 //! ```
+//!
+//! With `--metrics <path>`, the harness additionally writes a JSON
+//! sidecar: per-experiment wall-clock timings plus the full
+//! [`PipelineReport`](locble_scenario::PipelineReport) of one
+//! instrumented end-to-end scenario run (event stream, counters, and
+//! latency histograms), so a CI job can archive pipeline health next to
+//! the experiment reports.
 
 use locble_bench::{run_experiment, ALL_EXPERIMENTS};
+use serde::{Serialize, Value};
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = take_flag_value(&mut args, "--metrics");
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: harness <exp-id>... | all | list");
+        eprintln!("usage: harness <exp-id>... | all | list  [--metrics <path>]");
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
@@ -28,11 +37,14 @@ fn main() {
         args.iter().map(|s| s.as_str()).collect()
     };
     let mut failed = false;
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for id in ids {
         let t0 = Instant::now();
         match run_experiment(id) {
             Some(report) => {
-                println!("{report}  ({:.1} s)\n", t0.elapsed().as_secs_f64());
+                let secs = t0.elapsed().as_secs_f64();
+                println!("{report}  ({secs:.1} s)\n");
+                timings.push((id.to_string(), secs));
             }
             None => {
                 eprintln!("unknown experiment id: {id}");
@@ -40,7 +52,73 @@ fn main() {
             }
         }
     }
+    if let Some(path) = metrics_path {
+        match std::fs::write(&path, metrics_sidecar_json(&timings)) {
+            Ok(()) => eprintln!("metrics sidecar written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write metrics sidecar to {path}: {e}");
+                failed = true;
+            }
+        }
+    }
     if failed {
         std::process::exit(1);
     }
+}
+
+/// Removes `flag <value>` from `args`, returning the value.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+/// Builds the sidecar JSON: experiment timings + one instrumented
+/// pipeline run.
+fn metrics_sidecar_json(timings: &[(String, f64)]) -> String {
+    let experiments = timings
+        .iter()
+        .map(|(id, secs)| (id.clone(), Value::F64(*secs)))
+        .collect();
+    let sidecar = Value::Map(vec![
+        ("experiment_seconds".to_string(), Value::Map(experiments)),
+        (
+            "pipeline".to_string(),
+            instrumented_pipeline_run().to_value(),
+        ),
+    ]);
+    serde::json::to_string(&sidecar)
+}
+
+/// Runs one full scenario through the instrumented streaming pipeline
+/// and returns its diagnostics bundle.
+fn instrumented_pipeline_run() -> locble_scenario::PipelineReport {
+    use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+    use locble_core::{Estimator, EstimatorConfig};
+    use locble_geom::Vec2;
+    use locble_obs::Obs;
+    use locble_scenario::world::{simulate_session, BeaconSpec};
+    use locble_scenario::{
+        environment_by_index, localize_streaming, plan_l_walk, train_default_envaware,
+        SessionConfig,
+    };
+
+    let env = environment_by_index(1).expect("environment 1 exists");
+    let beacons = vec![BeaconSpec {
+        id: BeaconId(1),
+        position: Vec2::new(4.0, 4.0),
+        hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+    }];
+    let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.5, 2.0, 0.3).expect("walk plan fits");
+    let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(7));
+    let estimator =
+        Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(21));
+    let obs = Obs::ring(4096);
+    let (_, report) = localize_streaming(&session, BeaconId(1), &estimator, &obs);
+    report
 }

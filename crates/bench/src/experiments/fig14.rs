@@ -21,7 +21,7 @@ fn errors_for(kind: BeaconKind) -> Vec<f64> {
     parallel_map(20, |i| {
         // Manufacture a fresh unit per run: the kind's calibration spread
         // is exactly what distinguishes the hardware classes.
-        let mut rng = StdRng::seed_from_u64(0x140_0 + i as u64 * 29 + kind as u64);
+        let mut rng = StdRng::seed_from_u64(0x1400 + i as u64 * 29 + kind as u64);
         let hardware = BeaconHardware {
             kind,
             unit_offset_db: normal(&mut rng, 0.0, kind.calibration_sigma_db()),

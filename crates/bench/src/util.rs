@@ -9,8 +9,7 @@ use locble_scenario::{
     environment_by_index, localize, plan_l_walk, train_default_envaware, BeaconSpec, RunOutcome,
     SessionConfig,
 };
-use parking_lot::Mutex;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// One shared EnvAware model for the whole harness run (training the SVM
 /// once instead of per experiment).
@@ -63,7 +62,7 @@ impl StationaryRun {
     }
 }
 
-/// Runs a set of independent jobs across threads (crossbeam scoped), in a
+/// Runs a set of independent jobs across threads (std scoped), in a
 /// deterministic output order.
 pub fn parallel_map<T, F>(jobs: usize, f: F) -> Vec<T>
 where
@@ -75,21 +74,24 @@ where
         .map_or(4, |n| n.get())
         .min(jobs.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs {
                     break;
                 }
-                *results[i].lock() = Some(f(i));
+                *results[i].lock().expect("result slot not poisoned") = Some(f(i));
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("every job ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot not poisoned")
+                .expect("every job ran")
+        })
         .collect()
 }
 

@@ -8,6 +8,7 @@
 //! Butterworth cutoff from the observed RSS sample rate.
 
 use locble_dsp::{AdaptiveKalman, Butterworth, SosFilter, TimeSeries};
+use locble_obs::Obs;
 
 /// The composed BF + AKF filter.
 #[derive(Debug, Clone)]
@@ -92,16 +93,89 @@ impl AdaptiveNoiseFilter {
     /// group-delay offset. The AKF fusion is instantaneous and applies
     /// unchanged.
     pub fn filter_zero_phase(&mut self, raw: &[f64]) -> Vec<f64> {
+        let (_, bf_zero) = self.butterworth_zero_phase(raw);
+        self.akf.filter(raw, &bf_zero)
+    }
+
+    /// [`filter_zero_phase`](Self::filter_zero_phase) with diagnostics:
+    /// records every AKF innovation into the `anf.innovation_abs_db`
+    /// histogram and emits one `core.anf/zero_phase_filter` summary event
+    /// (innovation statistics, mean adaptive boost, and the measured lag
+    /// of the causal Butterworth stage that the zero-phase pass removes).
+    /// With a disabled handle this is the plain zero-phase filter.
+    pub fn filter_zero_phase_traced(&mut self, raw: &[f64], obs: &Obs) -> Vec<f64> {
+        if !obs.enabled() {
+            return self.filter_zero_phase(raw);
+        }
+        let (forward, bf_zero) = self.butterworth_zero_phase(raw);
+        let mut fused = Vec::with_capacity(raw.len());
+        let mut sum_abs = 0.0;
+        let mut max_abs: f64 = 0.0;
+        let mut sum_boost = 0.0;
+        for (&x, &b) in raw.iter().zip(&bf_zero) {
+            fused.push(self.akf.step(x, b));
+            let innov = self.akf.last_innovation().abs();
+            obs.histogram_observe("anf.innovation_abs_db", innov);
+            sum_abs += innov;
+            max_abs = max_abs.max(innov);
+            sum_boost += self.akf.last_boost();
+        }
+        let n = raw.len().max(1) as f64;
+        let lag_s = causal_lag_samples(&forward, &bf_zero) as f64 / self.sample_rate_hz;
+        obs.event(
+            "core.anf",
+            "zero_phase_filter",
+            &[
+                ("samples", raw.len().into()),
+                ("mean_abs_innovation_db", (sum_abs / n).into()),
+                ("max_abs_innovation_db", max_abs.into()),
+                ("mean_boost", (sum_boost / n).into()),
+                ("bf_lag_s", lag_s.into()),
+            ],
+        );
+        fused
+    }
+
+    /// Runs the Butterworth stage forward and backward, returning the
+    /// causal forward output (for lag diagnostics) and the zero-phase
+    /// output. Leaves the AKF reset and ready to fuse.
+    fn butterworth_zero_phase(&mut self, raw: &[f64]) -> (Vec<f64>, Vec<f64>) {
         self.reset();
         let forward = self.bf.filter(raw);
         self.bf.reset();
-        let mut rev: Vec<f64> = forward.into_iter().rev().collect();
+        let mut rev: Vec<f64> = forward.iter().rev().copied().collect();
         rev = self.bf.filter(&rev);
         let bf_zero: Vec<f64> = rev.into_iter().rev().collect();
         self.bf.reset();
         self.akf.reset();
-        self.akf.filter(raw, &bf_zero)
+        (forward, bf_zero)
     }
+}
+
+/// Measures the causal Butterworth group delay empirically: the integer
+/// shift (in samples) that best aligns the causal output onto the
+/// time-aligned zero-phase output.
+fn causal_lag_samples(forward: &[f64], zero_phase: &[f64]) -> usize {
+    let n = forward.len();
+    if n < 4 {
+        return 0;
+    }
+    let max_shift = (n / 2).min(40);
+    let mut best = (0usize, f64::INFINITY);
+    for shift in 0..=max_shift {
+        let m = n - shift;
+        let err = (shift..n)
+            .map(|i| {
+                let d = forward[i] - zero_phase[i - shift];
+                d * d
+            })
+            .sum::<f64>()
+            / m as f64;
+        if err < best.1 {
+            best = (shift, err);
+        }
+    }
+    best.0
 }
 
 #[cfg(test)]
@@ -185,5 +259,60 @@ mod tests {
     #[should_panic(expected = "too low")]
     fn rejects_subsonic_sample_rate() {
         AdaptiveNoiseFilter::new(1.0);
+    }
+
+    #[test]
+    fn traced_output_matches_untraced() {
+        let (_, raw) = staircase(10.0, 84);
+        let mut plain = AdaptiveNoiseFilter::new(10.0);
+        let expect = plain.filter_zero_phase(&raw);
+        // Noop observer takes the fast path; ring observer the traced one.
+        for obs in [Obs::noop(), Obs::ring(1024)] {
+            let mut anf = AdaptiveNoiseFilter::new(10.0);
+            assert_eq!(anf.filter_zero_phase_traced(&raw, &obs), expect);
+        }
+    }
+
+    #[test]
+    fn traced_filter_emits_innovation_diagnostics() {
+        let (_, raw) = staircase(10.0, 85);
+        let obs = Obs::ring(1024);
+        let mut anf = AdaptiveNoiseFilter::new(10.0);
+        anf.filter_zero_phase_traced(&raw, &obs);
+
+        let events = obs.events();
+        let ev = events
+            .iter()
+            .find(|e| e.target == "core.anf" && e.name == "zero_phase_filter")
+            .expect("filter summary event");
+        assert_eq!(ev.field("samples").and_then(|f| f.as_f64()), Some(400.0));
+        let mean = ev
+            .field("mean_abs_innovation_db")
+            .and_then(|f| f.as_f64())
+            .expect("mean innovation recorded");
+        assert!(mean > 0.0 && mean < 20.0, "mean innovation {mean}");
+
+        let metrics = obs.metrics();
+        let hist = metrics
+            .histograms
+            .iter()
+            .find(|(name, _)| name.as_str() == "anf.innovation_abs_db")
+            .map(|(_, h)| h)
+            .expect("innovation histogram");
+        assert_eq!(hist.count, raw.len() as u64);
+    }
+
+    #[test]
+    fn causal_lag_is_zero_for_identical_series() {
+        let s: Vec<f64> = (0..50).map(|i| -70.0 + (i as f64 * 0.7).sin()).collect();
+        assert_eq!(causal_lag_samples(&s, &s), 0);
+    }
+
+    #[test]
+    fn causal_lag_finds_a_known_shift() {
+        // zero_phase[i] == forward[i + 5]: the causal output lags by 5.
+        let forward: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+        let zero_phase: Vec<f64> = (0..80).map(|i| ((i + 5) as f64 * 0.3).sin()).collect();
+        assert_eq!(causal_lag_samples(&forward, &zero_phase), 5);
     }
 }

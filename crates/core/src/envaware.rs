@@ -15,7 +15,7 @@
 
 use locble_dsp::{window_features, TimeSeries, FEATURE_DIM};
 use locble_geom::EnvClass;
-use locble_ml::{Classifier, ConfusionMatrix, Dataset, MultiClassSvm, StandardScaler, SvmConfig};
+use locble_ml::{ConfusionMatrix, Dataset, MultiClassSvm, StandardScaler, SvmConfig};
 
 /// EnvAware configuration.
 #[derive(Debug, Clone, Copy)]
@@ -121,9 +121,34 @@ impl EnvAware {
     /// # Panics
     /// Panics on an empty window.
     pub fn classify_window(&self, window: &[f64]) -> EnvClass {
+        self.classify_window_margin(window).0
+    }
+
+    /// Classifies one raw RSS window and reports the decision margin:
+    /// the gap between the winning class's one-vs-rest SVM score and the
+    /// runner-up's. A small margin flags a window the classifier was
+    /// nearly undecided on — the diagnostics layer records it alongside
+    /// the predicted class so regression restarts can be audited.
+    ///
+    /// # Panics
+    /// Panics on an empty window.
+    pub fn classify_window_margin(&self, window: &[f64]) -> (EnvClass, f64) {
         assert!(!window.is_empty(), "cannot classify an empty window");
         let features = self.scaler.transform(&window_features(window));
-        EnvClass::from_label(self.svm.predict(&features)).unwrap_or(EnvClass::Los)
+        let scores = self.svm.decision_values(&features);
+        let (best, &top1) = scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .expect("classifier has classes");
+        let top2 = scores
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != best)
+            .map(|(_, &s)| s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let margin = if top2.is_finite() { top1 - top2 } else { 0.0 };
+        (EnvClass::from_label(best).unwrap_or(EnvClass::Los), margin)
     }
 
     /// Classifies every window of a timestamped series.
@@ -178,6 +203,12 @@ impl EnvChangeDetector {
     /// Current confirmed regime.
     pub fn current(&self) -> Option<EnvClass> {
         self.current
+    }
+
+    /// The unconfirmed candidate change, if any: the differing class and
+    /// how many consecutive windows have voted for it so far.
+    pub fn pending(&self) -> Option<(EnvClass, usize)> {
+        self.pending
     }
 
     /// Feeds one window classification. Returns `Some(new_class)` exactly

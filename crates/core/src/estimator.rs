@@ -26,6 +26,7 @@ use crate::regression::{LegFit, RssPoint};
 use locble_dsp::TimeSeries;
 use locble_geom::{EnvClass, Trajectory, Vec2};
 use locble_motion::MotionTrack;
+use locble_obs::Obs;
 
 /// Estimator configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +87,18 @@ pub enum FitMethod {
     Gradient,
 }
 
+impl FitMethod {
+    /// Stable lower-case name (used in diagnostics events).
+    pub fn name(self) -> &'static str {
+        match self {
+            FitMethod::FreeJoint => "free_joint",
+            FitMethod::Anchored => "anchored",
+            FitMethod::Leg => "leg",
+            FitMethod::Gradient => "gradient",
+        }
+    }
+}
+
 /// One location estimate with its provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocationEstimate {
@@ -108,6 +121,8 @@ pub struct LocationEstimate {
     pub points_used: usize,
     /// Which regression rung produced this estimate.
     pub method: FitMethod,
+    /// RMS residual of the final fit against the fused samples, dB.
+    pub residual_db: f64,
 }
 
 impl LocationEstimate {
@@ -122,6 +137,7 @@ impl LocationEstimate {
 pub struct Estimator {
     config: EstimatorConfig,
     envaware: Option<EnvAware>,
+    obs: Obs,
 }
 
 impl Estimator {
@@ -131,6 +147,7 @@ impl Estimator {
         Estimator {
             config,
             envaware: None,
+            obs: Obs::noop(),
         }
     }
 
@@ -139,7 +156,20 @@ impl Estimator {
         Estimator {
             config,
             envaware: Some(envaware),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches an observability handle; every estimate then emits spans,
+    /// events, and metrics through it. The default handle is the no-op.
+    pub fn with_obs(mut self, obs: Obs) -> Estimator {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle (no-op unless set).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The configuration in use.
@@ -183,14 +213,17 @@ impl Estimator {
         observer: &MotionTrack,
         target_disp: Option<&Trajectory>,
     ) -> Option<LocationEstimate> {
+        let mut span = self.obs.span("core.estimator", "estimate");
+        span.field("samples", rss.len());
         if rss.len() < self.config.min_points {
+            span.field("outcome", "too_few_samples");
             return None;
         }
 
         // ANF (§4.2), zero-phase batch variant so smoothing does not
         // shift readings relative to the motion timestamps.
         let filtered: Vec<f64> = if self.config.use_anf {
-            AdaptiveNoiseFilter::for_series(rss).filter_zero_phase(&rss.v)
+            AdaptiveNoiseFilter::for_series(rss).filter_zero_phase_traced(&rss.v, &self.obs)
         } else {
             rss.v.clone()
         };
@@ -277,6 +310,21 @@ impl Estimator {
                         }
                     }
                 }
+                if self.obs.enabled() {
+                    self.obs.event(
+                        "core.estimator",
+                        "env_timeline",
+                        &[
+                            ("regimes", timeline.len().into()),
+                            (
+                                "majority_env",
+                                env.map_or_else(|| "none".to_string(), |e| format!("{e:?}"))
+                                    .into(),
+                            ),
+                            ("step_compensated", compensated.into()),
+                        ],
+                    );
+                }
             }
         }
         let filtered: Vec<f64> = filtered
@@ -319,6 +367,7 @@ impl Estimator {
             points = all.0;
             rel_positions = all.1;
             if points.len() < self.config.min_points {
+                span.field("outcome", "too_few_fused_points");
                 return None;
             }
         }
@@ -375,14 +424,23 @@ impl Estimator {
                 FitMethod::FreeJoint,
             ),
             // Ablation mode: the paper-pure free regression stands alone.
-            _ if !self.config.use_fallback_ladder => return None,
+            _ if !self.config.use_fallback_ladder => {
+                span.field("outcome", "free_fit_rejected");
+                return None;
+            }
             _ if collinear => match legs().or_else(anchored).or_else(gradient) {
                 Some(result) => result,
-                None => return None,
+                None => {
+                    span.field("outcome", "ladder_exhausted");
+                    return None;
+                }
             },
             _ => match anchored().or_else(legs).or_else(gradient) {
                 Some(result) => result,
-                None => return None,
+                None => {
+                    span.field("outcome", "ladder_exhausted");
+                    return None;
+                }
             },
         };
 
@@ -397,6 +455,15 @@ impl Estimator {
         }
 
         let confidence = estimation_confidence(&points, position, gamma, exponent);
+        let residual_db = rms_residual_db(&points, position, gamma, exponent);
+        span.field("outcome", "ok");
+        span.field("method", method.name());
+        span.field("points", points.len());
+        span.field("collinear", collinear);
+        span.field("confidence", confidence);
+        span.field("residual_db", residual_db);
+        self.obs
+            .histogram_observe("estimator.residual_db", residual_db);
         Some(LocationEstimate {
             position,
             mirror,
@@ -406,6 +473,7 @@ impl Estimator {
             env,
             points_used: points.len(),
             method,
+            residual_db,
         })
     }
 
@@ -559,6 +627,27 @@ impl Estimator {
         let position = centroid + dir * range;
         Some((position, None, exponent, gamma))
     }
+}
+
+/// RMS of the per-sample residuals `δRS_i = RS_i − R̂S_i` of a fitted
+/// `(position, Γ, n)` model (same model geometry as
+/// [`estimation_confidence`]); the estimator reports it as the goodness
+/// of fit behind each estimate.
+fn rms_residual_db(points: &[RssPoint], position: Vec2, gamma_dbm: f64, exponent: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = points
+        .iter()
+        .map(|pt| {
+            let l = Vec2::new(position.x + pt.p, position.y + pt.q)
+                .norm()
+                .max(0.1);
+            let r = pt.rss - (gamma_dbm - 10.0 * exponent * l.log10());
+            r * r
+        })
+        .sum();
+    (sum / points.len() as f64).sqrt()
 }
 
 /// Maximum perpendicular deviation of points from the line through the
@@ -856,10 +945,12 @@ mod tests {
             use_anf: false,
             ..Default::default()
         };
-        let with_ladder = EstimatorConfig { use_anf: false, ..Default::default() };
+        let with_ladder = EstimatorConfig {
+            use_anf: false,
+            ..Default::default()
+        };
         let pure_result = Estimator::new(pure).estimate_stationary(&rss, &track);
-        let ladder_result =
-            Estimator::new(with_ladder).estimate_stationary(&rss, &track);
+        let ladder_result = Estimator::new(with_ladder).estimate_stationary(&rss, &track);
         // The ladder always degrades to *something*; the pure estimator
         // may fail — but if it answers, both answers must be plausible.
         assert!(ladder_result.is_some());
@@ -888,5 +979,83 @@ mod tests {
             .estimate_stationary(&noisy_rss, &track)
             .unwrap();
         assert!(est_clean.confidence > est_noisy.confidence);
+    }
+
+    #[test]
+    fn residual_tracks_model_misfit() {
+        let target = Vec2::new(3.0, 4.0);
+        let (clean_rss, track) = l_track(target, -59.0, 2.0, |_| 0.0);
+        let (noisy_rss, _) = l_track(target, -59.0, 2.0, |i| if i % 2 == 0 { 3.0 } else { -3.0 });
+        let cfg = EstimatorConfig {
+            use_anf: false,
+            ..Default::default()
+        };
+        let est_clean = Estimator::new(cfg.clone())
+            .estimate_stationary(&clean_rss, &track)
+            .unwrap();
+        let est_noisy = Estimator::new(cfg)
+            .estimate_stationary(&noisy_rss, &track)
+            .unwrap();
+        assert!(
+            est_clean.residual_db < 0.5,
+            "clean {}",
+            est_clean.residual_db
+        );
+        assert!(
+            est_noisy.residual_db > est_clean.residual_db,
+            "noisy {} vs clean {}",
+            est_noisy.residual_db,
+            est_clean.residual_db
+        );
+    }
+
+    #[test]
+    fn estimate_span_records_outcome_and_latency() {
+        use locble_obs::{FieldValue, Obs};
+        let target = Vec2::new(3.0, 4.0);
+        let (rss, track) = l_track(target, -59.0, 2.0, |_| 0.0);
+        let obs = Obs::ring(256);
+        let est = Estimator::new(EstimatorConfig {
+            use_anf: false,
+            ..Default::default()
+        })
+        .with_obs(obs.clone());
+        est.estimate_stationary(&rss, &track).unwrap();
+
+        let events = obs.events();
+        let span = events
+            .iter()
+            .find(|e| e.target == "core.estimator" && e.name == "estimate")
+            .expect("estimate span event");
+        assert_eq!(span.field("outcome"), Some(&FieldValue::Str("ok".into())));
+        assert_eq!(
+            span.field("method"),
+            Some(&FieldValue::Str("free_joint".into()))
+        );
+        assert!(span.field("duration_us").and_then(|f| f.as_f64()).is_some());
+
+        // Too few samples: the span still closes, with the right outcome.
+        let short = TimeSeries::new(vec![0.0, 0.1], vec![-60.0, -61.0]);
+        assert!(est.estimate_stationary(&short, &track).is_none());
+        let events = obs.events();
+        let fail = events
+            .iter()
+            .rev()
+            .find(|e| e.name == "estimate")
+            .expect("second span");
+        assert_eq!(
+            fail.field("outcome"),
+            Some(&FieldValue::Str("too_few_samples".into()))
+        );
+
+        // The latency histogram accumulated both calls.
+        let metrics = obs.metrics();
+        let hist = metrics
+            .histograms
+            .iter()
+            .find(|(name, _)| name.as_str() == "core.estimator.estimate.us")
+            .map(|(_, h)| h)
+            .expect("span latency histogram");
+        assert_eq!(hist.count, 2);
     }
 }

@@ -16,6 +16,32 @@ use crate::estimator::{Estimator, LocationEstimate};
 use locble_dsp::TimeSeries;
 use locble_geom::EnvClass;
 use locble_motion::MotionTrack;
+use std::fmt;
+
+/// Why an [`RssBatch`] could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchError {
+    /// The time and value vectors have different lengths.
+    LengthMismatch {
+        /// Number of timestamps supplied.
+        times: usize,
+        /// Number of RSSI values supplied.
+        values: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::LengthMismatch { times, values } => write!(
+                f,
+                "batch vectors must match: {times} timestamps vs {values} values"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
 
 /// One RSS data batch (2–3 s of samples).
 #[derive(Debug, Clone, Default)]
@@ -30,10 +56,21 @@ impl RssBatch {
     /// Builds a batch from parallel vectors.
     ///
     /// # Panics
-    /// Panics on length mismatch.
+    /// Panics on length mismatch (use [`try_new`](Self::try_new) to
+    /// handle malformed input gracefully).
     pub fn new(t: Vec<f64>, v: Vec<f64>) -> RssBatch {
-        assert_eq!(t.len(), v.len(), "batch vectors must match");
-        RssBatch { t, v }
+        RssBatch::try_new(t, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a batch from parallel vectors, rejecting malformed input.
+    pub fn try_new(t: Vec<f64>, v: Vec<f64>) -> Result<RssBatch, BatchError> {
+        if t.len() != v.len() {
+            return Err(BatchError::LengthMismatch {
+                times: t.len(),
+                values: v.len(),
+            });
+        }
+        Ok(RssBatch { t, v })
     }
 
     /// Number of samples.
@@ -96,24 +133,63 @@ impl StreamingEstimator {
     /// applies the restart rule: a *confirmed* change discards the
     /// accumulated data and starts fresh from this batch.
     fn apply_restart_rule(&mut self, batch: &RssBatch) {
-        let Some(class) = self.classify(batch) else {
+        let Some((class, margin)) = self.classify(batch) else {
             return;
         };
-        let had_regime = self.detector.current().is_some();
-        if self.detector.push(class).is_some() && had_regime {
+        let obs = self.estimator.obs().clone();
+        let before = self.detector.current();
+        let had_regime = before.is_some();
+        let confirmed = self.detector.push(class).is_some();
+        if obs.enabled() {
+            let pending = self.detector.pending();
+            obs.event(
+                "core.envaware",
+                "classified",
+                &[
+                    ("class", format!("{class:?}").into()),
+                    ("margin", margin.into()),
+                    ("confirmed_change", (confirmed && had_regime).into()),
+                    (
+                        "pending_class",
+                        pending
+                            .map_or_else(|| "none".to_string(), |(c, _)| format!("{c:?}"))
+                            .into(),
+                    ),
+                    ("pending_windows", pending.map_or(0, |(_, n)| n).into()),
+                ],
+            );
+        }
+        if confirmed && had_regime {
             // Paper: "start a new regression with the data".
+            let discarded = self.series.len();
             self.series = TimeSeries::default();
             self.restarts += 1;
+            obs.counter_add("stream.env_restarts", 1);
+            if obs.enabled() {
+                obs.event(
+                    "core.streaming",
+                    "env_restart",
+                    &[
+                        (
+                            "from",
+                            format!("{:?}", before.expect("had a regime")).into(),
+                        ),
+                        ("to", format!("{class:?}").into()),
+                        ("discarded_samples", discarded.into()),
+                        ("restarts", self.restarts.into()),
+                    ],
+                );
+            }
         }
     }
 
-    fn classify(&self, batch: &RssBatch) -> Option<EnvClass> {
+    fn classify(&self, batch: &RssBatch) -> Option<(EnvClass, f64)> {
         if !self.estimator.config().use_envaware || batch.len() < 3 {
             return None;
         }
         self.estimator
             .envaware_model()
-            .map(|model| model.classify_window(&batch.v))
+            .map(|model| model.classify_window_margin(&batch.v))
     }
 
     /// Feeds one batch and the observer's motion track so far; returns
@@ -129,14 +205,54 @@ impl StreamingEstimator {
         if batch.is_empty() {
             return self.current.as_ref();
         }
+        let obs = self.estimator.obs().clone();
+        obs.counter_add("stream.batches", 1);
+        obs.histogram_observe("stream.batch_len", batch.len() as f64);
         self.apply_restart_rule(batch);
         for (&t, &v) in batch.t.iter().zip(&batch.v) {
             self.series.push(t, v);
         }
-        if let Some(est) = self.estimator.estimate_stationary(&self.series, observer) {
+        let mut span = obs.span("core.streaming", "refit");
+        span.field("active_samples", self.series.len());
+        let refreshed = self.estimator.estimate_stationary(&self.series, observer);
+        span.field("ok", refreshed.is_some());
+        if let Some(est) = &refreshed {
+            span.field("residual_db", est.residual_db);
+            span.field("confidence", est.confidence);
+        }
+        drop(span);
+        if let Some(est) = refreshed {
             self.current = Some(est);
         }
         self.current.as_ref()
+    }
+
+    /// Builds a batch from parallel vectors and feeds it. A malformed
+    /// batch is counted (`stream.batches_rejected`), reported as a
+    /// `core.streaming/batch_rejected` event, and returned as an error
+    /// instead of panicking — bad input from a radio driver must not
+    /// take the pipeline down.
+    pub fn try_push(
+        &mut self,
+        t: Vec<f64>,
+        v: Vec<f64>,
+        observer: &MotionTrack,
+    ) -> Result<Option<&LocationEstimate>, BatchError> {
+        match RssBatch::try_new(t, v) {
+            Ok(batch) => Ok(self.push_batch(&batch, observer)),
+            Err(e) => {
+                let obs = self.estimator.obs();
+                obs.counter_add("stream.batches_rejected", 1);
+                if obs.enabled() {
+                    obs.event(
+                        "core.streaming",
+                        "batch_rejected",
+                        &[("reason", e.to_string().into())],
+                    );
+                }
+                Err(e)
+            }
+        }
     }
 }
 
@@ -246,5 +362,125 @@ mod tests {
         let mut streaming = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
         streaming.push_batch(&batches[1], &track);
         streaming.push_batch(&batches[0], &track);
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_lengths() {
+        let err = RssBatch::try_new(vec![0.0, 0.1], vec![-60.0]).unwrap_err();
+        assert_eq!(
+            err,
+            BatchError::LengthMismatch {
+                times: 2,
+                values: 1
+            }
+        );
+        assert!(err.to_string().contains("2 timestamps vs 1 values"));
+        assert!(RssBatch::try_new(vec![0.0], vec![-60.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch vectors must match")]
+    fn new_still_panics_on_mismatch() {
+        RssBatch::new(vec![0.0], vec![]);
+    }
+
+    #[test]
+    fn try_push_records_the_rejection_and_keeps_running() {
+        use locble_obs::Obs;
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |_| 0.0);
+        let obs = Obs::ring(64);
+        let estimator = Estimator::new(EstimatorConfig::default()).with_obs(obs.clone());
+        let mut streaming = StreamingEstimator::new(estimator);
+        let err = streaming
+            .try_push(vec![0.0, 0.1], vec![-60.0], &track)
+            .unwrap_err();
+        assert!(matches!(err, BatchError::LengthMismatch { .. }));
+        assert_eq!(obs.metrics().counter("stream.batches_rejected"), 1);
+        assert!(obs.events().iter().any(|e| e.name == "batch_rejected"));
+        // Well-formed input still flows through the same entry point.
+        let b = &batches[0];
+        assert!(streaming.try_push(b.t.clone(), b.v.clone(), &track).is_ok());
+        assert_eq!(streaming.active_samples(), b.len());
+    }
+
+    /// Trains a small EnvAware model on synthetic class-dependent
+    /// windows (the same statistics the envaware module tests use).
+    fn synth_envaware(seed: u64) -> crate::envaware::EnvAware {
+        use crate::envaware::{EnvAware, EnvAwareConfig};
+        use locble_rf::randn::normal;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut windows = Vec::new();
+        for class in locble_geom::EnvClass::ALL {
+            let (mean, sigma) = match class {
+                locble_geom::EnvClass::Los => (-62.0, 1.8),
+                locble_geom::EnvClass::PartialLos => (-71.0, 3.2),
+                locble_geom::EnvClass::NonLos => (-82.0, 5.0),
+            };
+            for _ in 0..80 {
+                let offset = normal(&mut rng, 0.0, 2.0);
+                let w: Vec<f64> = (0..18)
+                    .map(|_| normal(&mut rng, mean + offset, sigma))
+                    .collect();
+                windows.push((w, class));
+            }
+        }
+        EnvAware::train(&windows, &EnvAwareConfig::default())
+    }
+
+    #[test]
+    fn confirmed_env_change_restarts_and_is_recorded() {
+        use locble_obs::{FieldValue, Obs};
+        use locble_rf::randn::normal;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let obs = Obs::ring(512);
+        let estimator = Estimator::with_envaware(EstimatorConfig::default(), synth_envaware(5))
+            .with_obs(obs.clone());
+        let mut streaming = StreamingEstimator::new(estimator);
+        let (_, track) = batches(Vec2::new(4.0, 3.5), |_| 0.0);
+
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut batch_of = |idx: usize, mean: f64, sigma: f64| {
+            let t0 = idx as f64 * 2.2;
+            let t: Vec<f64> = (0..20).map(|i| t0 + i as f64 * 0.11).collect();
+            let v: Vec<f64> = (0..20).map(|_| normal(&mut rng, mean, sigma)).collect();
+            RssBatch::new(t, v)
+        };
+        for k in 0..3 {
+            streaming.push_batch(&batch_of(k, -62.0, 1.8), &track);
+        }
+        // First differing window only goes pending (the online rule
+        // demands two); the second confirms and restarts.
+        streaming.push_batch(&batch_of(3, -82.0, 5.0), &track);
+        assert_eq!(streaming.restarts(), 0, "one NLOS window must not restart");
+        let samples_before_restart = streaming.active_samples();
+        streaming.push_batch(&batch_of(4, -82.0, 5.0), &track);
+        assert_eq!(streaming.restarts(), 1);
+        assert_eq!(
+            streaming.active_samples(),
+            20,
+            "series must restart from the confirming batch"
+        );
+        assert_eq!(obs.metrics().counter("stream.env_restarts"), 1);
+        assert_eq!(obs.metrics().counter("stream.batches"), 5);
+
+        let events = obs.events();
+        let restart = events
+            .iter()
+            .find(|e| e.name == "env_restart")
+            .expect("restart event recorded");
+        assert_eq!(restart.field("from"), Some(&FieldValue::Str("Los".into())));
+        assert_eq!(restart.field("to"), Some(&FieldValue::Str("NonLos".into())));
+        match restart.field("discarded_samples") {
+            Some(&FieldValue::U64(n)) => assert_eq!(n as usize, samples_before_restart),
+            other => panic!("bad discarded_samples {other:?}"),
+        }
+        // Every batch left a classification breadcrumb.
+        let n_classified = events.iter().filter(|e| e.name == "classified").count();
+        assert_eq!(n_classified, 5);
     }
 }

@@ -112,6 +112,8 @@ pub struct AdaptiveKalman {
     innov_var: f64,
     disagree_var: f64,
     initialized: bool,
+    last_innovation: f64,
+    last_boost: f64,
 }
 
 impl AdaptiveKalman {
@@ -147,12 +149,25 @@ impl AdaptiveKalman {
             innov_var: 0.0,
             disagree_var: 0.0,
             initialized: false,
+            last_innovation: 0.0,
+            last_boost: 1.0,
         }
     }
 
     /// Current state estimate.
     pub fn state(&self) -> f64 {
         self.x
+    }
+
+    /// Innovation (`raw − state`) of the most recent [`step`](Self::step).
+    pub fn last_innovation(&self) -> f64 {
+        self.last_innovation
+    }
+
+    /// Process-noise inflation factor applied on the most recent step
+    /// (1 when the filter sees a steady level).
+    pub fn last_boost(&self) -> f64 {
+        self.last_boost
     }
 
     /// Processes one (raw, Butterworth-output) pair; returns the fused
@@ -164,6 +179,8 @@ impl AdaptiveKalman {
             self.innov_var = self.r_raw;
             self.disagree_var = self.r_raw;
             self.initialized = true;
+            self.last_innovation = raw - bf;
+            self.last_boost = 1.0;
             return self.x;
         }
 
@@ -183,7 +200,10 @@ impl AdaptiveKalman {
         self.disagree_var = (1.0 - self.innovation_alpha) * self.disagree_var
             + self.innovation_alpha * disagree * disagree;
 
+        self.last_innovation = innov;
+
         let boost = (self.innov_var / self.r_raw).clamp(1.0, self.max_boost);
+        self.last_boost = boost;
         let bf_distrust = (self.disagree_var / self.r_raw)
             .powi(2)
             .clamp(1.0, self.max_boost * self.max_boost);
@@ -227,6 +247,8 @@ impl AdaptiveKalman {
         self.innov_var = 0.0;
         self.disagree_var = 0.0;
         self.initialized = false;
+        self.last_innovation = 0.0;
+        self.last_boost = 1.0;
     }
 }
 
@@ -367,5 +389,32 @@ mod tests {
         akf.reset();
         let b = akf.filter(&raw, &bf);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn akf_exposes_innovation_and_boost() {
+        let mut akf = AdaptiveKalman::paper_default();
+        assert_eq!(akf.last_innovation(), 0.0);
+        assert_eq!(akf.last_boost(), 1.0);
+
+        // Init sample: innovation is measured against the BF prior.
+        akf.step(-68.0, -70.0);
+        assert!((akf.last_innovation() - 2.0).abs() < 1e-12);
+        assert_eq!(akf.last_boost(), 1.0);
+
+        // A step change shows up as a large innovation, and the burst of
+        // them must drive the boost above 1 while the filter catches up.
+        akf.step(-50.0, -70.0);
+        assert!(akf.last_innovation().abs() > 1.0);
+        let mut max_boost: f64 = 1.0;
+        for _ in 0..10 {
+            akf.step(-50.0, -70.0);
+            max_boost = max_boost.max(akf.last_boost());
+        }
+        assert!(max_boost > 1.0, "boost never rose: {max_boost}");
+
+        akf.reset();
+        assert_eq!(akf.last_innovation(), 0.0);
+        assert_eq!(akf.last_boost(), 1.0);
     }
 }

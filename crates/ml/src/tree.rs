@@ -186,7 +186,7 @@ fn build(
             }
             let weighted =
                 (ln as f64 * gini(&lc, ln) + rn as f64 * gini(&rc, rn)) / idx.len() as f64;
-            if best.map_or(true, |(b, _, _)| weighted < b) {
+            if best.is_none_or(|(b, _, _)| weighted < b) {
                 best = Some((weighted, f, threshold));
             }
         }

@@ -65,8 +65,8 @@ pub fn align(imu: &[ImuSample]) -> AlignedImu {
     let n = imu.len() as f64;
     let mut g = [0.0f64; 3];
     for s in imu {
-        for k in 0..3 {
-            g[k] += s.accel[k] / n;
+        for (k, acc) in g.iter_mut().enumerate() {
+            *acc += s.accel[k] / n;
         }
     }
     let norm = (g[0] * g[0] + g[1] * g[1] + g[2] * g[2]).sqrt();

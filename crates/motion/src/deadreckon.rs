@@ -15,6 +15,7 @@ use crate::alignment::align;
 use crate::steps::{detect_steps, StepResult, StepsConfig};
 use crate::turns::{detect_turns, DetectedTurn, TurnsConfig};
 use locble_geom::{Trajectory, Vec2};
+use locble_obs::Obs;
 use locble_sensors::ImuSample;
 
 /// Tracker configuration.
@@ -96,6 +97,41 @@ pub fn track(imu: &[ImuSample], config: &TrackerConfig) -> MotionTrack {
         steps,
         turns,
     }
+}
+
+/// [`track`] with diagnostics: counts detected steps and turns into the
+/// `motion.steps` / `motion.turns` counters and emits one
+/// `motion.track/turn` event per detected turn plus a
+/// `motion.track/reconstructed` summary. With a disabled handle this is
+/// exactly [`track`].
+pub fn track_traced(imu: &[ImuSample], config: &TrackerConfig, obs: &Obs) -> MotionTrack {
+    let reconstructed = track(imu, config);
+    obs.counter_add("motion.steps", reconstructed.steps.count() as u64);
+    obs.counter_add("motion.turns", reconstructed.turns.len() as u64);
+    if obs.enabled() {
+        for turn in &reconstructed.turns {
+            obs.event(
+                "motion.track",
+                "turn",
+                &[
+                    ("t_mid_s", (0.5 * (turn.t_start + turn.t_end)).into()),
+                    ("angle_deg", turn.angle.to_degrees().into()),
+                ],
+            );
+        }
+        obs.event(
+            "motion.track",
+            "reconstructed",
+            &[
+                ("steps", reconstructed.steps.count().into()),
+                ("turns", reconstructed.turns.len().into()),
+                ("distance_m", reconstructed.steps.distance_m.into()),
+                ("step_frequency_hz", reconstructed.steps.frequency_hz.into()),
+                ("step_length_m", reconstructed.steps.step_length_m.into()),
+            ],
+        );
+    }
+    reconstructed
 }
 
 #[cfg(test)]
@@ -189,5 +225,42 @@ mod tests {
             "distance {}",
             track.distance()
         );
+    }
+
+    #[test]
+    fn traced_track_matches_untraced_and_counts_motion() {
+        use locble_obs::Obs;
+        let plan = WalkPlan::l_shape(Pose2::IDENTITY, 4.0, 3.0);
+        let sim = simulate_walk(&plan, &GaitConfig::default(), 37);
+        let cfg = TrackerConfig::default();
+        let plain = track(&sim.imu, &cfg);
+
+        let obs = Obs::ring(256);
+        let traced = track_traced(&sim.imu, &cfg, &obs);
+        assert_eq!(traced.trajectory.len(), plain.trajectory.len());
+        assert_eq!(traced.turns.len(), plain.turns.len());
+
+        let metrics = obs.metrics();
+        assert_eq!(metrics.counter("motion.steps"), plain.steps.count() as u64);
+        assert_eq!(metrics.counter("motion.turns"), plain.turns.len() as u64);
+
+        let events = obs.events();
+        let turns = events.iter().filter(|e| e.name == "turn").count();
+        assert_eq!(turns, plain.turns.len());
+        let summary = events
+            .iter()
+            .find(|e| e.name == "reconstructed")
+            .expect("reconstruction summary event");
+        let dist = summary
+            .field("distance_m")
+            .and_then(|f| f.as_f64())
+            .expect("distance field");
+        assert!((dist - plain.distance()).abs() < 1e-12);
+
+        // A noop handle skips event construction entirely.
+        let noop = Obs::noop();
+        let silent = track_traced(&sim.imu, &cfg, &noop);
+        assert_eq!(silent.trajectory.len(), plain.trajectory.len());
+        assert!(noop.events().is_empty());
     }
 }

@@ -24,6 +24,6 @@ pub mod steps;
 pub mod turns;
 
 pub use alignment::{align, AlignedImu};
-pub use deadreckon::{track, MotionTrack, TrackerConfig};
+pub use deadreckon::{track, track_traced, MotionTrack, TrackerConfig};
 pub use steps::{detect_steps, StepResult, StepsConfig};
 pub use turns::{detect_turns, DetectedTurn, TurnsConfig};

@@ -1,0 +1,192 @@
+//! Structured events: what happened, where in the pipeline, and with
+//! which measured values attached.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// One typed field value on an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Floating-point measurement (RSSI, residual, margin, ...).
+    F64(f64),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (counts, durations in µs).
+    U64(u64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short label (environment class names, methods, ...).
+    Str(String),
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    /// The value as `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::F64(x) => Some(*x),
+            FieldValue::I64(n) => Some(*n as f64),
+            FieldValue::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a label.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl Serialize for FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::F64(x) => Value::F64(*x),
+            FieldValue::I64(n) => Value::I64(*n),
+            FieldValue::U64(n) => Value::U64(*n),
+            FieldValue::Bool(b) => Value::Bool(*b),
+            FieldValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl Deserialize for FieldValue {
+    fn from_value(v: &Value) -> Result<FieldValue, Error> {
+        match v {
+            Value::F64(x) => Ok(FieldValue::F64(*x)),
+            Value::I64(n) => Ok(FieldValue::I64(*n)),
+            Value::U64(n) => Ok(FieldValue::U64(*n)),
+            Value::Bool(b) => Ok(FieldValue::Bool(*b)),
+            Value::Str(s) => Ok(FieldValue::Str(s.clone())),
+            // Non-finite floats serialize as null; recover them as NaN.
+            Value::Null => Ok(FieldValue::F64(f64::NAN)),
+            other => Err(Error::msg(format!("bad field value {other:?}"))),
+        }
+    }
+}
+
+/// One structured occurrence in the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic per-handle sequence number.
+    pub seq: u64,
+    /// Microseconds since the [`Obs`](crate::Obs) handle was created.
+    pub t_us: u64,
+    /// Which subsystem emitted it (e.g. `"core.streaming"`).
+    pub target: &'static str,
+    /// What happened (e.g. `"env_restart"`).
+    pub name: &'static str,
+    /// Measured values attached at the emit site.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let fields = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        Value::Map(vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("t_us".to_string(), Value::U64(self.t_us)),
+            ("target".to_string(), Value::Str(self.target.to_string())),
+            ("name".to_string(), Value::Str(self.name.to_string())),
+            ("fields".to_string(), Value::Map(fields)),
+        ])
+    }
+}
+
+impl Deserialize for Event {
+    fn from_value(v: &Value) -> Result<Event, Error> {
+        let fields = match v.get("fields") {
+            Some(Value::Map(entries)) => entries
+                .iter()
+                .map(|(k, val)| Ok((intern(k), FieldValue::from_value(val)?)))
+                .collect::<Result<Vec<_>, Error>>()?,
+            _ => return Err(Error::msg("event missing `fields` map")),
+        };
+        let target = match v.get("target") {
+            Some(Value::Str(s)) => intern(s),
+            _ => return Err(Error::msg("event missing `target`")),
+        };
+        let name = match v.get("name") {
+            Some(Value::Str(s)) => intern(s),
+            _ => return Err(Error::msg("event missing `name`")),
+        };
+        Ok(Event {
+            seq: serde::de_field(v, "seq")?,
+            t_us: serde::de_field(v, "t_us")?,
+            target,
+            name,
+            fields,
+        })
+    }
+}
+
+/// Events hold `&'static str` keys so the emit path never allocates for
+/// names; deserialized events (a test/tooling path) intern by leaking,
+/// deduplicated so repeated round-trips stay bounded.
+fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().expect("intern table not poisoned");
+    match set.get(s) {
+        Some(existing) => existing,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+            set.insert(leaked);
+            leaked
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Counters, gauges, and fixed-bucket histograms.
+//!
+//! All state lives behind one `Mutex` per metric kind; the hot path is
+//! a map lookup plus an integer add, far below the cost of the pipeline
+//! work being measured. Names are free-form dotted strings.
+
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default histogram buckets, tuned for microsecond latencies and
+/// small magnitudes alike (decade steps with 1-2-5 subdivision).
+const DEFAULT_BOUNDS: [f64; 13] = [
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 20000.0,
+];
+
+/// Accumulates all metrics for one [`Obs`](crate::Obs) handle.
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds to a monotonic counter, creating it at zero on first use.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut counters = self.counters.lock().expect("counters not poisoned");
+        *counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut gauges = self.gauges.lock().expect("gauges not poisoned");
+        gauges.insert(name.to_string(), v);
+    }
+
+    /// Registers a histogram with explicit ascending bucket bounds
+    /// (no-op when it already exists).
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        let mut hists = self.histograms.lock().expect("histograms not poisoned");
+        hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Records one observation, creating the histogram with default
+    /// buckets on first use.
+    pub fn histogram_observe(&self, name: &str, v: f64) {
+        let mut hists = self.histograms.lock().expect("histograms not poisoned");
+        hists
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(&DEFAULT_BOUNDS))
+            .observe(v);
+    }
+
+    /// Like [`histogram_observe`](Self::histogram_observe) for
+    /// already-owned names (span latency paths).
+    pub fn histogram_observe_dynamic(&self, name: String, v: f64) {
+        let mut hists = self.histograms.lock().expect("histograms not poisoned");
+        hists
+            .entry(name)
+            .or_insert_with(|| Histogram::new(&DEFAULT_BOUNDS))
+            .observe(v);
+    }
+
+    /// A point-in-time copy of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().expect("counters not poisoned").clone(),
+            gauges: self.gauges.lock().expect("gauges not poisoned").clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("histograms not poisoned")
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+/// Fixed-bucket histogram: `counts[i]` tallies observations `<=
+/// bounds[i]`, with one overflow bucket at the end.
+#[derive(Debug, Clone)]
+struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must ascend"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.clone(),
+            sum: self.sum,
+            count: self.count,
+            min: if self.count == 0 { 0.0 } else { self.min },
+            max: if self.count == 0 { 0.0 } else { self.max },
+        }
+    }
+}
+
+/// Serializable copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bucket bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket tallies; last entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("bounds".to_string(), self.bounds.to_value()),
+            ("counts".to_string(), self.counts.to_value()),
+            ("sum".to_string(), Value::F64(self.sum)),
+            ("count".to_string(), Value::U64(self.count)),
+            ("min".to_string(), Value::F64(self.min)),
+            ("max".to_string(), Value::F64(self.max)),
+        ])
+    }
+}
+
+/// Serializable copy of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Convenience: counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::F64(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
+        Value::Map(vec![
+            ("counters".to_string(), Value::Map(counters)),
+            ("gauges".to_string(), Value::Map(gauges)),
+            ("histograms".to_string(), Value::Map(histograms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let m = MetricsRegistry::new();
+        m.counter_add("c", 2);
+        m.counter_add("c", 3);
+        m.gauge_set("g", 1.5);
+        m.gauge_set("g", -2.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauges["g"], -2.5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let m = MetricsRegistry::new();
+        m.register_histogram("h", &[1.0, 2.0, 5.0]);
+        // Exactly on a bound lands in that bucket; above the last bound
+        // lands in overflow.
+        for v in [0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1, 100.0] {
+            m.histogram_observe("h", v);
+        }
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 120.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unregistered_histogram_gets_default_buckets() {
+        let m = MetricsRegistry::new();
+        m.histogram_observe("lat", 3.0);
+        let h = &m.snapshot().histograms["lat"];
+        assert_eq!(h.bounds.len() + 1, h.counts.len());
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn non_ascending_bounds_are_rejected() {
+        let m = MetricsRegistry::new();
+        m.register_histogram("bad", &[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Event sinks: where recorded events go.
+
+use crate::event::Event;
+use std::sync::Mutex;
+
+/// An event sink. Implementations must be cheap and non-blocking — the
+/// pipeline calls [`record`](Recorder::record) from its hot paths.
+pub trait Recorder: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: Event);
+
+    /// All retained events, oldest first (sinks that do not retain
+    /// return nothing).
+    fn snapshot(&self) -> Vec<Event> {
+        Vec::new()
+    }
+
+    /// How many events were discarded due to capacity.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards everything (used by tests that want an attached-but-silent
+/// recorder; the usual "off" path is `Obs::noop`, which skips the
+/// recorder entirely).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// Retains the most recent `capacity` events in a fixed ring.
+pub struct RingRecorder {
+    state: Mutex<RingState>,
+}
+
+struct RingState {
+    buf: Vec<Event>,
+    /// Index of the oldest retained event once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A ring retaining at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> RingRecorder {
+        RingRecorder {
+            state: Mutex::new(RingState {
+                buf: Vec::new(),
+                head: 0,
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: Event) {
+        let mut s = self.state.lock().expect("ring not poisoned");
+        if s.buf.len() < s.capacity {
+            s.buf.push(event);
+        } else {
+            let head = s.head;
+            s.buf[head] = event;
+            s.head = (head + 1) % s.capacity;
+            s.dropped += 1;
+        }
+    }
+
+    fn snapshot(&self) -> Vec<Event> {
+        let s = self.state.lock().expect("ring not poisoned");
+        let mut out = Vec::with_capacity(s.buf.len());
+        out.extend_from_slice(&s.buf[s.head..]);
+        out.extend_from_slice(&s.buf[..s.head]);
+        out
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("ring not poisoned").dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FieldValue;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            t_us: seq * 10,
+            target: "t",
+            name: "n",
+            fields: vec![("i", FieldValue::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_under_capacity() {
+        let ring = RingRecorder::with_capacity(4);
+        for i in 0..3 {
+            ring.record(ev(i));
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_in_order() {
+        let ring = RingRecorder::with_capacity(4);
+        for i in 0..10 {
+            ring.record(ev(i));
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = RingRecorder::with_capacity(0);
+        ring.record(ev(1));
+        ring.record(ev(2));
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2]);
+    }
+}

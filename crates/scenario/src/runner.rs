@@ -9,9 +9,11 @@
 
 use crate::world::Session;
 use locble_ble::BeaconId;
-use locble_core::{Estimator, LocationEstimate};
+use locble_core::{Estimator, LocationEstimate, RssBatch, StreamingEstimator};
 use locble_geom::Vec2;
-use locble_motion::{track, MotionTrack, TrackerConfig};
+use locble_motion::{track, track_traced, MotionTrack, TrackerConfig};
+use locble_obs::{Event, MetricsSnapshot, Obs};
+use serde::Serialize;
 
 /// The outcome of localizing one beacon in one session.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +101,95 @@ pub fn localize_moving(
         truth_local,
         error_m,
     })
+}
+
+/// Duration of one streaming RSS batch, seconds (paper §5.3: "we
+/// collect a new data batch every 2–3 seconds").
+const STREAM_BATCH_S: f64 = 2.2;
+
+/// Everything one instrumented pipeline run produced, in one
+/// serializable bundle: the retained event stream, the metrics
+/// snapshot, and the run's headline numbers. Produced by
+/// [`localize_streaming`].
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    /// Events retained by the recorder, oldest first.
+    pub events: Vec<Event>,
+    /// Events the recorder discarded (ring overflow).
+    pub dropped_events: u64,
+    /// Counters, gauges, and histograms at the end of the run.
+    pub metrics: MetricsSnapshot,
+    /// Batches fed to the streaming estimator.
+    pub batches: usize,
+    /// Regression restarts triggered by confirmed environment changes.
+    pub restarts: usize,
+    /// Final localization error, metres (`None` when no estimate).
+    pub error_m: Option<f64>,
+}
+
+impl PipelineReport {
+    /// The whole report as one JSON object.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// The event stream as JSON Lines (one event per line), the format
+    /// [`locble_obs::events_from_jsonl`] parses back.
+    pub fn events_jsonl(&self) -> String {
+        locble_obs::events_to_jsonl(&self.events)
+    }
+}
+
+/// Localizes one beacon the way the app runs on-device — motion
+/// tracking, then batch-by-batch Algorithm 1 through
+/// [`StreamingEstimator`] — with the whole pipeline instrumented
+/// through `obs`. Returns the final outcome (`None` when the beacon was
+/// never heard or no batch yielded an estimate) plus the diagnostics
+/// bundle, which is produced regardless so failed runs can be audited.
+pub fn localize_streaming(
+    session: &Session,
+    beacon: BeaconId,
+    estimator: &Estimator,
+    obs: &Obs,
+) -> (Option<RunOutcome>, PipelineReport) {
+    let observer = track_traced(&session.walk.imu, &TrackerConfig::default(), obs);
+    let mut streaming = StreamingEstimator::new(estimator.clone().with_obs(obs.clone()));
+    let mut batches = 0usize;
+    if let Some(rss) = session.rss_of(beacon) {
+        let mut start = 0;
+        while start < rss.len() {
+            let t0 = rss.t[start];
+            let mut end = start;
+            while end < rss.len() && rss.t[end] < t0 + STREAM_BATCH_S {
+                end += 1;
+            }
+            let batch = RssBatch::new(rss.t[start..end].to_vec(), rss.v[start..end].to_vec());
+            streaming.push_batch(&batch, &observer);
+            batches += 1;
+            start = end;
+        }
+    }
+    let outcome = streaming.current().copied().and_then(|estimate| {
+        let truth_local = session.truth_local(beacon)?;
+        let mut error_m = estimate.position.distance(truth_local);
+        if let Some(mirror) = estimate.mirror {
+            error_m = error_m.min(mirror.distance(truth_local));
+        }
+        Some(RunOutcome {
+            estimate,
+            truth_local,
+            error_m,
+        })
+    });
+    let report = PipelineReport {
+        events: obs.events(),
+        dropped_events: obs.dropped_events(),
+        metrics: obs.metrics(),
+        batches,
+        restarts: streaming.restarts(),
+        error_m: outcome.as_ref().map(|o| o.error_m),
+    };
+    (outcome, report)
 }
 
 /// Convenience: just the localization error.
@@ -229,5 +320,105 @@ mod tests {
         let o = run_once(9, Vec2::new(9.0, 8.0), Vec2::new(4.0, 4.0), 17).unwrap();
         let direct = o.estimate.position.distance(o.truth_local);
         assert!(o.error_m <= direct + 1e-12);
+    }
+
+    #[test]
+    fn streaming_run_produces_a_report() {
+        let env = environment_by_index(1).unwrap();
+        let beacons = vec![BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(4.0, 4.0),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        }];
+        let plan = plan_l_walk(&env, Vec2::new(1.0, 1.0), 2.5, 2.0, 0.3).unwrap();
+        let session = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(7));
+        let estimator = Estimator::new(EstimatorConfig::default());
+        let obs = Obs::ring(2048);
+        let (outcome, report) = localize_streaming(&session, BeaconId(1), &estimator, &obs);
+        assert!(report.batches > 0);
+        assert_eq!(
+            report.metrics.counter("stream.batches"),
+            report.batches as u64
+        );
+        assert_eq!(outcome.map(|o| o.error_m), report.error_m);
+        // The JSON body serializes and mentions the event stream.
+        let json = report.to_json();
+        assert!(json.contains("\"events\""));
+        assert!(json.contains("\"metrics\""));
+    }
+
+    /// The pipeline-diagnostics acceptance run: a session whose RSS trace
+    /// switches regime mid-walk must yield a [`PipelineReport`] whose
+    /// JSONL stream shows the environment restart, the per-batch refit
+    /// latencies, and the ANF innovation samples.
+    #[test]
+    fn report_captures_env_restart_and_latencies() {
+        use locble_dsp::TimeSeries;
+        use locble_rf::randn::normal;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        // Long walk in the parking lot so the stream spans many 2.2 s
+        // batches.
+        let env = environment_by_index(9).unwrap();
+        let beacons = vec![BeaconSpec {
+            id: BeaconId(1),
+            position: Vec2::new(8.0, 8.0),
+            hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+        }];
+        let plan = plan_l_walk(&env, Vec2::new(1.5, 1.5), 13.0, 12.0, 0.5).unwrap();
+        let mut session =
+            simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(11));
+
+        // Splice a two-regime trace over the walk: clear LOS for the
+        // first 60%, then a deep NLOS level (the probe-calibrated class
+        // centers of the default-trained classifier).
+        let t_end = session.walk.imu.last().unwrap().t;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut t = Vec::new();
+        let mut v = Vec::new();
+        let mut clock = 0.0;
+        while clock < t_end {
+            let (mean, sigma) = if clock < 0.6 * t_end {
+                (-65.0, 1.8)
+            } else {
+                (-93.0, 6.0)
+            };
+            t.push(clock);
+            v.push(normal(&mut rng, mean, sigma));
+            clock += 0.11;
+        }
+        session.rss.insert(BeaconId(1), TimeSeries::new(t, v));
+
+        let estimator =
+            Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(21));
+        let obs = Obs::ring(8192);
+        let (_, report) = localize_streaming(&session, BeaconId(1), &estimator, &obs);
+
+        assert!(report.restarts >= 1, "no env restart detected");
+        assert_eq!(report.dropped_events, 0, "ring overflowed");
+
+        let jsonl = report.events_jsonl();
+        assert!(jsonl.contains("env_restart"), "restart missing from JSONL");
+        assert!(
+            jsonl.contains("zero_phase_filter"),
+            "ANF diagnostics missing from JSONL"
+        );
+        let parsed = locble_obs::events_from_jsonl(&jsonl).expect("JSONL parses back");
+        assert_eq!(parsed.len(), report.events.len());
+
+        // Per-batch refit latencies and ANF innovation samples landed in
+        // the metric histograms.
+        let hist = |name: &str| {
+            report
+                .metrics
+                .histograms
+                .iter()
+                .find(|(n, _)| n.as_str() == name)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_else(|| panic!("{name} histogram missing"))
+        };
+        assert_eq!(hist("core.streaming.refit.us").count, report.batches as u64);
+        assert!(hist("anf.innovation_abs_db").count > 0);
     }
 }

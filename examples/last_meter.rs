@@ -14,7 +14,7 @@
 
 use locble_repro::core::{LastMeterRefiner, MirrorResolver, ProximityConfig, ProximityObservation};
 use locble_repro::prelude::*;
-use locble_repro::rf::{LinkConfig, LinkSimulator, ReceiverProfile};
+use locble_repro::rf::{LinkSimulator, ReceiverProfile};
 use locble_repro::sensors::WalkPlan;
 
 fn main() {

@@ -34,8 +34,7 @@ fn main() {
     // The app re-tracks motion continuously; here we reuse the full
     // track (its interpolation serves any prefix of the walk).
     let observer = track(&session.walk.imu, &TrackerConfig::default());
-    let estimator =
-        Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(5));
+    let estimator = Estimator::with_envaware(EstimatorConfig::default(), train_default_envaware(5));
     let mut streaming = StreamingEstimator::new(estimator);
 
     // Slice the captured RSS into ~2.2 s batches (≈20 samples each).

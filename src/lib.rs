@@ -18,6 +18,7 @@
 //! | [`motion`] | coordinate alignment, steps, turns, dead reckoning |
 //! | [`core`] | **LocBLE itself**: EnvAware, ANF, sensor-fusion estimation, clustering calibration |
 //! | [`scenario`] | Table-1 environments and end-to-end sessions |
+//! | [`obs`] | structured tracing, metrics, and pipeline diagnostics |
 
 pub use locble_ble as ble;
 pub use locble_core as core;
@@ -25,6 +26,7 @@ pub use locble_dsp as dsp;
 pub use locble_geom as geom;
 pub use locble_ml as ml;
 pub use locble_motion as motion;
+pub use locble_obs as obs;
 pub use locble_rf as rf;
 pub use locble_scenario as scenario;
 pub use locble_sensors as sensors;
@@ -37,11 +39,12 @@ pub mod prelude {
         LocationEstimate, Navigator,
     };
     pub use locble_geom::{EnvClass, Pose2, Vec2};
-    pub use locble_motion::{track, TrackerConfig};
+    pub use locble_motion::{track, track_traced, TrackerConfig};
+    pub use locble_obs::Obs;
     pub use locble_scenario::world::{simulate_moving_session, simulate_session};
     pub use locble_scenario::{
-        all_environments, environment_by_index, localize, plan_l_walk, train_default_envaware,
-        BeaconSpec, Session, SessionConfig,
+        all_environments, environment_by_index, localize, localize_streaming, plan_l_walk,
+        train_default_envaware, BeaconSpec, PipelineReport, Session, SessionConfig,
     };
 }
 

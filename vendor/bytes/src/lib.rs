@@ -1,0 +1,351 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`Bytes`] is a contiguous owned buffer with a consuming read cursor
+//! (upstream's cheap zero-copy splitting is replaced by plain copying —
+//! the PDUs here are ≤ 39 bytes). Multi-byte `put_*`/`get_*` are
+//! big-endian, matching upstream's defaults.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Default, Eq, PartialOrd, Ord)]
+pub struct Bytes {
+    data: Vec<u8>,
+    /// Read offset: everything before it has been consumed via [`Buf`].
+    off: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copied — see module docs).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            off: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    /// `true` when fully consumed or empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies a subrange of the unconsumed bytes into a new buffer.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        Bytes {
+            data: self.as_slice()[start..end].to_vec(),
+            off: 0,
+        }
+    }
+
+    /// Copies the unconsumed bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data, off: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            off: 0,
+        }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Bytes {
+        Bytes {
+            data: b.data,
+            off: 0,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the same view `PartialEq` compares: the unread remainder.
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// Consuming read access.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16;
+
+    /// Reads exactly `dst.len()` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.off += n;
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.as_slice()[0];
+        self.off += 1;
+        b
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self.as_slice()[0], self.as_slice()[1]]);
+        self.off += 2;
+        v
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.as_slice()[..dst.len()]);
+        self.off += dst.len();
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            off: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Append-style write access.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        let [a, b] = v.to_le_bytes();
+        self.put_u8(a);
+        self.put_u8(b);
+    }
+
+    /// Appends a whole slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one signed byte.
+    fn put_i8(&mut self, b: i8) {
+        self.put_u8(b as u8);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, b: u8) {
+        self.push(b);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_cursor() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_slice(&[1, 2, 3]);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 6);
+        assert_eq!(frozen.get_u8(), 0xAB);
+        assert_eq!(frozen.get_u16(), 0x1234);
+        let mut rest = [0u8; 3];
+        frozen.copy_to_slice(&mut rest);
+        assert_eq!(rest, [1, 2, 3]);
+        assert!(frozen.is_empty());
+    }
+
+    #[test]
+    fn slice_and_index_are_relative_to_cursor() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6, 5]);
+        b.advance(2);
+        assert_eq!(b[0], 7);
+        assert_eq!(b.slice(1..3).to_vec(), vec![6, 5]);
+        assert_eq!(b.to_vec(), vec![7, 6, 5]);
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::from(vec![1, 2, 3]);
+        a.get_u8();
+        assert_eq!(a, Bytes::from(vec![2, 3]));
+        assert_eq!(a, [2u8, 3]);
+    }
+}

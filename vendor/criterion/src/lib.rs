@@ -1,0 +1,118 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark long enough for a stable mean and prints one
+//! line per benchmark — no statistical analysis, outlier detection, or
+//! HTML reports. Honours the bench targets' `harness = false` setup via
+//! `criterion_group!` / `criterion_main!`.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f` (which drives a [`Bencher`]) and prints the mean
+    /// per-iteration wall-clock time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "bench {name:<40} {:>12.1} ns/iter ({} iters)",
+            mean_ns, b.iters
+        );
+        self
+    }
+}
+
+/// Measures a closure under repeated invocation.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+/// Target wall-clock spent per benchmark (split across warm-up and
+/// measurement); kept short because this harness only smoke-checks that
+/// the benches run.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Calls `routine` repeatedly and accumulates its timing.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also sizes how many calls fit in the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < MEASURE_BUDGET / 4 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let target = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos().max(1)) as u64;
+        let iters = target.clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            $(
+                let mut c = $crate::Criterion::default();
+                $target(&mut c);
+            )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+}
