@@ -1,0 +1,59 @@
+//! Criterion bench for the concurrent tracking engine: one fleet trace
+//! streamed through `locble-engine` at 1 worker vs the pool, plus the
+//! control-plane-only cost (routing with estimation disabled).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_core::{Estimator, EstimatorConfig};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_obs::Obs;
+use locble_scenario::runner::track_observer;
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, fleet_beacons, plan_l_walk, SessionConfig};
+use std::hint::black_box;
+
+fn bench_fleet(c: &mut Criterion) {
+    let env = environment_by_index(9).expect("parking lot");
+    let fleet = fleet_beacons(&env, 40, 0xBE);
+    let plan = plan_l_walk(&env, locble_geom::Vec2::new(4.0, 4.0), 4.0, 3.0, 0.5).expect("plan");
+    let session = simulate_session(&env, &fleet, &plan, &SessionConfig::paper_default(0xBE));
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    let estimator = Estimator::new(EstimatorConfig::default());
+
+    let full_pass = |threads: usize, estimator: &Estimator| {
+        let config = EngineConfig {
+            threads,
+            refit_stride: 4,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(config, estimator.clone(), Obs::noop());
+        engine.set_motion(motion.clone());
+        engine.ingest_all(&adverts);
+        engine.finish();
+        engine.snapshot().len()
+    };
+
+    c.bench_function("fleet_engine_40_beacons_1_thread", |b| {
+        b.iter(|| black_box(full_pass(1, &estimator)))
+    });
+    c.bench_function("fleet_engine_40_beacons_8_threads", |b| {
+        b.iter(|| black_box(full_pass(8, &estimator)))
+    });
+
+    // Control plane alone: estimation disabled via an unreachable
+    // min_points floor, so this pins routing + registry + batching cost.
+    let routing_only = Estimator::new(EstimatorConfig {
+        min_points: usize::MAX,
+        ..EstimatorConfig::default()
+    });
+    c.bench_function("fleet_engine_40_beacons_routing_only", |b| {
+        b.iter(|| black_box(full_pass(8, &routing_only)))
+    });
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -6,6 +6,9 @@
 //! harness list             list experiment ids
 //! ```
 //!
+//! `--threads N` sets the worker-thread count for engine-backed
+//! experiments (e.g. `fleet`); the default is 8 capped by the machine.
+//!
 //! With `--metrics <path>`, the harness additionally writes a JSON
 //! sidecar: per-experiment wall-clock timings plus the full
 //! [`PipelineReport`](locble_scenario::PipelineReport) of one
@@ -20,8 +23,17 @@ use std::time::Instant;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_flag_value(&mut args, "--metrics");
+    if let Some(threads) = take_flag_value(&mut args, "--threads") {
+        match threads.parse::<usize>() {
+            Ok(n) if n > 0 => locble_bench::util::set_harness_threads(n),
+            _ => {
+                eprintln!("--threads requires a positive integer, got {threads:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: harness <exp-id>... | all | list  [--metrics <path>]");
+        eprintln!("usage: harness <exp-id>... | all | list  [--metrics <path>] [--threads <n>]");
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
     }

@@ -1,0 +1,128 @@
+//! Fleet tracking throughput: the concurrent multi-beacon engine vs the
+//! same work done sequentially.
+//!
+//! Not a paper figure — the paper localizes one beacon per walk — but
+//! the deployment the paper motivates (asset tags through a store, §1)
+//! hears hundreds of beacons in one pass. This experiment streams a
+//! 200-beacon fleet session through `locble-engine` at 1 worker thread
+//! and at the configured thread count (harness `--threads N`, default
+//! 8), checks the accounting reconciles exactly, and reports the
+//! speedup. Estimates are bit-identical across thread counts (enforced
+//! by `locble-engine`'s differential-determinism suite), so the speedup
+//! is free of semantic drift.
+
+use crate::util::{harness_threads, header, row};
+use locble_core::{Estimator, EstimatorConfig};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_obs::Obs;
+use locble_scenario::runner::track_observer;
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, fleet_beacons, plan_l_walk, SessionConfig};
+use std::time::Instant;
+
+/// Runs the experiment at the standard 200-beacon scale.
+pub fn run() -> String {
+    run_sized(200)
+}
+
+/// One engine pass over the trace; returns (wall seconds, estimates,
+/// processed count).
+fn engine_pass(
+    adverts: &[Advert],
+    motion: &locble_motion::MotionTrack,
+    estimator: &Estimator,
+    threads: usize,
+) -> (f64, usize, u64) {
+    let config = EngineConfig {
+        threads,
+        refit_stride: 4,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(config, estimator.clone(), Obs::noop());
+    engine.set_motion(motion.clone());
+    let t0 = Instant::now();
+    engine.ingest_all(adverts);
+    engine.finish();
+    let secs = t0.elapsed().as_secs_f64();
+    (
+        secs,
+        engine.snapshot().len(),
+        engine.stats().samples_processed,
+    )
+}
+
+/// The experiment body, parameterized so the in-crate test can run a
+/// small fleet while `harness fleet` runs the full 200.
+pub(crate) fn run_sized(n_beacons: usize) -> String {
+    let threads = harness_threads();
+    let mut out = header(
+        "fleet",
+        &format!("{n_beacons}-beacon concurrent tracking engine throughput"),
+        "beyond the paper: one walk, a whole fleet of tags (motivation, §1)",
+    );
+    let env = environment_by_index(9).expect("parking lot");
+    let fleet = fleet_beacons(&env, n_beacons, 0xF1EE7);
+    let plan = plan_l_walk(&env, locble_geom::Vec2::new(4.0, 4.0), 4.0, 3.0, 0.5).expect("plan");
+    let session = simulate_session(&env, &fleet, &plan, &SessionConfig::paper_default(0xF1EE7));
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    let estimator = Estimator::new(EstimatorConfig::default());
+
+    // Warm pass (page in code/data), then the timed 1-thread and
+    // N-thread passes on the identical trace.
+    engine_pass(&adverts, &motion, &estimator, threads);
+    let (seq_s, seq_estimates, seq_processed) = engine_pass(&adverts, &motion, &estimator, 1);
+    let (par_s, par_estimates, par_processed) = engine_pass(&adverts, &motion, &estimator, threads);
+    let speedup = seq_s / par_s.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    out.push_str(&row("beacons heard", session.rss.len()));
+    out.push_str(&row("interleaved samples", adverts.len()));
+    out.push_str(&row("beacons localized", par_estimates));
+    out.push_str(&row("machine parallelism (cores)", cores));
+    out.push_str(&row("1 thread wall (s)", format!("{seq_s:.3}")));
+    out.push_str(&row(
+        &format!("{threads} threads wall (s)"),
+        format!("{par_s:.3}"),
+    ));
+    out.push_str(&row("speedup", format!("{speedup:.2}x")));
+    out.push_str(&row(
+        "accounting reconciles exactly",
+        seq_processed == adverts.len() as u64
+            && par_processed == adverts.len() as u64
+            && seq_estimates == par_estimates,
+    ));
+    // Wall-clock scaling needs physical cores to scale onto; on a
+    // single-core machine the row reports n/a rather than a number no
+    // scheduler could produce.
+    out.push_str(&row(
+        &format!("speedup > 1.5x at {threads} threads"),
+        if cores > 1 {
+            format!("{}", speedup > 1.5)
+        } else {
+            "n/a (single-core machine)".to_string()
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    /// The in-crate gate checks correctness (exact accounting across
+    /// thread counts) on a small fleet; the >1.5x speedup row is the
+    /// release-mode `harness fleet` acceptance number — asserting
+    /// wall-clock ratios under `cargo test`'s debug build and CI load
+    /// would be flaky by design.
+    #[test]
+    fn fleet_report_reconciles() {
+        let report = super::run_sized(24);
+        assert!(
+            crate::util::flag_is_true(&report, "accounting reconciles exactly"),
+            "{report}"
+        );
+    }
+}

@@ -31,6 +31,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig14",
     "fig15",
     "sec7_8",
+    "fleet",
     "ablations",
 ];
 
@@ -55,6 +56,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "fig14" => fig14::run(),
         "fig15" => fig15::run(),
         "sec7_8" => sec7_8::run(),
+        "fleet" => fleet::run(),
         "ablations" => ablations::run(),
         _ => return None,
     };

@@ -9,7 +9,29 @@ use locble_scenario::{
     environment_by_index, localize, plan_l_walk, train_default_envaware, BeaconSpec, RunOutcome,
     SessionConfig,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+/// Worker-thread count experiments should use for concurrent engines
+/// (harness `--threads N`); 0 until configured.
+static HARNESS_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the thread count for engine-backed experiments (the harness
+/// `--threads N` flag).
+pub fn set_harness_threads(threads: usize) {
+    HARNESS_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The configured engine thread count; defaults to 8 capped by the
+/// machine's parallelism when `--threads` was not given.
+pub fn harness_threads() -> usize {
+    match HARNESS_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(8),
+        n => n,
+    }
+}
 
 /// One shared EnvAware model for the whole harness run (training the SVM
 /// once instead of per experiment).

@@ -28,6 +28,22 @@ pub enum BatchError {
         /// Number of RSSI values supplied.
         values: usize,
     },
+    /// A timestamp is NaN or infinite.
+    NonFiniteTimestamp {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// An RSSI value is NaN or infinite.
+    NonFiniteValue {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// Timestamps decrease within the batch (samples must arrive in
+    /// non-decreasing time order).
+    UnsortedTimestamps {
+        /// Index of the first sample earlier than its predecessor.
+        index: usize,
+    },
 }
 
 impl fmt::Display for BatchError {
@@ -37,6 +53,15 @@ impl fmt::Display for BatchError {
                 f,
                 "batch vectors must match: {times} timestamps vs {values} values"
             ),
+            BatchError::NonFiniteTimestamp { index } => {
+                write!(f, "batch timestamp at index {index} is not finite")
+            }
+            BatchError::NonFiniteValue { index } => {
+                write!(f, "batch RSSI value at index {index} is not finite")
+            }
+            BatchError::UnsortedTimestamps { index } => {
+                write!(f, "batch timestamps decrease at index {index}")
+            }
         }
     }
 }
@@ -56,19 +81,35 @@ impl RssBatch {
     /// Builds a batch from parallel vectors.
     ///
     /// # Panics
-    /// Panics on length mismatch (use [`try_new`](Self::try_new) to
-    /// handle malformed input gracefully).
+    /// Panics on malformed input — length mismatch, non-finite or
+    /// unsorted timestamps, non-finite values (use
+    /// [`try_new`](Self::try_new) to handle malformed input gracefully).
     pub fn new(t: Vec<f64>, v: Vec<f64>) -> RssBatch {
         RssBatch::try_new(t, v).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Builds a batch from parallel vectors, rejecting malformed input.
+    /// Builds a batch from parallel vectors, rejecting malformed input:
+    /// mismatched lengths, non-finite timestamps or values, and
+    /// timestamps that decrease within the batch. This is the validation
+    /// boundary for data arriving from radio drivers — everything past
+    /// it may assume well-formed, time-ordered samples.
     pub fn try_new(t: Vec<f64>, v: Vec<f64>) -> Result<RssBatch, BatchError> {
         if t.len() != v.len() {
             return Err(BatchError::LengthMismatch {
                 times: t.len(),
                 values: v.len(),
             });
+        }
+        for (index, &ti) in t.iter().enumerate() {
+            if !ti.is_finite() {
+                return Err(BatchError::NonFiniteTimestamp { index });
+            }
+            if index > 0 && ti < t[index - 1] {
+                return Err(BatchError::UnsortedTimestamps { index });
+            }
+        }
+        if let Some(index) = v.iter().position(|vi| !vi.is_finite()) {
+            return Err(BatchError::NonFiniteValue { index });
         }
         Ok(RssBatch { t, v })
     }
@@ -95,6 +136,12 @@ pub struct StreamingEstimator {
     restarts: usize,
     /// The latest estimate, if any.
     current: Option<LocationEstimate>,
+    /// Refit every `refit_stride`-th batch (1 = every batch, the paper's
+    /// behaviour). Larger strides trade estimate freshness for compute —
+    /// the knob fleet-scale engines use to bound per-session cost.
+    refit_stride: usize,
+    /// Batches accumulated since the last refit.
+    batches_since_refit: usize,
 }
 
 impl StreamingEstimator {
@@ -110,7 +157,23 @@ impl StreamingEstimator {
             series: TimeSeries::default(),
             restarts: 0,
             current: None,
+            refit_stride: 1,
+            batches_since_refit: 0,
         }
+    }
+
+    /// Sets the refit stride: the regression refits only on every
+    /// `stride`-th batch (clamped to at least 1). Skipped batches still
+    /// accumulate data and still run the environment-restart rule; call
+    /// [`refit_now`](Self::refit_now) to force an up-to-date estimate.
+    pub fn with_refit_stride(mut self, stride: usize) -> StreamingEstimator {
+        self.set_refit_stride(stride);
+        self
+    }
+
+    /// See [`with_refit_stride`](Self::with_refit_stride).
+    pub fn set_refit_stride(&mut self, stride: usize) {
+        self.refit_stride = stride.max(1);
     }
 
     /// The latest estimate.
@@ -127,6 +190,25 @@ impl StreamingEstimator {
     /// changes.
     pub fn restarts(&self) -> usize {
         self.restarts
+    }
+
+    /// `true` when batches have accumulated since the last refit (the
+    /// current estimate is stale with respect to the ingested data).
+    pub fn has_pending_refit(&self) -> bool {
+        self.batches_since_refit > 0
+    }
+
+    /// Returns the session to its initial state — no accumulated RSS, no
+    /// estimate, fresh environment detector — so a pooled session can be
+    /// reused for a different beacon without reallocating the estimator
+    /// (and its trained EnvAware model).
+    pub fn reset(&mut self) {
+        let confirm = self.estimator.config().env_confirm_windows.max(2);
+        self.detector = EnvChangeDetector::new(confirm);
+        self.series = TimeSeries::default();
+        self.restarts = 0;
+        self.current = None;
+        self.batches_since_refit = 0;
     }
 
     /// Classifies a batch's environment (when EnvAware is attached) and
@@ -212,6 +294,28 @@ impl StreamingEstimator {
         for (&t, &v) in batch.t.iter().zip(&batch.v) {
             self.series.push(t, v);
         }
+        self.batches_since_refit += 1;
+        if self.batches_since_refit >= self.refit_stride {
+            self.refit(observer);
+        } else {
+            obs.counter_add("stream.refits_deferred", 1);
+        }
+        self.current.as_ref()
+    }
+
+    /// Refits immediately over everything accumulated, regardless of the
+    /// refit stride (no-op when no data has arrived since the last
+    /// refit). Returns the refreshed estimate.
+    pub fn refit_now(&mut self, observer: &MotionTrack) -> Option<&LocationEstimate> {
+        if self.batches_since_refit > 0 {
+            self.refit(observer);
+        }
+        self.current.as_ref()
+    }
+
+    fn refit(&mut self, observer: &MotionTrack) {
+        let obs = self.estimator.obs().clone();
+        self.batches_since_refit = 0;
         let mut span = obs.span("core.streaming", "refit");
         span.field("active_samples", self.series.len());
         let refreshed = self.estimator.estimate_stationary(&self.series, observer);
@@ -224,7 +328,6 @@ impl StreamingEstimator {
         if let Some(est) = refreshed {
             self.current = Some(est);
         }
-        self.current.as_ref()
     }
 
     /// Builds a batch from parallel vectors and feeds it. A malformed
@@ -382,6 +485,84 @@ mod tests {
     #[should_panic(expected = "batch vectors must match")]
     fn new_still_panics_on_mismatch() {
         RssBatch::new(vec![0.0], vec![]);
+    }
+
+    #[test]
+    fn try_new_rejects_nan_and_unsorted_batches() {
+        assert_eq!(
+            RssBatch::try_new(vec![0.0, f64::NAN], vec![-60.0, -61.0]).unwrap_err(),
+            BatchError::NonFiniteTimestamp { index: 1 }
+        );
+        assert_eq!(
+            RssBatch::try_new(vec![0.0, f64::INFINITY], vec![-60.0, -61.0]).unwrap_err(),
+            BatchError::NonFiniteTimestamp { index: 1 }
+        );
+        assert_eq!(
+            RssBatch::try_new(vec![0.0, 0.1], vec![-60.0, f64::NAN]).unwrap_err(),
+            BatchError::NonFiniteValue { index: 1 }
+        );
+        assert_eq!(
+            RssBatch::try_new(vec![0.2, 0.1], vec![-60.0, -61.0]).unwrap_err(),
+            BatchError::UnsortedTimestamps { index: 1 }
+        );
+        // Equal timestamps are legal (the series accepts non-decreasing).
+        assert!(RssBatch::try_new(vec![0.1, 0.1], vec![-60.0, -61.0]).is_ok());
+    }
+
+    #[test]
+    fn try_push_rejects_unsorted_instead_of_panicking() {
+        let (_, track) = batches(Vec2::new(4.0, 3.5), |_| 0.0);
+        let mut streaming = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        let err = streaming
+            .try_push(vec![1.0, 0.5], vec![-60.0, -61.0], &track)
+            .unwrap_err();
+        assert_eq!(err, BatchError::UnsortedTimestamps { index: 1 });
+        assert_eq!(streaming.active_samples(), 0);
+    }
+
+    #[test]
+    fn refit_stride_defers_fits_until_forced() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |_| 0.0);
+        let mut every = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        let mut strided = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()))
+            .with_refit_stride(batches.len() + 1);
+        for b in &batches {
+            every.push_batch(b, &track);
+            strided.push_batch(b, &track);
+        }
+        assert!(every.current().is_some());
+        assert!(strided.current().is_none(), "no refit before the stride");
+        assert!(strided.has_pending_refit());
+        // Forcing the refit over the identical accumulated data must
+        // reproduce the batch-by-batch estimator's final fit exactly.
+        let forced = strided.refit_now(&track).copied().expect("estimate");
+        assert!(!strided.has_pending_refit());
+        assert_eq!(Some(forced), every.current().copied());
+        // refit_now with nothing new is a no-op.
+        assert_eq!(strided.refit_now(&track).copied(), Some(forced));
+    }
+
+    #[test]
+    fn reset_returns_session_to_pristine_state() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |_| 0.0);
+        let mut fresh = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        let mut reused = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()));
+        // Dirty the session, then reset and replay: results must be
+        // bit-identical to a never-used session.
+        for b in &batches {
+            reused.push_batch(b, &track);
+        }
+        reused.reset();
+        assert_eq!(reused.active_samples(), 0);
+        assert!(reused.current().is_none());
+        assert_eq!(reused.restarts(), 0);
+        for b in &batches {
+            fresh.push_batch(b, &track);
+            reused.push_batch(b, &track);
+        }
+        assert_eq!(fresh.current().copied(), reused.current().copied());
     }
 
     #[test]

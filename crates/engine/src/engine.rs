@@ -1,0 +1,662 @@
+//! The multi-beacon tracking engine.
+//!
+//! Dataflow per cycle:
+//!
+//! 1. [`Engine::ingest`] — single-threaded control plane. Each advert is
+//!    validated (finite, per-beacon in-order), admitted by the
+//!    [`SessionRegistry`] (capacity limit), and routed by beacon-id hash
+//!    to its shard's FIFO queue. A full shard queue stops ingestion and
+//!    reports how much of the slice was consumed (backpressure).
+//! 2. [`Engine::process`] — the worker pool (std `thread::scope`, no
+//!    dependencies) drains the shards. A shard is always drained by
+//!    exactly one worker, so per-beacon sample order is preserved no
+//!    matter how many threads run; workers claim shards from an atomic
+//!    counter for load balance. Each shard's sessions batch their
+//!    samples into 2.2 s windows and run the per-beacon
+//!    [`StreamingEstimator`]. Idle sessions are then evicted.
+//! 3. [`Engine::snapshot`] — current [`LocationEstimate`]s of every live
+//!    session, in beacon-id order.
+//!
+//! **Determinism guarantee:** for a fixed input stream, every estimate
+//! the engine produces is bit-identical to feeding each beacon's
+//! samples through a standalone [`StreamingEstimator`] sequentially —
+//! across any thread count and any slicing of the ingest calls. The
+//! differential test suite (`tests/determinism.rs`) enforces this.
+
+use crate::registry::{AdmitError, Admitted, SessionMeta, SessionRegistry};
+use crate::router::{shard_of, Advert, ShardQueues};
+use locble_ble::BeaconId;
+use locble_core::{Estimator, LocationEstimate, RssBatch, StreamingEstimator};
+use locble_geom::Trajectory;
+use locble_motion::{MotionTrack, StepResult};
+use locble_obs::Obs;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shards beacons hash onto. Fixed at construction;
+    /// independent of the thread count (so results are too).
+    pub shards: usize,
+    /// Worker threads draining shards in [`Engine::process`].
+    pub threads: usize,
+    /// Maximum live sessions; new beacons beyond it are rejected until
+    /// eviction frees slots.
+    pub max_sessions: usize,
+    /// Evict a session once its newest sample is more than this many
+    /// seconds behind the stream watermark. `f64::INFINITY` disables
+    /// eviction.
+    pub idle_evict_s: f64,
+    /// Per-beacon batch window, seconds (paper §5.3: 2–3 s batches).
+    pub batch_window_s: f64,
+    /// Per-shard ingest queue capacity (backpressure threshold).
+    pub shard_queue_cap: usize,
+    /// Refit every n-th batch per session (1 = the paper's every-batch
+    /// behaviour); [`Engine::finish`] always refits pending data.
+    pub refit_stride: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            shards: 16,
+            threads: std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(8),
+            max_sessions: 4096,
+            idle_evict_s: 60.0,
+            batch_window_s: 2.2,
+            shard_queue_cap: 8192,
+            refit_stride: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn normalized(mut self) -> EngineConfig {
+        self.shards = self.shards.max(1);
+        self.threads = self.threads.max(1);
+        self.max_sessions = self.max_sessions.max(1);
+        self.shard_queue_cap = self.shard_queue_cap.max(1);
+        self.refit_stride = self.refit_stride.max(1);
+        assert!(
+            self.batch_window_s.is_finite() && self.batch_window_s > 0.0,
+            "batch window must be positive, got {}",
+            self.batch_window_s
+        );
+        assert!(
+            self.idle_evict_s > 0.0,
+            "idle eviction threshold must be positive, got {}",
+            self.idle_evict_s
+        );
+        self
+    }
+}
+
+/// What one [`Engine::ingest`] call did with its slice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Adverts taken off the front of the slice (routed + rejected).
+    /// When `consumed < adverts.len()` a shard queue filled up; call
+    /// [`Engine::process`] and re-offer the remainder.
+    pub consumed: usize,
+    /// Adverts routed to shard queues.
+    pub routed: usize,
+    /// Sessions created by first-contact adverts.
+    pub sessions_created: usize,
+    /// Adverts dropped for NaN/infinite timestamp or RSSI.
+    pub rejected_non_finite: usize,
+    /// Adverts dropped for violating per-beacon time order.
+    pub rejected_out_of_order: usize,
+    /// Adverts dropped because the session table was full.
+    pub rejected_capacity: usize,
+}
+
+impl IngestReport {
+    /// Total dropped adverts.
+    pub fn rejected(&self) -> usize {
+        self.rejected_non_finite + self.rejected_out_of_order + self.rejected_capacity
+    }
+
+    /// Folds another report (e.g. from a retry loop) into this one.
+    pub fn absorb(&mut self, other: IngestReport) {
+        self.consumed += other.consumed;
+        self.routed += other.routed;
+        self.sessions_created += other.sessions_created;
+        self.rejected_non_finite += other.rejected_non_finite;
+        self.rejected_out_of_order += other.rejected_out_of_order;
+        self.rejected_capacity += other.rejected_capacity;
+    }
+}
+
+/// What one [`Engine::process`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessReport {
+    /// Samples consumed from shard queues.
+    pub samples_processed: usize,
+    /// Completed batches pushed into sessions.
+    pub batches_pushed: usize,
+    /// Sessions evicted for idleness.
+    pub sessions_evicted: usize,
+    /// Deepest shard queue encountered at drain time.
+    pub max_queue_depth: usize,
+}
+
+/// Cumulative engine statistics (all monotonic except `sessions_live`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Adverts routed to shards since construction.
+    pub samples_routed: u64,
+    /// Adverts rejected at the ingest boundary.
+    pub samples_rejected: u64,
+    /// Samples consumed by sessions.
+    pub samples_processed: u64,
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions evicted for idleness.
+    pub sessions_evicted: u64,
+    /// Currently live sessions.
+    pub sessions_live: usize,
+    /// Completed batches pushed into sessions.
+    pub batches_pushed: u64,
+    /// Batches the validation boundary refused (should stay 0 — ingest
+    /// already validates; counted defensively).
+    pub batches_rejected: u64,
+    /// [`Engine::process`] calls.
+    pub processes: u64,
+}
+
+/// Per-session public view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStats {
+    /// Shard the session lives on.
+    pub shard: usize,
+    /// Samples routed for this beacon.
+    pub samples_routed: u64,
+    /// Samples its estimator has consumed (routed minus still-queued).
+    pub samples_processed: u64,
+    /// Completed batches pushed so far.
+    pub batches: u64,
+    /// Newest routed timestamp, seconds.
+    pub last_t: f64,
+    /// Current estimate, if the session has produced one.
+    pub estimate: Option<LocationEstimate>,
+}
+
+/// One beacon's tracking session: the streaming estimator plus the
+/// batch under construction.
+struct BeaconSession {
+    estimator: StreamingEstimator,
+    batch_t: Vec<f64>,
+    batch_v: Vec<f64>,
+    batch_start: f64,
+    samples: u64,
+    batches: u64,
+}
+
+impl BeaconSession {
+    fn new(prototype: &Estimator, refit_stride: usize) -> BeaconSession {
+        BeaconSession {
+            estimator: StreamingEstimator::new(prototype.clone()).with_refit_stride(refit_stride),
+            batch_t: Vec::new(),
+            batch_v: Vec::new(),
+            batch_start: 0.0,
+            samples: 0,
+            batches: 0,
+        }
+    }
+
+    /// Accepts one in-order sample; completes the pending batch when the
+    /// sample opens a new window. Returns (batches pushed, batches
+    /// rejected by validation).
+    fn push_sample(&mut self, t: f64, v: f64, window_s: f64, motion: &MotionTrack) -> (u64, u64) {
+        let mut flushed = (0, 0);
+        if self.batch_t.is_empty() {
+            self.batch_start = t;
+        } else if t >= self.batch_start + window_s {
+            flushed = self.flush_batch(motion);
+            self.batch_start = t;
+        }
+        self.batch_t.push(t);
+        self.batch_v.push(v);
+        self.samples += 1;
+        flushed
+    }
+
+    /// Pushes the batch under construction (if any) into the estimator.
+    fn flush_batch(&mut self, motion: &MotionTrack) -> (u64, u64) {
+        if self.batch_t.is_empty() {
+            return (0, 0);
+        }
+        let t = std::mem::take(&mut self.batch_t);
+        let v = std::mem::take(&mut self.batch_v);
+        match RssBatch::try_new(t, v) {
+            Ok(batch) => {
+                self.estimator.push_batch(&batch, motion);
+                self.batches += 1;
+                (1, 0)
+            }
+            // Unreachable in practice — ingest validates — but a bad
+            // batch must never take a worker down.
+            Err(_) => (0, 1),
+        }
+    }
+}
+
+/// Per-shard worker state: the sessions living on this shard.
+#[derive(Default)]
+struct ShardState {
+    sessions: BTreeMap<BeaconId, BeaconSession>,
+}
+
+/// What one worker did to one shard during a drain.
+#[derive(Debug, Clone, Copy, Default)]
+struct DrainReport {
+    samples: u64,
+    batches: u64,
+    batches_rejected: u64,
+    evicted: u64,
+    queue_depth: usize,
+}
+
+/// The concurrent multi-beacon tracking engine. See the module docs for
+/// the dataflow and the determinism guarantee.
+pub struct Engine {
+    config: EngineConfig,
+    prototype: Estimator,
+    obs: Obs,
+    registry: SessionRegistry,
+    queues: ShardQueues,
+    shards: Vec<Mutex<ShardState>>,
+    motion: Arc<MotionTrack>,
+    watermark: f64,
+    stats: EngineStats,
+}
+
+/// An empty motion track (engine before the first motion update).
+fn empty_track() -> MotionTrack {
+    MotionTrack {
+        trajectory: Trajectory::new(),
+        steps: StepResult {
+            step_times: Vec::new(),
+            frequency_hz: 0.0,
+            step_length_m: 0.0,
+            distance_m: 0.0,
+        },
+        turns: Vec::new(),
+    }
+}
+
+impl Engine {
+    /// An engine whose sessions clone `prototype` (estimator config +
+    /// trained EnvAware model). Instrumentation goes through `obs`
+    /// (pass [`Obs::noop`] to run silent).
+    pub fn new(config: EngineConfig, prototype: Estimator, obs: Obs) -> Engine {
+        let config = config.normalized();
+        Engine {
+            registry: SessionRegistry::new(config.max_sessions),
+            queues: ShardQueues::new(config.shards, config.shard_queue_cap),
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(ShardState::default()))
+                .collect(),
+            motion: Arc::new(empty_track()),
+            watermark: f64::NEG_INFINITY,
+            stats: EngineStats::default(),
+            config,
+            prototype,
+            obs,
+        }
+    }
+
+    /// The effective (normalized) configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sessions_live: self.registry.len(),
+            ..self.stats
+        }
+    }
+
+    /// Newest finite timestamp routed so far (`-inf` before any).
+    pub fn watermark(&self) -> f64 {
+        self.watermark
+    }
+
+    /// Replaces the shared observer motion track. All sessions use the
+    /// latest track for subsequent refits (one observer walks; many
+    /// beacons are heard — paper §5.3's fusion input).
+    pub fn set_motion(&mut self, track: MotionTrack) {
+        self.motion = Arc::new(track);
+    }
+
+    /// Validates and routes a slice of adverts. Stops early when a shard
+    /// queue fills (see [`IngestReport::consumed`]); drain with
+    /// [`Engine::process`] and re-offer the remainder, or use
+    /// [`Engine::ingest_all`].
+    pub fn ingest(&mut self, adverts: &[Advert]) -> IngestReport {
+        let mut report = IngestReport::default();
+        for advert in adverts {
+            if !advert.t.is_finite() || !advert.rssi_dbm.is_finite() {
+                report.consumed += 1;
+                report.rejected_non_finite += 1;
+                continue;
+            }
+            if self.queues.would_block(advert.beacon) {
+                self.obs.counter_add("engine.backpressure_stalls", 1);
+                break;
+            }
+            let shard = shard_of(advert.beacon, self.config.shards);
+            match self.registry.admit(advert.beacon, shard, advert.t) {
+                Ok(created) => {
+                    if created == Admitted::Created {
+                        report.sessions_created += 1;
+                        if self.obs.enabled() {
+                            self.obs.event(
+                                "engine",
+                                "session_created",
+                                &[
+                                    ("beacon", u64::from(advert.beacon.0).into()),
+                                    ("shard", shard.into()),
+                                    ("t", advert.t.into()),
+                                ],
+                            );
+                        }
+                    }
+                }
+                Err(AdmitError::Full { .. }) => {
+                    report.consumed += 1;
+                    report.rejected_capacity += 1;
+                    continue;
+                }
+                Err(AdmitError::OutOfOrder { .. }) => {
+                    report.consumed += 1;
+                    report.rejected_out_of_order += 1;
+                    continue;
+                }
+            }
+            self.queues
+                .push(*advert)
+                .expect("would_block checked above");
+            self.watermark = self.watermark.max(advert.t);
+            report.consumed += 1;
+            report.routed += 1;
+        }
+        self.stats.samples_routed += report.routed as u64;
+        self.stats.samples_rejected += report.rejected() as u64;
+        self.stats.sessions_created += report.sessions_created as u64;
+        self.obs
+            .counter_add("engine.samples_routed", report.routed as u64);
+        self.obs
+            .counter_add("engine.sessions_created", report.sessions_created as u64);
+        if report.rejected() > 0 {
+            self.obs
+                .counter_add("engine.samples_rejected", report.rejected() as u64);
+            self.obs.counter_add(
+                "engine.samples_rejected_non_finite",
+                report.rejected_non_finite as u64,
+            );
+            self.obs.counter_add(
+                "engine.samples_rejected_out_of_order",
+                report.rejected_out_of_order as u64,
+            );
+            self.obs.counter_add(
+                "engine.samples_rejected_capacity",
+                report.rejected_capacity as u64,
+            );
+        }
+        report
+    }
+
+    /// Ingests the whole slice, interleaving [`Engine::process`] calls
+    /// whenever backpressure stalls the stream. Returns the folded
+    /// report.
+    pub fn ingest_all(&mut self, adverts: &[Advert]) -> IngestReport {
+        let mut total = IngestReport::default();
+        let mut offset = 0;
+        while offset < adverts.len() {
+            let report = self.ingest(&adverts[offset..]);
+            offset += report.consumed;
+            total.absorb(report);
+            if offset < adverts.len() {
+                self.process();
+            }
+        }
+        total
+    }
+
+    /// Drains every shard queue across the worker pool, then evicts idle
+    /// sessions. Deterministic for any thread count: each shard is
+    /// drained by exactly one worker, in FIFO order.
+    pub fn process(&mut self) -> ProcessReport {
+        let n_shards = self.config.shards;
+        // Eviction decisions come from the single-threaded registry so
+        // they cannot depend on worker timing; workers apply them after
+        // draining, so queued samples are always processed first.
+        let evicted = self
+            .registry
+            .evict_idle(self.watermark, self.config.idle_evict_s);
+        let mut evictions: Vec<Vec<(BeaconId, SessionMeta)>> =
+            (0..n_shards).map(|_| Vec::new()).collect();
+        for (beacon, meta) in evicted {
+            evictions[meta.shard].push((beacon, meta));
+        }
+
+        // Move each shard's queued work into a slot its worker can take.
+        let work: Vec<Mutex<Option<VecDeque<Advert>>>> = (0..n_shards)
+            .map(|i| Mutex::new(Some(self.queues.take_shard(i))))
+            .collect();
+        let reports: Vec<Mutex<DrainReport>> = (0..n_shards)
+            .map(|_| Mutex::new(DrainReport::default()))
+            .collect();
+
+        let shards = &self.shards;
+        let prototype = &self.prototype;
+        let obs = &self.obs;
+        let motion: &MotionTrack = &self.motion;
+        let evictions = &evictions;
+        let work = &work;
+        let reports = &reports;
+        let window_s = self.config.batch_window_s;
+        let refit_stride = self.config.refit_stride;
+        let idle_evict_s = self.config.idle_evict_s;
+
+        let threads = self.config.threads.min(n_shards);
+        let next = AtomicUsize::new(0);
+        let mut span = self.obs.span("engine", "process");
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_shards {
+                        break;
+                    }
+                    let queue = work[i]
+                        .lock()
+                        .expect("work slot not poisoned")
+                        .take()
+                        .expect("each shard is drained once");
+                    let mut state = shards[i].lock().expect("shard not poisoned");
+                    let mut report = DrainReport {
+                        queue_depth: queue.len(),
+                        ..DrainReport::default()
+                    };
+                    for advert in queue {
+                        let session = state
+                            .sessions
+                            .entry(advert.beacon)
+                            .or_insert_with(|| BeaconSession::new(prototype, refit_stride));
+                        let (pushed, rejected) =
+                            session.push_sample(advert.t, advert.rssi_dbm, window_s, motion);
+                        report.samples += 1;
+                        report.batches += pushed;
+                        report.batches_rejected += rejected;
+                    }
+                    for (beacon, meta) in &evictions[i] {
+                        if state.sessions.remove(beacon).is_some() {
+                            report.evicted += 1;
+                            if obs.enabled() {
+                                obs.event(
+                                    "engine",
+                                    "session_evicted",
+                                    &[
+                                        ("beacon", u64::from(beacon.0).into()),
+                                        ("shard", i.into()),
+                                        ("last_t", meta.last_t.into()),
+                                        ("idle_threshold_s", idle_evict_s.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    drop(state);
+                    *reports[i].lock().expect("report slot not poisoned") = report;
+                });
+            }
+        });
+
+        let mut out = ProcessReport::default();
+        for (i, slot) in reports.iter().enumerate() {
+            let r = *slot.lock().expect("report slot not poisoned");
+            out.samples_processed += r.samples as usize;
+            out.batches_pushed += r.batches as usize;
+            out.sessions_evicted += r.evicted as usize;
+            out.max_queue_depth = out.max_queue_depth.max(r.queue_depth);
+            self.stats.samples_processed += r.samples;
+            self.stats.batches_pushed += r.batches;
+            self.stats.batches_rejected += r.batches_rejected;
+            self.stats.sessions_evicted += r.evicted;
+            if self.obs.enabled() {
+                self.obs
+                    .gauge_set(&format!("engine.shard{i}.queue_depth"), 0.0);
+                self.obs
+                    .counter_add(&format!("engine.shard{i}.samples"), r.samples);
+                if r.evicted > 0 {
+                    self.obs
+                        .counter_add(&format!("engine.shard{i}.evictions"), r.evicted);
+                }
+                self.obs
+                    .histogram_observe("engine.queue_depth_at_drain", r.queue_depth as f64);
+            }
+        }
+        self.stats.processes += 1;
+        self.obs
+            .counter_add("engine.batches_pushed", out.batches_pushed as u64);
+        self.obs
+            .counter_add("engine.sessions_evicted", out.sessions_evicted as u64);
+        self.obs
+            .gauge_set("engine.sessions_live", self.registry.len() as f64);
+        span.field("samples", out.samples_processed);
+        span.field("batches", out.batches_pushed);
+        span.field("evicted", out.sessions_evicted);
+        drop(span);
+        out
+    }
+
+    /// Completes the stream: processes everything still queued, pushes
+    /// every session's partial trailing batch, and forces a final refit
+    /// where the refit stride left estimates stale. Call at end-of-walk
+    /// before reading [`Engine::snapshot`].
+    pub fn finish(&mut self) -> ProcessReport {
+        let mut report = self.process();
+        let n_shards = self.config.shards;
+        let reports: Vec<Mutex<DrainReport>> = (0..n_shards)
+            .map(|_| Mutex::new(DrainReport::default()))
+            .collect();
+        let shards = &self.shards;
+        let motion: &MotionTrack = &self.motion;
+        let reports_ref = &reports;
+        let threads = self.config.threads.min(n_shards);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_shards {
+                        break;
+                    }
+                    let mut state = shards[i].lock().expect("shard not poisoned");
+                    let mut r = DrainReport::default();
+                    for session in state.sessions.values_mut() {
+                        let (pushed, rejected) = session.flush_batch(motion);
+                        r.batches += pushed;
+                        r.batches_rejected += rejected;
+                        session.estimator.refit_now(motion);
+                    }
+                    drop(state);
+                    *reports_ref[i].lock().expect("report slot not poisoned") = r;
+                });
+            }
+        });
+        for slot in &reports {
+            let r = *slot.lock().expect("report slot not poisoned");
+            report.batches_pushed += r.batches as usize;
+            self.stats.batches_pushed += r.batches;
+            self.stats.batches_rejected += r.batches_rejected;
+            self.obs.counter_add("engine.batches_pushed", r.batches);
+        }
+        report
+    }
+
+    /// Current estimates of every live session that has one, in
+    /// ascending beacon-id order.
+    pub fn snapshot(&self) -> Vec<(BeaconId, LocationEstimate)> {
+        let mut out = Vec::new();
+        for state in &self.shards {
+            let state = state.lock().expect("shard not poisoned");
+            for (&beacon, session) in &state.sessions {
+                if let Some(est) = session.estimator.current() {
+                    out.push((beacon, *est));
+                }
+            }
+        }
+        out.sort_by_key(|(b, _)| b.0);
+        out
+    }
+
+    /// The current estimate of one beacon, if its session has one.
+    pub fn estimate_of(&self, beacon: BeaconId) -> Option<LocationEstimate> {
+        let meta = self.registry.meta(beacon)?;
+        let state = self.shards[meta.shard].lock().expect("shard not poisoned");
+        state
+            .sessions
+            .get(&beacon)
+            .and_then(|s| s.estimator.current().copied())
+    }
+
+    /// Combined registry + session view of one beacon.
+    pub fn session_stats(&self, beacon: BeaconId) -> Option<SessionStats> {
+        let meta = self.registry.meta(beacon)?;
+        let state = self.shards[meta.shard].lock().expect("shard not poisoned");
+        let session = state.sessions.get(&beacon);
+        Some(SessionStats {
+            shard: meta.shard,
+            samples_routed: meta.samples,
+            samples_processed: session.map_or(0, |s| s.samples),
+            batches: session.map_or(0, |s| s.batches),
+            last_t: meta.last_t,
+            estimate: session.and_then(|s| s.estimator.current().copied()),
+        })
+    }
+
+    /// Live beacons in ascending id order.
+    pub fn beacons(&self) -> Vec<BeaconId> {
+        self.registry.beacons().collect()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("sessions_live", &self.registry.len())
+            .field("queued", &self.queues.total_depth())
+            .field("watermark", &self.watermark)
+            .finish()
+    }
+}

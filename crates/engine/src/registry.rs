@@ -1,0 +1,225 @@
+//! The session registry: which beacons currently have live tracking
+//! sessions, where they are sharded, and when they were last heard.
+//!
+//! The registry is the engine's single-threaded control plane. Every
+//! admission decision — create a session, enforce the capacity limit,
+//! reject an out-of-order sample, evict an idle session — is made here,
+//! on the ingest thread, *before* any sample reaches a worker. That
+//! keeps the decisions deterministic (no dependence on worker timing)
+//! and keeps the workers' job purely computational.
+
+use locble_ble::BeaconId;
+use std::collections::BTreeMap;
+
+/// Bookkeeping for one live session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionMeta {
+    /// Shard the beacon's samples are routed to.
+    pub shard: usize,
+    /// Timestamp of the newest sample routed for this beacon, seconds.
+    pub last_t: f64,
+    /// Timestamp of the first sample that created the session, seconds.
+    pub created_t: f64,
+    /// Samples routed for this beacon so far.
+    pub samples: u64,
+}
+
+/// Why the registry refused a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmitError {
+    /// A new beacon arrived while the registry holds `max_sessions` live
+    /// sessions.
+    Full {
+        /// The configured capacity it hit.
+        max_sessions: usize,
+    },
+    /// The sample's timestamp precedes the newest already-routed sample
+    /// of the same beacon; admitting it would violate the per-beacon
+    /// in-order invariant.
+    OutOfOrder {
+        /// The beacon's newest routed timestamp.
+        last_t: f64,
+    },
+}
+
+/// Whether an admitted sample belongs to a fresh or an existing session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admitted {
+    /// First sample of a new session.
+    Created,
+    /// Sample of an already-live session.
+    Existing,
+}
+
+/// Control-plane state: beacon → [`SessionMeta`], with a capacity limit
+/// and idle-session eviction.
+#[derive(Debug)]
+pub struct SessionRegistry {
+    entries: BTreeMap<BeaconId, SessionMeta>,
+    max_sessions: usize,
+}
+
+impl SessionRegistry {
+    /// A registry admitting at most `max_sessions` live sessions
+    /// (clamped to at least 1).
+    pub fn new(max_sessions: usize) -> SessionRegistry {
+        SessionRegistry {
+            entries: BTreeMap::new(),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Live sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn max_sessions(&self) -> usize {
+        self.max_sessions
+    }
+
+    /// Bookkeeping of one live session.
+    pub fn meta(&self, beacon: BeaconId) -> Option<&SessionMeta> {
+        self.entries.get(&beacon)
+    }
+
+    /// Live beacons in ascending id order.
+    pub fn beacons(&self) -> impl Iterator<Item = BeaconId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Admits one sample: creates the session on first contact (subject
+    /// to the capacity limit), advances `last_t`, and rejects
+    /// out-of-order timestamps. Timestamps equal to `last_t` are legal —
+    /// scanners batch several adverts per tick.
+    pub fn admit(
+        &mut self,
+        beacon: BeaconId,
+        shard: usize,
+        t: f64,
+    ) -> Result<Admitted, AdmitError> {
+        if let Some(meta) = self.entries.get_mut(&beacon) {
+            if t < meta.last_t {
+                return Err(AdmitError::OutOfOrder {
+                    last_t: meta.last_t,
+                });
+            }
+            meta.last_t = t;
+            meta.samples += 1;
+            return Ok(Admitted::Existing);
+        }
+        if self.entries.len() >= self.max_sessions {
+            return Err(AdmitError::Full {
+                max_sessions: self.max_sessions,
+            });
+        }
+        self.entries.insert(
+            beacon,
+            SessionMeta {
+                shard,
+                last_t: t,
+                created_t: t,
+                samples: 1,
+            },
+        );
+        Ok(Admitted::Created)
+    }
+
+    /// Removes and returns every session whose newest sample is older
+    /// than `watermark - idle_s` — strictly older, so a beacon heard
+    /// exactly at the threshold survives. With `idle_s = f64::INFINITY`
+    /// eviction is disabled.
+    pub fn evict_idle(&mut self, watermark: f64, idle_s: f64) -> Vec<(BeaconId, SessionMeta)> {
+        let cutoff = watermark - idle_s;
+        if !cutoff.is_finite() {
+            return Vec::new();
+        }
+        let victims: Vec<BeaconId> = self
+            .entries
+            .iter()
+            .filter(|(_, m)| m.last_t < cutoff)
+            .map(|(&b, _)| b)
+            .collect();
+        victims
+            .into_iter()
+            .map(|b| (b, self.entries.remove(&b).expect("victim is present")))
+            .collect()
+    }
+
+    /// Force-removes one session (administrative drop).
+    pub fn remove(&mut self, beacon: BeaconId) -> Option<SessionMeta> {
+        self.entries.remove(&beacon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_creates_then_tracks() {
+        let mut r = SessionRegistry::new(8);
+        assert_eq!(r.admit(BeaconId(1), 3, 0.5), Ok(Admitted::Created));
+        assert_eq!(r.admit(BeaconId(1), 3, 0.5), Ok(Admitted::Existing));
+        assert_eq!(r.admit(BeaconId(1), 3, 1.5), Ok(Admitted::Existing));
+        let m = r.meta(BeaconId(1)).expect("live");
+        assert_eq!(m.samples, 3);
+        assert_eq!(m.last_t, 1.5);
+        assert_eq!(m.created_t, 0.5);
+    }
+
+    #[test]
+    fn out_of_order_samples_are_rejected_and_leave_state_untouched() {
+        let mut r = SessionRegistry::new(8);
+        r.admit(BeaconId(1), 0, 2.0).expect("created");
+        assert_eq!(
+            r.admit(BeaconId(1), 0, 1.0),
+            Err(AdmitError::OutOfOrder { last_t: 2.0 })
+        );
+        assert_eq!(r.meta(BeaconId(1)).expect("live").samples, 1);
+    }
+
+    #[test]
+    fn capacity_rejects_new_beacons_only() {
+        let mut r = SessionRegistry::new(2);
+        r.admit(BeaconId(1), 0, 0.0).expect("created");
+        r.admit(BeaconId(2), 0, 0.0).expect("created");
+        assert_eq!(
+            r.admit(BeaconId(3), 0, 0.1),
+            Err(AdmitError::Full { max_sessions: 2 })
+        );
+        // Existing sessions keep flowing at capacity.
+        assert_eq!(r.admit(BeaconId(2), 0, 0.2), Ok(Admitted::Existing));
+        // Eviction frees a slot.
+        let evicted = r.evict_idle(100.0, 10.0);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(r.admit(BeaconId(3), 0, 100.0), Ok(Admitted::Created));
+    }
+
+    #[test]
+    fn evict_idle_honours_the_threshold_boundary() {
+        let mut r = SessionRegistry::new(8);
+        r.admit(BeaconId(1), 0, 10.0).expect("created"); // exactly at cutoff
+        r.admit(BeaconId(2), 0, 9.9).expect("created"); // just past it
+        r.admit(BeaconId(3), 0, 50.0).expect("created"); // fresh
+        let evicted = r.evict_idle(40.0, 30.0);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, BeaconId(2));
+        assert!(r.meta(BeaconId(1)).is_some(), "boundary beacon survives");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn infinite_idle_disables_eviction() {
+        let mut r = SessionRegistry::new(8);
+        r.admit(BeaconId(1), 0, 0.0).expect("created");
+        assert!(r.evict_idle(1e12, f64::INFINITY).is_empty());
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the engine's two structural invariants:
+//!
+//! * the shard router preserves per-beacon sample order for *arbitrary*
+//!   interleavings, and
+//! * idle eviction never removes a session whose newest sample is
+//!   within the idle threshold of the watermark.
+//!
+//! Plus the headline composition: a whole engine run is invariant to
+//! the worker-thread count for arbitrary synthetic streams.
+
+use locble_ble::BeaconId;
+use locble_core::{Estimator, EstimatorConfig};
+use locble_engine::{shard_of, Advert, Engine, EngineConfig, SessionRegistry, ShardQueues};
+use locble_obs::Obs;
+use proptest::prelude::*;
+
+/// Builds a valid interleaved stream from raw proptest input: the k-th
+/// event goes to beacon `ids[k]` at a globally non-decreasing time, so
+/// per-beacon order is automatically legal.
+fn stream_from(ids: &[u32], dt: &[u8]) -> Vec<Advert> {
+    let mut t = 0.0;
+    ids.iter()
+        .zip(dt.iter().cycle())
+        .map(|(&id, &step)| {
+            t += f64::from(step) * 0.01;
+            Advert {
+                beacon: BeaconId(id),
+                t,
+                rssi_dbm: -60.0 - f64::from(id % 40),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// However beacons interleave, draining the shards yields each
+    /// beacon's samples exactly in ingest order, each on one shard.
+    #[test]
+    fn router_preserves_per_beacon_order(
+        ids in prop::collection::vec(0u32..24, 1..300),
+        dt in prop::collection::vec(0u8..20, 1..16),
+        shards in 1usize..9,
+    ) {
+        let stream = stream_from(&ids, &dt);
+        let mut queues = ShardQueues::new(shards, stream.len().max(1));
+        for advert in &stream {
+            queues.push(*advert).expect("capacity covers stream");
+        }
+        for beacon in ids.iter().map(|&i| BeaconId(i)) {
+            let expected: Vec<f64> = stream
+                .iter()
+                .filter(|a| a.beacon == beacon)
+                .map(|a| a.t)
+                .collect();
+            let home = shard_of(beacon, shards);
+            let on_home: Vec<f64> = queues
+                .iter_shard(home)
+                .filter(|a| a.beacon == beacon)
+                .map(|a| a.t)
+                .collect();
+            prop_assert_eq!(&on_home, &expected, "beacon {} reordered or split", beacon.0);
+            // ... and nowhere else.
+            for s in (0..shards).filter(|&s| s != home) {
+                prop_assert!(
+                    queues.iter_shard(s).all(|a| a.beacon != beacon),
+                    "beacon {} leaked onto shard {}", beacon.0, s
+                );
+            }
+        }
+    }
+
+    /// Eviction removes exactly the sessions older than the threshold:
+    /// nothing fresh is dropped, nothing stale survives, and no session
+    /// vanishes without being reported.
+    #[test]
+    fn eviction_never_drops_fresh_sessions(
+        entries in prop::collection::vec((0u32..200, 0u16..1000), 1..120),
+        idle_ds in 1u16..500,
+    ) {
+        let mut registry = SessionRegistry::new(usize::MAX);
+        let mut watermark = f64::NEG_INFINITY;
+        let mut admitted = std::collections::BTreeSet::new();
+        for &(id, t_ds) in &entries {
+            let t = f64::from(t_ds) * 0.1;
+            // Out-of-order samples for a known beacon are legal input
+            // here — the registry just refuses them.
+            if registry.admit(BeaconId(id), 0, t).is_ok() {
+                watermark = watermark.max(t);
+                admitted.insert(id);
+            }
+        }
+        let idle_s = f64::from(idle_ds) * 0.1;
+        let cutoff = watermark - idle_s;
+        let evicted = registry.evict_idle(watermark, idle_s);
+        for (beacon, meta) in &evicted {
+            prop_assert!(
+                meta.last_t < cutoff,
+                "beacon {} evicted at last_t {} >= cutoff {}", beacon.0, meta.last_t, cutoff
+            );
+        }
+        let mut accounted = std::collections::BTreeSet::new();
+        for (beacon, _) in &evicted {
+            accounted.insert(beacon.0);
+        }
+        for beacon in registry.beacons() {
+            let meta = registry.meta(beacon).expect("live session has meta");
+            prop_assert!(
+                meta.last_t >= cutoff,
+                "stale beacon {} survived: last_t {} < cutoff {}", beacon.0, meta.last_t, cutoff
+            );
+            accounted.insert(beacon.0);
+        }
+        prop_assert_eq!(accounted, admitted, "sessions lost or invented by eviction");
+    }
+
+    /// Thread-count invariance end-to-end on arbitrary streams. The
+    /// estimator's `min_points` floor is raised so sessions stay cheap —
+    /// the property under test is the engine's accounting and routing,
+    /// which must match exactly between a 1-thread and a 5-thread run.
+    #[test]
+    fn engine_accounting_is_thread_count_invariant(
+        ids in prop::collection::vec(0u32..40, 1..400),
+        dt in prop::collection::vec(0u8..25, 1..8),
+    ) {
+        let stream = stream_from(&ids, &dt);
+        let estimator = Estimator::new(EstimatorConfig {
+            min_points: usize::MAX,
+            ..EstimatorConfig::default()
+        });
+        let mut runs = Vec::new();
+        for threads in [1usize, 5] {
+            let config = EngineConfig {
+                threads,
+                shard_queue_cap: 64, // small: exercise backpressure
+                ..EngineConfig::default()
+            };
+            let mut engine = Engine::new(config, estimator.clone(), Obs::noop());
+            let report = engine.ingest_all(&stream);
+            prop_assert_eq!(report.consumed, stream.len());
+            prop_assert_eq!(report.rejected(), 0, "stream is valid by construction");
+            engine.finish();
+            let stats = engine.stats();
+            prop_assert_eq!(stats.samples_routed as usize, stream.len());
+            prop_assert_eq!(stats.samples_processed, stats.samples_routed);
+            prop_assert_eq!(stats.batches_rejected, 0);
+            runs.push((engine.beacons(), stats.batches_pushed, stats.sessions_created));
+        }
+        prop_assert_eq!(&runs[0], &runs[1], "thread count changed engine behaviour");
+    }
+}

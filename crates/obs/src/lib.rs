@@ -113,27 +113,29 @@ impl Obs {
         }
     }
 
-    /// Adds to a named monotonic counter.
-    pub fn counter_add(&self, name: &'static str, n: u64) {
+    /// Adds to a named monotonic counter. Metric names may be built at
+    /// runtime (e.g. per-shard names like `engine.shard3.evictions`);
+    /// keep them low-cardinality — every distinct name is a map entry.
+    pub fn counter_add(&self, name: &str, n: u64) {
         let Some(inner) = &self.inner else { return };
         inner.metrics.counter_add(name, n);
     }
 
     /// Sets a named gauge to its latest value.
-    pub fn gauge_set(&self, name: &'static str, v: f64) {
+    pub fn gauge_set(&self, name: &str, v: f64) {
         let Some(inner) = &self.inner else { return };
         inner.metrics.gauge_set(name, v);
     }
 
     /// Records one observation into a named histogram (created with
     /// default buckets on first use unless registered explicitly).
-    pub fn histogram_observe(&self, name: &'static str, v: f64) {
+    pub fn histogram_observe(&self, name: &str, v: f64) {
         let Some(inner) = &self.inner else { return };
         inner.metrics.histogram_observe(name, v);
     }
 
     /// Registers a histogram with explicit ascending bucket bounds.
-    pub fn register_histogram(&self, name: &'static str, bounds: &[f64]) {
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
         let Some(inner) = &self.inner else { return };
         inner.metrics.register_histogram(name, bounds);
     }
@@ -288,6 +290,18 @@ mod tests {
         let metrics = obs.metrics();
         let hist = &metrics.histograms["core.refit.us"];
         assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn metric_names_may_be_built_at_runtime() {
+        let obs = Obs::ring(8);
+        for shard in 0..3 {
+            obs.counter_add(&format!("engine.shard{shard}.evictions"), shard + 1);
+            obs.gauge_set(&format!("engine.shard{shard}.queue_depth"), shard as f64);
+        }
+        let m = obs.metrics();
+        assert_eq!(m.counter("engine.shard2.evictions"), 3);
+        assert_eq!(m.gauges["engine.shard1.queue_depth"], 1.0);
     }
 
     #[test]

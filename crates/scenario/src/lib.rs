@@ -33,7 +33,10 @@ pub mod world;
 
 pub use environments::{all_environments, environment_by_index, Environment};
 pub use paths::plan_l_walk;
-pub use runner::{localization_error, localize, localize_streaming, PipelineReport, RunOutcome};
+pub use runner::{
+    localization_error, localize, localize_fleet, localize_streaming, FleetReport, PipelineReport,
+    RunOutcome,
+};
 pub use trace::{parse_session_trace, session_trace_to_string};
 pub use trainer::{train_default_envaware, training_windows};
-pub use world::{BeaconSpec, Session, SessionConfig};
+pub use world::{fleet_beacons, BeaconSpec, Session, SessionConfig};

@@ -10,6 +10,7 @@
 use crate::world::Session;
 use locble_ble::BeaconId;
 use locble_core::{Estimator, LocationEstimate, RssBatch, StreamingEstimator};
+use locble_engine::{Advert, Engine, EngineConfig, EngineStats};
 use locble_geom::Vec2;
 use locble_motion::{track, track_traced, MotionTrack, TrackerConfig};
 use locble_obs::{Event, MetricsSnapshot, Obs};
@@ -163,9 +164,16 @@ pub fn localize_streaming(
             while end < rss.len() && rss.t[end] < t0 + STREAM_BATCH_S {
                 end += 1;
             }
-            let batch = RssBatch::new(rss.t[start..end].to_vec(), rss.v[start..end].to_vec());
-            streaming.push_batch(&batch, &observer);
-            batches += 1;
+            // try_new, not new: captured series are sorted and finite by
+            // construction, but a malformed trace (driver bug, corrupted
+            // import) must surface as a skipped batch, not a panic.
+            match RssBatch::try_new(rss.t[start..end].to_vec(), rss.v[start..end].to_vec()) {
+                Ok(batch) => {
+                    streaming.push_batch(&batch, &observer);
+                    batches += 1;
+                }
+                Err(_) => obs.counter_add("stream.batches_rejected", 1),
+            }
             start = end;
         }
     }
@@ -190,6 +198,77 @@ pub fn localize_streaming(
         error_m: outcome.as_ref().map(|o| o.error_m),
     };
     (outcome, report)
+}
+
+/// The outcome of tracking a whole beacon fleet through the concurrent
+/// engine: per-beacon results plus the engine's own accounting.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-beacon outcomes, for every beacon the engine produced an
+    /// estimate for (ascending id order via the map).
+    pub outcomes: std::collections::BTreeMap<BeaconId, RunOutcome>,
+    /// Beacons the scanner heard at all.
+    pub heard: usize,
+    /// Engine statistics at the end of the run.
+    pub stats: EngineStats,
+}
+
+impl FleetReport {
+    /// Mean localization error over all localized beacons.
+    pub fn mean_error_m(&self) -> Option<f64> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        Some(self.outcomes.values().map(|o| o.error_m).sum::<f64>() / self.outcomes.len() as f64)
+    }
+}
+
+/// Localizes every beacon a session heard by streaming the session's
+/// interleaved capture through the concurrent tracking [`Engine`] — the
+/// fleet-scale analogue of [`localize_streaming`]. The engine's worker
+/// pool runs with whatever `config.threads` says; results are
+/// bit-identical across thread counts (see `locble-engine`'s
+/// differential-determinism suite).
+pub fn localize_fleet(
+    session: &Session,
+    estimator: &Estimator,
+    config: EngineConfig,
+    obs: &Obs,
+) -> FleetReport {
+    let observer = track_observer(session);
+    let mut engine = Engine::new(config, estimator.clone(), obs.clone());
+    engine.set_motion(observer);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    engine.ingest_all(&adverts);
+    engine.finish();
+
+    let mut outcomes = std::collections::BTreeMap::new();
+    for (beacon, estimate) in engine.snapshot() {
+        let Some(truth_local) = session.truth_local(beacon) else {
+            continue;
+        };
+        let mut error_m = estimate.position.distance(truth_local);
+        if let Some(mirror) = estimate.mirror {
+            error_m = error_m.min(mirror.distance(truth_local));
+        }
+        outcomes.insert(
+            beacon,
+            RunOutcome {
+                estimate,
+                truth_local,
+                error_m,
+            },
+        );
+    }
+    FleetReport {
+        outcomes,
+        heard: session.rss.len(),
+        stats: engine.stats(),
+    }
 }
 
 /// Convenience: just the localization error.
@@ -345,6 +424,35 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"events\""));
         assert!(json.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn fleet_run_localizes_multiple_beacons() {
+        use crate::world::fleet_beacons;
+        let env = environment_by_index(9).unwrap(); // open parking lot
+        let fleet = fleet_beacons(&env, 6, 3);
+        let plan = plan_l_walk(&env, Vec2::new(4.0, 4.0), 4.0, 3.0, 0.5).unwrap();
+        let session = simulate_session(&env, &fleet, &plan, &SessionConfig::paper_default(12));
+        let estimator = Estimator::new(EstimatorConfig::default());
+        let report = localize_fleet(
+            &session,
+            &estimator,
+            EngineConfig::default(),
+            &locble_obs::Obs::noop(),
+        );
+        assert_eq!(report.heard, 6, "all beacons heard");
+        assert!(
+            report.outcomes.len() >= 4,
+            "only {} beacons localized",
+            report.outcomes.len()
+        );
+        assert_eq!(report.stats.samples_rejected, 0);
+        assert_eq!(
+            report.stats.samples_processed,
+            session.interleaved_rss().len() as u64
+        );
+        let mean = report.mean_error_m().expect("some outcomes");
+        assert!(mean < 6.0, "fleet mean error {mean:.2} m");
     }
 
     /// The pipeline-diagnostics acceptance run: a session whose RSS trace

@@ -11,7 +11,8 @@
 
 use crate::environments::Environment;
 use locble_ble::{
-    AdvEvent, Advertiser, AdvertiserConfig, BeaconHardware, BeaconId, Scanner, ScannerConfig,
+    AdvEvent, Advertiser, AdvertiserConfig, BeaconHardware, BeaconId, BeaconKind, Scanner,
+    ScannerConfig,
 };
 use locble_dsp::TimeSeries;
 use locble_geom::{Pose2, Vec2};
@@ -91,6 +92,26 @@ impl Session {
         self.rss.get(&id)
     }
 
+    /// The capture stream as the scanner actually saw it: every heard
+    /// advertisement of every beacon, merged into one time-ordered
+    /// interleaved sequence of `(beacon, t, rssi_dbm)`. Ties (several
+    /// beacons heard in the same scanner tick) break by beacon id, so
+    /// the stream is a pure function of the session. This is the input
+    /// shape the multi-beacon tracking engine ingests.
+    pub fn interleaved_rss(&self) -> Vec<(BeaconId, f64, f64)> {
+        let mut stream: Vec<(BeaconId, f64, f64)> = self
+            .rss
+            .iter()
+            .flat_map(|(&id, ts)| ts.t.iter().zip(&ts.v).map(move |(&t, &v)| (id, t, v)))
+            .collect();
+        stream.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite times")
+                .then(a.0 .0.cmp(&b.0 .0))
+        });
+        stream
+    }
+
     /// The spec of one beacon.
     pub fn beacon(&self, id: BeaconId) -> Option<&BeaconSpec> {
         self.beacons.iter().find(|b| b.id == id)
@@ -102,6 +123,44 @@ impl Session {
     pub fn truth_local(&self, id: BeaconId) -> Option<Vec2> {
         Some(self.start.world_to_local(self.beacon(id)?.position))
     }
+}
+
+/// Deploys a fleet of `n` beacons across the environment: a jittered
+/// grid filling the floor with ~0.5 m wall clearance, hardware kinds
+/// cycling through the paper's three profiles with per-unit calibration
+/// error. Deterministic per seed — the fixture for fleet-scale engine
+/// experiments (a store aisle full of tags).
+pub fn fleet_beacons(env: &Environment, n: usize, seed: u64) -> Vec<BeaconSpec> {
+    use rand::Rng;
+    assert!(n > 0, "fleet needs at least one beacon");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE7);
+    let margin = 0.5;
+    let w = (env.width_m - 2.0 * margin).max(0.1);
+    let d = (env.depth_m - 2.0 * margin).max(0.1);
+    // Grid dense enough for n cells, shaped to the floor's aspect ratio.
+    let cols = ((n as f64 * w / d).sqrt().ceil() as usize).max(1);
+    let rows = n.div_ceil(cols);
+    let kinds = [
+        BeaconKind::Estimote,
+        BeaconKind::RadBeacon,
+        BeaconKind::IosDevice,
+    ];
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let (col, row) = (k % cols, k / cols);
+        let cell_w = w / cols as f64;
+        let cell_d = d / rows as f64;
+        // Jitter within the central 80 % of the cell keeps beacons
+        // inside bounds and away from exact grid degeneracy.
+        let x = margin + (col as f64 + 0.1 + 0.8 * rng.random_range(0.0..1.0)) * cell_w;
+        let y = margin + (row as f64 + 0.1 + 0.8 * rng.random_range(0.0..1.0)) * cell_d;
+        out.push(BeaconSpec {
+            id: BeaconId(k as u32),
+            position: Vec2::new(x.min(env.width_m), y.min(env.depth_m)),
+            hardware: BeaconHardware::manufacture(kinds[k % kinds.len()], &mut rng),
+        });
+    }
+    out
 }
 
 /// Runs one measurement session: the observer walks `plan` while every
@@ -416,6 +475,58 @@ mod tests {
         let truth = ms.truth_local_initial();
         let world_dist = Vec2::new(4.0, 4.0).distance(Vec2::new(10.0, 9.0));
         assert!((truth.norm() - world_dist).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_beacons_fill_the_environment_deterministically() {
+        let env = environment_by_index(9).unwrap();
+        let fleet = fleet_beacons(&env, 24, 5);
+        assert_eq!(fleet.len(), 24);
+        for (k, b) in fleet.iter().enumerate() {
+            assert_eq!(b.id, BeaconId(k as u32));
+            assert!(env.contains(b.position), "beacon {k} at {:?}", b.position);
+        }
+        // Mixed hardware, not a monoculture.
+        let kinds: std::collections::BTreeSet<_> = fleet
+            .iter()
+            .map(|b| format!("{:?}", b.hardware.kind))
+            .collect();
+        assert_eq!(kinds.len(), 3);
+        // Pure function of (env, n, seed).
+        let again = fleet_beacons(&env, 24, 5);
+        assert_eq!(fleet, again);
+        let other = fleet_beacons(&env, 24, 6);
+        assert_ne!(fleet, other);
+    }
+
+    #[test]
+    fn interleaved_rss_is_time_sorted_and_complete() {
+        let env = environment_by_index(5).unwrap();
+        let beacons: Vec<BeaconSpec> = (0..4)
+            .map(|k| BeaconSpec {
+                id: BeaconId(k),
+                position: Vec2::new(2.0 + k as f64 * 1.5, 7.0),
+                hardware: BeaconHardware::ideal(BeaconKind::Estimote),
+            })
+            .collect();
+        let plan = plan_l_walk(&env, Vec2::new(2.0, 2.0), 3.0, 2.5, 0.3).unwrap();
+        let s = simulate_session(&env, &beacons, &plan, &SessionConfig::paper_default(4));
+        let stream = s.interleaved_rss();
+        let total: usize = s.rss.values().map(TimeSeries::len).sum();
+        assert_eq!(stream.len(), total, "stream must carry every sample");
+        for w in stream.windows(2) {
+            assert!(
+                w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 .0 <= w[1].0 .0),
+                "stream out of order: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Demultiplexing the stream reproduces each per-beacon series.
+        for (&id, ts) in &s.rss {
+            let times: Vec<f64> = stream.iter().filter(|e| e.0 == id).map(|e| e.1).collect();
+            assert_eq!(times, ts.t, "beacon {id} series mangled");
+        }
     }
 
     #[test]

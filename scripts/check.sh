@@ -9,6 +9,16 @@ cargo build --workspace --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> engine determinism suite (1/2/8 threads)"
+cargo test -q -p locble-engine --test determinism
+
+echo "==> fleet smoke (release harness, 200 beacons)"
+# Capture rather than pipe into grep -q: an early grep exit would SIGPIPE
+# the harness mid-report under pipefail.
+fleet_report="$(cargo run --release -q -p locble-bench --bin harness -- fleet --threads 8)"
+grep -q "accounting reconciles exactly      true" <<<"$fleet_report" \
+  || { echo "fleet smoke failed: accounting did not reconcile"; echo "$fleet_report"; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -17,12 +17,14 @@
 //! | [`sensors`] | pedestrian-gait IMU simulator |
 //! | [`motion`] | coordinate alignment, steps, turns, dead reckoning |
 //! | [`core`] | **LocBLE itself**: EnvAware, ANF, sensor-fusion estimation, clustering calibration |
+//! | [`engine`] | concurrent multi-beacon tracking engine (sharded sessions) |
 //! | [`scenario`] | Table-1 environments and end-to-end sessions |
 //! | [`obs`] | structured tracing, metrics, and pipeline diagnostics |
 
 pub use locble_ble as ble;
 pub use locble_core as core;
 pub use locble_dsp as dsp;
+pub use locble_engine as engine;
 pub use locble_geom as geom;
 pub use locble_ml as ml;
 pub use locble_motion as motion;
@@ -38,13 +40,15 @@ pub mod prelude {
         calibrate, ClusterConfig, DartleRanger, DtwMatcher, Estimator, EstimatorConfig,
         LocationEstimate, Navigator,
     };
+    pub use locble_engine::{Advert, Engine, EngineConfig};
     pub use locble_geom::{EnvClass, Pose2, Vec2};
     pub use locble_motion::{track, track_traced, TrackerConfig};
     pub use locble_obs::Obs;
     pub use locble_scenario::world::{simulate_moving_session, simulate_session};
     pub use locble_scenario::{
-        all_environments, environment_by_index, localize, localize_streaming, plan_l_walk,
-        train_default_envaware, BeaconSpec, PipelineReport, Session, SessionConfig,
+        all_environments, environment_by_index, fleet_beacons, localize, localize_fleet,
+        localize_streaming, plan_l_walk, train_default_envaware, BeaconSpec, FleetReport,
+        PipelineReport, Session, SessionConfig,
     };
 }
 
@@ -57,5 +61,17 @@ mod tests {
         assert_eq!(env.name, "Meeting room");
         let _ = Estimator::new(EstimatorConfig::default());
         let _ = Navigator::new(Vec2::new(1.0, 1.0));
+        let mut engine = Engine::new(
+            EngineConfig::default(),
+            Estimator::new(EstimatorConfig::default()),
+            Obs::noop(),
+        );
+        engine.ingest_all(&[Advert {
+            beacon: BeaconId(1),
+            t: 0.0,
+            rssi_dbm: -60.0,
+        }]);
+        engine.finish();
+        assert_eq!(engine.beacons(), vec![BeaconId(1)]);
     }
 }
