@@ -1,0 +1,64 @@
+//! Criterion bench for the wire codec: encode and decode throughput on
+//! the frames the serving path actually moves — a full advert batch in,
+//! a full snapshot out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locble_core::{Estimator, EstimatorConfig};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_net::wire::{decode_frame, encode_frame, Frame, WireAdvert, WireEstimate};
+use locble_obs::Obs;
+use locble_scenario::fleet_session;
+use locble_scenario::runner::track_observer;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let session = fleet_session(40, 0xC0DEC);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+
+    // Ingest batch: the 128-advert chunk the loadgen ships per frame.
+    let batch: Vec<WireAdvert> = adverts
+        .iter()
+        .take(128)
+        .map(|a| WireAdvert::from(*a))
+        .collect();
+    let batch_frame = Frame::AdvertBatch(batch);
+    let batch_bytes = encode_frame(&batch_frame);
+
+    // Snapshot reply: real estimates out of a real engine pass.
+    let mut engine = Engine::new(
+        EngineConfig::default(),
+        Estimator::new(EstimatorConfig::default()),
+        Obs::noop(),
+    );
+    engine.set_motion(track_observer(&session));
+    engine.ingest_all(&adverts);
+    engine.finish();
+    let estimates: Vec<WireEstimate> = engine
+        .snapshot()
+        .iter()
+        .map(|(b, e)| WireEstimate::from_estimate(*b, e))
+        .collect();
+    assert!(!estimates.is_empty(), "snapshot bench needs estimates");
+    let snapshot_frame = Frame::Snapshot(estimates);
+    let snapshot_bytes = encode_frame(&snapshot_frame);
+
+    c.bench_function("codec_encode_advert_batch_128", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&batch_frame))))
+    });
+    c.bench_function("codec_decode_advert_batch_128", |b| {
+        b.iter(|| black_box(decode_frame(black_box(&batch_bytes)).expect("valid")))
+    });
+    c.bench_function("codec_encode_snapshot", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&snapshot_frame))))
+    });
+    c.bench_function("codec_decode_snapshot", |b| {
+        b.iter(|| black_box(decode_frame(black_box(&snapshot_bytes)).expect("valid")))
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 //!
 //! `--threads N` sets the worker-thread count for engine-backed
 //! experiments (e.g. `fleet`); the default is 8 capped by the machine.
+//! `--connections N` sets the client-connection count for server-backed
+//! experiments (e.g. `serve`); the default is 4.
 //!
 //! With `--metrics <path>`, the harness additionally writes a JSON
 //! sidecar: per-experiment wall-clock timings plus the full
@@ -32,8 +34,19 @@ fn main() {
             }
         }
     }
+    if let Some(connections) = take_flag_value(&mut args, "--connections") {
+        match connections.parse::<usize>() {
+            Ok(n) if n > 0 => locble_bench::util::set_harness_connections(n),
+            _ => {
+                eprintln!("--connections requires a positive integer, got {connections:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: harness <exp-id>... | all | list  [--metrics <path>] [--threads <n>]");
+        eprintln!(
+            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--threads <n>] [--connections <n>]"
+        );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
     }

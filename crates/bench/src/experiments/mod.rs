@@ -18,4 +18,5 @@ pub mod fig9;
 pub mod fleet;
 pub mod sec4_1;
 pub mod sec7_8;
+pub mod serve;
 pub mod table1;

@@ -1,0 +1,232 @@
+//! Serving throughput: the fleet trace replayed over loopback TCP
+//! through `locble-net` instead of calling the engine directly.
+//!
+//! Not a paper figure — it measures the deployment shape the paper's
+//! motivation implies (phones streaming scans to a shared tracker):
+//! `--connections` clients partition the fleet by beacon id (so
+//! per-beacon order is preserved end to end), replay their shares
+//! concurrently, and every advert is reconciled exactly against
+//! [`EngineStats`](locble_engine::EngineStats) after a graceful
+//! drain-and-shutdown.
+
+use crate::util::{harness_connections, harness_threads, header, row};
+use locble_core::{Estimator, EstimatorConfig};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_net::{Client, Server, ServerConfig};
+use locble_obs::Obs;
+use locble_scenario::fleet_session;
+use locble_scenario::runner::track_observer;
+use std::time::Instant;
+
+/// Everything one loopback replay measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Beacons the simulated walk heard.
+    pub beacons_heard: usize,
+    /// Interleaved adverts in the trace.
+    pub samples: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Adverts put on the wire.
+    pub delivered: u64,
+    /// Adverts the server acked as routed.
+    pub accepted: u64,
+    /// Adverts the server acked as rejected (by cause, summed).
+    pub rejected: u64,
+    /// `samples_routed` from the engine's own stats after shutdown.
+    pub engine_routed: u64,
+    /// `samples_rejected` from the engine's own stats after shutdown.
+    pub engine_rejected: u64,
+    /// `samples_processed` after the shutdown drain.
+    pub engine_processed: u64,
+    /// Queue depth after shutdown (must be 0).
+    pub queued_after: usize,
+    /// Beacons with a final estimate.
+    pub estimates: usize,
+    /// Request frames the server decoded.
+    pub frames_rx: u64,
+    /// Replay wall-clock, seconds (connect through shutdown).
+    pub wall_s: f64,
+}
+
+impl LoadgenReport {
+    /// `true` when every advert is accounted for exactly, on both sides
+    /// of the wire: client-side sums match the acks, the acks match the
+    /// engine's own counters, and the shutdown drain left nothing
+    /// queued.
+    pub fn reconciles(&self) -> bool {
+        self.delivered == self.accepted + self.rejected
+            && self.accepted == self.engine_routed
+            && self.rejected == self.engine_rejected
+            && self.engine_processed == self.engine_routed
+            && self.queued_after == 0
+    }
+
+    /// Adverts per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.delivered as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Replays the `n_beacons`-beacon fleet trace over loopback with
+/// `connections` concurrent clients and an engine at `threads` workers.
+pub fn run_loadgen(
+    n_beacons: usize,
+    connections: usize,
+    seed: u64,
+    threads: usize,
+) -> LoadgenReport {
+    let connections = connections.max(1);
+    let session = fleet_session(n_beacons, seed);
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+
+    // Partition by beacon id: all of one beacon's adverts travel on one
+    // connection, in trace order, so no spurious out-of-order rejects.
+    let mut shares: Vec<Vec<Advert>> = vec![Vec::new(); connections];
+    for advert in &adverts {
+        shares[advert.beacon.0 as usize % connections].push(*advert);
+    }
+
+    let config = EngineConfig {
+        threads,
+        refit_stride: 4,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(
+        config,
+        Estimator::new(EstimatorConfig::default()),
+        Obs::noop(),
+    );
+    engine.set_motion(motion);
+    let server =
+        Server::bind(engine, ServerConfig::default(), Obs::ring(1024)).expect("bind on loopback");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let totals: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to loopback server");
+                    let (mut delivered, mut accepted, mut rejected) = (0u64, 0u64, 0u64);
+                    for chunk in share.chunks(128) {
+                        let ack = client.ingest(chunk).expect("ingest batch");
+                        delivered += chunk.len() as u64;
+                        accepted += ack.routed;
+                        rejected += ack.rejected();
+                    }
+                    (delivered, accepted, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay thread"))
+            .collect()
+    });
+    let delivered: u64 = totals.iter().map(|t| t.0).sum();
+    let accepted: u64 = totals.iter().map(|t| t.1).sum();
+    let rejected: u64 = totals.iter().map(|t| t.2).sum();
+
+    let mut control = Client::connect(addr).expect("control connection");
+    control.finish().expect("finish");
+    drop(control);
+    let obs = server.obs().clone();
+    let engine = server.shutdown();
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = engine.stats();
+    LoadgenReport {
+        beacons_heard: session.rss.len(),
+        samples: adverts.len(),
+        connections,
+        threads,
+        delivered,
+        accepted,
+        rejected,
+        engine_routed: stats.samples_routed,
+        engine_rejected: stats.samples_rejected,
+        engine_processed: stats.samples_processed,
+        queued_after: engine.queued(),
+        estimates: engine.snapshot().len(),
+        frames_rx: obs.metrics().counter("net.frames_rx"),
+        wall_s,
+    }
+}
+
+/// Formats a [`LoadgenReport`] as the standard row block shared by the
+/// `serve` experiment and the `loadgen` binary.
+pub fn report_rows(r: &LoadgenReport) -> String {
+    let mut out = String::new();
+    out.push_str(&row("beacons heard", r.beacons_heard));
+    out.push_str(&row("interleaved samples", r.samples));
+    out.push_str(&row("connections", r.connections));
+    out.push_str(&row("engine threads", r.threads));
+    out.push_str(&row("request frames", r.frames_rx));
+    out.push_str(&row(
+        "delivered / accepted / rejected",
+        format!("{} / {} / {}", r.delivered, r.accepted, r.rejected),
+    ));
+    out.push_str(&row(
+        "engine routed / processed",
+        format!("{} / {}", r.engine_routed, r.engine_processed),
+    ));
+    out.push_str(&row("beacons localized", r.estimates));
+    out.push_str(&row("replay wall (s)", format!("{:.3}", r.wall_s)));
+    out.push_str(&row(
+        "throughput (adverts/s)",
+        format!("{:.0}", r.throughput()),
+    ));
+    out.push_str(&row("accounting reconciles exactly", r.reconciles()));
+    out
+}
+
+/// Runs the experiment at the standard 60-beacon scale.
+pub fn run() -> String {
+    run_sized(60)
+}
+
+/// The experiment body, parameterized so the in-crate test can replay a
+/// small fleet while `harness serve` runs the full 60.
+pub(crate) fn run_sized(n_beacons: usize) -> String {
+    let report = run_loadgen(n_beacons, harness_connections(), 0x5E17E, harness_threads());
+    let mut out = header(
+        "serve",
+        &format!(
+            "{n_beacons}-beacon fleet served over loopback TCP ({} connections)",
+            report.connections
+        ),
+        "beyond the paper: phones stream scans to a shared tracker (motivation, §1)",
+    );
+    out.push_str(&report_rows(&report));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    /// Correctness gate only (exact accounting over real sockets);
+    /// throughput numbers are the release-mode `harness serve` output.
+    #[test]
+    fn serve_report_reconciles() {
+        let report = super::run_sized(10);
+        assert!(
+            crate::util::flag_is_true(&report, "accounting reconciles exactly"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn single_connection_replay_reconciles() {
+        let report = super::run_loadgen(6, 1, 7, 2);
+        assert!(report.reconciles(), "{report:?}");
+        assert_eq!(report.delivered, report.samples as u64);
+    }
+}

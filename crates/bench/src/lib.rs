@@ -32,6 +32,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig15",
     "sec7_8",
     "fleet",
+    "serve",
     "ablations",
 ];
 
@@ -57,6 +58,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "fig15" => fig15::run(),
         "sec7_8" => sec7_8::run(),
         "fleet" => fleet::run(),
+        "serve" => serve::run(),
         "ablations" => ablations::run(),
         _ => return None,
     };

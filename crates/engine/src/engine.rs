@@ -328,6 +328,30 @@ impl Engine {
         self.watermark
     }
 
+    /// Samples sitting in shard queues right now (routed, not yet
+    /// processed).
+    pub fn queued(&self) -> usize {
+        self.queues.total_depth()
+    }
+
+    /// Processes until every shard queue is empty and returns the folded
+    /// report. One [`Engine::process`] already drains everything queued
+    /// at its start; the loop guards the shutdown path against any
+    /// future process variant that drains partially.
+    pub fn drain(&mut self) -> ProcessReport {
+        let mut total = ProcessReport::default();
+        loop {
+            let report = self.process();
+            total.samples_processed += report.samples_processed;
+            total.batches_pushed += report.batches_pushed;
+            total.sessions_evicted += report.sessions_evicted;
+            total.max_queue_depth = total.max_queue_depth.max(report.max_queue_depth);
+            if self.queued() == 0 {
+                return total;
+            }
+        }
+    }
+
     /// Replaces the shared observer motion track. All sessions use the
     /// latest track for subsequent refits (one observer walks; many
     /// beacons are heard — paper §5.3's fusion input).

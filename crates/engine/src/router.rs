@@ -169,10 +169,44 @@ mod tests {
             let drained = q.take_shard(shard);
             let times: Vec<f64> = drained.iter().map(|a| a.t).collect();
             let mut sorted = times.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // total_cmp, not partial_cmp().expect("finite"): the router
+            // is timestamp-agnostic (validation lives in the engine), so
+            // the order check must not be the thing that panics first.
+            sorted.sort_by(f64::total_cmp);
             assert_eq!(times, sorted, "shard {shard} reordered samples");
         }
         assert_eq!(q.total_depth(), 0);
+    }
+
+    #[test]
+    fn fifo_order_check_survives_non_finite_times() {
+        // Regression: the FIFO check above once sorted with
+        // `partial_cmp(..).expect("finite")`, which panicked the moment
+        // a NaN timestamp passed through the (timestamp-agnostic)
+        // router. `f64::total_cmp` gives every bit pattern a defined
+        // position, so the check itself can never be the panic path.
+        let stream = [0.0, f64::INFINITY, f64::NAN, f64::NEG_INFINITY, 1.0];
+        let mut q = ShardQueues::new(2, 16);
+        for t in stream {
+            q.push(Advert {
+                beacon: BeaconId(3),
+                t,
+                rssi_dbm: -60.0,
+            })
+            .expect("capacity not reached");
+        }
+        let drained = q.take_shard(shard_of(BeaconId(3), 2));
+        let times: Vec<f64> = drained.iter().map(|a| a.t).collect();
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp); // must not panic on NaN/±inf
+        assert_eq!(sorted.len(), stream.len());
+        // FIFO preserved bit-exactly (PartialEq would lose NaN == NaN).
+        let bits = |v: &[f64]| v.iter().map(|t| t.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&times),
+            bits(&stream),
+            "router must forward non-finite samples untouched, in order"
+        );
     }
 
     #[test]

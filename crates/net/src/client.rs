@@ -1,0 +1,176 @@
+//! Blocking client for the wire protocol.
+//!
+//! One [`Client`] is one TCP connection. Every public method is a
+//! request/reply exchange: a typed server-side failure comes back as
+//! [`ClientError::Server`] with the wire's [`WireError`], transport
+//! problems as [`ClientError::Io`]. The raw [`Client::send_raw`] /
+//! [`Client::read_frame`] pair exists for protocol tests that need to
+//! put arbitrary bytes on the wire.
+
+use crate::wire::{
+    decode_frame_with_limit, encode_frame, DecodeError, FinishSummary, Frame, IngestSummary,
+    WireAdvert, WireError, WireStats, DEFAULT_MAX_FRAME_LEN,
+};
+use locble_ble::BeaconId;
+use locble_core::LocationEstimate;
+use locble_engine::Advert;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's bytes did not decode to a frame.
+    Decode(DecodeError),
+    /// The server answered with a typed error frame.
+    Server(WireError),
+    /// The server answered with a frame of the wrong kind.
+    UnexpectedFrame(&'static str),
+    /// The server closed the connection mid-reply.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Decode(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedFrame(want) => {
+                write!(f, "unexpected reply frame ({want} expected)")
+            }
+            ClientError::ConnectionClosed => write!(f, "connection closed by server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connects with 5-second read/write timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Duration::from_secs(5), Duration::from_secs(5))
+    }
+
+    /// Connects with explicit timeouts.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+        write_timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(write_timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Sends one frame.
+    pub fn send_frame(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.send_raw(&encode_frame(frame))
+    }
+
+    /// Puts raw bytes on the wire (protocol-test escape hatch).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads the next frame, blocking up to the read timeout per read.
+    pub fn read_frame(&mut self) -> Result<Frame, ClientError> {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match decode_frame_with_limit(&self.buf, self.max_frame_len) {
+                Ok((frame, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(frame);
+                }
+                Err(DecodeError::Incomplete { .. }) => {}
+                Err(e) => return Err(ClientError::Decode(e)),
+            }
+            match self.stream.read(&mut scratch)? {
+                0 => return Err(ClientError::ConnectionClosed),
+                n => self.buf.extend_from_slice(&scratch[..n]),
+            }
+        }
+    }
+
+    fn request(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        self.send_frame(frame)?;
+        match self.read_frame()? {
+            Frame::Error(e) => Err(ClientError::Server(e)),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Ships a batch of adverts; returns the server's exact accounting.
+    pub fn ingest(&mut self, adverts: &[Advert]) -> Result<IngestSummary, ClientError> {
+        let batch: Vec<WireAdvert> = adverts.iter().map(|a| WireAdvert::from(*a)).collect();
+        match self.request(&Frame::AdvertBatch(batch))? {
+            Frame::IngestAck(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedFrame("IngestAck")),
+        }
+    }
+
+    /// Every live estimate, in ascending beacon-id order.
+    pub fn snapshot(&mut self) -> Result<Vec<(BeaconId, LocationEstimate)>, ClientError> {
+        match self.request(&Frame::QuerySnapshot)? {
+            Frame::Snapshot(estimates) => Ok(estimates.iter().map(|e| e.to_estimate()).collect()),
+            _ => Err(ClientError::UnexpectedFrame("Snapshot")),
+        }
+    }
+
+    /// One beacon's estimate, if its session has one.
+    pub fn query(&mut self, beacon: BeaconId) -> Result<Option<LocationEstimate>, ClientError> {
+        match self.request(&Frame::QueryBeacon(beacon.0))? {
+            Frame::BeaconReply(est) => Ok(est.map(|e| e.to_estimate().1)),
+            _ => Err(ClientError::UnexpectedFrame("BeaconReply")),
+        }
+    }
+
+    /// Engine statistics plus the live queue depth.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.request(&Frame::QueryStats)? {
+            Frame::Stats(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedFrame("Stats")),
+        }
+    }
+
+    /// Ends the stream: drains queues, flushes partial batches, refits
+    /// stale sessions (the engine's `finish`).
+    pub fn finish(&mut self) -> Result<FinishSummary, ClientError> {
+        match self.request(&Frame::Finish)? {
+            Frame::FinishAck(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedFrame("FinishAck")),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}

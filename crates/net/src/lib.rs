@@ -1,0 +1,58 @@
+//! `locble-net`: the wire protocol and TCP ingest/query server in
+//! front of the tracking engine.
+//!
+//! The paper's deployment story — and the ROADMAP's north star — is a
+//! central service collecting advert streams from many phones. This
+//! crate is that service boundary, built on `std` alone (no async
+//! runtime, no serialization framework):
+//!
+//! * [`wire`] — a versioned, length-prefixed binary protocol
+//!   ([`Frame`]) with a total encoder/decoder: any byte sequence
+//!   decodes to a frame or a typed [`DecodeError`], never a panic.
+//!   Floats travel bit-exactly, so served snapshots are bit-identical
+//!   to in-process reads.
+//! * [`server`] — a thread-per-connection TCP server owning an
+//!   [`Engine`](locble_engine::Engine): bounded read loops with
+//!   slow-loris timeouts, typed error replies for malformed frames,
+//!   exact per-batch ingest accounting, and an ordered graceful
+//!   shutdown that drains every queued shard before returning the
+//!   engine.
+//! * [`client`] — a blocking request/reply client used by the loadgen
+//!   binary, the bench harness's `serve` experiment, and the loopback
+//!   differential suite.
+//!
+//! ```no_run
+//! use locble_core::{Estimator, EstimatorConfig};
+//! use locble_engine::{Advert, Engine, EngineConfig};
+//! use locble_net::{Client, Server, ServerConfig};
+//! use locble_obs::Obs;
+//!
+//! let engine = Engine::new(
+//!     EngineConfig::default(),
+//!     Estimator::new(EstimatorConfig::default()),
+//!     Obs::noop(),
+//! );
+//! let handle = Server::bind(engine, ServerConfig::default(), Obs::noop()).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let ack = client
+//!     .ingest(&[Advert { beacon: locble_ble::BeaconId(7), t: 0.0, rssi_dbm: -58.0 }])
+//!     .unwrap();
+//! assert_eq!(ack.routed, 1);
+//! client.finish().unwrap();
+//! let engine = handle.shutdown(); // drained; nothing acked is lost
+//! assert_eq!(engine.stats().samples_routed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{
+    decode_frame, decode_frame_with_limit, encode_frame, frame_size, DecodeError, ErrorCode,
+    FinishSummary, Frame, IngestSummary, WireAdvert, WireError, WireEstimate, WireStats,
+    DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
+};

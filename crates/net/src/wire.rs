@@ -1,0 +1,1027 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length N (u32, big-endian) — bytes after this header
+//! 4       1     protocol version ([`WIRE_VERSION`])
+//! 5       1     frame tag
+//! 6       N-2   frame body (tag-specific)
+//! ```
+//!
+//! Integers are big-endian; `f64`s travel as their IEEE-754 bit pattern
+//! in a big-endian `u64`, so estimates survive the wire **bit-exactly**
+//! (the loopback differential suite depends on this). Variable-length
+//! sequences carry a `u32` element count whose plausibility is checked
+//! against the remaining body before any allocation.
+//!
+//! The decoder is total: for *any* byte slice it returns a frame or a
+//! typed [`DecodeError`] — it never panics and never allocates
+//! proportionally to untrusted length fields. Truncated input is the
+//! non-fatal [`DecodeError::Incomplete`]; a length prefix above the
+//! limit is [`DecodeError::Oversized`] (unrecoverable — framing is
+//! lost); bad version / tag / body errors are recoverable because the
+//! length prefix still delimits the frame.
+//!
+//! **Versioning rule:** [`WIRE_VERSION`] bumps on any change to the
+//! header or to an existing body layout. New frame tags may be added
+//! without a bump — old decoders reject them as
+//! [`DecodeError::BadTag`], which servers answer with a typed
+//! [`ErrorCode::BadFrame`] reply rather than a disconnect.
+
+use locble_ble::BeaconId;
+use locble_core::{FitMethod, LocationEstimate};
+use locble_engine::{EngineStats, IngestReport};
+use locble_geom::{EnvClass, Vec2};
+
+/// Current protocol version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes of the fixed header (length prefix).
+pub const HEADER_LEN: usize = 4;
+
+/// Minimum payload: version + tag.
+pub const MIN_PAYLOAD_LEN: usize = 2;
+
+/// Default cap on the payload length a decoder will accept.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// One advertisement sample as it travels the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct WireAdvert {
+    /// Advertising beacon id.
+    pub beacon: u32,
+    /// Capture timestamp, seconds.
+    pub t: f64,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+}
+
+impl PartialEq for WireAdvert {
+    fn eq(&self, other: &WireAdvert) -> bool {
+        self.beacon == other.beacon
+            && self.t.to_bits() == other.t.to_bits()
+            && self.rssi_dbm.to_bits() == other.rssi_dbm.to_bits()
+    }
+}
+
+impl Eq for WireAdvert {}
+
+impl From<locble_engine::Advert> for WireAdvert {
+    fn from(a: locble_engine::Advert) -> WireAdvert {
+        WireAdvert {
+            beacon: a.beacon.0,
+            t: a.t,
+            rssi_dbm: a.rssi_dbm,
+        }
+    }
+}
+
+impl From<WireAdvert> for locble_engine::Advert {
+    fn from(a: WireAdvert) -> locble_engine::Advert {
+        locble_engine::Advert {
+            beacon: BeaconId(a.beacon),
+            t: a.t,
+            rssi_dbm: a.rssi_dbm,
+        }
+    }
+}
+
+/// One beacon's location estimate as it travels the wire. Field-for-
+/// field image of [`LocationEstimate`]; floats are compared and
+/// transported by bit pattern so a snapshot served over loopback is
+/// indistinguishable from one read in-process.
+#[derive(Debug, Clone, Copy)]
+pub struct WireEstimate {
+    /// Beacon the estimate belongs to.
+    pub beacon: u32,
+    /// Estimated x, metres (observer-local frame).
+    pub x: f64,
+    /// Estimated y, metres.
+    pub y: f64,
+    /// Unresolved mirror candidate, if the walk was collinear.
+    pub mirror: Option<(f64, f64)>,
+    /// Estimation confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Fitted path-loss exponent.
+    pub exponent: f64,
+    /// Fitted reference power, dBm.
+    pub gamma_dbm: f64,
+    /// Environment regime, when EnvAware ran.
+    pub env: Option<EnvClass>,
+    /// Samples fused in the final regression.
+    pub points_used: u64,
+    /// Regression rung that produced the estimate.
+    pub method: FitMethod,
+    /// RMS residual of the final fit, dB.
+    pub residual_db: f64,
+}
+
+impl PartialEq for WireEstimate {
+    fn eq(&self, other: &WireEstimate) -> bool {
+        let floats = |e: &WireEstimate| {
+            [
+                e.x.to_bits(),
+                e.y.to_bits(),
+                e.confidence.to_bits(),
+                e.exponent.to_bits(),
+                e.gamma_dbm.to_bits(),
+                e.residual_db.to_bits(),
+            ]
+        };
+        self.beacon == other.beacon
+            && floats(self) == floats(other)
+            && self.mirror.map(|(x, y)| (x.to_bits(), y.to_bits()))
+                == other.mirror.map(|(x, y)| (x.to_bits(), y.to_bits()))
+            && self.env == other.env
+            && self.points_used == other.points_used
+            && self.method == other.method
+    }
+}
+
+impl Eq for WireEstimate {}
+
+impl WireEstimate {
+    /// Packs one engine estimate for the wire.
+    pub fn from_estimate(beacon: BeaconId, est: &LocationEstimate) -> WireEstimate {
+        WireEstimate {
+            beacon: beacon.0,
+            x: est.position.x,
+            y: est.position.y,
+            mirror: est.mirror.map(|m| (m.x, m.y)),
+            confidence: est.confidence,
+            exponent: est.exponent,
+            gamma_dbm: est.gamma_dbm,
+            env: est.env,
+            points_used: est.points_used as u64,
+            method: est.method,
+            residual_db: est.residual_db,
+        }
+    }
+
+    /// Unpacks back into the engine's estimate type.
+    pub fn to_estimate(&self) -> (BeaconId, LocationEstimate) {
+        (
+            BeaconId(self.beacon),
+            LocationEstimate {
+                position: Vec2::new(self.x, self.y),
+                mirror: self.mirror.map(|(x, y)| Vec2::new(x, y)),
+                confidence: self.confidence,
+                exponent: self.exponent,
+                gamma_dbm: self.gamma_dbm,
+                env: self.env,
+                points_used: self.points_used as usize,
+                method: self.method,
+                residual_db: self.residual_db,
+            },
+        )
+    }
+}
+
+/// Exact accounting for one [`Frame::AdvertBatch`]: the server's
+/// [`IngestReport`], widened to `u64` for the wire. Rejections are the
+/// typed image of the engine's `AdmitError`s — a capacity-full or
+/// out-of-order advert shows up here per-cause instead of killing the
+/// connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Adverts taken from the batch (always the whole batch: the server
+    /// drains backpressure internally).
+    pub consumed: u64,
+    /// Adverts routed into shard queues.
+    pub routed: u64,
+    /// Sessions created by first-contact adverts.
+    pub sessions_created: u64,
+    /// Dropped: NaN/infinite timestamp or RSSI.
+    pub rejected_non_finite: u64,
+    /// Dropped: violated per-beacon time order.
+    pub rejected_out_of_order: u64,
+    /// Dropped: session table at capacity.
+    pub rejected_capacity: u64,
+}
+
+impl IngestSummary {
+    /// Total dropped adverts.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_non_finite + self.rejected_out_of_order + self.rejected_capacity
+    }
+
+    /// Folds another summary (e.g. per-batch acks) into this one.
+    pub fn absorb(&mut self, other: IngestSummary) {
+        self.consumed += other.consumed;
+        self.routed += other.routed;
+        self.sessions_created += other.sessions_created;
+        self.rejected_non_finite += other.rejected_non_finite;
+        self.rejected_out_of_order += other.rejected_out_of_order;
+        self.rejected_capacity += other.rejected_capacity;
+    }
+}
+
+impl From<IngestReport> for IngestSummary {
+    fn from(r: IngestReport) -> IngestSummary {
+        IngestSummary {
+            consumed: r.consumed as u64,
+            routed: r.routed as u64,
+            sessions_created: r.sessions_created as u64,
+            rejected_non_finite: r.rejected_non_finite as u64,
+            rejected_out_of_order: r.rejected_out_of_order as u64,
+            rejected_capacity: r.rejected_capacity as u64,
+        }
+    }
+}
+
+/// What a [`Frame::Finish`] did: the terminal drain + flush accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FinishSummary {
+    /// Samples drained from shard queues by the finish.
+    pub samples_processed: u64,
+    /// Batches (including partial trailing ones) pushed into sessions.
+    pub batches_pushed: u64,
+}
+
+/// Engine statistics as served over the wire ([`EngineStats`] plus the
+/// live queue depth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Adverts routed to shards since engine construction.
+    pub samples_routed: u64,
+    /// Adverts rejected at the ingest boundary.
+    pub samples_rejected: u64,
+    /// Samples consumed by sessions.
+    pub samples_processed: u64,
+    /// Sessions ever created.
+    pub sessions_created: u64,
+    /// Sessions evicted for idleness.
+    pub sessions_evicted: u64,
+    /// Currently live sessions.
+    pub sessions_live: u64,
+    /// Completed batches pushed into sessions.
+    pub batches_pushed: u64,
+    /// Batches refused by the validation boundary.
+    pub batches_rejected: u64,
+    /// `Engine::process` calls.
+    pub processes: u64,
+    /// Samples sitting in shard queues right now.
+    pub queued: u64,
+}
+
+impl WireStats {
+    /// Packs engine statistics plus the current queue depth.
+    pub fn from_engine(stats: EngineStats, queued: usize) -> WireStats {
+        WireStats {
+            samples_routed: stats.samples_routed,
+            samples_rejected: stats.samples_rejected,
+            samples_processed: stats.samples_processed,
+            sessions_created: stats.sessions_created,
+            sessions_evicted: stats.sessions_evicted,
+            sessions_live: stats.sessions_live as u64,
+            batches_pushed: stats.batches_pushed,
+            batches_rejected: stats.batches_rejected,
+            processes: stats.processes,
+            queued: queued as u64,
+        }
+    }
+}
+
+/// Why the server sent a [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame failed to decode (bad tag or malformed body) or was a
+    /// reply tag sent as a request. The connection stays usable.
+    BadFrame = 1,
+    /// The frame's protocol version is not [`WIRE_VERSION`].
+    UnsupportedVersion = 2,
+    /// Shard-queue backpressure that interleaved draining could not
+    /// clear (defensive; the drain loop normally absorbs it).
+    Backpressure = 3,
+    /// The engine's session table is full and the whole batch was
+    /// refused (per-advert capacity rejects travel in the ack instead).
+    Capacity = 4,
+    /// The server is shutting down and no longer accepts ingest.
+    ShuttingDown = 5,
+    /// Unexpected server-side failure.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::Backpressure,
+            4 => ErrorCode::Capacity,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Machine-readable cause.
+    pub code: ErrorCode,
+    /// Human-readable detail (capped at `u16::MAX` bytes on the wire).
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// Every frame of the protocol. Requests flow client→server, replies
+/// server→client; each request gets exactly one reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Request: ingest a batch of adverts. Reply: [`Frame::IngestAck`]
+    /// (or [`Frame::Error`] when shutting down).
+    AdvertBatch(Vec<WireAdvert>),
+    /// Reply: exact accounting for one advert batch.
+    IngestAck(IngestSummary),
+    /// Request: every live estimate. Reply: [`Frame::Snapshot`].
+    QuerySnapshot,
+    /// Reply: live estimates in ascending beacon-id order.
+    Snapshot(Vec<WireEstimate>),
+    /// Request: one beacon's estimate. Reply: [`Frame::BeaconReply`].
+    QueryBeacon(u32),
+    /// Reply: the beacon's estimate, if its session has one.
+    BeaconReply(Option<WireEstimate>),
+    /// Request: engine statistics. Reply: [`Frame::Stats`].
+    QueryStats,
+    /// Reply: engine statistics.
+    Stats(WireStats),
+    /// Request: drain queues, flush partial batches, refit stale
+    /// sessions (the engine's end-of-stream `finish`). Reply:
+    /// [`Frame::FinishAck`].
+    Finish,
+    /// Reply: what the finish did.
+    FinishAck(FinishSummary),
+    /// Reply: a typed error. The connection stays open unless the
+    /// transport itself is broken.
+    Error(WireError),
+}
+
+const TAG_ADVERT_BATCH: u8 = 1;
+const TAG_INGEST_ACK: u8 = 2;
+const TAG_QUERY_SNAPSHOT: u8 = 3;
+const TAG_SNAPSHOT: u8 = 4;
+const TAG_QUERY_BEACON: u8 = 5;
+const TAG_BEACON_REPLY: u8 = 6;
+const TAG_QUERY_STATS: u8 = 7;
+const TAG_STATS: u8 = 8;
+const TAG_FINISH: u8 = 9;
+const TAG_FINISH_ACK: u8 = 10;
+const TAG_ERROR: u8 = 11;
+
+/// Smallest possible encoded advert (beacon + t + rssi).
+const ADVERT_WIRE_LEN: usize = 4 + 8 + 8;
+
+/// Smallest possible encoded estimate (mirror absent).
+const ESTIMATE_MIN_WIRE_LEN: usize = 4 + 8 + 8 + 1 + 8 + 8 + 8 + 1 + 8 + 1 + 8;
+
+/// Why a byte slice did not decode to a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The slice ends before the frame does; `needed` more bytes would
+    /// allow progress. Non-fatal: buffer more input and retry.
+    Incomplete {
+        /// Additional bytes required for the next decode step.
+        needed: usize,
+    },
+    /// The length prefix exceeds the configured cap. Fatal for a
+    /// stream: the frame cannot be buffered, so framing is lost.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The decoder's cap.
+        max: usize,
+    },
+    /// The version byte is not [`WIRE_VERSION`]. Recoverable: the
+    /// length prefix still delimits the frame.
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// Unknown frame tag. Recoverable.
+    BadTag {
+        /// The tag byte received.
+        got: u8,
+    },
+    /// The body contradicts its own layout (bad counts, bad enum
+    /// discriminants, trailing bytes, invalid UTF-8). Recoverable.
+    Malformed {
+        /// What the decoder was parsing when it gave up.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Incomplete { needed } => {
+                write!(f, "incomplete frame: {needed} more bytes needed")
+            }
+            DecodeError::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max} byte cap")
+            }
+            DecodeError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (want {WIRE_VERSION})"
+                )
+            }
+            DecodeError::BadTag { got } => write!(f, "unknown frame tag {got}"),
+            DecodeError::Malformed { context } => write!(f, "malformed frame body: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// `true` when the error still leaves the stream delimited (the
+    /// length prefix was trusted), so a server can skip the frame,
+    /// answer with [`ErrorCode::BadFrame`], and keep the connection.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            DecodeError::BadVersion { .. }
+                | DecodeError::BadTag { .. }
+                | DecodeError::Malformed { .. }
+        )
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_advert(out: &mut Vec<u8>, a: &WireAdvert) {
+    put_u32(out, a.beacon);
+    put_f64(out, a.t);
+    put_f64(out, a.rssi_dbm);
+}
+
+fn put_estimate(out: &mut Vec<u8>, e: &WireEstimate) {
+    put_u32(out, e.beacon);
+    put_f64(out, e.x);
+    put_f64(out, e.y);
+    match e.mirror {
+        Some((mx, my)) => {
+            out.push(1);
+            put_f64(out, mx);
+            put_f64(out, my);
+        }
+        None => out.push(0),
+    }
+    put_f64(out, e.confidence);
+    put_f64(out, e.exponent);
+    put_f64(out, e.gamma_dbm);
+    out.push(match e.env {
+        None => 0,
+        Some(EnvClass::Los) => 1,
+        Some(EnvClass::PartialLos) => 2,
+        Some(EnvClass::NonLos) => 3,
+    });
+    put_u64(out, e.points_used);
+    out.push(match e.method {
+        FitMethod::FreeJoint => 1,
+        FitMethod::Anchored => 2,
+        FitMethod::Leg => 3,
+        FitMethod::Gradient => 4,
+    });
+    put_f64(out, e.residual_db);
+}
+
+/// Encodes one frame, header included.
+///
+/// # Panics
+/// Only if the payload would exceed `u32::MAX` bytes (a frame of over
+/// 4 GiB), which the [`DEFAULT_MAX_FRAME_LEN`]-bounded protocol never
+/// produces.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = vec![0u8; HEADER_LEN];
+    out.push(WIRE_VERSION);
+    match frame {
+        Frame::AdvertBatch(adverts) => {
+            out.push(TAG_ADVERT_BATCH);
+            put_u32(&mut out, adverts.len() as u32);
+            for a in adverts {
+                put_advert(&mut out, a);
+            }
+        }
+        Frame::IngestAck(s) => {
+            out.push(TAG_INGEST_ACK);
+            for v in [
+                s.consumed,
+                s.routed,
+                s.sessions_created,
+                s.rejected_non_finite,
+                s.rejected_out_of_order,
+                s.rejected_capacity,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        Frame::QuerySnapshot => out.push(TAG_QUERY_SNAPSHOT),
+        Frame::Snapshot(estimates) => {
+            out.push(TAG_SNAPSHOT);
+            put_u32(&mut out, estimates.len() as u32);
+            for e in estimates {
+                put_estimate(&mut out, e);
+            }
+        }
+        Frame::QueryBeacon(beacon) => {
+            out.push(TAG_QUERY_BEACON);
+            put_u32(&mut out, *beacon);
+        }
+        Frame::BeaconReply(est) => {
+            out.push(TAG_BEACON_REPLY);
+            match est {
+                Some(e) => {
+                    out.push(1);
+                    put_estimate(&mut out, e);
+                }
+                None => out.push(0),
+            }
+        }
+        Frame::QueryStats => out.push(TAG_QUERY_STATS),
+        Frame::Stats(s) => {
+            out.push(TAG_STATS);
+            for v in [
+                s.samples_routed,
+                s.samples_rejected,
+                s.samples_processed,
+                s.sessions_created,
+                s.sessions_evicted,
+                s.sessions_live,
+                s.batches_pushed,
+                s.batches_rejected,
+                s.processes,
+                s.queued,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        Frame::Finish => out.push(TAG_FINISH),
+        Frame::FinishAck(s) => {
+            out.push(TAG_FINISH_ACK);
+            put_u64(&mut out, s.samples_processed);
+            put_u64(&mut out, s.batches_pushed);
+        }
+        Frame::Error(e) => {
+            out.push(TAG_ERROR);
+            out.push(e.code as u8);
+            let bytes = utf8_prefix(&e.message, u16::MAX as usize);
+            put_u16(&mut out, bytes.len() as u16);
+            out.extend_from_slice(bytes);
+        }
+    }
+    let payload = u32::try_from(out.len() - HEADER_LEN).expect("frame payload fits in u32");
+    out[..HEADER_LEN].copy_from_slice(&payload.to_be_bytes());
+    out
+}
+
+/// The longest prefix of `s` that is at most `max` bytes and ends on a
+/// char boundary.
+fn utf8_prefix(s: &str, max: usize) -> &[u8] {
+    if s.len() <= max {
+        return s.as_bytes();
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s.as_bytes()[..end]
+}
+
+/// Total size (header + payload) of the frame starting at `buf[0]`,
+/// from its length prefix alone. [`DecodeError::Incomplete`] while the
+/// prefix itself is short; [`DecodeError::Oversized`] /
+/// [`DecodeError::Malformed`] when the declared length cannot be valid.
+pub fn frame_size(buf: &[u8], max_len: usize) -> Result<usize, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Incomplete {
+            needed: HEADER_LEN - buf.len(),
+        });
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len < MIN_PAYLOAD_LEN {
+        return Err(DecodeError::Malformed {
+            context: "payload length below version+tag minimum",
+        });
+    }
+    if len > max_len {
+        return Err(DecodeError::Oversized { len, max: max_len });
+    }
+    Ok(HEADER_LEN + len)
+}
+
+/// Decodes the frame at the front of `buf` with the default length cap.
+/// On success returns the frame and the bytes it occupied.
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), DecodeError> {
+    decode_frame_with_limit(buf, DEFAULT_MAX_FRAME_LEN)
+}
+
+/// [`decode_frame`] with an explicit payload-length cap.
+pub fn decode_frame_with_limit(buf: &[u8], max_len: usize) -> Result<(Frame, usize), DecodeError> {
+    let total = frame_size(buf, max_len)?;
+    if buf.len() < total {
+        return Err(DecodeError::Incomplete {
+            needed: total - buf.len(),
+        });
+    }
+    let version = buf[HEADER_LEN];
+    if version != WIRE_VERSION {
+        return Err(DecodeError::BadVersion { got: version });
+    }
+    let tag = buf[HEADER_LEN + 1];
+    let mut r = Reader {
+        buf: &buf[HEADER_LEN + MIN_PAYLOAD_LEN..total],
+        pos: 0,
+    };
+    let frame = match tag {
+        TAG_ADVERT_BATCH => {
+            let n = r.counted(ADVERT_WIRE_LEN, "advert batch count")?;
+            let mut adverts = Vec::with_capacity(n);
+            for _ in 0..n {
+                adverts.push(r.advert()?);
+            }
+            Frame::AdvertBatch(adverts)
+        }
+        TAG_INGEST_ACK => Frame::IngestAck(IngestSummary {
+            consumed: r.u64()?,
+            routed: r.u64()?,
+            sessions_created: r.u64()?,
+            rejected_non_finite: r.u64()?,
+            rejected_out_of_order: r.u64()?,
+            rejected_capacity: r.u64()?,
+        }),
+        TAG_QUERY_SNAPSHOT => Frame::QuerySnapshot,
+        TAG_SNAPSHOT => {
+            let n = r.counted(ESTIMATE_MIN_WIRE_LEN, "snapshot count")?;
+            let mut estimates = Vec::with_capacity(n);
+            for _ in 0..n {
+                estimates.push(r.estimate()?);
+            }
+            Frame::Snapshot(estimates)
+        }
+        TAG_QUERY_BEACON => Frame::QueryBeacon(r.u32()?),
+        TAG_BEACON_REPLY => Frame::BeaconReply(match r.u8()? {
+            0 => None,
+            1 => Some(r.estimate()?),
+            _ => {
+                return Err(DecodeError::Malformed {
+                    context: "beacon reply presence flag",
+                })
+            }
+        }),
+        TAG_QUERY_STATS => Frame::QueryStats,
+        TAG_STATS => Frame::Stats(WireStats {
+            samples_routed: r.u64()?,
+            samples_rejected: r.u64()?,
+            samples_processed: r.u64()?,
+            sessions_created: r.u64()?,
+            sessions_evicted: r.u64()?,
+            sessions_live: r.u64()?,
+            batches_pushed: r.u64()?,
+            batches_rejected: r.u64()?,
+            processes: r.u64()?,
+            queued: r.u64()?,
+        }),
+        TAG_FINISH => Frame::Finish,
+        TAG_FINISH_ACK => Frame::FinishAck(FinishSummary {
+            samples_processed: r.u64()?,
+            batches_pushed: r.u64()?,
+        }),
+        TAG_ERROR => {
+            let code = ErrorCode::from_u8(r.u8()?).ok_or(DecodeError::Malformed {
+                context: "error code",
+            })?;
+            let len = r.u16()? as usize;
+            let bytes = r.take(len, "error message")?;
+            let message =
+                String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Malformed {
+                    context: "error message is not UTF-8",
+                })?;
+            Frame::Error(WireError { code, message })
+        }
+        got => return Err(DecodeError::BadTag { got }),
+    };
+    if r.remaining() != 0 {
+        return Err(DecodeError::Malformed {
+            context: "trailing bytes in frame body",
+        });
+    }
+    Ok((frame, total))
+}
+
+/// Bounds-checked body reader. Every accessor returns
+/// [`DecodeError::Malformed`] on underrun — inside a complete frame a
+/// short body is corruption, not truncation.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Malformed { context });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1, "u8 field")?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let b = self.take(2, "u16 field")?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4, "u32 field")?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8, "u64 field")?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32` element count and validates it against the bytes
+    /// actually present (`min_item` each), so a hostile count cannot
+    /// drive allocation.
+    fn counted(&mut self, min_item: usize, context: &'static str) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item) > self.remaining() {
+            return Err(DecodeError::Malformed { context });
+        }
+        Ok(n)
+    }
+
+    fn advert(&mut self) -> Result<WireAdvert, DecodeError> {
+        Ok(WireAdvert {
+            beacon: self.u32()?,
+            t: self.f64()?,
+            rssi_dbm: self.f64()?,
+        })
+    }
+
+    fn estimate(&mut self) -> Result<WireEstimate, DecodeError> {
+        let beacon = self.u32()?;
+        let x = self.f64()?;
+        let y = self.f64()?;
+        let mirror = match self.u8()? {
+            0 => None,
+            1 => Some((self.f64()?, self.f64()?)),
+            _ => {
+                return Err(DecodeError::Malformed {
+                    context: "mirror presence flag",
+                })
+            }
+        };
+        let confidence = self.f64()?;
+        let exponent = self.f64()?;
+        let gamma_dbm = self.f64()?;
+        let env = match self.u8()? {
+            0 => None,
+            1 => Some(EnvClass::Los),
+            2 => Some(EnvClass::PartialLos),
+            3 => Some(EnvClass::NonLos),
+            _ => {
+                return Err(DecodeError::Malformed {
+                    context: "env class discriminant",
+                })
+            }
+        };
+        let points_used = self.u64()?;
+        let method = match self.u8()? {
+            1 => FitMethod::FreeJoint,
+            2 => FitMethod::Anchored,
+            3 => FitMethod::Leg,
+            4 => FitMethod::Gradient,
+            _ => {
+                return Err(DecodeError::Malformed {
+                    context: "fit method discriminant",
+                })
+            }
+        };
+        let residual_db = self.f64()?;
+        Ok(WireEstimate {
+            beacon,
+            x,
+            y,
+            mirror,
+            confidence,
+            exponent,
+            gamma_dbm,
+            env,
+            points_used,
+            method,
+            residual_db,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_estimate() -> WireEstimate {
+        WireEstimate {
+            beacon: 42,
+            x: 1.5,
+            y: -2.25,
+            mirror: Some((0.5, -0.0)),
+            confidence: 0.875,
+            exponent: 2.1,
+            gamma_dbm: -61.0,
+            env: Some(EnvClass::PartialLos),
+            points_used: 37,
+            method: FitMethod::Anchored,
+            residual_db: 3.5,
+        }
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        let frames = [
+            Frame::AdvertBatch(vec![
+                WireAdvert {
+                    beacon: 1,
+                    t: 0.25,
+                    rssi_dbm: -60.5,
+                },
+                WireAdvert {
+                    beacon: u32::MAX,
+                    t: f64::NAN,
+                    rssi_dbm: f64::NEG_INFINITY,
+                },
+            ]),
+            Frame::AdvertBatch(Vec::new()),
+            Frame::IngestAck(IngestSummary {
+                consumed: 10,
+                routed: 7,
+                sessions_created: 2,
+                rejected_non_finite: 1,
+                rejected_out_of_order: 1,
+                rejected_capacity: 1,
+            }),
+            Frame::QuerySnapshot,
+            Frame::Snapshot(vec![
+                sample_estimate(),
+                WireEstimate {
+                    mirror: None,
+                    env: None,
+                    ..sample_estimate()
+                },
+            ]),
+            Frame::QueryBeacon(9),
+            Frame::BeaconReply(Some(sample_estimate())),
+            Frame::BeaconReply(None),
+            Frame::QueryStats,
+            Frame::Stats(WireStats {
+                samples_routed: 1,
+                samples_rejected: 2,
+                samples_processed: 3,
+                sessions_created: 4,
+                sessions_evicted: 5,
+                sessions_live: 6,
+                batches_pushed: 7,
+                batches_rejected: 8,
+                processes: 9,
+                queued: 10,
+            }),
+            Frame::Finish,
+            Frame::FinishAck(FinishSummary {
+                samples_processed: 11,
+                batches_pushed: 3,
+            }),
+            Frame::Error(WireError {
+                code: ErrorCode::Capacity,
+                message: "table full".to_string(),
+            }),
+        ];
+        for frame in &frames {
+            let bytes = encode_frame(frame);
+            let (back, used) = decode_frame(&bytes).expect("round trip");
+            assert_eq!(&back, frame);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_incomplete_at_every_prefix() {
+        let bytes = encode_frame(&Frame::QueryBeacon(3));
+        for end in 0..bytes.len() {
+            match decode_frame(&bytes[..end]) {
+                Err(DecodeError::Incomplete { needed }) => {
+                    assert!(needed > 0);
+                    assert!(needed <= bytes.len() - end);
+                }
+                other => panic!("prefix of {end} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_fatal_and_bad_version_is_not() {
+        let mut bytes = encode_frame(&Frame::QuerySnapshot);
+        bytes[..4].copy_from_slice(&(DEFAULT_MAX_FRAME_LEN as u32 + 1).to_be_bytes());
+        let err = decode_frame(&bytes).expect_err("oversized");
+        assert!(matches!(err, DecodeError::Oversized { .. }));
+        assert!(!err.is_recoverable());
+
+        let mut bytes = encode_frame(&Frame::QuerySnapshot);
+        bytes[4] = WIRE_VERSION + 1;
+        let err = decode_frame(&bytes).expect_err("bad version");
+        assert_eq!(
+            err,
+            DecodeError::BadVersion {
+                got: WIRE_VERSION + 1
+            }
+        );
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // An advert batch claiming u32::MAX elements in a 10-byte body.
+        let mut bytes = vec![0u8; 4];
+        bytes.push(WIRE_VERSION);
+        bytes.push(TAG_ADVERT_BATCH);
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 10]);
+        let payload = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&payload.to_be_bytes());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(DecodeError::Malformed {
+                context: "advert batch count"
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut bytes = encode_frame(&Frame::Finish);
+        bytes.push(0xAB);
+        let payload = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&payload.to_be_bytes());
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(DecodeError::Malformed {
+                context: "trailing bytes in frame body"
+            })
+        );
+    }
+
+    #[test]
+    fn error_message_truncates_on_char_boundary() {
+        let long = "é".repeat(40_000); // 2 bytes per char: 80 000 bytes
+        let bytes = encode_frame(&Frame::Error(WireError {
+            code: ErrorCode::Internal,
+            message: long,
+        }));
+        let (frame, _) = decode_frame(&bytes).expect("decodes");
+        match frame {
+            Frame::Error(e) => {
+                assert!(e.message.len() <= u16::MAX as usize);
+                assert!(e.message.chars().all(|c| c == 'é'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Codec properties: `decode(encode(frame)) == frame` for every frame
+//! type, and decoder totality — arbitrary bytes (random, truncated,
+//! length-corrupted, version-corrupted) must yield a typed
+//! [`DecodeError`], never a panic.
+
+use locble_core::FitMethod;
+use locble_geom::EnvClass;
+use locble_net::wire::{
+    decode_frame, decode_frame_with_limit, encode_frame, DecodeError, ErrorCode, FinishSummary,
+    Frame, IngestSummary, WireAdvert, WireError, WireEstimate, WireStats, DEFAULT_MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+use proptest::prelude::*;
+
+/// All of f64, non-finite bit patterns included: estimates and adverts
+/// must survive the wire bit-exactly whatever the pipeline produced.
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>(),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn any_advert() -> impl Strategy<Value = WireAdvert> {
+    (any::<u32>(), any_f64(), any_f64()).prop_map(|(beacon, t, rssi_dbm)| WireAdvert {
+        beacon,
+        t,
+        rssi_dbm,
+    })
+}
+
+fn any_estimate() -> impl Strategy<Value = WireEstimate> {
+    let head = (
+        any::<u32>(),
+        any_f64(),
+        any_f64(),
+        prop_oneof![Just(None), (any::<f64>(), any::<f64>()).prop_map(Some),],
+    );
+    let tail = (
+        any_f64(),
+        any_f64(),
+        any_f64(),
+        prop_oneof![
+            Just(None),
+            Just(Some(EnvClass::Los)),
+            Just(Some(EnvClass::PartialLos)),
+            Just(Some(EnvClass::NonLos)),
+        ],
+        any::<u64>(),
+        prop_oneof![
+            Just(FitMethod::FreeJoint),
+            Just(FitMethod::Anchored),
+            Just(FitMethod::Leg),
+            Just(FitMethod::Gradient),
+        ],
+        any_f64(),
+    );
+    (head, tail).prop_map(
+        |(
+            (beacon, x, y, mirror),
+            (confidence, exponent, gamma_dbm, env, points_used, method, residual_db),
+        )| WireEstimate {
+            beacon,
+            x,
+            y,
+            mirror,
+            confidence,
+            exponent,
+            gamma_dbm,
+            env,
+            points_used,
+            method,
+            residual_db,
+        },
+    )
+}
+
+fn any_summary() -> impl Strategy<Value = IngestSummary> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(
+                consumed,
+                routed,
+                sessions_created,
+                rejected_non_finite,
+                rejected_out_of_order,
+                rejected_capacity,
+            )| IngestSummary {
+                consumed,
+                routed,
+                sessions_created,
+                rejected_non_finite,
+                rejected_out_of_order,
+                rejected_capacity,
+            },
+        )
+}
+
+fn any_stats() -> impl Strategy<Value = WireStats> {
+    (
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+    )
+        .prop_map(|((a, b, c, d, e), (f, g, h, i, j))| WireStats {
+            samples_routed: a,
+            samples_rejected: b,
+            samples_processed: c,
+            sessions_created: d,
+            sessions_evicted: e,
+            sessions_live: f,
+            batches_pushed: g,
+            batches_rejected: h,
+            processes: i,
+            queued: j,
+        })
+}
+
+fn any_error() -> impl Strategy<Value = WireError> {
+    (
+        prop_oneof![
+            Just(ErrorCode::BadFrame),
+            Just(ErrorCode::UnsupportedVersion),
+            Just(ErrorCode::Backpressure),
+            Just(ErrorCode::Capacity),
+            Just(ErrorCode::ShuttingDown),
+            Just(ErrorCode::Internal),
+        ],
+        "\\PC{0,60}",
+    )
+        .prop_map(|(code, message)| WireError { code, message })
+}
+
+/// Every frame variant, weighted uniformly.
+fn any_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        prop::collection::vec(any_advert(), 0..40).prop_map(Frame::AdvertBatch),
+        any_summary().prop_map(Frame::IngestAck),
+        Just(Frame::QuerySnapshot),
+        prop::collection::vec(any_estimate(), 0..12).prop_map(Frame::Snapshot),
+        any::<u32>().prop_map(Frame::QueryBeacon),
+        prop_oneof![Just(None), any_estimate().prop_map(Some)].prop_map(Frame::BeaconReply),
+        Just(Frame::QueryStats),
+        any_stats().prop_map(Frame::Stats),
+        Just(Frame::Finish),
+        (any::<u64>(), any::<u64>()).prop_map(|(s, b)| {
+            Frame::FinishAck(FinishSummary {
+                samples_processed: s,
+                batches_pushed: b,
+            })
+        }),
+        any_error().prop_map(Frame::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Round trip: every frame type survives encode → decode exactly
+    /// (floats bit-for-bit, non-finite values included), consuming
+    /// exactly its own bytes.
+    #[test]
+    fn encode_decode_round_trips(frame in any_frame()) {
+        let bytes = encode_frame(&frame);
+        let (back, used) = match decode_frame(&bytes) {
+            Ok(ok) => ok,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("own encoding failed to decode: {e}"),
+            )),
+        };
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(used, bytes.len());
+    }
+
+    /// Totality over garbage: arbitrary byte strings decode to a typed
+    /// error or a frame — never a panic, and a successful decode never
+    /// claims more bytes than it was given.
+    #[test]
+    fn decoder_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        match decode_frame(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(DecodeError::Incomplete { needed }) => prop_assert!(needed > 0),
+            Err(_) => {}
+        }
+    }
+
+    /// Totality over truncation: every strict prefix of a valid
+    /// encoding is `Incomplete` with an achievable byte requirement.
+    #[test]
+    fn every_truncation_is_typed_incomplete(frame in any_frame(), cut in 0.0f64..1.0) {
+        let bytes = encode_frame(&frame);
+        let end = ((bytes.len() as f64) * cut) as usize; // < len: cut < 1
+        match decode_frame(&bytes[..end]) {
+            Err(DecodeError::Incomplete { needed }) => {
+                prop_assert!(needed > 0);
+                prop_assert!(needed <= bytes.len() - end);
+            }
+            other => return Err(proptest::test_runner::TestCaseError::fail(
+                format!("{end}-byte prefix of a {}-byte frame gave {other:?}", bytes.len()),
+            )),
+        }
+    }
+
+    /// Totality over corruption: flipping any single byte of a valid
+    /// encoding yields a frame or a typed error, never a panic; and a
+    /// corrupted version byte is always `BadVersion`.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in any_frame(),
+        pos in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&frame);
+        let idx = ((bytes.len() as f64) * pos) as usize % bytes.len();
+        bytes[idx] ^= flip;
+        match decode_frame(&bytes) {
+            Ok(_) | Err(_) => {}
+        }
+        // Target the version byte specifically.
+        let mut bytes = encode_frame(&frame);
+        bytes[4] = WIRE_VERSION ^ flip;
+        prop_assert_eq!(
+            decode_frame(&bytes).expect_err("version byte corrupted"),
+            DecodeError::BadVersion { got: WIRE_VERSION ^ flip }
+        );
+    }
+
+    /// Oversized length prefixes are rejected before any allocation,
+    /// under both the default cap and a tiny explicit cap.
+    #[test]
+    fn oversized_length_is_typed(frame in any_frame(), extra in 1u32..1_000_000) {
+        let mut bytes = encode_frame(&frame);
+        let huge = DEFAULT_MAX_FRAME_LEN as u32 + extra;
+        bytes[..4].copy_from_slice(&huge.to_be_bytes());
+        prop_assert_eq!(
+            decode_frame(&bytes).expect_err("oversized must not decode"),
+            DecodeError::Oversized { len: huge as usize, max: DEFAULT_MAX_FRAME_LEN }
+        );
+        let payload = bytes.len() - 4;
+        if payload > 64 {
+            bytes[..4].copy_from_slice(&(payload as u32).to_be_bytes());
+            prop_assert_eq!(
+                decode_frame_with_limit(&bytes, 64).expect_err("cap of 64"),
+                DecodeError::Oversized { len: payload, max: 64 }
+            );
+        }
+    }
+}

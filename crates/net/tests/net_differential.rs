@@ -1,0 +1,118 @@
+//! End-to-end differential determinism over loopback: the accepted
+//! advert stream delivered through `locble-net` must leave the engine
+//! in a state **bit-identical** to calling `Engine::ingest_all` on the
+//! same sequence directly — same estimates out of the wire snapshot,
+//! same estimates out of the engine handed back by shutdown.
+
+use locble_ble::BeaconId;
+use locble_core::{Estimator, EstimatorConfig, LocationEstimate};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_net::{Client, Server, ServerConfig};
+use locble_obs::Obs;
+use locble_scenario::fleet_session;
+use locble_scenario::runner::track_observer;
+
+/// Byte-level equality on every estimate field (same discipline as the
+/// engine's own determinism suite).
+fn assert_bit_identical(
+    label: &str,
+    got: &[(BeaconId, LocationEstimate)],
+    want: &[(BeaconId, LocationEstimate)],
+) {
+    assert_eq!(
+        got.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+        want.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+        "{label}: beacon sets differ"
+    );
+    for ((b, g), (_, w)) in got.iter().zip(want) {
+        let pairs = [
+            ("position.x", g.position.x, w.position.x),
+            ("position.y", g.position.y, w.position.y),
+            ("confidence", g.confidence, w.confidence),
+            ("exponent", g.exponent, w.exponent),
+            ("gamma_dbm", g.gamma_dbm, w.gamma_dbm),
+            ("residual_db", g.residual_db, w.residual_db),
+        ];
+        for (field, gv, wv) in pairs {
+            assert_eq!(
+                gv.to_bits(),
+                wv.to_bits(),
+                "{label}: beacon {b} {field}: {gv} != {wv}"
+            );
+        }
+        assert_eq!(
+            g.mirror.map(|m| (m.x.to_bits(), m.y.to_bits())),
+            w.mirror.map(|m| (m.x.to_bits(), m.y.to_bits())),
+            "{label}: beacon {b} mirror"
+        );
+        assert_eq!(g.points_used, w.points_used, "{label}: beacon {b} points");
+        assert_eq!(g.env, w.env, "{label}: beacon {b} env");
+        assert_eq!(g.method, w.method, "{label}: beacon {b} method");
+    }
+}
+
+#[test]
+fn loopback_stream_matches_direct_ingest_bit_for_bit() {
+    let session = fleet_session(10, 41);
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    let config = EngineConfig::default();
+
+    // Reference: the whole stream through ingest_all, no network.
+    let mut reference = Engine::new(config.clone(), estimator.clone(), Obs::noop());
+    reference.set_motion(motion.clone());
+    reference.ingest_all(&adverts);
+    reference.finish();
+    let want = reference.snapshot();
+    assert!(
+        want.len() >= 6,
+        "reference localized only {} of 10 beacons",
+        want.len()
+    );
+
+    // Wire path: same stream in 97-advert batches over loopback.
+    let mut engine = Engine::new(config, estimator, Obs::noop());
+    engine.set_motion(motion);
+    let server = Server::bind(engine, ServerConfig::default(), Obs::ring(64)).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let mut delivered = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for chunk in adverts.chunks(97) {
+        let ack = client.ingest(chunk).expect("ingest");
+        delivered += chunk.len() as u64;
+        accepted += ack.routed;
+        rejected += ack.rejected();
+        assert_eq!(
+            ack.consumed,
+            chunk.len() as u64,
+            "batches are never truncated"
+        );
+    }
+    assert_eq!(delivered, accepted + rejected, "every advert is accounted");
+    assert_eq!(rejected, 0, "a clean simulated stream has no rejects");
+    client.finish().expect("finish");
+
+    // The snapshot read over the wire is already bit-identical …
+    let over_wire = client.snapshot().expect("snapshot");
+    assert_bit_identical("wire snapshot", &over_wire, &want);
+
+    // … and so is the engine handed back by graceful shutdown.
+    let stats_wire = client.stats().expect("stats");
+    drop(client);
+    let engine = server.shutdown();
+    assert_bit_identical("engine after shutdown", &engine.snapshot(), &want);
+
+    // Accounting reconciles exactly between wire stats, engine stats,
+    // and the reference run.
+    let stats = engine.stats();
+    assert_eq!(stats_wire.samples_routed, accepted);
+    assert_eq!(stats.samples_routed, accepted);
+    assert_eq!(stats.samples_processed, reference.stats().samples_processed);
+    assert_eq!(engine.queued(), 0);
+}

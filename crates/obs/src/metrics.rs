@@ -204,6 +204,26 @@ impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// All counters whose name starts with `prefix`, in name order —
+    /// the shape subsystem reports want ("every `net.` counter",
+    /// "every `engine.shard3.` counter") without each caller rescanning
+    /// the whole map.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(name, &v)| (name.as_str(), v))
+            .collect()
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum_with_prefix(&self, prefix: &str) -> u64 {
+        self.counters_with_prefix(prefix)
+            .iter()
+            .map(|(_, v)| v)
+            .sum()
+    }
 }
 
 impl Serialize for MetricsSnapshot {
@@ -263,6 +283,23 @@ mod tests {
         assert_eq!(h.min, 0.5);
         assert_eq!(h.max, 100.0);
         assert!((h.mean() - 120.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_scoped_counters_select_and_sum() {
+        let m = MetricsRegistry::new();
+        m.counter_add("net.frames_rx", 4);
+        m.counter_add("net.frames_tx", 5);
+        m.counter_add("netx.other", 7); // shares a string prefix, not a namespace
+        m.counter_add("engine.samples_routed", 9);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.counters_with_prefix("net."),
+            vec![("net.frames_rx", 4), ("net.frames_tx", 5)]
+        );
+        assert_eq!(snap.counter_sum_with_prefix("net."), 9);
+        assert!(snap.counters_with_prefix("missing.").is_empty());
+        assert_eq!(snap.counter_sum_with_prefix(""), 25);
     }
 
     #[test]

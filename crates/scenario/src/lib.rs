@@ -39,4 +39,4 @@ pub use runner::{
 };
 pub use trace::{parse_session_trace, session_trace_to_string};
 pub use trainer::{train_default_envaware, training_windows};
-pub use world::{fleet_beacons, BeaconSpec, Session, SessionConfig};
+pub use world::{fleet_beacons, fleet_session, fleet_traffic, BeaconSpec, Session, SessionConfig};

@@ -163,6 +163,31 @@ pub fn fleet_beacons(env: &Environment, n: usize, seed: u64) -> Vec<BeaconSpec> 
     out
 }
 
+/// The standard fleet-scale measurement session every engine-facing
+/// consumer shares (differential suites, the `fleet`/`serve`
+/// experiments, `loadgen`): `n` beacons from [`fleet_beacons`] in the
+/// parking-lot environment, heard over one fixed L-walk. Pure function
+/// of `(n, seed)`, so two callers with the same arguments replay
+/// bit-identical traffic.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn fleet_session(n: usize, seed: u64) -> Session {
+    let env = crate::environments::environment_by_index(9).expect("parking lot environment exists");
+    let fleet = fleet_beacons(&env, n, seed);
+    let plan = crate::paths::plan_l_walk(&env, Vec2::new(4.0, 4.0), 4.0, 3.0, 0.5)
+        .expect("standard fleet walk fits the parking lot");
+    simulate_session(&env, &fleet, &plan, &SessionConfig::paper_default(seed))
+}
+
+/// The interleaved advert stream of [`fleet_session`] — the exact
+/// traffic shape a central tracking service ingests, exported so
+/// network load generators replay the same deterministic workload the
+/// in-process suites verify against.
+pub fn fleet_traffic(n: usize, seed: u64) -> Vec<(BeaconId, f64, f64)> {
+    fleet_session(n, seed).interleaved_rss()
+}
+
 /// Runs one measurement session: the observer walks `plan` while every
 /// beacon advertises; returns the captured data plus ground truth.
 ///

@@ -19,6 +19,11 @@ fleet_report="$(cargo run --release -q -p locble-bench --bin harness -- fleet --
 grep -q "accounting reconciles exactly      true" <<<"$fleet_report" \
   || { echo "fleet smoke failed: accounting did not reconcile"; echo "$fleet_report"; exit 1; }
 
+echo "==> serving smoke (release loadgen over loopback)"
+loadgen_report="$(cargo run --release -q -p locble-bench --bin loadgen -- --beacons 40 --connections 4 --threads 4 --seed 0x10AD)"
+grep -q "accounting reconciles exactly      true" <<<"$loadgen_report" \
+  || { echo "serving smoke failed: accounting did not reconcile"; echo "$loadgen_report"; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -18,6 +18,7 @@
 //! | [`motion`] | coordinate alignment, steps, turns, dead reckoning |
 //! | [`core`] | **LocBLE itself**: EnvAware, ANF, sensor-fusion estimation, clustering calibration |
 //! | [`engine`] | concurrent multi-beacon tracking engine (sharded sessions) |
+//! | [`net`] | wire protocol + TCP ingest/query server over the engine |
 //! | [`scenario`] | Table-1 environments and end-to-end sessions |
 //! | [`obs`] | structured tracing, metrics, and pipeline diagnostics |
 
@@ -28,6 +29,7 @@ pub use locble_engine as engine;
 pub use locble_geom as geom;
 pub use locble_ml as ml;
 pub use locble_motion as motion;
+pub use locble_net as net;
 pub use locble_obs as obs;
 pub use locble_rf as rf;
 pub use locble_scenario as scenario;
@@ -43,6 +45,7 @@ pub mod prelude {
     pub use locble_engine::{Advert, Engine, EngineConfig};
     pub use locble_geom::{EnvClass, Pose2, Vec2};
     pub use locble_motion::{track, track_traced, TrackerConfig};
+    pub use locble_net::{Client, Server, ServerConfig};
     pub use locble_obs::Obs;
     pub use locble_scenario::world::{simulate_moving_session, simulate_session};
     pub use locble_scenario::{
