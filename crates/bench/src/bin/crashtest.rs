@@ -1,0 +1,203 @@
+//! Kill-and-recover smoke test with a *real* crash: the parent process
+//! re-spawns this binary as a child that streams the fleet trace into a
+//! durable engine (WAL fsynced on every append, periodic checkpoints),
+//! SIGKILLs it mid-stream, recovers the session from the store
+//! directory, and verifies the recovered engine is bit-identical to a
+//! fresh engine fed exactly the durable prefix of the same trace —
+//! recovery is prefix determinism, nothing more.
+//!
+//! Used by `scripts/check.sh` as the recovery-smoke CI step.
+//!
+//! ```text
+//! crashtest                 # parent: spawn child, kill, recover, verify
+//! crashtest child <dir>     # child: stream durably, report progress
+//! ```
+
+use locble_ble::BeaconId;
+use locble_core::{Estimator, EstimatorConfig, LocationEstimate};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_motion::MotionTrack;
+use locble_obs::Obs;
+use locble_scenario::fleet_session;
+use locble_scenario::runner::track_observer;
+use locble_store::{FsyncPolicy, SessionStore};
+use std::io::BufRead;
+use std::path::Path;
+use std::process::{exit, Command, Stdio};
+
+const N_BEACONS: usize = 24;
+const SEED: u64 = 0xC4A5;
+const CHUNK: usize = 16;
+const CHECKPOINT_EVERY: u64 = 200;
+/// Parent kills the child once this many records are durable.
+const KILL_AFTER: u64 = 900;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: 8,
+        threads: 2,
+        idle_evict_s: f64::INFINITY,
+        ..EngineConfig::default()
+    }
+}
+
+fn estimator() -> Estimator {
+    Estimator::new(EstimatorConfig::default())
+}
+
+/// The deterministic workload both processes regenerate independently.
+fn workload() -> (Vec<Advert>, MotionTrack) {
+    let session = fleet_session(N_BEACONS, SEED);
+    let motion = track_observer(&session);
+    let adverts = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    (adverts, motion)
+}
+
+/// Child: stream the trace durably forever-ish, printing the durable
+/// record count after every chunk so the parent can time its kill.
+fn run_child(dir: &Path) -> ! {
+    let (adverts, motion) = workload();
+    let mut store =
+        SessionStore::open(dir, FsyncPolicy::EveryAppend, Obs::noop()).expect("open store");
+    let mut engine = Engine::new(engine_config(), estimator(), Obs::noop());
+    engine.set_motion(motion);
+    store.checkpoint(&engine).expect("motion checkpoint");
+    let mut last_checkpoint = 0;
+    for chunk in adverts.chunks(CHUNK) {
+        store.append(chunk).expect("wal append");
+        engine.ingest_all(chunk);
+        let records = store.wal_records();
+        if records - last_checkpoint >= CHECKPOINT_EVERY {
+            engine.process();
+            store.checkpoint(&engine).expect("checkpoint");
+            last_checkpoint = records;
+        }
+        // Flushed progress line: the parent's kill trigger.
+        println!("records {records}");
+    }
+    // Reaching the end means the parent failed to kill us in time.
+    eprintln!("crashtest child: stream finished without being killed");
+    exit(3);
+}
+
+fn bit_identical(
+    got: &[(BeaconId, LocationEstimate)],
+    want: &[(BeaconId, LocationEstimate)],
+) -> bool {
+    got.len() == want.len()
+        && got.iter().zip(want).all(|((gb, g), (wb, w))| {
+            gb == wb
+                && g.position.x.to_bits() == w.position.x.to_bits()
+                && g.position.y.to_bits() == w.position.y.to_bits()
+                && g.confidence.to_bits() == w.confidence.to_bits()
+                && g.exponent.to_bits() == w.exponent.to_bits()
+                && g.gamma_dbm.to_bits() == w.gamma_dbm.to_bits()
+                && g.residual_db.to_bits() == w.residual_db.to_bits()
+                && g.points_used == w.points_used
+                && g.method == w.method
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 3 && args[1] == "child" {
+        run_child(Path::new(&args[2]));
+    }
+
+    let dir = std::env::temp_dir().join(format!("locble-crashtest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create store dir");
+
+    // Spawn ourselves as the doomed child and kill it mid-stream.
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(&exe)
+        .arg("child")
+        .arg(&dir)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn child");
+    let stdout = child.stdout.take().expect("child stdout piped");
+    let mut seen = 0u64;
+    for line in std::io::BufReader::new(stdout).lines() {
+        let line = line.expect("read child progress");
+        if let Some(n) = line.strip_prefix("records ") {
+            seen = n.parse().expect("progress line is a count");
+            if seen >= KILL_AFTER {
+                break;
+            }
+        }
+    }
+    child.kill().expect("SIGKILL child");
+    let _ = child.wait();
+    println!("crashtest: killed child at >= {seen} durable records");
+
+    // Recover what survived.
+    let (_store, mut recovered, report) = SessionStore::recover(
+        &dir,
+        FsyncPolicy::EveryAppend,
+        engine_config(),
+        estimator(),
+        Obs::noop(),
+    )
+    .expect("recover");
+    recovered.finish();
+    println!(
+        "crashtest: recovered {} records (snapshot: {}, skipped {}, replayed {}, torn tail: {}) in {:.2} ms",
+        report.wal_records,
+        report.snapshot_found,
+        report.skipped,
+        report.replayed,
+        report.torn_tail,
+        report.recovery_ms
+    );
+    if !report.snapshot_found {
+        eprintln!("crashtest: FAIL — no snapshot despite checkpoint cadence");
+        exit(1);
+    }
+    if report.wal_records < KILL_AFTER {
+        eprintln!(
+            "crashtest: FAIL — durable prefix {} shorter than the acked {} (fsync=every-append must not lose acked records)",
+            report.wal_records, KILL_AFTER
+        );
+        exit(1);
+    }
+
+    // Reference: a fresh engine fed exactly the durable prefix. The WAL
+    // appends in offer order, so prefix determinism is the whole claim.
+    let (adverts, motion) = workload();
+    let durable = report.wal_records as usize;
+    let mut reference = Engine::new(engine_config(), estimator(), Obs::noop());
+    reference.set_motion(motion);
+    reference.ingest_all(&adverts[..durable]);
+    reference.finish();
+
+    let (got, want) = (recovered.snapshot(), reference.snapshot());
+    if !bit_identical(&got, &want) {
+        eprintln!(
+            "crashtest: FAIL — recovered engine diverges from the prefix run ({} vs {} estimates)",
+            got.len(),
+            want.len()
+        );
+        exit(1);
+    }
+    let (gs, ws) = (recovered.stats(), reference.stats());
+    let counters_match = gs.samples_routed == ws.samples_routed
+        && gs.samples_rejected == ws.samples_rejected
+        && gs.samples_processed == ws.samples_processed
+        && gs.sessions_created == ws.sessions_created
+        && gs.batches_pushed == ws.batches_pushed;
+    if !counters_match {
+        eprintln!("crashtest: FAIL — counters diverged: {gs:?} vs {ws:?}");
+        exit(1);
+    }
+    println!(
+        "crashtest: PASS — {} estimates bit-identical after SIGKILL at record {}",
+        got.len(),
+        durable
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

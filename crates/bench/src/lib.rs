@@ -33,6 +33,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "sec7_8",
     "fleet",
     "serve",
+    "recover",
     "ablations",
 ];
 
@@ -59,6 +60,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "sec7_8" => sec7_8::run(),
         "fleet" => fleet::run(),
         "serve" => serve::run(),
+        "recover" => recover::run(),
         "ablations" => ablations::run(),
         _ => return None,
     };

@@ -25,7 +25,9 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty sample");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    // total_cmp: a stray NaN (e.g. from a degenerate run) sorts to the
+    // top instead of panicking the whole report.
+    sorted.sort_by(f64::total_cmp);
     let pos = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -88,6 +90,16 @@ mod tests {
         assert_eq!(cdf[0].1, 0.0);
         assert_eq!(cdf[1].1, 0.5);
         assert_eq!(cdf[2].1, 1.0);
+    }
+
+    #[test]
+    fn percentile_with_nan_does_not_panic() {
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        // NaN sorts above +inf under total_cmp, so low/mid percentiles
+        // stay meaningful and nothing panics.
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert!(median(&xs).is_finite());
+        assert!(percentile(&xs, 100.0).is_nan());
     }
 
     #[test]

@@ -219,7 +219,7 @@ mod tests {
         let mut pos = Vec2::ZERO;
         for i in 0..63 {
             t.push(clock);
-            let d = beacon.distance(pos).max(0.1);
+            let d = beacon.distance(pos).max(locble_rf::MIN_RANGE_M);
             let swing = 3.0 * (2.0 * std::f64::consts::PI * 0.35 * clock + swing_phase).sin();
             v.push(-59.0 - 20.0 * d.log10() + swing + normal(&mut rng, 0.0, noise_sigma));
             if i < 36 {

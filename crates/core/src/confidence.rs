@@ -10,6 +10,7 @@
 
 use crate::regression::RssPoint;
 use locble_geom::Vec2;
+use locble_rf::MIN_RANGE_M;
 
 /// Error function (Abramowitz & Stegun 7.1.26, |error| ≤ 1.5e−7).
 pub fn erf(x: f64) -> f64 {
@@ -47,7 +48,7 @@ pub fn estimation_confidence(
         .map(|pt| {
             let l = Vec2::new(position.x + pt.p, position.y + pt.q)
                 .norm()
-                .max(0.1);
+                .max(MIN_RANGE_M);
             pt.rss - (gamma_dbm - 10.0 * exponent * l.log10())
         })
         .collect();
@@ -91,7 +92,7 @@ mod tests {
             .enumerate()
             .map(|(i, &r)| {
                 let p = -(i as f64 * 0.5);
-                let l = Vec2::new(target.x + p, target.y).norm();
+                let l = Vec2::new(target.x + p, target.y).norm().max(MIN_RANGE_M);
                 RssPoint {
                     p,
                     q: 0.0,
@@ -154,5 +155,22 @@ mod tests {
         // With the 0.5 dB noise floor, a 2 dB pure bias is a 4σ event.
         let (pts, pos, g, n) = points_with_residuals(&[2.0; 8]);
         assert!(estimation_confidence(&pts, pos, g, n) < 1e-3);
+    }
+
+    /// Regression: an observation taken exactly at the estimated beacon
+    /// position (zero range) must clamp to `MIN_RANGE_M` instead of
+    /// producing `log10(0) = -inf` residuals and a NaN confidence.
+    #[test]
+    fn zero_distance_observation_stays_finite() {
+        let (mut pts, pos, g, n) = points_with_residuals(&[0.0; 6]);
+        // Displacement that puts the observer exactly on the beacon.
+        pts.push(RssPoint {
+            p: -pos.x,
+            q: -pos.y,
+            rss: g,
+        });
+        let c = estimation_confidence(&pts, pos, g, n);
+        assert!(c.is_finite(), "confidence must stay finite, got {c}");
+        assert!((0.0..=1.0).contains(&c));
     }
 }

@@ -252,6 +252,28 @@ impl EnvChangeDetector {
         self.current = None;
         self.pending = None;
     }
+
+    /// Rebuilds a detector mid-stream from externally persisted state —
+    /// the durability snapshot path. `confirm` follows the same rule as
+    /// [`new`](Self::new); `current`/`pending` are exactly the values
+    /// reported by [`current`](Self::current) and
+    /// [`pending`](Self::pending) at snapshot time, so a restored
+    /// detector continues the vote count bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics when `confirm == 0`.
+    pub fn restore(
+        confirm: usize,
+        current: Option<EnvClass>,
+        pending: Option<(EnvClass, usize)>,
+    ) -> EnvChangeDetector {
+        assert!(confirm > 0, "confirm must be positive");
+        EnvChangeDetector {
+            current,
+            pending,
+            confirm,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@ use locble_dsp::TimeSeries;
 use locble_geom::{EnvClass, Trajectory, Vec2};
 use locble_motion::MotionTrack;
 use locble_obs::Obs;
+use locble_rf::MIN_RANGE_M;
 
 /// Estimator configuration.
 #[derive(Debug, Clone)]
@@ -642,7 +643,7 @@ fn rms_residual_db(points: &[RssPoint], position: Vec2, gamma_dbm: f64, exponent
         .map(|pt| {
             let l = Vec2::new(position.x + pt.p, position.y + pt.q)
                 .norm()
-                .max(0.1);
+                .max(MIN_RANGE_M);
             let r = pt.rss - (gamma_dbm - 10.0 * exponent * l.log10());
             r * r
         })

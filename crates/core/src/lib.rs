@@ -58,4 +58,4 @@ pub use navigation::{NavInstruction, Navigator};
 pub use proximity::{LastMeterRefiner, ProximityConfig, ProximityObservation};
 pub use regression::{CircularFit, LegFit, RssPoint};
 pub use regression3d::{Fit3d, RssPoint3, Vec3};
-pub use streaming::{BatchError, RssBatch, StreamingEstimator};
+pub use streaming::{BatchError, RssBatch, StreamingEstimator, StreamingState};

@@ -13,6 +13,7 @@
 //! The decision uses a robust slope vote over a sliding window.
 
 use locble_geom::Vec2;
+use locble_rf::MIN_RANGE_M;
 
 /// Resolves the Fig. 7 mirror ambiguity from navigation-time RSS by
 /// model comparison: whichever candidate's log-distance prediction
@@ -74,7 +75,9 @@ impl MirrorResolver {
         let preds: Vec<f64> = self
             .history
             .iter()
-            .map(|(pos, _)| -10.0 * self.exponent * candidate.distance(*pos).max(0.1).log10())
+            .map(|(pos, _)| {
+                -10.0 * self.exponent * candidate.distance(*pos).max(MIN_RANGE_M).log10()
+            })
             .collect();
         let pred_mean = preds.iter().sum::<f64>() / n;
         let obs_mean = self.history.iter().map(|(_, r)| r).sum::<f64>() / n;

@@ -15,7 +15,7 @@
 //! fix under a metre.
 
 use locble_geom::Vec2;
-use locble_rf::LogDistanceModel;
+use locble_rf::{LogDistanceModel, MIN_RANGE_M};
 
 /// One navigation-time observation: where the user stood and what they
 /// measured.
@@ -107,7 +107,8 @@ impl LastMeterRefiner {
                 .observations
                 .iter()
                 .map(|o| {
-                    o.rssi_dbm + 10.0 * model.exponent * p.distance(o.position).max(0.1).log10()
+                    o.rssi_dbm
+                        + 10.0 * model.exponent * p.distance(o.position).max(MIN_RANGE_M).log10()
                 })
                 .sum::<f64>()
                 / self.observations.len() as f64;

@@ -21,6 +21,7 @@
 
 use locble_geom::Vec2;
 use locble_ml::Matrix;
+use locble_rf::MIN_RANGE_M;
 
 /// One fused sample: relative displacement `(p, q)` and its RSS reading.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,7 +87,7 @@ pub fn rss_residual_db(points: &[RssPoint], position: Vec2, gamma: f64, exponent
         .map(|pt| {
             let l = Vec2::new(position.x + pt.p, position.y + pt.q)
                 .norm()
-                .max(0.1);
+                .max(MIN_RANGE_M);
             let pred = gamma - 10.0 * exponent * l.log10();
             (pt.rss - pred) * (pt.rss - pred)
         })

@@ -20,6 +20,7 @@
 //! caller falls back to the 2-D machinery.
 
 use locble_ml::Matrix;
+use locble_rf::MIN_RANGE_M;
 
 /// A 3-D point/vector (kept local: the rest of the system is planar).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,7 +146,7 @@ impl Fit3d {
                 .map(|pt| {
                     let l = position
                         .distance(Vec3::new(-pt.disp.x, -pt.disp.y, -pt.disp.z))
-                        .max(0.1);
+                        .max(MIN_RANGE_M);
                     let pred = gamma - 10.0 * exponent * l.log10();
                     (pt.rss - pred) * (pt.rss - pred)
                 })
@@ -232,7 +233,7 @@ mod tests {
         walk_3d()
             .into_iter()
             .map(|pos| {
-                let rss = gamma - 10.0 * n * target.distance(pos).log10();
+                let rss = gamma - 10.0 * n * target.distance(pos).max(MIN_RANGE_M).log10();
                 RssPoint3::from_observer_displacement(pos, rss)
             })
             .collect()
@@ -273,7 +274,7 @@ mod tests {
             .into_iter()
             .map(|mut pos| {
                 pos.z = 0.0;
-                let rss = -59.0 - 20.0 * target.distance(pos).log10();
+                let rss = -59.0 - 20.0 * target.distance(pos).max(MIN_RANGE_M).log10();
                 RssPoint3::from_observer_displacement(pos, rss)
             })
             .collect();
@@ -313,5 +314,19 @@ mod tests {
         let target = Vec3::new(2.0, 3.0, 1.0);
         let pts: Vec<RssPoint3> = synthetic(target, -59.0, 2.0).into_iter().take(5).collect();
         assert!(Fit3d::solve(&pts, 2.0).is_none());
+    }
+
+    /// Regression: a walk that passes exactly through the beacon
+    /// position generates a zero-range sample; the shared
+    /// `MIN_RANGE_M` clamp must keep both the synthetic RSS and the
+    /// residual finite instead of feeding `log10(0)` into the fit.
+    #[test]
+    fn walk_through_beacon_position_stays_finite() {
+        let target = Vec3::new(3.5, 2.0, 0.0); // exactly on the walk's y-leg
+        let pts = synthetic(target, -59.0, 2.0);
+        assert!(pts.iter().all(|p| p.rss.is_finite()));
+        if let Some(fit) = Fit3d::solve(&pts, 2.0) {
+            assert!(fit.position.x.is_finite() && fit.residual_db.is_finite());
+        }
     }
 }

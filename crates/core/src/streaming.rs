@@ -125,6 +125,33 @@ impl RssBatch {
     }
 }
 
+/// Externally persistable state of a [`StreamingEstimator`] — everything
+/// that distinguishes a mid-session estimator from a freshly constructed
+/// one. The estimator itself (trained EnvAware model, configuration) is
+/// *not* part of the state: durability snapshots rebuild sessions from
+/// the engine's prototype estimator, so state stays small and the model
+/// is never serialized. Restoring via [`StreamingEstimator::from_state`]
+/// continues the session bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingState {
+    /// Sample times accumulated since the last environment restart.
+    pub series_t: Vec<f64>,
+    /// RSSI values parallel to `series_t`.
+    pub series_v: Vec<f64>,
+    /// Environment-restart count.
+    pub restarts: usize,
+    /// The latest estimate, if any.
+    pub current: Option<LocationEstimate>,
+    /// Refit every `refit_stride`-th batch.
+    pub refit_stride: usize,
+    /// Batches accumulated since the last refit.
+    pub batches_since_refit: usize,
+    /// Confirmed environment regime of the change detector.
+    pub env_current: Option<EnvClass>,
+    /// Unconfirmed candidate change (class, consecutive votes).
+    pub env_pending: Option<(EnvClass, usize)>,
+}
+
 /// The incremental Algorithm-1 driver.
 #[derive(Debug, Clone)]
 pub struct StreamingEstimator {
@@ -327,6 +354,42 @@ impl StreamingEstimator {
         drop(span);
         if let Some(est) = refreshed {
             self.current = Some(est);
+        }
+    }
+
+    /// Extracts the session's persistable state (see [`StreamingState`]).
+    pub fn export_state(&self) -> StreamingState {
+        StreamingState {
+            series_t: self.series.t.clone(),
+            series_v: self.series.v.clone(),
+            restarts: self.restarts,
+            current: self.current,
+            refit_stride: self.refit_stride,
+            batches_since_refit: self.batches_since_refit,
+            env_current: self.detector.current(),
+            env_pending: self.detector.pending(),
+        }
+    }
+
+    /// Rebuilds a mid-session estimator from persisted state around a
+    /// fresh `estimator` (normally a clone of the engine's prototype —
+    /// it must be configured identically to the one that exported the
+    /// state, or the continued session will diverge).
+    ///
+    /// # Panics
+    /// Panics when the persisted series is malformed (mismatched vector
+    /// lengths or decreasing timestamps) — corrupt snapshots are caught
+    /// by CRC before reaching this constructor.
+    pub fn from_state(estimator: Estimator, state: StreamingState) -> StreamingEstimator {
+        let confirm = estimator.config().env_confirm_windows.max(2);
+        StreamingEstimator {
+            estimator,
+            detector: EnvChangeDetector::restore(confirm, state.env_current, state.env_pending),
+            series: TimeSeries::new(state.series_t, state.series_v),
+            restarts: state.restarts,
+            current: state.current,
+            refit_stride: state.refit_stride.max(1),
+            batches_since_refit: state.batches_since_refit,
         }
     }
 
@@ -583,6 +646,43 @@ mod tests {
         let b = &batches[0];
         assert!(streaming.try_push(b.t.clone(), b.v.clone(), &track).is_ok());
         assert_eq!(streaming.active_samples(), b.len());
+    }
+
+    /// Durability contract: exporting mid-session state and rebuilding
+    /// around a fresh clone of the same estimator must continue the
+    /// session bit-for-bit — every later estimate identical down to the
+    /// f64 bit patterns.
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = batches(target, |i| if i % 3 == 0 { 0.8 } else { -0.4 });
+        for cut in 0..batches.len() {
+            let mut live = StreamingEstimator::new(Estimator::new(EstimatorConfig::default()))
+                .with_refit_stride(2);
+            for b in &batches[..cut] {
+                live.push_batch(b, &track);
+            }
+            let state = live.export_state();
+            let mut restored = StreamingEstimator::from_state(
+                Estimator::new(EstimatorConfig::default()),
+                state.clone(),
+            );
+            assert_eq!(restored.export_state(), state, "cut {cut}: lossy export");
+            for b in &batches[cut..] {
+                let a = live.push_batch(b, &track).copied();
+                let r = restored.push_batch(b, &track).copied();
+                assert_eq!(a, r, "cut {cut}: continuation diverged");
+            }
+            let (a, r) = (live.current().copied(), restored.current().copied());
+            assert_eq!(a, r);
+            if let (Some(a), Some(r)) = (a, r) {
+                assert_eq!(a.position.x.to_bits(), r.position.x.to_bits());
+                assert_eq!(a.confidence.to_bits(), r.confidence.to_bits());
+                assert_eq!(a.residual_db.to_bits(), r.residual_db.to_bits());
+            }
+            assert_eq!(live.restarts(), restored.restarts());
+            assert_eq!(live.export_state(), restored.export_state());
+        }
     }
 
     /// Trains a small EnvAware model on synthetic class-dependent

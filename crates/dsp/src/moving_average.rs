@@ -101,10 +101,29 @@ mod tests {
         let argmax = out
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("non-empty");
         assert_eq!(argmax, 3);
+    }
+
+    /// Regression (mirrors the PR 3 router fix): a non-finite sample in
+    /// the smoothed signal must not panic the argmax — `total_cmp` keeps
+    /// the comparison total, with NaN ordered above +inf.
+    #[test]
+    fn non_finite_signal_argmax_does_not_panic() {
+        let signal = [0.0, f64::NEG_INFINITY, 2.0, f64::NAN, 1.0];
+        let out = moving_average_centered(&signal, 1);
+        let (argmax, max) = out
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty");
+        // NaN sorts above every finite value; the prefix-sum smoother
+        // propagates it forward, so the winner is one of the NaN cells.
+        assert!(max.is_nan());
+        assert!(argmax >= 3);
+        assert!(moving_average_causal(&signal, 3).iter().any(|y| y.is_nan()));
     }
 
     #[test]

@@ -45,8 +45,11 @@ impl WindowStats {
         let variance = window.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
         let skew = skewness(window);
 
+        // `total_cmp` keeps the sort total over NaN/±inf (NaN sorts last):
+        // a corrupt sample degrades one feature vector instead of
+        // panicking the whole pipeline.
         let mut sorted = window.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in window"));
+        sorted.sort_by(f64::total_cmp);
         WindowStats {
             mean,
             variance,
@@ -104,7 +107,7 @@ pub fn skewness(values: &[f64]) -> f64 {
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!(!values.is_empty(), "quantile of empty slice");
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in values"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
@@ -228,5 +231,43 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_window_panics() {
         WindowStats::compute(&[]);
+    }
+
+    /// Regression: a NaN that slips past ingest validation must not
+    /// panic the sort. `total_cmp` places NaN after +inf, so the order
+    /// statistics of the finite prefix stay meaningful.
+    #[test]
+    fn nan_window_does_not_panic() {
+        let w = [-70.0, f64::NAN, -72.0, -68.0];
+        let s = WindowStats::compute(&w);
+        assert_eq!(s.min, -72.0);
+        assert!(s.max.is_nan());
+        assert!(s.mean.is_nan());
+        // Median of [-72, -70, -68, NaN] interpolates two finite values.
+        assert_eq!(s.median, -69.0);
+    }
+
+    #[test]
+    fn infinite_window_does_not_panic() {
+        let w = [f64::NEG_INFINITY, -70.0, f64::INFINITY, -71.0];
+        let s = WindowStats::compute(&w);
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
+        assert!((s.median - (-70.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_with_nan_does_not_panic() {
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        // NaN sorts last: the median interpolates 2.0 and 3.0.
+        assert!((quantile(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert!(quantile(&v, 1.0).is_nan());
+        assert_eq!(quantile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn all_nan_window_is_total() {
+        let s = WindowStats::compute(&[f64::NAN, f64::NAN]);
+        assert!(s.min.is_nan() && s.max.is_nan() && s.median.is_nan());
     }
 }

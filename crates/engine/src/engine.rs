@@ -25,6 +25,7 @@
 
 use crate::registry::{AdmitError, Admitted, SessionMeta, SessionRegistry};
 use crate::router::{shard_of, Advert, ShardQueues};
+use crate::state::{BeaconSessionState, EngineState, RestoreError, SessionState};
 use locble_ble::BeaconId;
 use locble_core::{Estimator, LocationEstimate, RssBatch, StreamingEstimator};
 use locble_geom::Trajectory;
@@ -671,6 +672,127 @@ impl Engine {
     /// Live beacons in ascending id order.
     pub fn beacons(&self) -> Vec<BeaconId> {
         self.registry.beacons().collect()
+    }
+
+    /// Extracts the engine's complete persistable state (see
+    /// [`EngineState`]). Read-only and valid at any moment between
+    /// calls — mid-stream, with partial batches open and adverts still
+    /// queued — which is what lets the durability layer checkpoint
+    /// without quiescing the stream first.
+    pub fn export_state(&self) -> EngineState {
+        let mut sessions = Vec::with_capacity(self.registry.len());
+        for beacon in self.registry.beacons() {
+            let meta = *self.registry.meta(beacon).expect("beacon is live");
+            let state = self.shards[meta.shard].lock().expect("shard not poisoned");
+            let session = state.sessions.get(&beacon).map(|s| BeaconSessionState {
+                streaming: s.estimator.export_state(),
+                batch_t: s.batch_t.clone(),
+                batch_v: s.batch_v.clone(),
+                batch_start: s.batch_start,
+                samples: s.samples,
+                batches: s.batches,
+            });
+            sessions.push(SessionState {
+                beacon,
+                shard: meta.shard,
+                last_t: meta.last_t,
+                created_t: meta.created_t,
+                samples_routed: meta.samples,
+                session,
+            });
+        }
+        EngineState {
+            shards: self.config.shards,
+            watermark: self.watermark,
+            stats: self.stats,
+            motion: (*self.motion).clone(),
+            sessions,
+            queued: (0..self.config.shards)
+                .map(|s| self.queues.iter_shard(s).copied().collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot and replays `wal_tail` — the
+    /// adverts offered after the snapshot was taken — through the
+    /// normal ingest path. With the same `config` and `prototype` the
+    /// snapshot was exported under, the recovered engine is
+    /// bit-identical to one that never crashed: same estimates, same
+    /// counters (every admit/reject decision replays identically
+    /// because the WAL records *offered* adverts in offer order).
+    ///
+    /// Returns the engine plus the folded [`IngestReport`] of the
+    /// replay. Call [`Engine::process`]/[`Engine::finish`] afterwards
+    /// exactly as the uninterrupted run would have.
+    pub fn restore(
+        config: EngineConfig,
+        prototype: Estimator,
+        obs: Obs,
+        state: EngineState,
+        wal_tail: &[Advert],
+    ) -> Result<(Engine, IngestReport), RestoreError> {
+        let config = config.normalized();
+        if config.shards != state.shards {
+            return Err(RestoreError::ShardMismatch {
+                snapshot: state.shards,
+                config: config.shards,
+            });
+        }
+        if state.sessions.len() > config.max_sessions {
+            return Err(RestoreError::SessionOverflow {
+                sessions: state.sessions.len(),
+                max_sessions: config.max_sessions,
+            });
+        }
+        for (shard, queue) in state.queued.iter().enumerate() {
+            if queue.len() > config.shard_queue_cap {
+                return Err(RestoreError::QueueOverflow {
+                    shard,
+                    depth: queue.len(),
+                    capacity: config.shard_queue_cap,
+                });
+            }
+        }
+
+        let mut engine = Engine::new(config, prototype, obs);
+        engine.motion = Arc::new(state.motion);
+        engine.watermark = state.watermark;
+        engine.stats = state.stats;
+        for s in state.sessions {
+            engine.registry.inject(
+                s.beacon,
+                SessionMeta {
+                    shard: s.shard,
+                    last_t: s.last_t,
+                    created_t: s.created_t,
+                    samples: s.samples_routed,
+                },
+            );
+            if let Some(b) = s.session {
+                let session = BeaconSession {
+                    estimator: StreamingEstimator::from_state(
+                        engine.prototype.clone(),
+                        b.streaming,
+                    ),
+                    batch_t: b.batch_t,
+                    batch_v: b.batch_v,
+                    batch_start: b.batch_start,
+                    samples: b.samples,
+                    batches: b.batches,
+                };
+                engine.shards[s.shard]
+                    .lock()
+                    .expect("shard not poisoned")
+                    .sessions
+                    .insert(s.beacon, session);
+            }
+        }
+        for (shard, queue) in state.queued.into_iter().enumerate() {
+            engine.queues.restore_shard(shard, queue.into());
+        }
+        engine.obs.counter_add("engine.restores", 1);
+        let report = engine.ingest_all(wal_tail);
+        Ok((engine, report))
     }
 }
 

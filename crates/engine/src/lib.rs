@@ -41,10 +41,12 @@
 pub mod engine;
 pub mod registry;
 pub mod router;
+pub mod state;
 
 pub use engine::{Engine, EngineConfig, EngineStats, IngestReport, ProcessReport, SessionStats};
 pub use registry::{AdmitError, Admitted, SessionMeta, SessionRegistry};
 pub use router::{shard_of, Advert, Backpressure, ShardQueues};
+pub use state::{BeaconSessionState, EngineState, RestoreError, SessionState};
 
 #[doc(no_inline)]
 pub use locble_core::StreamingEstimator;

@@ -156,6 +156,13 @@ impl SessionRegistry {
     pub fn remove(&mut self, beacon: BeaconId) -> Option<SessionMeta> {
         self.entries.remove(&beacon)
     }
+
+    /// Reinstates a session verbatim from snapshot state (the durability
+    /// restore path). Bypasses the capacity check — restore validates
+    /// the total against `max_sessions` before injecting.
+    pub(crate) fn inject(&mut self, beacon: BeaconId, meta: SessionMeta) {
+        self.entries.insert(beacon, meta);
+    }
 }
 
 #[cfg(test)]

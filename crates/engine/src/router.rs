@@ -125,6 +125,14 @@ impl ShardQueues {
     pub fn iter_shard(&self, shard: usize) -> impl Iterator<Item = &Advert> {
         self.queues[shard].iter()
     }
+
+    /// Replaces one shard's queue verbatim from snapshot state (the
+    /// durability restore path). The caller validates depth against the
+    /// configured capacity first — this is a raw reinstatement, not a
+    /// routed push.
+    pub(crate) fn restore_shard(&mut self, shard: usize, queue: VecDeque<Advert>) {
+        self.queues[shard] = queue;
+    }
 }
 
 #[cfg(test)]

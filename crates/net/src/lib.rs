@@ -16,7 +16,11 @@
 //!   slow-loris timeouts, typed error replies for malformed frames,
 //!   exact per-batch ingest accounting, and an ordered graceful
 //!   shutdown that drains every queued shard before returning the
-//!   engine.
+//!   engine. [`Server::bind_durable`] attaches a `locble-store`
+//!   [`SessionStore`](locble_store::SessionStore): every offered batch
+//!   is WAL-logged before ingest and snapshots are written on a record
+//!   cadence and at shutdown, so a crashed server recovers
+//!   bit-identically.
 //! * [`client`] — a blocking request/reply client used by the loadgen
 //!   binary, the bench harness's `serve` experiment, and the loopback
 //!   differential suite.

@@ -28,6 +28,7 @@ use crate::wire::{
 use locble_ble::BeaconId;
 use locble_engine::{Advert, Engine, IngestReport};
 use locble_obs::Obs;
+use locble_store::SessionStore;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -61,9 +62,22 @@ impl Default for ServerConfig {
     }
 }
 
+/// An attached durability store plus its checkpoint cadence.
+struct DurableStore {
+    store: SessionStore,
+    /// Checkpoint once this many new WAL records accumulate since the
+    /// last snapshot; 0 = checkpoint only at shutdown.
+    checkpoint_every: u64,
+    last_checkpoint: u64,
+}
+
 /// State shared by the accept loop and every connection handler.
 struct Shared {
     engine: Mutex<Engine>,
+    /// Lock ordering: always `engine` first, then `store` — WAL order
+    /// must equal offer order, and both are serialized by the engine
+    /// lock.
+    store: Option<Mutex<DurableStore>>,
     obs: Obs,
     config: ServerConfig,
     shutdown: AtomicBool,
@@ -77,11 +91,54 @@ impl Server {
     /// serving. Instrumentation (connection/frame counters, ingest
     /// latency histograms) goes through `obs`.
     pub fn bind(engine: Engine, config: ServerConfig, obs: Obs) -> std::io::Result<ServerHandle> {
+        Server::bind_inner(engine, None, config, obs)
+    }
+
+    /// [`Server::bind`] with crash-safe durability attached: every
+    /// offered advert batch is WAL-logged (under the engine lock,
+    /// *before* ingest) through `store`, a snapshot is taken every
+    /// `checkpoint_every` WAL records (0 = shutdown only), and shutdown
+    /// writes a final checkpoint after the drain. Recover the session
+    /// with [`SessionStore::recover`] and pass the engine + store back
+    /// here to resume after a crash.
+    ///
+    /// If a WAL append fails (e.g. disk full) the batch is refused with
+    /// a typed `Internal` error and the engine never sees it; records
+    /// already durable from the failed append are replayed on recovery
+    /// even though the live engine refused the batch — recovery trusts
+    /// the log.
+    pub fn bind_durable(
+        engine: Engine,
+        store: SessionStore,
+        checkpoint_every: u64,
+        config: ServerConfig,
+        obs: Obs,
+    ) -> std::io::Result<ServerHandle> {
+        let last_checkpoint = store.wal_records();
+        Server::bind_inner(
+            engine,
+            Some(DurableStore {
+                store,
+                checkpoint_every,
+                last_checkpoint,
+            }),
+            config,
+            obs,
+        )
+    }
+
+    fn bind_inner(
+        engine: Engine,
+        store: Option<DurableStore>,
+        config: ServerConfig,
+        obs: Obs,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
+            store: store.map(Mutex::new),
             obs: obs.clone(),
             config,
             shutdown: AtomicBool::new(false),
@@ -143,6 +200,14 @@ impl ServerHandle {
             .into_inner()
             .expect("engine mutex not poisoned");
         engine.drain();
+        if let Some(store) = shared.store {
+            // Final checkpoint: the snapshot captures the fully drained
+            // state, so a restart recovers without replaying anything.
+            let mut durable = store.into_inner().expect("store mutex not poisoned");
+            if durable.store.checkpoint(&engine).is_err() {
+                self.obs.counter_add("net.checkpoint_failures", 1);
+            }
+        }
         Some(engine)
     }
 }
@@ -341,6 +406,19 @@ fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
     let mut span = shared.obs.span("net", "ingest_batch");
     span.field("adverts", adverts.len());
     let mut engine = shared.engine.lock().expect("engine mutex not poisoned");
+    if let Some(store) = &shared.store {
+        // Write-ahead: the batch must be durable before the engine can
+        // see it, in offer order (both serialized by the engine lock).
+        let mut durable = store.lock().expect("store mutex not poisoned");
+        if let Err(e) = durable.store.append(&adverts) {
+            shared.obs.counter_add("net.wal_failures", 1);
+            span.field("wal_failed", true);
+            return Frame::Error(WireError {
+                code: ErrorCode::Internal,
+                message: format!("durability append failed; batch refused: {e}"),
+            });
+        }
+    }
     let mut total = IngestReport::default();
     let mut offset = 0;
     while offset < adverts.len() {
@@ -364,6 +442,21 @@ fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
                         engine.queued()
                     ),
                 });
+            }
+        }
+    }
+    if let Some(store) = &shared.store {
+        // Checkpoint after ingest, so the snapshot's WAL position and
+        // the engine state agree (a snapshot taken between append and
+        // ingest would skip records the state doesn't contain).
+        let mut durable = store.lock().expect("store mutex not poisoned");
+        let records = durable.store.wal_records();
+        if durable.checkpoint_every > 0
+            && records - durable.last_checkpoint >= durable.checkpoint_every
+        {
+            match durable.store.checkpoint(&engine) {
+                Ok(_) => durable.last_checkpoint = records,
+                Err(_) => shared.obs.counter_add("net.checkpoint_failures", 1),
             }
         }
     }

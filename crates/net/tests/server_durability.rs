@@ -1,0 +1,145 @@
+//! Loopback crash-and-resume: a durable server is "killed" mid-stream
+//! (handle leaked, so no graceful shutdown and no final checkpoint),
+//! the session is recovered from its store directory, a second server
+//! resumes it, and the finished engine must be bit-identical to one
+//! that ingested the whole stream directly — estimates and counters
+//! both (`processes` excluded, as in the engine's own suite).
+
+use locble_ble::BeaconId;
+use locble_core::{Estimator, EstimatorConfig, LocationEstimate};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_net::{Client, Server, ServerConfig};
+use locble_obs::Obs;
+use locble_scenario::fleet_session;
+use locble_scenario::runner::track_observer;
+use locble_store::{FsyncPolicy, SessionStore};
+
+fn assert_bit_identical(
+    label: &str,
+    got: &[(BeaconId, LocationEstimate)],
+    want: &[(BeaconId, LocationEstimate)],
+) {
+    assert_eq!(
+        got.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+        want.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+        "{label}: beacon sets differ"
+    );
+    for ((b, g), (_, w)) in got.iter().zip(want) {
+        let pairs = [
+            ("position.x", g.position.x, w.position.x),
+            ("position.y", g.position.y, w.position.y),
+            ("confidence", g.confidence, w.confidence),
+            ("exponent", g.exponent, w.exponent),
+            ("gamma_dbm", g.gamma_dbm, w.gamma_dbm),
+            ("residual_db", g.residual_db, w.residual_db),
+        ];
+        for (field, gv, wv) in pairs {
+            assert_eq!(
+                gv.to_bits(),
+                wv.to_bits(),
+                "{label}: beacon {b} {field}: {gv} != {wv}"
+            );
+        }
+        assert_eq!(g.points_used, w.points_used, "{label}: beacon {b} points");
+        assert_eq!(g.env, w.env, "{label}: beacon {b} env");
+        assert_eq!(g.method, w.method, "{label}: beacon {b} method");
+    }
+}
+
+#[test]
+fn crashed_durable_server_resumes_bit_identically() {
+    let session = fleet_session(10, 47);
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    let config = EngineConfig::default();
+    let dir = std::env::temp_dir().join(format!("locble-net-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reference: the whole stream, no network, no crash.
+    let mut reference = Engine::new(config.clone(), estimator.clone(), Obs::noop());
+    reference.set_motion(motion.clone());
+    reference.ingest_all(&adverts);
+    reference.finish();
+    let want = reference.snapshot();
+    assert!(want.len() >= 6, "reference localized too few beacons");
+
+    // Doomed server: durable, checkpointing every 150 records, with an
+    // explicit pre-stream checkpoint so motion is covered.
+    let crash_at = (adverts.len() * 3) / 5;
+    {
+        let mut store =
+            SessionStore::open(&dir, FsyncPolicy::EveryAppend, Obs::noop()).expect("open store");
+        let mut engine = Engine::new(config.clone(), estimator.clone(), Obs::noop());
+        engine.set_motion(motion.clone());
+        store.checkpoint(&engine).expect("motion checkpoint");
+        let server = Server::bind_durable(engine, store, 150, ServerConfig::default(), Obs::noop())
+            .expect("bind durable");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        for chunk in adverts[..crash_at].chunks(97) {
+            let ack = client.ingest(chunk).expect("ingest");
+            assert_eq!(ack.consumed, chunk.len() as u64);
+        }
+        drop(client);
+        // Crash: leak the handle so neither the graceful drain nor the
+        // shutdown checkpoint runs. (The leaked threads idle until the
+        // test process exits.)
+        std::mem::forget(server);
+    }
+
+    // Recover the session from disk. Every acked advert was fsynced, so
+    // the durable prefix is exactly what the client sent.
+    let (store, engine, report) = SessionStore::recover(
+        &dir,
+        FsyncPolicy::EveryAppend,
+        config.clone(),
+        estimator.clone(),
+        Obs::noop(),
+    )
+    .expect("recover");
+    assert!(report.snapshot_found);
+    assert_eq!(report.wal_records as usize, crash_at);
+    assert!(
+        report.skipped >= 150,
+        "the 150-record checkpoint cadence should have spared a prefix, skipped {}",
+        report.skipped
+    );
+    assert_eq!(report.skipped + report.replayed, crash_at as u64);
+
+    // Resume behind a fresh server and finish the stream.
+    let server = Server::bind_durable(engine, store, 150, ServerConfig::default(), Obs::noop())
+        .expect("rebind durable");
+    let mut client = Client::connect(server.addr()).expect("reconnect");
+    for chunk in adverts[crash_at..].chunks(97) {
+        let ack = client.ingest(chunk).expect("ingest after recovery");
+        assert_eq!(ack.consumed, chunk.len() as u64);
+    }
+    client.finish().expect("finish");
+    drop(client);
+    let engine = server.shutdown();
+    assert_bit_identical("resumed engine", &engine.snapshot(), &want);
+    let (got, want_stats) = (engine.stats(), reference.stats());
+    assert_eq!(got.samples_routed, want_stats.samples_routed);
+    assert_eq!(got.samples_rejected, want_stats.samples_rejected);
+    assert_eq!(got.samples_processed, want_stats.samples_processed);
+    assert_eq!(got.sessions_created, want_stats.sessions_created);
+    assert_eq!(got.batches_pushed, want_stats.batches_pushed);
+
+    // The shutdown checkpoint must make a later restart snapshot-only.
+    let (_store, restarted, report) = SessionStore::recover(
+        &dir,
+        FsyncPolicy::EveryAppend,
+        config,
+        estimator,
+        Obs::noop(),
+    )
+    .expect("recover after shutdown");
+    assert!(report.snapshot_found);
+    assert_eq!(report.replayed, 0, "shutdown checkpoint covers the log");
+    assert_bit_identical("restarted engine", &restarted.snapshot(), &want);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -38,6 +38,6 @@ pub mod shadowing;
 pub use fading::{ChannelFading, RicianFading};
 pub use link::{LinkConfig, LinkSimulator};
 pub use obstacles::{classify_path, Material, Obstacle, PathClassification};
-pub use pathloss::LogDistanceModel;
+pub use pathloss::{LogDistanceModel, MIN_RANGE_M};
 pub use receiver::{ReceiverProfile, RssiReading};
 pub use shadowing::{CorrelatedShadowing, SpatialShadowing};

@@ -9,6 +9,14 @@
 
 use locble_geom::EnvClass;
 
+/// Minimum propagation range, metres. The log-distance model diverges
+/// at 0 and a beacon is never inside the phone, so every `log10(l)`
+/// in the workspace — generation *and* estimation — clamps the range
+/// to this floor first. Keeping one shared constant is what makes the
+/// clamp consistent across crates (see `locble-core`'s residual and
+/// proximity paths).
+pub const MIN_RANGE_M: f64 = 0.1;
+
 /// Deterministic mean path-loss model.
 ///
 /// ```
@@ -54,7 +62,7 @@ impl LogDistanceModel {
     /// 0.1 m (the model diverges at 0 and beacons are never inside the
     /// phone).
     pub fn rss_at(&self, d: f64) -> f64 {
-        let d = d.max(0.1);
+        let d = d.max(MIN_RANGE_M);
         self.gamma_dbm - 10.0 * self.exponent * d.log10()
     }
 

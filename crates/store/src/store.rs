@@ -1,0 +1,241 @@
+//! The durability facade: one directory holding a WAL (`wal.log`) and
+//! the latest snapshot (`snapshot.bin`), with a recovery path that
+//! rebuilds an [`Engine`] bit-identical to the uninterrupted run.
+//!
+//! Write path (the server's ingest loop, under the engine lock):
+//!
+//! 1. [`SessionStore::append`] every *offered* batch **before**
+//!    handing it to [`Engine::ingest`] — offered-before-ingest is the
+//!    "write-ahead" in WAL: an advert the engine saw is always on disk
+//!    first, so a crash between the two replays it instead of losing it.
+//! 2. [`SessionStore::checkpoint`] periodically and at shutdown. The
+//!    snapshot records the WAL position it covers; older records become
+//!    dead weight (skipped on recovery) but are never needed again.
+//!
+//! Recovery ordering ([`SessionStore::recover`]): read the snapshot (if
+//! any) → read the WAL, tolerating a torn tail → skip the first
+//! `snapshot.wal_records` records (position-based skipping is the
+//! idempotence mechanism: duplicate adverts carry legal equal
+//! timestamps, so replaying them would double-count) → feed the tail
+//! through [`Engine::restore`], which replays via normal ingest.
+
+use crate::snapshot::{read_snapshot, write_snapshot, SnapshotError};
+use crate::wal::{read_wal, FsyncPolicy, Wal, ADVERT_RECORD_LEN};
+use locble_core::Estimator;
+use locble_engine::{Advert, Engine, EngineConfig, IngestReport, RestoreError};
+use locble_obs::Obs;
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside a store directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+/// Why recovery failed. Torn WAL tails and missing files are *not*
+/// errors — they are the expected aftermath of a crash.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// The snapshot file exists but is damaged beyond its CRC guard.
+    Snapshot(SnapshotError),
+    /// The snapshot decoded but the engine rejected it (config
+    /// mismatch, e.g. different shard count).
+    Restore(RestoreError),
+    /// The snapshot claims more WAL records than the log holds — the
+    /// two files are from different sessions or the WAL was truncated
+    /// below the checkpoint. Refusing beats silently replaying the
+    /// wrong tail.
+    WalBehindSnapshot {
+        /// Intact records found in the WAL.
+        wal_records: u64,
+        /// Records the snapshot claims were already folded in.
+        snapshot_records: u64,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Io(e) => write!(f, "recover: {e}"),
+            RecoverError::Snapshot(e) => write!(f, "recover: {e}"),
+            RecoverError::Restore(e) => write!(f, "recover: {e}"),
+            RecoverError::WalBehindSnapshot {
+                wal_records,
+                snapshot_records,
+            } => write!(
+                f,
+                "recover: WAL has {wal_records} records but the snapshot \
+                 covers {snapshot_records} — mismatched session files"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<std::io::Error> for RecoverError {
+    fn from(e: std::io::Error) -> Self {
+        RecoverError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for RecoverError {
+    fn from(e: SnapshotError) -> Self {
+        RecoverError::Snapshot(e)
+    }
+}
+
+impl From<RestoreError> for RecoverError {
+    fn from(e: RestoreError) -> Self {
+        RecoverError::Restore(e)
+    }
+}
+
+/// What [`SessionStore::recover`] found and did.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// A snapshot file was present and valid.
+    pub snapshot_found: bool,
+    /// Intact records in the WAL.
+    pub wal_records: u64,
+    /// Records replayed through ingest (the tail past the snapshot).
+    pub replayed: u64,
+    /// Records skipped because the snapshot already covered them.
+    pub skipped: u64,
+    /// The WAL ended in a torn record (tolerated, truncated on open).
+    pub torn_tail: bool,
+    /// Wall-clock recovery time, milliseconds.
+    pub recovery_ms: f64,
+    /// The folded ingest report of the replay — reconciles with the
+    /// uninterrupted run's reports for the same adverts.
+    pub replay: IngestReport,
+}
+
+/// An open durability directory: appendable WAL plus snapshot slot.
+#[derive(Debug)]
+pub struct SessionStore {
+    dir: PathBuf,
+    wal: Wal,
+    obs: Obs,
+}
+
+impl SessionStore {
+    /// Opens (creating if needed) the durability directory for a fresh
+    /// session. Existing WAL records are preserved and appended after;
+    /// use [`SessionStore::recover`] instead when state should be
+    /// rebuilt from them.
+    pub fn open(dir: &Path, policy: FsyncPolicy, obs: Obs) -> std::io::Result<SessionStore> {
+        std::fs::create_dir_all(dir)?;
+        let (wal, report) = Wal::open(&dir.join(WAL_FILE), policy)?;
+        if report.torn_tail {
+            obs.counter_add("store.torn_tails", 1);
+        }
+        Ok(SessionStore {
+            dir: dir.to_path_buf(),
+            wal,
+            obs,
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total records in the WAL (pre-existing + appended).
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Logs one offered batch, in offer order, before it reaches the
+    /// engine. Returns the WAL record count after the append.
+    pub fn append(&mut self, adverts: &[Advert]) -> std::io::Result<u64> {
+        let records = self.wal.append(adverts)?;
+        self.obs
+            .counter_add("store.wal_appends", adverts.len() as u64);
+        self.obs.counter_add(
+            "store.wal_bytes",
+            (adverts.len() * ADVERT_RECORD_LEN) as u64,
+        );
+        Ok(records)
+    }
+
+    /// Forces appended records to stable storage regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// Snapshots the engine's current state, stamped with the current
+    /// WAL position. Call with the engine lock held (or otherwise
+    /// quiesced relative to [`SessionStore::append`]) so the position
+    /// and the state agree. Returns the snapshot size in bytes.
+    pub fn checkpoint(&mut self, engine: &Engine) -> std::io::Result<u64> {
+        // Records appended but not yet synced must be durable before
+        // the snapshot claims to cover them: if the rename landed and
+        // the tail didn't, recovery would skip records that never made
+        // it to disk.
+        self.wal.sync()?;
+        let bytes = write_snapshot(
+            &self.dir.join(SNAPSHOT_FILE),
+            self.wal.records(),
+            &engine.export_state(),
+        )?;
+        self.obs.counter_add("store.snapshots", 1);
+        self.obs.gauge_set("store.snapshot_bytes", bytes as f64);
+        Ok(bytes)
+    }
+
+    /// Rebuilds the engine from the directory's snapshot + WAL tail and
+    /// returns the store re-opened for appending. `config` and
+    /// `prototype` must match the crashed session's (they are not
+    /// persisted — they are code/deployment configuration, not state).
+    pub fn recover(
+        dir: &Path,
+        policy: FsyncPolicy,
+        config: EngineConfig,
+        prototype: Estimator,
+        obs: Obs,
+    ) -> Result<(SessionStore, Engine, RecoveryReport), RecoverError> {
+        let started = std::time::Instant::now();
+        std::fs::create_dir_all(dir)?;
+        let snapshot = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        let (adverts, wal_report) = read_wal(&dir.join(WAL_FILE))?;
+
+        let skipped = snapshot.as_ref().map_or(0, |s| s.wal_records);
+        if skipped > wal_report.records {
+            return Err(RecoverError::WalBehindSnapshot {
+                wal_records: wal_report.records,
+                snapshot_records: skipped,
+            });
+        }
+        let tail = &adverts[skipped as usize..];
+
+        let snapshot_found = snapshot.is_some();
+        let (engine, replay) = match snapshot {
+            Some(s) => Engine::restore(config, prototype, obs.clone(), s.state, tail)?,
+            None => {
+                // WAL-only recovery: a crash before the first
+                // checkpoint. Replay the whole log into a fresh engine.
+                let mut engine = Engine::new(config, prototype, obs.clone());
+                let replay = engine.ingest_all(tail);
+                (engine, replay)
+            }
+        };
+
+        let store = SessionStore::open(dir, policy, obs.clone())?;
+        let report = RecoveryReport {
+            snapshot_found,
+            wal_records: wal_report.records,
+            replayed: tail.len() as u64,
+            skipped,
+            torn_tail: wal_report.torn_tail,
+            recovery_ms: started.elapsed().as_secs_f64() * 1e3,
+            replay,
+        };
+        obs.counter_add("store.recoveries", 1);
+        obs.counter_add("store.replayed", report.replayed);
+        obs.gauge_set("store.recovery_ms", report.recovery_ms);
+        Ok((store, engine, report))
+    }
+}

@@ -24,6 +24,11 @@ loadgen_report="$(cargo run --release -q -p locble-bench --bin loadgen -- --beac
 grep -q "accounting reconciles exactly      true" <<<"$loadgen_report" \
   || { echo "serving smoke failed: accounting did not reconcile"; echo "$loadgen_report"; exit 1; }
 
+echo "==> recovery smoke (release crashtest: SIGKILL mid-stream, recover, diff)"
+crashtest_report="$(cargo run --release -q -p locble-bench --bin crashtest)"
+grep -q "crashtest: PASS" <<<"$crashtest_report" \
+  || { echo "recovery smoke failed"; echo "$crashtest_report"; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -19,6 +19,7 @@
 //! | [`core`] | **LocBLE itself**: EnvAware, ANF, sensor-fusion estimation, clustering calibration |
 //! | [`engine`] | concurrent multi-beacon tracking engine (sharded sessions) |
 //! | [`net`] | wire protocol + TCP ingest/query server over the engine |
+//! | [`store`] | crash-safe durability: advert WAL, engine snapshots, recovery |
 //! | [`scenario`] | Table-1 environments and end-to-end sessions |
 //! | [`obs`] | structured tracing, metrics, and pipeline diagnostics |
 
@@ -34,6 +35,7 @@ pub use locble_obs as obs;
 pub use locble_rf as rf;
 pub use locble_scenario as scenario;
 pub use locble_sensors as sensors;
+pub use locble_store as store;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -53,6 +55,7 @@ pub mod prelude {
         localize_streaming, plan_l_walk, train_default_envaware, BeaconSpec, FleetReport,
         PipelineReport, Session, SessionConfig,
     };
+    pub use locble_store::{FsyncPolicy, SessionStore};
 }
 
 #[cfg(test)]
