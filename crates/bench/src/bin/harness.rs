@@ -17,6 +17,12 @@
 //! instrumented end-to-end scenario run (event stream, counters, and
 //! latency histograms), so a CI job can archive pipeline health next to
 //! the experiment reports.
+//!
+//! With `--refit-json <path>`, the harness writes the streaming-refit
+//! benchmark numbers (per-batch latency, solves/sec, speedup of the
+//! shared-factorization search over the naive refit — see DESIGN.md
+//! §12) as a JSON artifact; `scripts/check.sh` archives it as
+//! `BENCH_refit.json`.
 
 use locble_bench::{run_experiment, ALL_EXPERIMENTS};
 use serde::{Serialize, Value};
@@ -25,6 +31,7 @@ use std::time::Instant;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_flag_value(&mut args, "--metrics");
+    let refit_json_path = take_flag_value(&mut args, "--refit-json");
     if let Some(threads) = take_flag_value(&mut args, "--threads") {
         match threads.parse::<usize>() {
             Ok(n) if n > 0 => locble_bench::util::set_harness_threads(n),
@@ -45,7 +52,7 @@ fn main() {
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--threads <n>] [--connections <n>]"
+            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--threads <n>] [--connections <n>]"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
@@ -73,6 +80,15 @@ fn main() {
             }
             None => {
                 eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = refit_json_path {
+        match std::fs::write(&path, locble_bench::experiments::refit::json_report()) {
+            Ok(()) => eprintln!("refit benchmark JSON written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write refit benchmark JSON to {path}: {e}");
                 failed = true;
             }
         }

@@ -17,6 +17,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod recover;
+pub mod refit;
 pub mod sec4_1;
 pub mod sec7_8;
 pub mod serve;

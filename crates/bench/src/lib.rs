@@ -32,6 +32,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig15",
     "sec7_8",
     "fleet",
+    "refit",
     "serve",
     "recover",
     "ablations",
@@ -59,6 +60,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "fig15" => fig15::run(),
         "sec7_8" => sec7_8::run(),
         "fleet" => fleet::run(),
+        "refit" => refit::run(),
         "serve" => serve::run(),
         "recover" => recover::run(),
         "ablations" => ablations::run(),

@@ -21,8 +21,8 @@
 use crate::anf::AdaptiveNoiseFilter;
 use crate::confidence::estimation_confidence;
 use crate::envaware::{EnvAware, EnvChangeDetector};
-use crate::exponent::{search_exponent, ExponentSearch};
-use crate::regression::{LegFit, RssPoint};
+use crate::exponent::{search_scored, ExponentSearch};
+use crate::regression::{FitSolver, LegSolver, RssPoint};
 use locble_dsp::TimeSeries;
 use locble_geom::{EnvClass, Trajectory, Vec2};
 use locble_motion::MotionTrack;
@@ -191,7 +191,22 @@ impl Estimator {
         rss: &TimeSeries,
         observer: &MotionTrack,
     ) -> Option<LocationEstimate> {
-        self.estimate_with_target(rss, observer, None)
+        self.estimate_with_target(rss, observer, None, &mut FitSolver::new())
+    }
+
+    /// Like [`estimate_stationary`](Self::estimate_stationary), but reuses
+    /// a caller-held [`FitSolver`]: across successive refits of a growing
+    /// session the exponent-independent geometry/Gram state is extended in
+    /// O(new samples) instead of being rebuilt, with results bit-identical
+    /// to the uncached path. [`crate::StreamingEstimator`] holds one
+    /// solver per session.
+    pub fn estimate_stationary_cached(
+        &self,
+        rss: &TimeSeries,
+        observer: &MotionTrack,
+        solver: &mut FitSolver,
+    ) -> Option<LocationEstimate> {
+        self.estimate_with_target(rss, observer, None, solver)
     }
 
     /// Estimates a *moving* target. `target_disp` is the target's
@@ -205,7 +220,7 @@ impl Estimator {
         observer: &MotionTrack,
         target_disp: &Trajectory,
     ) -> Option<LocationEstimate> {
-        self.estimate_with_target(rss, observer, Some(target_disp))
+        self.estimate_with_target(rss, observer, Some(target_disp), &mut FitSolver::new())
     }
 
     fn estimate_with_target(
@@ -213,6 +228,7 @@ impl Estimator {
         rss: &TimeSeries,
         observer: &MotionTrack,
         target_disp: Option<&Trajectory>,
+        solver: &mut FitSolver,
     ) -> Option<LocationEstimate> {
         let mut span = self.obs.span("core.estimator", "estimate");
         span.field("samples", rss.len());
@@ -373,12 +389,22 @@ impl Estimator {
             }
         }
 
+        // Synchronize the shared-factorization solver with the fused
+        // points (incremental when this is a streaming refit of a grown
+        // session), then reborrow immutably: every rung of the ladder
+        // below answers its exponent candidates from the same cached
+        // Gram factorizations.
+        solver.ensure(&points);
+        let solver = &*solver;
+
         // Geometry: joint fit for 2-D paths, leg fit for collinear ones.
         let collinear = perpendicular_spread(&rel_positions) < self.config.collinear_threshold_m;
         let fit = if collinear {
             None
         } else {
-            search_exponent(&points, &self.config.exponent_search)
+            search_scored(&self.config.exponent_search, |n| {
+                solver.solve(n).map(|f| (f, f.residual_db))
+            })
         };
 
         let plausible = |pos: Vec2, g: f64| pos.norm() <= 15.0 && (-85.0..=-40.0).contains(&g);
@@ -395,7 +421,7 @@ impl Estimator {
         // (which would silently collapse the ambiguity through its ridge)
         // only serves 2-D walks whose free fit failed.
         let anchored = || {
-            self.anchored_fallback(&points, env, compensated)
+            self.anchored_fallback(solver, env, compensated)
                 .filter(|f| plausible(f.position, f.gamma_dbm))
                 .map(|f| {
                     (
@@ -478,64 +504,31 @@ impl Estimator {
         })
     }
 
-    /// Per-leg fit with an exponent grid (used when the joint system is
-    /// collinear/degenerate). Returns (position, mirror, n, Γ).
+    /// Per-leg fit with the shared exponent search (used when the joint
+    /// system is collinear/degenerate). Returns (position, mirror, n, Γ).
     fn leg_fallback(
         &self,
         rel_positions: &[Vec2],
         points: &[RssPoint],
     ) -> Option<(Vec2, Option<Vec2>, f64, f64)> {
-        let search = &self.config.exponent_search;
         let rss: Vec<f64> = points.iter().map(|p| p.rss).collect();
-        let mut best: Option<(LegFit, f64)> = None;
-        for k in 0..search.grid {
-            let n = search.min + (search.max - search.min) * k as f64 / (search.grid - 1) as f64;
-            if let Some(fit) = LegFit::solve(rel_positions, &rss, n) {
-                if best
-                    .as_ref()
-                    .is_none_or(|(b, _)| fit.residual_db < b.residual_db)
-                {
-                    best = Some((fit, n));
-                }
-            }
-        }
-        let (_, best_n) = best.as_ref().map(|(f, n)| (f.residual_db, *n))?;
-        // Golden-section refinement around the winning grid cell (same
-        // scheme as the joint search).
-        let step = (search.max - search.min) / (search.grid - 1) as f64;
-        let mut lo = (best_n - step).max(search.min);
-        let mut hi = (best_n + step).min(search.max);
-        let phi = (5f64.sqrt() - 1.0) / 2.0;
-        let res = |f: &Option<LegFit>| f.as_ref().map_or(f64::INFINITY, |x| x.residual_db);
-        for _ in 0..search.refine_iters {
-            let m1 = hi - phi * (hi - lo);
-            let m2 = lo + phi * (hi - lo);
-            let f1 = LegFit::solve(rel_positions, &rss, m1);
-            let f2 = LegFit::solve(rel_positions, &rss, m2);
-            let better = |cand: Option<LegFit>, n: f64, best: &mut Option<(LegFit, f64)>| {
-                if let Some(fit) = cand {
-                    if best
-                        .as_ref()
-                        .is_none_or(|(b, _)| fit.residual_db < b.residual_db)
-                    {
-                        *best = Some((fit, n));
-                    }
-                }
-            };
-            if res(&f1) <= res(&f2) {
-                hi = m2;
-                better(f1, m1, &mut best);
-            } else {
-                lo = m1;
-                better(f2, m2, &mut best);
-            }
-        }
-        let (fit, n) = best?;
+        // The leg frame and Gram matrix are exponent-independent: build
+        // them once, then every candidate of the search is a cheap
+        // back-substitution.
+        let leg = LegSolver::new(rel_positions, &rss)?;
+        let fit = search_scored(&self.config.exponent_search, |n| {
+            leg.solve(n).map(|f| (f, f.residual_db))
+        })?;
         // The observer walked leg-local: both candidates are equally
         // plausible. Report the left-hand one (positive side of the walk
         // direction) and expose the mirror. Positions are relative to the
         // first sample, which is the local origin.
-        Some((fit.candidates[0], Some(fit.candidates[1]), n, fit.gamma_dbm))
+        Some((
+            fit.candidates[0],
+            Some(fit.candidates[1]),
+            fit.exponent,
+            fit.gamma_dbm,
+        ))
     }
 }
 
@@ -546,7 +539,7 @@ impl Estimator {
     /// solution. See [`CircularFit::solve_anchored`].
     fn anchored_fallback(
         &self,
-        points: &[RssPoint],
+        solver: &FitSolver,
         env: Option<EnvClass>,
         compensated: bool,
     ) -> Option<crate::regression::CircularFit> {
@@ -571,7 +564,7 @@ impl Estimator {
             for k in 0..search.grid {
                 let n =
                     search.min + (search.max - search.min) * k as f64 / (search.grid - 1) as f64;
-                if let Some(f) = crate::regression::CircularFit::solve_anchored(points, n, g) {
+                if let Some(f) = solver.solve_anchored(n, g) {
                     if best.as_ref().is_none_or(|b| f.residual_db < b.residual_db) {
                         best = Some(f);
                     }

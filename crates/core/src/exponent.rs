@@ -6,8 +6,16 @@
 //! exponent the inner linear fit runs to completion and the dB residual
 //! of the resulting model is scored; a coarse grid pins the basin and a
 //! golden-section refinement polishes it.
+//!
+//! The search itself is fit-agnostic: [`search_scored`] drives any
+//! `exponent → (fit, residual)` closure, so the same grid + golden-section
+//! machinery serves the circular fit, the leg fallback and the 3-D fit.
+//! The golden-section refinement retains one interior probe across
+//! iterations, so a full search costs `grid + refine_iters + 1` inner
+//! solves (41 with the defaults) instead of `grid + 2·refine_iters` (58)
+//! for the naive both-probes-per-iteration variant.
 
-use crate::regression::{CircularFit, RssPoint};
+use crate::regression::{CircularFit, FitSolver, RssPoint};
 
 /// Configuration of the exponent search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,57 +54,105 @@ impl ExponentSearch {
     }
 }
 
-/// Runs the search: returns the best-fit result across exponents, or
-/// `None` when no exponent yields a valid fit.
-pub fn search_exponent(points: &[RssPoint], search: &ExponentSearch) -> Option<CircularFit> {
+/// Generic exponent search over any scoring closure: `score(n)` returns a
+/// candidate fit plus its residual (lower is better), or `None` when no
+/// valid fit exists at that exponent. Returns the best fit found, or
+/// `None` when every candidate failed.
+///
+/// Coarse grid first, then golden-section refinement around the winning
+/// grid cell. The refinement evaluates two interior probes once and then
+/// *reuses* the surviving probe each iteration, so the closure is called
+/// exactly `grid + refine_iters + 1` times (for `refine_iters ≥ 1`).
+pub fn search_scored<T>(
+    search: &ExponentSearch,
+    mut score: impl FnMut(f64) -> Option<(T, f64)>,
+) -> Option<T> {
     search.validate().ok()?;
-    let score = |n: f64| -> Option<CircularFit> { CircularFit::solve(points, n) };
+    let mut best: Option<T> = None;
+    let mut best_res = f64::INFINITY;
+    // Scores one candidate, folding an improvement into `best`; returns
+    // the residual (∞ for a failed fit) and whether it improved.
+    let mut eval = |n: f64, best: &mut Option<T>, best_res: &mut f64| -> (f64, bool) {
+        if let Some((fit, res)) = score(n) {
+            let improved = best.is_none() || res < *best_res;
+            if improved {
+                *best = Some(fit);
+                *best_res = res;
+            }
+            (res, improved)
+        } else {
+            (f64::INFINITY, false)
+        }
+    };
 
     // Coarse grid.
-    let mut best: Option<CircularFit> = None;
     let mut best_n = search.min;
     for k in 0..search.grid {
         let n = search.min + (search.max - search.min) * k as f64 / (search.grid - 1) as f64;
-        if let Some(fit) = score(n) {
-            if best
-                .as_ref()
-                .is_none_or(|b| fit.residual_db < b.residual_db)
-            {
-                best_n = n;
-                best = Some(fit);
-            }
+        let (_, improved) = eval(n, &mut best, &mut best_res);
+        if improved {
+            best_n = n;
         }
     }
-    let mut best = best?;
+    best.as_ref()?;
+    if search.refine_iters == 0 {
+        return best;
+    }
 
-    // Golden-section refinement around the winning grid cell.
+    // Golden-section refinement around the winning grid cell. One probe
+    // survives each interval shrink: only the replacement probe is
+    // re-evaluated.
     let step = (search.max - search.min) / (search.grid - 1) as f64;
     let mut lo = (best_n - step).max(search.min);
     let mut hi = (best_n + step).min(search.max);
     let phi = (5f64.sqrt() - 1.0) / 2.0;
-    let res_of = |fit: &Option<CircularFit>| fit.as_ref().map_or(f64::INFINITY, |f| f.residual_db);
-    for _ in 0..search.refine_iters {
-        let m1 = hi - phi * (hi - lo);
-        let m2 = lo + phi * (hi - lo);
-        let f1 = score(m1);
-        let f2 = score(m2);
-        if res_of(&f1) <= res_of(&f2) {
+    let mut m1 = hi - phi * (hi - lo);
+    let mut m2 = lo + phi * (hi - lo);
+    let mut r1 = eval(m1, &mut best, &mut best_res).0;
+    let mut r2 = eval(m2, &mut best, &mut best_res).0;
+    for it in 0..search.refine_iters {
+        let last = it + 1 == search.refine_iters;
+        if r1 <= r2 {
             hi = m2;
-            if let Some(fit) = f1 {
-                if fit.residual_db < best.residual_db {
-                    best = fit;
-                }
+            m2 = m1;
+            r2 = r1;
+            if last {
+                break;
             }
+            m1 = hi - phi * (hi - lo);
+            r1 = eval(m1, &mut best, &mut best_res).0;
         } else {
             lo = m1;
-            if let Some(fit) = f2 {
-                if fit.residual_db < best.residual_db {
-                    best = fit;
-                }
+            m1 = m2;
+            r1 = r2;
+            if last {
+                break;
             }
+            m2 = lo + phi * (hi - lo);
+            r2 = eval(m2, &mut best, &mut best_res).0;
         }
     }
-    Some(best)
+    best
+}
+
+/// Runs the search: returns the best-fit result across exponents, or
+/// `None` when no exponent yields a valid fit.
+pub fn search_exponent(points: &[RssPoint], search: &ExponentSearch) -> Option<CircularFit> {
+    search_exponent_with(&mut FitSolver::new(), points, search)
+}
+
+/// Like [`search_exponent`], but reuses a caller-held [`FitSolver`]: the
+/// geometry/Gram cache is synchronized once (incrementally when `points`
+/// extends the previous call's set) and every candidate exponent is then
+/// answered from the shared factorization.
+pub fn search_exponent_with(
+    solver: &mut FitSolver,
+    points: &[RssPoint],
+    search: &ExponentSearch,
+) -> Option<CircularFit> {
+    solver.ensure(points);
+    let solver = &*solver;
+    search_scored(search, |n| solver.solve(n).map(|f| (f, f.residual_db)))
 }
 
 #[cfg(test)]
@@ -165,6 +221,56 @@ mod tests {
         let refined = search_exponent(&pts, &ExponentSearch::default()).unwrap();
         assert!(refined.residual_db <= coarse.residual_db + 1e-12);
         assert!((refined.exponent - 2.63).abs() < (coarse.exponent - 2.63).abs() + 1e-12);
+    }
+
+    #[test]
+    fn golden_section_retains_one_probe_per_iteration() {
+        // Instrumented closure: proper golden-section costs exactly
+        // grid + refine_iters + 1 solves, not grid + 2·refine_iters.
+        let pts = synthetic(Vec2::new(3.0, 4.5), -59.0, 2.5);
+        let mut solver = FitSolver::new();
+        solver.ensure(&pts);
+        let solver = &solver;
+        let search = ExponentSearch::default();
+        let mut count = 0usize;
+        let fit = search_scored(&search, |n| {
+            count += 1;
+            solver.solve(n).map(|f| (f, f.residual_db))
+        })
+        .unwrap();
+        assert!((fit.exponent - 2.5).abs() < 0.05);
+        assert_eq!(count, search.grid + search.refine_iters + 1);
+        assert!(
+            count < search.grid + 2 * search.refine_iters,
+            "single-probe golden must beat the double-probe variant"
+        );
+
+        // Grid-only search evaluates exactly the grid.
+        let grid_only = ExponentSearch {
+            refine_iters: 0,
+            ..Default::default()
+        };
+        count = 0;
+        search_scored(&grid_only, |n| {
+            count += 1;
+            solver.solve(n).map(|f| (f, f.residual_db))
+        })
+        .unwrap();
+        assert_eq!(count, grid_only.grid);
+    }
+
+    #[test]
+    fn warm_solver_search_matches_cold_search() {
+        let pts = synthetic(Vec2::new(2.5, 4.0), -60.0, 2.8);
+        let mut solver = FitSolver::new();
+        // Warm the cache on a prefix first, then search the full set.
+        search_exponent_with(&mut solver, &pts[..10], &ExponentSearch::default());
+        let warm = search_exponent_with(&mut solver, &pts, &ExponentSearch::default()).unwrap();
+        let cold = search_exponent(&pts, &ExponentSearch::default()).unwrap();
+        assert_eq!(warm.position.x.to_bits(), cold.position.x.to_bits());
+        assert_eq!(warm.position.y.to_bits(), cold.position.y.to_bits());
+        assert_eq!(warm.gamma_dbm.to_bits(), cold.gamma_dbm.to_bits());
+        assert_eq!(warm.residual_db.to_bits(), cold.residual_db.to_bits());
     }
 
     #[test]

@@ -18,10 +18,27 @@
 //! * [`LegFit`] — the 3-parameter fit over one *straight leg*, which by
 //!   symmetry yields the two mirror candidates of paper Fig. 7; the
 //!   L-shaped movement's second leg disambiguates them.
+//!
+//! # Shared factorization
+//!
+//! The design matrix of Eq. 4 depends only on walk geometry `(p, q)` — a
+//! candidate exponent changes only the right-hand side `ρ`. The outer
+//! exponent search therefore re-solves the *same* linear system dozens of
+//! times per refit. [`FitSolver`] (and [`LegSolver`] for the straight-leg
+//! variant) accumulates the geometry features and Gram matrix once,
+//! factorizes once, and answers each candidate with an `Xᵀρ` accumulation
+//! (one `exp` per point, no `powf`) plus a back-substitution.
+//! Accumulation is strictly sequential, so [`FitSolver::ensure`] can
+//! extend a cached session incrementally in O(new samples) with results
+//! bit-identical to a from-scratch rebuild.
 
 use locble_geom::Vec2;
-use locble_ml::Matrix;
+use locble_ml::{GramSolver, Matrix};
 use locble_rf::MIN_RANGE_M;
+
+/// Ridge used by every regression in this module (matches the historical
+/// `Matrix::least_squares` call sites).
+const RIDGE: f64 = 1e-9;
 
 /// One fused sample: relative displacement `(p, q)` and its RSS reading.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,7 +86,8 @@ pub struct CircularFit {
 }
 
 /// Computes `ρ_i = 10^(−RS_i/(5n))`, normalized to mean 1 for numerical
-/// conditioning; returns the values and the normalization scale.
+/// conditioning; returns the values and the normalization scale. Used
+/// only by the [`CircularFit::solve_reference`] baseline.
 fn rho_values(points: &[RssPoint], exponent: f64) -> (Vec<f64>, f64) {
     let raw: Vec<f64> = points
         .iter()
@@ -81,7 +99,11 @@ fn rho_values(points: &[RssPoint], exponent: f64) -> (Vec<f64>, f64) {
 }
 
 /// RMS dB residual of a candidate `(x, h, Γ, n)` against the samples.
+/// An empty slice has nothing to disagree with: the residual is 0.
 pub fn rss_residual_db(points: &[RssPoint], position: Vec2, gamma: f64, exponent: f64) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
     let sum: f64 = points
         .iter()
         .map(|pt| {
@@ -95,25 +117,137 @@ pub fn rss_residual_db(points: &[RssPoint], position: Vec2, gamma: f64, exponent
     (sum / points.len() as f64).sqrt()
 }
 
-impl CircularFit {
-    /// Minimum samples for the 4-parameter fit.
-    pub const MIN_SAMPLES: usize = 6;
+/// RMS dB residual over flat `(p, q, rss)` columns, working in squared
+/// distances: `10·n·log10(l) = 5·n·log10(l²)`, so no per-point
+/// `sqrt`/`hypot` is needed.
+fn residual_db_flat(p: &[f64], q: &[f64], rss: &[f64], x: f64, h: f64, gamma: f64, n: f64) -> f64 {
+    if p.is_empty() {
+        return 0.0;
+    }
+    let min_sq = MIN_RANGE_M * MIN_RANGE_M;
+    let mut sum = 0.0;
+    for i in 0..p.len() {
+        let dx = x + p[i];
+        let dy = h + q[i];
+        let d_sq = (dx * dx + dy * dy).max(min_sq);
+        let pred = gamma - 5.0 * n * d_sq.log10();
+        let e = rss[i] - pred;
+        sum += e * e;
+    }
+    (sum / p.len() as f64).sqrt()
+}
 
-    /// Solves the joint fit for a fixed exponent. Returns `None` when the
-    /// system is singular/ill-conditioned (e.g. a collinear walk — use
-    /// [`LegFit`] then) or produces a non-physical `A ≤ 0`.
-    pub fn solve(points: &[RssPoint], exponent: f64) -> Option<CircularFit> {
-        if points.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+/// Cached solver for [`CircularFit`]: accumulates the exponent-independent
+/// geometry (flat `p`/`q`/`p²+q²` columns plus the 4×4 and 3×3 Gram
+/// matrices) once, then answers any number of candidate exponents via
+/// [`solve`](FitSolver::solve) / [`solve_anchored`](FitSolver::solve_anchored)
+/// at `O(points)` per candidate with no allocation.
+///
+/// [`ensure`](FitSolver::ensure) is incremental: when the new point set
+/// extends the cached one (bitwise, in `(p, q)`), only the new rows are
+/// accumulated; RSS values are refreshed wholesale because the zero-phase
+/// ANF re-filters the entire series on every refit. Because Gram
+/// accumulation is strictly sequential, the extended state is
+/// bit-identical to a from-scratch rebuild — the property the streaming
+/// export/restore and store-recovery suites rely on.
+#[derive(Debug, Clone, Default)]
+pub struct FitSolver {
+    p: Vec<f64>,
+    q: Vec<f64>,
+    /// Cached `p² + q²` per point.
+    s: Vec<f64>,
+    rss: Vec<f64>,
+    /// Gram of the 4-column free design `[p²+q², p, q, 1]`.
+    gram: GramSolver<4>,
+    /// Gram of the 3-column anchored design `[p, q, 1]`.
+    gram3: GramSolver<3>,
+}
+
+impl FitSolver {
+    /// An empty solver with no cached session.
+    pub fn new() -> FitSolver {
+        FitSolver::default()
+    }
+
+    /// Drops all cached geometry (e.g. on an EnvAware session restart).
+    pub fn clear(&mut self) {
+        self.p.clear();
+        self.q.clear();
+        self.s.clear();
+        self.rss.clear();
+        self.gram.reset();
+        self.gram3.reset();
+    }
+
+    /// Number of points currently cached.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Synchronizes the cache with `points`. When `points` extends the
+    /// cached set (same `(p, q)` prefix, bit for bit), only the new rows
+    /// are accumulated; otherwise the cache is rebuilt from scratch. RSS
+    /// values are always refreshed (the zero-phase ANF changes them on
+    /// every refit), and both Gram factorizations are brought up to date.
+    pub fn ensure(&mut self, points: &[RssPoint]) {
+        let prefix_ok = points.len() >= self.p.len()
+            && self
+                .p
+                .iter()
+                .zip(&self.q)
+                .zip(points)
+                .all(|((&p, &q), pt)| {
+                    p.to_bits() == pt.p.to_bits() && q.to_bits() == pt.q.to_bits()
+                });
+        if !prefix_ok {
+            self.clear();
+        }
+        for pt in &points[self.p.len()..] {
+            let s = pt.p * pt.p + pt.q * pt.q;
+            self.p.push(pt.p);
+            self.q.push(pt.q);
+            self.s.push(s);
+            self.gram.accumulate(&[s, pt.p, pt.q, 1.0]);
+            self.gram3.accumulate(&[pt.p, pt.q, 1.0]);
+        }
+        self.rss.clear();
+        self.rss.extend(points.iter().map(|pt| pt.rss));
+        self.gram.factorize(RIDGE);
+        self.gram3.factorize(RIDGE);
+    }
+
+    /// Solves the free 4-parameter fit for one candidate exponent using
+    /// the cached factorization. Semantics match [`CircularFit::solve`].
+    pub fn solve(&self, exponent: f64) -> Option<CircularFit> {
+        let n = self.p.len();
+        if n < CircularFit::MIN_SAMPLES || exponent <= 0.0 {
             return None;
         }
-        let (rho, scale) = rho_values(points, exponent);
-        let rows: Vec<Vec<f64>> = points
-            .iter()
-            .map(|pt| vec![pt.p * pt.p + pt.q * pt.q, pt.p, pt.q, 1.0])
-            .collect();
-        let design = Matrix::from_rows(&rows);
-        let theta = design.least_squares(&rho, 1e-9)?;
-        let (a, c, d, _g) = (theta[0], theta[1], theta[2], theta[3]);
+        // ρ_i = 10^(−RS_i/(5n)) = exp(k·RS_i) with k = −ln10/(5n):
+        // one exp per point instead of powf. Normalizing ρ to mean 1 is
+        // linear, so accumulate Xᵀρ over raw values and divide once.
+        let k = -std::f64::consts::LN_10 / (5.0 * exponent);
+        let mut sum = 0.0;
+        let mut xty = [0.0; 4];
+        for i in 0..n {
+            let rho = (k * self.rss[i]).exp();
+            sum += rho;
+            xty[0] += self.s[i] * rho;
+            xty[1] += self.p[i] * rho;
+            xty[2] += self.q[i] * rho;
+            xty[3] += rho;
+        }
+        let scale = sum / n as f64;
+        for v in &mut xty {
+            *v /= scale;
+        }
+        let theta = self.gram.solve(xty)?;
+        let (a, c, d) = (theta[0], theta[1], theta[2]);
         if a <= 1e-12 || !a.is_finite() {
             return None;
         }
@@ -124,6 +258,91 @@ impl CircularFit {
         }
         // ε accounts for the ρ normalization: physically ρ' = ρ/scale =
         // l²/(ε·scale), while the fit gives ρ' = A'·l², so ε = 1/(A'·scale).
+        let epsilon = 1.0 / (a * scale);
+        let gamma = 5.0 * exponent * epsilon.log10();
+        Some(CircularFit {
+            position: Vec2::new(x, h),
+            gamma_dbm: gamma,
+            exponent,
+            residual_db: residual_db_flat(&self.p, &self.q, &self.rss, x, h, gamma, exponent),
+        })
+    }
+
+    /// Solves the Γ-anchored 3-parameter fit for one candidate exponent
+    /// using the cached factorization. Semantics match
+    /// [`CircularFit::solve_anchored`].
+    pub fn solve_anchored(&self, exponent: f64, gamma_dbm: f64) -> Option<CircularFit> {
+        let n = self.p.len();
+        if n < 4 || exponent <= 0.0 {
+            return None;
+        }
+        let epsilon = 10f64.powf(gamma_dbm / (5.0 * exponent));
+        let a = 1.0 / epsilon;
+        let k = -std::f64::consts::LN_10 / (5.0 * exponent);
+        // ρ − A(p²+q²) = C·p + D·q + G, with raw (unnormalized) ρ.
+        let mut xty = [0.0; 3];
+        for i in 0..n {
+            let rho = (k * self.rss[i]).exp();
+            let rhs = rho - a * self.s[i];
+            xty[0] += self.p[i] * rhs;
+            xty[1] += self.q[i] * rhs;
+            xty[2] += rhs;
+        }
+        let theta = self.gram3.solve(xty)?;
+        let x = theta[0] / (2.0 * a);
+        let h = theta[1] / (2.0 * a);
+        if !x.is_finite() || !h.is_finite() {
+            return None;
+        }
+        Some(CircularFit {
+            position: Vec2::new(x, h),
+            gamma_dbm,
+            exponent,
+            residual_db: residual_db_flat(&self.p, &self.q, &self.rss, x, h, gamma_dbm, exponent),
+        })
+    }
+}
+
+impl CircularFit {
+    /// Minimum samples for the 4-parameter fit.
+    pub const MIN_SAMPLES: usize = 6;
+
+    /// Solves the joint fit for a fixed exponent. Returns `None` when the
+    /// system is singular/ill-conditioned (e.g. a collinear walk — use
+    /// [`LegFit`] then) or produces a non-physical `A ≤ 0`.
+    ///
+    /// One-shot convenience over [`FitSolver`]; callers evaluating many
+    /// exponents over the same points should hold a `FitSolver` instead.
+    pub fn solve(points: &[RssPoint], exponent: f64) -> Option<CircularFit> {
+        let mut solver = FitSolver::new();
+        solver.ensure(points);
+        solver.solve(exponent)
+    }
+
+    /// Pre-optimization baseline: the original per-call implementation
+    /// (row-matrix allocation + full `Matrix::least_squares` + per-point
+    /// `powf`). Kept as the ground truth for the differential suite and
+    /// the before/after benchmark; not used by the production path.
+    pub fn solve_reference(points: &[RssPoint], exponent: f64) -> Option<CircularFit> {
+        if points.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+            return None;
+        }
+        let (rho, scale) = rho_values(points, exponent);
+        let rows: Vec<Vec<f64>> = points
+            .iter()
+            .map(|pt| vec![pt.p * pt.p + pt.q * pt.q, pt.p, pt.q, 1.0])
+            .collect();
+        let design = Matrix::from_rows(&rows);
+        let theta = design.least_squares(&rho, RIDGE)?;
+        let (a, c, d, _g) = (theta[0], theta[1], theta[2], theta[3]);
+        if a <= 1e-12 || !a.is_finite() {
+            return None;
+        }
+        let x = c / (2.0 * a);
+        let h = d / (2.0 * a);
+        if !x.is_finite() || !h.is_finite() {
+            return None;
+        }
         let epsilon = 1.0 / (a * scale);
         let gamma = 5.0 * exponent * epsilon.log10();
         let position = Vec2::new(x, h);
@@ -149,35 +368,9 @@ impl CircularFit {
         exponent: f64,
         gamma_dbm: f64,
     ) -> Option<CircularFit> {
-        if points.len() < 4 || exponent <= 0.0 {
-            return None;
-        }
-        let epsilon = 10f64.powf(gamma_dbm / (5.0 * exponent));
-        let a = 1.0 / epsilon;
-        // ρ − A(p²+q²) = C·p + D·q + G.
-        let rows: Vec<Vec<f64>> = points.iter().map(|pt| vec![pt.p, pt.q, 1.0]).collect();
-        let rhs: Vec<f64> = points
-            .iter()
-            .map(|pt| {
-                let rho = 10f64.powf(-pt.rss / (5.0 * exponent));
-                rho - a * (pt.p * pt.p + pt.q * pt.q)
-            })
-            .collect();
-        let design = Matrix::from_rows(&rows);
-        let theta = design.least_squares(&rhs, 1e-9)?;
-        let (c, d, _g) = (theta[0], theta[1], theta[2]);
-        let x = c / (2.0 * a);
-        let h = d / (2.0 * a);
-        if !x.is_finite() || !h.is_finite() {
-            return None;
-        }
-        let position = Vec2::new(x, h);
-        Some(CircularFit {
-            position,
-            gamma_dbm,
-            exponent,
-            residual_db: rss_residual_db(points, position, gamma_dbm, exponent),
-        })
+        let mut solver = FitSolver::new();
+        solver.ensure(points);
+        solver.solve_anchored(exponent, gamma_dbm)
     }
 }
 
@@ -194,46 +387,88 @@ pub struct LegFit {
     pub residual_db: f64,
 }
 
-impl LegFit {
-    /// Minimum samples for the 3-parameter leg fit.
-    pub const MIN_SAMPLES: usize = 5;
+/// Cached solver for [`LegFit`]: the leg frame, projected coordinates and
+/// 3×3 Gram matrix depend only on the positions, so one `LegSolver` built
+/// per leg answers every candidate exponent of the outer search with a
+/// single `Xᵀρ` pass plus back-substitution.
+#[derive(Debug, Clone)]
+pub struct LegSolver {
+    origin: Vec2,
+    u: Vec2,
+    /// Projection of each position onto the leg direction.
+    s: Vec<f64>,
+    /// True 2-D offsets from the origin (positions are not exactly
+    /// collinear, so the residual must not assume they are).
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    rss: Vec<f64>,
+    gram: GramSolver<3>,
+}
 
-    /// Fits one straight leg. `positions[i]` is the observer position at
-    /// sample `i` in the local frame (the target is assumed stationary
-    /// relative to the leg — for a moving target, pass relative
-    /// positions). Returns `None` for degenerate legs (no movement,
-    /// singular system, non-physical fit).
-    pub fn solve(positions: &[Vec2], rss: &[f64], exponent: f64) -> Option<LegFit> {
+impl LegSolver {
+    /// Builds the exponent-independent state for one leg. Returns `None`
+    /// for degenerate legs (too few samples or too little movement).
+    ///
+    /// # Panics
+    /// Panics when `positions` and `rss` differ in length.
+    pub fn new(positions: &[Vec2], rss: &[f64]) -> Option<LegSolver> {
         assert_eq!(positions.len(), rss.len(), "positions/rss length mismatch");
-        if positions.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+        if positions.len() < LegFit::MIN_SAMPLES {
             return None;
         }
         // Leg frame: origin at the first position, unit direction u.
         let origin = positions[0];
         let span = positions[positions.len() - 1] - origin;
-        let u = span.normalized()?;
         if span.norm() < 0.5 {
             return None; // too little movement to regress on
         }
-        let s: Vec<f64> = positions.iter().map(|&pos| (pos - origin).dot(u)).collect();
+        let u = span.normalized()?;
+        let mut solver = LegSolver {
+            origin,
+            u,
+            s: Vec::with_capacity(positions.len()),
+            dx: Vec::with_capacity(positions.len()),
+            dy: Vec::with_capacity(positions.len()),
+            rss: rss.to_vec(),
+            gram: GramSolver::new(),
+        };
+        for &pos in positions {
+            let d = pos - origin;
+            let si = d.dot(u);
+            solver.s.push(si);
+            solver.dx.push(d.x);
+            solver.dy.push(d.y);
+            solver.gram.accumulate(&[si * si, si, 1.0]);
+        }
+        solver.gram.factorize(RIDGE);
+        Some(solver)
+    }
 
+    /// Solves the leg fit for one candidate exponent using the cached
+    /// factorization. Semantics match [`LegFit::solve`].
+    pub fn solve(&self, exponent: f64) -> Option<LegFit> {
+        if exponent <= 0.0 {
+            return None;
+        }
         // l_i² = |v − s_i·u|² = s² − 2·s·(v·u) + |v|², where v = target −
-        // origin. Linear in [1, s, s²] against ρ/ε... same trick as the
-        // circular fit: A·s² + B·s + G = ρ with A = 1/ε, B = −2(v·u)/ε,
-        // G = |v|²/ε.
-        let points: Vec<RssPoint> = s
-            .iter()
-            .zip(rss)
-            .map(|(&si, &r)| RssPoint {
-                p: si,
-                q: 0.0,
-                rss: r,
-            })
-            .collect();
-        let (rho, scale) = rho_values(&points, exponent);
-        let rows: Vec<Vec<f64>> = s.iter().map(|&si| vec![si * si, si, 1.0]).collect();
-        let design = Matrix::from_rows(&rows);
-        let theta = design.least_squares(&rho, 1e-9)?;
+        // origin: A·s² + B·s + G = ρ with A = 1/ε, B = −2(v·u)/ε,
+        // G = |v|²/ε. Same normalized-ρ trick as the circular fit.
+        let n = self.s.len();
+        let k = -std::f64::consts::LN_10 / (5.0 * exponent);
+        let mut sum = 0.0;
+        let mut xty = [0.0; 3];
+        for i in 0..n {
+            let rho = (k * self.rss[i]).exp();
+            sum += rho;
+            xty[0] += self.s[i] * self.s[i] * rho;
+            xty[1] += self.s[i] * rho;
+            xty[2] += rho;
+        }
+        let scale = sum / n as f64;
+        for v in &mut xty {
+            *v /= scale;
+        }
+        let theta = self.gram.solve(xty)?;
         let (a, b, g) = (theta[0], theta[1], theta[2]);
         if a <= 1e-12 || !a.is_finite() {
             return None;
@@ -247,23 +482,46 @@ impl LegFit {
 
         let epsilon = 1.0 / (a * scale);
         let gamma = 5.0 * exponent * epsilon.log10();
-        let base = origin + u * along;
-        let candidates = [base + u.perp() * perp, base - u.perp() * perp];
+        let base = self.origin + self.u * along;
+        let candidates = [base + self.u.perp() * perp, base - self.u.perp() * perp];
 
-        // Residual computed against candidate 0 (symmetry makes both
-        // equal up to floating error).
-        let rel: Vec<RssPoint> = positions
-            .iter()
-            .zip(rss)
-            .map(|(&pos, &r)| RssPoint::from_observer_displacement(pos - positions[0], r))
-            .collect();
-        let residual_db = rss_residual_db(&rel, candidates[0] - positions[0], gamma, exponent);
+        // Residual against candidate 0 (symmetry makes both equal up to
+        // floating error), in the origin-relative frame.
+        let cw = self.u * along + self.u.perp() * perp;
+        let min_sq = MIN_RANGE_M * MIN_RANGE_M;
+        let mut res_sum = 0.0;
+        for i in 0..n {
+            let ex = cw.x - self.dx[i];
+            let ey = cw.y - self.dy[i];
+            let d_sq = (ex * ex + ey * ey).max(min_sq);
+            let pred = gamma - 5.0 * exponent * d_sq.log10();
+            let e = self.rss[i] - pred;
+            res_sum += e * e;
+        }
+        let residual_db = (res_sum / n as f64).sqrt();
         Some(LegFit {
             candidates,
             gamma_dbm: gamma,
             exponent,
             residual_db,
         })
+    }
+}
+
+impl LegFit {
+    /// Minimum samples for the 3-parameter leg fit.
+    pub const MIN_SAMPLES: usize = 5;
+
+    /// Fits one straight leg. `positions[i]` is the observer position at
+    /// sample `i` in the local frame (the target is assumed stationary
+    /// relative to the leg — for a moving target, pass relative
+    /// positions). Returns `None` for degenerate legs (no movement,
+    /// singular system, non-physical fit).
+    ///
+    /// One-shot convenience over [`LegSolver`]; callers evaluating many
+    /// exponents over the same leg should hold a `LegSolver` instead.
+    pub fn solve(positions: &[Vec2], rss: &[f64], exponent: f64) -> Option<LegFit> {
+        LegSolver::new(positions, rss).and_then(|solver| solver.solve(exponent))
     }
 }
 
@@ -333,6 +591,74 @@ mod tests {
     }
 
     #[test]
+    fn cached_solver_matches_reference_implementation() {
+        let target = Vec2::new(3.0, 4.0);
+        let (mut pts, _, _) = synthetic(target, &l_path(14, 4.0, 3.0), -61.0, 2.3);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.rss += if i % 2 == 0 { 0.7 } else { -0.7 };
+        }
+        let mut solver = FitSolver::new();
+        solver.ensure(&pts);
+        for k in 0..10 {
+            let n = 1.6 + 0.3 * k as f64;
+            let cached = solver.solve(n).unwrap();
+            let reference = CircularFit::solve_reference(&pts, n).unwrap();
+            assert!(
+                cached.position.distance(reference.position) < 1e-9,
+                "n={n}: {:?} vs {:?}",
+                cached.position,
+                reference.position
+            );
+            assert!((cached.gamma_dbm - reference.gamma_dbm).abs() < 1e-9);
+            assert!((cached.residual_db - reference.residual_db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_ensure_is_bit_identical_to_fresh_solver() {
+        let target = Vec2::new(-2.5, 3.5);
+        let (pts, _, _) = synthetic(target, &l_path(8, 4.4, 3.3), -58.0, 2.1);
+        let mut warm = FitSolver::new();
+        for cut in [6, 10, 12, pts.len()] {
+            warm.ensure(&pts[..cut]);
+            let mut fresh = FitSolver::new();
+            fresh.ensure(&pts[..cut]);
+            match (warm.solve(2.4), fresh.solve(2.4)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+                    assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+                    assert_eq!(a.gamma_dbm.to_bits(), b.gamma_dbm.to_bits());
+                    assert_eq!(a.residual_db.to_bits(), b.residual_db.to_bits());
+                }
+                (None, None) => {}
+                (a, b) => panic!("warm {a:?} vs fresh {b:?} at cut {cut}"),
+            }
+        }
+        // The full L-walk must actually solve, or the loop proved nothing.
+        assert!(warm.solve(2.4).is_some());
+    }
+
+    #[test]
+    fn ensure_rebuilds_on_changed_prefix() {
+        let (pts_a, _, _) = synthetic(Vec2::new(3.0, 4.0), &l_path(12, 4.0, 3.0), -59.0, 2.0);
+        let (pts_b, _, _) = synthetic(Vec2::new(-1.0, 2.0), &l_path(10, 3.0, 2.5), -63.0, 2.6);
+        let mut solver = FitSolver::new();
+        solver.ensure(&pts_a);
+        assert_eq!(solver.len(), pts_a.len());
+        // A restart hands the solver a completely different session.
+        solver.ensure(&pts_b);
+        assert_eq!(solver.len(), pts_b.len());
+        let restarted = solver.solve(2.6).unwrap();
+        let fresh = CircularFit::solve(&pts_b, 2.6).unwrap();
+        assert_eq!(
+            restarted.position.x.to_bits(),
+            fresh.position.x.to_bits(),
+            "rebuild after restart must match a fresh solve"
+        );
+        assert_eq!(restarted.residual_db.to_bits(), fresh.residual_db.to_bits());
+    }
+
+    #[test]
     fn wrong_exponent_has_larger_residual() {
         let target = Vec2::new(3.0, 4.0);
         let (pts, _, _) = synthetic(target, &l_path(12, 4.0, 3.0), -59.0, 2.6);
@@ -357,6 +683,15 @@ mod tests {
                 fit.position
             );
         }
+    }
+
+    #[test]
+    fn empty_slice_residual_is_zero_not_nan() {
+        // rss_residual_db is pub and reachable outside solve's
+        // MIN_SAMPLES guard; it must not return NaN (0/0 then sqrt).
+        let r = rss_residual_db(&[], Vec2::new(1.0, 2.0), -59.0, 2.0);
+        assert_eq!(r, 0.0);
+        assert!(!r.is_nan());
     }
 
     #[test]
@@ -396,6 +731,28 @@ mod tests {
             .map(|c| c.distance(target))
             .fold(f64::INFINITY, f64::min);
         assert!(best < 1e-6, "candidates {:?}", fit.candidates);
+    }
+
+    #[test]
+    fn leg_solver_reuses_geometry_across_exponents() {
+        let target = Vec2::new(2.0, 5.0);
+        let path: Vec<Vec2> = (0..12).map(|i| Vec2::new(i as f64 * 0.4, 0.0)).collect();
+        let (_, positions, rss) = synthetic(target, &path, -60.0, 2.2);
+        let solver = LegSolver::new(&positions, &rss).unwrap();
+        for k in 0..8 {
+            let n = 1.6 + 0.4 * k as f64;
+            let cached = solver.solve(n);
+            let oneshot = LegFit::solve(&positions, &rss, n);
+            match (cached, oneshot) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.candidates[0].x.to_bits(), b.candidates[0].x.to_bits());
+                    assert_eq!(a.candidates[1].y.to_bits(), b.candidates[1].y.to_bits());
+                    assert_eq!(a.residual_db.to_bits(), b.residual_db.to_bits());
+                }
+                (None, None) => {}
+                (a, b) => panic!("cached {a:?} vs oneshot {b:?} at n={n}"),
+            }
+        }
     }
 
     #[test]

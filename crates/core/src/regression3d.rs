@@ -19,7 +19,8 @@
 //! walk's plane). [`Fit3d::solve`] rejects near-planar sample sets so the
 //! caller falls back to the 2-D machinery.
 
-use locble_ml::Matrix;
+use crate::exponent::{search_scored, ExponentSearch};
+use locble_ml::GramSolver;
 use locble_rf::MIN_RANGE_M;
 
 /// A 3-D point/vector (kept local: the rest of the system is planar).
@@ -92,8 +93,49 @@ impl Fit3d {
 
     /// Solves the 3-D fit for a fixed exponent. Returns `None` for
     /// degenerate (near-planar) movement or non-physical solutions.
+    ///
+    /// One-shot convenience over [`Solver3d`]; callers evaluating many
+    /// exponents over the same points should hold a `Solver3d` instead.
     pub fn solve(points: &[RssPoint3], exponent: f64) -> Option<Fit3d> {
-        if points.len() < Self::MIN_SAMPLES || exponent <= 0.0 {
+        Solver3d::new(points).and_then(|solver| solver.solve(exponent))
+    }
+
+    /// Exponent search over the 3-D fit (coarse grid + golden-section),
+    /// sharing [`crate::exponent::search_scored`] — the geometry/Gram
+    /// state is built once and every candidate is a back-substitution.
+    pub fn search(points: &[RssPoint3], min_n: f64, max_n: f64) -> Option<Fit3d> {
+        let solver = Solver3d::new(points)?;
+        let search = ExponentSearch {
+            min: min_n,
+            max: max_n,
+            grid: 18,
+            refine_iters: 16,
+        };
+        search_scored(&search, |n| solver.solve(n).map(|f| (f, f.residual_db)))
+    }
+}
+
+/// Cached solver for [`Fit3d`]: the 5-column design `[p²+q²+r², p, q, r,
+/// 1]` and its Gram matrix are exponent-independent, so one `Solver3d`
+/// answers every candidate of [`Fit3d::search`] with a single `Xᵀρ` pass
+/// plus back-substitution (same scheme as [`crate::FitSolver`]).
+#[derive(Debug, Clone)]
+struct Solver3d {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    /// Cached squared norm per point.
+    s: Vec<f64>,
+    rss: Vec<f64>,
+    gram: GramSolver<5>,
+}
+
+impl Solver3d {
+    /// Builds the exponent-independent state. Returns `None` when the
+    /// sample set is too small or the movement is near-planar (the
+    /// identifiability guard of [`Fit3d::solve`]).
+    fn new(points: &[RssPoint3]) -> Option<Solver3d> {
+        if points.len() < Fit3d::MIN_SAMPLES {
             return None;
         }
         // Identifiability: every axis of the relative movement must vary.
@@ -110,25 +152,54 @@ impl Fit3d {
                 .fold(f64::NEG_INFINITY, f64::max);
             hi - lo
         };
-        if spread(|v| v.x).min(spread(|v| v.y)).min(spread(|v| v.z)) < Self::MIN_AXIS_SPREAD {
+        if spread(|v| v.x).min(spread(|v| v.y)).min(spread(|v| v.z)) < Fit3d::MIN_AXIS_SPREAD {
             return None;
         }
+        let mut solver = Solver3d {
+            x: Vec::with_capacity(points.len()),
+            y: Vec::with_capacity(points.len()),
+            z: Vec::with_capacity(points.len()),
+            s: Vec::with_capacity(points.len()),
+            rss: Vec::with_capacity(points.len()),
+            gram: GramSolver::new(),
+        };
+        for pt in points {
+            let d = pt.disp;
+            let s = d.x * d.x + d.y * d.y + d.z * d.z;
+            solver.x.push(d.x);
+            solver.y.push(d.y);
+            solver.z.push(d.z);
+            solver.s.push(s);
+            solver.rss.push(pt.rss);
+            solver.gram.accumulate(&[s, d.x, d.y, d.z, 1.0]);
+        }
+        solver.gram.factorize(1e-9);
+        Some(solver)
+    }
 
-        let raw_rho: Vec<f64> = points
-            .iter()
-            .map(|pt| 10f64.powf(-pt.rss / (5.0 * exponent)))
-            .collect();
-        let scale = raw_rho.iter().sum::<f64>() / raw_rho.len() as f64;
-        let rho: Vec<f64> = raw_rho.iter().map(|r| r / scale).collect();
-
-        let rows: Vec<Vec<f64>> = points
-            .iter()
-            .map(|pt| {
-                let d = pt.disp;
-                vec![d.x * d.x + d.y * d.y + d.z * d.z, d.x, d.y, d.z, 1.0]
-            })
-            .collect();
-        let theta = Matrix::from_rows(&rows).least_squares(&rho, 1e-9)?;
+    /// Solves for one candidate exponent using the cached factorization.
+    fn solve(&self, exponent: f64) -> Option<Fit3d> {
+        if exponent <= 0.0 {
+            return None;
+        }
+        let n = self.s.len();
+        let k = -std::f64::consts::LN_10 / (5.0 * exponent);
+        let mut sum = 0.0;
+        let mut xty = [0.0; 5];
+        for i in 0..n {
+            let rho = (k * self.rss[i]).exp();
+            sum += rho;
+            xty[0] += self.s[i] * rho;
+            xty[1] += self.x[i] * rho;
+            xty[2] += self.y[i] * rho;
+            xty[3] += self.z[i] * rho;
+            xty[4] += rho;
+        }
+        let scale = sum / n as f64;
+        for v in &mut xty {
+            *v /= scale;
+        }
+        let theta = self.gram.solve(xty)?;
         let (a, c, d, e) = (theta[0], theta[1], theta[2], theta[3]);
         if a <= 1e-12 || !a.is_finite() {
             return None;
@@ -140,72 +211,25 @@ impl Fit3d {
         let epsilon = 1.0 / (a * scale);
         let gamma = 5.0 * exponent * epsilon.log10();
 
-        let residual_db = {
-            let sum: f64 = points
-                .iter()
-                .map(|pt| {
-                    let l = position
-                        .distance(Vec3::new(-pt.disp.x, -pt.disp.y, -pt.disp.z))
-                        .max(MIN_RANGE_M);
-                    let pred = gamma - 10.0 * exponent * l.log10();
-                    (pt.rss - pred) * (pt.rss - pred)
-                })
-                .sum();
-            (sum / points.len() as f64).sqrt()
-        };
+        // Residual in squared distances: 10·n·log10(l) = 5·n·log10(l²).
+        let min_sq = MIN_RANGE_M * MIN_RANGE_M;
+        let mut res_sum = 0.0;
+        for i in 0..n {
+            let dx = position.x + self.x[i];
+            let dy = position.y + self.y[i];
+            let dz = position.z + self.z[i];
+            let d_sq = (dx * dx + dy * dy + dz * dz).max(min_sq);
+            let pred = gamma - 5.0 * exponent * d_sq.log10();
+            let r = self.rss[i] - pred;
+            res_sum += r * r;
+        }
+        let residual_db = (res_sum / n as f64).sqrt();
         Some(Fit3d {
             position,
             gamma_dbm: gamma,
             exponent,
             residual_db,
         })
-    }
-
-    /// Exponent search over the 3-D fit (coarse grid + golden-section),
-    /// mirroring [`crate::exponent::search_exponent`].
-    pub fn search(points: &[RssPoint3], min_n: f64, max_n: f64) -> Option<Fit3d> {
-        if !(min_n > 0.0 && max_n > min_n) {
-            return None;
-        }
-        let grid = 18;
-        let mut best: Option<Fit3d> = None;
-        let mut best_n = min_n;
-        for k in 0..grid {
-            let n = min_n + (max_n - min_n) * k as f64 / (grid - 1) as f64;
-            if let Some(f) = Fit3d::solve(points, n) {
-                if best.as_ref().is_none_or(|b| f.residual_db < b.residual_db) {
-                    best_n = n;
-                    best = Some(f);
-                }
-            }
-        }
-        let mut best = best?;
-        let step = (max_n - min_n) / (grid - 1) as f64;
-        let (mut lo, mut hi) = ((best_n - step).max(min_n), (best_n + step).min(max_n));
-        let phi = (5f64.sqrt() - 1.0) / 2.0;
-        for _ in 0..16 {
-            let m1 = hi - phi * (hi - lo);
-            let m2 = lo + phi * (hi - lo);
-            let f1 = Fit3d::solve(points, m1);
-            let f2 = Fit3d::solve(points, m2);
-            let r = |f: &Option<Fit3d>| f.as_ref().map_or(f64::INFINITY, |x| x.residual_db);
-            if r(&f1) <= r(&f2) {
-                hi = m2;
-                if let Some(f) = f1 {
-                    if f.residual_db < best.residual_db {
-                        best = f;
-                    }
-                }
-            } else {
-                lo = m1;
-                if let Some(f) = f2 {
-                    if f.residual_db < best.residual_db {
-                        best = f;
-                    }
-                }
-            }
-        }
-        Some(best)
     }
 }
 

@@ -13,6 +13,7 @@
 
 use crate::envaware::EnvChangeDetector;
 use crate::estimator::{Estimator, LocationEstimate};
+use crate::regression::FitSolver;
 use locble_dsp::TimeSeries;
 use locble_geom::EnvClass;
 use locble_motion::MotionTrack;
@@ -169,6 +170,12 @@ pub struct StreamingEstimator {
     refit_stride: usize,
     /// Batches accumulated since the last refit.
     batches_since_refit: usize,
+    /// Shared-factorization cache for the regression: across refits of a
+    /// growing session only the new samples' geometry is accumulated.
+    /// Not persisted — rebuilding it from the series is bit-identical
+    /// (Gram accumulation is strictly sequential), so restored sessions
+    /// repopulate it lazily on their first refit.
+    solver: FitSolver,
 }
 
 impl StreamingEstimator {
@@ -186,6 +193,7 @@ impl StreamingEstimator {
             current: None,
             refit_stride: 1,
             batches_since_refit: 0,
+            solver: FitSolver::new(),
         }
     }
 
@@ -236,6 +244,7 @@ impl StreamingEstimator {
         self.restarts = 0;
         self.current = None;
         self.batches_since_refit = 0;
+        self.solver.clear();
     }
 
     /// Classifies a batch's environment (when EnvAware is attached) and
@@ -272,6 +281,7 @@ impl StreamingEstimator {
             // Paper: "start a new regression with the data".
             let discarded = self.series.len();
             self.series = TimeSeries::default();
+            self.solver.clear();
             self.restarts += 1;
             obs.counter_add("stream.env_restarts", 1);
             if obs.enabled() {
@@ -345,7 +355,9 @@ impl StreamingEstimator {
         self.batches_since_refit = 0;
         let mut span = obs.span("core.streaming", "refit");
         span.field("active_samples", self.series.len());
-        let refreshed = self.estimator.estimate_stationary(&self.series, observer);
+        let refreshed =
+            self.estimator
+                .estimate_stationary_cached(&self.series, observer, &mut self.solver);
         span.field("ok", refreshed.is_some());
         if let Some(est) = &refreshed {
             span.field("residual_db", est.residual_db);
@@ -390,6 +402,7 @@ impl StreamingEstimator {
             current: state.current,
             refit_stride: state.refit_stride.max(1),
             batches_since_refit: state.batches_since_refit,
+            solver: FitSolver::new(),
         }
     }
 

@@ -23,6 +23,7 @@ pub mod forest;
 pub mod matrix;
 pub mod metrics;
 pub mod scaler;
+pub mod solver;
 pub mod svm;
 pub mod tree;
 
@@ -31,6 +32,7 @@ pub use forest::{RandomForest, RandomForestConfig};
 pub use matrix::Matrix;
 pub use metrics::ConfusionMatrix;
 pub use scaler::StandardScaler;
+pub use solver::GramSolver;
 pub use svm::{LinearSvm, MultiClassSvm, SvmConfig};
 pub use tree::{DecisionTree, TreeConfig};
 

@@ -1,0 +1,378 @@
+//! Cached normal-equation solver for repeated least squares against one
+//! design matrix.
+//!
+//! The exponent search of paper Eq. 5 solves the *same* linear system
+//! dozens of times per refit with only the right-hand side changing: the
+//! design matrix (and hence the ridge-regularized Gram matrix `XᵀX`)
+//! depends only on walk geometry, while each candidate exponent changes
+//! only `ρ`. [`GramSolver`] exploits that structure: rows are accumulated
+//! directly into a `K×K` Gram matrix (no row storage, no per-row
+//! allocation), the matrix is factorized once, and every subsequent
+//! [`solve`](GramSolver::solve) costs one forward/backward substitution
+//! — `O(K²)` instead of `O(rows·K²) + O(K³)`.
+//!
+//! The elimination replicates [`Matrix::solve`](crate::Matrix::solve)
+//! operation for operation (same partial pivoting, same `1e-12`
+//! singularity threshold, same multiplier arithmetic), so for identical
+//! inputs the solutions are identical down to the bit pattern — the
+//! property the estimator's differential suites lean on.
+
+/// Accumulating `(XᵀX + λI) θ = Xᵀy` solver with a cached factorization.
+///
+/// Usage: [`accumulate`](Self::accumulate) each design row (possibly
+/// incrementally, across batches), [`factorize`](Self::factorize) once
+/// per right-hand-side family, then [`solve`](Self::solve) as many times
+/// as needed. Accumulation is strictly sequential, so extending an
+/// existing accumulation with new rows produces the same Gram matrix —
+/// bit for bit — as re-accumulating everything from scratch.
+#[derive(Debug, Clone)]
+pub struct GramSolver<const K: usize> {
+    /// Accumulated `XᵀX`.
+    gram: [[f64; K]; K],
+    /// Rows accumulated so far.
+    rows: usize,
+    /// LU factors of `gram + ridge·I`: upper triangle + diagonal hold
+    /// `U`, strict lower triangle holds the elimination multipliers.
+    lu: [[f64; K]; K],
+    /// Pivot row chosen at each elimination column.
+    pivots: [usize; K],
+    /// Whether `lu` is valid (factorization succeeded).
+    factorized: bool,
+    /// Whether `gram` changed since the last factorization.
+    dirty: bool,
+    /// Ridge used by the cached factorization.
+    ridge: f64,
+}
+
+impl<const K: usize> Default for GramSolver<K> {
+    fn default() -> Self {
+        GramSolver::new()
+    }
+}
+
+impl<const K: usize> GramSolver<K> {
+    /// Singularity threshold, identical to `Matrix::solve`.
+    const PIVOT_EPS: f64 = 1e-12;
+
+    /// An empty solver (no rows accumulated).
+    pub fn new() -> GramSolver<K> {
+        GramSolver {
+            gram: [[0.0; K]; K],
+            rows: 0,
+            lu: [[0.0; K]; K],
+            pivots: [0; K],
+            factorized: false,
+            dirty: true,
+            ridge: f64::NAN,
+        }
+    }
+
+    /// Discards all accumulated rows and the cached factorization.
+    pub fn reset(&mut self) {
+        self.gram = [[0.0; K]; K];
+        self.rows = 0;
+        self.factorized = false;
+        self.dirty = true;
+        self.ridge = f64::NAN;
+    }
+
+    /// Number of design rows accumulated.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Adds one design row: `gram += row·rowᵀ`. Invalidates the cached
+    /// factorization.
+    pub fn accumulate(&mut self, row: &[f64; K]) {
+        for i in 0..K {
+            for j in 0..K {
+                self.gram[i][j] += row[i] * row[j];
+            }
+        }
+        self.rows += 1;
+        self.dirty = true;
+    }
+
+    /// Factorizes `gram + ridge·I` with partial pivoting. Returns `false`
+    /// when the matrix is (numerically) singular, in which case
+    /// [`solve`](Self::solve) answers `None`. A repeated call with an
+    /// unchanged accumulation and the same ridge reuses the cached
+    /// factors.
+    pub fn factorize(&mut self, ridge: f64) -> bool {
+        if !self.dirty && ridge.to_bits() == self.ridge.to_bits() {
+            return self.factorized;
+        }
+        self.dirty = false;
+        self.ridge = ridge;
+        self.factorized = false;
+        let a = &mut self.lu;
+        *a = self.gram;
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += ridge;
+        }
+        for col in 0..K {
+            // Partial pivot (same selection rule as Matrix::solve).
+            let mut pivot = col;
+            let mut best = a[col][col].abs();
+            for (r, row) in a.iter().enumerate().skip(col + 1) {
+                let v = row[col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < Self::PIVOT_EPS {
+                return false;
+            }
+            self.pivots[col] = pivot;
+            if pivot != col {
+                a.swap(col, pivot);
+            }
+            let (pivot_rows, below) = a.split_at_mut(col + 1);
+            let pivot_row = &pivot_rows[col];
+            let d = pivot_row[col];
+            for row in below.iter_mut() {
+                let f = row[col] / d;
+                row[col] = f; // multiplier, replayed per right-hand side
+                if f == 0.0 {
+                    continue;
+                }
+                for (rj, pj) in row[col + 1..].iter_mut().zip(&pivot_row[col + 1..]) {
+                    *rj -= f * pj;
+                }
+            }
+        }
+        self.factorized = true;
+        true
+    }
+
+    /// Solves `(gram + ridge·I) θ = rhs` using the cached factorization.
+    /// Returns `None` when [`factorize`](Self::factorize) has not
+    /// succeeded since the last accumulation.
+    pub fn solve(&self, mut rhs: [f64; K]) -> Option<[f64; K]> {
+        if !self.factorized || self.dirty {
+            return None;
+        }
+        // Replay the factorization on the rhs. Row swaps are applied
+        // up-front (the factorization swaps whole rows, multipliers
+        // included, so the stored `L` is expressed in final row order);
+        // the forward substitution then performs the exact scalar
+        // operations Matrix::solve applies in-line, giving bit-identical
+        // solutions.
+        for col in 0..K {
+            rhs.swap(col, self.pivots[col]);
+        }
+        for col in 0..K {
+            for r in col + 1..K {
+                let f = self.lu[r][col];
+                if f == 0.0 {
+                    continue;
+                }
+                rhs[r] -= f * rhs[col];
+            }
+        }
+        for col in (0..K).rev() {
+            let mut s = rhs[col];
+            for (l, r) in self.lu[col][col + 1..].iter().zip(&rhs[col + 1..]) {
+                s -= l * r;
+            }
+            rhs[col] = s / self.lu[col][col];
+        }
+        Some(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    /// Deterministic pseudo-random row generator (SplitMix64-ish).
+    fn rows(n: usize, seed: u64) -> Vec<[f64; 4]> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64 * 10.0 - 5.0
+        };
+        (0..n)
+            .map(|_| {
+                let p = next();
+                let q = next();
+                [p * p + q * q, p, q, 1.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_matrix_least_squares_bitwise() {
+        for seed in [1u64, 7, 42, 1234] {
+            let design_rows = rows(25, seed);
+            let y: Vec<f64> = design_rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| r[1] * 0.3 - r[2] * 1.1 + 0.01 * i as f64)
+                .collect();
+            let matrix =
+                Matrix::from_rows(&design_rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+            let reference = matrix.least_squares(&y, 1e-9).expect("reference solves");
+
+            let mut solver = GramSolver::<4>::new();
+            for r in &design_rows {
+                solver.accumulate(r);
+            }
+            assert!(solver.factorize(1e-9));
+            // Xᵀy accumulated in the same (row-sequential) order matvec
+            // uses.
+            let mut xty = [0.0; 4];
+            for (r, &yi) in design_rows.iter().zip(&y) {
+                for k in 0..4 {
+                    xty[k] += r[k] * yi;
+                }
+            }
+            let theta = solver.solve(xty).expect("cached solve");
+            for k in 0..4 {
+                assert_eq!(
+                    theta[k].to_bits(),
+                    reference[k].to_bits(),
+                    "seed {seed} component {k}: {} vs {}",
+                    theta[k],
+                    reference[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_accumulation_is_bit_identical_to_scratch() {
+        let design_rows = rows(30, 99);
+        let mut incremental = GramSolver::<4>::new();
+        for (cut, row) in design_rows.iter().enumerate() {
+            incremental.accumulate(row);
+            let mut scratch = GramSolver::<4>::new();
+            for r in &design_rows[..=cut] {
+                scratch.accumulate(r);
+            }
+            if !scratch.factorize(1e-9) {
+                assert!(!incremental.factorize(1e-9));
+                continue;
+            }
+            assert!(incremental.factorize(1e-9));
+            let rhs = [1.0, -2.0, 0.5, 3.0];
+            let a = incremental.solve(rhs).unwrap();
+            let b = scratch.solve(rhs).unwrap();
+            for k in 0..4 {
+                assert_eq!(a[k].to_bits(), b[k].to_bits(), "cut {cut} component {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn refactorize_without_new_rows_reuses_the_cache() {
+        let mut solver = GramSolver::<3>::new();
+        for r in rows(12, 5) {
+            solver.accumulate(&[r[1], r[2], r[3]]);
+        }
+        assert!(solver.factorize(1e-9));
+        let first = solver.solve([1.0, 2.0, 3.0]).unwrap();
+        // Same ridge, no new rows: the cached LU answers again.
+        assert!(solver.factorize(1e-9));
+        let second = solver.solve([1.0, 2.0, 3.0]).unwrap();
+        for k in 0..3 {
+            assert_eq!(first[k].to_bits(), second[k].to_bits());
+        }
+        // A different ridge forces a refactorization.
+        assert!(solver.factorize(1e-6));
+        let third = solver.solve([1.0, 2.0, 3.0]).unwrap();
+        assert!(third.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn singular_gram_reports_failure() {
+        let mut solver = GramSolver::<3>::new();
+        // Rank-1 accumulation: duplicated direction, no ridge.
+        for _ in 0..6 {
+            solver.accumulate(&[1.0, 2.0, 3.0]);
+        }
+        assert!(!solver.factorize(0.0));
+        assert!(solver.solve([1.0, 1.0, 1.0]).is_none());
+        // The ridge rescues it, same as Matrix::least_squares.
+        assert!(solver.factorize(1e-6));
+        assert!(solver.solve([1.0, 1.0, 1.0]).is_some());
+    }
+
+    #[test]
+    fn solve_before_factorize_is_none() {
+        let mut solver = GramSolver::<2>::new();
+        solver.accumulate(&[1.0, 0.0]);
+        solver.accumulate(&[0.0, 1.0]);
+        assert!(solver.solve([1.0, 1.0]).is_none());
+        assert!(solver.factorize(0.0));
+        assert_eq!(solver.solve([1.0, 1.0]), Some([1.0, 1.0]));
+        // Accumulating again invalidates the factorization.
+        solver.accumulate(&[1.0, 1.0]);
+        assert!(solver.solve([1.0, 1.0]).is_none());
+        assert_eq!(solver.rows(), 3);
+        solver.reset();
+        assert_eq!(solver.rows(), 0);
+    }
+
+    #[test]
+    fn polynomial_gram_with_late_swaps_matches_matrix_bitwise() {
+        // Vandermonde-style rows [s², s, 1] produce a Gram matrix whose
+        // elimination pivots at later columns too — the case where
+        // interleaving swaps with the rhs replay would go wrong.
+        let design_rows: Vec<[f64; 3]> = (0..9)
+            .map(|i| {
+                let s = i as f64 / 3.0;
+                [s * s, s, 1.0]
+            })
+            .collect();
+        let y: Vec<f64> = (0..9).map(|i| 1.0 + 0.5 * i as f64).collect();
+        let matrix = Matrix::from_rows(&design_rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+        let reference = matrix.least_squares(&y, 1e-9).expect("reference");
+        let mut solver = GramSolver::<3>::new();
+        for r in &design_rows {
+            solver.accumulate(r);
+        }
+        assert!(solver.factorize(1e-9));
+        let mut xty = [0.0; 3];
+        for (r, &yi) in design_rows.iter().zip(&y) {
+            for k in 0..3 {
+                xty[k] += r[k] * yi;
+            }
+        }
+        let theta = solver.solve(xty).expect("solve");
+        for k in 0..3 {
+            assert_eq!(theta[k].to_bits(), reference[k].to_bits(), "component {k}");
+        }
+    }
+
+    #[test]
+    fn pivoting_path_matches_matrix_solve() {
+        // A Gram-like matrix whose first diagonal entry is tiny forces a
+        // row swap; the recorded pivots must replay it on the rhs.
+        let design_rows = [[1e-13f64, 1.0, 0.0], [1.0, 1e-13, 0.0], [0.0, 0.0, 1.0]];
+        let matrix = Matrix::from_rows(&design_rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>());
+        let y = [2.0, 3.0, 4.0];
+        let reference = matrix.least_squares(&y, 0.0).expect("reference");
+        let mut solver = GramSolver::<3>::new();
+        for r in &design_rows {
+            solver.accumulate(r);
+        }
+        assert!(solver.factorize(0.0));
+        let mut xty = [0.0; 3];
+        for (r, &yi) in design_rows.iter().zip(&y) {
+            for k in 0..3 {
+                xty[k] += r[k] * yi;
+            }
+        }
+        let theta = solver.solve(xty).expect("solve");
+        for k in 0..3 {
+            assert_eq!(theta[k].to_bits(), reference[k].to_bits(), "component {k}");
+        }
+    }
+}

@@ -29,6 +29,15 @@ crashtest_report="$(cargo run --release -q -p locble-bench --bin crashtest)"
 grep -q "crashtest: PASS" <<<"$crashtest_report" \
   || { echo "recovery smoke failed"; echo "$crashtest_report"; exit 1; }
 
+echo "==> refit smoke (release harness, streaming-refit speedup + BENCH_refit.json)"
+refit_report="$(cargo run --release -q -p locble-bench --bin harness -- refit --refit-json BENCH_refit.json)"
+grep -q "matches reference within 1e-9      true" <<<"$refit_report" \
+  || { echo "refit smoke failed: cached search drifted from reference"; echo "$refit_report"; exit 1; }
+grep -q "search speedup >= 5x               true" <<<"$refit_report" \
+  || { echo "refit smoke failed: shared-factorization speedup below 5x"; echo "$refit_report"; exit 1; }
+test -s BENCH_refit.json \
+  || { echo "refit smoke failed: BENCH_refit.json missing or empty"; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
