@@ -16,6 +16,7 @@ pub mod fig5;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod obs;
 pub mod recover;
 pub mod refit;
 pub mod sec4_1;

@@ -34,6 +34,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fleet",
     "refit",
     "serve",
+    "obs",
     "recover",
     "ablations",
 ];
@@ -62,6 +63,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "fleet" => fleet::run(),
         "refit" => refit::run(),
         "serve" => serve::run(),
+        "obs" => obs::run(),
         "recover" => recover::run(),
         "ablations" => ablations::run(),
         _ => return None,

@@ -30,10 +30,11 @@ use locble_ble::BeaconId;
 use locble_core::{Estimator, LocationEstimate, RssBatch, StreamingEstimator};
 use locble_geom::Trajectory;
 use locble_motion::{MotionTrack, StepResult};
-use locble_obs::Obs;
+use locble_obs::{Obs, Stage, TraceCtx};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -260,7 +261,50 @@ struct DrainReport {
     batches_rejected: u64,
     evicted: u64,
     queue_depth: usize,
+    /// Wall time the worker spent draining this shard, microseconds.
+    /// Only measured while traced batches are pending (zero otherwise).
+    drain_us: u64,
 }
+
+/// Per-shard metric names, formatted once at construction so the
+/// per-drain hot loop never pays `format!` — not even on the enabled
+/// path. `None` under a noop handle: the names are never built at all.
+struct ShardMetricNames {
+    queue_depth: String,
+    samples: String,
+    evictions: String,
+}
+
+fn shard_metric_names(obs: &Obs, shards: usize) -> Option<Vec<ShardMetricNames>> {
+    obs.enabled().then(|| {
+        (0..shards)
+            .map(|i| ShardMetricNames {
+                queue_depth: format!("engine.shard{i}.queue_depth"),
+                samples: format!("engine.shard{i}.samples"),
+                evictions: format!("engine.shard{i}.evictions"),
+            })
+            .collect()
+    })
+}
+
+/// A traced batch awaiting its asynchronous stage laps: created by
+/// [`Engine::ingest_traced`] when tracing is live, closed by the next
+/// [`Engine::process`], which attributes the shard-queue wait and the
+/// drain (refit) duration to the trace.
+struct TraceMark {
+    trace_id: u64,
+    /// The recording handle the trace lives in — the *caller's* (e.g.
+    /// the server's), which need not be the engine's own.
+    obs: Obs,
+    /// `obs.now_us()` when the batch was routed into shard queues.
+    enqueued_us: u64,
+    /// Shards the batch touched; the refit lap is the slowest of them.
+    shards: Vec<usize>,
+}
+
+/// Pending trace marks retained between `process` calls before the
+/// oldest is dropped (guards a caller that traces but never processes).
+const MAX_PENDING_MARKS: usize = 1024;
 
 /// The concurrent multi-beacon tracking engine. See the module docs for
 /// the dataflow and the determinism guarantee.
@@ -274,6 +318,8 @@ pub struct Engine {
     motion: Arc<MotionTrack>,
     watermark: f64,
     stats: EngineStats,
+    shard_names: Option<Vec<ShardMetricNames>>,
+    pending_marks: Vec<TraceMark>,
 }
 
 /// An empty motion track (engine before the first motion update).
@@ -305,6 +351,8 @@ impl Engine {
             motion: Arc::new(empty_track()),
             watermark: f64::NEG_INFINITY,
             stats: EngineStats::default(),
+            shard_names: shard_metric_names(&obs, config.shards),
+            pending_marks: Vec::new(),
             config,
             prototype,
             obs,
@@ -455,6 +503,46 @@ impl Engine {
         total
     }
 
+    /// [`Engine::ingest`] with trace attribution: records a `route` lap
+    /// against `ctx` and leaves a mark so the next [`Engine::process`]
+    /// can attribute the shard-queue wait and drain duration to the
+    /// trace. `obs` is the *recording* handle (usually the server's) —
+    /// it need not be the engine's own, and when it is disabled this is
+    /// exactly [`Engine::ingest`]: one branch, no clock reads, no
+    /// allocation. Tracing never feeds the estimators, so estimates
+    /// stay bit-identical to the untraced path.
+    pub fn ingest_traced(&mut self, adverts: &[Advert], ctx: TraceCtx, obs: &Obs) -> IngestReport {
+        if !obs.enabled() {
+            return self.ingest(adverts);
+        }
+        let start_us = obs.now_us();
+        let report = self.ingest(adverts);
+        let ctx = ctx.with_stage(Stage::Route);
+        obs.trace_begin(ctx);
+        obs.trace_stage(
+            ctx.trace_id,
+            Stage::Route,
+            start_us,
+            obs.now_us().saturating_sub(start_us),
+        );
+        let mut shards: Vec<usize> = adverts[..report.consumed]
+            .iter()
+            .map(|a| shard_of(a.beacon, self.config.shards))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        if self.pending_marks.len() >= MAX_PENDING_MARKS {
+            self.pending_marks.remove(0);
+        }
+        self.pending_marks.push(TraceMark {
+            trace_id: ctx.trace_id,
+            obs: obs.clone(),
+            enqueued_us: obs.now_us(),
+            shards,
+        });
+        report
+    }
+
     /// Drains every shard queue across the worker pool, then evicts idle
     /// sessions. Deterministic for any thread count: each shard is
     /// drained by exactly one worker, in FIFO order.
@@ -493,6 +581,13 @@ impl Engine {
 
         let threads = self.config.threads.min(n_shards);
         let next = AtomicUsize::new(0);
+        // Close out traced batches routed since the last process call:
+        // their shard-queue wait ends now, and their refit lap is the
+        // drain about to run. Per-shard drain timing is only measured
+        // while marks are pending — untraced processing reads no clocks.
+        let marks = std::mem::take(&mut self.pending_marks);
+        let timed = !marks.is_empty();
+        let drain_start_us: Vec<u64> = marks.iter().map(|m| m.obs.now_us()).collect();
         let mut span = self.obs.span("engine", "process");
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -506,6 +601,7 @@ impl Engine {
                         .expect("work slot not poisoned")
                         .take()
                         .expect("each shard is drained once");
+                    let drain_t0 = timed.then(Instant::now);
                     let mut state = shards[i].lock().expect("shard not poisoned");
                     let mut report = DrainReport {
                         queue_depth: queue.len(),
@@ -540,14 +636,19 @@ impl Engine {
                         }
                     }
                     drop(state);
+                    if let Some(t0) = drain_t0 {
+                        report.drain_us = t0.elapsed().as_micros() as u64;
+                    }
                     *reports[i].lock().expect("report slot not poisoned") = report;
                 });
             }
         });
 
         let mut out = ProcessReport::default();
+        let mut drain_us_by_shard = vec![0u64; n_shards];
         for (i, slot) in reports.iter().enumerate() {
             let r = *slot.lock().expect("report slot not poisoned");
+            drain_us_by_shard[i] = r.drain_us;
             out.samples_processed += r.samples as usize;
             out.batches_pushed += r.batches as usize;
             out.sessions_evicted += r.evicted as usize;
@@ -556,18 +657,32 @@ impl Engine {
             self.stats.batches_pushed += r.batches;
             self.stats.batches_rejected += r.batches_rejected;
             self.stats.sessions_evicted += r.evicted;
-            if self.obs.enabled() {
-                self.obs
-                    .gauge_set(&format!("engine.shard{i}.queue_depth"), 0.0);
-                self.obs
-                    .counter_add(&format!("engine.shard{i}.samples"), r.samples);
+            if let Some(names) = &self.shard_names {
+                let n = &names[i];
+                self.obs.gauge_set(&n.queue_depth, 0.0);
+                self.obs.counter_add(&n.samples, r.samples);
                 if r.evicted > 0 {
-                    self.obs
-                        .counter_add(&format!("engine.shard{i}.evictions"), r.evicted);
+                    self.obs.counter_add(&n.evictions, r.evicted);
                 }
                 self.obs
                     .histogram_observe("engine.queue_depth_at_drain", r.queue_depth as f64);
             }
+        }
+        for (mark, start_us) in marks.into_iter().zip(drain_start_us) {
+            mark.obs.trace_stage(
+                mark.trace_id,
+                Stage::ShardQueue,
+                mark.enqueued_us,
+                start_us.saturating_sub(mark.enqueued_us),
+            );
+            let refit_us = mark
+                .shards
+                .iter()
+                .map(|&s| drain_us_by_shard[s])
+                .max()
+                .unwrap_or(0);
+            mark.obs
+                .trace_stage(mark.trace_id, Stage::Refit, start_us, refit_us);
         }
         self.stats.processes += 1;
         self.obs
@@ -804,5 +919,106 @@ impl std::fmt::Debug for Engine {
             .field("queued", &self.queues.total_depth())
             .field("watermark", &self.watermark)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locble_core::EstimatorConfig;
+
+    fn engine(obs: Obs) -> Engine {
+        Engine::new(
+            EngineConfig {
+                shards: 4,
+                threads: 2,
+                ..EngineConfig::default()
+            },
+            Estimator::new(EstimatorConfig::default()),
+            obs,
+        )
+    }
+
+    fn adverts(n: usize) -> Vec<Advert> {
+        (0..n)
+            .map(|i| Advert {
+                beacon: BeaconId((i % 7) as u32),
+                t: i as f64 * 0.1,
+                rssi_dbm: -60.0,
+            })
+            .collect()
+    }
+
+    /// The zero-cost rule, made checkable: under a noop handle the
+    /// per-shard metric names are never formatted — not deferred, never
+    /// built — while an enabled handle pays once at construction.
+    #[test]
+    fn shard_metric_names_are_never_formatted_under_noop() {
+        assert!(engine(Obs::noop()).shard_names.is_none());
+        let names = engine(Obs::ring(8)).shard_names.expect("formatted once");
+        assert_eq!(names.len(), 4);
+        assert_eq!(names[3].samples, "engine.shard3.samples");
+    }
+
+    #[test]
+    fn ingest_traced_with_noop_obs_leaves_no_marks() {
+        let mut e = engine(Obs::noop());
+        let report = e.ingest_traced(&adverts(20), TraceCtx::mint(1), &Obs::noop());
+        assert_eq!(report.routed, 20);
+        assert!(e.pending_marks.is_empty());
+        e.process();
+    }
+
+    #[test]
+    fn traced_batch_gets_route_queue_and_refit_laps() {
+        let obs = Obs::ring(64);
+        // The engine runs silent; only the caller's handle records — the
+        // serving topology, where the server owns the recording handle.
+        let mut e = engine(Obs::noop());
+        let ctx = TraceCtx::mint(0xABCD);
+        e.ingest_traced(&adverts(50), ctx, &obs);
+        assert_eq!(e.pending_marks.len(), 1);
+        e.process();
+        assert!(e.pending_marks.is_empty());
+        let rec = obs.trace_lookup(0xABCD).expect("trace retained");
+        for stage in [Stage::Route, Stage::ShardQueue, Stage::Refit] {
+            assert!(rec.lap(stage).is_some(), "missing {} lap", stage.name());
+            assert!(rec.ctx.has_stage(stage));
+        }
+        assert!(rec.ctx.has_stage(Stage::Client));
+        let m = obs.metrics();
+        assert_eq!(m.histograms["trace.route.us"].count, 1);
+        assert_eq!(m.histograms["trace.refit.us"].count, 1);
+    }
+
+    /// Tracing must never perturb the math: identical streams through
+    /// the traced and untraced ingest paths yield bit-identical
+    /// estimates.
+    #[test]
+    fn traced_ingest_is_bit_identical_to_untraced() {
+        let input = adverts(300);
+        let mut plain = engine(Obs::noop());
+        plain.ingest_all(&input);
+        plain.finish();
+        let obs = Obs::ring(1024);
+        let mut traced = engine(Obs::noop());
+        let mut offset = 0;
+        let mut batch = 0u64;
+        while offset < input.len() {
+            let ctx = TraceCtx::mint(locble_obs::trace_id(0x7E57, batch));
+            let r = traced.ingest_traced(&input[offset..], ctx, &obs);
+            offset += r.consumed;
+            traced.process();
+            batch += 1;
+        }
+        traced.finish();
+        let a = plain.snapshot();
+        let b = traced.snapshot();
+        assert_eq!(a.len(), b.len());
+        for ((id_a, ea), (id_b, eb)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(ea.position.x.to_bits(), eb.position.x.to_bits());
+            assert_eq!(ea.position.y.to_bits(), eb.position.y.to_bits());
+        }
     }
 }

@@ -9,11 +9,12 @@
 
 use crate::wire::{
     decode_frame_with_limit, encode_frame, DecodeError, FinishSummary, Frame, IngestSummary,
-    WireAdvert, WireError, WireStats, DEFAULT_MAX_FRAME_LEN,
+    TracedAck, WireAdvert, WireError, WireMetrics, WireStats, DEFAULT_MAX_FRAME_LEN,
 };
 use locble_ble::BeaconId;
 use locble_core::LocationEstimate;
 use locble_engine::Advert;
+use locble_obs::{TraceCtx, TraceRecord};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -130,6 +131,41 @@ impl Client {
         match self.request(&Frame::AdvertBatch(batch))? {
             Frame::IngestAck(s) => Ok(s),
             _ => Err(ClientError::UnexpectedFrame("IngestAck")),
+        }
+    }
+
+    /// Ships a batch under a trace context (mint one with
+    /// [`TraceCtx::mint`]); the ack carries the context plus every
+    /// server-side lap closed before the ack was written. The estimates
+    /// the server computes are bit-identical to an untraced
+    /// [`Client::ingest`] of the same adverts.
+    pub fn ingest_traced(
+        &mut self,
+        adverts: &[Advert],
+        ctx: TraceCtx,
+    ) -> Result<TracedAck, ClientError> {
+        let batch: Vec<WireAdvert> = adverts.iter().map(|a| WireAdvert::from(*a)).collect();
+        match self.request(&Frame::TracedAdvertBatch(ctx, batch))? {
+            Frame::TracedIngestAck(ack) => Ok(ack),
+            _ => Err(ClientError::UnexpectedFrame("TracedIngestAck")),
+        }
+    }
+
+    /// The server's live metrics snapshot (counters, gauges, latency
+    /// histograms), bit-exact over the wire.
+    pub fn metrics(&mut self) -> Result<WireMetrics, ClientError> {
+        match self.request(&Frame::MetricsQuery)? {
+            Frame::MetricsReport(m) => Ok(m),
+            _ => Err(ClientError::UnexpectedFrame("MetricsReport")),
+        }
+    }
+
+    /// Recent trace records from the server's trace table: all of them
+    /// (`None`) or one trace id's record (`Some`).
+    pub fn traces(&mut self, id: Option<u64>) -> Result<Vec<TraceRecord>, ClientError> {
+        match self.request(&Frame::TraceQuery(id))? {
+            Frame::TraceReport(records) => Ok(records),
+            _ => Err(ClientError::UnexpectedFrame("TraceReport")),
         }
     }
 

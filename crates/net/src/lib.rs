@@ -57,6 +57,6 @@ pub use client::{Client, ClientError};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     decode_frame, decode_frame_with_limit, encode_frame, frame_size, DecodeError, ErrorCode,
-    FinishSummary, Frame, IngestSummary, WireAdvert, WireError, WireEstimate, WireStats,
-    DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
+    FinishSummary, Frame, IngestSummary, TracedAck, WireAdvert, WireError, WireEstimate,
+    WireMetrics, WireStats, DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
 };

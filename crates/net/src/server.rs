@@ -23,18 +23,20 @@
 
 use crate::wire::{
     decode_frame_with_limit, encode_frame, frame_size, DecodeError, ErrorCode, FinishSummary,
-    Frame, IngestSummary, WireError, WireEstimate, WireStats, DEFAULT_MAX_FRAME_LEN,
+    Frame, IngestSummary, TracedAck, WireError, WireEstimate, WireMetrics, WireStats,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use locble_ble::BeaconId;
 use locble_engine::{Advert, Engine, IngestReport};
-use locble_obs::Obs;
+use locble_obs::{Obs, Stage, TraceCtx};
 use locble_store::SessionStore;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +51,20 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum accepted frame payload, bytes.
     pub max_frame_len: usize,
+    /// Where flight-recorder dumps go (JSON Lines, written atomically
+    /// via tmp + rename). `None` disables every dump trigger.
+    pub flight_dump_path: Option<PathBuf>,
+    /// Dump once after this many recoverable decode errors accumulate
+    /// across all connections (a *decode storm* — a confused or hostile
+    /// peer). 0 disables the trigger.
+    pub decode_storm_threshold: u64,
+    /// Dump on SIGTERM (handler installed at bind; the accept loop
+    /// performs the dump and begins shutdown on its next poll tick).
+    pub dump_on_sigterm: bool,
+    /// Dump on panic (chains onto the existing panic hook; the hook
+    /// holds a clone of the server's obs handle for the process
+    /// lifetime, which is why this is opt-in).
+    pub dump_on_panic: bool,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +74,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            flight_dump_path: None,
+            decode_storm_threshold: 0,
+            dump_on_sigterm: false,
+            dump_on_panic: false,
         }
     }
 }
@@ -81,6 +101,69 @@ struct Shared {
     obs: Obs,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// Recoverable decode errors across all connections (decode-storm
+    /// trigger).
+    decode_errors: AtomicU64,
+    /// One flight dump per server lifetime, whichever trigger fires
+    /// first.
+    dumped: AtomicBool,
+}
+
+/// Set by the SIGTERM handler; polled by every accept loop. A signal
+/// handler may only do async-signal-safe work, so the dump itself runs
+/// on the accept thread.
+static SIGTERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn sigterm_handler(_signum: i32) {
+    SIGTERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// SIGTERM's number on every platform this crate targets.
+const SIGTERM: i32 = 15;
+
+fn install_sigterm_handler() {
+    // `signal` comes from the C runtime std already links; declaring it
+    // here avoids a libc dependency. The return value (the previous
+    // handler) is pointer-sized and unused.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, sigterm_handler);
+    }
+}
+
+/// Writes the recent event history (JSON Lines) to the configured dump
+/// path — atomically, so a crash mid-dump never leaves a torn file — at
+/// most once per server. Returns whether this call performed the dump.
+fn flight_dump(shared: &Shared, trigger: &'static str) -> bool {
+    let Some(path) = &shared.config.flight_dump_path else {
+        return false;
+    };
+    if shared.dumped.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    shared
+        .obs
+        .event("net", "flight_dump", &[("trigger", trigger.into())]);
+    shared.obs.counter_add("net.flight_dumps", 1);
+    let ok = locble_obs::atomic_write(path, shared.obs.events_to_jsonl().as_bytes()).is_ok();
+    if !ok {
+        shared.obs.counter_add("net.flight_dump_failures", 1);
+    }
+    ok
+}
+
+/// Counts a recoverable decode error toward the decode-storm trigger:
+/// crossing the configured threshold dumps the flight recorder once.
+fn note_decode_error(shared: &Shared) {
+    let threshold = shared.config.decode_storm_threshold;
+    if threshold == 0 {
+        return;
+    }
+    if shared.decode_errors.fetch_add(1, Ordering::SeqCst) + 1 == threshold {
+        flight_dump(shared, "decode_storm");
+    }
 }
 
 /// Namespace for [`Server::bind`].
@@ -136,12 +219,27 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        if config.dump_on_sigterm && config.flight_dump_path.is_some() {
+            install_sigterm_handler();
+        }
+        if config.dump_on_panic {
+            if let Some(path) = config.flight_dump_path.clone() {
+                let hook_obs = obs.clone();
+                let prev = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    let _ = locble_obs::atomic_write(&path, hook_obs.events_to_jsonl().as_bytes());
+                    prev(info);
+                }));
+            }
+        }
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             store: store.map(Mutex::new),
             obs: obs.clone(),
             config,
             shutdown: AtomicBool::new(false),
+            decode_errors: AtomicU64::new(0),
+            dumped: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
@@ -231,6 +329,15 @@ impl std::fmt::Debug for ServerHandle {
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::SeqCst) {
+        if shared.config.dump_on_sigterm && SIGTERM_FLAG.load(Ordering::SeqCst) {
+            // Dump the recent history while it's still warm, then begin
+            // the normal graceful shutdown (connections finish and ack
+            // their buffered frames; the handle's shutdown still owns
+            // the final drain).
+            flight_dump(&shared, "sigterm");
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn_shared = Arc::clone(&shared);
@@ -284,15 +391,30 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             if buf.len() < total {
                 break;
             }
+            let decode_t0 = obs.enabled().then(Instant::now);
             let reply = match decode_frame_with_limit(&buf[..total], max) {
                 Ok((frame, _)) => {
                     obs.counter_add("net.frames_rx", 1);
+                    // A traced batch's decode lap: measured here, where
+                    // the trace id first becomes known.
+                    if let (Frame::TracedAdvertBatch(ctx, _), Some(t0)) = (&frame, decode_t0) {
+                        let duration_us = t0.elapsed().as_micros() as u64;
+                        let ctx = ctx.with_stage(Stage::Decode);
+                        obs.trace_begin(ctx);
+                        obs.trace_stage(
+                            ctx.trace_id,
+                            Stage::Decode,
+                            obs.now_us().saturating_sub(duration_us),
+                            duration_us,
+                        );
+                    }
                     handle_frame(shared, frame)
                 }
                 Err(e) => {
                     // Recoverable by construction: frame_size accepted
                     // the prefix, so the frame is skippable.
                     obs.counter_add("net.frame_errors", 1);
+                    note_decode_error(shared);
                     Frame::Error(WireError {
                         code: match e {
                             DecodeError::BadVersion { .. } => ErrorCode::UnsupportedVersion,
@@ -303,8 +425,25 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
                 }
             };
             buf.drain(..total);
+            // The ack lap covers encoding + writing the reply; recorded
+            // after the write, it lands in the trace table (served via
+            // TraceQuery), not in the ack frame itself.
+            let traced_ack = match &reply {
+                Frame::TracedIngestAck(ack) if obs.enabled() => {
+                    Some((ack.ctx.trace_id, obs.now_us(), Instant::now()))
+                }
+                _ => None,
+            };
             if write_frame(shared, &mut stream, &reply).is_err() {
                 break 'conn;
+            }
+            if let Some((trace_id, start_us, t0)) = traced_ack {
+                obs.trace_stage(
+                    trace_id,
+                    Stage::Ack,
+                    start_us,
+                    t0.elapsed().as_micros() as u64,
+                );
             }
         }
         if shared.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
@@ -351,8 +490,24 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
                     message: "server is draining; ingest refused".to_string(),
                 });
             }
-            ingest_batch(shared, &batch)
+            ingest_batch(shared, &batch, None)
         }
+        Frame::TracedAdvertBatch(ctx, batch) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Frame::Error(WireError {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining; ingest refused".to_string(),
+                });
+            }
+            ingest_batch(shared, &batch, Some(ctx))
+        }
+        Frame::MetricsQuery => {
+            Frame::MetricsReport(WireMetrics::from_snapshot(&shared.obs.metrics()))
+        }
+        Frame::TraceQuery(id) => Frame::TraceReport(match id {
+            None => shared.obs.traces(),
+            Some(id) => shared.obs.trace_lookup(id).into_iter().collect(),
+        }),
         Frame::QuerySnapshot => {
             let engine = shared.engine.lock().expect("engine mutex not poisoned");
             let mut span = shared.obs.span("net", "query_snapshot");
@@ -387,6 +542,9 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
             })
         }
         Frame::IngestAck(_)
+        | Frame::TracedIngestAck(_)
+        | Frame::MetricsReport(_)
+        | Frame::TraceReport(_)
         | Frame::Snapshot(_)
         | Frame::BeaconReply(_)
         | Frame::Stats(_)
@@ -400,8 +558,16 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
 
 /// Ingests one batch, draining shard-queue backpressure in-line so the
 /// whole batch is always consumed (mirrors `Engine::ingest_all`, with
-/// per-drain instrumentation).
-fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
+/// per-drain instrumentation). With a trace context the batch's WAL,
+/// route, shard-queue and refit laps are recorded and the reply is a
+/// [`Frame::TracedIngestAck`] carrying the laps closed so far — the
+/// estimates themselves are identical either way (telemetry never
+/// feeds the math).
+fn ingest_batch(
+    shared: &Shared,
+    batch: &[crate::wire::WireAdvert],
+    ctx: Option<TraceCtx>,
+) -> Frame {
     let adverts: Vec<Advert> = batch.iter().map(|a| Advert::from(*a)).collect();
     let mut span = shared.obs.span("net", "ingest_batch");
     span.field("adverts", adverts.len());
@@ -410,6 +576,7 @@ fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
         // Write-ahead: the batch must be durable before the engine can
         // see it, in offer order (both serialized by the engine lock).
         let mut durable = store.lock().expect("store mutex not poisoned");
+        let wal_t0 = ctx.and_then(|_| shared.obs.enabled().then(Instant::now));
         if let Err(e) = durable.store.append(&adverts) {
             shared.obs.counter_add("net.wal_failures", 1);
             span.field("wal_failed", true);
@@ -418,11 +585,23 @@ fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
                 message: format!("durability append failed; batch refused: {e}"),
             });
         }
+        if let (Some(ctx), Some(t0)) = (ctx, wal_t0) {
+            let duration_us = t0.elapsed().as_micros() as u64;
+            shared.obs.trace_stage(
+                ctx.trace_id,
+                Stage::Wal,
+                shared.obs.now_us().saturating_sub(duration_us),
+                duration_us,
+            );
+        }
     }
     let mut total = IngestReport::default();
     let mut offset = 0;
     while offset < adverts.len() {
-        let report = engine.ingest(&adverts[offset..]);
+        let report = match ctx {
+            Some(ctx) => engine.ingest_traced(&adverts[offset..], ctx, &shared.obs),
+            None => engine.ingest(&adverts[offset..]),
+        };
         offset += report.consumed;
         total.absorb(report);
         if offset < adverts.len() {
@@ -460,6 +639,12 @@ fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
             }
         }
     }
+    if ctx.is_some() {
+        // Close the batch's pending trace marks (shard-queue wait +
+        // refit laps) before acking, so the ack can carry them. Extra
+        // process calls are safe: they never perturb estimates.
+        engine.process();
+    }
     drop(engine);
     let summary = IngestSummary::from(total);
     span.field("routed", summary.routed);
@@ -471,5 +656,17 @@ fn ingest_batch(shared: &Shared, batch: &[crate::wire::WireAdvert]) -> Frame {
             .obs
             .counter_add("net.adverts_rejected", summary.rejected());
     }
-    Frame::IngestAck(summary)
+    match ctx {
+        Some(ctx) => {
+            // Laps closed so far travel in the ack; the ack lap itself
+            // is recorded after the write and lands only in the server's
+            // trace table (fetch it with a TraceQuery).
+            let (ctx, laps) = match shared.obs.trace_lookup(ctx.trace_id) {
+                Some(record) => (record.ctx, record.laps),
+                None => (ctx, Vec::new()),
+            };
+            Frame::TracedIngestAck(TracedAck { summary, ctx, laps })
+        }
+        None => Frame::IngestAck(summary),
+    }
 }

@@ -34,6 +34,7 @@ use locble_ble::BeaconId;
 use locble_core::{FitMethod, LocationEstimate};
 use locble_engine::{EngineStats, IngestReport};
 use locble_geom::{EnvClass, Vec2};
+use locble_obs::{HistogramSnapshot, MetricsSnapshot, Stage, StageLap, TraceCtx, TraceRecord};
 
 /// Current protocol version byte.
 pub const WIRE_VERSION: u8 = 1;
@@ -284,6 +285,93 @@ impl WireStats {
     }
 }
 
+/// Reply to a [`Frame::TracedAdvertBatch`]: the ingest accounting plus
+/// every stage lap known at ack time. Laps recorded *after* the ack is
+/// encoded (the `ack` write itself, and any shard drain that runs
+/// later) land in the server's trace table instead — fetch them with
+/// [`Frame::TraceQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedAck {
+    /// Exact accounting, as in [`Frame::IngestAck`].
+    pub summary: IngestSummary,
+    /// The batch's context with every server-side stage bit the batch
+    /// accumulated by ack time.
+    pub ctx: TraceCtx,
+    /// Stage laps known at ack time, in arrival order.
+    pub laps: Vec<StageLap>,
+}
+
+/// A whole metrics registry as served over the wire: the flattened
+/// image of [`MetricsSnapshot`], name-sorted. Floats travel by bit
+/// pattern, so a scraped histogram is indistinguishable from the
+/// server-side snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct WireMetrics {
+    /// Monotonic counters, by name.
+    pub counters: Vec<(String, u64)>,
+    /// Latest gauge values, by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl PartialEq for WireMetrics {
+    fn eq(&self, other: &WireMetrics) -> bool {
+        // Bit-level float equality, like every wire type: a NaN gauge
+        // must still round-trip as "equal to itself".
+        fn hist_bits(h: &HistogramSnapshot) -> (Vec<u64>, &[u64], u64, u64, u64, u64) {
+            (
+                h.bounds.iter().map(|b| b.to_bits()).collect(),
+                &h.counts,
+                h.sum.to_bits(),
+                h.count,
+                h.min.to_bits(),
+                h.max.to_bits(),
+            )
+        }
+        self.counters == other.counters
+            && self.gauges.len() == other.gauges.len()
+            && self
+                .gauges
+                .iter()
+                .zip(&other.gauges)
+                .all(|((an, av), (bn, bv))| an == bn && av.to_bits() == bv.to_bits())
+            && self.histograms.len() == other.histograms.len()
+            && self
+                .histograms
+                .iter()
+                .zip(&other.histograms)
+                .all(|((an, av), (bn, bv))| an == bn && hist_bits(av) == hist_bits(bv))
+    }
+}
+
+impl Eq for WireMetrics {}
+
+impl WireMetrics {
+    /// Flattens a snapshot for the wire (already name-sorted: the
+    /// snapshot's maps are BTree-ordered).
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> WireMetrics {
+        WireMetrics {
+            counters: snap.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: snap.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the map-shaped snapshot client-side.
+    pub fn to_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().cloned().collect(),
+            gauges: self.gauges.iter().cloned().collect(),
+            histograms: self.histograms.iter().cloned().collect(),
+        }
+    }
+}
+
 /// Why the server sent a [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -364,6 +452,25 @@ pub enum Frame {
     /// Reply: a typed error. The connection stays open unless the
     /// transport itself is broken.
     Error(WireError),
+    /// Request: [`Frame::AdvertBatch`] carrying a client-minted trace
+    /// context. Reply: [`Frame::TracedIngestAck`]. New tag, not a
+    /// version bump: old decoders reject it as
+    /// [`DecodeError::BadTag`] and the client can fall back to the
+    /// untraced batch.
+    TracedAdvertBatch(TraceCtx, Vec<WireAdvert>),
+    /// Reply: ingest accounting plus the stage laps known at ack time.
+    TracedIngestAck(TracedAck),
+    /// Request: the server's metrics registry. Reply:
+    /// [`Frame::MetricsReport`].
+    MetricsQuery,
+    /// Reply: the server's counters, gauges, and histograms.
+    MetricsReport(WireMetrics),
+    /// Request: retained trace records — all of them (`None`) or one
+    /// trace id. Reply: [`Frame::TraceReport`].
+    TraceQuery(Option<u64>),
+    /// Reply: the matching trace records, oldest first (empty when the
+    /// id is unknown or the server records nothing).
+    TraceReport(Vec<TraceRecord>),
 }
 
 const TAG_ADVERT_BATCH: u8 = 1;
@@ -377,12 +484,31 @@ const TAG_STATS: u8 = 8;
 const TAG_FINISH: u8 = 9;
 const TAG_FINISH_ACK: u8 = 10;
 const TAG_ERROR: u8 = 11;
+const TAG_TRACED_ADVERT_BATCH: u8 = 12;
+const TAG_TRACED_INGEST_ACK: u8 = 13;
+const TAG_METRICS_QUERY: u8 = 14;
+const TAG_METRICS_REPORT: u8 = 15;
+const TAG_TRACE_QUERY: u8 = 16;
+const TAG_TRACE_REPORT: u8 = 17;
 
 /// Smallest possible encoded advert (beacon + t + rssi).
 const ADVERT_WIRE_LEN: usize = 4 + 8 + 8;
 
 /// Smallest possible encoded estimate (mirror absent).
 const ESTIMATE_MIN_WIRE_LEN: usize = 4 + 8 + 8 + 1 + 8 + 8 + 8 + 1 + 8 + 1 + 8;
+
+/// Encoded stage lap (stage byte + start + duration).
+const LAP_WIRE_LEN: usize = 1 + 8 + 8;
+
+/// Smallest possible encoded trace record (id + path + empty lap list).
+const TRACE_RECORD_MIN_WIRE_LEN: usize = 8 + 2 + 2;
+
+/// Smallest named counter/gauge entry (empty name + value).
+const METRIC_ENTRY_MIN_WIRE_LEN: usize = 2 + 8;
+
+/// Smallest encoded histogram (empty name, no buckets, 4 summary
+/// fields).
+const HISTOGRAM_MIN_WIRE_LEN: usize = 2 + 4 + 4 + 8 + 8 + 8 + 8;
 
 /// Why a byte slice did not decode to a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -510,6 +636,45 @@ fn put_estimate(out: &mut Vec<u8>, e: &WireEstimate) {
     put_f64(out, e.residual_db);
 }
 
+/// Short string (metric names, &c): u16 length prefix + UTF-8 bytes,
+/// truncated on a char boundary past 64 KiB.
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = utf8_prefix(s, u16::MAX as usize);
+    put_u16(out, bytes.len() as u16);
+    out.extend_from_slice(bytes);
+}
+
+fn put_lap(out: &mut Vec<u8>, lap: &StageLap) {
+    out.push(lap.stage as u8);
+    put_u64(out, lap.start_us);
+    put_u64(out, lap.duration_us);
+}
+
+fn put_trace_record(out: &mut Vec<u8>, rec: &TraceRecord) {
+    put_u64(out, rec.ctx.trace_id);
+    put_u16(out, rec.ctx.path);
+    put_u16(out, rec.laps.len() as u16);
+    for lap in &rec.laps {
+        put_lap(out, lap);
+    }
+}
+
+fn put_histogram(out: &mut Vec<u8>, name: &str, h: &HistogramSnapshot) {
+    put_string(out, name);
+    put_u32(out, h.bounds.len() as u32);
+    for &b in &h.bounds {
+        put_f64(out, b);
+    }
+    put_u32(out, h.counts.len() as u32);
+    for &c in &h.counts {
+        put_u64(out, c);
+    }
+    put_f64(out, h.sum);
+    put_u64(out, h.count);
+    put_f64(out, h.min);
+    put_f64(out, h.max);
+}
+
 /// Encodes one frame, header included.
 ///
 /// # Panics
@@ -592,6 +757,69 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             let bytes = utf8_prefix(&e.message, u16::MAX as usize);
             put_u16(&mut out, bytes.len() as u16);
             out.extend_from_slice(bytes);
+        }
+        Frame::TracedAdvertBatch(ctx, adverts) => {
+            out.push(TAG_TRACED_ADVERT_BATCH);
+            put_u64(&mut out, ctx.trace_id);
+            put_u16(&mut out, ctx.path);
+            put_u32(&mut out, adverts.len() as u32);
+            for a in adverts {
+                put_advert(&mut out, a);
+            }
+        }
+        Frame::TracedIngestAck(ack) => {
+            out.push(TAG_TRACED_INGEST_ACK);
+            for v in [
+                ack.summary.consumed,
+                ack.summary.routed,
+                ack.summary.sessions_created,
+                ack.summary.rejected_non_finite,
+                ack.summary.rejected_out_of_order,
+                ack.summary.rejected_capacity,
+            ] {
+                put_u64(&mut out, v);
+            }
+            put_u64(&mut out, ack.ctx.trace_id);
+            put_u16(&mut out, ack.ctx.path);
+            put_u16(&mut out, ack.laps.len() as u16);
+            for lap in &ack.laps {
+                put_lap(&mut out, lap);
+            }
+        }
+        Frame::MetricsQuery => out.push(TAG_METRICS_QUERY),
+        Frame::MetricsReport(m) => {
+            out.push(TAG_METRICS_REPORT);
+            put_u32(&mut out, m.counters.len() as u32);
+            for (name, v) in &m.counters {
+                put_string(&mut out, name);
+                put_u64(&mut out, *v);
+            }
+            put_u32(&mut out, m.gauges.len() as u32);
+            for (name, v) in &m.gauges {
+                put_string(&mut out, name);
+                put_f64(&mut out, *v);
+            }
+            put_u32(&mut out, m.histograms.len() as u32);
+            for (name, h) in &m.histograms {
+                put_histogram(&mut out, name, h);
+            }
+        }
+        Frame::TraceQuery(id) => {
+            out.push(TAG_TRACE_QUERY);
+            match id {
+                Some(id) => {
+                    out.push(1);
+                    put_u64(&mut out, *id);
+                }
+                None => out.push(0),
+            }
+        }
+        Frame::TraceReport(records) => {
+            out.push(TAG_TRACE_REPORT);
+            put_u32(&mut out, records.len() as u32);
+            for rec in records {
+                put_trace_record(&mut out, rec);
+            }
         }
     }
     let payload = u32::try_from(out.len() - HEADER_LEN).expect("frame payload fits in u32");
@@ -723,6 +951,83 @@ pub fn decode_frame_with_limit(buf: &[u8], max_len: usize) -> Result<(Frame, usi
                 })?;
             Frame::Error(WireError { code, message })
         }
+        TAG_TRACED_ADVERT_BATCH => {
+            let ctx = TraceCtx {
+                trace_id: r.u64()?,
+                path: r.u16()?,
+            };
+            let n = r.counted(ADVERT_WIRE_LEN, "traced advert batch count")?;
+            let mut adverts = Vec::with_capacity(n);
+            for _ in 0..n {
+                adverts.push(r.advert()?);
+            }
+            Frame::TracedAdvertBatch(ctx, adverts)
+        }
+        TAG_TRACED_INGEST_ACK => {
+            let summary = IngestSummary {
+                consumed: r.u64()?,
+                routed: r.u64()?,
+                sessions_created: r.u64()?,
+                rejected_non_finite: r.u64()?,
+                rejected_out_of_order: r.u64()?,
+                rejected_capacity: r.u64()?,
+            };
+            let ctx = TraceCtx {
+                trace_id: r.u64()?,
+                path: r.u16()?,
+            };
+            let n = r.u16()? as usize;
+            if n.saturating_mul(LAP_WIRE_LEN) > r.remaining() {
+                return Err(DecodeError::Malformed {
+                    context: "traced ack lap count",
+                });
+            }
+            let mut laps = Vec::with_capacity(n);
+            for _ in 0..n {
+                laps.push(r.lap()?);
+            }
+            Frame::TracedIngestAck(TracedAck { summary, ctx, laps })
+        }
+        TAG_METRICS_QUERY => Frame::MetricsQuery,
+        TAG_METRICS_REPORT => {
+            let n = r.counted(METRIC_ENTRY_MIN_WIRE_LEN, "counter count")?;
+            let mut counters = Vec::with_capacity(n);
+            for _ in 0..n {
+                counters.push((r.string("counter name")?, r.u64()?));
+            }
+            let n = r.counted(METRIC_ENTRY_MIN_WIRE_LEN, "gauge count")?;
+            let mut gauges = Vec::with_capacity(n);
+            for _ in 0..n {
+                gauges.push((r.string("gauge name")?, r.f64()?));
+            }
+            let n = r.counted(HISTOGRAM_MIN_WIRE_LEN, "histogram count")?;
+            let mut histograms = Vec::with_capacity(n);
+            for _ in 0..n {
+                histograms.push(r.histogram()?);
+            }
+            Frame::MetricsReport(WireMetrics {
+                counters,
+                gauges,
+                histograms,
+            })
+        }
+        TAG_TRACE_QUERY => Frame::TraceQuery(match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => {
+                return Err(DecodeError::Malformed {
+                    context: "trace query presence flag",
+                })
+            }
+        }),
+        TAG_TRACE_REPORT => {
+            let n = r.counted(TRACE_RECORD_MIN_WIRE_LEN, "trace record count")?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(r.trace_record()?);
+            }
+            Frame::TraceReport(records)
+        }
         got => return Err(DecodeError::BadTag { got }),
     };
     if r.remaining() != 0 {
@@ -797,6 +1102,73 @@ impl<'a> Reader<'a> {
             t: self.f64()?,
             rssi_dbm: self.f64()?,
         })
+    }
+
+    fn string(&mut self, context: &'static str) -> Result<String, DecodeError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Malformed { context })
+    }
+
+    fn lap(&mut self) -> Result<StageLap, DecodeError> {
+        let stage = Stage::from_u8(self.u8()?).ok_or(DecodeError::Malformed {
+            context: "stage discriminant",
+        })?;
+        Ok(StageLap {
+            stage,
+            start_us: self.u64()?,
+            duration_us: self.u64()?,
+        })
+    }
+
+    fn trace_record(&mut self) -> Result<TraceRecord, DecodeError> {
+        let ctx = TraceCtx {
+            trace_id: self.u64()?,
+            path: self.u16()?,
+        };
+        let n = self.u16()? as usize;
+        if n.saturating_mul(LAP_WIRE_LEN) > self.remaining() {
+            return Err(DecodeError::Malformed {
+                context: "trace record lap count",
+            });
+        }
+        let mut laps = Vec::with_capacity(n);
+        for _ in 0..n {
+            laps.push(self.lap()?);
+        }
+        Ok(TraceRecord { ctx, laps })
+    }
+
+    fn histogram(&mut self) -> Result<(String, HistogramSnapshot), DecodeError> {
+        let name = self.string("histogram name")?;
+        let n = self.counted(8, "histogram bound count")?;
+        let mut bounds = Vec::with_capacity(n);
+        for _ in 0..n {
+            bounds.push(self.f64()?);
+        }
+        let n = self.counted(8, "histogram bucket count")?;
+        // The +1 overflow-bucket invariant travels implicitly; enforce
+        // it so a scraped snapshot is safe to run quantiles over.
+        if n != bounds.len() + 1 {
+            return Err(DecodeError::Malformed {
+                context: "histogram bucket count does not match bounds",
+            });
+        }
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(self.u64()?);
+        }
+        Ok((
+            name,
+            HistogramSnapshot {
+                bounds,
+                counts,
+                sum: self.f64()?,
+                count: self.u64()?,
+                min: self.f64()?,
+                max: self.f64()?,
+            },
+        ))
     }
 
     fn estimate(&mut self) -> Result<WireEstimate, DecodeError> {
@@ -933,6 +1305,63 @@ mod tests {
                 code: ErrorCode::Capacity,
                 message: "table full".to_string(),
             }),
+            Frame::TracedAdvertBatch(
+                TraceCtx::mint(0xDEAD_BEEF_u64),
+                vec![WireAdvert {
+                    beacon: 7,
+                    t: 1.5,
+                    rssi_dbm: -55.0,
+                }],
+            ),
+            Frame::TracedAdvertBatch(TraceCtx::mint(0), Vec::new()),
+            Frame::TracedIngestAck(TracedAck {
+                summary: IngestSummary {
+                    consumed: 5,
+                    routed: 5,
+                    ..IngestSummary::default()
+                },
+                ctx: TraceCtx::mint(99).with_stage(Stage::Route),
+                laps: vec![
+                    StageLap {
+                        stage: Stage::Decode,
+                        start_us: 10,
+                        duration_us: 3,
+                    },
+                    StageLap {
+                        stage: Stage::Route,
+                        start_us: 14,
+                        duration_us: 120,
+                    },
+                ],
+            }),
+            Frame::MetricsQuery,
+            Frame::MetricsReport(WireMetrics {
+                counters: vec![("net.frames_rx".to_string(), 12)],
+                gauges: vec![("engine.sessions_live".to_string(), 3.0)],
+                histograms: vec![(
+                    "trace.refit.us".to_string(),
+                    HistogramSnapshot {
+                        bounds: vec![1.0, 2.0, 4.0],
+                        counts: vec![0, 1, 2, 0],
+                        sum: 7.5,
+                        count: 3,
+                        min: 1.5,
+                        max: 3.5,
+                    },
+                )],
+            }),
+            Frame::MetricsReport(WireMetrics::default()),
+            Frame::TraceQuery(None),
+            Frame::TraceQuery(Some(0xABCD)),
+            Frame::TraceReport(vec![TraceRecord {
+                ctx: TraceCtx::mint(4).with_stage(Stage::Refit),
+                laps: vec![StageLap {
+                    stage: Stage::Refit,
+                    start_us: 100,
+                    duration_us: 2_000,
+                }],
+            }]),
+            Frame::TraceReport(Vec::new()),
         ];
         for frame in &frames {
             let bytes = encode_frame(frame);
@@ -940,6 +1369,69 @@ mod tests {
             assert_eq!(&back, frame);
             assert_eq!(used, bytes.len());
         }
+    }
+
+    #[test]
+    fn bad_stage_discriminant_is_malformed() {
+        let frame = Frame::TraceReport(vec![TraceRecord {
+            ctx: TraceCtx::mint(1),
+            laps: vec![StageLap {
+                stage: Stage::Ack,
+                start_us: 0,
+                duration_us: 1,
+            }],
+        }]);
+        let mut bytes = encode_frame(&frame);
+        // The lap's stage byte sits right after: header(4) + version +
+        // tag + record count(4) + trace id(8) + path(2) + lap count(2).
+        let stage_off = 4 + 1 + 1 + 4 + 8 + 2 + 2;
+        bytes[stage_off] = 200;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(DecodeError::Malformed {
+                context: "stage discriminant"
+            })
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_bound_mismatch_is_malformed() {
+        let frame = Frame::MetricsReport(WireMetrics {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: vec![(
+                "h".to_string(),
+                HistogramSnapshot {
+                    bounds: vec![1.0],
+                    // Violates the counts == bounds + 1 invariant.
+                    counts: vec![0, 0, 0],
+                    sum: 0.0,
+                    count: 0,
+                    min: 0.0,
+                    max: 0.0,
+                },
+            )],
+        });
+        let bytes = encode_frame(&frame);
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(DecodeError::Malformed {
+                context: "histogram bucket count does not match bounds"
+            })
+        );
+    }
+
+    #[test]
+    fn old_decoders_reject_new_tags_without_a_version_bump() {
+        // The versioning rule the telemetry frames rely on: a frame
+        // with an unknown tag is BadTag (recoverable), not BadVersion.
+        let bytes = encode_frame(&Frame::MetricsQuery);
+        assert_eq!(bytes[4], WIRE_VERSION);
+        let mut unknown = bytes.clone();
+        unknown[5] = 250;
+        let err = decode_frame(&unknown).expect_err("unknown tag");
+        assert_eq!(err, DecodeError::BadTag { got: 250 });
+        assert!(err.is_recoverable());
     }
 
     #[test]

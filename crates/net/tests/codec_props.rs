@@ -7,9 +7,10 @@ use locble_core::FitMethod;
 use locble_geom::EnvClass;
 use locble_net::wire::{
     decode_frame, decode_frame_with_limit, encode_frame, DecodeError, ErrorCode, FinishSummary,
-    Frame, IngestSummary, WireAdvert, WireError, WireEstimate, WireStats, DEFAULT_MAX_FRAME_LEN,
-    WIRE_VERSION,
+    Frame, IngestSummary, TracedAck, WireAdvert, WireError, WireEstimate, WireMetrics, WireStats,
+    DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
 };
+use locble_obs::{HistogramSnapshot, Stage, StageLap, TraceCtx, TraceRecord};
 use proptest::prelude::*;
 
 /// All of f64, non-finite bit patterns included: estimates and adverts
@@ -153,6 +154,74 @@ fn any_error() -> impl Strategy<Value = WireError> {
         .prop_map(|(code, message)| WireError { code, message })
 }
 
+fn any_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::Client),
+        Just(Stage::Decode),
+        Just(Stage::Wal),
+        Just(Stage::Route),
+        Just(Stage::ShardQueue),
+        Just(Stage::Refit),
+        Just(Stage::Ack),
+    ]
+}
+
+fn any_lap() -> impl Strategy<Value = StageLap> {
+    (any_stage(), any::<u64>(), any::<u64>()).prop_map(|(stage, start_us, duration_us)| StageLap {
+        stage,
+        start_us,
+        duration_us,
+    })
+}
+
+fn any_ctx() -> impl Strategy<Value = TraceCtx> {
+    (any::<u64>(), any::<u16>()).prop_map(|(trace_id, path)| TraceCtx { trace_id, path })
+}
+
+fn any_trace_record() -> impl Strategy<Value = TraceRecord> {
+    (any_ctx(), prop::collection::vec(any_lap(), 0..8))
+        .prop_map(|(ctx, laps)| TraceRecord { ctx, laps })
+}
+
+/// A histogram that obeys the wire invariant `counts == bounds + 1`
+/// (the decoder rejects anything else as malformed).
+fn any_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        prop::collection::vec(any_f64(), 0..6),
+        prop::collection::vec(any::<u64>(), 0..8),
+        any_f64(),
+        any::<u64>(),
+        any_f64(),
+        any_f64(),
+    )
+        .prop_map(|(bounds, mut counts, sum, count, min, max)| {
+            // Enforce the invariant rather than generating it: one
+            // count per bucket plus the overflow bucket.
+            counts.resize(bounds.len() + 1, 0);
+            HistogramSnapshot {
+                bounds,
+                counts,
+                sum,
+                count,
+                min,
+                max,
+            }
+        })
+}
+
+fn any_metrics() -> impl Strategy<Value = WireMetrics> {
+    (
+        prop::collection::vec(("\\PC{0,24}", any::<u64>()), 0..6),
+        prop::collection::vec(("\\PC{0,24}", any_f64()), 0..6),
+        prop::collection::vec(("\\PC{0,24}", any_histogram()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| WireMetrics {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
 /// Every frame variant, weighted uniformly.
 fn any_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
@@ -172,6 +241,22 @@ fn any_frame() -> impl Strategy<Value = Frame> {
             })
         }),
         any_error().prop_map(Frame::Error),
+        (any_ctx(), prop::collection::vec(any_advert(), 0..40))
+            .prop_map(|(ctx, batch)| Frame::TracedAdvertBatch(ctx, batch)),
+        (
+            any_summary(),
+            any_ctx(),
+            prop::collection::vec(any_lap(), 0..8)
+        )
+            .prop_map(|(summary, ctx, laps)| Frame::TracedIngestAck(TracedAck {
+                summary,
+                ctx,
+                laps
+            })),
+        Just(Frame::MetricsQuery),
+        any_metrics().prop_map(Frame::MetricsReport),
+        prop_oneof![Just(None), any::<u64>().prop_map(Some)].prop_map(Frame::TraceQuery),
+        prop::collection::vec(any_trace_record(), 0..6).prop_map(Frame::TraceReport),
     ]
 }
 

@@ -1,0 +1,167 @@
+//! Live introspection over loopback: one traced batch must come back
+//! with per-stage latency attributable to *that* batch (decode,
+//! shard-queue wait, refit, ack), the server's metrics frames must
+//! expose the per-stage histograms, and a decode storm must dump the
+//! flight recorder to a parseable file.
+
+use locble_ble::BeaconId;
+use locble_core::{Estimator, EstimatorConfig};
+use locble_engine::{Advert, Engine, EngineConfig};
+use locble_net::{Client, Server, ServerConfig};
+use locble_obs::{trace_id, Obs, Stage, TraceCtx};
+use std::path::PathBuf;
+
+fn engine(obs: Obs) -> Engine {
+    Engine::new(
+        EngineConfig::default(),
+        Estimator::new(EstimatorConfig::default()),
+        obs,
+    )
+}
+
+fn adverts(n: usize) -> Vec<Advert> {
+    (0..n)
+        .map(|i| Advert {
+            beacon: BeaconId((i % 7) as u32),
+            t: i as f64 * 0.1,
+            rssi_dbm: -60.0,
+        })
+        .collect()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("locble-introspection-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn one_traced_batch_is_attributable_per_stage() {
+    let obs = Obs::flight(4, 4096);
+    let server = Server::bind(engine(obs.clone()), ServerConfig::default(), obs).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let id = trace_id(0xC11E47, 1);
+    let ack = client
+        .ingest_traced(&adverts(300), TraceCtx::mint(id))
+        .expect("traced ingest");
+
+    // The ack carries the batch's accounting plus every lap closed
+    // before the ack was written.
+    assert_eq!(ack.summary.consumed, 300);
+    assert_eq!(ack.summary.routed, 300);
+    assert_eq!(ack.ctx.trace_id, id);
+    for stage in [Stage::Client, Stage::Decode, Stage::Route] {
+        assert!(
+            ack.ctx.has_stage(stage),
+            "ack path missing {}: {:?}",
+            stage.name(),
+            ack.ctx.stages()
+        );
+    }
+    for stage in [Stage::Decode, Stage::Route, Stage::ShardQueue, Stage::Refit] {
+        assert!(
+            ack.laps.iter().any(|l| l.stage == stage),
+            "ack laps missing {}: {:?}",
+            stage.name(),
+            ack.laps
+        );
+    }
+
+    // The ack lap is recorded after the reply hits the wire, so it
+    // lives only in the server's trace table — fetch it back.
+    let records = client.traces(Some(id)).expect("trace query");
+    assert_eq!(records.len(), 1, "exactly one record for the traced batch");
+    let record = &records[0];
+    assert_eq!(record.ctx.trace_id, id);
+    for stage in [Stage::Decode, Stage::ShardQueue, Stage::Refit, Stage::Ack] {
+        assert!(
+            record.lap(stage).is_some(),
+            "trace record missing {} lap: {:?}",
+            stage.name(),
+            record.laps
+        );
+    }
+    // Laps are wall-clock laps of this one batch: every start is within
+    // the handle's epoch-relative timeline and durations are sane
+    // (under a minute for 300 adverts on loopback).
+    for lap in &record.laps {
+        assert!(lap.duration_us < 60_000_000, "absurd lap: {lap:?}");
+    }
+
+    // An unknown id returns an empty report, not an error.
+    assert!(client.traces(Some(id ^ 1)).expect("miss").is_empty());
+
+    // The full-table query contains the same trace.
+    let all = client.traces(None).expect("all traces");
+    assert!(all.iter().any(|r| r.ctx.trace_id == id));
+
+    // The per-stage histograms observed this batch's laps.
+    let metrics = client.metrics().expect("metrics");
+    let snapshot = metrics.to_snapshot();
+    for stage in [
+        Stage::Decode,
+        Stage::Route,
+        Stage::ShardQueue,
+        Stage::Refit,
+        Stage::Ack,
+    ] {
+        let hist = snapshot
+            .histograms
+            .get(stage.histogram_name())
+            .unwrap_or_else(|| panic!("{} histogram not served", stage.histogram_name()));
+        assert!(
+            hist.count >= 1,
+            "{} histogram is empty",
+            stage.histogram_name()
+        );
+    }
+    assert!(snapshot.counter("net.frames_rx") >= 1);
+
+    client.finish().expect("finish");
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn decode_storm_dumps_the_flight_recorder() {
+    let dump = temp_path("storm");
+    let _ = std::fs::remove_file(&dump);
+    let obs = Obs::flight(4, 4096);
+    let config = ServerConfig {
+        flight_dump_path: Some(dump.clone()),
+        decode_storm_threshold: 3,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(engine(obs.clone()), config, obs).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Some real traffic first, so the dump has history to show.
+    client.ingest(&adverts(50)).expect("ingest");
+
+    // Three framed-but-malformed requests: the length prefix is valid,
+    // the tag is not, so each one is a recoverable decode error.
+    let mut bad = locble_net::encode_frame(&locble_net::Frame::QueryStats);
+    bad[5] = 250; // corrupt the tag byte (after 4-byte length + version)
+    for _ in 0..3 {
+        client.send_raw(&bad).expect("send");
+        match client.read_frame().expect("reply") {
+            locble_net::Frame::Error(e) => {
+                assert_eq!(e.code, locble_net::ErrorCode::BadFrame)
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    }
+
+    // The third error crossed the threshold: the dump exists and every
+    // line parses back into an event.
+    let text = std::fs::read_to_string(&dump).expect("dump written");
+    let events = locble_obs::events_from_jsonl(&text).expect("dump parses");
+    assert!(!events.is_empty(), "dump has no events");
+    assert!(
+        events.iter().any(|e| e.name == "flight_dump"),
+        "dump lacks its own trigger event"
+    );
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_file(&dump);
+}

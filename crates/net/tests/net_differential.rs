@@ -51,6 +51,58 @@ fn assert_bit_identical(
     }
 }
 
+/// Full tracing must be invisible to the math: the same stream shipped
+/// with a minted [`TraceCtx`] per batch into a *recording* server (so
+/// every decode/route/shard-queue/refit/ack lap actually fires) leaves
+/// estimates bit-identical to the untraced noop run above.
+#[test]
+fn fully_traced_stream_is_bit_identical_to_noop_run() {
+    use locble_obs::{trace_id, TraceCtx};
+
+    let session = fleet_session(10, 41);
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    let config = EngineConfig::default();
+
+    // Reference: untraced wire path into a noop-instrumented server.
+    let mut engine = Engine::new(config.clone(), estimator.clone(), Obs::noop());
+    engine.set_motion(motion.clone());
+    let server = Server::bind(engine, ServerConfig::default(), Obs::noop()).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for chunk in adverts.chunks(97) {
+        client.ingest(chunk).expect("ingest");
+    }
+    client.finish().expect("finish");
+    let want = client.snapshot().expect("snapshot");
+    drop(client);
+    server.shutdown();
+
+    // Traced path: identical stream, every batch under a trace context,
+    // into a recording server.
+    let mut engine = Engine::new(config, estimator, Obs::flight(4, 4096));
+    engine.set_motion(motion);
+    let obs = Obs::flight(4, 4096);
+    let server = Server::bind(engine, ServerConfig::default(), obs).expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    for (batch, chunk) in adverts.chunks(97).enumerate() {
+        let ctx = TraceCtx::mint(trace_id(0xD1FF, batch as u64));
+        let ack = client.ingest_traced(chunk, ctx).expect("traced ingest");
+        assert_eq!(ack.summary.consumed, chunk.len() as u64);
+        assert_eq!(ack.ctx.trace_id, ctx.trace_id);
+    }
+    client.finish().expect("finish");
+    let traced = client.snapshot().expect("snapshot");
+    drop(client);
+    server.shutdown();
+
+    assert_bit_identical("traced vs noop", &traced, &want);
+}
+
 #[test]
 fn loopback_stream_matches_direct_ingest_bit_for_bit() {
     let session = fleet_session(10, 41);

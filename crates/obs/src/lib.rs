@@ -24,15 +24,19 @@
 //! ```
 
 mod event;
+mod flight;
 mod metrics;
 mod recorder;
+mod trace;
 
 pub use event::{Event, FieldValue};
+pub use flight::{atomic_write, FlightRecorder};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use recorder::{NoopRecorder, Recorder, RingRecorder};
+pub use trace::{trace_id, Stage, StageLap, TraceCtx, TraceRecord, TraceTable};
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Handle through which all pipeline code reports what it is doing.
@@ -47,9 +51,13 @@ pub struct Obs {
 struct ObsInner {
     recorder: Box<dyn Recorder>,
     metrics: MetricsRegistry,
+    traces: Mutex<TraceTable>,
     seq: AtomicU64,
     epoch: Instant,
 }
+
+/// Traces retained per handle before the oldest is evicted.
+const TRACE_TABLE_CAPACITY: usize = 256;
 
 impl Obs {
     /// The disabled handle: records nothing, allocates nothing.
@@ -63,12 +71,21 @@ impl Obs {
         Obs::with_recorder(Box::new(RingRecorder::with_capacity(capacity)))
     }
 
+    /// A handle backed by a lane-sharded [`FlightRecorder`] — the
+    /// serving-scale choice: concurrent workers record without
+    /// contending on one mutex, and the recent history can be dumped
+    /// atomically for postmortems.
+    pub fn flight(lanes: usize, capacity_per_lane: usize) -> Obs {
+        Obs::with_recorder(Box::new(FlightRecorder::new(lanes, capacity_per_lane)))
+    }
+
     /// A handle backed by an arbitrary [`Recorder`].
     pub fn with_recorder(recorder: Box<dyn Recorder>) -> Obs {
         Obs {
             inner: Some(Arc::new(ObsInner {
                 recorder,
                 metrics: MetricsRegistry::new(),
+                traces: Mutex::new(TraceTable::with_capacity(TRACE_TABLE_CAPACITY)),
                 seq: AtomicU64::new(0),
                 epoch: Instant::now(),
             })),
@@ -138,6 +155,68 @@ impl Obs {
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
         let Some(inner) = &self.inner else { return };
         inner.metrics.register_histogram(name, bounds);
+    }
+
+    /// Microseconds since this handle was created (0 for a noop
+    /// handle). Stage laps record their start in this clock.
+    pub fn now_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Registers a traced batch's context with the trace table (called
+    /// at the first server-side stage that sees the context).
+    pub fn trace_begin(&self, ctx: TraceCtx) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .traces
+            .lock()
+            .expect("trace table not poisoned")
+            .begin(ctx);
+    }
+
+    /// Records one stage lap against a trace id: folds it into the
+    /// trace table *and* feeds the stage's latency histogram
+    /// (`trace.<stage>.us`), so per-stage latency distributions and
+    /// per-batch attribution come from one call.
+    pub fn trace_stage(&self, trace_id: u64, stage: Stage, start_us: u64, duration_us: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.traces.lock().expect("trace table not poisoned").lap(
+            trace_id,
+            StageLap {
+                stage,
+                start_us,
+                duration_us,
+            },
+        );
+        inner
+            .metrics
+            .histogram_observe(stage.histogram_name(), duration_us as f64);
+    }
+
+    /// All retained trace records, oldest first.
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => inner
+                .traces
+                .lock()
+                .expect("trace table not poisoned")
+                .snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// One trace's record, if retained.
+    pub fn trace_lookup(&self, trace_id: u64) -> Option<TraceRecord> {
+        let inner = self.inner.as_ref()?;
+        inner
+            .traces
+            .lock()
+            .expect("trace table not poisoned")
+            .lookup(trace_id)
+            .cloned()
     }
 
     /// Snapshot of every event the recorder retained, oldest first.
@@ -254,12 +333,35 @@ mod tests {
         obs.event("t", "e", &[("k", 1.0.into())]);
         obs.counter_add("c", 3);
         obs.histogram_observe("h", 0.5);
+        obs.trace_begin(TraceCtx::mint(9));
+        obs.trace_stage(9, Stage::Decode, 0, 12);
         let span = obs.span("t", "s");
         drop(span);
         assert!(!obs.enabled());
         assert!(obs.events().is_empty());
+        assert!(obs.traces().is_empty());
+        assert!(obs.trace_lookup(9).is_none());
+        assert_eq!(obs.now_us(), 0);
         assert_eq!(obs.metrics(), MetricsSnapshot::default());
         assert!(obs.events_to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn trace_stages_fold_into_records_and_histograms() {
+        let obs = Obs::ring(16);
+        let ctx = TraceCtx::mint(0xBEEF);
+        obs.trace_begin(ctx.with_stage(Stage::Decode));
+        obs.trace_stage(0xBEEF, Stage::Decode, 5, 10);
+        obs.trace_stage(0xBEEF, Stage::Refit, 20, 300);
+        let rec = obs.trace_lookup(0xBEEF).expect("retained");
+        assert!(rec.ctx.has_stage(Stage::Client));
+        assert!(rec.ctx.has_stage(Stage::Refit));
+        assert_eq!(rec.lap(Stage::Decode).unwrap().duration_us, 10);
+        assert_eq!(rec.total_us(), 310);
+        let m = obs.metrics();
+        assert_eq!(m.histograms["trace.decode.us"].count, 1);
+        assert_eq!(m.histograms["trace.refit.us"].count, 1);
+        assert_eq!(obs.traces().len(), 1);
     }
 
     #[test]

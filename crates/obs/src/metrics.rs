@@ -8,10 +8,17 @@ use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Default histogram buckets, tuned for microsecond latencies and
-/// small magnitudes alike (decade steps with 1-2-5 subdivision).
-const DEFAULT_BOUNDS: [f64; 13] = [
-    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 5000.0, 20000.0,
+/// Default histogram buckets: log2 ladder `2^0 .. 2^26`, sized for
+/// latencies recorded in microseconds — one ladder spans sub-µs
+/// observations (first bucket) through multi-second serve-path spans
+/// (`2^26 µs ≈ 67 s`) without saturating, at a constant ~7% relative
+/// resolution per octave. The previous linear 1-2-5 ladder topped out
+/// at 20 ms and piled every serve-path latency into the overflow
+/// bucket.
+const DEFAULT_BOUNDS: [f64; 27] = [
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
+    16384.0, 32768.0, 65536.0, 131072.0, 262144.0, 524288.0, 1048576.0, 2097152.0, 4194304.0,
+    8388608.0, 16777216.0, 33554432.0, 67108864.0,
 ];
 
 /// Accumulates all metrics for one [`Obs`](crate::Obs) handle.
@@ -123,11 +130,13 @@ impl Histogram {
     }
 
     fn observe(&mut self, v: f64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(self.bounds.len());
+        // First bound >= v, by binary search (bounds ascend); NaN and
+        // anything above the last bound land in the overflow bucket.
+        let idx = if v.is_nan() {
+            self.bounds.len()
+        } else {
+            self.bounds.partition_point(|&b| b < v)
+        };
         self.counts[idx] += 1;
         self.sum += v;
         self.count += 1;
@@ -172,6 +181,30 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`) from
+    /// the bucket tallies: the upper bound of the first bucket whose
+    /// cumulative count reaches `q·count`, clamped to the observed
+    /// `max` (an overflow-bucket quantile has no finite bound). Returns
+    /// 0 when empty. Bucket-resolution precision — one octave under the
+    /// default log2 ladder — which is what a latency report needs.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match self.bounds.get(i) {
+                    Some(&b) => b.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
     }
 }
 
@@ -309,6 +342,54 @@ mod tests {
         let h = &m.snapshot().histograms["lat"];
         assert_eq!(h.bounds.len() + 1, h.counts.len());
         assert_eq!(h.count, 1);
+    }
+
+    /// Regression for the serve-path saturation bug: the old linear
+    /// 1-2-5 default ladder ended at 20 000 µs, so every multi-second
+    /// span (and its neighbors) collapsed into one overflow bucket. The
+    /// log2 ladder must keep sub-µs and multi-second samples in
+    /// *distinct, non-overflow* buckets.
+    #[test]
+    fn log2_default_buckets_resolve_sub_us_through_multi_second() {
+        let m = MetricsRegistry::new();
+        // 0.25 µs (sub-µs), 3 µs, 900 µs, 40 ms, 2.5 s, 40 s — each an
+        // order of magnitude apart, all plausible span durations.
+        let samples = [0.25, 3.0, 900.0, 40_000.0, 2_500_000.0, 40_000_000.0];
+        for v in samples {
+            m.histogram_observe("span.us", v);
+        }
+        let h = &m.snapshot().histograms["span.us"];
+        assert_eq!(h.count, samples.len() as u64);
+        // Nothing saturated into the overflow bucket...
+        assert_eq!(
+            *h.counts.last().unwrap(),
+            0,
+            "overflow bucket must stay empty"
+        );
+        // ...and every sample landed in its own bucket.
+        let occupied = h.counts.iter().filter(|&&c| c > 0).count();
+        assert_eq!(occupied, samples.len(), "each decade resolves distinctly");
+        // The ladder is exact powers of two over the µs–s span range.
+        assert_eq!(h.bounds.first().copied(), Some(1.0));
+        assert_eq!(h.bounds.last().copied(), Some(67_108_864.0));
+        for w in h.bounds.windows(2) {
+            assert_eq!(w[1], 2.0 * w[0], "bounds must double");
+        }
+        // Quantiles come from the tallies: the median of six ascending
+        // samples is bucket-resolution-close to the fourth value.
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert!(h.quantile(0.5) >= 900.0 && h.quantile(0.5) <= 65_536.0);
+        assert_eq!(h.quantile(1.0), h.max);
+    }
+
+    #[test]
+    fn nan_observations_land_in_overflow_not_bucket_zero() {
+        let m = MetricsRegistry::new();
+        m.register_histogram("h", &[1.0, 2.0]);
+        m.histogram_observe("h", f64::NAN);
+        m.histogram_observe("h", 0.5);
+        let h = &m.snapshot().histograms["h"];
+        assert_eq!(h.counts, vec![1, 0, 1]);
     }
 
     #[test]

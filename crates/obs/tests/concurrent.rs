@@ -1,0 +1,114 @@
+//! Concurrent-recorder stress: 8 shard-worker-style threads recording
+//! through one handle must lose nothing and keep sequence numbers
+//! strictly monotonic — the properties the engine's drain loop and the
+//! serving path rely on when they share an [`Obs`] handle.
+
+use locble_obs::{FlightRecorder, Obs, Stage};
+use std::collections::BTreeSet;
+
+const WORKERS: usize = 8;
+const EVENTS_PER_WORKER: usize = 1_000;
+
+/// Drives `WORKERS` threads through one handle and returns the sorted
+/// retained sequence numbers.
+fn hammer(obs: &Obs) -> Vec<u64> {
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let obs = obs.clone();
+            scope.spawn(move || {
+                for i in 0..EVENTS_PER_WORKER {
+                    obs.event(
+                        "stress",
+                        "tick",
+                        &[("worker", worker.into()), ("i", i.into())],
+                    );
+                }
+            });
+        }
+    });
+    let mut seqs: Vec<u64> = obs.events().iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs
+}
+
+/// Retained + dropped must equal recorded, and the retained sequence
+/// numbers must be unique — two racing workers may never observe the
+/// same sequence number or overwrite each other's slot.
+fn assert_no_loss(obs: &Obs, seqs: &[u64]) {
+    let total = (WORKERS * EVENTS_PER_WORKER) as u64;
+    assert_eq!(
+        seqs.len() as u64 + obs.dropped_events(),
+        total,
+        "every recorded event is either retained or counted dropped"
+    );
+    let unique: BTreeSet<u64> = seqs.iter().copied().collect();
+    assert_eq!(unique.len(), seqs.len(), "sequence numbers must be unique");
+    for w in seqs.windows(2) {
+        assert!(w[0] < w[1], "sorted seqs must be strictly monotonic");
+    }
+    // Sequence numbers are a dense prefix-free allocation: every value
+    // below the total was handed to exactly one event.
+    assert!(seqs.iter().all(|&s| s < total));
+}
+
+#[test]
+fn ring_recorder_retains_all_events_under_8_workers() {
+    // Capacity covers the full stream: nothing may be lost.
+    let obs = Obs::ring(WORKERS * EVENTS_PER_WORKER);
+    let seqs = hammer(&obs);
+    assert_eq!(obs.dropped_events(), 0);
+    assert_eq!(seqs.len(), WORKERS * EVENTS_PER_WORKER);
+    assert_no_loss(&obs, &seqs);
+}
+
+#[test]
+fn flight_recorder_retains_all_events_under_8_workers() {
+    // Per-lane capacity is generous: thread-id hashing may map several
+    // workers onto one lane, so a lane must absorb the worst-case skew
+    // (all 8 workers on one lane) without dropping.
+    let obs = Obs::flight(WORKERS, WORKERS * EVENTS_PER_WORKER);
+    let seqs = hammer(&obs);
+    assert_eq!(obs.dropped_events(), 0);
+    assert_eq!(seqs.len(), WORKERS * EVENTS_PER_WORKER);
+    assert_no_loss(&obs, &seqs);
+    // The merged view is seq-sorted even though lanes filled
+    // independently.
+    let merged: Vec<u64> = obs.events().iter().map(|e| e.seq).collect();
+    assert_eq!(merged, seqs);
+}
+
+#[test]
+fn flight_recorder_under_overflow_drops_exactly_the_excess() {
+    let rec = FlightRecorder::new(1, 100);
+    let obs = Obs::with_recorder(Box::new(rec));
+    let seqs = hammer(&obs);
+    assert_eq!(seqs.len(), 100, "one lane retains its capacity");
+    assert_eq!(
+        obs.dropped_events(),
+        (WORKERS * EVENTS_PER_WORKER - 100) as u64
+    );
+    assert_no_loss(&obs, &seqs);
+}
+
+#[test]
+fn concurrent_trace_laps_fold_without_loss() {
+    let obs = Obs::flight(WORKERS, 64);
+    std::thread::scope(|scope| {
+        for worker in 0..WORKERS {
+            let obs = obs.clone();
+            scope.spawn(move || {
+                for i in 0..50u64 {
+                    obs.trace_stage(worker as u64, Stage::Refit, i, 1);
+                }
+            });
+        }
+    });
+    let traces = obs.traces();
+    assert_eq!(traces.len(), WORKERS, "one record per worker's trace id");
+    let m = obs.metrics();
+    assert_eq!(
+        m.histograms["trace.refit.us"].count,
+        (WORKERS * 50) as u64,
+        "every lap fed the stage histogram"
+    );
+}

@@ -152,12 +152,16 @@ impl SessionStore {
     /// engine. Returns the WAL record count after the append.
     pub fn append(&mut self, adverts: &[Advert]) -> std::io::Result<u64> {
         let records = self.wal.append(adverts)?;
-        self.obs
-            .counter_add("store.wal_appends", adverts.len() as u64);
-        self.obs.counter_add(
-            "store.wal_bytes",
-            (adverts.len() * ADVERT_RECORD_LEN) as u64,
-        );
+        // Hoisted behind the enabled check so the hot append path pays
+        // nothing — not even the byte arithmetic — under a noop handle.
+        if self.obs.enabled() {
+            self.obs
+                .counter_add("store.wal_appends", adverts.len() as u64);
+            self.obs.counter_add(
+                "store.wal_bytes",
+                (adverts.len() * ADVERT_RECORD_LEN) as u64,
+            );
+        }
         Ok(records)
     }
 

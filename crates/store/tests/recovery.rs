@@ -390,3 +390,27 @@ fn mismatched_shard_count_is_rejected_not_garbled() {
     );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// The WAL-append instrumentation counts exactly when a recorder is
+/// attached — and the counters never drift from what actually hit the
+/// log.
+#[test]
+fn wal_append_counters_track_records_and_bytes() {
+    let (adverts, _) = fleet_adverts(3, 77);
+    let dir = temp_dir("obs-counters");
+    let obs = Obs::ring(64);
+    {
+        let mut store =
+            SessionStore::open(&dir, FsyncPolicy::Never, obs.clone()).expect("open store");
+        store.append(&adverts[..40]).expect("append");
+        store.append(&adverts[40..100]).expect("append");
+        assert_eq!(store.wal_records(), 100);
+    }
+    let m = obs.metrics();
+    assert_eq!(m.counter("store.wal_appends"), 100);
+    assert_eq!(
+        m.counter("store.wal_bytes"),
+        (100 * locble_store::wal::ADVERT_RECORD_LEN) as u64
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

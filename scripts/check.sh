@@ -38,6 +38,17 @@ grep -q "search speedup >= 5x               true" <<<"$refit_report" \
 test -s BENCH_refit.json \
   || { echo "refit smoke failed: BENCH_refit.json missing or empty"; exit 1; }
 
+echo "==> obs smoke (release obsctl: traced batch, introspection scrape, flight dump, 3% overhead gate + BENCH_obs.json)"
+obs_report="$(cargo run --release -q -p locble-bench --bin obsctl -- smoke --json BENCH_obs.json)"
+grep -q "obs smoke: PASS" <<<"$obs_report" \
+  || { echo "obs smoke failed"; echo "$obs_report"; exit 1; }
+grep -q "ok: trace.refit.us histogram is non-zero" <<<"$obs_report" \
+  || { echo "obs smoke failed: serve histograms empty"; echo "$obs_report"; exit 1; }
+grep -q "ok: instrumented overhead within 3% of noop" <<<"$obs_report" \
+  || { echo "obs smoke failed: telemetry overhead above 3%"; echo "$obs_report"; exit 1; }
+test -s BENCH_obs.json \
+  || { echo "obs smoke failed: BENCH_obs.json missing or empty"; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
