@@ -23,15 +23,27 @@
 //! shared-factorization search over the naive refit — see DESIGN.md
 //! §12) as a JSON artifact; `scripts/check.sh` archives it as
 //! `BENCH_refit.json`.
+//!
+//! With `--serve-json <path>`, the harness runs the three-arm serving
+//! benchmark (engine-direct ceiling, reactor at 1k connections, reactor
+//! at 10k connections — see DESIGN.md §14) and writes it as a JSON
+//! artifact; `scripts/check.sh` archives it as `BENCH_serve.json`.
 
 use locble_bench::{run_experiment, ALL_EXPERIMENTS};
 use serde::{Serialize, Value};
 use std::time::Instant;
 
 fn main() {
+    // The 10k-connection serve arm re-executes this binary as the
+    // client-side worker (both socket ends won't fit one process's fd
+    // limit); the env gate routes that child straight into the driver.
+    if locble_bench::experiments::serve::synthetic_worker_from_env() {
+        return;
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let metrics_path = take_flag_value(&mut args, "--metrics");
     let refit_json_path = take_flag_value(&mut args, "--refit-json");
+    let serve_json_path = take_flag_value(&mut args, "--serve-json");
     if let Some(threads) = take_flag_value(&mut args, "--threads") {
         match threads.parse::<usize>() {
             Ok(n) if n > 0 => locble_bench::util::set_harness_threads(n),
@@ -52,7 +64,7 @@ fn main() {
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--threads <n>] [--connections <n>]"
+            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--serve-json <path>] [--threads <n>] [--connections <n>]"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
@@ -89,6 +101,15 @@ fn main() {
             Ok(()) => eprintln!("refit benchmark JSON written to {path}"),
             Err(e) => {
                 eprintln!("failed to write refit benchmark JSON to {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = serve_json_path {
+        match std::fs::write(&path, locble_bench::experiments::serve::json_report()) {
+            Ok(()) => eprintln!("serve benchmark JSON written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write serve benchmark JSON to {path}: {e}");
                 failed = true;
             }
         }

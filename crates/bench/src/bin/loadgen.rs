@@ -2,31 +2,85 @@
 //!
 //! ```text
 //! loadgen [--beacons <n>] [--connections <n>] [--threads <n>] [--seed <n>]
+//! loadgen --synthetic [--connections <n>] [--batches <n>] [--batch-len <n>] [--json <path>]
 //! ```
 //!
-//! Spawns an in-process server on `127.0.0.1:0`, replays the
-//! `scenario::fleet_beacons` trace over `--connections` concurrent TCP
-//! clients (fleet partitioned by beacon id so per-beacon order is
+//! Default mode spawns an in-process server on `127.0.0.1:0`, replays
+//! the `scenario::fleet_beacons` trace over `--connections` concurrent
+//! TCP clients (fleet partitioned by beacon id so per-beacon order is
 //! preserved), then drains, shuts down, and reconciles the
 //! delivered/accepted/rejected accounting exactly against the engine's
-//! own [`EngineStats`](locble_engine::EngineStats). Exits non-zero when
-//! any advert goes unaccounted.
+//! own [`EngineStats`](locble_engine::EngineStats).
+//!
+//! `--synthetic` switches to the multiplexed epoll driver: one beacon
+//! per connection, pre-encoded frames, a single client thread — this is
+//! the mode that scales `--connections` to 10 000. `--json` additionally
+//! writes the run's numbers as a JSON artifact.
+//!
+//! Both modes exit non-zero when any advert goes unaccounted.
 
-use locble_bench::experiments::serve::{report_rows, run_loadgen};
+use locble_bench::experiments::serve::{
+    report_rows, run_loadgen, run_synthetic, synth_rows, synthetic_worker_from_env, SynthSpec,
+};
 use locble_bench::util::{harness_threads, header};
 
 fn main() {
+    // At 10k connections run_synthetic re-executes this binary as the
+    // client-side worker (both socket ends won't fit one process's fd
+    // limit); the env gate routes that child straight into the driver.
+    if synthetic_worker_from_env() {
+        return;
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let synthetic = take_flag(&mut args, "--synthetic");
     let beacons = take_usize(&mut args, "--beacons").unwrap_or(60);
     let connections = take_usize(&mut args, "--connections").unwrap_or(4);
     let threads = take_usize(&mut args, "--threads").unwrap_or_else(harness_threads);
     let seed = take_u64(&mut args, "--seed").unwrap_or(0x10AD);
+    let batches = take_usize(&mut args, "--batches").unwrap_or(4);
+    let batch_len = take_usize(&mut args, "--batch-len").unwrap_or(128);
+    let json_path = take_value(&mut args, "--json");
     if !args.is_empty() {
         eprintln!("unknown arguments: {args:?}");
         eprintln!(
             "usage: loadgen [--beacons <n>] [--connections <n>] [--threads <n>] [--seed <n>]"
         );
+        eprintln!(
+            "       loadgen --synthetic [--connections <n>] [--batches <n>] [--batch-len <n>] [--json <path>]"
+        );
         std::process::exit(2);
+    }
+
+    if synthetic {
+        let spec = SynthSpec {
+            connections,
+            batches_per_conn: batches,
+            batch_len,
+        };
+        let report = run_synthetic(spec);
+        let mut out = header(
+            "loadgen",
+            &format!(
+                "{} multiplexed connections, one beacon each, over loopback TCP",
+                spec.connections
+            ),
+            "exact end-to-end accounting through the reactor at epoll scale",
+        );
+        out.push_str(&synth_rows(&report));
+        print!("{out}");
+        if let Some(path) = json_path {
+            let json = locble_bench::experiments::serve::json_single(&report);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("loadgen: failed to write JSON to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("loadgen: JSON written to {path}");
+        }
+        if !report.reconciles() {
+            eprintln!("loadgen: accounting mismatch — see report above");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let report = run_loadgen(beacons, connections, seed, threads.max(1));
@@ -40,6 +94,17 @@ fn main() {
     if !report.reconciles() {
         eprintln!("loadgen: accounting mismatch — see report above");
         std::process::exit(1);
+    }
+}
+
+/// Removes a bare `flag` from `args`, returning whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(idx) => {
+            args.remove(idx);
+            true
+        }
+        None => false,
     }
 }
 

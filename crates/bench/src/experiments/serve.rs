@@ -8,15 +8,35 @@
 //! concurrently, and every advert is reconciled exactly against
 //! [`EngineStats`](locble_engine::EngineStats) after a graceful
 //! drain-and-shutdown.
+//!
+//! Two drivers live here:
+//!
+//! * [`run_loadgen`] — the fleet replay above, one blocking client
+//!   thread per connection. Faithful to the trace, but thread-per-client
+//!   caps it at a few hundred connections.
+//! * [`run_synthetic`] — a single-threaded multiplexed driver built on
+//!   the same [`Poller`]/[`FrameAssembler`] primitives as the server's
+//!   reactor. One beacon per connection, pre-encoded frames, exact ack
+//!   accounting; this is what pushes the reactor to 10 000 concurrent
+//!   connections. [`json_report`] benchmarks it against the no-wire
+//!   engine ceiling and emits `BENCH_serve.json`.
 
 use crate::util::{harness_connections, harness_threads, header, row};
+use locble_ble::BeaconId;
 use locble_core::{Estimator, EstimatorConfig};
 use locble_engine::{Advert, Engine, EngineConfig};
-use locble_net::{Client, Server, ServerConfig};
+use locble_net::wire::{encode_frame, Frame, WireAdvert, DEFAULT_MAX_FRAME_LEN};
+use locble_net::{
+    Assembled, Client, FrameAssembler, Interest, Poller, Server, ServerConfig, ServerHandle,
+};
 use locble_obs::Obs;
 use locble_scenario::fleet_session;
 use locble_scenario::runner::track_observer;
-use std::time::Instant;
+use serde::Value;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
 
 /// Everything one loopback replay measured.
 #[derive(Debug, Clone)]
@@ -210,8 +230,739 @@ pub(crate) fn run_sized(n_beacons: usize) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Multiplexed synthetic driver: the 10k-connection arm.
+// ---------------------------------------------------------------------
+
+/// Shape of one synthetic reactor run: `connections` lanes, each owning
+/// one beacon and streaming `batches_per_conn` frames of `batch_len`
+/// adverts. Timestamps stay inside one engine batch window so session
+/// routing, not refit scheduling, is what the run exercises.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthSpec {
+    /// Concurrent client connections (= beacons = engine sessions).
+    pub connections: usize,
+    /// `AdvertBatch` frames each connection sends.
+    pub batches_per_conn: usize,
+    /// Adverts per frame.
+    pub batch_len: usize,
+}
+
+impl SynthSpec {
+    /// Total adverts the run puts on the wire.
+    pub fn adverts(&self) -> u64 {
+        (self.connections * self.batches_per_conn * self.batch_len) as u64
+    }
+
+    fn normalized(self) -> SynthSpec {
+        SynthSpec {
+            connections: self.connections.max(1),
+            batches_per_conn: self.batches_per_conn.max(1),
+            batch_len: self.batch_len.max(1),
+        }
+    }
+
+    /// Engine sized for the run: one worker (the reactor already
+    /// serializes on the engine lock; extra workers only add scheduling
+    /// noise on small machines), a session slot per connection, and
+    /// eviction off so lane scheduling cannot perturb session lifetimes.
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: 1,
+            max_sessions: self.connections.max(4096),
+            idle_evict_s: f64::INFINITY,
+            shard_queue_cap: 1 << 16,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// What one synthetic multiplexed run measured.
+#[derive(Debug, Clone)]
+pub struct SynthReport {
+    /// The run's shape.
+    pub spec: SynthSpec,
+    /// Adverts put on the wire (every lane sent its whole stream).
+    pub delivered: u64,
+    /// Adverts acked as routed.
+    pub accepted: u64,
+    /// Adverts acked as rejected.
+    pub rejected: u64,
+    /// `samples_routed` from the engine after shutdown.
+    pub engine_routed: u64,
+    /// `samples_rejected` from the engine after shutdown.
+    pub engine_rejected: u64,
+    /// `samples_processed` after the shutdown drain.
+    pub engine_processed: u64,
+    /// Queue depth after shutdown (must be 0).
+    pub queued_after: usize,
+    /// Request frames the server decoded.
+    pub frames_rx: u64,
+    /// Connect ramp wall-clock, seconds (untimed setup).
+    pub connect_s: f64,
+    /// First byte to last ack, seconds — the throughput window.
+    pub stream_s: f64,
+    /// Graceful shutdown drain, seconds.
+    pub drain_s: f64,
+}
+
+impl SynthReport {
+    /// Same exact-accounting gate as [`LoadgenReport::reconciles`].
+    pub fn reconciles(&self) -> bool {
+        self.delivered == self.accepted + self.rejected
+            && self.accepted == self.engine_routed
+            && self.rejected == self.engine_rejected
+            && self.engine_processed == self.engine_routed
+            && self.queued_after == 0
+    }
+
+    /// Adverts per second over the streaming window.
+    pub fn throughput(&self) -> f64 {
+        self.delivered as f64 / self.stream_s.max(1e-9)
+    }
+}
+
+/// `setrlimit(2)` plumbing: a 10k-connection loopback self-test holds
+/// both ends of every socket in one process, which blows through the
+/// usual 1024-fd soft limit. Raised best-effort at run start; declared
+/// directly (same std-only discipline as the server's signal handling).
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+/// Raises the fd soft limit to at least `needed` (capped by the hard
+/// limit). Best effort: if it fails, the connect ramp surfaces the real
+/// error with an accurate count.
+fn raise_nofile_limit(needed: u64) {
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 || lim.cur >= needed {
+            return;
+        }
+        if lim.max < needed {
+            // A privileged process may raise the hard limit too; if this
+            // fails, the fallback below still lifts the soft limit as
+            // far as the hard limit allows.
+            let raised = Rlimit {
+                cur: needed,
+                max: needed,
+            };
+            if setrlimit(RLIMIT_NOFILE, &raised) == 0 {
+                return;
+            }
+        }
+        lim.cur = needed.min(lim.max);
+        let _ = setrlimit(RLIMIT_NOFILE, &lim);
+    }
+}
+
+/// The fd soft limit in force right now (0 when the probe fails, which
+/// conservatively forces the child-process driver).
+fn nofile_soft_limit() -> u64 {
+    unsafe {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            0
+        } else {
+            lim.cur
+        }
+    }
+}
+
+#[repr(C)]
+struct LingerOpt {
+    onoff: i32,
+    linger: i32,
+}
+
+const SOL_SOCKET: i32 = 1;
+const SO_LINGER: i32 = 13;
+
+extern "C" {
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const LingerOpt, optlen: u32) -> i32;
+}
+
+/// RST-on-close: a finished benchmark lane skips TIME_WAIT entirely, so
+/// a 10k-connection run doesn't leave ~20k lingering kernel sockets to
+/// skew whatever benchmark runs next. Best effort — TIME_WAIT residue
+/// is only noise, never a correctness issue.
+fn set_abortive_close(sock: &TcpStream) {
+    let opt = LingerOpt {
+        onoff: 1,
+        linger: 0,
+    };
+    unsafe {
+        let _ = setsockopt(
+            sock.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            &opt,
+            std::mem::size_of::<LingerOpt>() as u32,
+        );
+    }
+}
+
+/// One multiplexed client connection's state.
+struct Lane {
+    sock: TcpStream,
+    /// The lane's whole pre-encoded request stream.
+    out: Vec<u8>,
+    sent: usize,
+    assembler: FrameAssembler,
+    acks: usize,
+    accepted: u64,
+    rejected: u64,
+    done: bool,
+}
+
+/// Blocks until the server has accepted `want` connections — the ramp
+/// paces itself against this counter so it never overruns the listen
+/// backlog.
+fn wait_for_accepts(server: &ServerHandle, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.obs().metrics().counter("net.connections_opened") < want {
+        assert!(
+            Instant::now() < deadline,
+            "server stalled accepting connections (want {want})"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Connections per ramp wave, kept under the listener's 128-entry
+/// backlog so a wave never overflows the accept queue.
+const RAMP_WAVE: usize = 96;
+
+/// What the client side of one drive measured.
+struct DriveOutcome {
+    accepted: u64,
+    rejected: u64,
+    connect_s: f64,
+    stream_s: f64,
+}
+
+/// Connects `spec.connections` lanes against `addr` (calling `pace` at
+/// every [`RAMP_WAVE`] boundary with the lane count so far, so the ramp
+/// never overruns the listen backlog), streams every pre-encoded frame,
+/// and drains every ack — one thread, one epoll set. Panics on any
+/// protocol deviation (missing ack, wrong count, early close): this is
+/// a measurement harness, not a fault injector.
+fn drive(addr: std::net::SocketAddr, spec: SynthSpec, mut pace: impl FnMut(usize)) -> DriveOutcome {
+    // Pre-encode every lane's stream (untimed setup). All timestamps sit
+    // strictly inside one batch window, strictly increasing per beacon.
+    let per_conn = spec.batches_per_conn * spec.batch_len;
+    let dt = 2.0 / per_conn as f64;
+    let outs: Vec<Vec<u8>> = (0..spec.connections)
+        .map(|i| {
+            let beacon = i as u32 + 1;
+            let mut out = Vec::with_capacity(spec.batches_per_conn * (spec.batch_len * 20 + 16));
+            for k in 0..spec.batches_per_conn {
+                let batch: Vec<WireAdvert> = (0..spec.batch_len)
+                    .map(|j| WireAdvert {
+                        beacon,
+                        t: (k * spec.batch_len + j + 1) as f64 * dt,
+                        rssi_dbm: -60.0,
+                    })
+                    .collect();
+                out.extend_from_slice(&encode_frame(&Frame::AdvertBatch(batch)));
+            }
+            out
+        })
+        .collect();
+
+    // Connect ramp, paced in waves.
+    let t_connect = Instant::now();
+    let mut poller = Poller::new().expect("client poller");
+    let mut lanes: Vec<Lane> = Vec::with_capacity(spec.connections);
+    for (i, out) in outs.into_iter().enumerate() {
+        if i > 0 && i % RAMP_WAVE == 0 {
+            pace(i);
+        }
+        let sock = TcpStream::connect(addr).expect("connect lane");
+        sock.set_nonblocking(true).expect("nonblocking lane");
+        sock.set_nodelay(true).expect("nodelay lane");
+        set_abortive_close(&sock);
+        poller
+            .add(sock.as_raw_fd(), i as u64, Interest::READ_WRITE)
+            .expect("register lane");
+        lanes.push(Lane {
+            sock,
+            out,
+            sent: 0,
+            assembler: FrameAssembler::new(DEFAULT_MAX_FRAME_LEN),
+            acks: 0,
+            accepted: 0,
+            rejected: 0,
+            done: false,
+        });
+    }
+    pace(spec.connections);
+    let connect_s = t_connect.elapsed().as_secs_f64();
+
+    // The drive loop: one thread multiplexing every lane. Writes push
+    // until the kernel pushes back; reads drain acks as they arrive.
+    let t_stream = Instant::now();
+    let mut events = Vec::new();
+    let mut scratch = vec![0u8; 256 * 1024];
+    let mut remaining = lanes.len();
+    let stall_deadline = Instant::now() + Duration::from_secs(300);
+    while remaining > 0 {
+        assert!(
+            Instant::now() < stall_deadline,
+            "drive loop stalled with {remaining} lanes unfinished"
+        );
+        poller.wait(&mut events, 50).expect("client poll");
+        for ev in &events {
+            let idx = ev.token as usize;
+            let lane = &mut lanes[idx];
+            if lane.done {
+                continue;
+            }
+            if ev.writable && lane.sent < lane.out.len() {
+                loop {
+                    match lane.sock.write(&lane.out[lane.sent..]) {
+                        Ok(0) => panic!("lane {idx}: server closed mid-stream"),
+                        Ok(n) => {
+                            lane.sent += n;
+                            if lane.sent == lane.out.len() {
+                                poller
+                                    .modify(lane.sock.as_raw_fd(), ev.token, Interest::READ)
+                                    .expect("drop write interest");
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("lane {idx}: write failed: {e}"),
+                    }
+                }
+            }
+            if ev.readable || ev.hangup {
+                loop {
+                    match lane.sock.read(&mut scratch) {
+                        Ok(0) => {
+                            assert_eq!(
+                                lane.acks, spec.batches_per_conn,
+                                "lane {idx}: server EOF before all acks"
+                            );
+                            break;
+                        }
+                        Ok(n) => {
+                            lane.assembler.feed(&scratch[..n]);
+                            drain_acks(lane, idx, spec.batch_len);
+                            if lane.acks == spec.batches_per_conn {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => panic!("lane {idx}: read failed: {e}"),
+                    }
+                }
+                if lane.acks == spec.batches_per_conn && lane.sent == lane.out.len() {
+                    poller
+                        .delete(lane.sock.as_raw_fd())
+                        .expect("deregister lane");
+                    lane.done = true;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    let stream_s = t_stream.elapsed().as_secs_f64();
+    DriveOutcome {
+        accepted: lanes.iter().map(|l| l.accepted).sum(),
+        rejected: lanes.iter().map(|l| l.rejected).sum(),
+        connect_s,
+        stream_s,
+    }
+}
+
+/// Runs one synthetic multiplexed load against a fresh reactor server.
+///
+/// The client side runs in-process when one process's fd limit can hold
+/// both ends of every connection; otherwise (the 10k arm under a 20k-fd
+/// cap) the hosting binary is re-executed as a client worker — see
+/// [`synthetic_worker_from_env`] — so each process only holds its own
+/// ends, the way real phones would.
+pub fn run_synthetic(spec: SynthSpec) -> SynthReport {
+    let spec = spec.normalized();
+    let needed = (2 * spec.connections + 64) as u64;
+    raise_nofile_limit(needed);
+
+    let engine = Engine::new(
+        spec.engine_config(),
+        Estimator::new(EstimatorConfig::default()),
+        Obs::noop(),
+    );
+    // Generous stall deadlines: a lane may legitimately wait behind
+    // 9 999 others for its first service tick.
+    let server_config = ServerConfig {
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(engine, server_config, Obs::ring(1024)).expect("bind on loopback");
+    let addr = server.addr();
+
+    let outcome = if nofile_soft_limit() >= needed {
+        drive(addr, spec, |i| wait_for_accepts(&server, i as u64))
+    } else {
+        drive_in_child(&server, spec)
+    };
+
+    let obs = server.obs().clone();
+    let t_drain = Instant::now();
+    let engine = server.shutdown();
+    let drain_s = t_drain.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    SynthReport {
+        spec,
+        delivered: spec.adverts(),
+        accepted: outcome.accepted,
+        rejected: outcome.rejected,
+        engine_routed: stats.samples_routed,
+        engine_rejected: stats.samples_rejected,
+        engine_processed: stats.samples_processed,
+        queued_after: engine.queued(),
+        frames_rx: obs.metrics().counter("net.frames_rx"),
+        connect_s: outcome.connect_s,
+        stream_s: outcome.stream_s,
+        drain_s,
+    }
+}
+
+/// The worker's result line prefix on stdout.
+const WORKER_RESULT_PREFIX: &str = "SYNTH_WORKER_RESULT ";
+const WORKER_ADDR_ENV: &str = "LOCBLE_SYNTH_WORKER_ADDR";
+const WORKER_CONNS_ENV: &str = "LOCBLE_SYNTH_WORKER_CONNS";
+const WORKER_BATCHES_ENV: &str = "LOCBLE_SYNTH_WORKER_BATCHES";
+const WORKER_BATCH_LEN_ENV: &str = "LOCBLE_SYNTH_WORKER_BATCH_LEN";
+
+/// Re-executes the hosting binary as the client worker and collects its
+/// result. Requires the binary to call [`synthetic_worker_from_env`]
+/// before anything else (loadgen and harness do).
+fn drive_in_child(server: &ServerHandle, spec: SynthSpec) -> DriveOutcome {
+    use std::io::BufRead;
+    let exe = std::env::current_exe().expect("own binary path");
+    let mut child = std::process::Command::new(exe)
+        .env(WORKER_ADDR_ENV, server.addr().to_string())
+        .env(WORKER_CONNS_ENV, spec.connections.to_string())
+        .env(WORKER_BATCHES_ENV, spec.batches_per_conn.to_string())
+        .env(WORKER_BATCH_LEN_ENV, spec.batch_len.to_string())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn synthetic client worker");
+    let reader = std::io::BufReader::new(child.stdout.take().expect("worker stdout"));
+    let mut outcome = None;
+    for line in reader.lines() {
+        let line = line.expect("worker line");
+        if let Some(json) = line.strip_prefix(WORKER_RESULT_PREFIX) {
+            let v: Value = serde::json::parse(json).expect("worker result JSON");
+            outcome = Some(DriveOutcome {
+                accepted: num_u64(&v, "accepted"),
+                rejected: num_u64(&v, "rejected"),
+                connect_s: num_f64(&v, "connect_seconds"),
+                stream_s: num_f64(&v, "stream_seconds"),
+            });
+        }
+    }
+    let status = child.wait().expect("worker exit");
+    assert!(status.success(), "synthetic client worker failed");
+    outcome.expect(
+        "worker printed no result — the hosting binary must call \
+         synthetic_worker_from_env() first thing in main()",
+    )
+}
+
+fn num_u64(v: &Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(Value::U64(n)) => *n,
+        Some(Value::I64(n)) => *n as u64,
+        Some(Value::F64(x)) => *x as u64,
+        other => panic!("worker result missing {key}: {other:?}"),
+    }
+}
+
+fn num_f64(v: &Value, key: &str) -> f64 {
+    match v.get(key) {
+        Some(Value::F64(x)) => *x,
+        Some(Value::U64(n)) => *n as f64,
+        Some(Value::I64(n)) => *n as f64,
+        other => panic!("worker result missing {key}: {other:?}"),
+    }
+}
+
+/// The out-of-process client driver's entry gate. Binaries that may
+/// host [`run_synthetic`]'s worker child call this before argument
+/// parsing; it returns `false` when the env gate is absent (the normal
+/// case). When set, it drives the whole load against the parent's
+/// server, prints one result line on stdout, and returns `true` — the
+/// caller must then exit without doing anything else.
+pub fn synthetic_worker_from_env() -> bool {
+    let Ok(addr) = std::env::var(WORKER_ADDR_ENV) else {
+        return false;
+    };
+    let read = |name: &str| -> usize {
+        std::env::var(name)
+            .expect("worker env complete")
+            .parse()
+            .expect("worker env numeric")
+    };
+    let spec = SynthSpec {
+        connections: read(WORKER_CONNS_ENV),
+        batches_per_conn: read(WORKER_BATCHES_ENV),
+        batch_len: read(WORKER_BATCH_LEN_ENV),
+    }
+    .normalized();
+    raise_nofile_limit((spec.connections + 64) as u64);
+    let addr: std::net::SocketAddr = addr.parse().expect("worker addr");
+    // No accept counter across the process boundary: pace each wave on
+    // the reactor's tick instead (it accepts a whole backlog per tick).
+    let outcome = drive(addr, spec, |_| {
+        std::thread::sleep(Duration::from_millis(2));
+    });
+    let result = Value::Map(vec![
+        ("accepted".to_string(), Value::U64(outcome.accepted)),
+        ("rejected".to_string(), Value::U64(outcome.rejected)),
+        ("connect_seconds".to_string(), Value::F64(outcome.connect_s)),
+        ("stream_seconds".to_string(), Value::F64(outcome.stream_s)),
+    ]);
+    println!("{WORKER_RESULT_PREFIX}{}", serde::json::to_string(&result));
+    true
+}
+
+/// Pulls every complete ack out of a lane's assembler and tallies it.
+fn drain_acks(lane: &mut Lane, idx: usize, batch_len: usize) {
+    loop {
+        match lane.assembler.next_frame() {
+            Ok(Some(Assembled::Frame(Frame::IngestAck(summary)))) => {
+                assert_eq!(
+                    summary.consumed, batch_len as u64,
+                    "lane {idx}: truncated ack"
+                );
+                lane.acks += 1;
+                lane.accepted += summary.routed;
+                lane.rejected += summary.rejected();
+            }
+            Ok(Some(Assembled::Frame(other))) => {
+                panic!("lane {idx}: unexpected reply {other:?}")
+            }
+            Ok(Some(Assembled::Skipped(e))) => panic!("lane {idx}: malformed reply: {e:?}"),
+            Ok(None) => return,
+            Err(e) => panic!("lane {idx}: reply framing lost: {e:?}"),
+        }
+    }
+}
+
+/// Formats a [`SynthReport`] as the standard row block (loadgen
+/// `--synthetic` and the serve-smoke gate grep these rows).
+pub fn synth_rows(r: &SynthReport) -> String {
+    let mut out = String::new();
+    out.push_str(&row("connections", r.spec.connections));
+    out.push_str(&row(
+        "batches x adverts per connection",
+        format!("{} x {}", r.spec.batches_per_conn, r.spec.batch_len),
+    ));
+    out.push_str(&row("request frames", r.frames_rx));
+    out.push_str(&row(
+        "delivered / accepted / rejected",
+        format!("{} / {} / {}", r.delivered, r.accepted, r.rejected),
+    ));
+    out.push_str(&row(
+        "engine routed / processed",
+        format!("{} / {}", r.engine_routed, r.engine_processed),
+    ));
+    out.push_str(&row("connect ramp (s)", format!("{:.3}", r.connect_s)));
+    out.push_str(&row("stream wall (s)", format!("{:.3}", r.stream_s)));
+    out.push_str(&row("shutdown drain (s)", format!("{:.3}", r.drain_s)));
+    out.push_str(&row(
+        "throughput (adverts/s)",
+        format!("{:.0}", r.throughput()),
+    ));
+    out.push_str(&row("accounting reconciles exactly", r.reconciles()));
+    out
+}
+
+/// What the no-wire baseline measured: the same synthetic batches pushed
+/// straight into [`Engine::ingest_batches`], giving the reactor arms an
+/// engine ceiling to be judged against.
+#[derive(Debug, Clone)]
+pub struct DirectReport {
+    /// Adverts ingested.
+    pub adverts: u64,
+    /// `samples_routed` after the drain.
+    pub routed: u64,
+    /// `samples_processed` after the drain.
+    pub processed: u64,
+    /// Queue depth after the drain (must be 0).
+    pub queued_after: usize,
+    /// Ingest-through-drain wall-clock, seconds.
+    pub wall_s: f64,
+}
+
+impl DirectReport {
+    /// Exact accounting, engine-only.
+    pub fn reconciles(&self) -> bool {
+        self.routed == self.adverts && self.processed == self.routed && self.queued_after == 0
+    }
+
+    /// Adverts per second.
+    pub fn throughput(&self) -> f64 {
+        self.adverts as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Batches per [`Engine::ingest_batches`] call in the direct arm —
+/// roughly the coalescing the reactor achieves in one busy tick.
+const DIRECT_COALESCE: usize = 256;
+
+/// The engine-direct arm: identical batches, identical round-robin
+/// arrival order, no sockets.
+pub fn run_engine_direct(spec: SynthSpec) -> DirectReport {
+    let spec = spec.normalized();
+    let mut engine = Engine::new(
+        spec.engine_config(),
+        Estimator::new(EstimatorConfig::default()),
+        Obs::noop(),
+    );
+    let per_conn = spec.batches_per_conn * spec.batch_len;
+    let dt = 2.0 / per_conn as f64;
+    let mut batches: Vec<Vec<Advert>> =
+        Vec::with_capacity(spec.connections * spec.batches_per_conn);
+    for k in 0..spec.batches_per_conn {
+        for i in 0..spec.connections {
+            batches.push(
+                (0..spec.batch_len)
+                    .map(|j| Advert {
+                        beacon: BeaconId(i as u32 + 1),
+                        t: (k * spec.batch_len + j + 1) as f64 * dt,
+                        rssi_dbm: -60.0,
+                    })
+                    .collect(),
+            );
+        }
+    }
+
+    let t0 = Instant::now();
+    for window in batches.chunks(DIRECT_COALESCE) {
+        let refs: Vec<&[Advert]> = window.iter().map(|b| b.as_slice()).collect();
+        engine.ingest_batches(&refs);
+    }
+    engine.drain();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    DirectReport {
+        adverts: spec.adverts(),
+        routed: stats.samples_routed,
+        processed: stats.samples_processed,
+        queued_after: engine.queued(),
+        wall_s,
+    }
+}
+
+/// The three-arm serving benchmark as a JSON artifact
+/// (`BENCH_serve.json`): the engine-direct ceiling, the reactor at
+/// 1 000 connections, and the reactor at 10 000 connections, each with
+/// exact delivered/accepted/rejected reconciliation.
+pub fn json_report() -> String {
+    json_sized(
+        SynthSpec {
+            connections: 1_000,
+            batches_per_conn: 4,
+            batch_len: 256,
+        },
+        SynthSpec {
+            connections: 10_000,
+            batches_per_conn: 2,
+            batch_len: 128,
+        },
+    )
+}
+
+/// JSON body at chosen scales (the in-crate test uses tiny specs).
+pub(crate) fn json_sized(small: SynthSpec, large: SynthSpec) -> String {
+    let direct = run_engine_direct(large);
+    let small_run = run_synthetic(small);
+    let large_run = run_synthetic(large);
+    let value = Value::Map(vec![
+        ("experiment".to_string(), Value::Str("serve".to_string())),
+        ("target_adverts_per_second".to_string(), Value::F64(1e6)),
+        ("engine_direct".to_string(), direct_value(&direct)),
+        (
+            "reactor".to_string(),
+            Value::Seq(vec![synth_value(&small_run), synth_value(&large_run)]),
+        ),
+        (
+            "sustained_connections".to_string(),
+            Value::U64(large_run.spec.connections as u64),
+        ),
+        (
+            "meets_1m_target".to_string(),
+            Value::Bool(large_run.throughput() >= 1e6),
+        ),
+        (
+            "all_arms_reconcile".to_string(),
+            Value::Bool(direct.reconciles() && small_run.reconciles() && large_run.reconciles()),
+        ),
+    ]);
+    serde::json::to_string(&value)
+}
+
+/// One synthetic run as a standalone JSON document (`loadgen
+/// --synthetic --json <path>`).
+pub fn json_single(r: &SynthReport) -> String {
+    serde::json::to_string(&synth_value(r))
+}
+
+fn synth_value(r: &SynthReport) -> Value {
+    Value::Map(vec![
+        (
+            "connections".to_string(),
+            Value::U64(r.spec.connections as u64),
+        ),
+        (
+            "batches_per_connection".to_string(),
+            Value::U64(r.spec.batches_per_conn as u64),
+        ),
+        ("batch_len".to_string(), Value::U64(r.spec.batch_len as u64)),
+        ("delivered".to_string(), Value::U64(r.delivered)),
+        ("accepted".to_string(), Value::U64(r.accepted)),
+        ("rejected".to_string(), Value::U64(r.rejected)),
+        ("request_frames".to_string(), Value::U64(r.frames_rx)),
+        ("connect_seconds".to_string(), Value::F64(r.connect_s)),
+        ("stream_seconds".to_string(), Value::F64(r.stream_s)),
+        ("drain_seconds".to_string(), Value::F64(r.drain_s)),
+        ("adverts_per_second".to_string(), Value::F64(r.throughput())),
+        ("reconciles".to_string(), Value::Bool(r.reconciles())),
+    ])
+}
+
+fn direct_value(r: &DirectReport) -> Value {
+    Value::Map(vec![
+        ("adverts".to_string(), Value::U64(r.adverts)),
+        ("routed".to_string(), Value::U64(r.routed)),
+        ("processed".to_string(), Value::U64(r.processed)),
+        ("wall_seconds".to_string(), Value::F64(r.wall_s)),
+        ("adverts_per_second".to_string(), Value::F64(r.throughput())),
+        ("reconciles".to_string(), Value::Bool(r.reconciles())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
+    use super::SynthSpec;
+
     /// Correctness gate only (exact accounting over real sockets);
     /// throughput numbers are the release-mode `harness serve` output.
     #[test]
@@ -228,5 +979,57 @@ mod tests {
         let report = super::run_loadgen(6, 1, 7, 2);
         assert!(report.reconciles(), "{report:?}");
         assert_eq!(report.delivered, report.samples as u64);
+    }
+
+    /// The multiplexed driver at a debug-friendly scale: every lane's
+    /// acks accounted, nothing rejected, nothing left queued.
+    #[test]
+    fn synthetic_multiplexed_run_reconciles() {
+        let report = super::run_synthetic(SynthSpec {
+            connections: 64,
+            batches_per_conn: 3,
+            batch_len: 16,
+        });
+        assert!(report.reconciles(), "{report:?}");
+        assert_eq!(report.delivered, 64 * 3 * 16);
+        assert_eq!(report.rejected, 0, "{report:?}");
+        let rows = super::synth_rows(&report);
+        assert!(
+            crate::util::flag_is_true(&rows, "accounting reconciles exactly"),
+            "{rows}"
+        );
+    }
+
+    /// The no-wire arm routes and processes every synthetic advert.
+    #[test]
+    fn engine_direct_arm_reconciles() {
+        let report = super::run_engine_direct(SynthSpec {
+            connections: 40,
+            batches_per_conn: 2,
+            batch_len: 25,
+        });
+        assert!(report.reconciles(), "{report:?}");
+        assert_eq!(report.adverts, 40 * 2 * 25);
+    }
+
+    /// The three-arm JSON artifact carries reconciliation verdicts for
+    /// every arm (tiny specs here; the release artifact is
+    /// `BENCH_serve.json`).
+    #[test]
+    fn serve_json_reports_all_arms() {
+        let spec = SynthSpec {
+            connections: 16,
+            batches_per_conn: 2,
+            batch_len: 8,
+        };
+        let json = super::json_sized(spec, spec);
+        let value: serde::Value = serde::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            value.get("all_arms_reconcile"),
+            Some(&serde::Value::Bool(true)),
+            "{json}"
+        );
+        assert!(value.get("engine_direct").is_some(), "{json}");
+        assert!(value.get("reactor").is_some(), "{json}");
     }
 }

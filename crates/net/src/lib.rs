@@ -11,12 +11,24 @@
 //!   decodes to a frame or a typed [`DecodeError`], never a panic.
 //!   Floats travel bit-exactly, so served snapshots are bit-identical
 //!   to in-process reads.
-//! * [`server`] — a thread-per-connection TCP server owning an
-//!   [`Engine`](locble_engine::Engine): bounded read loops with
-//!   slow-loris timeouts, typed error replies for malformed frames,
-//!   exact per-batch ingest accounting, and an ordered graceful
+//! * [`poll`] — a minimal epoll wrapper over raw syscalls
+//!   ([`Poller`]): the readiness source for the server's reactor and
+//!   for the load generator's multiplexed client driver.
+//! * [`conn`] — per-connection state machines: the
+//!   [`FrameAssembler`] carries partial frames across readiness
+//!   events (any byte-boundary split decodes identically to one
+//!   contiguous feed), and a timer wheel drives slow-loris deadlines.
+//! * [`server`] — a single-threaded epoll reactor owning an
+//!   [`Engine`](locble_engine::Engine): nonblocking connections at 10k
+//!   scale, slow-loris timeouts via the timer wheel, typed error
+//!   replies for malformed frames, exact per-batch ingest accounting,
+//!   cross-connection ingest coalescing (one engine pass per tick
+//!   drains every client's queued batches), and an ordered graceful
 //!   shutdown that drains every queued shard before returning the
-//!   engine. [`Server::bind_durable`] attaches a `locble-store`
+//!   engine. (The original thread-per-connection server this reactor
+//!   replaced lives only in git history; the wire semantics are
+//!   unchanged and its whole test wall runs against the reactor.)
+//!   [`Server::bind_durable`] attaches a `locble-store`
 //!   [`SessionStore`](locble_store::SessionStore): every offered batch
 //!   is WAL-logged before ingest and snapshots are written on a record
 //!   cadence and at shutdown, so a crashed server recovers
@@ -50,10 +62,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
+pub mod poll;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use conn::{Assembled, FrameAssembler};
+pub use poll::{Event, Interest, Poller};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     decode_frame, decode_frame_with_limit, encode_frame, frame_size, DecodeError, ErrorCode,

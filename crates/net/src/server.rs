@@ -1,37 +1,52 @@
-//! The TCP ingest/query server.
+//! The TCP ingest/query server — a single-threaded epoll reactor.
 //!
 //! One [`Server::bind`] call owns an [`Engine`] behind a mutex and
-//! serves the wire protocol to any number of connections:
+//! serves the wire protocol to any number of connections from one
+//! readiness-driven event loop (no thread per connection):
 //!
-//! * each connection runs a bounded read loop — frames are decoded out
-//!   of a growing buffer, and a *partial* frame that stalls longer than
-//!   the read timeout closes the connection (slow-loris defence), while
-//!   an idle connection between frames may wait indefinitely;
+//! * every connection is nonblocking; a [`crate::conn::FrameAssembler`]
+//!   carries partial frames across readiness events, and a *partial*
+//!   frame that stalls longer than the read timeout closes the
+//!   connection via the timer wheel (slow-loris defence), while an idle
+//!   connection between frames may wait indefinitely;
 //! * recoverable decode errors (bad tag, bad version, malformed body)
 //!   are answered with a typed [`Frame::Error`] and the connection
 //!   stays usable — only a lost framing (oversized length prefix) or a
 //!   transport error closes it;
+//! * requests decoded during a tick are *coalesced*: the reactor locks
+//!   the engine once at tick end, executes every connection's queued
+//!   requests in arrival order, then runs a single `Engine::process`
+//!   pass that drains what all of them enqueued — one engine pass
+//!   serves many clients;
 //! * engine admission outcomes are mapped to typed frames: per-advert
 //!   `AdmitError` rejections travel as exact counts in the
 //!   [`Frame::IngestAck`], and shard-queue `Backpressure` is drained
 //!   in-line by interleaving `Engine::process` (never by dropping the
 //!   connection);
+//! * replies queue into per-connection write buffers flushed on write
+//!   readiness; a peer that never reads its acks trips write
+//!   backpressure, which pauses *reading* from that peer until the
+//!   buffer drains — the event loop itself never blocks;
 //! * [`ServerHandle::shutdown`] is graceful and ordered: stop
-//!   accepting, let every connection finish (and ack) its buffered
-//!   frames, join all threads, then drain every queued shard before
-//!   handing the [`Engine`] back to the caller.
+//!   accepting, execute + ack every complete frame connections have
+//!   buffered (ingest is refused with `ShuttingDown`), flush within the
+//!   write-timeout grace, join the reactor, then drain every queued
+//!   shard before handing the [`Engine`] back to the caller.
 
+use crate::conn::{Assembled, Conn, Flush, TimerWheel, WRITE_BACKPRESSURE_BYTES};
+use crate::poll::{Event, Interest, Poller};
 use crate::wire::{
-    decode_frame_with_limit, encode_frame, frame_size, DecodeError, ErrorCode, FinishSummary,
-    Frame, IngestSummary, TracedAck, WireError, WireEstimate, WireMetrics, WireStats,
-    DEFAULT_MAX_FRAME_LEN,
+    encode_frame, DecodeError, ErrorCode, FinishSummary, Frame, IngestSummary, TracedAck,
+    WireError, WireEstimate, WireMetrics, WireStats, DEFAULT_MAX_FRAME_LEN,
 };
 use locble_ble::BeaconId;
 use locble_engine::{Advert, Engine, IngestReport};
 use locble_obs::{Obs, Stage, TraceCtx};
 use locble_store::SessionStore;
-use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -45,9 +60,10 @@ pub struct ServerConfig {
     /// [`ServerHandle::addr`]).
     pub addr: String,
     /// How long a *partial* frame may stall before the connection is
-    /// closed. Also bounds shutdown latency for idle connections.
+    /// closed. Also sets the timer wheel's granularity (1/32 of this).
     pub read_timeout: Duration,
-    /// Per-write timeout on replies.
+    /// Grace period for flushing replies to a peer that has stopped
+    /// reading (lingering close, shutdown flush).
     pub write_timeout: Duration,
     /// Maximum accepted frame payload, bytes.
     pub max_frame_len: usize,
@@ -58,8 +74,8 @@ pub struct ServerConfig {
     /// across all connections (a *decode storm* — a confused or hostile
     /// peer). 0 disables the trigger.
     pub decode_storm_threshold: u64,
-    /// Dump on SIGTERM (handler installed at bind; the accept loop
-    /// performs the dump and begins shutdown on its next poll tick).
+    /// Dump on SIGTERM (handler installed at bind; the reactor performs
+    /// the dump and begins shutdown on its next tick).
     pub dump_on_sigterm: bool,
     /// Dump on panic (chains onto the existing panic hook; the hook
     /// holds a clone of the server's obs handle for the process
@@ -91,7 +107,7 @@ struct DurableStore {
     last_checkpoint: u64,
 }
 
-/// State shared by the accept loop and every connection handler.
+/// State shared by the reactor thread and the control handle.
 struct Shared {
     engine: Mutex<Engine>,
     /// Lock ordering: always `engine` first, then `store` — WAL order
@@ -109,9 +125,9 @@ struct Shared {
     dumped: AtomicBool,
 }
 
-/// Set by the SIGTERM handler; polled by every accept loop. A signal
+/// Set by the SIGTERM handler; polled by every reactor tick. A signal
 /// handler may only do async-signal-safe work, so the dump itself runs
-/// on the accept thread.
+/// on the reactor thread.
 static SIGTERM_FLAG: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn sigterm_handler(_signum: i32) {
@@ -170,9 +186,9 @@ fn note_decode_error(shared: &Shared) {
 pub struct Server;
 
 impl Server {
-    /// Binds a listener, takes ownership of `engine`, and starts
-    /// serving. Instrumentation (connection/frame counters, ingest
-    /// latency histograms) goes through `obs`.
+    /// Binds a listener, takes ownership of `engine`, and starts the
+    /// reactor. Instrumentation (connection/frame counters, ingest
+    /// latency histograms, reactor pass metrics) goes through `obs`.
     pub fn bind(engine: Engine, config: ServerConfig, obs: Obs) -> std::io::Result<ServerHandle> {
         Server::bind_inner(engine, None, config, obs)
     }
@@ -241,12 +257,12 @@ impl Server {
             decode_errors: AtomicU64::new(0),
             dumped: AtomicBool::new(false),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let reactor_shared = Arc::clone(&shared);
+        let reactor = std::thread::spawn(move || reactor_loop(listener, reactor_shared));
         Ok(ServerHandle {
             addr,
             obs,
-            inner: Some(HandleInner { shared, accept }),
+            inner: Some(HandleInner { shared, reactor }),
         })
     }
 }
@@ -262,7 +278,7 @@ pub struct ServerHandle {
 
 struct HandleInner {
     shared: Arc<Shared>,
-    accept: JoinHandle<()>,
+    reactor: JoinHandle<()>,
 }
 
 impl ServerHandle {
@@ -277,10 +293,10 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown. Ordering guarantee: (1) stop accepting, (2)
-    /// every connection finishes and acks the frames it has buffered,
-    /// (3) all threads join, (4) every still-queued shard sample is
-    /// processed — only then is the engine returned, so nothing a
-    /// client was ever acked for is lost.
+    /// every connection's buffered complete frames are executed and
+    /// acked, (3) the reactor joins, (4) every still-queued shard
+    /// sample is processed — only then is the engine returned, so
+    /// nothing a client was ever acked for is lost.
     pub fn shutdown(mut self) -> Engine {
         self.shutdown_inner()
             .expect("shutdown consumes the handle; inner state is present")
@@ -289,10 +305,10 @@ impl ServerHandle {
     fn shutdown_inner(&mut self) -> Option<Engine> {
         let inner = self.inner.take()?;
         inner.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = inner.accept.join();
+        let _ = inner.reactor.join();
         let shared = Arc::try_unwrap(inner.shared)
             .ok()
-            .expect("all server threads joined; no other handle owners remain");
+            .expect("the reactor joined; no other handle owners remain");
         let mut engine = shared
             .engine
             .into_inner()
@@ -325,163 +341,537 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// Accepts connections until shutdown, then joins every handler.
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        if shared.config.dump_on_sigterm && SIGTERM_FLAG.load(Ordering::SeqCst) {
-            // Dump the recent history while it's still warm, then begin
-            // the normal graceful shutdown (connections finish and ack
-            // their buffered frames; the handle's shutdown still owns
-            // the final drain).
-            flight_dump(&shared, "sigterm");
-            shared.shutdown.store(true, Ordering::SeqCst);
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let conn_shared = Arc::clone(&shared);
-                handlers.push(std::thread::spawn(move || {
-                    handle_connection(&conn_shared, stream)
-                }));
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-        // Reap finished handlers so a long-lived server does not grow.
-        handlers.retain(|h| !h.is_finished());
-    }
-    for h in handlers {
-        let _ = h.join();
-    }
+/// The listener's registration token; connections use their slab index.
+const LISTENER_TOKEN: u64 = u64::MAX;
+
+/// Epoll wait bound per tick, so the shutdown/SIGTERM flags and timer
+/// deadlines are polled on the same cadence the old accept loop used.
+const TICK_MS: i32 = 2;
+
+/// Timer wheel slots: with granularity `read_timeout / 32` the horizon
+/// is two read timeouts, so a freshly armed deadline always fits.
+const WHEEL_SLOTS: usize = 64;
+
+/// One unit of work queued on a connection between its readiness event
+/// and the tick-end engine pass.
+enum Op {
+    /// A decoded request awaiting execution. `decoded_us` is nonzero
+    /// for traced batches: when decode finished, the start of the
+    /// coalesce lap.
+    Request { frame: Frame, decoded_us: u64 },
+    /// A preformed reply (recoverable decode error) that skips the
+    /// engine.
+    Reply(Frame),
 }
 
-/// One connection's read → decode → handle → reply loop.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let obs = &shared.obs;
-    obs.counter_add("net.connections_opened", 1);
-    let max = shared.config.max_frame_len;
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::new();
-    let mut scratch = [0u8; 16 * 1024];
-    'conn: loop {
-        // Decode and answer every complete frame in the buffer.
-        loop {
-            let total = match frame_size(&buf, max) {
-                Err(DecodeError::Incomplete { .. }) => break,
-                Err(e) => {
-                    // Length prefix itself is unusable: framing is lost.
-                    obs.counter_add("net.framing_lost", 1);
-                    let _ = write_frame(
-                        shared,
-                        &mut stream,
-                        &Frame::Error(WireError {
-                            code: ErrorCode::BadFrame,
-                            message: e.to_string(),
-                        }),
-                    );
-                    break 'conn;
-                }
-                Ok(total) => total,
-            };
-            if buf.len() < total {
+/// One slab entry: the connection plus the reactor's per-tick state.
+struct Slot {
+    conn: Conn,
+    /// Work decoded this tick, executed in arrival order at tick end.
+    ops: VecDeque<Op>,
+    /// Already on the tick's dirty list.
+    dirty: bool,
+    /// The interest currently registered with the poller.
+    interest: Interest,
+}
+
+/// The event loop: owns the poller, the connection slab, and the timer
+/// wheel; shares the engine with the control handle.
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    slots: Vec<Option<Slot>>,
+    /// Free slab indices, reusable by accepts.
+    free: Vec<usize>,
+    /// Indices freed during the current tick. Merged into `free` only
+    /// at tick end, so a stale event later in the same batch finds
+    /// `None` instead of an unrelated new connection.
+    freed_this_tick: Vec<usize>,
+    /// Connections with queued ops, in first-dirtied order.
+    dirty: Vec<usize>,
+    wheel: TimerWheel,
+    scratch: Vec<u8>,
+}
+
+/// Runs the reactor until shutdown, then drains and closes everything.
+fn reactor_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        // Without a readiness source the loop cannot serve; exiting
+        // leaves the handle's shutdown path fully functional.
+        Err(_) => return,
+    };
+    if poller
+        .add(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let wheel = TimerWheel::new(shared.config.read_timeout / 32, WHEEL_SLOTS, Instant::now());
+    let mut reactor = Reactor {
+        shared,
+        poller,
+        listener,
+        slots: Vec::new(),
+        free: Vec::new(),
+        freed_this_tick: Vec::new(),
+        dirty: Vec::new(),
+        wheel,
+        scratch: vec![0u8; 64 * 1024],
+    };
+    reactor.run();
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::with_capacity(1024);
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            if self.shared.config.dump_on_sigterm && SIGTERM_FLAG.load(Ordering::SeqCst) {
+                // Dump the recent history while it's still warm, then
+                // begin the normal graceful shutdown.
+                flight_dump(&self.shared, "sigterm");
+                self.shared.shutdown.store(true, Ordering::SeqCst);
                 break;
             }
+            if self.poller.wait(&mut events, TICK_MS).is_err() {
+                // EINTR already folds into Ok(0); any other failure of
+                // the readiness source is unrecoverable for this loop.
+                break;
+            }
+            for &ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    self.accept_ready();
+                } else {
+                    self.conn_ready(ev);
+                }
+            }
+            self.execute_dirty();
+            self.fire_timers(Instant::now());
+            let freed = std::mem::take(&mut self.freed_this_tick);
+            self.free.extend(freed);
+        }
+        self.shutdown_drain();
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    let idx = match self.free.pop() {
+                        Some(idx) => idx,
+                        None => {
+                            self.slots.push(None);
+                            self.slots.len() - 1
+                        }
+                    };
+                    if self.poller.add(fd, idx as u64, Interest::READ).is_err() {
+                        // Cannot watch it: drop the connection, keep
+                        // the slot.
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.slots[idx] = Some(Slot {
+                        conn: Conn::new(stream, self.shared.config.max_frame_len),
+                        ops: VecDeque::new(),
+                        dirty: false,
+                        interest: Interest::READ,
+                    });
+                    self.shared.obs.counter_add("net.connections_opened", 1);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Dispatches one connection readiness event.
+    fn conn_ready(&mut self, ev: Event) {
+        let idx = ev.token as usize;
+        if self.slots.get(idx).is_none_or(|s| s.is_none()) {
+            // Closed earlier in this same tick; stale event.
+            return;
+        }
+        if ev.writable && !self.flush_ready(idx) {
+            return;
+        }
+        if ev.readable || ev.hangup {
+            self.read_ready(idx);
+        }
+    }
+
+    /// Write readiness: drain the buffer; a drained lingering close
+    /// completes here. Returns whether the connection is still open.
+    fn flush_ready(&mut self, idx: usize) -> bool {
+        let slot = self.slots[idx].as_mut().expect("caller checked");
+        match slot.conn.flush() {
+            Ok(Flush::Drained) => {
+                if slot.conn.close_after_flush {
+                    self.close(idx);
+                    return false;
+                }
+                slot.conn.paused = false;
+                self.sync_interest(idx);
+                true
+            }
+            Ok(Flush::Pending) => true,
+            Err(_) => {
+                self.close(idx);
+                false
+            }
+        }
+    }
+
+    /// Read readiness: pull bytes, assemble frames into ops, manage the
+    /// slow-loris deadline.
+    fn read_ready(&mut self, idx: usize) {
+        {
+            let slot = self.slots[idx].as_ref().expect("caller checked");
+            if slot.conn.paused {
+                // Backpressure: leave the bytes in the kernel buffer
+                // until the peer drains its replies.
+                return;
+            }
+        }
+        let read = {
+            let slot = self.slots[idx].as_mut().expect("caller checked");
+            slot.conn.read_ready(&mut self.scratch)
+        };
+        let n = match read {
+            Ok(n) => n,
+            Err(_) => {
+                self.close(idx);
+                return;
+            }
+        };
+        if n > 0 {
+            self.shared.obs.counter_add("net.bytes_rx", n as u64);
+        }
+        self.drain_assembler(idx);
+        let slot = self.slots[idx].as_mut().expect("still open");
+        if !slot.ops.is_empty() && !slot.dirty {
+            slot.dirty = true;
+            self.dirty.push(idx);
+        }
+        if slot.conn.peer_eof {
+            // Execute what arrived before EOF, flush the replies, then
+            // close (the blocking server answered pre-EOF frames too).
+            slot.conn.close_after_flush = true;
+        }
+        // Slow-loris deadline: armed while a partial frame is pending,
+        // re-armed on every byte of progress, disarmed when the buffer
+        // empties — an idle connection waits forever.
+        if slot.conn.assembler.buffered() > 0 && !slot.conn.close_after_flush {
+            if n > 0 || slot.conn.deadline.is_none() {
+                slot.conn.timer_gen += 1;
+                let deadline = Instant::now() + self.shared.config.read_timeout;
+                slot.conn.deadline = Some(deadline);
+                let gen = slot.conn.timer_gen;
+                self.wheel.arm(idx, gen, deadline);
+            }
+        } else if slot.conn.deadline.is_some() {
+            slot.conn.timer_gen += 1;
+            slot.conn.deadline = None;
+        }
+        let idle_close =
+            slot.conn.close_after_flush && slot.ops.is_empty() && slot.conn.write_backlog() == 0;
+        if idle_close {
+            self.close(idx);
+        }
+    }
+
+    /// Pulls every completed frame out of the assembler into the op
+    /// queue, drawing the recoverable-vs-framing-lost line.
+    fn drain_assembler(&mut self, idx: usize) {
+        let shared = Arc::clone(&self.shared);
+        let obs = &shared.obs;
+        let Some(slot) = self.slots[idx].as_mut() else {
+            return;
+        };
+        if slot.conn.close_after_flush {
+            // Framing already lost (or EOF already seen): whatever else
+            // is buffered is not trusted.
+            return;
+        }
+        loop {
             let decode_t0 = obs.enabled().then(Instant::now);
-            let reply = match decode_frame_with_limit(&buf[..total], max) {
-                Ok((frame, _)) => {
+            match slot.conn.assembler.next_frame() {
+                Ok(Some(Assembled::Frame(frame))) => {
                     obs.counter_add("net.frames_rx", 1);
+                    let mut decoded_us = 0;
                     // A traced batch's decode lap: measured here, where
                     // the trace id first becomes known.
                     if let (Frame::TracedAdvertBatch(ctx, _), Some(t0)) = (&frame, decode_t0) {
                         let duration_us = t0.elapsed().as_micros() as u64;
                         let ctx = ctx.with_stage(Stage::Decode);
                         obs.trace_begin(ctx);
+                        let now_us = obs.now_us();
                         obs.trace_stage(
                             ctx.trace_id,
                             Stage::Decode,
-                            obs.now_us().saturating_sub(duration_us),
+                            now_us.saturating_sub(duration_us),
                             duration_us,
                         );
+                        decoded_us = now_us;
                     }
-                    handle_frame(shared, frame)
+                    slot.ops.push_back(Op::Request { frame, decoded_us });
                 }
-                Err(e) => {
-                    // Recoverable by construction: frame_size accepted
-                    // the prefix, so the frame is skippable.
+                Ok(Some(Assembled::Skipped(e))) => {
+                    // Recoverable by construction: the length prefix
+                    // was accepted, so the frame was skippable.
                     obs.counter_add("net.frame_errors", 1);
-                    note_decode_error(shared);
-                    Frame::Error(WireError {
+                    note_decode_error(&shared);
+                    slot.ops.push_back(Op::Reply(Frame::Error(WireError {
                         code: match e {
                             DecodeError::BadVersion { .. } => ErrorCode::UnsupportedVersion,
                             _ => ErrorCode::BadFrame,
                         },
                         message: e.to_string(),
-                    })
+                    })));
                 }
-            };
-            buf.drain(..total);
-            // The ack lap covers encoding + writing the reply; recorded
-            // after the write, it lands in the trace table (served via
-            // TraceQuery), not in the ack frame itself.
-            let traced_ack = match &reply {
-                Frame::TracedIngestAck(ack) if obs.enabled() => {
-                    Some((ack.ctx.trace_id, obs.now_us(), Instant::now()))
-                }
-                _ => None,
-            };
-            if write_frame(shared, &mut stream, &reply).is_err() {
-                break 'conn;
-            }
-            if let Some((trace_id, start_us, t0)) = traced_ack {
-                obs.trace_stage(
-                    trace_id,
-                    Stage::Ack,
-                    start_us,
-                    t0.elapsed().as_micros() as u64,
-                );
-            }
-        }
-        if shared.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
-            break;
-        }
-        match stream.read(&mut scratch) {
-            Ok(0) => break,
-            Ok(n) => {
-                obs.counter_add("net.bytes_rx", n as u64);
-                buf.extend_from_slice(&scratch[..n]);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if !buf.is_empty() {
-                    // A partial frame stalled for a whole read timeout:
-                    // slow-loris. Close rather than hold the thread.
-                    obs.counter_add("net.read_timeouts", 1);
+                Ok(None) => break,
+                Err(e) => {
+                    // Length prefix itself is unusable: framing is
+                    // lost. Report once, then close after the reply
+                    // flushes.
+                    obs.counter_add("net.framing_lost", 1);
+                    slot.ops.push_back(Op::Reply(Frame::Error(WireError {
+                        code: ErrorCode::BadFrame,
+                        message: e.to_string(),
+                    })));
+                    slot.conn.close_after_flush = true;
                     break;
                 }
-                // Idle between frames: keep waiting (re-checks shutdown).
             }
-            Err(_) => break,
         }
     }
-    obs.counter_add("net.connections_closed", 1);
+
+    /// The tick-end engine pass: one lock, every dirty connection's ops
+    /// in order, then a single coalesced `process` that drains what all
+    /// of them enqueued.
+    fn execute_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let shared = Arc::clone(&self.shared);
+        let obs = &shared.obs;
+        let mut engine = shared.engine.lock().expect("engine mutex not poisoned");
+        let mut executed: u64 = 0;
+        for idx in dirty {
+            if self.slots[idx].is_none() {
+                continue;
+            }
+            let mut close_now = false;
+            {
+                let slot = self.slots[idx].as_mut().expect("checked above");
+                slot.dirty = false;
+                while let Some(op) = slot.ops.pop_front() {
+                    let reply = match op {
+                        Op::Reply(frame) => frame,
+                        Op::Request { frame, decoded_us } => {
+                            if decoded_us > 0 {
+                                if let Frame::TracedAdvertBatch(ctx, _) = &frame {
+                                    // Coalesce lap: how long the decoded
+                                    // batch waited for this engine pass.
+                                    let now_us = obs.now_us();
+                                    obs.trace_stage(
+                                        ctx.trace_id,
+                                        Stage::Coalesce,
+                                        decoded_us,
+                                        now_us.saturating_sub(decoded_us),
+                                    );
+                                }
+                            }
+                            handle_frame(&shared, &mut engine, frame)
+                        }
+                    };
+                    executed += 1;
+                    // The ack lap covers encoding + handing the reply to
+                    // the transport; recorded after the flush attempt,
+                    // it lands in the trace table (served via
+                    // TraceQuery), not in the ack frame itself.
+                    let traced_ack = match &reply {
+                        Frame::TracedIngestAck(ack) if obs.enabled() => {
+                            Some((ack.ctx.trace_id, obs.now_us(), Instant::now()))
+                        }
+                        _ => None,
+                    };
+                    let bytes = encode_frame(&reply);
+                    slot.conn.queue(&bytes);
+                    obs.counter_add("net.frames_tx", 1);
+                    obs.counter_add("net.bytes_tx", bytes.len() as u64);
+                    if slot.conn.flush().is_err() {
+                        close_now = true;
+                        break;
+                    }
+                    if let Some((trace_id, start_us, t0)) = traced_ack {
+                        obs.trace_stage(
+                            trace_id,
+                            Stage::Ack,
+                            start_us,
+                            t0.elapsed().as_micros() as u64,
+                        );
+                    }
+                }
+                if !close_now {
+                    // A peer that never reads its acks: pause reading
+                    // until write readiness drains the backlog.
+                    slot.conn.paused = slot.conn.write_backlog() > WRITE_BACKPRESSURE_BYTES;
+                    if slot.conn.close_after_flush && slot.conn.write_backlog() == 0 {
+                        close_now = true;
+                    }
+                }
+            }
+            if close_now {
+                self.close(idx);
+                continue;
+            }
+            self.sync_interest(idx);
+            // A lingering close (framing lost / EOF) with replies still
+            // queued must not outlive a peer that never drains them:
+            // bound it by the write timeout. `close_after_flush` means
+            // reads stopped, so the slow-loris deadline is free.
+            let arm = {
+                let slot = self.slots[idx].as_mut().expect("open");
+                if slot.conn.close_after_flush && slot.conn.deadline.is_none() {
+                    slot.conn.timer_gen += 1;
+                    let deadline = Instant::now() + self.shared.config.write_timeout;
+                    slot.conn.deadline = Some(deadline);
+                    Some((slot.conn.timer_gen, deadline))
+                } else {
+                    None
+                }
+            };
+            if let Some((gen, deadline)) = arm {
+                self.wheel.arm(idx, gen, deadline);
+            }
+        }
+        if engine.queued() > 0 {
+            // The coalesced drain: one pass serves every connection
+            // that ingested this tick.
+            obs.counter_add("net.reactor.coalesced_passes", 1);
+            engine.process();
+        }
+        drop(engine);
+        obs.histogram_observe("net.reactor.ops_per_tick", executed as f64);
+    }
+
+    /// Fires elapsed timer-wheel entries, validating each against the
+    /// connection's live deadline and generation.
+    fn fire_timers(&mut self, now: Instant) {
+        for (idx, gen) in self.wheel.advance(now) {
+            let Some(slot) = self.slots.get_mut(idx).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            if slot.conn.timer_gen != gen {
+                continue;
+            }
+            match slot.conn.deadline {
+                Some(deadline) if now >= deadline => {
+                    if !slot.conn.close_after_flush {
+                        // A partial frame stalled a full read timeout:
+                        // slow-loris. (Lingering closes reuse the
+                        // deadline but are not read timeouts.)
+                        self.shared.obs.counter_add("net.read_timeouts", 1);
+                    }
+                    self.close(idx);
+                }
+                Some(deadline) => {
+                    // Clamped or coarse wheel slot fired early: re-arm
+                    // at the real deadline.
+                    self.wheel.arm(idx, gen, deadline);
+                }
+                None => {}
+            }
+        }
+    }
+
+    /// Reconciles the registered poller interest with the connection's
+    /// state: paused/lingering → write only; backlog → read + write;
+    /// otherwise read only.
+    fn sync_interest(&mut self, idx: usize) {
+        let Some(slot) = self.slots[idx].as_mut() else {
+            return;
+        };
+        let desired = if slot.conn.paused || slot.conn.close_after_flush {
+            Interest::WRITE
+        } else if slot.conn.write_backlog() > 0 {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if desired != slot.interest
+            && self
+                .poller
+                .modify(slot.conn.stream.as_raw_fd(), idx as u64, desired)
+                .is_ok()
+        {
+            slot.interest = desired;
+        }
+    }
+
+    /// Closes and frees one connection. The slot stays unreusable until
+    /// tick end so stale events in the same batch miss.
+    fn close(&mut self, idx: usize) {
+        if let Some(slot) = self.slots[idx].take() {
+            let _ = self.poller.delete(slot.conn.stream.as_raw_fd());
+            self.shared.obs.counter_add("net.connections_closed", 1);
+            self.freed_this_tick.push(idx);
+        }
+    }
+
+    /// Graceful shutdown: execute + ack every buffered complete frame
+    /// (ingest is refused with `ShuttingDown` by `handle_frame`), flush
+    /// within the write-timeout grace, close everything.
+    fn shutdown_drain(&mut self) {
+        let _ = self.poller.delete(self.listener.as_raw_fd());
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].is_none() {
+                continue;
+            }
+            self.drain_assembler(idx);
+            let slot = self.slots[idx].as_mut().expect("open");
+            if !slot.ops.is_empty() && !slot.dirty {
+                slot.dirty = true;
+                self.dirty.push(idx);
+            }
+        }
+        self.execute_dirty();
+        let grace = Instant::now() + self.shared.config.write_timeout;
+        loop {
+            let mut pending = false;
+            for idx in 0..self.slots.len() {
+                let Some(slot) = self.slots[idx].as_mut() else {
+                    continue;
+                };
+                if slot.conn.write_backlog() == 0 {
+                    continue;
+                }
+                match slot.conn.flush() {
+                    Ok(Flush::Pending) => pending = true,
+                    Ok(Flush::Drained) => {}
+                    Err(_) => self.close(idx),
+                }
+            }
+            if !pending || Instant::now() >= grace {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for idx in 0..self.slots.len() {
+            self.close(idx);
+        }
+    }
 }
 
-/// Encodes and writes one reply frame.
-fn write_frame(shared: &Shared, stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
-    let bytes = encode_frame(frame);
-    stream.write_all(&bytes)?;
-    stream.flush()?;
-    shared.obs.counter_add("net.frames_tx", 1);
-    shared.obs.counter_add("net.bytes_tx", bytes.len() as u64);
-    Ok(())
-}
-
-/// Executes one request frame against the engine, producing the reply.
-fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
+/// Executes one request frame against the (already locked) engine,
+/// producing the reply.
+fn handle_frame(shared: &Shared, engine: &mut Engine, frame: Frame) -> Frame {
     match frame {
         Frame::AdvertBatch(batch) => {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -490,7 +880,7 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
                     message: "server is draining; ingest refused".to_string(),
                 });
             }
-            ingest_batch(shared, &batch, None)
+            ingest_batch(shared, engine, &batch, None)
         }
         Frame::TracedAdvertBatch(ctx, batch) => {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -499,7 +889,7 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
                     message: "server is draining; ingest refused".to_string(),
                 });
             }
-            ingest_batch(shared, &batch, Some(ctx))
+            ingest_batch(shared, engine, &batch, Some(ctx))
         }
         Frame::MetricsQuery => {
             Frame::MetricsReport(WireMetrics::from_snapshot(&shared.obs.metrics()))
@@ -509,7 +899,6 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
             Some(id) => shared.obs.trace_lookup(id).into_iter().collect(),
         }),
         Frame::QuerySnapshot => {
-            let engine = shared.engine.lock().expect("engine mutex not poisoned");
             let mut span = shared.obs.span("net", "query_snapshot");
             let estimates: Vec<WireEstimate> = engine
                 .snapshot()
@@ -519,20 +908,13 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
             span.field("estimates", estimates.len());
             Frame::Snapshot(estimates)
         }
-        Frame::QueryBeacon(beacon) => {
-            let engine = shared.engine.lock().expect("engine mutex not poisoned");
-            Frame::BeaconReply(
-                engine
-                    .estimate_of(BeaconId(beacon))
-                    .map(|e| WireEstimate::from_estimate(BeaconId(beacon), &e)),
-            )
-        }
-        Frame::QueryStats => {
-            let engine = shared.engine.lock().expect("engine mutex not poisoned");
-            Frame::Stats(WireStats::from_engine(engine.stats(), engine.queued()))
-        }
+        Frame::QueryBeacon(beacon) => Frame::BeaconReply(
+            engine
+                .estimate_of(BeaconId(beacon))
+                .map(|e| WireEstimate::from_estimate(BeaconId(beacon), &e)),
+        ),
+        Frame::QueryStats => Frame::Stats(WireStats::from_engine(engine.stats(), engine.queued())),
         Frame::Finish => {
-            let mut engine = shared.engine.lock().expect("engine mutex not poisoned");
             let mut span = shared.obs.span("net", "finish");
             let report = engine.finish();
             span.field("samples", report.samples_processed);
@@ -565,16 +947,17 @@ fn handle_frame(shared: &Shared, frame: Frame) -> Frame {
 /// feeds the math).
 fn ingest_batch(
     shared: &Shared,
+    engine: &mut Engine,
     batch: &[crate::wire::WireAdvert],
     ctx: Option<TraceCtx>,
 ) -> Frame {
     let adverts: Vec<Advert> = batch.iter().map(|a| Advert::from(*a)).collect();
     let mut span = shared.obs.span("net", "ingest_batch");
     span.field("adverts", adverts.len());
-    let mut engine = shared.engine.lock().expect("engine mutex not poisoned");
     if let Some(store) = &shared.store {
         // Write-ahead: the batch must be durable before the engine can
-        // see it, in offer order (both serialized by the engine lock).
+        // see it, in offer order (both serialized by the engine lock,
+        // which the reactor holds for the whole tick-end pass).
         let mut durable = store.lock().expect("store mutex not poisoned");
         let wal_t0 = ctx.and_then(|_| shared.obs.enabled().then(Instant::now));
         if let Err(e) = durable.store.append(&adverts) {
@@ -633,7 +1016,7 @@ fn ingest_batch(
         if durable.checkpoint_every > 0
             && records - durable.last_checkpoint >= durable.checkpoint_every
         {
-            match durable.store.checkpoint(&engine) {
+            match durable.store.checkpoint(engine) {
                 Ok(_) => durable.last_checkpoint = records,
                 Err(_) => shared.obs.counter_add("net.checkpoint_failures", 1),
             }
@@ -645,7 +1028,6 @@ fn ingest_batch(
         // process calls are safe: they never perturb estimates.
         engine.process();
     }
-    drop(engine);
     let summary = IngestSummary::from(total);
     span.field("routed", summary.routed);
     span.field("rejected", summary.rejected());

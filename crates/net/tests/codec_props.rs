@@ -10,6 +10,7 @@ use locble_net::wire::{
     Frame, IngestSummary, TracedAck, WireAdvert, WireError, WireEstimate, WireMetrics, WireStats,
     DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
 };
+use locble_net::{Assembled, FrameAssembler};
 use locble_obs::{HistogramSnapshot, Stage, StageLap, TraceCtx, TraceRecord};
 use proptest::prelude::*;
 
@@ -158,6 +159,7 @@ fn any_stage() -> impl Strategy<Value = Stage> {
     prop_oneof![
         Just(Stage::Client),
         Just(Stage::Decode),
+        Just(Stage::Coalesce),
         Just(Stage::Wal),
         Just(Stage::Route),
         Just(Stage::ShardQueue),
@@ -260,6 +262,20 @@ fn any_frame() -> impl Strategy<Value = Frame> {
     ]
 }
 
+/// Pulls everything currently decodable out of an assembler:
+/// `(frames, skipped)`. Valid-input properties assert `skipped == 0`.
+fn drain_assembler(asm: &mut FrameAssembler) -> Result<(Vec<Frame>, usize), DecodeError> {
+    let mut frames = Vec::new();
+    let mut skipped = 0;
+    while let Some(step) = asm.next_frame()? {
+        match step {
+            Assembled::Frame(f) => frames.push(f),
+            Assembled::Skipped(_) => skipped += 1,
+        }
+    }
+    Ok((frames, skipped))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -330,6 +346,50 @@ proptest! {
             decode_frame(&bytes).expect_err("version byte corrupted"),
             DecodeError::BadVersion { got: WIRE_VERSION ^ flip }
         );
+    }
+
+    /// The reactor's partial-frame state machine: any byte-boundary
+    /// split of a valid frame sequence — down to one byte at a time —
+    /// must reassemble into the identical frame list as one contiguous
+    /// feed, with no skips, no leftovers, and no frame crossing between
+    /// chunks corrupted.
+    #[test]
+    fn split_feed_reassembles_identically_to_contiguous(
+        frames in prop::collection::vec(any_frame(), 1..6),
+        chunk_sizes in prop::collection::vec(1usize..17, 1..64),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+
+        // Reference: the whole stream in one feed.
+        let mut contiguous = FrameAssembler::new(DEFAULT_MAX_FRAME_LEN);
+        contiguous.feed(&bytes);
+        let (reference, skipped) = drain_assembler(&mut contiguous)
+            .expect("valid stream never loses framing");
+        prop_assert_eq!(skipped, 0);
+        prop_assert_eq!(&reference, &frames);
+        prop_assert_eq!(contiguous.buffered(), 0);
+
+        // Split: feed arbitrary chunks (cycling the generated sizes),
+        // draining after every feed — the readiness-event shape.
+        let mut split = FrameAssembler::new(DEFAULT_MAX_FRAME_LEN);
+        let mut out = Vec::new();
+        let mut offset = 0;
+        let mut turn = 0;
+        while offset < bytes.len() {
+            let take = chunk_sizes[turn % chunk_sizes.len()].min(bytes.len() - offset);
+            turn += 1;
+            split.feed(&bytes[offset..offset + take]);
+            offset += take;
+            let (mut frames_now, skipped_now) = drain_assembler(&mut split)
+                .expect("valid stream never loses framing");
+            prop_assert_eq!(skipped_now, 0);
+            out.append(&mut frames_now);
+        }
+        prop_assert_eq!(&out, &frames);
+        prop_assert_eq!(split.buffered(), 0);
     }
 
     /// Oversized length prefixes are rejected before any allocation,

@@ -103,6 +103,95 @@ fn fully_traced_stream_is_bit_identical_to_noop_run() {
     assert_bit_identical("traced vs noop", &traced, &want);
 }
 
+/// Concurrency differential: N clients stream disjoint beacon
+/// partitions into the reactor at once, so their batches interleave
+/// arbitrarily inside coalesced ticks — yet because each beacon's
+/// stream stays in time order on its one connection, the engine must
+/// end bit-identical to a sequential `ingest_all` of the same
+/// per-beacon advert order. Eviction is pinned off so wall-clock
+/// scheduling (which client runs ahead) cannot perturb session
+/// lifetimes.
+#[test]
+fn concurrent_reactor_clients_match_sequential_ingest_bit_for_bit() {
+    const CLIENTS: usize = 8;
+    let session = fleet_session(10, 41);
+    let estimator = Estimator::new(EstimatorConfig::default());
+    let motion = track_observer(&session);
+    let adverts: Vec<Advert> = session
+        .interleaved_rss()
+        .into_iter()
+        .map(Advert::from)
+        .collect();
+    let config = EngineConfig {
+        idle_evict_s: f64::INFINITY,
+        ..EngineConfig::default()
+    };
+
+    // Reference: the full interleaved stream, sequentially.
+    let mut reference = Engine::new(config.clone(), estimator.clone(), Obs::noop());
+    reference.set_motion(motion.clone());
+    let ref_report = reference.ingest_all(&adverts);
+    reference.finish();
+    let want = reference.snapshot();
+
+    // Partition by beacon: each client owns some beacons outright, so
+    // per-beacon time order survives any cross-client interleaving.
+    let mut partitions: Vec<Vec<Advert>> = (0..CLIENTS).map(|_| Vec::new()).collect();
+    for advert in &adverts {
+        partitions[advert.beacon.0 as usize % CLIENTS].push(*advert);
+    }
+
+    let mut engine = Engine::new(config, estimator, Obs::noop());
+    engine.set_motion(motion);
+    let server = Server::bind(engine, ServerConfig::default(), Obs::ring(64)).expect("bind");
+    let addr = server.addr();
+
+    let totals: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut delivered = 0u64;
+                    let mut accepted = 0u64;
+                    let mut rejected = 0u64;
+                    for chunk in part.chunks(64) {
+                        let ack = client.ingest(chunk).expect("ingest");
+                        assert_eq!(ack.consumed, chunk.len() as u64);
+                        delivered += ack.consumed;
+                        accepted += ack.routed;
+                        rejected += ack.rejected();
+                    }
+                    (delivered, accepted, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+
+    let delivered: u64 = totals.iter().map(|t| t.0).sum();
+    let accepted: u64 = totals.iter().map(|t| t.1).sum();
+    let rejected: u64 = totals.iter().map(|t| t.2).sum();
+    assert_eq!(delivered, adverts.len() as u64);
+    assert_eq!(delivered, accepted + rejected, "every advert is accounted");
+    assert_eq!(rejected, 0, "in-order per-beacon streams have no rejects");
+    assert_eq!(accepted, ref_report.routed as u64);
+
+    let mut control = Client::connect(addr).expect("control connect");
+    control.finish().expect("finish");
+    let over_wire = control.snapshot().expect("snapshot");
+    assert_bit_identical("concurrent wire snapshot", &over_wire, &want);
+    drop(control);
+
+    let engine = server.shutdown();
+    assert_bit_identical("engine after concurrent run", &engine.snapshot(), &want);
+    assert_eq!(engine.queued(), 0);
+    assert_eq!(engine.stats().samples_routed as u64, accepted);
+}
+
 #[test]
 fn loopback_stream_matches_direct_ingest_bit_for_bit() {
     let session = fleet_session(10, 41);

@@ -31,6 +31,11 @@ pub enum Stage {
     Decode = 1,
     /// Durability WAL append (only on durable servers).
     Wal = 2,
+    /// Reactor coalescing wait: the batch sat decoded in its
+    /// connection's op queue until the tick-end engine pass ran (only on
+    /// readiness-driven servers; the price one batch pays so many
+    /// connections share a single engine lock acquisition).
+    Coalesce = 7,
     /// Control-plane ingest: validation + shard routing.
     Route = 3,
     /// Time spent waiting in a shard queue before a worker drained it.
@@ -42,10 +47,14 @@ pub enum Stage {
 }
 
 impl Stage {
-    /// All stages, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    /// All stages, in pipeline order. (`Coalesce` sits between decode
+    /// and WAL in the pipeline even though its discriminant — its bit
+    /// position — was assigned later; bit positions are wire ABI and
+    /// never reshuffle.)
+    pub const ALL: [Stage; 8] = [
         Stage::Client,
         Stage::Decode,
+        Stage::Coalesce,
         Stage::Wal,
         Stage::Route,
         Stage::ShardQueue,
@@ -64,6 +73,7 @@ impl Stage {
         match self {
             Stage::Client => "client",
             Stage::Decode => "decode",
+            Stage::Coalesce => "coalesce",
             Stage::Wal => "wal",
             Stage::Route => "route",
             Stage::ShardQueue => "shard_queue",
@@ -78,6 +88,7 @@ impl Stage {
         match self {
             Stage::Client => "trace.client.us",
             Stage::Decode => "trace.decode.us",
+            Stage::Coalesce => "trace.coalesce.us",
             Stage::Wal => "trace.wal.us",
             Stage::Route => "trace.route.us",
             Stage::ShardQueue => "trace.shard_queue.us",

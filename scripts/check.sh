@@ -24,6 +24,25 @@ loadgen_report="$(cargo run --release -q -p locble-bench --bin loadgen -- --beac
 grep -q "accounting reconciles exactly      true" <<<"$loadgen_report" \
   || { echo "serving smoke failed: accounting did not reconcile"; echo "$loadgen_report"; exit 1; }
 
+echo "==> reactor smoke (release loadgen, 1000 multiplexed epoll connections)"
+synth_report="$(cargo run --release -q -p locble-bench --bin loadgen -- --synthetic --connections 1000 --batches 2 --batch-len 64)"
+grep -q "accounting reconciles exactly      true" <<<"$synth_report" \
+  || { echo "reactor smoke failed: accounting did not reconcile"; echo "$synth_report"; exit 1; }
+
+echo "==> serve bench (release harness, three-arm report + BENCH_serve.json)"
+cargo run --release -q -p locble-bench --bin harness -- serve --serve-json BENCH_serve.json
+test -s BENCH_serve.json \
+  || { echo "serve bench failed: BENCH_serve.json missing or empty"; exit 1; }
+grep -q '"sustained_connections":10000' BENCH_serve.json \
+  || { echo "serve bench failed: 10k-connection arm missing"; cat BENCH_serve.json; exit 1; }
+if grep -q '"reconciles":false' BENCH_serve.json; then
+  echo "serve bench failed: an arm did not reconcile"; cat BENCH_serve.json; exit 1
+fi
+grep -q '"all_arms_reconcile":true' BENCH_serve.json \
+  || { echo "serve bench failed: all_arms_reconcile not true"; cat BENCH_serve.json; exit 1; }
+grep -q '"meets_1m_target":true' BENCH_serve.json \
+  || { echo "serve bench failed: 10k arm below 1M adverts/s"; cat BENCH_serve.json; exit 1; }
+
 echo "==> recovery smoke (release crashtest: SIGKILL mid-stream, recover, diff)"
 crashtest_report="$(cargo run --release -q -p locble-bench --bin crashtest)"
 grep -q "crashtest: PASS" <<<"$crashtest_report" \
