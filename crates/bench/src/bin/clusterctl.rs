@@ -1,0 +1,574 @@
+//! Cluster smoke/bench driver: boots a real multi-process loopback
+//! cluster, measures aggregate ingest throughput through the front,
+//! reconciles the accounting exactly, then runs a kill-owner /
+//! promote-follower failover pass.
+//!
+//! ```text
+//! clusterctl smoke [--json <path>] [--clients <n>] [--batch <n>] [--adverts <n>] [--reps <n>]
+//! clusterctl status --addr <host:port>     render a node's ClusterReport
+//! clusterctl node                          (internal: child node process)
+//! ```
+//!
+//! `smoke` is the check.sh `cluster-smoke` gate: three owner processes
+//! (each `clusterctl node`, re-executed from this binary with a
+//! `LOCBLE_NODE_*` environment), an in-process front, and client
+//! threads streaming pre-partitioned batches. It fails non-zero if any
+//! advert goes unaccounted, if aggregate throughput misses the 1M
+//! adverts/s target, or if the failover pass loses an acked advert.
+
+use locble_ble::BeaconId;
+use locble_cluster::{
+    serve_node_from_env, spec_to_env, ClusterRouter, Front, FrontConfig, NodeSpec,
+};
+use locble_engine::Advert;
+use locble_net::wire::{NodeEntry, NodeRole, WirePartitionMap};
+use locble_net::Client;
+use locble_obs::Obs;
+use serde::Value;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        usage(2);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        // Internal child mode: become a cluster node, announce, park.
+        "node" => {
+            if let Err(e) = serve_node_from_env() {
+                eprintln!("clusterctl node: {e}");
+                std::process::exit(1);
+            }
+        }
+        "status" => {
+            let addr = take_value(&mut args, "--addr").unwrap_or_else(|| usage(2));
+            reject_extra(&args);
+            let mut client = Client::connect(addr.as_str())
+                .unwrap_or_else(|e| fail(&format!("connect to {addr}: {e}")));
+            let report = client
+                .cluster()
+                .unwrap_or_else(|e| fail(&format!("cluster query: {e}")));
+            print!("{}", render_report(&report));
+        }
+        "smoke" => {
+            let json = take_value(&mut args, "--json").map(PathBuf::from);
+            let clients = take_usize(&mut args, "--clients").unwrap_or(4);
+            let batch = take_usize(&mut args, "--batch").unwrap_or(4096);
+            let adverts = take_usize(&mut args, "--adverts").unwrap_or(3_000_000);
+            let reps = take_usize(&mut args, "--reps").unwrap_or(3);
+            reject_extra(&args);
+            smoke(json, clients, batch, adverts, reps);
+        }
+        other => {
+            eprintln!("unknown subcommand {other:?}");
+            usage(2);
+        }
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: clusterctl smoke [--json <path>] [--clients <n>] [--batch <n>] [--adverts <n>] [--reps <n>]\n       clusterctl status --addr <host:port>"
+    );
+    std::process::exit(code);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("clusterctl: {message}");
+    std::process::exit(1);
+}
+
+/// Set by any failed [`check`]; inspected once, after child-process
+/// cleanup. `std::process::exit` skips `Drop`, so exiting mid-smoke
+/// would leak `clusterctl node` children.
+static CHECK_FAILED: AtomicBool = AtomicBool::new(false);
+
+fn check(ok: bool, what: &str) {
+    if ok {
+        println!("  ok: {what}");
+    } else {
+        println!("  FAIL: {what}");
+        CHECK_FAILED.store(true, Ordering::Relaxed);
+    }
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        fail(&format!("{flag} requires a value"));
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+fn take_usize(args: &mut Vec<String>, flag: &str) -> Option<usize> {
+    take_value(args, flag).map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("{flag} requires an integer, got {v:?}")))
+    })
+}
+
+fn reject_extra(args: &[String]) {
+    if !args.is_empty() {
+        eprintln!("unknown arguments: {args:?}");
+        usage(2);
+    }
+}
+
+fn render_report(report: &locble_net::ClusterSummary) -> String {
+    let mut out = String::new();
+    out.push_str("== cluster ==\n");
+    out.push_str(&format!("node id            {}\n", report.node_id));
+    out.push_str(&format!("role               {}\n", report.role.name()));
+    out.push_str(&format!("map epoch          {}\n", report.map.epoch));
+    for entry in &report.map.nodes {
+        out.push_str(&format!("  node {:<4} at {}\n", entry.node_id, entry.addr));
+    }
+    out.push_str(&format!("owned sessions     {}\n", report.owned_sessions));
+    out.push_str(&format!(
+        "forwarded batches  {}\n",
+        report.forwarded_batches
+    ));
+    out.push_str(&format!(
+        "forwarded adverts  {}\n",
+        report.forwarded_adverts
+    ));
+    out.push_str(&format!(
+        "replicated records {}\n",
+        report.replicated_records
+    ));
+    out
+}
+
+/// A child node process, killed (never zombied) when dropped.
+struct NodeProc {
+    child: Child,
+    addr: String,
+}
+
+impl NodeProc {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn spawn_node(spec: &NodeSpec) -> NodeProc {
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let mut child = Command::new(exe)
+        .arg("node")
+        .envs(spec_to_env(spec))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn node: {e}")));
+    let reader = BufReader::new(child.stdout.take().expect("child stdout"));
+    for line in reader.lines() {
+        let line = line.unwrap_or_else(|e| fail(&format!("child stdout: {e}")));
+        if let Some(addr) = line.strip_prefix("listen ") {
+            return NodeProc {
+                child,
+                addr: addr.trim().to_string(),
+            };
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    fail("node process exited before announcing its listen address");
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("locble-clusterctl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("node dir: {e}")));
+    dir
+}
+
+/// One client's pre-partitioned work: for each owner node, the batches
+/// destined for it, ready to stream round-robin.
+fn partitioned_batches(
+    router: &ClusterRouter,
+    beacons: std::ops::Range<u32>,
+    rounds: usize,
+    batch: usize,
+) -> Vec<Vec<Vec<Advert>>> {
+    // Interleave rounds across this client's beacons so each beacon's
+    // timestamps arrive strictly increasing. The whole stream spans a
+    // fixed 50 s of beacon time no matter how many rounds: clients run
+    // at different speeds, and a slower client's sessions must never
+    // drift past the engine's idle-eviction horizon (60 s) or the
+    // exact-session-count reconciliation below would see re-creations.
+    let dt = 50.0 / rounds as f64;
+    let mut stream = Vec::with_capacity(beacons.len() * rounds);
+    for round in 0..rounds {
+        for beacon in beacons.clone() {
+            stream.push(Advert {
+                beacon: BeaconId(beacon),
+                t: round as f64 * dt,
+                rssi_dbm: -55.0 - (round % 16) as f64 * 0.5,
+            });
+        }
+    }
+    let buckets = router
+        .partition(stream, |a| a.beacon)
+        .unwrap_or_else(|| fail("empty partition map"));
+    buckets
+        .into_iter()
+        .map(|bucket| bucket.chunks(batch).map(<[Advert]>::to_vec).collect())
+        .collect()
+}
+
+struct ThroughputOutcome {
+    total_sent: usize,
+    elapsed: f64,
+    rate: f64,
+    reconciles: bool,
+}
+
+fn smoke(json: Option<PathBuf>, clients: usize, batch: usize, total_adverts: usize, reps: usize) {
+    // --- Phase 1: throughput + reconciliation through a 3-process
+    // cluster, best of `reps` fresh clusters. Every rep must account
+    // and reconcile exactly; only the *rate* takes the best — on a
+    // single shared core the scheduler costs an arbitrary rep ±10%,
+    // and a throughput gate on one draw would flake.
+    let mut best: Option<ThroughputOutcome> = None;
+    let mut reconciles = true;
+    for rep in 1..=reps {
+        let outcome = throughput_pass(clients, batch, total_adverts, rep, reps);
+        reconciles &= outcome.reconciles;
+        if best.as_ref().is_none_or(|b| outcome.rate > b.rate) {
+            best = Some(outcome);
+        }
+    }
+    let best = best.unwrap_or_else(|| fail("--reps must be at least 1"));
+    let (total_sent, elapsed, rate) = (best.total_sent, best.elapsed, best.rate);
+    let meets_target = rate >= 1_000_000.0;
+    check(
+        meets_target,
+        &format!("aggregate throughput >= 1M adverts/s (best of {reps}: {rate:.0})"),
+    );
+
+    // --- Phase 2: kill-owner / promote-follower failover with
+    // synchronous replication. Smaller stream; the property under test
+    // is exact accounting across the crash, not speed.
+    println!("cluster smoke: failover pass (SIGKILL owner, promote follower, resume)");
+    let failover = failover_pass();
+
+    if let Some(path) = json {
+        let value = Value::Map(vec![
+            ("experiment".to_string(), Value::Str("cluster".to_string())),
+            ("nodes".to_string(), Value::U64(3)),
+            ("clients".to_string(), Value::U64(clients as u64)),
+            ("batch_len".to_string(), Value::U64(batch as u64)),
+            ("reps".to_string(), Value::U64(reps as u64)),
+            ("adverts".to_string(), Value::U64(total_sent as u64)),
+            ("elapsed_seconds".to_string(), Value::F64(elapsed)),
+            ("adverts_per_sec".to_string(), Value::F64(rate)),
+            ("meets_1m_target".to_string(), Value::Bool(meets_target)),
+            ("reconciles".to_string(), Value::Bool(reconciles)),
+            ("failover_sent".to_string(), Value::U64(failover.sent)),
+            (
+                "failover_acked_before_kill".to_string(),
+                Value::U64(failover.acked_before_kill),
+            ),
+            (
+                "failover_follower_durable".to_string(),
+                Value::U64(failover.follower_durable),
+            ),
+            (
+                "failover_zero_loss".to_string(),
+                Value::Bool(failover.zero_loss),
+            ),
+        ]);
+        let body = serde::json::to_string(&value);
+        std::fs::write(&path, body)
+            .unwrap_or_else(|e| fail(&format!("write {}: {e}", path.display())));
+        println!("  wrote {}", path.display());
+    }
+    if CHECK_FAILED.load(Ordering::Relaxed) {
+        fail("one or more smoke checks failed");
+    }
+    println!("cluster smoke: PASS");
+}
+
+fn throughput_pass(
+    clients: usize,
+    batch: usize,
+    total_adverts: usize,
+    rep: usize,
+    reps: usize,
+) -> ThroughputOutcome {
+    const NODE_IDS: [u64; 3] = [1, 2, 3];
+    const BEACONS_PER_CLIENT: u32 = 32;
+
+    let mut dirs = Vec::new();
+    let mut owners = Vec::new();
+    for &node_id in &NODE_IDS {
+        let dir = temp_dir(&format!("owner-{node_id}-r{rep}"));
+        let spec = NodeSpec::new(node_id, &dir);
+        owners.push(spawn_node(&spec));
+        dirs.push(dir);
+    }
+    let map = WirePartitionMap {
+        epoch: 1,
+        nodes: NODE_IDS
+            .iter()
+            .zip(&owners)
+            .map(|(&node_id, owner)| NodeEntry {
+                node_id,
+                addr: owner.addr.clone(),
+            })
+            .collect(),
+    };
+    let front = Front::bind(
+        FrontConfig {
+            addr: "127.0.0.1:0".to_string(),
+            map: map.clone(),
+        },
+        Obs::noop(),
+    )
+    .unwrap_or_else(|e| fail(&format!("bind front: {e}")));
+    println!(
+        "cluster smoke: rep {rep}/{reps}: 3 owner processes behind front {} ({} clients, batch {batch})",
+        front.addr(),
+        clients
+    );
+
+    let router = ClusterRouter::new(&map);
+    let per_client = total_adverts / clients;
+    let rounds = per_client.div_ceil(BEACONS_PER_CLIENT as usize);
+    let sent_per_client = rounds * BEACONS_PER_CLIENT as usize;
+    let total_sent = sent_per_client * clients;
+    let front_addr = front.addr();
+
+    // Pre-generate and pre-partition off the clock, then stream.
+    let work: Vec<Vec<Vec<Vec<Advert>>>> = (0..clients)
+        .map(|c| {
+            let base = c as u32 * BEACONS_PER_CLIENT;
+            partitioned_batches(&router, base..base + BEACONS_PER_CLIENT, rounds, batch)
+        })
+        .collect();
+    let started = Instant::now();
+    let handles: Vec<_> = work
+        .into_iter()
+        .map(|buckets| {
+            std::thread::spawn(move || -> u64 {
+                let mut client = Client::connect(front_addr).expect("connect front");
+                let mut accounted = 0u64;
+                // Round-robin across the per-node batch queues so all
+                // three owners stay busy from every client; front-to-back
+                // so per-beacon timestamps stay in arrival order.
+                let mut cursors = vec![0usize; buckets.len()];
+                loop {
+                    let mut sent_any = false;
+                    for (bucket, cursor) in buckets.iter().zip(&mut cursors) {
+                        if let Some(chunk) = bucket.get(*cursor) {
+                            *cursor += 1;
+                            // `consumed` covers the whole chunk: routed
+                            // plus rejected, backpressure drained in-line.
+                            let ack = client.ingest(chunk).expect("fronted ingest");
+                            accounted += ack.consumed;
+                            sent_any = true;
+                        }
+                    }
+                    if !sent_any {
+                        return accounted;
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut accounted = 0u64;
+    for handle in handles {
+        accounted += handle.join().expect("client thread");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let rate = total_sent as f64 / elapsed;
+    println!(
+        "  streamed {total_sent} adverts in {elapsed:.3}s — {:.0} adverts/s aggregate",
+        rate
+    );
+    check(
+        accounted == total_sent as u64,
+        &format!("every advert acked and accounted by the clients ({accounted} of {total_sent})"),
+    );
+
+    let mut probe = Client::connect(front_addr).unwrap_or_else(|e| fail(&format!("probe: {e}")));
+    probe
+        .finish()
+        .unwrap_or_else(|e| fail(&format!("finish: {e}")));
+    let stats = probe
+        .stats()
+        .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+    let offered = stats.samples_routed + stats.samples_rejected;
+    let want_sessions = u64::from(BEACONS_PER_CLIENT) * clients as u64;
+    let reconciles = offered == total_sent as u64 && stats.sessions_created == want_sessions;
+    check(
+        reconciles,
+        &format!(
+            "cluster-wide accounting reconciles exactly (routed {} + rejected {} = {offered} of {total_sent}; sessions {} of {want_sessions})",
+            stats.samples_routed, stats.samples_rejected, stats.sessions_created
+        ),
+    );
+    let report = probe
+        .cluster()
+        .unwrap_or_else(|e| fail(&format!("cluster query: {e}")));
+    check(report.role == NodeRole::Front, "front reports its role");
+    check(
+        report.forwarded_adverts == total_sent as u64,
+        "front forwarded every advert",
+    );
+    drop(probe);
+    front.shutdown();
+    for owner in &mut owners {
+        owner.kill();
+    }
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    ThroughputOutcome {
+        total_sent,
+        elapsed,
+        rate,
+        reconciles,
+    }
+}
+
+struct FailoverOutcome {
+    sent: u64,
+    acked_before_kill: u64,
+    follower_durable: u64,
+    zero_loss: bool,
+}
+
+fn failover_pass() -> FailoverOutcome {
+    const NODE_ID: u64 = 9;
+    const BEACONS: u32 = 16;
+    const BATCH: usize = 256;
+    const BATCHES: usize = 200;
+    const KILL_AT: usize = 80;
+
+    let follower_dir = temp_dir("failover-follower");
+    let mut follower_spec = NodeSpec::new(NODE_ID, &follower_dir);
+    follower_spec.role = NodeRole::Follower;
+    let follower = spawn_node(&follower_spec);
+
+    let owner_dir = temp_dir("failover-owner");
+    let mut owner_spec = NodeSpec::new(NODE_ID, &owner_dir);
+    owner_spec.replica_addr = Some(follower.addr.clone());
+    owner_spec.sync_replication = true;
+    let mut owner = spawn_node(&owner_spec);
+
+    let front = Front::bind(
+        FrontConfig {
+            addr: "127.0.0.1:0".to_string(),
+            map: WirePartitionMap {
+                epoch: 1,
+                nodes: vec![NodeEntry {
+                    node_id: NODE_ID,
+                    addr: owner.addr.clone(),
+                }],
+            },
+        },
+        Obs::noop(),
+    )
+    .unwrap_or_else(|e| fail(&format!("bind failover front: {e}")));
+
+    let batches: Vec<Vec<Advert>> = (0..BATCHES)
+        .map(|b| {
+            (0..BATCH)
+                .map(|i| Advert {
+                    beacon: BeaconId((b * BATCH + i) as u32 % BEACONS),
+                    t: (b * BATCH + i) as f64 * 0.01,
+                    rssi_dbm: -58.0,
+                })
+                .collect()
+        })
+        .collect();
+    let sent = (BATCHES * BATCH) as u64;
+
+    let mut client =
+        Client::connect(front.addr()).unwrap_or_else(|e| fail(&format!("connect front: {e}")));
+    let mut acked_before_kill = 0u64;
+    for chunk in &batches[..KILL_AT] {
+        let ack = client
+            .ingest(chunk)
+            .unwrap_or_else(|e| fail(&format!("pre-kill ingest: {e}")));
+        acked_before_kill += ack.consumed;
+    }
+    owner.kill();
+    check(
+        client.ingest(&batches[KILL_AT]).is_err(),
+        "a batch for the dead owner fails loudly",
+    );
+
+    client
+        .install_map(WirePartitionMap {
+            epoch: 2,
+            nodes: vec![NodeEntry {
+                node_id: NODE_ID,
+                addr: follower.addr.clone(),
+            }],
+        })
+        .unwrap_or_else(|e| fail(&format!("install failover map: {e}")));
+
+    let mut promoted = Client::connect(follower.addr.as_str())
+        .unwrap_or_else(|e| fail(&format!("connect promoted follower: {e}")));
+    let report = promoted
+        .cluster()
+        .unwrap_or_else(|e| fail(&format!("promoted report: {e}")));
+    check(report.role == NodeRole::Owner, "follower promoted to owner");
+    let stats = promoted
+        .stats()
+        .unwrap_or_else(|e| fail(&format!("promoted stats: {e}")));
+    let follower_durable = stats.samples_routed + stats.samples_rejected;
+    check(
+        follower_durable >= acked_before_kill,
+        "sync replication made every acked advert follower-durable",
+    );
+    drop(promoted);
+
+    // The follower's WAL is a prefix of the owner's offered stream, so
+    // resuming at its durable count replays nothing and skips nothing.
+    let mut absorbed = follower_durable;
+    let resume_batch = (follower_durable / BATCH as u64) as usize;
+    let offset = (follower_durable % BATCH as u64) as usize;
+    if offset > 0 {
+        let ack = client
+            .ingest(&batches[resume_batch][offset..])
+            .unwrap_or_else(|e| fail(&format!("resume partial batch: {e}")));
+        absorbed += ack.consumed;
+    }
+    let next = resume_batch + usize::from(offset > 0);
+    for chunk in &batches[next..] {
+        let ack = client
+            .ingest(chunk)
+            .unwrap_or_else(|e| fail(&format!("post-failover ingest: {e}")));
+        absorbed += ack.consumed;
+    }
+    let zero_loss = absorbed == sent;
+    check(zero_loss, "zero acked adverts lost across the failover");
+
+    drop(client);
+    front.shutdown();
+    let _ = std::fs::remove_dir_all(&follower_dir);
+    let _ = std::fs::remove_dir_all(&owner_dir);
+    FailoverOutcome {
+        sent,
+        acked_before_kill,
+        follower_durable,
+        zero_loss,
+    }
+}

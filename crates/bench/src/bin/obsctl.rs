@@ -3,6 +3,7 @@
 //! ```text
 //! obsctl metrics --addr <host:port>          scrape and render MetricsReport
 //! obsctl traces  --addr <host:port> [--id <n>]   render recent trace records
+//! obsctl cluster --addr <host:port>          render a node's ClusterReport
 //! obsctl smoke   [--json <path>] [--dump <path>] end-to-end self-check
 //! ```
 //!
@@ -48,6 +49,15 @@ fn main() {
                 .unwrap_or_else(|e| fail(&format!("trace query: {e}")));
             print!("{}", render_traces(&records));
         }
+        "cluster" => {
+            let addr = take_value(&mut args, "--addr").unwrap_or_else(|| usage(2));
+            reject_extra(&args);
+            let mut client = connect(&addr);
+            let report = client
+                .cluster()
+                .unwrap_or_else(|e| fail(&format!("cluster query: {e}")));
+            print!("{}", render_cluster(&report));
+        }
         "smoke" => {
             let json = take_value(&mut args, "--json").map(PathBuf::from);
             let dump = take_value(&mut args, "--dump").map(PathBuf::from);
@@ -63,9 +73,37 @@ fn main() {
 
 fn usage(code: i32) -> ! {
     eprintln!(
-        "usage: obsctl metrics --addr <host:port>\n       obsctl traces  --addr <host:port> [--id <n>]\n       obsctl smoke   [--json <path>] [--dump <path>]"
+        "usage: obsctl metrics --addr <host:port>\n       obsctl traces  --addr <host:port> [--id <n>]\n       obsctl cluster --addr <host:port>\n       obsctl smoke   [--json <path>] [--dump <path>]"
     );
     std::process::exit(code);
+}
+
+/// Renders a node's cluster identity: role, membership view, and the
+/// cluster-path counters (standalone servers answer too, with node id
+/// 0 and an empty map).
+fn render_cluster(report: &locble_net::ClusterSummary) -> String {
+    let mut out = String::new();
+    out.push_str("== cluster ==\n");
+    out.push_str(&format!("node id            {}\n", report.node_id));
+    out.push_str(&format!("role               {}\n", report.role.name()));
+    out.push_str(&format!("map epoch          {}\n", report.map.epoch));
+    for entry in &report.map.nodes {
+        out.push_str(&format!("  node {:<4} at {}\n", entry.node_id, entry.addr));
+    }
+    out.push_str(&format!("owned sessions     {}\n", report.owned_sessions));
+    out.push_str(&format!(
+        "forwarded batches  {}\n",
+        report.forwarded_batches
+    ));
+    out.push_str(&format!(
+        "forwarded adverts  {}\n",
+        report.forwarded_adverts
+    ));
+    out.push_str(&format!(
+        "replicated records {}\n",
+        report.replicated_records
+    ));
+    out
 }
 
 fn fail(message: &str) -> ! {

@@ -364,6 +364,12 @@ impl Engine {
         &self.config
     }
 
+    /// The estimator prototype new sessions clone — what a cluster peer
+    /// needs to rebuild this engine from an exported state.
+    pub fn prototype(&self) -> &Estimator {
+        &self.prototype
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> EngineStats {
         EngineStats {

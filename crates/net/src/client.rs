@@ -8,8 +8,9 @@
 //! put arbitrary bytes on the wire.
 
 use crate::wire::{
-    decode_frame_with_limit, encode_frame, DecodeError, FinishSummary, Frame, IngestSummary,
-    TracedAck, WireAdvert, WireError, WireMetrics, WireStats, DEFAULT_MAX_FRAME_LEN,
+    decode_frame_with_limit, encode_frame, ClusterSummary, DecodeError, FinishSummary, Frame,
+    IngestSummary, NodeEntry, TracedAck, WireAdvert, WireError, WireMetrics, WirePartitionMap,
+    WireStats, DEFAULT_MAX_FRAME_LEN,
 };
 use locble_ble::BeaconId;
 use locble_core::LocationEstimate;
@@ -199,6 +200,112 @@ impl Client {
         match self.request(&Frame::Finish)? {
             Frame::FinishAck(s) => Ok(s),
             _ => Err(ClientError::UnexpectedFrame("FinishAck")),
+        }
+    }
+
+    /// Announces `entry` to a cluster peer; returns the membership view
+    /// the peer holds after admitting it.
+    pub fn join(&mut self, entry: NodeEntry) -> Result<WirePartitionMap, ClientError> {
+        match self.request(&Frame::Join(entry))? {
+            Frame::JoinAck(map) => Ok(map),
+            _ => Err(ClientError::UnexpectedFrame("JoinAck")),
+        }
+    }
+
+    /// Installs a membership view on the peer (stale epochs are
+    /// refused); returns the view the peer actually holds afterwards.
+    /// This is the call that promotes a follower or demotes an owner.
+    pub fn install_map(&mut self, map: WirePartitionMap) -> Result<WirePartitionMap, ClientError> {
+        match self.request(&Frame::PartitionMap(map))? {
+            Frame::JoinAck(map) => Ok(map),
+            _ => Err(ClientError::UnexpectedFrame("JoinAck")),
+        }
+    }
+
+    /// Forwards one partition of a client batch to its owning node. A
+    /// `ctx.trace_id` of 0 means untraced. Returns the ingest summary
+    /// plus how many records the owner's follower had acked durable
+    /// when the ack left (0 with no follower).
+    pub fn forward(
+        &mut self,
+        seq: u64,
+        ctx: TraceCtx,
+        adverts: Vec<WireAdvert>,
+    ) -> Result<(IngestSummary, u64), ClientError> {
+        match self.request(&Frame::Forward { seq, ctx, adverts })? {
+            Frame::ForwardAck {
+                seq: echoed,
+                summary,
+                replica_durable,
+            } => {
+                if echoed != seq {
+                    return Err(ClientError::UnexpectedFrame("ForwardAck seq echo"));
+                }
+                Ok((summary, replica_durable))
+            }
+            _ => Err(ClientError::UnexpectedFrame("ForwardAck")),
+        }
+    }
+
+    /// Streams WAL records to a follower. `base` is the sender's
+    /// durable record count before these records (the follower refuses
+    /// a mismatch); returns the follower's durable count after the
+    /// append.
+    pub fn replicate(
+        &mut self,
+        seq: u64,
+        base: u64,
+        records: &[Advert],
+    ) -> Result<u64, ClientError> {
+        let adverts: Vec<WireAdvert> = records.iter().map(|a| WireAdvert::from(*a)).collect();
+        match self.request(&Frame::Replicate { seq, base, adverts })? {
+            Frame::ReplicateAck {
+                seq: echoed,
+                durable,
+            } => {
+                if echoed != seq {
+                    return Err(ClientError::UnexpectedFrame("ReplicateAck seq echo"));
+                }
+                Ok(durable)
+            }
+            _ => Err(ClientError::UnexpectedFrame("ReplicateAck")),
+        }
+    }
+
+    /// The node's cluster identity, membership view, and cluster-path
+    /// counters (standalone servers answer with node id 0 and an empty
+    /// map).
+    pub fn cluster(&mut self) -> Result<ClusterSummary, ClientError> {
+        match self.request(&Frame::ClusterQuery)? {
+            Frame::ClusterReport(s) => Ok(s),
+            _ => Err(ClientError::UnexpectedFrame("ClusterReport")),
+        }
+    }
+
+    /// Exports the peer's complete engine state for a rebalance
+    /// handoff: `(sessions, store-codec bytes)`. Feed the bytes to
+    /// [`Client::handoff`] unmodified — they are bit-exact.
+    pub fn export_state(&mut self) -> Result<(u64, Vec<u8>), ClientError> {
+        match self.request(&Frame::ExportState)? {
+            Frame::StateExport { sessions, state } => Ok((sessions, state)),
+            _ => Err(ClientError::UnexpectedFrame("StateExport")),
+        }
+    }
+
+    /// Hands an exported engine state to an empty peer; returns how
+    /// many sessions it restored.
+    pub fn handoff(&mut self, epoch: u64, state: Vec<u8>) -> Result<u64, ClientError> {
+        match self.request(&Frame::Handoff { epoch, state })? {
+            Frame::HandoffAck {
+                epoch: echoed,
+                sessions,
+            } => {
+                if echoed != epoch {
+                    return Err(ClientError::UnexpectedFrame("HandoffAck epoch echo"));
+                }
+                Ok(sessions)
+            }
+            _ => Err(ClientError::UnexpectedFrame("HandoffAck")),
         }
     }
 }

@@ -70,9 +70,10 @@ pub mod wire;
 pub use client::{Client, ClientError};
 pub use conn::{Assembled, FrameAssembler};
 pub use poll::{Event, Interest, Poller};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{ClusterConfig, ReplicationPolicy, Server, ServerConfig, ServerHandle};
 pub use wire::{
-    decode_frame, decode_frame_with_limit, encode_frame, frame_size, DecodeError, ErrorCode,
-    FinishSummary, Frame, IngestSummary, TracedAck, WireAdvert, WireError, WireEstimate,
-    WireMetrics, WireStats, DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
+    decode_frame, decode_frame_with_limit, encode_frame, frame_size, ClusterSummary, DecodeError,
+    ErrorCode, FinishSummary, Frame, IngestSummary, NodeEntry, NodeRole, TracedAck, WireAdvert,
+    WireError, WireEstimate, WireMetrics, WirePartitionMap, WireStats, DEFAULT_MAX_FRAME_LEN,
+    MIN_WIRE_VERSION, WIRE_VERSION,
 };

@@ -33,21 +33,23 @@
 //!   write-timeout grace, join the reactor, then drain every queued
 //!   shard before handing the [`Engine`] back to the caller.
 
+use crate::client::{Client, ClientError};
 use crate::conn::{Assembled, Conn, Flush, TimerWheel, WRITE_BACKPRESSURE_BYTES};
 use crate::poll::{Event, Interest, Poller};
 use crate::wire::{
-    encode_frame, DecodeError, ErrorCode, FinishSummary, Frame, IngestSummary, TracedAck,
-    WireError, WireEstimate, WireMetrics, WireStats, DEFAULT_MAX_FRAME_LEN,
+    encode_frame, ClusterSummary, DecodeError, ErrorCode, FinishSummary, Frame, IngestSummary,
+    NodeRole, TracedAck, WireError, WireEstimate, WireMetrics, WirePartitionMap, WireStats,
+    DEFAULT_MAX_FRAME_LEN,
 };
 use locble_ble::BeaconId;
 use locble_engine::{Advert, Engine, IngestReport};
 use locble_obs::{Obs, Stage, TraceCtx};
-use locble_store::SessionStore;
+use locble_store::{SessionStore, WalTailer, WAL_FILE};
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener};
 use std::os::unix::io::AsRawFd;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -98,6 +100,128 @@ impl Default for ServerConfig {
     }
 }
 
+/// When an owner may ack a batch relative to WAL replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationPolicy {
+    /// Ack once the local WAL holds the batch. Records still stream to
+    /// the follower on the ingest path, but a replication failure is
+    /// tolerated: it is counted (`net.replication_failures`), the link
+    /// is dropped, and the node keeps serving unreplicated.
+    LocalOnly,
+    /// Ack only after the follower has acked the batch's records
+    /// durable. A replication failure refuses the batch with a typed
+    /// `Internal` error (the local WAL keeps the records — recovery
+    /// trusts the log, as with a failed append) and then degrades the
+    /// node to unreplicated serving, so a dead follower cannot wedge
+    /// the owner.
+    SyncAck,
+}
+
+/// What a reactor needs to take part in a cluster
+/// ([`Server::bind_cluster`]).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Stable node id — the rendezvous-hash identity. It must survive
+    /// restarts *and* failover: a promoted follower keeps its dead
+    /// owner's id, which is what keeps the partition assignment fixed.
+    pub node_id: u64,
+    /// Role at startup ([`NodeRole::Owner`] or [`NodeRole::Follower`];
+    /// the front role lives in `locble-cluster`, not in this reactor).
+    pub role: NodeRole,
+    /// Initial membership view.
+    pub map: WirePartitionMap,
+    /// Follower to stream WAL records to (owners only). The follower
+    /// must already be listening: the link attaches at bind.
+    pub replica_addr: Option<String>,
+    /// When a batch may be acked.
+    pub replication: ReplicationPolicy,
+}
+
+/// How many WAL records one `Replicate` frame carries at most.
+const REPLICATE_CHUNK: usize = 4096;
+
+/// Flattens a client-layer failure into the io error the replication
+/// path reports.
+fn client_io(e: ClientError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+/// The owner → follower replication link: a blocking protocol client
+/// plus a [`WalTailer`] over the owner's *own* WAL file. The WAL is the
+/// replication stream — whatever the ingest path made durable locally
+/// is exactly what the tailer emits, so the follower's log is a byte
+/// prefix of the owner's by construction.
+struct ReplicaLink {
+    client: Client,
+    tailer: WalTailer,
+    /// Records the follower has acked durable.
+    durable: u64,
+    /// Per-link replication sequence number.
+    seq: u64,
+}
+
+impl ReplicaLink {
+    /// Connects to the follower, asks how many records it already holds
+    /// (a crash-recovered follower resumes mid-log), and positions the
+    /// tailer past them.
+    fn attach(replica_addr: &str, wal_path: &Path) -> std::io::Result<ReplicaLink> {
+        let mut client = Client::connect(replica_addr).map_err(client_io)?;
+        let summary = client.cluster().map_err(client_io)?;
+        let durable = summary.replicated_records;
+        let mut tailer = WalTailer::open(wal_path);
+        let skipped = tailer.skip(durable)?;
+        if skipped != durable {
+            return Err(std::io::Error::other(format!(
+                "follower already holds {durable} records but the local WAL has only {skipped}"
+            )));
+        }
+        Ok(ReplicaLink {
+            client,
+            tailer,
+            durable,
+            seq: 0,
+        })
+    }
+
+    /// Streams every WAL record appended since the last call and waits
+    /// for the follower's durable ack; returns its new durable count.
+    fn pump(&mut self) -> std::io::Result<u64> {
+        loop {
+            let records = self.tailer.poll(REPLICATE_CHUNK)?;
+            if records.is_empty() {
+                return Ok(self.durable);
+            }
+            let sent = records.len() as u64;
+            self.seq += 1;
+            let durable = self
+                .client
+                .replicate(self.seq, self.durable, &records)
+                .map_err(client_io)?;
+            if durable != self.durable + sent {
+                return Err(std::io::Error::other(format!(
+                    "follower acked {durable} durable records, expected {}",
+                    self.durable + sent
+                )));
+            }
+            self.durable = durable;
+        }
+    }
+}
+
+/// A node's live cluster state (absent on standalone servers).
+struct ClusterState {
+    node_id: u64,
+    role: NodeRole,
+    map: WirePartitionMap,
+    /// The address peers reach this node at (the bound listener) —
+    /// compared against the node's own map entry to detect promotion
+    /// and demotion when a new map is installed.
+    listen_addr: String,
+    replication: ReplicationPolicy,
+    /// Live link to this owner's follower (owners that have one).
+    link: Option<ReplicaLink>,
+}
+
 /// An attached durability store plus its checkpoint cadence.
 struct DurableStore {
     store: SessionStore,
@@ -114,6 +238,10 @@ struct Shared {
     /// must equal offer order, and both are serialized by the engine
     /// lock.
     store: Option<Mutex<DurableStore>>,
+    /// Cluster attachment; locked after `engine` (and never while
+    /// `store` is held — the replication stream reads the WAL *file*,
+    /// not the store).
+    cluster: Option<Mutex<ClusterState>>,
     obs: Obs,
     config: ServerConfig,
     shutdown: AtomicBool,
@@ -190,7 +318,7 @@ impl Server {
     /// reactor. Instrumentation (connection/frame counters, ingest
     /// latency histograms, reactor pass metrics) goes through `obs`.
     pub fn bind(engine: Engine, config: ServerConfig, obs: Obs) -> std::io::Result<ServerHandle> {
-        Server::bind_inner(engine, None, config, obs)
+        Server::bind_inner(engine, None, None, config, obs)
     }
 
     /// [`Server::bind`] with crash-safe durability attached: every
@@ -221,6 +349,44 @@ impl Server {
                 checkpoint_every,
                 last_checkpoint,
             }),
+            None,
+            config,
+            obs,
+        )
+    }
+
+    /// [`Server::bind_durable`] with a cluster attachment: the node
+    /// serves the cluster frames (`Forward`/`Replicate`/`PartitionMap`/
+    /// `ClusterQuery`/`Handoff`/…) alongside the ordinary protocol and —
+    /// when `cluster.replica_addr` is set — streams every WAL record to
+    /// that follower on the ingest path, acking clients per
+    /// `cluster.replication`. The follower must already be listening:
+    /// the link attaches here, querying how many records the follower
+    /// holds and positioning the WAL tailer past them, so a recovered
+    /// pair resumes mid-log without re-sending.
+    ///
+    /// A follower-role node refuses direct `AdvertBatch` ingest (only
+    /// its owner's `Replicate` stream may feed its engine — the
+    /// divergence guard that makes promotion lossless); it flips to
+    /// serving when a newer [`Frame::PartitionMap`] lists this node's
+    /// own address under its node id.
+    pub fn bind_cluster(
+        engine: Engine,
+        store: SessionStore,
+        checkpoint_every: u64,
+        config: ServerConfig,
+        cluster: ClusterConfig,
+        obs: Obs,
+    ) -> std::io::Result<ServerHandle> {
+        let last_checkpoint = store.wal_records();
+        Server::bind_inner(
+            engine,
+            Some(DurableStore {
+                store,
+                checkpoint_every,
+                last_checkpoint,
+            }),
+            Some(cluster),
             config,
             obs,
         )
@@ -229,12 +395,39 @@ impl Server {
     fn bind_inner(
         engine: Engine,
         store: Option<DurableStore>,
+        cluster: Option<ClusterConfig>,
         config: ServerConfig,
         obs: Obs,
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let cluster = match cluster {
+            None => None,
+            Some(cfg) => {
+                let link = match (&cfg.replica_addr, &store) {
+                    (Some(replica), Some(durable)) => {
+                        let wal_path = durable.store.dir().join(WAL_FILE);
+                        Some(ReplicaLink::attach(replica, &wal_path)?)
+                    }
+                    (Some(_), None) => {
+                        return Err(std::io::Error::other(
+                            "a replica link requires a durability store \
+                             (the WAL is the replication stream)",
+                        ));
+                    }
+                    (None, _) => None,
+                };
+                Some(ClusterState {
+                    node_id: cfg.node_id,
+                    role: cfg.role,
+                    map: cfg.map,
+                    listen_addr: addr.to_string(),
+                    replication: cfg.replication,
+                    link,
+                })
+            }
+        };
         if config.dump_on_sigterm && config.flight_dump_path.is_some() {
             install_sigterm_handler();
         }
@@ -251,6 +444,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine: Mutex::new(engine),
             store: store.map(Mutex::new),
+            cluster: cluster.map(Mutex::new),
             obs: obs.clone(),
             config,
             shutdown: AtomicBool::new(false),
@@ -880,6 +1074,9 @@ fn handle_frame(shared: &Shared, engine: &mut Engine, frame: Frame) -> Frame {
                     message: "server is draining; ingest refused".to_string(),
                 });
             }
+            if let Some(refusal) = follower_refusal(shared) {
+                return refusal;
+            }
             ingest_batch(shared, engine, &batch, None)
         }
         Frame::TracedAdvertBatch(ctx, batch) => {
@@ -888,6 +1085,9 @@ fn handle_frame(shared: &Shared, engine: &mut Engine, frame: Frame) -> Frame {
                     code: ErrorCode::ShuttingDown,
                     message: "server is draining; ingest refused".to_string(),
                 });
+            }
+            if let Some(refusal) = follower_refusal(shared) {
+                return refusal;
             }
             ingest_batch(shared, engine, &batch, Some(ctx))
         }
@@ -923,6 +1123,233 @@ fn handle_frame(shared: &Shared, engine: &mut Engine, frame: Frame) -> Frame {
                 batches_pushed: report.batches_pushed as u64,
             })
         }
+        Frame::Join(_) => match &shared.cluster {
+            Some(cluster) => {
+                let c = cluster.lock().expect("cluster mutex not poisoned");
+                Frame::JoinAck(c.map.clone())
+            }
+            None => not_clustered(),
+        },
+        Frame::PartitionMap(map) => {
+            let Some(cluster) = &shared.cluster else {
+                return not_clustered();
+            };
+            let mut c = cluster.lock().expect("cluster mutex not poisoned");
+            if map.epoch < c.map.epoch {
+                return Frame::Error(WireError {
+                    code: ErrorCode::BadFrame,
+                    message: format!(
+                        "stale partition map: epoch {} < held epoch {}",
+                        map.epoch, c.map.epoch
+                    ),
+                });
+            }
+            c.map = map;
+            // Role reconciliation: the map says who serves each node id.
+            // Listing this node's own address under its id makes it the
+            // owner; anything else makes it a follower.
+            let mine = c
+                .map
+                .nodes
+                .iter()
+                .find(|n| n.node_id == c.node_id)
+                .map(|n| n.addr.clone());
+            match mine {
+                Some(addr) if addr == c.listen_addr => {
+                    if c.role == NodeRole::Follower {
+                        // Promotion. The replicated stream already
+                        // warmed this engine; drain whatever it still
+                        // has queued so the first served query sees the
+                        // full replicated history.
+                        engine.drain();
+                        c.role = NodeRole::Owner;
+                        shared.obs.counter_add("net.cluster.promotions", 1);
+                    }
+                }
+                _ => {
+                    if c.role == NodeRole::Owner {
+                        c.role = NodeRole::Follower;
+                        c.link = None;
+                        shared.obs.counter_add("net.cluster.demotions", 1);
+                    }
+                }
+            }
+            Frame::JoinAck(c.map.clone())
+        }
+        Frame::Forward { seq, ctx, adverts } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Frame::Error(WireError {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining; ingest refused".to_string(),
+                });
+            }
+            if let Some(refusal) = follower_refusal(shared) {
+                return refusal;
+            }
+            let ctx = (ctx.trace_id != 0).then_some(ctx);
+            let summary = match ingest_batch(shared, engine, &adverts, ctx) {
+                Frame::IngestAck(s) => s,
+                Frame::TracedIngestAck(ack) => ack.summary,
+                err => return err,
+            };
+            let replica_durable = shared
+                .cluster
+                .as_ref()
+                .and_then(|cluster| {
+                    let c = cluster.lock().expect("cluster mutex not poisoned");
+                    c.link.as_ref().map(|l| l.durable)
+                })
+                .unwrap_or(0);
+            Frame::ForwardAck {
+                seq,
+                summary,
+                replica_durable,
+            }
+        }
+        Frame::Replicate { seq, base, adverts } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Frame::Error(WireError {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining; replication refused".to_string(),
+                });
+            }
+            let is_follower = shared.cluster.as_ref().is_some_and(|cluster| {
+                cluster.lock().expect("cluster mutex not poisoned").role == NodeRole::Follower
+            });
+            if !is_follower {
+                return Frame::Error(WireError {
+                    code: ErrorCode::BadFrame,
+                    message: "only a follower absorbs Replicate".to_string(),
+                });
+            }
+            let Some(store) = &shared.store else {
+                return Frame::Error(WireError {
+                    code: ErrorCode::Internal,
+                    message: "follower has no durability store".to_string(),
+                });
+            };
+            let held = {
+                let durable = store.lock().expect("store mutex not poisoned");
+                durable.store.wal_records()
+            };
+            if base != held {
+                // A gap or a replay: refusing keeps the follower's WAL a
+                // byte prefix of the owner's instead of silently
+                // diverging. The owner treats this as a dead link.
+                return Frame::Error(WireError {
+                    code: ErrorCode::Internal,
+                    message: format!("replication gap: owner base {base}, follower holds {held}"),
+                });
+            }
+            match ingest_batch(shared, engine, &adverts, None) {
+                Frame::IngestAck(_) => {
+                    let durable = {
+                        let durable = store.lock().expect("store mutex not poisoned");
+                        durable.store.wal_records()
+                    };
+                    Frame::ReplicateAck { seq, durable }
+                }
+                err => err,
+            }
+        }
+        Frame::ClusterQuery => {
+            let wal_records = shared
+                .store
+                .as_ref()
+                .map(|s| {
+                    s.lock()
+                        .expect("store mutex not poisoned")
+                        .store
+                        .wal_records()
+                })
+                .unwrap_or(0);
+            let owned_sessions = engine.stats().sessions_live as u64;
+            let summary = match &shared.cluster {
+                Some(cluster) => {
+                    let c = cluster.lock().expect("cluster mutex not poisoned");
+                    ClusterSummary {
+                        node_id: c.node_id,
+                        role: c.role,
+                        map: c.map.clone(),
+                        owned_sessions,
+                        forwarded_batches: 0,
+                        forwarded_adverts: 0,
+                        replicated_records: match c.role {
+                            // What the follower acked durable.
+                            NodeRole::Owner => c.link.as_ref().map(|l| l.durable).unwrap_or(0),
+                            // What this node absorbed — its whole WAL,
+                            // which is what a re-attaching owner skips.
+                            NodeRole::Follower => wal_records,
+                            NodeRole::Front => 0,
+                        },
+                    }
+                }
+                // A standalone server answers too (node id 0, empty
+                // map), so tooling can probe any node uniformly.
+                None => ClusterSummary {
+                    node_id: 0,
+                    role: NodeRole::Owner,
+                    map: WirePartitionMap {
+                        epoch: 0,
+                        nodes: Vec::new(),
+                    },
+                    owned_sessions,
+                    forwarded_batches: 0,
+                    forwarded_adverts: 0,
+                    replicated_records: 0,
+                },
+            };
+            Frame::ClusterReport(summary)
+        }
+        Frame::ExportState => {
+            let mut span = shared.obs.span("net", "export_state");
+            let state = engine.export_state();
+            let sessions = state.sessions.len() as u64;
+            span.field("sessions", sessions);
+            let mut bytes = Vec::new();
+            locble_store::codec::put_engine_state(&mut bytes, &state);
+            Frame::StateExport {
+                sessions,
+                state: bytes,
+            }
+        }
+        Frame::Handoff { epoch, state } => {
+            if engine.stats().sessions_live > 0 || engine.queued() > 0 {
+                return Frame::Error(WireError {
+                    code: ErrorCode::Internal,
+                    message: "handoff refused: receiving engine is not empty".to_string(),
+                });
+            }
+            let mut reader = locble_store::codec::Reader::new(&state);
+            let decoded = reader
+                .engine_state()
+                .ok()
+                .filter(|_| reader.remaining() == 0);
+            let Some(decoded) = decoded else {
+                return Frame::Error(WireError {
+                    code: ErrorCode::BadFrame,
+                    message: "handoff state did not decode".to_string(),
+                });
+            };
+            let sessions = decoded.sessions.len() as u64;
+            match Engine::restore(
+                engine.config().clone(),
+                engine.prototype().clone(),
+                shared.obs.clone(),
+                decoded,
+                &[],
+            ) {
+                Ok((restored, _)) => {
+                    *engine = restored;
+                    shared.obs.counter_add("net.cluster.handoffs", 1);
+                    Frame::HandoffAck { epoch, sessions }
+                }
+                Err(e) => Frame::Error(WireError {
+                    code: ErrorCode::Internal,
+                    message: format!("handoff restore failed: {e:?}"),
+                }),
+            }
+        }
         Frame::IngestAck(_)
         | Frame::TracedIngestAck(_)
         | Frame::MetricsReport(_)
@@ -931,11 +1358,40 @@ fn handle_frame(shared: &Shared, engine: &mut Engine, frame: Frame) -> Frame {
         | Frame::BeaconReply(_)
         | Frame::Stats(_)
         | Frame::FinishAck(_)
+        | Frame::JoinAck(_)
+        | Frame::ForwardAck { .. }
+        | Frame::ReplicateAck { .. }
+        | Frame::ClusterReport(_)
+        | Frame::HandoffAck { .. }
+        | Frame::StateExport { .. }
         | Frame::Error(_) => Frame::Error(WireError {
             code: ErrorCode::BadFrame,
             message: "reply frame sent as a request".to_string(),
         }),
     }
+}
+
+/// The reply for a cluster frame sent to a server with no cluster
+/// attachment.
+fn not_clustered() -> Frame {
+    Frame::Error(WireError {
+        code: ErrorCode::BadFrame,
+        message: "server has no cluster attachment".to_string(),
+    })
+}
+
+/// `Some(refusal)` when this node is a follower: only its owner's
+/// `Replicate` stream may feed a follower's engine — the divergence
+/// guard that makes promotion lossless.
+fn follower_refusal(shared: &Shared) -> Option<Frame> {
+    let cluster = shared.cluster.as_ref()?;
+    let c = cluster.lock().expect("cluster mutex not poisoned");
+    (c.role == NodeRole::Follower).then(|| {
+        Frame::Error(WireError {
+            code: ErrorCode::BadFrame,
+            message: "node is a follower; it accepts only its owner's Replicate stream".to_string(),
+        })
+    })
 }
 
 /// Ingests one batch, draining shard-queue backpressure in-line so the
@@ -976,6 +1432,42 @@ fn ingest_batch(
                 shared.obs.now_us().saturating_sub(duration_us),
                 duration_us,
             );
+        }
+    }
+    if let Some(cluster) = &shared.cluster {
+        // Replicate before ingest, mirroring the WAL-before-ingest rule:
+        // under SyncAck a batch the follower never acked is refused
+        // before the engine sees it. The tailer reads the WAL file the
+        // append above just extended, so the stream is exactly the
+        // durable log, in order.
+        let mut c = cluster.lock().expect("cluster mutex not poisoned");
+        if c.role == NodeRole::Owner && c.link.is_some() {
+            let rep_t0 = ctx.and_then(|_| shared.obs.enabled().then(Instant::now));
+            let sync = c.replication == ReplicationPolicy::SyncAck;
+            let pumped = c.link.as_mut().expect("checked above").pump();
+            if let (Some(ctx), Some(t0)) = (ctx, rep_t0) {
+                let duration_us = t0.elapsed().as_micros() as u64;
+                shared.obs.trace_stage(
+                    ctx.trace_id,
+                    Stage::Replicate,
+                    shared.obs.now_us().saturating_sub(duration_us),
+                    duration_us,
+                );
+            }
+            match pumped {
+                Ok(durable) => span.field("replica_durable", durable),
+                Err(e) => {
+                    shared.obs.counter_add("net.replication_failures", 1);
+                    span.field("replication_failed", true);
+                    c.link = None;
+                    if sync {
+                        return Frame::Error(WireError {
+                            code: ErrorCode::Internal,
+                            message: format!("replication failed; batch refused: {e}"),
+                        });
+                    }
+                }
+            }
         }
     }
     let mut total = IngestReport::default();

@@ -29,6 +29,14 @@
 //! without a bump — old decoders reject them as
 //! [`DecodeError::BadTag`], which servers answer with a typed
 //! [`ErrorCode::BadFrame`] reply rather than a disconnect.
+//!
+//! Version 2 added the cluster frames (`Join` … `HandoffAck`) *and*
+//! extended an existing body's value range — stage laps may now carry
+//! the `Forward`/`Replicate` discriminants, which a v1 decoder would
+//! reject as malformed — hence the bump rather than tags alone. The
+//! decoder stays backward compatible: any version in
+//! [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] is accepted, so v1 frames
+//! (every pre-cluster tag) still decode bit-for-bit.
 
 use locble_ble::BeaconId;
 use locble_core::{FitMethod, LocationEstimate};
@@ -37,7 +45,10 @@ use locble_geom::{EnvClass, Vec2};
 use locble_obs::{HistogramSnapshot, MetricsSnapshot, Stage, StageLap, TraceCtx, TraceRecord};
 
 /// Current protocol version byte.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest protocol version this decoder still accepts.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Bytes of the fixed header (length prefix).
 pub const HEADER_LEN: usize = 4;
@@ -372,6 +383,80 @@ impl WireMetrics {
     }
 }
 
+/// One cluster member: its stable id plus the address peers dial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEntry {
+    /// Stable node id (feeds the rendezvous hash, so it must not change
+    /// across restarts of the same logical node).
+    pub node_id: u64,
+    /// `host:port` the node listens on.
+    pub addr: String,
+}
+
+/// What a cluster process does with the frames it receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeRole {
+    /// Accepts client batches and forwards them to owning nodes.
+    Front = 1,
+    /// Owns a beacon partition: ingests, persists, replicates.
+    Owner = 2,
+    /// Tails an owner's WAL stream, ready to promote.
+    Follower = 3,
+}
+
+impl NodeRole {
+    fn from_u8(v: u8) -> Option<NodeRole> {
+        Some(match v {
+            1 => NodeRole::Front,
+            2 => NodeRole::Owner,
+            3 => NodeRole::Follower,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeRole::Front => "front",
+            NodeRole::Owner => "owner",
+            NodeRole::Follower => "follower",
+        }
+    }
+}
+
+/// An epoch-stamped membership view: the owner set the rendezvous hash
+/// partitions beacons over. Epochs are totally ordered; a node installs
+/// a map only if its epoch exceeds the one it holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePartitionMap {
+    /// Monotonic membership epoch.
+    pub epoch: u64,
+    /// Owner nodes, any order (the rendezvous hash is order-free).
+    pub nodes: Vec<NodeEntry>,
+}
+
+/// A node's answer to [`Frame::ClusterQuery`]: identity, membership
+/// view, and the cluster-path counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSummary {
+    /// The answering node's id.
+    pub node_id: u64,
+    /// Its current role.
+    pub role: NodeRole,
+    /// The membership view it holds.
+    pub map: WirePartitionMap,
+    /// Live sessions it owns (0 on a front).
+    pub owned_sessions: u64,
+    /// Batches it forwarded to owners (front only).
+    pub forwarded_batches: u64,
+    /// Adverts it forwarded to owners (front only).
+    pub forwarded_adverts: u64,
+    /// WAL records it streamed to its follower (owner) or absorbed from
+    /// its owner (follower).
+    pub replicated_records: u64,
+}
+
 /// Why the server sent a [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -471,6 +556,96 @@ pub enum Frame {
     /// Reply: the matching trace records, oldest first (empty when the
     /// id is unknown or the server records nothing).
     TraceReport(Vec<TraceRecord>),
+    /// Request: a node announces itself to the cluster (front or a
+    /// peer). Reply: [`Frame::JoinAck`] with the membership view the
+    /// receiver holds after admitting it.
+    Join(NodeEntry),
+    /// Reply: the receiver's current (possibly updated) partition map.
+    JoinAck(WirePartitionMap),
+    /// Request: install this membership view if its epoch is newer than
+    /// the one held. The frame that drives both failover (follower
+    /// promoted into the owner set) and planned rebalance. Reply:
+    /// [`Frame::JoinAck`] with the view actually held afterwards.
+    PartitionMap(WirePartitionMap),
+    /// Request (front → owner): ingest this partition of a client
+    /// batch. `ctx.trace_id == 0` means untraced. `seq` is a
+    /// per-connection sequence number echoed in the ack so a pipelined
+    /// front can match replies. Reply: [`Frame::ForwardAck`].
+    Forward {
+        /// Per-connection forward sequence number.
+        seq: u64,
+        /// Trace context carried through the hop (`trace_id` 0 when the
+        /// client batch was untraced).
+        ctx: TraceCtx,
+        /// The adverts owned by the receiving node.
+        adverts: Vec<WireAdvert>,
+    },
+    /// Reply: accounting for one forwarded partition, plus how deep the
+    /// owner's follower was when the ack was sent (equal to the owner's
+    /// durable count under a synchronous policy; 0 with no follower).
+    ForwardAck {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Exact ingest accounting, as in [`Frame::IngestAck`].
+        summary: IngestSummary,
+        /// Records the follower had acked durably when this ack left.
+        replica_durable: u64,
+    },
+    /// Request (owner → follower): append these WAL records. `base` is
+    /// the owner's durable record count *before* the batch; the
+    /// follower refuses a mismatch, which makes gaps and duplicates
+    /// loud instead of silently divergent. Reply:
+    /// [`Frame::ReplicateAck`].
+    Replicate {
+        /// Per-link replication sequence number.
+        seq: u64,
+        /// Owner's durable record count before these records.
+        base: u64,
+        /// The records, in WAL order.
+        adverts: Vec<WireAdvert>,
+    },
+    /// Reply: the follower's durable record count after the append.
+    ReplicateAck {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Follower's durable record count (fsynced per its policy).
+        durable: u64,
+    },
+    /// Request: the node's cluster identity, membership view, and
+    /// cluster-path counters. Reply: [`Frame::ClusterReport`].
+    ClusterQuery,
+    /// Reply: the node's cluster summary.
+    ClusterReport(ClusterSummary),
+    /// Request: absorb this engine state (the locble-store snapshot
+    /// codec's bytes, opaque to the wire layer) as part of an
+    /// epoch-stamped rebalance handoff. Reply: [`Frame::HandoffAck`].
+    Handoff {
+        /// Epoch of the membership change driving the handoff.
+        epoch: u64,
+        /// Engine state, encoded by the store snapshot codec
+        /// (bit-exact, same bytes as an on-disk checkpoint).
+        state: Vec<u8>,
+    },
+    /// Reply: how many sessions the receiver restored from the handoff.
+    HandoffAck {
+        /// Echo of the handoff epoch.
+        epoch: u64,
+        /// Sessions restored into the receiving engine.
+        sessions: u64,
+    },
+    /// Request: export the engine's complete state for a rebalance
+    /// handoff. Valid mid-stream — queued-but-unprocessed adverts
+    /// travel inside the state and replay on restore. Reply:
+    /// [`Frame::StateExport`].
+    ExportState,
+    /// Reply: the engine state, encoded by the store snapshot codec
+    /// (bit-exact; feed it to [`Frame::Handoff`] unmodified).
+    StateExport {
+        /// Sessions contained in the state.
+        sessions: u64,
+        /// Store-codec-encoded engine state.
+        state: Vec<u8>,
+    },
 }
 
 const TAG_ADVERT_BATCH: u8 = 1;
@@ -490,6 +665,19 @@ const TAG_METRICS_QUERY: u8 = 14;
 const TAG_METRICS_REPORT: u8 = 15;
 const TAG_TRACE_QUERY: u8 = 16;
 const TAG_TRACE_REPORT: u8 = 17;
+const TAG_JOIN: u8 = 18;
+const TAG_JOIN_ACK: u8 = 19;
+const TAG_PARTITION_MAP: u8 = 20;
+const TAG_FORWARD: u8 = 21;
+const TAG_FORWARD_ACK: u8 = 22;
+const TAG_REPLICATE: u8 = 23;
+const TAG_REPLICATE_ACK: u8 = 24;
+const TAG_CLUSTER_QUERY: u8 = 25;
+const TAG_CLUSTER_REPORT: u8 = 26;
+const TAG_HANDOFF: u8 = 27;
+const TAG_HANDOFF_ACK: u8 = 28;
+const TAG_EXPORT_STATE: u8 = 29;
+const TAG_STATE_EXPORT: u8 = 30;
 
 /// Smallest possible encoded advert (beacon + t + rssi).
 const ADVERT_WIRE_LEN: usize = 4 + 8 + 8;
@@ -505,6 +693,9 @@ const TRACE_RECORD_MIN_WIRE_LEN: usize = 8 + 2 + 2;
 
 /// Smallest named counter/gauge entry (empty name + value).
 const METRIC_ENTRY_MIN_WIRE_LEN: usize = 2 + 8;
+
+/// Smallest encoded node entry (node id + empty address).
+const NODE_ENTRY_MIN_WIRE_LEN: usize = 8 + 2;
 
 /// Smallest encoded histogram (empty name, no buckets, 4 summary
 /// fields).
@@ -527,7 +718,8 @@ pub enum DecodeError {
         /// The decoder's cap.
         max: usize,
     },
-    /// The version byte is not [`WIRE_VERSION`]. Recoverable: the
+    /// The version byte is outside
+    /// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`]. Recoverable: the
     /// length prefix still delimits the frame.
     BadVersion {
         /// The version byte received.
@@ -558,7 +750,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion { got } => {
                 write!(
                     f,
-                    "unsupported protocol version {got} (want {WIRE_VERSION})"
+                    "unsupported protocol version {got} (want {MIN_WIRE_VERSION}..={WIRE_VERSION})"
                 )
             }
             DecodeError::BadTag { got } => write!(f, "unknown frame tag {got}"),
@@ -656,6 +848,19 @@ fn put_trace_record(out: &mut Vec<u8>, rec: &TraceRecord) {
     put_u16(out, rec.laps.len() as u16);
     for lap in &rec.laps {
         put_lap(out, lap);
+    }
+}
+
+fn put_node_entry(out: &mut Vec<u8>, e: &NodeEntry) {
+    put_u64(out, e.node_id);
+    put_string(out, &e.addr);
+}
+
+fn put_partition_map(out: &mut Vec<u8>, map: &WirePartitionMap) {
+    put_u64(out, map.epoch);
+    put_u32(out, map.nodes.len() as u32);
+    for e in &map.nodes {
+        put_node_entry(out, e);
     }
 }
 
@@ -821,6 +1026,94 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 put_trace_record(&mut out, rec);
             }
         }
+        Frame::Join(entry) => {
+            out.push(TAG_JOIN);
+            put_node_entry(&mut out, entry);
+        }
+        Frame::JoinAck(map) => {
+            out.push(TAG_JOIN_ACK);
+            put_partition_map(&mut out, map);
+        }
+        Frame::PartitionMap(map) => {
+            out.push(TAG_PARTITION_MAP);
+            put_partition_map(&mut out, map);
+        }
+        Frame::Forward { seq, ctx, adverts } => {
+            out.push(TAG_FORWARD);
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, ctx.trace_id);
+            put_u16(&mut out, ctx.path);
+            put_u32(&mut out, adverts.len() as u32);
+            for a in adverts {
+                put_advert(&mut out, a);
+            }
+        }
+        Frame::ForwardAck {
+            seq,
+            summary,
+            replica_durable,
+        } => {
+            out.push(TAG_FORWARD_ACK);
+            put_u64(&mut out, *seq);
+            for v in [
+                summary.consumed,
+                summary.routed,
+                summary.sessions_created,
+                summary.rejected_non_finite,
+                summary.rejected_out_of_order,
+                summary.rejected_capacity,
+            ] {
+                put_u64(&mut out, v);
+            }
+            put_u64(&mut out, *replica_durable);
+        }
+        Frame::Replicate { seq, base, adverts } => {
+            out.push(TAG_REPLICATE);
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *base);
+            put_u32(&mut out, adverts.len() as u32);
+            for a in adverts {
+                put_advert(&mut out, a);
+            }
+        }
+        Frame::ReplicateAck { seq, durable } => {
+            out.push(TAG_REPLICATE_ACK);
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *durable);
+        }
+        Frame::ClusterQuery => out.push(TAG_CLUSTER_QUERY),
+        Frame::ClusterReport(s) => {
+            out.push(TAG_CLUSTER_REPORT);
+            put_u64(&mut out, s.node_id);
+            out.push(s.role as u8);
+            put_partition_map(&mut out, &s.map);
+            for v in [
+                s.owned_sessions,
+                s.forwarded_batches,
+                s.forwarded_adverts,
+                s.replicated_records,
+            ] {
+                put_u64(&mut out, v);
+            }
+        }
+        Frame::Handoff { epoch, state } => {
+            out.push(TAG_HANDOFF);
+            put_u64(&mut out, *epoch);
+            put_u32(&mut out, state.len() as u32);
+            out.extend_from_slice(state);
+        }
+        Frame::HandoffAck { epoch, sessions } => {
+            out.push(TAG_HANDOFF_ACK);
+            put_u64(&mut out, *epoch);
+            put_u64(&mut out, *sessions);
+        }
+        Frame::ExportState => out.push(TAG_EXPORT_STATE),
+        Frame::StateExport { sessions, state } => {
+            out.push(TAG_STATE_EXPORT);
+            put_u64(&mut out, *sessions);
+            put_u32(&mut out, state.len() as u32);
+            out.extend_from_slice(state);
+        }
     }
     let payload = u32::try_from(out.len() - HEADER_LEN).expect("frame payload fits in u32");
     out[..HEADER_LEN].copy_from_slice(&payload.to_be_bytes());
@@ -877,7 +1170,7 @@ pub fn decode_frame_with_limit(buf: &[u8], max_len: usize) -> Result<(Frame, usi
         });
     }
     let version = buf[HEADER_LEN];
-    if version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
         return Err(DecodeError::BadVersion { got: version });
     }
     let tag = buf[HEADER_LEN + 1];
@@ -1028,6 +1321,82 @@ pub fn decode_frame_with_limit(buf: &[u8], max_len: usize) -> Result<(Frame, usi
             }
             Frame::TraceReport(records)
         }
+        TAG_JOIN => Frame::Join(r.node_entry()?),
+        TAG_JOIN_ACK => Frame::JoinAck(r.partition_map()?),
+        TAG_PARTITION_MAP => Frame::PartitionMap(r.partition_map()?),
+        TAG_FORWARD => {
+            let seq = r.u64()?;
+            let ctx = TraceCtx {
+                trace_id: r.u64()?,
+                path: r.u16()?,
+            };
+            let n = r.counted(ADVERT_WIRE_LEN, "forward batch count")?;
+            let mut adverts = Vec::with_capacity(n);
+            for _ in 0..n {
+                adverts.push(r.advert()?);
+            }
+            Frame::Forward { seq, ctx, adverts }
+        }
+        TAG_FORWARD_ACK => Frame::ForwardAck {
+            seq: r.u64()?,
+            summary: IngestSummary {
+                consumed: r.u64()?,
+                routed: r.u64()?,
+                sessions_created: r.u64()?,
+                rejected_non_finite: r.u64()?,
+                rejected_out_of_order: r.u64()?,
+                rejected_capacity: r.u64()?,
+            },
+            replica_durable: r.u64()?,
+        },
+        TAG_REPLICATE => {
+            let seq = r.u64()?;
+            let base = r.u64()?;
+            let n = r.counted(ADVERT_WIRE_LEN, "replicate batch count")?;
+            let mut adverts = Vec::with_capacity(n);
+            for _ in 0..n {
+                adverts.push(r.advert()?);
+            }
+            Frame::Replicate { seq, base, adverts }
+        }
+        TAG_REPLICATE_ACK => Frame::ReplicateAck {
+            seq: r.u64()?,
+            durable: r.u64()?,
+        },
+        TAG_CLUSTER_QUERY => Frame::ClusterQuery,
+        TAG_CLUSTER_REPORT => {
+            let node_id = r.u64()?;
+            let role = NodeRole::from_u8(r.u8()?).ok_or(DecodeError::Malformed {
+                context: "node role discriminant",
+            })?;
+            let map = r.partition_map()?;
+            Frame::ClusterReport(ClusterSummary {
+                node_id,
+                role,
+                map,
+                owned_sessions: r.u64()?,
+                forwarded_batches: r.u64()?,
+                forwarded_adverts: r.u64()?,
+                replicated_records: r.u64()?,
+            })
+        }
+        TAG_HANDOFF => {
+            let epoch = r.u64()?;
+            let n = r.counted(1, "handoff state length")?;
+            let state = r.take(n, "handoff state")?.to_vec();
+            Frame::Handoff { epoch, state }
+        }
+        TAG_HANDOFF_ACK => Frame::HandoffAck {
+            epoch: r.u64()?,
+            sessions: r.u64()?,
+        },
+        TAG_EXPORT_STATE => Frame::ExportState,
+        TAG_STATE_EXPORT => {
+            let sessions = r.u64()?;
+            let n = r.counted(1, "state export length")?;
+            let state = r.take(n, "state export bytes")?.to_vec();
+            Frame::StateExport { sessions, state }
+        }
         got => return Err(DecodeError::BadTag { got }),
     };
     if r.remaining() != 0 {
@@ -1137,6 +1506,23 @@ impl<'a> Reader<'a> {
             laps.push(self.lap()?);
         }
         Ok(TraceRecord { ctx, laps })
+    }
+
+    fn node_entry(&mut self) -> Result<NodeEntry, DecodeError> {
+        Ok(NodeEntry {
+            node_id: self.u64()?,
+            addr: self.string("node address")?,
+        })
+    }
+
+    fn partition_map(&mut self) -> Result<WirePartitionMap, DecodeError> {
+        let epoch = self.u64()?;
+        let n = self.counted(NODE_ENTRY_MIN_WIRE_LEN, "partition map node count")?;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            nodes.push(self.node_entry()?);
+        }
+        Ok(WirePartitionMap { epoch, nodes })
     }
 
     fn histogram(&mut self) -> Result<(String, HistogramSnapshot), DecodeError> {
@@ -1362,6 +1748,96 @@ mod tests {
                 }],
             }]),
             Frame::TraceReport(Vec::new()),
+            Frame::Join(NodeEntry {
+                node_id: 0xBEE5,
+                addr: "127.0.0.1:9001".to_string(),
+            }),
+            Frame::JoinAck(WirePartitionMap {
+                epoch: 3,
+                nodes: vec![
+                    NodeEntry {
+                        node_id: 1,
+                        addr: "127.0.0.1:9001".to_string(),
+                    },
+                    NodeEntry {
+                        node_id: 2,
+                        addr: "127.0.0.1:9002".to_string(),
+                    },
+                ],
+            }),
+            Frame::PartitionMap(WirePartitionMap {
+                epoch: u64::MAX,
+                nodes: Vec::new(),
+            }),
+            Frame::Forward {
+                seq: 17,
+                ctx: TraceCtx::mint(0x50C1A1).with_stage(Stage::Forward),
+                adverts: vec![WireAdvert {
+                    beacon: 3,
+                    t: f64::INFINITY,
+                    rssi_dbm: f64::NAN,
+                }],
+            },
+            Frame::Forward {
+                seq: 0,
+                ctx: TraceCtx::default(),
+                adverts: Vec::new(),
+            },
+            Frame::ForwardAck {
+                seq: 17,
+                summary: IngestSummary {
+                    consumed: 1,
+                    routed: 1,
+                    ..IngestSummary::default()
+                },
+                replica_durable: 1,
+            },
+            Frame::Replicate {
+                seq: 9,
+                base: 4096,
+                adverts: vec![WireAdvert {
+                    beacon: 8,
+                    t: -0.0,
+                    rssi_dbm: f64::NEG_INFINITY,
+                }],
+            },
+            Frame::ReplicateAck {
+                seq: 9,
+                durable: 4097,
+            },
+            Frame::ClusterQuery,
+            Frame::ClusterReport(ClusterSummary {
+                node_id: 2,
+                role: NodeRole::Owner,
+                map: WirePartitionMap {
+                    epoch: 1,
+                    nodes: vec![NodeEntry {
+                        node_id: 2,
+                        addr: "127.0.0.1:9002".to_string(),
+                    }],
+                },
+                owned_sessions: 40,
+                forwarded_batches: 0,
+                forwarded_adverts: 0,
+                replicated_records: 123_456,
+            }),
+            Frame::Handoff {
+                epoch: 2,
+                state: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
+            Frame::Handoff {
+                epoch: 0,
+                state: Vec::new(),
+            },
+            Frame::HandoffAck {
+                epoch: 2,
+                sessions: 12,
+            },
+            Frame::ExportState,
+            Frame::StateExport {
+                sessions: 5,
+                state: vec![1, 2, 3],
+            },
         ];
         for frame in &frames {
             let bytes = encode_frame(frame);
@@ -1432,6 +1908,40 @@ mod tests {
         let err = decode_frame(&unknown).expect_err("unknown tag");
         assert_eq!(err, DecodeError::BadTag { got: 250 });
         assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn v1_frames_still_decode_under_the_v2_decoder() {
+        // "Old tags still decode": every pre-cluster frame a v1 peer
+        // encodes (same body layout, version byte 1) must decode.
+        let old = [
+            Frame::AdvertBatch(vec![WireAdvert {
+                beacon: 5,
+                t: 2.5,
+                rssi_dbm: -70.0,
+            }]),
+            Frame::QuerySnapshot,
+            Frame::Snapshot(vec![sample_estimate()]),
+            Frame::Finish,
+            Frame::MetricsQuery,
+            Frame::TraceQuery(None),
+        ];
+        for frame in &old {
+            let mut bytes = encode_frame(frame);
+            bytes[HEADER_LEN] = MIN_WIRE_VERSION;
+            let (back, used) = decode_frame(&bytes).expect("v1 frame decodes");
+            assert_eq!(&back, frame);
+            assert_eq!(used, bytes.len());
+        }
+        // Below the floor is still rejected.
+        let mut bytes = encode_frame(&Frame::Finish);
+        bytes[HEADER_LEN] = MIN_WIRE_VERSION - 1;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(DecodeError::BadVersion {
+                got: MIN_WIRE_VERSION - 1
+            })
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 use locble_core::FitMethod;
 use locble_geom::EnvClass;
 use locble_net::wire::{
-    decode_frame, decode_frame_with_limit, encode_frame, DecodeError, ErrorCode, FinishSummary,
-    Frame, IngestSummary, TracedAck, WireAdvert, WireError, WireEstimate, WireMetrics, WireStats,
-    DEFAULT_MAX_FRAME_LEN, WIRE_VERSION,
+    decode_frame, decode_frame_with_limit, encode_frame, ClusterSummary, DecodeError, ErrorCode,
+    FinishSummary, Frame, IngestSummary, NodeEntry, NodeRole, TracedAck, WireAdvert, WireError,
+    WireEstimate, WireMetrics, WirePartitionMap, WireStats, DEFAULT_MAX_FRAME_LEN,
+    MIN_WIRE_VERSION, WIRE_VERSION,
 };
 use locble_net::{Assembled, FrameAssembler};
 use locble_obs::{HistogramSnapshot, Stage, StageLap, TraceCtx, TraceRecord};
@@ -158,9 +159,11 @@ fn any_error() -> impl Strategy<Value = WireError> {
 fn any_stage() -> impl Strategy<Value = Stage> {
     prop_oneof![
         Just(Stage::Client),
+        Just(Stage::Forward),
         Just(Stage::Decode),
         Just(Stage::Coalesce),
         Just(Stage::Wal),
+        Just(Stage::Replicate),
         Just(Stage::Route),
         Just(Stage::ShardQueue),
         Just(Stage::Refit),
@@ -224,9 +227,88 @@ fn any_metrics() -> impl Strategy<Value = WireMetrics> {
         })
 }
 
+fn any_node_entry() -> impl Strategy<Value = NodeEntry> {
+    (any::<u64>(), "\\PC{0,24}").prop_map(|(node_id, addr)| NodeEntry { node_id, addr })
+}
+
+fn any_partition_map() -> impl Strategy<Value = WirePartitionMap> {
+    (any::<u64>(), prop::collection::vec(any_node_entry(), 0..5))
+        .prop_map(|(epoch, nodes)| WirePartitionMap { epoch, nodes })
+}
+
+fn any_node_role() -> impl Strategy<Value = NodeRole> {
+    prop_oneof![
+        Just(NodeRole::Front),
+        Just(NodeRole::Owner),
+        Just(NodeRole::Follower),
+    ]
+}
+
+fn any_cluster_summary() -> impl Strategy<Value = ClusterSummary> {
+    (
+        (any::<u64>(), any_node_role(), any_partition_map()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (node_id, role, map),
+                (owned_sessions, forwarded_batches, forwarded_adverts, replicated_records),
+            )| ClusterSummary {
+                node_id,
+                role,
+                map,
+                owned_sessions,
+                forwarded_batches,
+                forwarded_adverts,
+                replicated_records,
+            },
+        )
+}
+
+/// The cluster frames wire version 2 added. Forward/Replicate carry
+/// adverts through `any_advert()`, so non-finite f64s travel here too.
+fn any_cluster_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any_node_entry().prop_map(Frame::Join),
+        any_partition_map().prop_map(Frame::JoinAck),
+        any_partition_map().prop_map(Frame::PartitionMap),
+        (
+            any::<u64>(),
+            any_ctx(),
+            prop::collection::vec(any_advert(), 0..40)
+        )
+            .prop_map(|(seq, ctx, adverts)| Frame::Forward { seq, ctx, adverts }),
+        (any::<u64>(), any_summary(), any::<u64>()).prop_map(|(seq, summary, replica_durable)| {
+            Frame::ForwardAck {
+                seq,
+                summary,
+                replica_durable,
+            }
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(any_advert(), 0..40)
+        )
+            .prop_map(|(seq, base, adverts)| Frame::Replicate { seq, base, adverts }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(seq, durable)| Frame::ReplicateAck { seq, durable }),
+        Just(Frame::ClusterQuery),
+        any_cluster_summary().prop_map(Frame::ClusterReport),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(epoch, state)| Frame::Handoff { epoch, state }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(epoch, sessions)| Frame::HandoffAck { epoch, sessions }),
+        Just(Frame::ExportState),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(sessions, state)| Frame::StateExport { sessions, state }),
+    ]
+}
+
 /// Every frame variant, weighted uniformly.
 fn any_frame() -> impl Strategy<Value = Frame> {
     prop_oneof![
+        any_cluster_frame(),
         prop::collection::vec(any_advert(), 0..40).prop_map(Frame::AdvertBatch),
         any_summary().prop_map(Frame::IngestAck),
         Just(Frame::QuerySnapshot),
@@ -326,7 +408,9 @@ proptest! {
 
     /// Totality over corruption: flipping any single byte of a valid
     /// encoding yields a frame or a typed error, never a panic; and a
-    /// corrupted version byte is always `BadVersion`.
+    /// corrupted version byte either lands inside the supported range
+    /// (still the same frame — bodies are version-independent) or is
+    /// `BadVersion`.
     #[test]
     fn single_byte_corruption_never_panics(
         frame in any_frame(),
@@ -341,11 +425,19 @@ proptest! {
         }
         // Target the version byte specifically.
         let mut bytes = encode_frame(&frame);
-        bytes[4] = WIRE_VERSION ^ flip;
-        prop_assert_eq!(
-            decode_frame(&bytes).expect_err("version byte corrupted"),
-            DecodeError::BadVersion { got: WIRE_VERSION ^ flip }
-        );
+        let corrupted = WIRE_VERSION ^ flip;
+        bytes[4] = corrupted;
+        if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&corrupted) {
+            let (decoded, used) = decode_frame(&bytes)
+                .expect("a supported version decodes whatever the stamp");
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(used, bytes.len());
+        } else {
+            prop_assert_eq!(
+                decode_frame(&bytes).expect_err("version byte corrupted"),
+                DecodeError::BadVersion { got: corrupted }
+            );
+        }
     }
 
     /// The reactor's partial-frame state machine: any byte-boundary

@@ -44,18 +44,27 @@ pub enum Stage {
     Refit = 5,
     /// Encoding and writing the reply frame.
     Ack = 6,
+    /// Cluster front: partitioning the batch and forwarding it to the
+    /// owning node (only on clustered deployments).
+    Forward = 8,
+    /// Cluster owner: streaming the batch's WAL records to the follower
+    /// and, under a synchronous policy, waiting for its ack.
+    Replicate = 9,
 }
 
 impl Stage {
     /// All stages, in pipeline order. (`Coalesce` sits between decode
     /// and WAL in the pipeline even though its discriminant — its bit
-    /// position — was assigned later; bit positions are wire ABI and
-    /// never reshuffle.)
-    pub const ALL: [Stage; 8] = [
+    /// position — was assigned later, and the cluster stages `Forward`
+    /// and `Replicate` slot into their pipeline positions with bits 8
+    /// and 9; bit positions are wire ABI and never reshuffle.)
+    pub const ALL: [Stage; 10] = [
         Stage::Client,
+        Stage::Forward,
         Stage::Decode,
         Stage::Coalesce,
         Stage::Wal,
+        Stage::Replicate,
         Stage::Route,
         Stage::ShardQueue,
         Stage::Refit,
@@ -79,6 +88,8 @@ impl Stage {
             Stage::ShardQueue => "shard_queue",
             Stage::Refit => "refit",
             Stage::Ack => "ack",
+            Stage::Forward => "forward",
+            Stage::Replicate => "replicate",
         }
     }
 
@@ -94,6 +105,8 @@ impl Stage {
             Stage::ShardQueue => "trace.shard_queue.us",
             Stage::Refit => "trace.refit.us",
             Stage::Ack => "trace.ack.us",
+            Stage::Forward => "trace.forward.us",
+            Stage::Replicate => "trace.replicate.us",
         }
     }
 
@@ -311,6 +324,16 @@ mod tests {
             assert_eq!(Stage::from_u8(stage as u8), Some(stage));
         }
         assert_eq!(Stage::from_u8(200), None);
+    }
+
+    #[test]
+    fn cluster_stages_take_the_free_high_bits() {
+        assert_eq!(Stage::Forward.bit(), 1 << 8);
+        assert_eq!(Stage::Replicate.bit(), 1 << 9);
+        let ctx = TraceCtx::mint(3)
+            .with_stage(Stage::Forward)
+            .with_stage(Stage::Replicate);
+        assert_eq!(ctx.stages(), vec!["client", "forward", "replicate"]);
     }
 
     #[test]

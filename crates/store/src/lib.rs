@@ -63,4 +63,4 @@ pub mod wal;
 
 pub use snapshot::{read_snapshot, write_snapshot, Snapshot, SnapshotError};
 pub use store::{RecoverError, RecoveryReport, SessionStore, SNAPSHOT_FILE, WAL_FILE};
-pub use wal::{parse_wal, read_wal, FsyncPolicy, Wal, WalReadReport};
+pub use wal::{parse_wal, read_wal, FsyncPolicy, Wal, WalReadReport, WalTailer};

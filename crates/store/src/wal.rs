@@ -161,6 +161,111 @@ impl Wal {
     }
 }
 
+/// An incremental reader over a live WAL file — the replication source
+/// for streaming an owner's log to a follower node.
+///
+/// A tailer remembers the byte offset of the last *complete* record it
+/// emitted and, on each [`WalTailer::poll`], parses only the bytes
+/// appended since. A partial record at the end of the file (an append
+/// in flight, or a torn tail after a crash) is left unconsumed: the
+/// next poll retries it from the same offset, so a record is emitted
+/// exactly once and only when whole and CRC-valid. Corruption below
+/// the high-water mark therefore parks the tailer permanently at the
+/// damaged record — exactly the torn-tail rule readers already follow.
+///
+/// The tailer holds no lock and keeps no file handle between polls, so
+/// it may trail a [`Wal`] owned by the same process or by another one.
+#[derive(Debug)]
+pub struct WalTailer {
+    path: PathBuf,
+    offset: u64,
+    records: u64,
+}
+
+impl WalTailer {
+    /// A tailer positioned at the start of the log at `path` (which may
+    /// not exist yet — polls treat a missing file as empty).
+    pub fn open(path: &Path) -> WalTailer {
+        WalTailer {
+            path: path.to_path_buf(),
+            offset: 0,
+            records: 0,
+        }
+    }
+
+    /// Complete records emitted (or skipped) so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Byte offset of the next unread record.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Emits up to `max` complete records appended since the last poll.
+    /// An empty result means the tailer has caught up (or the tail is
+    /// still partial).
+    pub fn poll(&mut self, max: usize) -> std::io::Result<Vec<Advert>> {
+        use std::io::Read;
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while out.len() < max {
+            let Some(header) = bytes.get(pos..pos + RECORD_HEADER_LEN) else {
+                break;
+            };
+            let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            let crc = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+            if len == 0 || len > MAX_PAYLOAD_LEN {
+                break;
+            }
+            let Some(payload) = bytes.get(pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len)
+            else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            let mut reader = Reader::new(payload);
+            let decoded = match reader.u8("record tag") {
+                Ok(TAG_ADVERT) => reader.advert().ok().filter(|_| reader.remaining() == 0),
+                _ => None,
+            };
+            let Some(advert) = decoded else {
+                break;
+            };
+            out.push(advert);
+            pos += RECORD_HEADER_LEN + len;
+            self.records += 1;
+        }
+        self.offset += pos as u64;
+        Ok(out)
+    }
+
+    /// Skips the next `n` records without emitting them (positioning a
+    /// fresh tailer past what a follower already holds). Skipping stops
+    /// early at a partial tail; returns how many records were skipped.
+    pub fn skip(&mut self, n: u64) -> std::io::Result<u64> {
+        let mut skipped = 0u64;
+        while skipped < n {
+            let chunk = self.poll(((n - skipped).min(4096)) as usize)?;
+            if chunk.is_empty() {
+                break;
+            }
+            skipped += chunk.len() as u64;
+        }
+        Ok(skipped)
+    }
+}
+
 /// Reads every intact record from the log at `path`. A missing file is
 /// an empty log. Trailing bytes that do not form a complete CRC-valid
 /// record set `torn_tail` and are ignored.
@@ -357,5 +462,76 @@ mod tests {
         let (read, report) = parse_wal(&[]);
         assert!(read.is_empty());
         assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn tailer_emits_each_record_exactly_once_across_appends() {
+        let path = temp_path("tailer");
+        let adverts = sample_adverts(9);
+        let mut tailer = WalTailer::open(&path);
+        // Missing file: an empty log, not an error.
+        assert!(tailer.poll(16).expect("poll missing").is_empty());
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).expect("open");
+        wal.append(&adverts[..4]).expect("append");
+        let first = tailer.poll(16).expect("poll");
+        assert_eq!(bits(&first), bits(&adverts[..4]));
+        // Caught up: nothing new, no repeats.
+        assert!(tailer.poll(16).expect("poll again").is_empty());
+        wal.append(&adverts[4..]).expect("append");
+        // A small `max` chunks without losing position.
+        let mut rest = Vec::new();
+        loop {
+            let chunk = tailer.poll(2).expect("poll chunk");
+            if chunk.is_empty() {
+                break;
+            }
+            rest.extend(chunk);
+        }
+        assert_eq!(bits(&rest), bits(&adverts[4..]));
+        assert_eq!(tailer.records(), 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tailer_parks_at_a_torn_tail_until_it_heals() {
+        let path = temp_path("tailer-torn");
+        let adverts = sample_adverts(6);
+        {
+            let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).expect("open");
+            wal.append(&adverts).expect("append");
+        }
+        // Tear the final record mid-payload.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&path).expect("open");
+        f.set_len(len - 5).expect("truncate");
+        drop(f);
+        let mut tailer = WalTailer::open(&path);
+        let read = tailer.poll(16).expect("poll");
+        assert_eq!(bits(&read), bits(&adverts[..5]));
+        // The torn record is not consumed; re-opening for append heals
+        // the tail and the tailer resumes from the same offset.
+        assert!(tailer.poll(16).expect("poll torn").is_empty());
+        let (mut wal, report) = Wal::open(&path, FsyncPolicy::Never).expect("reopen");
+        assert!(report.torn_tail);
+        wal.append(&adverts[5..]).expect("append");
+        let healed = tailer.poll(16).expect("poll healed");
+        assert_eq!(bits(&healed), bits(&adverts[5..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tailer_skip_positions_past_already_replicated_records() {
+        let path = temp_path("tailer-skip");
+        let adverts = sample_adverts(8);
+        let (mut wal, _) = Wal::open(&path, FsyncPolicy::Never).expect("open");
+        wal.append(&adverts).expect("append");
+        let mut tailer = WalTailer::open(&path);
+        assert_eq!(tailer.skip(5).expect("skip"), 5);
+        let rest = tailer.poll(16).expect("poll");
+        assert_eq!(bits(&rest), bits(&adverts[5..]));
+        // Skipping past the end stops at the high-water mark.
+        let mut beyond = WalTailer::open(&path);
+        assert_eq!(beyond.skip(100).expect("skip beyond"), 8);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -68,6 +68,22 @@ grep -q "ok: instrumented overhead within 3% of noop" <<<"$obs_report" \
 test -s BENCH_obs.json \
   || { echo "obs smoke failed: BENCH_obs.json missing or empty"; exit 1; }
 
+echo "==> cluster smoke (release clusterctl: 3-process cluster, 1M adverts/s gate, SIGKILL failover + BENCH_cluster.json)"
+cluster_report="$(cargo run --release -q -p locble-bench --bin clusterctl -- smoke --json BENCH_cluster.json)"
+grep -q "cluster smoke: PASS" <<<"$cluster_report" \
+  || { echo "cluster smoke failed"; echo "$cluster_report"; exit 1; }
+test -s BENCH_cluster.json \
+  || { echo "cluster smoke failed: BENCH_cluster.json missing or empty"; exit 1; }
+grep -q '"meets_1m_target":true' BENCH_cluster.json \
+  || { echo "cluster smoke failed: aggregate below 1M adverts/s"; cat BENCH_cluster.json; exit 1; }
+grep -q '"reconciles":true' BENCH_cluster.json \
+  || { echo "cluster smoke failed: cluster-wide accounting did not reconcile"; cat BENCH_cluster.json; exit 1; }
+grep -q '"failover_zero_loss":true' BENCH_cluster.json \
+  || { echo "cluster smoke failed: acked adverts lost across failover"; cat BENCH_cluster.json; exit 1; }
+
+echo "==> bench compare (perf ratchet vs bench/baselines)"
+scripts/bench_compare.sh
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -20,10 +20,12 @@
 //! | [`engine`] | concurrent multi-beacon tracking engine (sharded sessions) |
 //! | [`net`] | wire protocol + TCP ingest/query server over the engine |
 //! | [`store`] | crash-safe durability: advert WAL, engine snapshots, recovery |
+//! | [`cluster`] | consistent-hash partitioning, WAL replication, warm failover |
 //! | [`scenario`] | Table-1 environments and end-to-end sessions |
 //! | [`obs`] | structured tracing, metrics, and pipeline diagnostics |
 
 pub use locble_ble as ble;
+pub use locble_cluster as cluster;
 pub use locble_core as core;
 pub use locble_dsp as dsp;
 pub use locble_engine as engine;
@@ -40,6 +42,7 @@ pub use locble_store as store;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use locble_ble::{BeaconHardware, BeaconId, BeaconKind};
+    pub use locble_cluster::{serve_node, ClusterRouter, Front, FrontConfig, NodeSpec};
     pub use locble_core::{
         calibrate, ClusterConfig, DartleRanger, DtwMatcher, Estimator, EstimatorConfig,
         LocationEstimate, Navigator,
