@@ -28,6 +28,12 @@
 //! benchmark (engine-direct ceiling, reactor at 1k connections, reactor
 //! at 10k connections — see DESIGN.md §14) and writes it as a JSON
 //! artifact; `scripts/check.sh` archives it as `BENCH_serve.json`.
+//!
+//! With `--backends-json <path>`, the harness runs the estimation-backend
+//! shootout (per-backend median/p90 error and per-batch cost across the
+//! Table-1 grid, plus the boxed-default bit-identity and overhead gates
+//! — see DESIGN.md §16) and writes it as a JSON artifact;
+//! `scripts/check.sh` archives it as `BENCH_backends.json`.
 
 use locble_bench::{run_experiment, ALL_EXPERIMENTS};
 use serde::{Serialize, Value};
@@ -44,6 +50,7 @@ fn main() {
     let metrics_path = take_flag_value(&mut args, "--metrics");
     let refit_json_path = take_flag_value(&mut args, "--refit-json");
     let serve_json_path = take_flag_value(&mut args, "--serve-json");
+    let backends_json_path = take_flag_value(&mut args, "--backends-json");
     if let Some(threads) = take_flag_value(&mut args, "--threads") {
         match threads.parse::<usize>() {
             Ok(n) if n > 0 => locble_bench::util::set_harness_threads(n),
@@ -64,7 +71,7 @@ fn main() {
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--serve-json <path>] [--threads <n>] [--connections <n>]"
+            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--serve-json <path>] [--backends-json <path>] [--threads <n>] [--connections <n>]"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
@@ -110,6 +117,15 @@ fn main() {
             Ok(()) => eprintln!("serve benchmark JSON written to {path}"),
             Err(e) => {
                 eprintln!("failed to write serve benchmark JSON to {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = backends_json_path {
+        match std::fs::write(&path, locble_bench::experiments::backends::json_report()) {
+            Ok(()) => eprintln!("backend shootout JSON written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write backend shootout JSON to {path}: {e}");
                 failed = true;
             }
         }

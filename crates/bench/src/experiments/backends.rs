@@ -1,0 +1,434 @@
+//! Backend shootout: accuracy vs cost for every estimation backend.
+//!
+//! Not a paper figure — this prices the pluggable-backend layer
+//! (DESIGN.md §16). Every backend streams the same Table-1 sessions,
+//! sliced into the §5.3 2.2 s batches, through its `Box<dyn Estimator>`
+//! surface; the report compares median/p90 localization error and
+//! per-batch cost across backends, and gates the refactor's two
+//! promises:
+//!
+//! * **default_bit_identical** — the streaming default driven through
+//!   the trait object produces bit-for-bit the estimates of the concrete
+//!   [`StreamingEstimator`], on every batch of every session.
+//! * **default_overhead_ok** — boxing costs essentially nothing: the
+//!   boxed per-batch wall time stays within 1.5x of the concrete path
+//!   (the refit work dominates; dispatch is one vtable hop per batch).
+//!
+//! The alternative backends are gated on *reconciliation*, not speed:
+//! their median error across the grid must land within the generous
+//! band a plausible implementation of that algorithm family occupies
+//! (they are comparison baselines, not the paper's contribution).
+
+use crate::stats::{mean, median, percentile};
+use crate::util::{default_estimator, header, parallel_map, StationaryRun};
+use locble_ble::{BeaconHardware, BeaconId};
+use locble_core::{BackendSpec, FingerprintConfig, ParticleConfig, RssBatch, StreamingEstimator};
+use locble_geom::Vec2;
+use locble_motion::MotionTrack;
+use locble_scenario::runner::track_observer;
+use locble_scenario::world::simulate_session;
+use locble_scenario::{environment_by_index, plan_l_walk, BeaconSpec, SessionConfig};
+use serde::Value;
+use std::time::Instant;
+
+/// Streaming batch window, seconds (§5.3: "a new data batch every 2-3
+/// seconds").
+const STREAM_BATCH_S: f64 = 2.2;
+
+/// Boxed-vs-concrete per-batch wall-time tolerance for the default
+/// backend (release-mode acceptance; one vtable hop per batch must
+/// drown in the refit work).
+const OVERHEAD_TOLERANCE: f64 = 1.5;
+
+/// One Table-1 session ready to stream: pre-sliced batches, the
+/// observer's motion, and the scoring truth.
+struct StreamSession {
+    batches: Vec<RssBatch>,
+    motion: MotionTrack,
+    truth: Vec2,
+}
+
+/// Builds the streamable form of one Table-1 run (same geometry as the
+/// `table1` experiment). `None` when the beacon went unheard.
+fn stream_session(run: &StationaryRun) -> Option<StreamSession> {
+    let env = environment_by_index(run.env_index)?;
+    let beacons = [BeaconSpec {
+        id: BeaconId(1),
+        position: run.target,
+        hardware: BeaconHardware::ideal(run.kind),
+    }];
+    let plan = plan_l_walk(&env, run.start, run.legs.0, run.legs.1, 0.3)?;
+    let session = simulate_session(
+        &env,
+        &beacons,
+        &plan,
+        &SessionConfig::paper_default(run.seed),
+    );
+    let motion = track_observer(&session);
+    let truth = session.truth_local(BeaconId(1))?;
+    let rss = session.rss_of(BeaconId(1))?;
+    let mut batches = Vec::new();
+    let mut start = 0;
+    while start < rss.len() {
+        let t0 = rss.t[start];
+        let mut end = start;
+        while end < rss.len() && rss.t[end] < t0 + STREAM_BATCH_S {
+            end += 1;
+        }
+        batches.push(RssBatch::new(
+            rss.t[start..end].to_vec(),
+            rss.v[start..end].to_vec(),
+        ));
+        start = end;
+    }
+    Some(StreamSession {
+        batches,
+        motion,
+        truth,
+    })
+}
+
+/// One backend's aggregate over the grid.
+struct Arm {
+    name: &'static str,
+    /// Sessions that produced an estimate / sessions attempted.
+    runs: usize,
+    attempted: usize,
+    /// Mirror-aware localization errors, metres, one per successful run.
+    errors: Vec<f64>,
+    /// Total wall time spent inside `push_batch`/`refit_now`, seconds.
+    wall_s: f64,
+    /// Batches streamed (successful sessions only).
+    batches: usize,
+}
+
+impl Arm {
+    fn median_error_m(&self) -> f64 {
+        if self.errors.is_empty() {
+            f64::INFINITY
+        } else {
+            median(&self.errors)
+        }
+    }
+
+    fn p90_error_m(&self) -> f64 {
+        if self.errors.is_empty() {
+            f64::INFINITY
+        } else {
+            percentile(&self.errors, 90.0)
+        }
+    }
+
+    fn mean_batch_us(&self) -> f64 {
+        self.wall_s / (self.batches.max(1)) as f64 * 1e6
+    }
+
+    fn batches_per_s(&self) -> f64 {
+        self.batches as f64 / self.wall_s.max(1e-12)
+    }
+}
+
+/// Mirror-aware error of a final estimate against the session truth.
+fn score(est: &locble_core::LocationEstimate, truth: Vec2) -> f64 {
+    let mut err = est.position.distance(truth);
+    if let Some(m) = est.mirror {
+        err = err.min(m.distance(truth));
+    }
+    err
+}
+
+/// Everything the report and the JSON artifact need.
+struct Shootout {
+    environments: usize,
+    seeds_per_env: usize,
+    arms: Vec<Arm>,
+    /// Concrete (unboxed) streaming reference for the overhead gate.
+    concrete_batch_us: f64,
+    /// Boxed default ≡ concrete, bit for bit, on every batch.
+    default_bit_identical: bool,
+}
+
+impl Shootout {
+    fn arm(&self, name: &str) -> &Arm {
+        self.arms
+            .iter()
+            .find(|a| a.name == name)
+            .expect("arm exists")
+    }
+
+    fn default_overhead_ok(&self) -> bool {
+        self.arm("streaming").mean_batch_us() <= self.concrete_batch_us * OVERHEAD_TOLERANCE
+    }
+
+    /// An alternative backend reconciles when it heard enough sessions
+    /// and its median error sits in a plausible band for its family:
+    /// within `factor`x of the default's median (or an absolute 6 m
+    /// floor — Table 1's whole error range is 0.8-2.3 m).
+    fn reconciles(&self, name: &str, factor: f64) -> bool {
+        let streaming = self.arm("streaming");
+        let alt = self.arm(name);
+        let band = (streaming.median_error_m() * factor).max(6.0);
+        alt.runs * 10 >= alt.attempted * 9 && alt.median_error_m() <= band
+    }
+}
+
+/// Streams the full grid through every backend.
+fn measure(envs: &[usize], seeds_per_env: usize) -> Shootout {
+    let prototype = default_estimator();
+    let sessions: Vec<StreamSession> = parallel_map(envs.len() * seeds_per_env, |i| {
+        let env_index = envs[i / seeds_per_env];
+        let seed = 0xBE7A + (i % seeds_per_env) as u64 * 17 + env_index as u64 * 131;
+        stream_session(&super::table1::run_for(env_index, seed))
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Concrete streaming reference: the timing baseline for the
+    // overhead gate and the bit-identity oracle for the boxed default.
+    let mut concrete_wall = 0.0f64;
+    let mut concrete_batches = 0usize;
+    let mut concrete_estimates: Vec<Vec<Option<u64>>> = Vec::with_capacity(sessions.len());
+    for s in &sessions {
+        let mut est = StreamingEstimator::new(prototype.clone());
+        let mut bits = Vec::with_capacity(s.batches.len() + 1);
+        let t0 = Instant::now();
+        for b in &s.batches {
+            bits.push(est.push_batch(b, &s.motion).map(|e| e.position.x.to_bits()));
+        }
+        bits.push(est.refit_now(&s.motion).map(|e| e.position.x.to_bits()));
+        concrete_wall += t0.elapsed().as_secs_f64();
+        concrete_batches += s.batches.len();
+        concrete_estimates.push(bits);
+    }
+
+    let specs: [(&'static str, BackendSpec); 3] = [
+        ("streaming", BackendSpec::Streaming),
+        ("particle", BackendSpec::Particle(ParticleConfig::default())),
+        (
+            "fingerprint",
+            BackendSpec::Fingerprint(FingerprintConfig::default()),
+        ),
+    ];
+    let mut default_bit_identical = true;
+    let arms = specs
+        .into_iter()
+        .map(|(name, spec)| {
+            let mut arm = Arm {
+                name,
+                runs: 0,
+                attempted: sessions.len(),
+                errors: Vec::new(),
+                wall_s: 0.0,
+                batches: 0,
+            };
+            for (si, s) in sessions.iter().enumerate() {
+                let mut backend = spec.build(&prototype, 1);
+                let mut bits = Vec::with_capacity(s.batches.len() + 1);
+                let t0 = Instant::now();
+                for b in &s.batches {
+                    bits.push(
+                        backend
+                            .push_batch(b, &s.motion)
+                            .map(|e| e.position.x.to_bits()),
+                    );
+                }
+                bits.push(backend.refit_now(&s.motion).map(|e| e.position.x.to_bits()));
+                arm.wall_s += t0.elapsed().as_secs_f64();
+                arm.batches += s.batches.len();
+                if name == "streaming" && bits != concrete_estimates[si] {
+                    default_bit_identical = false;
+                }
+                if let Some(est) = backend.current() {
+                    arm.runs += 1;
+                    arm.errors.push(score(est, s.truth));
+                }
+            }
+            arm
+        })
+        .collect();
+
+    Shootout {
+        environments: envs.len(),
+        seeds_per_env,
+        arms,
+        concrete_batch_us: concrete_wall / concrete_batches.max(1) as f64 * 1e6,
+        default_bit_identical,
+    }
+}
+
+const FULL_ENVS: [usize; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+/// Runs the experiment at acceptance scale: all nine environments, six
+/// seeds each.
+pub fn run() -> String {
+    run_scaled(&FULL_ENVS, 6)
+}
+
+/// The report body, parameterized so the in-crate test can run a small
+/// grid while `harness backends` runs the full one.
+pub(crate) fn run_scaled(envs: &[usize], seeds_per_env: usize) -> String {
+    let s = measure(envs, seeds_per_env);
+    let mut out = header(
+        "backends",
+        "estimation-backend shootout: accuracy vs per-batch cost",
+        "beyond the paper: prices the pluggable Estimator backends of DESIGN.md \u{a7}16",
+    );
+    out.push_str(&format!(
+        "  grid: {} environments x {} seeds\n",
+        s.environments, s.seeds_per_env
+    ));
+    out.push_str("  backend        runs   median (m)   p90 (m)   us/batch\n");
+    for arm in &s.arms {
+        out.push_str(&format!(
+            "  {:<12} {:>3}/{:<3}   {:>7.2}   {:>7.2}   {:>8.1}\n",
+            arm.name,
+            arm.runs,
+            arm.attempted,
+            arm.median_error_m(),
+            arm.p90_error_m(),
+            arm.mean_batch_us(),
+        ));
+    }
+    out.push_str(&format!(
+        "  concrete streaming us/batch            {:.1}\n",
+        s.concrete_batch_us
+    ));
+    out.push_str(&crate::util::row(
+        "default backend bit-identical",
+        s.default_bit_identical,
+    ));
+    out.push_str(&crate::util::row(
+        "default overhead within 1.5x",
+        s.default_overhead_ok(),
+    ));
+    out.push_str(&crate::util::row(
+        "particle reconciles",
+        s.reconciles("particle", 4.0),
+    ));
+    out.push_str(&crate::util::row(
+        "fingerprint reconciles",
+        s.reconciles("fingerprint", 4.0),
+    ));
+    out
+}
+
+/// The JSON artifact `scripts/check.sh` archives as
+/// `BENCH_backends.json`.
+pub fn json_report() -> String {
+    json_scaled(&FULL_ENVS, 6)
+}
+
+/// JSON body at a chosen scale (the in-crate test uses a small grid).
+pub(crate) fn json_scaled(envs: &[usize], seeds_per_env: usize) -> String {
+    let s = measure(envs, seeds_per_env);
+    let arms = s
+        .arms
+        .iter()
+        .map(|arm| {
+            Value::Map(vec![
+                ("backend".to_string(), Value::Str(arm.name.to_string())),
+                ("runs".to_string(), Value::U64(arm.runs as u64)),
+                ("attempted".to_string(), Value::U64(arm.attempted as u64)),
+                (
+                    "median_error_m".to_string(),
+                    Value::F64(arm.median_error_m()),
+                ),
+                ("p90_error_m".to_string(), Value::F64(arm.p90_error_m())),
+                (
+                    "mean_error_m".to_string(),
+                    Value::F64(if arm.errors.is_empty() {
+                        f64::INFINITY
+                    } else {
+                        mean(&arm.errors)
+                    }),
+                ),
+                ("mean_batch_us".to_string(), Value::F64(arm.mean_batch_us())),
+                (
+                    "batches_per_second".to_string(),
+                    Value::F64(arm.batches_per_s()),
+                ),
+            ])
+        })
+        .collect();
+    let value = Value::Map(vec![
+        ("experiment".to_string(), Value::Str("backends".to_string())),
+        (
+            "environments".to_string(),
+            Value::U64(s.environments as u64),
+        ),
+        (
+            "seeds_per_env".to_string(),
+            Value::U64(s.seeds_per_env as u64),
+        ),
+        ("backends".to_string(), Value::Seq(arms)),
+        (
+            "concrete_batch_us".to_string(),
+            Value::F64(s.concrete_batch_us),
+        ),
+        (
+            "streaming_batches_per_second".to_string(),
+            Value::F64(s.arm("streaming").batches_per_s()),
+        ),
+        (
+            "default_bit_identical".to_string(),
+            Value::Bool(s.default_bit_identical),
+        ),
+        (
+            "default_overhead_ok".to_string(),
+            Value::Bool(s.default_overhead_ok()),
+        ),
+        (
+            "particle_reconciles".to_string(),
+            Value::Bool(s.reconciles("particle", 4.0)),
+        ),
+        (
+            "fingerprint_reconciles".to_string(),
+            Value::Bool(s.reconciles("fingerprint", 4.0)),
+        ),
+    ]);
+    serde::json::to_string(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Correctness gates on a small grid: bit-identity is exact in any
+    /// build profile; the wall-clock overhead gate is release-mode
+    /// acceptance (`harness backends` via scripts/check.sh), not a
+    /// debug-build assertion.
+    #[test]
+    fn default_backend_is_bit_identical_on_a_small_grid() {
+        let report = super::run_scaled(&[1, 9], 2);
+        assert!(
+            crate::util::flag_is_true(&report, "default backend bit-identical"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn alternative_backends_reconcile_on_a_small_grid() {
+        let report = super::run_scaled(&[1, 9], 2);
+        assert!(
+            crate::util::flag_is_true(&report, "particle reconciles"),
+            "{report}"
+        );
+        assert!(
+            crate::util::flag_is_true(&report, "fingerprint reconciles"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let json = super::json_scaled(&[1], 1);
+        assert!(json.contains("\"experiment\":\"backends\""), "{json}");
+        assert!(json.contains("\"streaming_batches_per_second\""), "{json}");
+        assert!(json.contains("\"default_bit_identical\":true"), "{json}");
+        for backend in ["streaming", "particle", "fingerprint"] {
+            assert!(
+                json.contains(&format!("\"backend\":\"{backend}\"")),
+                "{json}"
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure (see DESIGN.md §4).
 
 pub mod ablations;
+pub mod backends;
 pub mod fig10b;
 pub mod fig11a;
 pub mod fig11b;

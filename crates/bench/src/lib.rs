@@ -36,6 +36,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "serve",
     "obs",
     "recover",
+    "backends",
     "ablations",
 ];
 
@@ -65,6 +66,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "serve" => serve::run(),
         "obs" => obs::run(),
         "recover" => recover::run(),
+        "backends" => backends::run(),
         "ablations" => ablations::run(),
         _ => return None,
     };

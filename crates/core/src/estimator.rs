@@ -86,6 +86,12 @@ pub enum FitMethod {
     Leg,
     /// Range-plus-gradient degradation.
     Gradient,
+    /// Sequential Monte-Carlo posterior mean
+    /// ([`crate::particle::ParticleBackend`]).
+    Particle,
+    /// Kernel-scored candidate-grid fit
+    /// ([`crate::fingerprint::FingerprintBackend`]).
+    Fingerprint,
 }
 
 impl FitMethod {
@@ -96,6 +102,8 @@ impl FitMethod {
             FitMethod::Anchored => "anchored",
             FitMethod::Leg => "leg",
             FitMethod::Gradient => "gradient",
+            FitMethod::Particle => "particle",
+            FitMethod::Fingerprint => "fingerprint",
         }
     }
 }

@@ -1,0 +1,460 @@
+//! Fingerprint/kernel backend: kernel-scored candidate-grid RSS fit.
+//!
+//! Kernel-method RSS fingerprinting (Ng et al. in the paper's related
+//! work) localizes by scoring candidate positions against the observed
+//! signal pattern instead of inverting the path-loss model in closed
+//! form. [`FingerprintBackend`] is that family over the paper's inputs:
+//! every candidate position on a grid around the walk gets its own
+//! per-candidate `(Γ, n)` path-loss fit — a 2-unknown least squares
+//! solved with `locble-ml`'s [`GramSolver`] on a
+//! [`StandardScaler`]-standardized log-distance feature — and
+//! candidates are scored by a Gaussian kernel over their RSS
+//! residuals. The grid winner is refined by two halving passes.
+//!
+//! The backend is a pure function of the accumulated series and the
+//! motion track (no RNG), so export/restore and replay are trivially
+//! bit-identical. Refit-stride semantics mirror the streaming backend:
+//! skipped batches accumulate, [`refit_now`](FingerprintBackend::refit_now)
+//! forces an up-to-date fit.
+
+use crate::estimator::{FitMethod, LocationEstimate};
+use crate::streaming::RssBatch;
+use locble_geom::Vec2;
+use locble_ml::{GramSolver, StandardScaler};
+use locble_motion::MotionTrack;
+use locble_rf::MIN_RANGE_M;
+
+/// Fingerprint backend tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintConfig {
+    /// Coarse candidate-grid pitch, metres.
+    pub grid_step_m: f64,
+    /// How far past the walk's bounding box candidates extend, metres
+    /// (BLE hearing range).
+    pub margin_m: f64,
+    /// Halving refinement passes around the coarse winner.
+    pub refine_levels: usize,
+    /// Gaussian kernel bandwidth over RSS residuals, dB.
+    pub kernel_bw_db: f64,
+    /// Ridge regularization of the per-candidate 2×2 fit.
+    pub ridge: f64,
+    /// Minimum accumulated samples before fitting.
+    pub min_samples: usize,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> FingerprintConfig {
+        FingerprintConfig {
+            grid_step_m: 1.0,
+            margin_m: 10.0,
+            refine_levels: 2,
+            kernel_bw_db: 6.0,
+            ridge: 1e-6,
+            min_samples: 8,
+        }
+    }
+}
+
+/// Persistable fingerprint-backend state. Configuration is rebuilt from
+/// the engine's [`crate::backend::BackendSpec`] on restore, exactly
+/// like the other backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FingerprintState {
+    /// Accumulated sample times, seconds.
+    pub series_t: Vec<f64>,
+    /// RSSI values parallel to `series_t`.
+    pub series_v: Vec<f64>,
+    /// Refit every `refit_stride`-th batch.
+    pub refit_stride: usize,
+    /// Batches accumulated since the last refit.
+    pub batches_since_refit: usize,
+    /// Batches consumed.
+    pub batches: u64,
+    /// The latest estimate, if any.
+    pub current: Option<LocationEstimate>,
+}
+
+/// The kernel/fingerprint backend. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FingerprintBackend {
+    config: FingerprintConfig,
+    state: FingerprintState,
+}
+
+/// One scored candidate: position, kernel score, fitted model.
+struct Scored {
+    pos: Vec2,
+    score: f64,
+    gamma_dbm: f64,
+    exponent: f64,
+    residual_db: f64,
+}
+
+impl FingerprintBackend {
+    /// A fresh backend with no accumulated samples.
+    pub fn new(config: FingerprintConfig) -> FingerprintBackend {
+        let config = FingerprintConfig {
+            grid_step_m: if config.grid_step_m > 0.0 {
+                config.grid_step_m
+            } else {
+                1.0
+            },
+            margin_m: config.margin_m.max(1.0),
+            min_samples: config.min_samples.max(4),
+            ..config
+        };
+        FingerprintBackend {
+            config,
+            state: FingerprintState {
+                series_t: Vec::new(),
+                series_v: Vec::new(),
+                refit_stride: 1,
+                batches_since_refit: 0,
+                batches: 0,
+                current: None,
+            },
+        }
+    }
+
+    /// Sets the refit stride (clamped to at least 1), mirroring
+    /// [`crate::streaming::StreamingEstimator::with_refit_stride`].
+    pub fn with_refit_stride(mut self, stride: usize) -> FingerprintBackend {
+        self.state.refit_stride = stride.max(1);
+        self
+    }
+
+    /// The configuration the backend runs with.
+    pub fn config(&self) -> &FingerprintConfig {
+        &self.config
+    }
+
+    /// Fits `(Γ, n)` at one candidate and scores it with the Gaussian
+    /// residual kernel. `None` when the fit is singular or the
+    /// exponent lands outside the physical band.
+    fn score_candidate(&self, pos: Vec2, observers: &[Vec2], rss: &[f64]) -> Option<Scored> {
+        // Feature: log10 distance from the candidate to each observer
+        // position, standardized so the 2×2 Gram system is
+        // well-conditioned whatever the geometry's scale.
+        let features: Vec<Vec<f64>> = observers
+            .iter()
+            .map(|o| vec![pos.distance(*o).max(MIN_RANGE_M).log10()])
+            .collect();
+        let scaler = StandardScaler::fit(&features);
+        let mut solver: GramSolver<2> = GramSolver::new();
+        let mut rhs = [0.0f64; 2];
+        for (f, &v) in features.iter().zip(rss) {
+            let z = scaler.transform(f)[0];
+            let row = [1.0, z];
+            solver.accumulate(&row);
+            rhs[0] += v;
+            rhs[1] += v * z;
+        }
+        if !solver.factorize(self.config.ridge) {
+            return None;
+        }
+        let [a, b] = solver.solve(rhs)?;
+        // rss = a + b·z with z = (log10 d − μ)/σ  ⇒  n = −b/(10σ),
+        // Γ = a − bμ/σ.
+        let (mu, sigma) = scaler_moments(&scaler, &features);
+        if sigma <= 0.0 {
+            return None;
+        }
+        let exponent = -b / (10.0 * sigma);
+        if !(0.3..=8.0).contains(&exponent) {
+            return None;
+        }
+        let gamma_dbm = a - b * mu / sigma;
+        let inv_two_bw_sq = 1.0 / (2.0 * self.config.kernel_bw_db * self.config.kernel_bw_db);
+        let mut kernel_sum = 0.0;
+        let mut sq = 0.0;
+        for (f, &v) in features.iter().zip(rss) {
+            let predicted = gamma_dbm - 10.0 * exponent * f[0];
+            let r = v - predicted;
+            kernel_sum += (-r * r * inv_two_bw_sq).exp();
+            sq += r * r;
+        }
+        let n = rss.len() as f64;
+        Some(Scored {
+            pos,
+            score: kernel_sum / n,
+            gamma_dbm,
+            exponent,
+            residual_db: (sq / n).sqrt(),
+        })
+    }
+
+    /// Scores a grid and returns the best candidate (deterministic
+    /// tie-break: first strictly-better wins, scan order fixed).
+    fn best_on_grid(
+        &self,
+        center: Vec2,
+        half_extent: Vec2,
+        step: f64,
+        observers: &[Vec2],
+        rss: &[f64],
+    ) -> Option<Scored> {
+        let nx = (half_extent.x / step).ceil() as i64;
+        let ny = (half_extent.y / step).ceil() as i64;
+        let mut best: Option<Scored> = None;
+        for iy in -ny..=ny {
+            for ix in -nx..=nx {
+                let pos = Vec2::new(center.x + ix as f64 * step, center.y + iy as f64 * step);
+                if let Some(s) = self.score_candidate(pos, observers, rss) {
+                    if best.as_ref().is_none_or(|b| s.score > b.score) {
+                        best = Some(s);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Full fit over everything accumulated.
+    fn refit(&mut self, observer: &MotionTrack) {
+        self.state.batches_since_refit = 0;
+        if self.state.series_t.len() < self.config.min_samples {
+            return;
+        }
+        let observers: Vec<Vec2> = self
+            .state
+            .series_t
+            .iter()
+            .map(|&t| observer.displacement_at(t).unwrap_or(Vec2::ZERO))
+            .collect();
+        let rss = &self.state.series_v;
+        // Candidate region: walk bounding box + hearing margin.
+        let (mut lo, mut hi) = (observers[0], observers[0]);
+        for o in &observers {
+            lo.x = lo.x.min(o.x);
+            lo.y = lo.y.min(o.y);
+            hi.x = hi.x.max(o.x);
+            hi.y = hi.y.max(o.y);
+        }
+        let center = Vec2::new((lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0);
+        let half_extent = Vec2::new(
+            (hi.x - lo.x) / 2.0 + self.config.margin_m,
+            (hi.y - lo.y) / 2.0 + self.config.margin_m,
+        );
+        let mut step = self.config.grid_step_m;
+        let Some(mut best) = self.best_on_grid(center, half_extent, step, &observers, rss) else {
+            return;
+        };
+        for _ in 0..self.config.refine_levels {
+            step /= 2.0;
+            let local = Vec2::new(step * 1.5, step * 1.5);
+            if let Some(refined) = self.best_on_grid(best.pos, local, step, &observers, rss) {
+                if refined.score > best.score {
+                    best = refined;
+                }
+            }
+        }
+        self.state.current = Some(LocationEstimate {
+            position: best.pos,
+            mirror: None,
+            // The mean kernel is already in (0, 1]: 1 at a perfect
+            // pattern match, → 0 as residuals blow past the bandwidth.
+            confidence: best.score.clamp(0.0, 1.0),
+            exponent: best.exponent,
+            gamma_dbm: best.gamma_dbm,
+            env: None,
+            points_used: rss.len(),
+            method: FitMethod::Fingerprint,
+            residual_db: best.residual_db,
+        });
+    }
+
+    /// Feeds one batch; refits on the stride.
+    pub fn push_batch(
+        &mut self,
+        batch: &RssBatch,
+        observer: &MotionTrack,
+    ) -> Option<&LocationEstimate> {
+        if batch.is_empty() {
+            return self.state.current.as_ref();
+        }
+        self.state.series_t.extend_from_slice(&batch.t);
+        self.state.series_v.extend_from_slice(&batch.v);
+        self.state.batches += 1;
+        self.state.batches_since_refit += 1;
+        if self.state.batches_since_refit >= self.state.refit_stride {
+            self.refit(observer);
+        }
+        self.state.current.as_ref()
+    }
+
+    /// Forces a refit over everything accumulated (no-op when nothing
+    /// arrived since the last fit).
+    pub fn refit_now(&mut self, observer: &MotionTrack) -> Option<&LocationEstimate> {
+        if self.state.batches_since_refit > 0 {
+            self.refit(observer);
+        }
+        self.state.current.as_ref()
+    }
+
+    /// The latest estimate.
+    pub fn current(&self) -> Option<&LocationEstimate> {
+        self.state.current.as_ref()
+    }
+
+    /// Extracts the persistable state.
+    pub fn export_state(&self) -> FingerprintState {
+        self.state.clone()
+    }
+
+    /// Rebuilds a mid-session backend from persisted state.
+    pub fn from_state(config: FingerprintConfig, state: FingerprintState) -> FingerprintBackend {
+        let mut backend = FingerprintBackend::new(config);
+        backend.state = state;
+        backend.state.refit_stride = backend.state.refit_stride.max(1);
+        backend
+    }
+}
+
+/// Mean and standard deviation the scaler derived for the single
+/// feature column (recomputed from the data, bit-identical to the
+/// scaler's own fit).
+fn scaler_moments(scaler: &StandardScaler, features: &[Vec<f64>]) -> (f64, f64) {
+    debug_assert_eq!(scaler.dim(), 1);
+    let n = features.len() as f64;
+    let mu = features.iter().map(|f| f[0]).sum::<f64>() / n;
+    let var = features
+        .iter()
+        .map(|f| (f[0] - mu) * (f[0] - mu))
+        .sum::<f64>()
+        / n;
+    (mu, var.sqrt())
+}
+
+impl crate::backend::Estimator for FingerprintBackend {
+    fn kind(&self) -> crate::backend::BackendKind {
+        crate::backend::BackendKind::Fingerprint
+    }
+
+    fn push_batch(
+        &mut self,
+        batch: &RssBatch,
+        observer: &MotionTrack,
+    ) -> Option<&LocationEstimate> {
+        FingerprintBackend::push_batch(self, batch, observer)
+    }
+
+    fn refit_now(&mut self, observer: &MotionTrack) -> Option<&LocationEstimate> {
+        FingerprintBackend::refit_now(self, observer)
+    }
+
+    fn current(&self) -> Option<&LocationEstimate> {
+        FingerprintBackend::current(self)
+    }
+
+    fn active_samples(&self) -> usize {
+        self.state.series_t.len()
+    }
+
+    fn restarts(&self) -> usize {
+        0
+    }
+
+    fn export_state(&self) -> crate::backend::BackendState {
+        crate::backend::BackendState::Fingerprint(self.state.clone())
+    }
+
+    fn restore_state(
+        &mut self,
+        state: crate::backend::BackendState,
+    ) -> Result<(), crate::backend::BackendMismatch> {
+        match state {
+            crate::backend::BackendState::Fingerprint(s) => {
+                self.state = s;
+                self.state.refit_stride = self.state.refit_stride.max(1);
+                Ok(())
+            }
+            other => Err(crate::backend::BackendMismatch {
+                expected: crate::backend::BackendKind::Fingerprint,
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_walk(target: Vec2) -> (Vec<RssBatch>, MotionTrack) {
+        crate::backend::tests::l_walk(target)
+    }
+
+    #[test]
+    fn grid_fit_finds_the_beacon() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = l_walk(target);
+        let mut backend = FingerprintBackend::new(FingerprintConfig::default());
+        for b in &batches {
+            backend.push_batch(b, &track);
+        }
+        let est = backend.current().expect("estimate");
+        let err = est.position.distance(target);
+        assert!(err < 2.5, "fingerprint error {err:.2} m");
+        assert_eq!(est.method, FitMethod::Fingerprint);
+        assert!(est.confidence > 0.0 && est.confidence <= 1.0);
+        assert!((0.3..=8.0).contains(&est.exponent));
+    }
+
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = l_walk(target);
+        for cut in 0..batches.len() {
+            let mut live =
+                FingerprintBackend::new(FingerprintConfig::default()).with_refit_stride(2);
+            for b in &batches[..cut] {
+                live.push_batch(b, &track);
+            }
+            let state = live.export_state();
+            let mut restored =
+                FingerprintBackend::from_state(FingerprintConfig::default(), state.clone());
+            assert_eq!(restored.export_state(), state, "cut {cut}: lossy export");
+            for b in &batches[cut..] {
+                let a = live.push_batch(b, &track).copied();
+                let r = restored.push_batch(b, &track).copied();
+                assert_eq!(a, r, "cut {cut}: continuation diverged");
+            }
+            if let (Some(a), Some(r)) = (live.current(), restored.current()) {
+                assert_eq!(a.position.x.to_bits(), r.position.x.to_bits());
+                assert_eq!(a.position.y.to_bits(), r.position.y.to_bits());
+            }
+            assert_eq!(live.export_state(), restored.export_state());
+        }
+    }
+
+    #[test]
+    fn refit_stride_defers_until_forced() {
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = l_walk(target);
+        let mut every = FingerprintBackend::new(FingerprintConfig::default());
+        let mut strided = FingerprintBackend::new(FingerprintConfig::default())
+            .with_refit_stride(batches.len() + 1);
+        for b in &batches {
+            every.push_batch(b, &track);
+            strided.push_batch(b, &track);
+        }
+        assert!(every.current().is_some());
+        assert!(strided.current().is_none(), "no fit before the stride");
+        let forced = strided.refit_now(&track).copied().expect("estimate");
+        assert_eq!(Some(forced), every.current().copied());
+        assert_eq!(strided.refit_now(&track).copied(), Some(forced));
+    }
+
+    #[test]
+    fn too_few_samples_yield_no_estimate() {
+        let (batches, track) = l_walk(Vec2::new(4.0, 3.5));
+        let mut backend = FingerprintBackend::new(FingerprintConfig {
+            min_samples: 1000,
+            ..FingerprintConfig::default()
+        });
+        for b in &batches {
+            backend.push_batch(b, &track);
+        }
+        assert!(backend.current().is_none());
+    }
+}

@@ -33,28 +33,37 @@
 #![warn(missing_docs)]
 
 pub mod anf;
+pub mod backend;
 pub mod baseline;
 pub mod cluster;
 pub mod confidence;
 pub mod envaware;
 pub mod estimator;
 pub mod exponent;
+pub mod fingerprint;
 pub mod mirror;
 pub mod navigation;
+pub mod particle;
 pub mod proximity;
 pub mod regression;
 pub mod regression3d;
 pub mod streaming;
 
 pub use anf::AdaptiveNoiseFilter;
+// The `Estimator` *trait* is deliberately not re-exported at the root:
+// `locble_core::Estimator` stays the batch estimator struct below, and
+// backend-generic code names the trait `backend::Estimator` explicitly.
+pub use backend::{BackendKind, BackendMismatch, BackendSpec, BackendState};
 pub use baseline::{DartleRanger, ProximityZone};
 pub use cluster::{calibrate, ClusterConfig, ClusterVote, DtwMatcher};
 pub use confidence::estimation_confidence;
 pub use envaware::{EnvAware, EnvAwareConfig, EnvChangeDetector};
 pub use estimator::{Estimator, EstimatorConfig, FitMethod, LocationEstimate};
 pub use exponent::{search_exponent, search_exponent_with, search_scored, ExponentSearch};
+pub use fingerprint::{FingerprintBackend, FingerprintConfig, FingerprintState};
 pub use mirror::MirrorResolver;
 pub use navigation::{NavInstruction, Navigator};
+pub use particle::{ParticleBackend, ParticleConfig, ParticleState};
 pub use proximity::{LastMeterRefiner, ProximityConfig, ProximityObservation};
 pub use regression::{CircularFit, FitSolver, LegFit, LegSolver, RssPoint};
 pub use regression3d::{Fit3d, RssPoint3, Vec3};

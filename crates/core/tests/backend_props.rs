@@ -1,0 +1,233 @@
+//! Property suite for the pluggable estimation backends.
+//!
+//! Two contracts, exercised over randomized walks, batch slicings and
+//! snapshot cut points for *every* backend:
+//!
+//! 1. **Roundtrip continuation** — exporting a session's state at any
+//!    point and restoring it into a fresh backend of the same kind
+//!    continues the stream **bit-identically** to the session that was
+//!    never interrupted (the invariant the store kill-and-recover and
+//!    cluster failover paths stand on).
+//! 2. **Typed mismatch** — a snapshot exported from backend A offered
+//!    to backend B always fails with [`BackendMismatch`] naming both
+//!    sides, and never mutates the receiving session.
+//!
+//! Plus the tentpole's differential: the default backend driven through
+//! `Box<dyn Estimator>` stays bit-identical to the concrete
+//! [`StreamingEstimator`] under every slicing, not just the one the
+//! unit test happens to use.
+
+use locble_core::{
+    BackendSpec, Estimator, EstimatorConfig, FingerprintConfig, LocationEstimate, ParticleConfig,
+    RssBatch, StreamingEstimator,
+};
+use locble_geom::{Trajectory, Vec2};
+use locble_motion::{MotionTrack, StepResult};
+use locble_rf::LogDistanceModel;
+use proptest::prelude::*;
+
+/// A deterministic noisy L-walk: `n` samples at `dt` spacing, first 60 %
+/// along +x then the rest along +y, RSS from the log-distance model plus
+/// bounded alternating noise. Returned pre-sliced into `chunk`-sample
+/// batches.
+fn walk(target: Vec2, n: usize, noise: f64, chunk: usize) -> (Vec<RssBatch>, MotionTrack) {
+    let model = LogDistanceModel::new(-59.0, 2.0);
+    let dt = 0.11;
+    let turn = (n * 3) / 5;
+    let mut traj = Trajectory::new();
+    let mut samples = Vec::with_capacity(n);
+    let mut pos = Vec2::ZERO;
+    for i in 0..n {
+        let t = i as f64 * dt;
+        traj.push(t, pos);
+        let jitter = noise * if i % 2 == 0 { 1.0 } else { -0.8 } * (1.0 - i as f64 * 0.004);
+        samples.push((t, model.rss_at(target.distance(pos)) + jitter));
+        if i < turn {
+            pos.x += dt;
+        } else {
+            pos.y += dt;
+        }
+    }
+    let track = MotionTrack {
+        trajectory: traj,
+        steps: StepResult {
+            step_times: vec![],
+            frequency_hz: 1.8,
+            step_length_m: 0.75,
+            distance_m: n as f64 * dt,
+        },
+        turns: vec![],
+    };
+    let batches = samples
+        .chunks(chunk.max(1))
+        .map(|c| {
+            RssBatch::new(
+                c.iter().map(|(t, _)| *t).collect(),
+                c.iter().map(|(_, v)| *v).collect(),
+            )
+        })
+        .collect();
+    (batches, track)
+}
+
+fn spec(which: usize) -> BackendSpec {
+    match which % 3 {
+        0 => BackendSpec::Streaming,
+        1 => BackendSpec::Particle(ParticleConfig {
+            particles: 64,
+            ..ParticleConfig::default()
+        }),
+        _ => BackendSpec::Fingerprint(FingerprintConfig::default()),
+    }
+}
+
+/// Bit-level equality: `PartialEq` would call `-0.0 == 0.0` equal and
+/// `NaN == NaN` unequal, neither of which is what "the recovered session
+/// is the same session" means.
+fn assert_bits_equal(a: Option<&LocationEstimate>, b: Option<&LocationEstimate>, ctx: &str) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.position.x.to_bits(), b.position.x.to_bits(), "{ctx}: x");
+            assert_eq!(a.position.y.to_bits(), b.position.y.to_bits(), "{ctx}: y");
+            assert_eq!(
+                a.confidence.to_bits(),
+                b.confidence.to_bits(),
+                "{ctx}: confidence"
+            );
+            assert_eq!(
+                a.exponent.to_bits(),
+                b.exponent.to_bits(),
+                "{ctx}: exponent"
+            );
+            assert_eq!(a.gamma_dbm.to_bits(), b.gamma_dbm.to_bits(), "{ctx}: gamma");
+            assert_eq!(
+                a.residual_db.to_bits(),
+                b.residual_db.to_bits(),
+                "{ctx}: residual"
+            );
+            assert_eq!(
+                a.mirror.map(|m| (m.x.to_bits(), m.y.to_bits())),
+                b.mirror.map(|m| (m.x.to_bits(), m.y.to_bits())),
+                "{ctx}: mirror"
+            );
+            assert_eq!(a.points_used, b.points_used, "{ctx}: points");
+            assert_eq!(a.method, b.method, "{ctx}: method");
+            assert_eq!(a.env, b.env, "{ctx}: env");
+        }
+        (a, b) => panic!("{ctx}: one side has an estimate, the other not: {a:?} vs {b:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: snapshot-at-any-cut + restore continues bit-identically.
+    #[test]
+    fn export_restore_roundtrip_is_bit_identical(
+        which in 0usize..3,
+        tx in 1.5f64..6.0,
+        ty in 0.5f64..5.0,
+        noise in 0.0f64..2.0,
+        chunk in 5usize..30,
+        stride in 1usize..4,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let spec = spec(which);
+        let target = Vec2::new(tx, ty);
+        let (batches, track) = walk(target, 70, noise, chunk);
+        let cut = ((batches.len() as f64) * cut_frac) as usize;
+        let prototype = Estimator::new(EstimatorConfig::default());
+
+        let mut uninterrupted = spec.build(&prototype, stride);
+        let mut crashed = spec.build(&prototype, stride);
+        for b in &batches[..cut] {
+            uninterrupted.push_batch(b, &track);
+            crashed.push_batch(b, &track);
+        }
+
+        // "Crash": the session survives only as its exported state.
+        let snapshot = crashed.export_state();
+        prop_assert_eq!(snapshot.kind(), spec.kind());
+        let mut recovered = spec
+            .restore(&prototype, stride, snapshot)
+            .expect("same-kind restore succeeds");
+
+        for (k, b) in batches[cut..].iter().enumerate() {
+            let a = uninterrupted.push_batch(b, &track).copied();
+            let r = recovered.push_batch(b, &track).copied();
+            assert_bits_equal(a.as_ref(), r.as_ref(), &format!("{} batch {k}", spec.kind()));
+        }
+        let a = uninterrupted.refit_now(&track).copied();
+        let r = recovered.refit_now(&track).copied();
+        assert_bits_equal(a.as_ref(), r.as_ref(), &format!("{} final refit", spec.kind()));
+        prop_assert_eq!(uninterrupted.export_state(), recovered.export_state());
+        prop_assert_eq!(uninterrupted.active_samples(), recovered.active_samples());
+        prop_assert_eq!(uninterrupted.restarts(), recovered.restarts());
+    }
+
+    /// Contract 2: cross-backend restore is a typed error and leaves the
+    /// receiving session untouched.
+    #[test]
+    fn cross_backend_restore_fails_typed_and_harmless(
+        from_which in 0usize..3,
+        into_offset in 1usize..3,
+        tx in 1.5f64..6.0,
+        noise in 0.0f64..2.0,
+        fed in 0usize..4,
+    ) {
+        let from = spec(from_which);
+        let into = spec(from_which + into_offset);
+        prop_assert_ne!(from.kind(), into.kind());
+        let (batches, track) = walk(Vec2::new(tx, 3.0), 70, noise, 18);
+        let prototype = Estimator::new(EstimatorConfig::default());
+
+        let mut exporter = from.build(&prototype, 1);
+        let mut receiver = into.build(&prototype, 1);
+        for b in &batches[..fed] {
+            exporter.push_batch(b, &track);
+            receiver.push_batch(b, &track);
+        }
+        let before = receiver.export_state();
+        let err = receiver
+            .restore_state(exporter.export_state())
+            .expect_err("cross-backend restore must be refused");
+        prop_assert_eq!(err.expected, into.kind());
+        prop_assert_eq!(err.found, from.kind());
+        // And the factory path refuses identically.
+        let err2 = into
+            .restore(&prototype, 1, exporter.export_state())
+            .err()
+            .expect("factory restore must be refused too");
+        prop_assert_eq!(err, err2);
+        prop_assert_eq!(receiver.export_state(), before);
+    }
+
+    /// Tentpole differential: boxed default backend ≡ concrete
+    /// `StreamingEstimator` under arbitrary slicing and stride.
+    #[test]
+    fn boxed_streaming_matches_concrete_under_any_slicing(
+        tx in 1.5f64..6.0,
+        ty in 0.5f64..5.0,
+        noise in 0.0f64..2.5,
+        chunk in 3usize..40,
+        stride in 1usize..5,
+    ) {
+        let (batches, track) = walk(Vec2::new(tx, ty), 80, noise, chunk);
+        let prototype = Estimator::new(EstimatorConfig::default());
+        let mut concrete = StreamingEstimator::new(prototype.clone()).with_refit_stride(stride);
+        let mut boxed = BackendSpec::Streaming.build(&prototype, stride);
+        for (k, b) in batches.iter().enumerate() {
+            let a = StreamingEstimator::push_batch(&mut concrete, b, &track).copied();
+            let d = boxed.push_batch(b, &track).copied();
+            assert_bits_equal(a.as_ref(), d.as_ref(), &format!("batch {k}"));
+        }
+        let a = StreamingEstimator::refit_now(&mut concrete, &track).copied();
+        let d = boxed.refit_now(&track).copied();
+        assert_bits_equal(a.as_ref(), d.as_ref(), "final refit");
+        prop_assert_eq!(
+            locble_core::BackendState::Streaming(concrete.export_state()),
+            boxed.export_state()
+        );
+    }
+}

@@ -12,22 +12,25 @@
 //!    exactly one worker, so per-beacon sample order is preserved no
 //!    matter how many threads run; workers claim shards from an atomic
 //!    counter for load balance. Each shard's sessions batch their
-//!    samples into 2.2 s windows and run the per-beacon
-//!    [`StreamingEstimator`]. Idle sessions are then evicted.
+//!    samples into 2.2 s windows and run the per-beacon estimation
+//!    backend selected by [`EngineConfig::backend`] (the streaming
+//!    regression by default). Idle sessions are then evicted.
 //! 3. [`Engine::snapshot`] — current [`LocationEstimate`]s of every live
 //!    session, in beacon-id order.
 //!
 //! **Determinism guarantee:** for a fixed input stream, every estimate
 //! the engine produces is bit-identical to feeding each beacon's
-//! samples through a standalone [`StreamingEstimator`] sequentially —
-//! across any thread count and any slicing of the ingest calls. The
-//! differential test suite (`tests/determinism.rs`) enforces this.
+//! samples through a standalone estimator of the configured backend
+//! sequentially — across any thread count and any slicing of the
+//! ingest calls. The differential test suite (`tests/determinism.rs`)
+//! enforces this.
 
 use crate::registry::{AdmitError, Admitted, SessionMeta, SessionRegistry};
 use crate::router::{shard_of, Advert, ShardQueues};
 use crate::state::{BeaconSessionState, EngineState, RestoreError, SessionState};
 use locble_ble::BeaconId;
-use locble_core::{Estimator, LocationEstimate, RssBatch, StreamingEstimator};
+use locble_core::backend::Estimator as EstimatorBackend;
+use locble_core::{BackendSpec, Estimator, LocationEstimate, RssBatch};
 use locble_geom::Trajectory;
 use locble_motion::{MotionTrack, StepResult};
 use locble_obs::{Obs, Stage, TraceCtx};
@@ -58,6 +61,11 @@ pub struct EngineConfig {
     /// Refit every n-th batch per session (1 = the paper's every-batch
     /// behaviour); [`Engine::finish`] always refits pending data.
     pub refit_stride: usize,
+    /// Which estimation backend sessions run (per-workload selection):
+    /// the paper's streaming regression by default, or the particle /
+    /// fingerprint alternatives. [`Engine::restore`] refuses snapshots
+    /// exported under a different backend.
+    pub backend: BackendSpec,
 }
 
 impl Default for EngineConfig {
@@ -72,6 +80,7 @@ impl Default for EngineConfig {
             batch_window_s: 2.2,
             shard_queue_cap: 8192,
             refit_stride: 1,
+            backend: BackendSpec::Streaming,
         }
     }
 }
@@ -187,10 +196,11 @@ pub struct SessionStats {
     pub estimate: Option<LocationEstimate>,
 }
 
-/// One beacon's tracking session: the streaming estimator plus the
-/// batch under construction.
+/// One beacon's tracking session: the estimation backend plus the
+/// batch under construction. The backend is trait-boxed so the engine
+/// dataflow is identical whichever algorithm the config selects.
 struct BeaconSession {
-    estimator: StreamingEstimator,
+    estimator: Box<dyn EstimatorBackend>,
     batch_t: Vec<f64>,
     batch_v: Vec<f64>,
     batch_start: f64,
@@ -199,9 +209,9 @@ struct BeaconSession {
 }
 
 impl BeaconSession {
-    fn new(prototype: &Estimator, refit_stride: usize) -> BeaconSession {
+    fn new(spec: &BackendSpec, prototype: &Estimator, refit_stride: usize) -> BeaconSession {
         BeaconSession {
-            estimator: StreamingEstimator::new(prototype.clone()).with_refit_stride(refit_stride),
+            estimator: spec.build(prototype, refit_stride),
             batch_t: Vec::new(),
             batch_v: Vec::new(),
             batch_start: 0.0,
@@ -599,6 +609,7 @@ impl Engine {
 
         let shards = &self.shards;
         let prototype = &self.prototype;
+        let backend_spec = &self.config.backend;
         let obs = &self.obs;
         let motion: &MotionTrack = &self.motion;
         let evictions = &evictions;
@@ -637,10 +648,9 @@ impl Engine {
                         ..DrainReport::default()
                     };
                     for advert in queue {
-                        let session = state
-                            .sessions
-                            .entry(advert.beacon)
-                            .or_insert_with(|| BeaconSession::new(prototype, refit_stride));
+                        let session = state.sessions.entry(advert.beacon).or_insert_with(|| {
+                            BeaconSession::new(backend_spec, prototype, refit_stride)
+                        });
                         let (pushed, rejected) =
                             session.push_sample(advert.t, advert.rssi_dbm, window_s, motion);
                         report.samples += 1;
@@ -829,7 +839,7 @@ impl Engine {
             let meta = *self.registry.meta(beacon).expect("beacon is live");
             let state = self.shards[meta.shard].lock().expect("shard not poisoned");
             let session = state.sessions.get(&beacon).map(|s| BeaconSessionState {
-                streaming: s.estimator.export_state(),
+                estimator: s.estimator.export_state(),
                 batch_t: s.batch_t.clone(),
                 batch_v: s.batch_v.clone(),
                 batch_start: s.batch_start,
@@ -913,11 +923,16 @@ impl Engine {
                 },
             );
             if let Some(b) = s.session {
+                let estimator = engine
+                    .config
+                    .backend
+                    .restore(&engine.prototype, engine.config.refit_stride, b.estimator)
+                    .map_err(|e| RestoreError::BackendMismatch {
+                        expected: e.expected,
+                        found: e.found,
+                    })?;
                 let session = BeaconSession {
-                    estimator: StreamingEstimator::from_state(
-                        engine.prototype.clone(),
-                        b.streaming,
-                    ),
+                    estimator,
                     batch_t: b.batch_t,
                     batch_v: b.batch_v,
                     batch_start: b.batch_start,

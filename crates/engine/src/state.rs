@@ -19,7 +19,7 @@
 use crate::engine::EngineStats;
 use crate::router::Advert;
 use locble_ble::BeaconId;
-use locble_core::StreamingState;
+use locble_core::{BackendKind, BackendState};
 use locble_motion::MotionTrack;
 use std::fmt;
 
@@ -45,12 +45,14 @@ pub struct SessionState {
     pub session: Option<BeaconSessionState>,
 }
 
-/// Worker-side per-beacon state: the streaming estimator plus the
-/// partial batch that has not closed its 2.2 s window yet.
+/// Worker-side per-beacon state: the session's estimation backend plus
+/// the partial batch that has not closed its 2.2 s window yet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BeaconSessionState {
-    /// Streaming-estimator state (series, current estimate, detector).
-    pub streaming: StreamingState,
+    /// Backend-tagged estimator state (series/cloud, current estimate,
+    /// per-backend bookkeeping). Restore refuses a tag that differs
+    /// from the restore config's backend.
+    pub estimator: BackendState,
     /// Timestamps of the batch under construction.
     pub batch_t: Vec<f64>,
     /// RSSI values parallel to `batch_t`.
@@ -118,6 +120,15 @@ pub enum RestoreError {
         /// The restore config's capacity.
         max_sessions: usize,
     },
+    /// A session snapshot is tagged with a different estimation backend
+    /// than the restore config selects — restoring it would silently
+    /// misread state, so it is refused instead.
+    BackendMismatch {
+        /// The backend the restore config selects.
+        expected: BackendKind,
+        /// The backend the snapshot was exported from.
+        found: BackendKind,
+    },
 }
 
 impl fmt::Display for RestoreError {
@@ -141,6 +152,10 @@ impl fmt::Display for RestoreError {
             } => write!(
                 f,
                 "snapshot holds {sessions} sessions but the restore config caps at {max_sessions}"
+            ),
+            RestoreError::BackendMismatch { expected, found } => write!(
+                f,
+                "snapshot session was exported from the {found} backend but the restore config selects {expected}"
             ),
         }
     }

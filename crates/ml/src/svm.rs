@@ -166,7 +166,7 @@ impl Classifier for MultiClassSvm {
         self.decision_values(features)
             .into_iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite decision values"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
             .expect("at least one class")
     }
@@ -239,6 +239,28 @@ mod tests {
             .filter(|(p, l)| p == l)
             .count();
         assert_eq!(correct, data.len(), "blobs should be perfectly separable");
+    }
+
+    #[test]
+    fn non_finite_features_still_pick_some_class() {
+        // NaN features make every decision value NaN; the one-vs-rest
+        // argmax used to `partial_cmp(..).expect(..)` and panic. With
+        // total_cmp it degrades to an arbitrary (but valid) class.
+        let mut data = Dataset::new();
+        for i in 0..10 {
+            let j = (i % 3) as f64 * 0.1;
+            data.push(vec![2.0 + j, 2.0], 0);
+            data.push(vec![-2.0 - j, -2.0], 1);
+        }
+        let svm = MultiClassSvm::train(
+            &data,
+            &SvmConfig {
+                iterations: 2_000,
+                ..SvmConfig::default()
+            },
+        );
+        let p = svm.predict(&[f64::NAN, f64::NAN]);
+        assert!(p < svm.num_classes());
     }
 
     #[test]

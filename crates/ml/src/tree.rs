@@ -166,7 +166,7 @@ fn build(
         // Candidate thresholds: midpoints between consecutive distinct
         // sorted values.
         let mut vals: Vec<f64> = idx.iter().map(|&i| data.features[i][f]).collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        vals.sort_by(|a, b| a.total_cmp(b));
         vals.dedup();
         for w in vals.windows(2) {
             let threshold = (w[0] + w[1]) / 2.0;
@@ -287,6 +287,22 @@ mod tests {
         assert_eq!(tree.predict(&[3.0]), 0);
         assert_eq!(tree.predict(&[15.0]), 1);
         assert_eq!(tree.predict(&[9.4]), 0);
+    }
+
+    #[test]
+    fn non_finite_feature_values_do_not_panic_training() {
+        // A NaN feature used to panic the candidate-threshold sort. With
+        // total_cmp the NaN sorts last, its midpoint thresholds produce
+        // empty left children and are skipped, and the finite structure
+        // is still learned.
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            d.push(vec![i as f64], usize::from(i >= 10));
+        }
+        d.push(vec![f64::NAN], 0);
+        let tree = DecisionTree::train(&d, &TreeConfig::default());
+        assert_eq!(tree.predict(&[3.0]), 0);
+        assert_eq!(tree.predict(&[15.0]), 1);
     }
 
     #[test]

@@ -84,7 +84,7 @@ pub fn detect_steps(aligned: &AlignedImu, config: &StepsConfig) -> StepResult {
     // pause during the turn).
     let frequency_hz = if step_times.len() >= 2 {
         let mut intervals: Vec<f64> = step_times.windows(2).map(|w| w[1] - w[0]).collect();
-        intervals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        intervals.sort_by(|a, b| a.total_cmp(b));
         let median = intervals[intervals.len() / 2];
         if median > 0.0 {
             1.0 / median
@@ -178,6 +178,35 @@ mod tests {
             result.count()
         );
         assert!(result.distance_m < 1.0);
+    }
+
+    #[test]
+    fn non_finite_step_times_do_not_panic() {
+        // A NaN timestamp right under a gait peak makes the inter-step
+        // intervals NaN; the median sort used to
+        // `partial_cmp(..).expect("finite")` and panic.
+        let n = 120;
+        let mut t: Vec<f64> = (0..n).map(|i| i as f64 * 0.02).collect();
+        let mut accel = vec![0.0; n];
+        for p in [20usize, 55, 90] {
+            for (off, amp) in [(0i64, 3.0), (-1, 2.0), (1, 2.0), (-2, 1.0), (2, 1.0)] {
+                accel[(p as i64 + off) as usize] = amp;
+            }
+        }
+        for ti in t.iter_mut().take(58).skip(53) {
+            *ti = f64::NAN;
+        }
+        let aligned = crate::alignment::AlignedImu {
+            turn_rate: vec![0.0; n],
+            mag_heading: vec![0.0; n],
+            t,
+            vertical_accel: accel,
+            ..Default::default()
+        };
+        let result = detect_steps(&aligned, &StepsConfig::default());
+        assert!(result.count() >= 2, "peaks still detected");
+        assert!(result.frequency_hz.is_finite());
+        assert!(result.distance_m.is_finite());
     }
 
     #[test]

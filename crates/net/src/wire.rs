@@ -824,6 +824,8 @@ fn put_estimate(out: &mut Vec<u8>, e: &WireEstimate) {
         FitMethod::Anchored => 2,
         FitMethod::Leg => 3,
         FitMethod::Gradient => 4,
+        FitMethod::Particle => 5,
+        FitMethod::Fingerprint => 6,
     });
     put_f64(out, e.residual_db);
 }
@@ -1590,6 +1592,8 @@ impl<'a> Reader<'a> {
             2 => FitMethod::Anchored,
             3 => FitMethod::Leg,
             4 => FitMethod::Gradient,
+            5 => FitMethod::Particle,
+            6 => FitMethod::Fingerprint,
             _ => {
                 return Err(DecodeError::Malformed {
                     context: "fit method discriminant",

@@ -59,6 +59,8 @@ fn any_estimate() -> impl Strategy<Value = WireEstimate> {
             Just(FitMethod::Anchored),
             Just(FitMethod::Leg),
             Just(FitMethod::Gradient),
+            Just(FitMethod::Particle),
+            Just(FitMethod::Fingerprint),
         ],
         any_f64(),
     );

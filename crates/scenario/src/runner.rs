@@ -389,7 +389,7 @@ mod tests {
             }
         }
         assert!(errs.len() >= 6, "only {} runs succeeded", errs.len());
-        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        errs.sort_by(|a, b| a.total_cmp(b));
         let median = errs[errs.len() / 2];
         assert!(median < 3.5, "moving-target median error {median:.2} m");
     }

@@ -86,8 +86,14 @@ pub fn parse_session_trace(text: &str) -> Result<ReplayTrace, String> {
         let tag = parts.next().expect("non-empty line has a tag");
         let fields: Vec<&str> = parts.collect();
         let ctx = |what: &str| format!("line {}: bad {what}: {line:?}", lineno + 1);
+        // Non-finite numbers are rejected at the parse boundary: a NaN
+        // timestamp would otherwise corrupt every downstream sort and
+        // monotonicity invariant.
         let f = |s: &str, what: &str| -> Result<f64, String> {
-            s.parse::<f64>().map_err(|_| ctx(what))
+            match s.parse::<f64>() {
+                Ok(x) if x.is_finite() => Ok(x),
+                _ => Err(ctx(what)),
+            }
         };
         match tag {
             "ENV" => {
@@ -145,7 +151,7 @@ pub fn parse_session_trace(text: &str) -> Result<ReplayTrace, String> {
 
     let mut rss = BTreeMap::new();
     for (id, mut samples) in rss_raw {
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut series = TimeSeries::default();
         for (t, v) in samples {
             series.push(t, v);
@@ -225,6 +231,19 @@ mod tests {
         assert!(err.contains("line 3"), "{err}");
         let err = parse_session_trace("WAT 1\n").unwrap_err();
         assert!(err.contains("unknown tag"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_parse_errors_not_panics() {
+        // Used to reach `partial_cmp(..).expect("finite times")` and
+        // panic; a corrupt trace must surface as Err instead.
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("ENV 1\nSTART 0 0 0\nRSS {bad} 1 -60\n");
+            let err = parse_session_trace(&text).unwrap_err();
+            assert!(err.contains("line 3"), "{err}");
+        }
+        let err = parse_session_trace("ENV 1\nSTART 0 0 NaN\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
     }
 
     #[test]

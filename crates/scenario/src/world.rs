@@ -104,11 +104,7 @@ impl Session {
             .iter()
             .flat_map(|(&id, ts)| ts.t.iter().zip(&ts.v).map(move |(&t, &v)| (id, t, v)))
             .collect();
-        stream.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite times")
-                .then(a.0 .0.cmp(&b.0 .0))
-        });
+        stream.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0 .0.cmp(&b.0 .0)));
         stream
     }
 
@@ -221,7 +217,7 @@ pub fn simulate_session(
         let mut adv = Advertiser::new(config.advertiser, b.id, config.seed ^ (0xAD0 + k as u64));
         events.extend(adv.events_until(duration));
     }
-    events.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+    events.sort_by(|a, b| a.t.total_cmp(&b.t));
 
     // One RF link per beacon, plus per-beacon TX instability RNG. All
     // links share one geometry-driven shadowing field so co-located
@@ -551,6 +547,22 @@ mod tests {
         for (&id, ts) in &s.rss {
             let times: Vec<f64> = stream.iter().filter(|e| e.0 == id).map(|e| e.1).collect();
             assert_eq!(times, ts.t, "beacon {id} series mangled");
+        }
+    }
+
+    #[test]
+    fn interleaved_rss_tolerates_non_finite_times() {
+        // A NaN capture timestamp (e.g. from a corrupt on-device log)
+        // used to panic the merge sort; total_cmp orders it after every
+        // finite time instead.
+        let mut s = one_beacon_session(9);
+        let ts = s.rss.get_mut(&BeaconId(1)).unwrap();
+        ts.t.push(f64::NAN);
+        ts.v.push(-60.0);
+        let stream = s.interleaved_rss();
+        assert!(stream.last().unwrap().1.is_nan(), "NaN must sort last");
+        for w in stream[..stream.len() - 1].windows(2) {
+            assert!(w[0].1 <= w[1].1, "finite prefix out of order");
         }
     }
 

@@ -7,7 +7,9 @@
 //! never a panic.
 
 use locble_ble::BeaconId;
-use locble_core::{FitMethod, LocationEstimate, StreamingState};
+use locble_core::{
+    BackendState, FingerprintState, FitMethod, LocationEstimate, ParticleState, StreamingState,
+};
 use locble_engine::{Advert, BeaconSessionState, EngineState, EngineStats, SessionState};
 use locble_geom::{EnvClass, TimedPoint, Trajectory, Vec2};
 use locble_motion::{DetectedTurn, MotionTrack, StepResult};
@@ -94,21 +96,27 @@ fn put_estimate(out: &mut Vec<u8>, e: &LocationEstimate) {
         FitMethod::Anchored => 2,
         FitMethod::Leg => 3,
         FitMethod::Gradient => 4,
+        FitMethod::Particle => 5,
+        FitMethod::Fingerprint => 6,
     });
     put_f64(out, e.residual_db);
 }
 
-fn put_streaming(out: &mut Vec<u8>, s: &StreamingState) {
-    put_f64s(out, &s.series_t);
-    put_f64s(out, &s.series_v);
-    put_u64(out, s.restarts as u64);
-    match &s.current {
+fn put_estimate_opt(out: &mut Vec<u8>, e: &Option<LocationEstimate>) {
+    match e {
         Some(e) => {
             out.push(1);
             put_estimate(out, e);
         }
         None => out.push(0),
     }
+}
+
+fn put_streaming(out: &mut Vec<u8>, s: &StreamingState) {
+    put_f64s(out, &s.series_t);
+    put_f64s(out, &s.series_v);
+    put_u64(out, s.restarts as u64);
+    put_estimate_opt(out, &s.current);
     put_u64(out, s.refit_stride as u64);
     put_u64(out, s.batches_since_refit as u64);
     out.push(env_byte(s.env_current));
@@ -118,6 +126,47 @@ fn put_streaming(out: &mut Vec<u8>, s: &StreamingState) {
             put_u64(out, votes as u64);
         }
         None => out.push(0),
+    }
+}
+
+fn put_particle(out: &mut Vec<u8>, s: &ParticleState) {
+    put_f64s(out, &s.xs);
+    put_f64s(out, &s.ys);
+    put_f64s(out, &s.log_w);
+    put_u64(out, s.rng);
+    put_u64(out, s.batches);
+    put_u64(out, s.samples);
+    put_u64(out, s.resamples);
+    put_estimate_opt(out, &s.current);
+}
+
+fn put_fingerprint(out: &mut Vec<u8>, s: &FingerprintState) {
+    put_f64s(out, &s.series_t);
+    put_f64s(out, &s.series_v);
+    put_u64(out, s.refit_stride as u64);
+    put_u64(out, s.batches_since_refit as u64);
+    put_u64(out, s.batches);
+    put_estimate_opt(out, &s.current);
+}
+
+/// Serializes a backend-tagged session state: one discriminant byte,
+/// then the backend's own payload. The tag is what lets restore refuse
+/// a snapshot exported under a different backend with a typed error
+/// instead of misreading bytes.
+fn put_backend_state(out: &mut Vec<u8>, s: &BackendState) {
+    match s {
+        BackendState::Streaming(s) => {
+            out.push(1);
+            put_streaming(out, s);
+        }
+        BackendState::Particle(s) => {
+            out.push(2);
+            put_particle(out, s);
+        }
+        BackendState::Fingerprint(s) => {
+            out.push(3);
+            put_fingerprint(out, s);
+        }
     }
 }
 
@@ -174,7 +223,7 @@ pub fn put_engine_state(out: &mut Vec<u8>, state: &EngineState) {
         match &s.session {
             Some(b) => {
                 out.push(1);
-                put_streaming(out, &b.streaming);
+                put_backend_state(out, &b.estimator);
                 put_f64s(out, &b.batch_t);
                 put_f64s(out, &b.batch_v);
                 put_f64(out, b.batch_start);
@@ -300,6 +349,8 @@ impl<'a> Reader<'a> {
             2 => FitMethod::Anchored,
             3 => FitMethod::Leg,
             4 => FitMethod::Gradient,
+            5 => FitMethod::Particle,
+            6 => FitMethod::Fingerprint,
             _ => {
                 return Err(CodecError::Malformed {
                     context: "fit method",
@@ -320,6 +371,16 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn estimate_opt(&mut self) -> Result<Option<LocationEstimate>, CodecError> {
+        match self.u8("estimate flag")? {
+            0 => Ok(None),
+            1 => Ok(Some(self.estimate()?)),
+            _ => Err(CodecError::Malformed {
+                context: "estimate flag",
+            }),
+        }
+    }
+
     fn streaming(&mut self) -> Result<StreamingState, CodecError> {
         let series_t = self.f64s("series_t")?;
         let series_v = self.f64s("series_v")?;
@@ -329,15 +390,7 @@ impl<'a> Reader<'a> {
             });
         }
         let restarts = self.u64("restarts")? as usize;
-        let current = match self.u8("estimate flag")? {
-            0 => None,
-            1 => Some(self.estimate()?),
-            _ => {
-                return Err(CodecError::Malformed {
-                    context: "estimate flag",
-                })
-            }
-        };
+        let current = self.estimate_opt()?;
         let refit_stride = self.u64("refit_stride")? as usize;
         let batches_since_refit = self.u64("batches_since_refit")? as usize;
         let env_current = self.env("env_current")?;
@@ -367,6 +420,57 @@ impl<'a> Reader<'a> {
             env_current,
             env_pending,
         })
+    }
+
+    fn particle(&mut self) -> Result<ParticleState, CodecError> {
+        let xs = self.f64s("particle xs")?;
+        let ys = self.f64s("particle ys")?;
+        let log_w = self.f64s("particle log_w")?;
+        if xs.len() != ys.len() || xs.len() != log_w.len() {
+            return Err(CodecError::Malformed {
+                context: "particle cloud length mismatch",
+            });
+        }
+        Ok(ParticleState {
+            xs,
+            ys,
+            log_w,
+            rng: self.u64("particle rng")?,
+            batches: self.u64("particle batches")?,
+            samples: self.u64("particle samples")?,
+            resamples: self.u64("particle resamples")?,
+            current: self.estimate_opt()?,
+        })
+    }
+
+    fn fingerprint(&mut self) -> Result<FingerprintState, CodecError> {
+        let series_t = self.f64s("fingerprint series_t")?;
+        let series_v = self.f64s("fingerprint series_v")?;
+        if series_t.len() != series_v.len() {
+            return Err(CodecError::Malformed {
+                context: "fingerprint series length mismatch",
+            });
+        }
+        Ok(FingerprintState {
+            series_t,
+            series_v,
+            refit_stride: self.u64("fingerprint refit_stride")? as usize,
+            batches_since_refit: self.u64("fingerprint batches_since_refit")? as usize,
+            batches: self.u64("fingerprint batches")?,
+            current: self.estimate_opt()?,
+        })
+    }
+
+    /// Decodes a backend-tagged session state (see `put_backend_state`).
+    fn backend_state(&mut self) -> Result<BackendState, CodecError> {
+        match self.u8("backend tag")? {
+            1 => Ok(BackendState::Streaming(self.streaming()?)),
+            2 => Ok(BackendState::Particle(self.particle()?)),
+            3 => Ok(BackendState::Fingerprint(self.fingerprint()?)),
+            _ => Err(CodecError::Malformed {
+                context: "backend tag",
+            }),
+        }
     }
 
     fn motion(&mut self) -> Result<MotionTrack, CodecError> {
@@ -438,7 +542,7 @@ impl<'a> Reader<'a> {
             let session = match self.u8("session flag")? {
                 0 => None,
                 1 => {
-                    let streaming = self.streaming()?;
+                    let estimator = self.backend_state()?;
                     let batch_t = self.f64s("batch_t")?;
                     let batch_v = self.f64s("batch_v")?;
                     if batch_t.len() != batch_v.len() {
@@ -447,7 +551,7 @@ impl<'a> Reader<'a> {
                         });
                     }
                     Some(BeaconSessionState {
-                        streaming,
+                        estimator,
                         batch_t,
                         batch_v,
                         batch_start: self.f64("batch_start")?,

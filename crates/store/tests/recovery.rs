@@ -364,6 +364,104 @@ fn duplicate_adverts_replay_exactly_once_each() {
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
+/// Kill-and-recover with a non-default estimation backend: the
+/// backend-tagged session state must survive the snapshot codec and
+/// continue bit-identically, exactly like the streaming default.
+fn backend_crash_recover(tag: &str, backend: locble_core::BackendSpec) {
+    let backend_config = || EngineConfig {
+        backend: backend.clone(),
+        ..config()
+    };
+    let (adverts, motion) = fleet_adverts(6, 21);
+    let crash_at = adverts.len() / 2;
+    let dir = temp_dir(tag);
+    {
+        let mut store =
+            SessionStore::open(&dir, FsyncPolicy::Never, Obs::noop()).expect("open store");
+        let mut engine = Engine::new(backend_config(), estimator(), Obs::noop());
+        engine.set_motion(motion.clone());
+        for chunk in adverts[..crash_at].chunks(CHUNK) {
+            store.append(chunk).expect("wal append");
+            engine.ingest_all(chunk);
+        }
+        engine.process();
+        store.checkpoint(&engine).expect("checkpoint");
+        // Crash: drop everything.
+    }
+    let (_store, mut engine, report) = SessionStore::recover(
+        &dir,
+        FsyncPolicy::Never,
+        backend_config(),
+        estimator(),
+        Obs::noop(),
+    )
+    .expect("recover");
+    assert!(report.snapshot_found, "{tag}: snapshot must be found");
+    for chunk in adverts[crash_at..].chunks(CHUNK) {
+        engine.ingest_all(chunk);
+    }
+    engine.finish();
+
+    let mut reference = Engine::new(backend_config(), estimator(), Obs::noop());
+    reference.set_motion(motion.clone());
+    reference.ingest_all(&adverts);
+    reference.finish();
+    assert_engines_match(tag, &engine, &reference);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn particle_sessions_snapshot_and_recover_bit_identically() {
+    backend_crash_recover(
+        "particle-backend",
+        locble_core::BackendSpec::Particle(locble_core::ParticleConfig::default()),
+    );
+}
+
+#[test]
+fn fingerprint_sessions_snapshot_and_recover_bit_identically() {
+    backend_crash_recover(
+        "fingerprint-backend",
+        locble_core::BackendSpec::Fingerprint(locble_core::FingerprintConfig::default()),
+    );
+}
+
+#[test]
+fn mismatched_backend_is_rejected_not_garbled() {
+    let (adverts, motion) = fleet_adverts(4, 13);
+    let dir = temp_dir("backend-mismatch");
+    let particle = EngineConfig {
+        backend: locble_core::BackendSpec::Particle(locble_core::ParticleConfig::default()),
+        ..config()
+    };
+    {
+        let mut store =
+            SessionStore::open(&dir, FsyncPolicy::Never, Obs::noop()).expect("open store");
+        let mut engine = Engine::new(particle, estimator(), Obs::noop());
+        engine.set_motion(motion.clone());
+        store.append(&adverts).expect("append");
+        engine.ingest_all(&adverts);
+        engine.process();
+        store.checkpoint(&engine).expect("checkpoint");
+    }
+    // Recover with the default (streaming) backend: the tagged session
+    // states must be refused with the typed mismatch, not misread.
+    let err = SessionStore::recover(&dir, FsyncPolicy::Never, config(), estimator(), Obs::noop())
+        .err()
+        .expect("backend mismatch must fail");
+    assert!(
+        matches!(
+            err,
+            locble_store::RecoverError::Restore(locble_engine::RestoreError::BackendMismatch {
+                expected: locble_core::BackendKind::Streaming,
+                found: locble_core::BackendKind::Particle,
+            })
+        ),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
 #[test]
 fn mismatched_shard_count_is_rejected_not_garbled() {
     let (adverts, motion) = fleet_adverts(4, 13);

@@ -6,7 +6,7 @@
 #
 #   scripts/bench_compare.sh [--tolerance PCT] [--baseline-dir DIR] [FILE...]
 #
-# Defaults: all four BENCH files, 30% tolerance (single-core CI boxes
+# Defaults: all five BENCH files, 30% tolerance (single-core CI boxes
 # are noisy; the hard floors — 1M adverts/s, 5x speedup, 3% overhead —
 # are enforced separately by the generators themselves). A file with no
 # committed baseline (first PR that adds it) is reported and skipped,
@@ -27,7 +27,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 if [ ${#files[@]} -eq 0 ]; then
-  files=(BENCH_cluster.json BENCH_obs.json BENCH_refit.json BENCH_serve.json)
+  files=(BENCH_backends.json BENCH_cluster.json BENCH_obs.json BENCH_refit.json BENCH_serve.json)
 fi
 
 status=0
@@ -53,6 +53,7 @@ base = json.loads(os.environ["BASELINE_JSON"])
 # Headline higher-is-better metrics per experiment. Paths use dots for
 # objects and integers for array indices.
 RATCHET = {
+    "backends": ["streaming_batches_per_second"],
     "cluster": ["adverts_per_sec"],
     "obs": [
         "noop_throughput_adverts_per_second",

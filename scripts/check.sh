@@ -57,6 +57,21 @@ grep -q "search speedup >= 5x               true" <<<"$refit_report" \
 test -s BENCH_refit.json \
   || { echo "refit smoke failed: BENCH_refit.json missing or empty"; exit 1; }
 
+echo "==> backend shootout smoke (release harness, per-backend accuracy/cost + BENCH_backends.json)"
+backends_report="$(cargo run --release -q -p locble-bench --bin harness -- backends --backends-json BENCH_backends.json)"
+grep -q "default backend bit-identical      true" <<<"$backends_report" \
+  || { echo "backend shootout failed: boxed default drifted from concrete StreamingEstimator"; echo "$backends_report"; exit 1; }
+grep -q "default overhead within 1.5x       true" <<<"$backends_report" \
+  || { echo "backend shootout failed: trait-object overhead above tolerance"; echo "$backends_report"; exit 1; }
+test -s BENCH_backends.json \
+  || { echo "backend shootout failed: BENCH_backends.json missing or empty"; exit 1; }
+grep -q '"default_bit_identical":true' BENCH_backends.json \
+  || { echo "backend shootout failed: bit-identity gate false in JSON"; cat BENCH_backends.json; exit 1; }
+grep -q '"particle_reconciles":true' BENCH_backends.json \
+  || { echo "backend shootout failed: particle backend did not reconcile"; cat BENCH_backends.json; exit 1; }
+grep -q '"fingerprint_reconciles":true' BENCH_backends.json \
+  || { echo "backend shootout failed: fingerprint backend did not reconcile"; cat BENCH_backends.json; exit 1; }
+
 echo "==> obs smoke (release obsctl: traced batch, introspection scrape, flight dump, 3% overhead gate + BENCH_obs.json)"
 obs_report="$(cargo run --release -q -p locble-bench --bin obsctl -- smoke --json BENCH_obs.json)"
 grep -q "obs smoke: PASS" <<<"$obs_report" \
