@@ -34,10 +34,23 @@
 //! Table-1 grid, plus the boxed-default bit-identity and overhead gates
 //! — see DESIGN.md §16) and writes it as a JSON artifact;
 //! `scripts/check.sh` archives it as `BENCH_backends.json`.
+//!
+//! With `--hotpath-json <path>`, the harness prices the vectorized hot
+//! loops against their preserved scalar references and the warm
+//! backends' allocation budget (see DESIGN.md §17) and writes it as a
+//! JSON artifact; `scripts/check.sh` archives it as
+//! `BENCH_hotpath.json`.
 
 use locble_bench::{run_experiment, ALL_EXPERIMENTS};
 use serde::{Serialize, Value};
 use std::time::Instant;
+
+/// Counting allocator: lets the `hotpath` experiment (and its
+/// `BENCH_hotpath.json` artifact) report real allocs-per-batch numbers
+/// instead of zeros. Counting is one thread-local increment per alloc —
+/// noise for every other experiment.
+#[global_allocator]
+static ALLOC: locble_bench::util::CountingAlloc = locble_bench::util::CountingAlloc;
 
 fn main() {
     // The 10k-connection serve arm re-executes this binary as the
@@ -51,6 +64,7 @@ fn main() {
     let refit_json_path = take_flag_value(&mut args, "--refit-json");
     let serve_json_path = take_flag_value(&mut args, "--serve-json");
     let backends_json_path = take_flag_value(&mut args, "--backends-json");
+    let hotpath_json_path = take_flag_value(&mut args, "--hotpath-json");
     if let Some(threads) = take_flag_value(&mut args, "--threads") {
         match threads.parse::<usize>() {
             Ok(n) if n > 0 => locble_bench::util::set_harness_threads(n),
@@ -71,7 +85,7 @@ fn main() {
     }
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!(
-            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--serve-json <path>] [--backends-json <path>] [--threads <n>] [--connections <n>]"
+            "usage: harness <exp-id>... | all | list  [--metrics <path>] [--refit-json <path>] [--serve-json <path>] [--backends-json <path>] [--hotpath-json <path>] [--threads <n>] [--connections <n>]"
         );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(2);
@@ -126,6 +140,15 @@ fn main() {
             Ok(()) => eprintln!("backend shootout JSON written to {path}"),
             Err(e) => {
                 eprintln!("failed to write backend shootout JSON to {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = hotpath_json_path {
+        match std::fs::write(&path, locble_bench::experiments::hotpath::json_report()) {
+            Ok(()) => eprintln!("hotpath benchmark JSON written to {path}"),
+            Err(e) => {
+                eprintln!("failed to write hotpath benchmark JSON to {path}: {e}");
                 failed = true;
             }
         }

@@ -32,6 +32,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig15",
     "sec7_8",
     "fleet",
+    "hotpath",
     "refit",
     "serve",
     "obs",
@@ -62,6 +63,7 @@ pub fn run_experiment(id: &str) -> Option<String> {
         "fig15" => fig15::run(),
         "sec7_8" => sec7_8::run(),
         "fleet" => fleet::run(),
+        "hotpath" => hotpath::run(),
         "refit" => refit::run(),
         "serve" => serve::run(),
         "obs" => obs::run(),

@@ -9,8 +9,54 @@ use locble_scenario::{
     environment_by_index, localize, plan_l_walk, train_default_envaware, BeaconSpec, RunOutcome,
     SessionConfig,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// Heap allocations performed by the current thread while
+    /// [`CountingAlloc`] is installed (const-init: reading it never
+    /// allocates, so it is safe inside the allocator itself).
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A [`GlobalAlloc`] wrapper around [`System`] that counts every
+/// allocation (and reallocating resize) on the calling thread. Install
+/// it per binary with `#[global_allocator]`; the zero-alloc regression
+/// tests and the `hotpath` experiment read the counter around a
+/// steady-state section to prove the hot paths stay off the heap.
+/// Frees are deliberately not counted: a steady-state loop that
+/// allocates and frees per batch still churns the allocator.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Allocations counted on this thread so far. Monotonic; diff two reads
+/// around the section under test. Always 0 when [`CountingAlloc`] is
+/// not the binary's global allocator.
+pub fn alloc_count() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
 
 /// Worker-thread count experiments should use for concurrent engines
 /// (harness `--threads N`); 0 until configured.

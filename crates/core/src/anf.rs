@@ -50,6 +50,24 @@ impl AdaptiveNoiseFilter {
         AdaptiveNoiseFilter::new(if rate > 2.0 { rate } else { 9.0 })
     }
 
+    /// Retunes an existing filter for `series` exactly as
+    /// [`for_series`](Self::for_series) would design a fresh one, but in
+    /// place: the Butterworth section storage is reused and nothing
+    /// happens at all when the measured rate is unchanged — the
+    /// steady-state refit path of a session whose sample rate is stable.
+    pub fn redesign_for_series(&mut self, series: &TimeSeries) {
+        let rate = series.mean_rate();
+        let rate = if rate > 2.0 { rate } else { 9.0 };
+        if rate == self.sample_rate_hz {
+            return;
+        }
+        let mut design = Butterworth::paper_default(rate);
+        design.cutoff_hz = design.cutoff_hz.min(0.4 * rate);
+        design.design_into(&mut self.bf);
+        self.akf.reset();
+        self.sample_rate_hz = rate;
+    }
+
     /// Sample rate the filter was designed for.
     pub fn sample_rate_hz(&self) -> f64 {
         self.sample_rate_hz
@@ -93,8 +111,26 @@ impl AdaptiveNoiseFilter {
     /// group-delay offset. The AKF fusion is instantaneous and applies
     /// unchanged.
     pub fn filter_zero_phase(&mut self, raw: &[f64]) -> Vec<f64> {
-        let (_, bf_zero) = self.butterworth_zero_phase(raw);
-        self.akf.filter(raw, &bf_zero)
+        let mut forward = Vec::new();
+        let mut out = Vec::new();
+        self.filter_zero_phase_into(raw, &mut forward, &mut out);
+        out
+    }
+
+    /// [`filter_zero_phase`](Self::filter_zero_phase) into caller-owned
+    /// buffers: `forward` receives the causal Butterworth pass, `out` the
+    /// fused zero-phase result. Both are cleared first and their capacity
+    /// reused, so a warm caller performs no heap allocation.
+    pub fn filter_zero_phase_into(
+        &mut self,
+        raw: &[f64],
+        forward: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        self.butterworth_zero_phase_into(raw, forward, out);
+        for (i, &x) in raw.iter().enumerate() {
+            out[i] = self.akf.step(x, out[i]);
+        }
     }
 
     /// [`filter_zero_phase`](Self::filter_zero_phase) with diagnostics:
@@ -104,16 +140,35 @@ impl AdaptiveNoiseFilter {
     /// of the causal Butterworth stage that the zero-phase pass removes).
     /// With a disabled handle this is the plain zero-phase filter.
     pub fn filter_zero_phase_traced(&mut self, raw: &[f64], obs: &Obs) -> Vec<f64> {
+        let mut forward = Vec::new();
+        let mut out = Vec::new();
+        self.filter_zero_phase_traced_into(raw, obs, &mut forward, &mut out);
+        out
+    }
+
+    /// [`filter_zero_phase_traced`](Self::filter_zero_phase_traced) into
+    /// caller-owned buffers (see
+    /// [`filter_zero_phase_into`](Self::filter_zero_phase_into)).
+    pub fn filter_zero_phase_traced_into(
+        &mut self,
+        raw: &[f64],
+        obs: &Obs,
+        forward: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
         if !obs.enabled() {
-            return self.filter_zero_phase(raw);
+            self.filter_zero_phase_into(raw, forward, out);
+            return;
         }
-        let (forward, bf_zero) = self.butterworth_zero_phase(raw);
-        let mut fused = Vec::with_capacity(raw.len());
+        self.butterworth_zero_phase_into(raw, forward, out);
+        // Measure the causal lag before the in-place AKF fusion below
+        // overwrites the zero-phase output.
+        let lag_s = causal_lag_samples(forward, out) as f64 / self.sample_rate_hz;
         let mut sum_abs = 0.0;
         let mut max_abs: f64 = 0.0;
         let mut sum_boost = 0.0;
-        for (&x, &b) in raw.iter().zip(&bf_zero) {
-            fused.push(self.akf.step(x, b));
+        for (i, &x) in raw.iter().enumerate() {
+            out[i] = self.akf.step(x, out[i]);
             let innov = self.akf.last_innovation().abs();
             obs.histogram_observe("anf.innovation_abs_db", innov);
             sum_abs += innov;
@@ -121,7 +176,6 @@ impl AdaptiveNoiseFilter {
             sum_boost += self.akf.last_boost();
         }
         let n = raw.len().max(1) as f64;
-        let lag_s = causal_lag_samples(&forward, &bf_zero) as f64 / self.sample_rate_hz;
         obs.event(
             "core.anf",
             "zero_phase_filter",
@@ -133,22 +187,29 @@ impl AdaptiveNoiseFilter {
                 ("bf_lag_s", lag_s.into()),
             ],
         );
-        fused
     }
 
-    /// Runs the Butterworth stage forward and backward, returning the
-    /// causal forward output (for lag diagnostics) and the zero-phase
-    /// output. Leaves the AKF reset and ready to fuse.
-    fn butterworth_zero_phase(&mut self, raw: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    /// Runs the Butterworth stage forward and backward into the given
+    /// buffers: `forward` gets the causal pass (kept for lag
+    /// diagnostics), `out` the zero-phase output. Leaves the AKF reset
+    /// and ready to fuse. The backward pass runs in place over the
+    /// reversed forward output, so the values match the allocating
+    /// formulation bit for bit.
+    fn butterworth_zero_phase_into(
+        &mut self,
+        raw: &[f64],
+        forward: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
         self.reset();
-        let forward = self.bf.filter(raw);
+        self.bf.filter_into(raw, forward);
         self.bf.reset();
-        let mut rev: Vec<f64> = forward.iter().rev().copied().collect();
-        rev = self.bf.filter(&rev);
-        let bf_zero: Vec<f64> = rev.into_iter().rev().collect();
+        out.clear();
+        out.extend(forward.iter().rev().copied());
+        self.bf.filter_in_place(out);
+        out.reverse();
         self.bf.reset();
         self.akf.reset();
-        (forward, bf_zero)
     }
 }
 
@@ -271,6 +332,34 @@ mod tests {
             let mut anf = AdaptiveNoiseFilter::new(10.0);
             assert_eq!(anf.filter_zero_phase_traced(&raw, &obs), expect);
         }
+    }
+
+    /// A session filter retuned in place must be indistinguishable from
+    /// the fresh per-estimate design it replaces, including on warm
+    /// (capacity-reusing) buffers.
+    #[test]
+    fn redesigned_filter_matches_fresh_design_bitwise() {
+        let (_, raw) = staircase(10.0, 86);
+        let t: Vec<f64> = (0..raw.len()).map(|i| i as f64 * 0.125).collect();
+        let series = TimeSeries::new(t, raw.clone());
+        let mut fresh = AdaptiveNoiseFilter::for_series(&series);
+        let expect = fresh.filter_zero_phase(&raw);
+
+        let mut reused = AdaptiveNoiseFilter::new(10.0);
+        reused.filter_zero_phase(&raw); // dirty the filter state
+        reused.redesign_for_series(&series);
+        assert_eq!(reused.sample_rate_hz(), 8.0);
+        let (mut fwd, mut out) = (Vec::new(), Vec::new());
+        reused.filter_zero_phase_into(&raw, &mut fwd, &mut out);
+        assert_eq!(out, expect);
+        // Second pass on the now-warm buffers: still identical.
+        reused.filter_zero_phase_into(&raw, &mut fwd, &mut out);
+        assert_eq!(out, expect);
+        // Same-rate redesign is a no-op.
+        reused.redesign_for_series(&series);
+        let mut again = Vec::new();
+        reused.filter_zero_phase_into(&raw, &mut fwd, &mut again);
+        assert_eq!(again, expect);
     }
 
     #[test]

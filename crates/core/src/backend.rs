@@ -145,6 +145,12 @@ pub trait Estimator: Send + fmt::Debug {
     /// snapshot. Fails with [`BackendMismatch`] when the snapshot's tag
     /// is a different backend; on error the session is left unchanged.
     fn restore_state(&mut self, state: BackendState) -> Result<(), BackendMismatch>;
+
+    /// Pre-grows internal buffers for `additional` more samples so a
+    /// warm session within that headroom ingests without allocating.
+    /// Backends whose working set is fixed-size (e.g. a particle cloud)
+    /// keep the no-op default.
+    fn reserve(&mut self, _additional_samples: usize) {}
 }
 
 impl Estimator for StreamingEstimator {
@@ -191,6 +197,10 @@ impl Estimator for StreamingEstimator {
                 found: other.kind(),
             }),
         }
+    }
+
+    fn reserve(&mut self, additional_samples: usize) {
+        StreamingEstimator::reserve(self, additional_samples);
     }
 }
 

@@ -43,18 +43,26 @@ pub fn estimation_confidence(
     if points.len() < 3 {
         return 0.0;
     }
-    let residuals: Vec<f64> = points
+    // Two passes recomputing the residual per point instead of
+    // materializing a Vec: this runs on every steady-state refit and
+    // must stay off the heap. Fold order matches the old collected
+    // form, so the result is bit-identical.
+    let residual = |pt: &RssPoint| {
+        let l = Vec2::new(position.x + pt.p, position.y + pt.q)
+            .norm()
+            .max(MIN_RANGE_M);
+        pt.rss - (gamma_dbm - 10.0 * exponent * l.log10())
+    };
+    let n = points.len() as f64;
+    let mu = points.iter().map(residual).sum::<f64>() / n;
+    let var = points
         .iter()
         .map(|pt| {
-            let l = Vec2::new(position.x + pt.p, position.y + pt.q)
-                .norm()
-                .max(MIN_RANGE_M);
-            pt.rss - (gamma_dbm - 10.0 * exponent * l.log10())
+            let r = residual(pt);
+            (r - mu) * (r - mu)
         })
-        .collect();
-    let n = residuals.len() as f64;
-    let mu = residuals.iter().sum::<f64>() / n;
-    let var = residuals.iter().map(|r| (r - mu) * (r - mu)).sum::<f64>() / n;
+        .sum::<f64>()
+        / n;
     // Physical noise floor: RSSI is quantized to 1 dB and chipset noise
     // never vanishes, so a residual spread below ~0.5 dB carries no
     // information about bias — without the floor a numerically perfect

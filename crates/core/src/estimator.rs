@@ -141,6 +141,46 @@ impl LocationEstimate {
     }
 }
 
+/// Reusable per-session buffers for the estimate hot path.
+///
+/// Owned by the session's [`FitSolver`] — the one per-session object the
+/// streaming layer already threads through every refit — so a warm refit
+/// runs the whole filter → compensate → fuse pipeline without heap
+/// allocation. Every buffer is cleared (capacity kept) on use; the arena
+/// survives [`FitSolver::clear`] so restarts keep their capacity too.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EstimatorScratch {
+    /// ANF output, then the compensated RSS fed to the regression.
+    pub(crate) filtered: Vec<f64>,
+    /// Zero-phase Butterworth forward pass (intermediate).
+    pub(crate) forward: Vec<f64>,
+    /// Per-sample EnvAware step compensation.
+    pub(crate) compensation: Vec<f64>,
+    /// Fused RSS/geometry points.
+    pub(crate) points: Vec<RssPoint>,
+    /// Observer-relative walk positions, parallel to `points`.
+    pub(crate) rel_positions: Vec<Vec2>,
+    /// The session's noise filter, redesigned in place when the sample
+    /// rate moves instead of being rebuilt per estimate.
+    pub(crate) anf: Option<AdaptiveNoiseFilter>,
+}
+
+impl EstimatorScratch {
+    /// Pre-sizes every buffer to hold `capacity` samples.
+    pub(crate) fn reserve(&mut self, capacity: usize) {
+        self.filtered
+            .reserve(capacity.saturating_sub(self.filtered.len()));
+        self.forward
+            .reserve(capacity.saturating_sub(self.forward.len()));
+        self.compensation
+            .reserve(capacity.saturating_sub(self.compensation.len()));
+        self.points
+            .reserve(capacity.saturating_sub(self.points.len()));
+        self.rel_positions
+            .reserve(capacity.saturating_sub(self.rel_positions.len()));
+    }
+}
+
 /// The Algorithm-1 estimator.
 #[derive(Debug, Clone)]
 pub struct Estimator {
@@ -238,6 +278,23 @@ impl Estimator {
         target_disp: Option<&Trajectory>,
         solver: &mut FitSolver,
     ) -> Option<LocationEstimate> {
+        // Detach the scratch arena from the solver so the filter/fusion
+        // buffers and the solver's Gram state can be borrowed
+        // independently below.
+        let mut scratch = std::mem::take(&mut solver.scratch);
+        let out = self.estimate_with_scratch(rss, observer, target_disp, solver, &mut scratch);
+        solver.scratch = scratch;
+        out
+    }
+
+    fn estimate_with_scratch(
+        &self,
+        rss: &TimeSeries,
+        observer: &MotionTrack,
+        target_disp: Option<&Trajectory>,
+        solver: &mut FitSolver,
+        scratch: &mut EstimatorScratch,
+    ) -> Option<LocationEstimate> {
         let mut span = self.obs.span("core.estimator", "estimate");
         span.field("samples", rss.len());
         if rss.len() < self.config.min_points {
@@ -246,12 +303,28 @@ impl Estimator {
         }
 
         // ANF (§4.2), zero-phase batch variant so smoothing does not
-        // shift readings relative to the motion timestamps.
-        let filtered: Vec<f64> = if self.config.use_anf {
-            AdaptiveNoiseFilter::for_series(rss).filter_zero_phase_traced(&rss.v, &self.obs)
+        // shift readings relative to the motion timestamps. The session's
+        // filter instance and output buffers are reused across refits;
+        // the filter is redesigned in place only when the estimated
+        // sample rate moves.
+        if self.config.use_anf {
+            let anf = match &mut scratch.anf {
+                Some(anf) => {
+                    anf.redesign_for_series(rss);
+                    anf
+                }
+                None => scratch.anf.insert(AdaptiveNoiseFilter::for_series(rss)),
+            };
+            anf.filter_zero_phase_traced_into(
+                &rss.v,
+                &self.obs,
+                &mut scratch.forward,
+                &mut scratch.filtered,
+            );
         } else {
-            rss.v.clone()
-        };
+            scratch.filtered.clear();
+            scratch.filtered.extend_from_slice(&rss.v);
+        }
 
         // EnvAware (§4.1): when the propagation environment changes
         // mid-measurement, one (Γ, n) no longer describes the whole
@@ -265,13 +338,17 @@ impl Estimator {
         // harmless; a passer-by's dip appears as two boundaries and is
         // cancelled. The reported regime is the one covering the most
         // samples; the anchored-fit Γ refers to the *first* regime.
-        let mut compensation: Vec<f64> = vec![0.0; rss.len()];
+        scratch.compensation.clear();
+        scratch.compensation.resize(rss.len(), 0.0);
         let mut env = None;
         let mut compensated = false;
         if self.config.use_envaware {
             if let Some(envaware) = &self.envaware {
                 let mut detector = EnvChangeDetector::new(self.config.env_confirm_windows);
-                // Regime timeline: (start_time, regime).
+                // Regime timeline: (start_time, regime). Allocated only
+                // when an EnvAware model is attached — the classify pass
+                // below already allocates per window, so this branch is
+                // outside the zero-alloc steady-state contract.
                 let mut timeline: Vec<(f64, EnvClass)> = Vec::new();
                 for (t, class) in envaware.classify_series(rss) {
                     if let Some(new_regime) = detector.push(class) {
@@ -311,10 +388,11 @@ impl Estimator {
                         &[]
                     };
                     for &(tb, _) in boundaries {
+                        let filtered = &scratch.filtered;
                         let side = |lo: f64, hi: f64| -> Vec<f64> {
                             rss.t
                                 .iter()
-                                .zip(&filtered)
+                                .zip(filtered)
                                 .filter(|(&t, _)| t >= lo && t < hi)
                                 .map(|(_, &v)| v)
                                 .collect()
@@ -330,7 +408,7 @@ impl Estimator {
                         compensated = true;
                         for (i, &t) in rss.t.iter().enumerate() {
                             if t >= tb {
-                                compensation[i] = cumulative;
+                                scratch.compensation[i] = cumulative;
                             }
                         }
                     }
@@ -352,61 +430,49 @@ impl Estimator {
                 }
             }
         }
-        let filtered: Vec<f64> = filtered
-            .iter()
-            .zip(&compensation)
-            .map(|(v, c)| v + c)
-            .collect();
-        let (cutoff_t, cutoff_hi) = (f64::NEG_INFINITY, f64::INFINITY);
-
-        // Fuse RSS with motion by timestamp (Algorithm 1 line 8).
-        let build_points = |cut: f64| -> (Vec<RssPoint>, Vec<Vec2>, Vec<f64>) {
-            let mut pts = Vec::new();
-            let mut obs_positions = Vec::new();
-            let mut obs_times = Vec::new();
-            for (&t, &v) in rss.t.iter().zip(&filtered) {
-                if t < cut || t >= cutoff_hi {
-                    continue;
-                }
-                let Some(obs) = observer.displacement_at(t) else {
-                    continue;
-                };
-                let tgt = match target_disp {
-                    Some(traj) => match traj.displacement_at(t) {
-                        Some(d) => d,
-                        None => continue,
-                    },
-                    None => Vec2::ZERO,
-                };
-                pts.push(RssPoint::from_displacements(tgt, obs, v));
-                obs_positions.push(obs - tgt); // relative observer motion
-                obs_times.push(t);
-            }
-            (pts, obs_positions, obs_times)
-        };
-
-        let (mut points, mut rel_positions, _times) = build_points(cutoff_t);
-        if points.len() < self.config.min_points {
-            // Not enough post-change data: fall back to the full trace.
-            let all = build_points(f64::NEG_INFINITY);
-            points = all.0;
-            rel_positions = all.1;
-            if points.len() < self.config.min_points {
-                span.field("outcome", "too_few_fused_points");
-                return None;
-            }
+        // Apply the boundary compensation in place (adding the zero
+        // compensation of the common uncompensated case is bit-exact).
+        for (v, c) in scratch.filtered.iter_mut().zip(&scratch.compensation) {
+            *v += *c;
         }
+
+        // Fuse RSS with motion by timestamp (Algorithm 1 line 8), into
+        // the session's reusable point buffers.
+        scratch.points.clear();
+        scratch.rel_positions.clear();
+        for (&t, &v) in rss.t.iter().zip(&scratch.filtered) {
+            let Some(obs) = observer.displacement_at(t) else {
+                continue;
+            };
+            let tgt = match target_disp {
+                Some(traj) => match traj.displacement_at(t) {
+                    Some(d) => d,
+                    None => continue,
+                },
+                None => Vec2::ZERO,
+            };
+            scratch
+                .points
+                .push(RssPoint::from_displacements(tgt, obs, v));
+            scratch.rel_positions.push(obs - tgt); // relative observer motion
+        }
+        if scratch.points.len() < self.config.min_points {
+            span.field("outcome", "too_few_fused_points");
+            return None;
+        }
+        let (points, rel_positions): (&[RssPoint], &[Vec2]) =
+            (&scratch.points, &scratch.rel_positions);
 
         // Synchronize the shared-factorization solver with the fused
         // points (incremental when this is a streaming refit of a grown
         // session), then reborrow immutably: every rung of the ladder
         // below answers its exponent candidates from the same cached
         // Gram factorizations.
-        solver.ensure(&points);
+        solver.ensure(points);
         let solver = &*solver;
 
         // Geometry: joint fit for 2-D paths, leg fit for collinear ones.
-        let collinear = perpendicular_spread(&rel_positions) < self.config.collinear_threshold_m;
+        let collinear = perpendicular_spread(rel_positions) < self.config.collinear_threshold_m;
         let fit = if collinear {
             None
         } else {
@@ -442,12 +508,12 @@ impl Estimator {
                 })
         };
         let legs = || {
-            self.leg_fallback(&rel_positions, &points)
+            self.leg_fallback(rel_positions, points)
                 .filter(|leg| plausible(leg.0, leg.3))
                 .map(|(p, m, n, g)| (p, m, n, g, FitMethod::Leg))
         };
         let gradient = || {
-            self.gradient_fallback(&rel_positions, &points, env, compensated)
+            self.gradient_fallback(rel_positions, points, env, compensated)
                 .map(|(p, m, n, g)| (p, m, n, g, FitMethod::Gradient))
         };
         let (mut position, mut mirror, mut exponent, mut gamma, mut method) = match &fit {
@@ -489,8 +555,8 @@ impl Estimator {
             }
         }
 
-        let confidence = estimation_confidence(&points, position, gamma, exponent);
-        let residual_db = rms_residual_db(&points, position, gamma, exponent);
+        let confidence = estimation_confidence(points, position, gamma, exponent);
+        let residual_db = rms_residual_db(points, position, gamma, exponent);
         span.field("outcome", "ok");
         span.field("method", method.name());
         span.field("points", points.len());
@@ -519,6 +585,10 @@ impl Estimator {
         rel_positions: &[Vec2],
         points: &[RssPoint],
     ) -> Option<(Vec2, Option<Vec2>, f64, f64)> {
+        // Cold path: the leg rung only runs when the free joint fit is
+        // unusable (collinear walk or ladder descent), never in the
+        // steady-state 2-D refit loop, so these per-call buffers are
+        // amortized away.
         let rss: Vec<f64> = points.iter().map(|p| p.rss).collect();
         // The leg frame and Gram matrix are exponent-independent: build
         // them once, then every candidate of the search is a cheap
@@ -555,20 +625,30 @@ impl Estimator {
         // With EnvAware's verdict, anchor to that class; otherwise sweep
         // all three and let the residual decide. When the estimator has
         // already compensated per-regime blockage out of the RSS, the
-        // anchor is the clear-path calibration constant.
-        let gammas: Vec<f64> = if compensated {
-            vec![-59.0]
+        // anchor is the clear-path calibration constant. Stack-allocated:
+        // under persistent noise the free fit stays rejected and this
+        // rung becomes the steady-state refit path, which must stay off
+        // the heap.
+        let mut gamma_buf = [0.0f64; EnvClass::ALL.len()];
+        let gammas: &[f64] = if compensated {
+            gamma_buf[0] = -59.0;
+            &gamma_buf[..1]
         } else {
             match env {
-                Some(class) => vec![-59.0 - class.typical_blockage_db()],
-                None => EnvClass::ALL
-                    .iter()
-                    .map(|c| -59.0 - c.typical_blockage_db())
-                    .collect(),
+                Some(class) => {
+                    gamma_buf[0] = -59.0 - class.typical_blockage_db();
+                    &gamma_buf[..1]
+                }
+                None => {
+                    for (g, c) in gamma_buf.iter_mut().zip(EnvClass::ALL.iter()) {
+                        *g = -59.0 - c.typical_blockage_db();
+                    }
+                    &gamma_buf[..]
+                }
             }
         };
         let mut best: Option<crate::regression::CircularFit> = None;
-        for &g in &gammas {
+        for &g in gammas {
             for k in 0..search.grid {
                 let n =
                     search.min + (search.max - search.min) * k as f64 / (search.grid - 1) as f64;

@@ -20,7 +20,7 @@
 use crate::estimator::{FitMethod, LocationEstimate};
 use crate::streaming::RssBatch;
 use locble_geom::Vec2;
-use locble_ml::{GramSolver, StandardScaler};
+use locble_ml::GramSolver;
 use locble_motion::MotionTrack;
 use locble_rf::MIN_RANGE_M;
 
@@ -74,11 +74,24 @@ pub struct FingerprintState {
     pub current: Option<LocationEstimate>,
 }
 
+/// Reusable per-refit buffers. Not part of [`FingerprintState`]: both
+/// vectors are recomputed from scratch on every fit (observer positions
+/// once per refit, the feature column once per candidate), so they
+/// carry no information across calls — only capacity.
+#[derive(Debug, Clone, Default)]
+struct FingerprintScratch {
+    /// Dead-reckoned observer position per accumulated sample.
+    observers: Vec<Vec2>,
+    /// Per-candidate log-distance feature column.
+    feats: Vec<f64>,
+}
+
 /// The kernel/fingerprint backend. See the module docs.
 #[derive(Debug, Clone)]
 pub struct FingerprintBackend {
     config: FingerprintConfig,
     state: FingerprintState,
+    scratch: FingerprintScratch,
 }
 
 /// One scored candidate: position, kernel score, fitted model.
@@ -113,7 +126,23 @@ impl FingerprintBackend {
                 batches: 0,
                 current: None,
             },
+            scratch: FingerprintScratch::default(),
         }
+    }
+
+    /// Pre-grows the series and the refit scratch for `additional` more
+    /// samples, so ingest and refits within that headroom stay off the
+    /// allocator.
+    pub fn reserve(&mut self, additional: usize) {
+        self.state.series_t.reserve(additional);
+        self.state.series_v.reserve(additional);
+        let total = self.state.series_t.len() + additional;
+        self.scratch
+            .observers
+            .reserve(total.saturating_sub(self.scratch.observers.len()));
+        self.scratch
+            .feats
+            .reserve(total.saturating_sub(self.scratch.feats.len()));
     }
 
     /// Sets the refit stride (clamped to at least 1), mirroring
@@ -130,20 +159,39 @@ impl FingerprintBackend {
 
     /// Fits `(Γ, n)` at one candidate and scores it with the Gaussian
     /// residual kernel. `None` when the fit is singular or the
-    /// exponent lands outside the physical band.
-    fn score_candidate(&self, pos: Vec2, observers: &[Vec2], rss: &[f64]) -> Option<Scored> {
+    /// exponent lands outside the physical band. `feats` is a reused
+    /// scratch column — the hot path allocates nothing per candidate.
+    fn score_candidate(
+        &self,
+        pos: Vec2,
+        observers: &[Vec2],
+        rss: &[f64],
+        feats: &mut Vec<f64>,
+    ) -> Option<Scored> {
         // Feature: log10 distance from the candidate to each observer
         // position, standardized so the 2×2 Gram system is
-        // well-conditioned whatever the geometry's scale.
-        let features: Vec<Vec<f64>> = observers
-            .iter()
-            .map(|o| vec![pos.distance(*o).max(MIN_RANGE_M).log10()])
-            .collect();
-        let scaler = StandardScaler::fit(&features);
+        // well-conditioned whatever the geometry's scale. The scaler
+        // math is inlined (same accumulation order as
+        // `StandardScaler::fit` on a 1-column feature matrix):
+        // μ = Σf/n, σ = √(Σ(f−μ)²/n), with the z-score divisor clamped
+        // to 1 for near-constant columns exactly as the scaler clamps.
+        feats.clear();
+        feats.extend(
+            observers
+                .iter()
+                .map(|o| pos.distance(*o).max(MIN_RANGE_M).log10()),
+        );
+        let n = rss.len() as f64;
+        let mu = feats.iter().sum::<f64>() / n;
+        let var = feats.iter().map(|&x| (x - mu) * (x - mu)).sum::<f64>();
+        // Unclamped moment: the (Γ, n) recovery below divides by it and
+        // must refuse a degenerate column rather than fake σ = 1.
+        let sigma = (var / n).sqrt();
+        let sd = if sigma < 1e-12 { 1.0 } else { sigma };
         let mut solver: GramSolver<2> = GramSolver::new();
         let mut rhs = [0.0f64; 2];
-        for (f, &v) in features.iter().zip(rss) {
-            let z = scaler.transform(f)[0];
+        for (&f, &v) in feats.iter().zip(rss) {
+            let z = (f - mu) / sd;
             let row = [1.0, z];
             solver.accumulate(&row);
             rhs[0] += v;
@@ -155,7 +203,6 @@ impl FingerprintBackend {
         let [a, b] = solver.solve(rhs)?;
         // rss = a + b·z with z = (log10 d − μ)/σ  ⇒  n = −b/(10σ),
         // Γ = a − bμ/σ.
-        let (mu, sigma) = scaler_moments(&scaler, &features);
         if sigma <= 0.0 {
             return None;
         }
@@ -165,15 +212,29 @@ impl FingerprintBackend {
         }
         let gamma_dbm = a - b * mu / sigma;
         let inv_two_bw_sq = 1.0 / (2.0 * self.config.kernel_bw_db * self.config.kernel_bw_db);
-        let mut kernel_sum = 0.0;
-        let mut sq = 0.0;
-        for (f, &v) in features.iter().zip(rss) {
-            let predicted = gamma_dbm - 10.0 * exponent * f[0];
-            let r = v - predicted;
+        // Hot loop: 4-lane unrolled kernel scoring. Lane sums combine in
+        // a fixed order, so the score is deterministic; the reordered
+        // summation is covered by the differential test below at 1e-12.
+        let len = feats.len();
+        let quads = len - len % 4;
+        let mut kernel4 = [0.0f64; 4];
+        let mut sq4 = [0.0f64; 4];
+        for i in (0..quads).step_by(4) {
+            for l in 0..4 {
+                let predicted = gamma_dbm - 10.0 * exponent * feats[i + l];
+                let r = rss[i + l] - predicted;
+                kernel4[l] += (-r * r * inv_two_bw_sq).exp();
+                sq4[l] += r * r;
+            }
+        }
+        let mut kernel_sum = (kernel4[0] + kernel4[1]) + (kernel4[2] + kernel4[3]);
+        let mut sq = (sq4[0] + sq4[1]) + (sq4[2] + sq4[3]);
+        for i in quads..len {
+            let predicted = gamma_dbm - 10.0 * exponent * feats[i];
+            let r = rss[i] - predicted;
             kernel_sum += (-r * r * inv_two_bw_sq).exp();
             sq += r * r;
         }
-        let n = rss.len() as f64;
         Some(Scored {
             pos,
             score: kernel_sum / n,
@@ -192,6 +253,7 @@ impl FingerprintBackend {
         step: f64,
         observers: &[Vec2],
         rss: &[f64],
+        feats: &mut Vec<f64>,
     ) -> Option<Scored> {
         let nx = (half_extent.x / step).ceil() as i64;
         let ny = (half_extent.y / step).ceil() as i64;
@@ -199,7 +261,7 @@ impl FingerprintBackend {
         for iy in -ny..=ny {
             for ix in -nx..=nx {
                 let pos = Vec2::new(center.x + ix as f64 * step, center.y + iy as f64 * step);
-                if let Some(s) = self.score_candidate(pos, observers, rss) {
+                if let Some(s) = self.score_candidate(pos, observers, rss, feats) {
                     if best.as_ref().is_none_or(|b| s.score > b.score) {
                         best = Some(s);
                     }
@@ -215,16 +277,20 @@ impl FingerprintBackend {
         if self.state.series_t.len() < self.config.min_samples {
             return;
         }
-        let observers: Vec<Vec2> = self
-            .state
-            .series_t
-            .iter()
-            .map(|&t| observer.displacement_at(t).unwrap_or(Vec2::ZERO))
-            .collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.observers.clear();
+        scratch.observers.extend(
+            self.state
+                .series_t
+                .iter()
+                .map(|&t| observer.displacement_at(t).unwrap_or(Vec2::ZERO)),
+        );
+        let FingerprintScratch { observers, feats } = &mut scratch;
+        let observers: &[Vec2] = observers;
         let rss = &self.state.series_v;
         // Candidate region: walk bounding box + hearing margin.
         let (mut lo, mut hi) = (observers[0], observers[0]);
-        for o in &observers {
+        for o in observers {
             lo.x = lo.x.min(o.x);
             lo.y = lo.y.min(o.y);
             hi.x = hi.x.max(o.x);
@@ -236,31 +302,34 @@ impl FingerprintBackend {
             (hi.y - lo.y) / 2.0 + self.config.margin_m,
         );
         let mut step = self.config.grid_step_m;
-        let Some(mut best) = self.best_on_grid(center, half_extent, step, &observers, rss) else {
-            return;
-        };
-        for _ in 0..self.config.refine_levels {
-            step /= 2.0;
-            let local = Vec2::new(step * 1.5, step * 1.5);
-            if let Some(refined) = self.best_on_grid(best.pos, local, step, &observers, rss) {
-                if refined.score > best.score {
-                    best = refined;
+        if let Some(mut best) = self.best_on_grid(center, half_extent, step, observers, rss, feats)
+        {
+            for _ in 0..self.config.refine_levels {
+                step /= 2.0;
+                let local = Vec2::new(step * 1.5, step * 1.5);
+                if let Some(refined) =
+                    self.best_on_grid(best.pos, local, step, observers, rss, feats)
+                {
+                    if refined.score > best.score {
+                        best = refined;
+                    }
                 }
             }
+            self.state.current = Some(LocationEstimate {
+                position: best.pos,
+                mirror: None,
+                // The mean kernel is already in (0, 1]: 1 at a perfect
+                // pattern match, → 0 as residuals blow past the bandwidth.
+                confidence: best.score.clamp(0.0, 1.0),
+                exponent: best.exponent,
+                gamma_dbm: best.gamma_dbm,
+                env: None,
+                points_used: rss.len(),
+                method: FitMethod::Fingerprint,
+                residual_db: best.residual_db,
+            });
         }
-        self.state.current = Some(LocationEstimate {
-            position: best.pos,
-            mirror: None,
-            // The mean kernel is already in (0, 1]: 1 at a perfect
-            // pattern match, → 0 as residuals blow past the bandwidth.
-            confidence: best.score.clamp(0.0, 1.0),
-            exponent: best.exponent,
-            gamma_dbm: best.gamma_dbm,
-            env: None,
-            points_used: rss.len(),
-            method: FitMethod::Fingerprint,
-            residual_db: best.residual_db,
-        });
+        self.scratch = scratch;
     }
 
     /// Feeds one batch; refits on the stride.
@@ -308,21 +377,6 @@ impl FingerprintBackend {
         backend.state.refit_stride = backend.state.refit_stride.max(1);
         backend
     }
-}
-
-/// Mean and standard deviation the scaler derived for the single
-/// feature column (recomputed from the data, bit-identical to the
-/// scaler's own fit).
-fn scaler_moments(scaler: &StandardScaler, features: &[Vec<f64>]) -> (f64, f64) {
-    debug_assert_eq!(scaler.dim(), 1);
-    let n = features.len() as f64;
-    let mu = features.iter().map(|f| f[0]).sum::<f64>() / n;
-    let var = features
-        .iter()
-        .map(|f| (f[0] - mu) * (f[0] - mu))
-        .sum::<f64>()
-        / n;
-    (mu, var.sqrt())
 }
 
 impl crate::backend::Estimator for FingerprintBackend {
@@ -373,6 +427,10 @@ impl crate::backend::Estimator for FingerprintBackend {
                 found: other.kind(),
             }),
         }
+    }
+
+    fn reserve(&mut self, additional_samples: usize) {
+        FingerprintBackend::reserve(self, additional_samples);
     }
 }
 
@@ -443,6 +501,128 @@ mod tests {
         let forced = strided.refit_now(&track).copied().expect("estimate");
         assert_eq!(Some(forced), every.current().copied());
         assert_eq!(strided.refit_now(&track).copied(), Some(forced));
+    }
+
+    /// Differential suite for the scratch-based scorer: re-implements
+    /// the original allocating path (per-candidate `Vec<Vec<f64>>`
+    /// feature matrix, `StandardScaler::fit`/`transform`, scalar kernel
+    /// loop) and compares candidate by candidate. The fit recovery
+    /// (Γ, n) follows the identical accumulation order and must match
+    /// bitwise; the 4-lane kernel/residual sums are reordered and are
+    /// held to 1e-12 relative.
+    #[test]
+    fn scratch_scoring_matches_the_allocating_reference() {
+        use locble_ml::StandardScaler;
+
+        fn reference_score(
+            backend: &FingerprintBackend,
+            pos: Vec2,
+            observers: &[Vec2],
+            rss: &[f64],
+        ) -> Option<Scored> {
+            let features: Vec<Vec<f64>> = observers
+                .iter()
+                .map(|o| vec![pos.distance(*o).max(MIN_RANGE_M).log10()])
+                .collect();
+            let scaler = StandardScaler::fit(&features);
+            let mut solver: GramSolver<2> = GramSolver::new();
+            let mut rhs = [0.0f64; 2];
+            for (f, &v) in features.iter().zip(rss) {
+                let z = scaler.transform(f)[0];
+                solver.accumulate(&[1.0, z]);
+                rhs[0] += v;
+                rhs[1] += v * z;
+            }
+            if !solver.factorize(backend.config.ridge) {
+                return None;
+            }
+            let [a, b] = solver.solve(rhs)?;
+            let n = features.len() as f64;
+            let mu = features.iter().map(|f| f[0]).sum::<f64>() / n;
+            let var = features
+                .iter()
+                .map(|f| (f[0] - mu) * (f[0] - mu))
+                .sum::<f64>()
+                / n;
+            let sigma = var.sqrt();
+            if sigma <= 0.0 {
+                return None;
+            }
+            let exponent = -b / (10.0 * sigma);
+            if !(0.3..=8.0).contains(&exponent) {
+                return None;
+            }
+            let gamma_dbm = a - b * mu / sigma;
+            let inv_two_bw_sq =
+                1.0 / (2.0 * backend.config.kernel_bw_db * backend.config.kernel_bw_db);
+            let mut kernel_sum = 0.0;
+            let mut sq = 0.0;
+            for (f, &v) in features.iter().zip(rss) {
+                let r = v - (gamma_dbm - 10.0 * exponent * f[0]);
+                kernel_sum += (-r * r * inv_two_bw_sq).exp();
+                sq += r * r;
+            }
+            Some(Scored {
+                pos,
+                score: kernel_sum / n,
+                gamma_dbm,
+                exponent,
+                residual_db: (sq / n).sqrt(),
+            })
+        }
+
+        fn rel_close(a: f64, b: f64) -> bool {
+            (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0)
+        }
+
+        let target = Vec2::new(4.0, 3.5);
+        let (batches, track) = l_walk(target);
+        let backend = FingerprintBackend::new(FingerprintConfig::default());
+        let mut t = Vec::new();
+        let mut v = Vec::new();
+        for b in &batches {
+            t.extend_from_slice(&b.t);
+            v.extend_from_slice(&b.v);
+        }
+        let observers: Vec<Vec2> = t
+            .iter()
+            .map(|&ti| track.displacement_at(ti).unwrap_or(Vec2::ZERO))
+            .collect();
+        let mut feats = Vec::new();
+        let mut scored = 0usize;
+        // Candidates: a coarse grid around the walk, plus odd tail
+        // lengths so the unroll's scalar remainder is exercised.
+        for iy in -6..=6 {
+            for ix in -6..=6 {
+                let pos = Vec2::new(ix as f64 * 1.7, iy as f64 * 1.7);
+                for cut in [observers.len(), observers.len() - 1, 9] {
+                    let fast =
+                        backend.score_candidate(pos, &observers[..cut], &v[..cut], &mut feats);
+                    let slow = reference_score(&backend, pos, &observers[..cut], &v[..cut]);
+                    match (fast, slow) {
+                        (None, None) => {}
+                        (Some(f), Some(s)) => {
+                            scored += 1;
+                            assert_eq!(f.gamma_dbm.to_bits(), s.gamma_dbm.to_bits());
+                            assert_eq!(f.exponent.to_bits(), s.exponent.to_bits());
+                            assert!(rel_close(f.score, s.score), "{} vs {}", f.score, s.score);
+                            assert!(
+                                rel_close(f.residual_db, s.residual_db),
+                                "{} vs {}",
+                                f.residual_db,
+                                s.residual_db
+                            );
+                        }
+                        (f, s) => panic!(
+                            "scorer disagreement at {pos:?}: fast={:?} slow={:?}",
+                            f.map(|x| x.score),
+                            s.map(|x| x.score)
+                        ),
+                    }
+                }
+            }
+        }
+        assert!(scored > 50, "only {scored} candidates actually scored");
     }
 
     #[test]

@@ -83,12 +83,28 @@ pub struct ParticleState {
     pub current: Option<LocationEstimate>,
 }
 
+/// Reusable per-batch buffers. Deliberately *not* part of
+/// [`ParticleState`]: the scratch holds no information (weights are a
+/// pure function of `log_w`, the resample targets are swapped into the
+/// cloud before the batch returns), so keeping it out preserves the
+/// state's `PartialEq`/persistence contract while letting a warm
+/// filter run a batch without heap allocation.
+#[derive(Debug, Clone, Default)]
+struct ParticleScratch {
+    /// Normalized linear weights.
+    w: Vec<f64>,
+    /// Resampling targets, swapped with the cloud after each pass.
+    new_xs: Vec<f64>,
+    new_ys: Vec<f64>,
+}
+
 /// The sequential Monte-Carlo backend. See the module docs.
 #[derive(Debug, Clone)]
 pub struct ParticleBackend {
     config: ParticleConfig,
     model: LogDistanceModel,
     state: ParticleState,
+    scratch: ParticleScratch,
 }
 
 /// SplitMix64 step (same finalizer the engine's shard router uses).
@@ -103,6 +119,23 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Uniform draw in `(0, 1]` — never exactly 0, so `ln` stays finite.
 fn uniform(state: &mut u64) -> f64 {
     ((splitmix64(state) >> 11) + 1) as f64 / (1u64 << 53) as f64
+}
+
+/// Normalized linear weights from the log weights, written into a
+/// reused buffer.
+fn weights_into(log_w: &[f64], w: &mut Vec<f64>) {
+    let max = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    w.clear();
+    w.extend(log_w.iter().map(|&lw| (lw - max).exp()));
+    let sum: f64 = w.iter().sum();
+    if sum > 0.0 {
+        for wi in w.iter_mut() {
+            *wi /= sum;
+        }
+    } else {
+        let uniform_w = 1.0 / w.len() as f64;
+        w.fill(uniform_w);
+    }
 }
 
 impl ParticleBackend {
@@ -125,6 +158,7 @@ impl ParticleBackend {
                 resamples: 0,
                 current: None,
             },
+            scratch: ParticleScratch::default(),
             config,
         }
     }
@@ -145,10 +179,15 @@ impl ParticleBackend {
     /// Spawns the cloud: uniform disc of `init_radius_m` around the
     /// observer's position at the first heard sample.
     fn init_cloud(&mut self, center: Vec2) {
+        // Cold path: runs once per session (first contact), so its
+        // allocations never recur in a warm filter.
         let n = self.config.particles;
-        self.state.xs = Vec::with_capacity(n);
-        self.state.ys = Vec::with_capacity(n);
-        self.state.log_w = vec![0.0; n];
+        self.state.xs.clear();
+        self.state.xs.reserve(n);
+        self.state.ys.clear();
+        self.state.ys.reserve(n);
+        self.state.log_w.clear();
+        self.state.log_w.resize(n, 0.0);
         for _ in 0..n {
             let r = self.config.init_radius_m * uniform(&mut self.state.rng).sqrt();
             let theta = std::f64::consts::TAU * uniform(&mut self.state.rng);
@@ -167,39 +206,18 @@ impl ParticleBackend {
         }
     }
 
-    /// Normalized linear weights from the log weights.
-    fn weights(&self) -> Vec<f64> {
-        let max = self
-            .state
-            .log_w
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
-        let mut w: Vec<f64> = self
-            .state
-            .log_w
-            .iter()
-            .map(|&lw| (lw - max).exp())
-            .collect();
-        let sum: f64 = w.iter().sum();
-        if sum > 0.0 {
-            for wi in &mut w {
-                *wi /= sum;
-            }
-        } else {
-            let uniform_w = 1.0 / w.len() as f64;
-            w.fill(uniform_w);
-        }
-        w
-    }
-
     /// Systematic resampling: one uniform offset, `n` evenly spaced
-    /// pointers into the cumulative weights.
-    fn resample(&mut self, w: &[f64]) {
+    /// pointers into the cumulative weights. The survivors are built in
+    /// the scratch buffers and swapped into the cloud, so a warm filter
+    /// resamples without allocating.
+    fn resample(&mut self, scratch: &mut ParticleScratch) {
+        let ParticleScratch { w, new_xs, new_ys } = scratch;
         let n = w.len();
         let offset = uniform(&mut self.state.rng) / n as f64;
-        let mut new_xs = Vec::with_capacity(n);
-        let mut new_ys = Vec::with_capacity(n);
+        new_xs.clear();
+        new_xs.reserve(n);
+        new_ys.clear();
+        new_ys.reserve(n);
         let mut cumulative = w[0];
         let mut i = 0usize;
         for k in 0..n {
@@ -211,8 +229,8 @@ impl ParticleBackend {
             new_xs.push(self.state.xs[i]);
             new_ys.push(self.state.ys[i]);
         }
-        self.state.xs = new_xs;
-        self.state.ys = new_ys;
+        std::mem::swap(&mut self.state.xs, new_xs);
+        std::mem::swap(&mut self.state.ys, new_ys);
         self.state.log_w.fill(0.0);
         self.state.resamples += 1;
     }
@@ -222,9 +240,9 @@ impl ParticleBackend {
         observer.displacement_at(t).unwrap_or(Vec2::ZERO)
     }
 
-    /// Recomputes the posterior-mean estimate from the current cloud.
-    fn refresh_estimate(&mut self, batch: &RssBatch, observer: &MotionTrack) {
-        let w = self.weights();
+    /// Recomputes the posterior-mean estimate from the current cloud,
+    /// given the normalized weights of the current `log_w`.
+    fn refresh_estimate(&mut self, w: &[f64], batch: &RssBatch, observer: &MotionTrack) {
         let n = w.len();
         let mut mean = Vec2::ZERO;
         for (i, &wi) in w.iter().enumerate() {
@@ -242,7 +260,7 @@ impl ParticleBackend {
         let residual_db = (sq / batch.len() as f64).sqrt();
         // Confidence from cloud health: a peaked cloud after many
         // samples is trustworthy, a freshly resampled diffuse one less.
-        let confidence = (Self::ess(&w) / n as f64).clamp(0.0, 1.0);
+        let confidence = (Self::ess(w) / n as f64).clamp(0.0, 1.0);
         self.state.current = Some(LocationEstimate {
             position: mean,
             mirror: None,
@@ -277,9 +295,21 @@ impl ParticleBackend {
             }
         }
         let inv_two_sigma_sq = 1.0 / (2.0 * self.config.rss_sigma_db * self.config.rss_sigma_db);
+        // Hot loop: 4-lane unrolled re-weight. Each particle's update is
+        // element-wise independent, so the unroll is trivially
+        // bit-identical to the scalar loop.
+        let n = self.state.xs.len();
+        let quads = n - n % 4;
         for (&t, &v) in batch.t.iter().zip(&batch.v) {
             let obs_pos = Self::observer_at(observer, t);
-            for i in 0..self.state.xs.len() {
+            for i in (0..quads).step_by(4) {
+                for l in 0..4 {
+                    let d = obs_pos.distance(Vec2::new(self.state.xs[i + l], self.state.ys[i + l]));
+                    let r = v - self.model.rss_at(d);
+                    self.state.log_w[i + l] -= r * r * inv_two_sigma_sq;
+                }
+            }
+            for i in quads..n {
                 let d = obs_pos.distance(Vec2::new(self.state.xs[i], self.state.ys[i]));
                 let r = v - self.model.rss_at(d);
                 self.state.log_w[i] -= r * r * inv_two_sigma_sq;
@@ -287,11 +317,17 @@ impl ParticleBackend {
         }
         self.state.samples += batch.len() as u64;
         self.state.batches += 1;
-        let w = self.weights();
-        if Self::ess(&w) < w.len() as f64 / 2.0 {
-            self.resample(&w);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        weights_into(&self.state.log_w, &mut scratch.w);
+        if Self::ess(&scratch.w) < scratch.w.len() as f64 / 2.0 {
+            self.resample(&mut scratch);
+            // Resampling zeroed `log_w`; refresh the weights the same
+            // way the estimate refresh always has (they come out
+            // uniform, matching the pre-scratch recomputation exactly).
+            weights_into(&self.state.log_w, &mut scratch.w);
         }
-        self.refresh_estimate(batch, observer);
+        self.refresh_estimate(&scratch.w, batch, observer);
+        self.scratch = scratch;
         self.state.current.as_ref()
     }
 

@@ -89,10 +89,12 @@ pub struct CircularFit {
 /// conditioning; returns the values and the normalization scale. Used
 /// only by the [`CircularFit::solve_reference`] baseline.
 fn rho_values(points: &[RssPoint], exponent: f64) -> (Vec<f64>, f64) {
-    let raw: Vec<f64> = points
-        .iter()
-        .map(|pt| 10f64.powf(-pt.rss / (5.0 * exponent)))
-        .collect();
+    // Same single-exp identity the cached solver uses:
+    // 10^(−RS/(5n)) = exp(k·RS) with k = −ln10/(5n) — one `exp` per
+    // point instead of a `powf` (which computes the same thing through a
+    // slower log/exp round trip).
+    let k = -std::f64::consts::LN_10 / (5.0 * exponent);
+    let raw: Vec<f64> = points.iter().map(|pt| (k * pt.rss).exp()).collect();
     let scale = raw.iter().sum::<f64>() / raw.len() as f64;
     let scaled = raw.iter().map(|r| r / scale).collect();
     (scaled, scale)
@@ -125,8 +127,24 @@ fn residual_db_flat(p: &[f64], q: &[f64], rss: &[f64], x: f64, h: f64, gamma: f6
         return 0.0;
     }
     let min_sq = MIN_RANGE_M * MIN_RANGE_M;
-    let mut sum = 0.0;
-    for i in 0..p.len() {
+    let len = p.len();
+    // 4-lane unrolled reduction: independent lane accumulators break the
+    // serial add chain so the per-point log10 work pipelines; lanes
+    // combine in a fixed order, keeping the result deterministic.
+    let mut acc = [0.0f64; 4];
+    let quads = len - len % 4;
+    for i in (0..quads).step_by(4) {
+        for (l, a) in acc.iter_mut().enumerate() {
+            let dx = x + p[i + l];
+            let dy = h + q[i + l];
+            let d_sq = (dx * dx + dy * dy).max(min_sq);
+            let pred = gamma - 5.0 * n * d_sq.log10();
+            let e = rss[i + l] - pred;
+            *a += e * e;
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for i in quads..len {
         let dx = x + p[i];
         let dy = h + q[i];
         let d_sq = (dx * dx + dy * dy).max(min_sq);
@@ -134,7 +152,7 @@ fn residual_db_flat(p: &[f64], q: &[f64], rss: &[f64], x: f64, h: f64, gamma: f6
         let e = rss[i] - pred;
         sum += e * e;
     }
-    (sum / p.len() as f64).sqrt()
+    (sum / len as f64).sqrt()
 }
 
 /// Cached solver for [`CircularFit`]: accumulates the exponent-independent
@@ -161,6 +179,11 @@ pub struct FitSolver {
     gram: GramSolver<4>,
     /// Gram of the 3-column anchored design `[p, q, 1]`.
     gram3: GramSolver<3>,
+    /// Per-session estimator scratch arena (filter/fusion buffers).
+    /// Owned here because the solver is the one per-session object the
+    /// streaming layer already threads through every refit; survives
+    /// [`clear`](FitSolver::clear) so capacity is kept across restarts.
+    pub(crate) scratch: crate::estimator::EstimatorScratch,
 }
 
 impl FitSolver {
@@ -187,6 +210,18 @@ impl FitSolver {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.p.is_empty()
+    }
+
+    /// Pre-grows every per-point buffer (columns and scratch arena) for
+    /// `additional` more samples, so a steady-state refit of a session
+    /// that keeps growing performs no heap allocation until the headroom
+    /// is consumed.
+    pub fn reserve(&mut self, additional: usize) {
+        self.p.reserve(additional);
+        self.q.reserve(additional);
+        self.s.reserve(additional);
+        self.rss.reserve(additional);
+        self.scratch.reserve(self.len() + additional);
     }
 
     /// Synchronizes the cache with `points`. When `points` extends the
@@ -231,17 +266,42 @@ impl FitSolver {
         // ρ_i = 10^(−RS_i/(5n)) = exp(k·RS_i) with k = −ln10/(5n):
         // one exp per point instead of powf. Normalizing ρ to mean 1 is
         // linear, so accumulate Xᵀρ over raw values and divide once.
+        // 4-lane unrolled: per-lane partial sums break the serial
+        // dependency on single accumulators so the exp/multiply-add work
+        // pipelines; lanes combine in a fixed order so results stay
+        // deterministic (pinned to the reference within 1e-9 by the
+        // differential suite).
         let k = -std::f64::consts::LN_10 / (5.0 * exponent);
-        let mut sum = 0.0;
-        let mut xty = [0.0; 4];
-        for i in 0..n {
+        let mut sum4 = [0.0f64; 4];
+        let mut s4 = [0.0f64; 4];
+        let mut p4 = [0.0f64; 4];
+        let mut q4 = [0.0f64; 4];
+        let quads = n - n % 4;
+        for i in (0..quads).step_by(4) {
+            for l in 0..4 {
+                let rho = (k * self.rss[i + l]).exp();
+                sum4[l] += rho;
+                s4[l] += self.s[i + l] * rho;
+                p4[l] += self.p[i + l] * rho;
+                q4[l] += self.q[i + l] * rho;
+            }
+        }
+        let mut sum = (sum4[0] + sum4[1]) + (sum4[2] + sum4[3]);
+        let mut xty = [
+            (s4[0] + s4[1]) + (s4[2] + s4[3]),
+            (p4[0] + p4[1]) + (p4[2] + p4[3]),
+            (q4[0] + q4[1]) + (q4[2] + q4[3]),
+            0.0,
+        ];
+        for i in quads..n {
             let rho = (k * self.rss[i]).exp();
             sum += rho;
             xty[0] += self.s[i] * rho;
             xty[1] += self.p[i] * rho;
             xty[2] += self.q[i] * rho;
-            xty[3] += rho;
         }
+        // xty[3] accumulates exactly the values `sum` does.
+        xty[3] = sum;
         let scale = sum / n as f64;
         for v in &mut xty {
             *v /= scale;
@@ -280,8 +340,26 @@ impl FitSolver {
         let a = 1.0 / epsilon;
         let k = -std::f64::consts::LN_10 / (5.0 * exponent);
         // ρ − A(p²+q²) = C·p + D·q + G, with raw (unnormalized) ρ.
-        let mut xty = [0.0; 3];
-        for i in 0..n {
+        // 4-lane unrolled like `solve`; fixed lane-combine order.
+        let mut p4 = [0.0f64; 4];
+        let mut q4 = [0.0f64; 4];
+        let mut g4 = [0.0f64; 4];
+        let quads = n - n % 4;
+        for i in (0..quads).step_by(4) {
+            for l in 0..4 {
+                let rho = (k * self.rss[i + l]).exp();
+                let rhs = rho - a * self.s[i + l];
+                p4[l] += self.p[i + l] * rhs;
+                q4[l] += self.q[i + l] * rhs;
+                g4[l] += rhs;
+            }
+        }
+        let mut xty = [
+            (p4[0] + p4[1]) + (p4[2] + p4[3]),
+            (q4[0] + q4[1]) + (q4[2] + q4[3]),
+            (g4[0] + g4[1]) + (g4[2] + g4[3]),
+        ];
+        for i in quads..n {
             let rho = (k * self.rss[i]).exp();
             let rhs = rho - a * self.s[i];
             xty[0] += self.p[i] * rhs;
@@ -455,15 +533,33 @@ impl LegSolver {
         // G = |v|²/ε. Same normalized-ρ trick as the circular fit.
         let n = self.s.len();
         let k = -std::f64::consts::LN_10 / (5.0 * exponent);
-        let mut sum = 0.0;
-        let mut xty = [0.0; 3];
-        for i in 0..n {
+        // 4-lane unrolled ρ/RHS pass; see [`FitSolver::solve`].
+        let mut ss4 = [0.0f64; 4];
+        let mut s4 = [0.0f64; 4];
+        let mut g4 = [0.0f64; 4];
+        let quads = n - n % 4;
+        for i in (0..quads).step_by(4) {
+            for l in 0..4 {
+                let rho = (k * self.rss[i + l]).exp();
+                ss4[l] += self.s[i + l] * self.s[i + l] * rho;
+                s4[l] += self.s[i + l] * rho;
+                g4[l] += rho;
+            }
+        }
+        let mut sum = (g4[0] + g4[1]) + (g4[2] + g4[3]);
+        let mut xty = [
+            (ss4[0] + ss4[1]) + (ss4[2] + ss4[3]),
+            (s4[0] + s4[1]) + (s4[2] + s4[3]),
+            0.0,
+        ];
+        for i in quads..n {
             let rho = (k * self.rss[i]).exp();
             sum += rho;
             xty[0] += self.s[i] * self.s[i] * rho;
             xty[1] += self.s[i] * rho;
-            xty[2] += rho;
         }
+        // xty[2] accumulates exactly the values `sum` does.
+        xty[2] = sum;
         let scale = sum / n as f64;
         for v in &mut xty {
             *v /= scale;
@@ -489,8 +585,19 @@ impl LegSolver {
         // floating error), in the origin-relative frame.
         let cw = self.u * along + self.u.perp() * perp;
         let min_sq = MIN_RANGE_M * MIN_RANGE_M;
-        let mut res_sum = 0.0;
-        for i in 0..n {
+        let mut acc = [0.0f64; 4];
+        for i in (0..quads).step_by(4) {
+            for (l, a) in acc.iter_mut().enumerate() {
+                let ex = cw.x - self.dx[i + l];
+                let ey = cw.y - self.dy[i + l];
+                let d_sq = (ex * ex + ey * ey).max(min_sq);
+                let pred = gamma - 5.0 * exponent * d_sq.log10();
+                let e = self.rss[i + l] - pred;
+                *a += e * e;
+            }
+        }
+        let mut res_sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for i in quads..n {
             let ex = cw.x - self.dx[i];
             let ey = cw.y - self.dy[i];
             let d_sq = (ex * ex + ey * ey).max(min_sq);
@@ -611,6 +718,71 @@ mod tests {
             );
             assert!((cached.gamma_dbm - reference.gamma_dbm).abs() < 1e-9);
             assert!((cached.residual_db - reference.residual_db).abs() < 1e-9);
+        }
+    }
+
+    /// Satellite regression: `rho_values` now uses the single-exp
+    /// identity; it must agree with the historical per-point `powf` form
+    /// to within accumulated rounding (≤ 1e-12 relative).
+    #[test]
+    fn rho_values_exp_form_matches_powf_form() {
+        let target = Vec2::new(3.0, 4.0);
+        let (mut pts, _, _) = synthetic(target, &l_path(11, 4.0, 3.0), -61.0, 2.3);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.rss += if i % 3 == 0 { 1.1 } else { -0.6 };
+        }
+        for exponent in [1.4, 2.0, 2.7, 5.5] {
+            let (scaled, scale) = rho_values(&pts, exponent);
+            let raw_ref: Vec<f64> = pts
+                .iter()
+                .map(|pt| 10f64.powf(-pt.rss / (5.0 * exponent)))
+                .collect();
+            let scale_ref = raw_ref.iter().sum::<f64>() / raw_ref.len() as f64;
+            assert!(
+                ((scale - scale_ref) / scale_ref).abs() < 1e-12,
+                "n={exponent}: scale {scale} vs {scale_ref}"
+            );
+            for (s, r) in scaled.iter().zip(&raw_ref) {
+                let s_ref = r / scale_ref;
+                assert!(
+                    ((s - s_ref) / s_ref).abs() < 1e-12,
+                    "n={exponent}: rho {s} vs {s_ref}"
+                );
+            }
+        }
+    }
+
+    /// Differential coverage for the 4-lane unrolled RHS/residual
+    /// kernels: every point-count tail residue (n % 4 ∈ {0,1,2,3}) must
+    /// match the reference implementation.
+    #[test]
+    fn unrolled_kernels_match_reference_at_every_tail_length() {
+        let target = Vec2::new(2.5, 3.5);
+        let (mut pts, _, _) = synthetic(target, &l_path(14, 4.2, 3.1), -60.0, 2.2);
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.rss += if i % 2 == 0 { 0.8 } else { -0.8 };
+        }
+        for cut in CircularFit::MIN_SAMPLES..=pts.len() {
+            let mut solver = FitSolver::new();
+            solver.ensure(&pts[..cut]);
+            let (cached, reference) = (
+                solver.solve(2.4),
+                CircularFit::solve_reference(&pts[..cut], 2.4),
+            );
+            match (cached, reference) {
+                (Some(a), Some(b)) => {
+                    assert!(
+                        a.position.distance(b.position) < 1e-9,
+                        "cut {cut}: {:?} vs {:?}",
+                        a.position,
+                        b.position
+                    );
+                    assert!((a.gamma_dbm - b.gamma_dbm).abs() < 1e-9, "cut {cut}");
+                    assert!((a.residual_db - b.residual_db).abs() < 1e-9, "cut {cut}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("cut {cut}: cached {a:?} vs reference {b:?}"),
+            }
         }
     }
 

@@ -184,17 +184,43 @@ impl Solver3d {
         }
         let n = self.s.len();
         let k = -std::f64::consts::LN_10 / (5.0 * exponent);
-        let mut sum = 0.0;
-        let mut xty = [0.0; 5];
-        for i in 0..n {
+        // 4-lane unrolled ρ/RHS pass: the exp() calls and the five
+        // multiply-add columns run on independent accumulator lanes,
+        // combined in a fixed order (deterministic output).
+        let quads = n - n % 4;
+        let mut sum4 = [0.0f64; 4];
+        let mut s4 = [0.0f64; 4];
+        let mut x4 = [0.0f64; 4];
+        let mut y4 = [0.0f64; 4];
+        let mut z4 = [0.0f64; 4];
+        for i in (0..quads).step_by(4) {
+            for l in 0..4 {
+                let rho = (k * self.rss[i + l]).exp();
+                sum4[l] += rho;
+                s4[l] += self.s[i + l] * rho;
+                x4[l] += self.x[i + l] * rho;
+                y4[l] += self.y[i + l] * rho;
+                z4[l] += self.z[i + l] * rho;
+            }
+        }
+        let mut sum = (sum4[0] + sum4[1]) + (sum4[2] + sum4[3]);
+        let mut xty = [
+            (s4[0] + s4[1]) + (s4[2] + s4[3]),
+            (x4[0] + x4[1]) + (x4[2] + x4[3]),
+            (y4[0] + y4[1]) + (y4[2] + y4[3]),
+            (z4[0] + z4[1]) + (z4[2] + z4[3]),
+            0.0,
+        ];
+        for i in quads..n {
             let rho = (k * self.rss[i]).exp();
             sum += rho;
             xty[0] += self.s[i] * rho;
             xty[1] += self.x[i] * rho;
             xty[2] += self.y[i] * rho;
             xty[3] += self.z[i] * rho;
-            xty[4] += rho;
         }
+        // The constant column accumulates exactly the values `sum` does.
+        xty[4] = sum;
         let scale = sum / n as f64;
         for v in &mut xty {
             *v /= scale;
@@ -213,8 +239,20 @@ impl Solver3d {
 
         // Residual in squared distances: 10·n·log10(l) = 5·n·log10(l²).
         let min_sq = MIN_RANGE_M * MIN_RANGE_M;
-        let mut res_sum = 0.0;
-        for i in 0..n {
+        let mut acc = [0.0f64; 4];
+        for i in (0..quads).step_by(4) {
+            for (l, a) in acc.iter_mut().enumerate() {
+                let dx = position.x + self.x[i + l];
+                let dy = position.y + self.y[i + l];
+                let dz = position.z + self.z[i + l];
+                let d_sq = (dx * dx + dy * dy + dz * dz).max(min_sq);
+                let pred = gamma - 5.0 * exponent * d_sq.log10();
+                let r = self.rss[i + l] - pred;
+                *a += r * r;
+            }
+        }
+        let mut res_sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for i in quads..n {
             let dx = position.x + self.x[i];
             let dy = position.y + self.y[i];
             let dz = position.z + self.z[i];

@@ -124,6 +124,12 @@ impl RssBatch {
     pub fn is_empty(&self) -> bool {
         self.t.is_empty()
     }
+
+    /// Decomposes the batch into its `(t, v)` vectors so callers that
+    /// build batches in a loop can reclaim the allocations.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<f64>) {
+        (self.t, self.v)
+    }
 }
 
 /// Externally persistable state of a [`StreamingEstimator`] — everything
@@ -247,11 +253,19 @@ impl StreamingEstimator {
     pub fn reset(&mut self) {
         let confirm = self.estimator.config().env_confirm_windows.max(2);
         self.detector = EnvChangeDetector::new(confirm);
-        self.series = TimeSeries::default();
+        self.series.clear();
         self.restarts = 0;
         self.current = None;
         self.batches_since_refit = 0;
         self.solver.clear();
+    }
+
+    /// Pre-grows the series and the solver's per-point buffers for
+    /// `additional` more samples, so a steady stream of batches within
+    /// that headroom never reallocates.
+    pub fn reserve(&mut self, additional: usize) {
+        self.series.reserve(additional);
+        self.solver.reserve(additional);
     }
 
     /// Classifies a batch's environment (when EnvAware is attached) and
@@ -287,7 +301,7 @@ impl StreamingEstimator {
         if confirmed && had_regime {
             // Paper: "start a new regression with the data".
             let discarded = self.series.len();
-            self.series = TimeSeries::default();
+            self.series.clear();
             self.solver.clear();
             self.restarts += 1;
             obs.counter_add("stream.env_restarts", 1);

@@ -175,6 +175,25 @@ impl SosFilter {
         signal.iter().map(|&x| self.step(x)).collect()
     }
 
+    /// Filters a whole signal into a caller-owned buffer (cleared first),
+    /// reusing its capacity. Output is bit-identical to [`filter`]
+    /// (same per-sample cascade).
+    ///
+    /// [`filter`]: Self::filter
+    pub fn filter_into(&mut self, signal: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(signal.iter().map(|&x| self.step(x)));
+    }
+
+    /// Filters a buffer in place (each sample replaced by the cascade
+    /// output), bit-identical to [`filter`](Self::filter) on the same
+    /// input sequence.
+    pub fn filter_in_place(&mut self, buf: &mut [f64]) {
+        for x in buf {
+            *x = self.step(*x);
+        }
+    }
+
     /// Resets all sections (and the priming flag).
     pub fn reset(&mut self) {
         for s in &mut self.sections {
@@ -250,6 +269,18 @@ impl Butterworth {
     /// # Panics
     /// Panics when `order == 0` or the cutoff is outside `(0, fs/2)`.
     pub fn design(&self) -> SosFilter {
+        let mut out = SosFilter::new(Vec::with_capacity(self.order / 2 + 1));
+        self.design_into(&mut out);
+        out
+    }
+
+    /// Redesigns an existing cascade in place, reusing its section
+    /// storage: same coefficients as [`design`](Self::design), no
+    /// allocation once the cascade has ever held `order/2 + 1` sections.
+    ///
+    /// # Panics
+    /// Same contract as [`design`](Self::design).
+    pub fn design_into(&self, out: &mut SosFilter) {
         assert!(self.order >= 1, "filter order must be >= 1");
         assert!(
             self.cutoff_hz > 0.0 && self.cutoff_hz < self.fs / 2.0,
@@ -258,16 +289,19 @@ impl Butterworth {
             self.fs
         );
         let n = self.order;
-        let mut sections = Vec::with_capacity(n / 2 + 1);
+        out.sections.clear();
+        out.sections.reserve(n / 2 + 1);
         for k in 0..n / 2 {
             let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * n as f64);
             let q = 1.0 / (2.0 * theta.sin());
-            sections.push(Biquad::lowpass(self.cutoff_hz, self.fs, q));
+            out.sections
+                .push(Biquad::lowpass(self.cutoff_hz, self.fs, q));
         }
         if n % 2 == 1 {
-            sections.push(Biquad::lowpass_first_order(self.cutoff_hz, self.fs));
+            out.sections
+                .push(Biquad::lowpass_first_order(self.cutoff_hz, self.fs));
         }
-        SosFilter::new(sections)
+        out.primed = false;
     }
 }
 

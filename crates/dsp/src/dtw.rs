@@ -66,32 +66,85 @@ pub fn dtw_distance_windowed(a: &[f64], b: &[f64], window: usize) -> f64 {
     prev[m].sqrt()
 }
 
+/// A dense row-major accumulated-cost matrix: one flat buffer instead of
+/// a `Vec<Vec<f64>>`, so the DP fill and the backtrack stay on a single
+/// contiguous allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl CostMatrix {
+    /// Number of rows (`a.len()`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`b.len()`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat index of cell `(i, j)`.
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.cols + j
+    }
+
+    /// Accumulated cost at cell `(i, j)` (`f64::INFINITY` when the cell
+    /// is outside the warping band).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// `true` when the matrix has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
 /// Accumulated-cost matrix (for visualizing alignments, paper Fig. 9c/d).
-/// Entry `[i][j]` is the minimal accumulated squared cost aligning
+/// Cell `(i, j)` is the minimal accumulated squared cost aligning
 /// `a[..=i]` with `b[..=j]`; unreachable cells are `f64::INFINITY`.
-pub fn dtw_cost_matrix(a: &[f64], b: &[f64], window: usize) -> Vec<Vec<f64>> {
+pub fn dtw_cost_matrix(a: &[f64], b: &[f64], window: usize) -> CostMatrix {
     let (n, m) = (a.len(), b.len());
     let w = window.max(n.abs_diff(m));
-    let mut acc = vec![vec![f64::INFINITY; m]; n];
-    for i in 0..n {
+    let mut acc = CostMatrix {
+        data: vec![f64::INFINITY; n * m],
+        rows: n,
+        cols: m,
+    };
+    for (i, &ai) in a.iter().enumerate() {
         let lo = i.saturating_sub(w);
         let hi = i.saturating_add(w).min(m.saturating_sub(1));
-        for j in lo..=hi.min(m.saturating_sub(1)) {
-            let d = a[i] - b[j];
+        for (j, &bj) in b.iter().enumerate().take(hi + 1).skip(lo) {
+            let d = ai - bj;
             let cost = d * d;
             let best = if i == 0 && j == 0 {
                 0.0
             } else {
-                let up = if i > 0 { acc[i - 1][j] } else { f64::INFINITY };
-                let left = if j > 0 { acc[i][j - 1] } else { f64::INFINITY };
+                let up = if i > 0 {
+                    acc.get(i - 1, j)
+                } else {
+                    f64::INFINITY
+                };
+                let left = if j > 0 {
+                    acc.get(i, j - 1)
+                } else {
+                    f64::INFINITY
+                };
                 let diag = if i > 0 && j > 0 {
-                    acc[i - 1][j - 1]
+                    acc.get(i - 1, j - 1)
                 } else {
                     f64::INFINITY
                 };
                 up.min(left).min(diag)
             };
-            acc[i][j] = cost + best;
+            let at = acc.idx(i, j);
+            acc.data[at] = cost + best;
         }
     }
     acc
@@ -99,19 +152,26 @@ pub fn dtw_cost_matrix(a: &[f64], b: &[f64], window: usize) -> Vec<Vec<f64>> {
 
 /// Extracts the optimal warping path from an accumulated-cost matrix,
 /// from `(0,0)` to `(n−1, m−1)`, as `(i, j)` index pairs.
-pub fn dtw_path(acc: &[Vec<f64>]) -> Vec<(usize, usize)> {
-    let n = acc.len();
-    if n == 0 || acc[0].is_empty() {
+pub fn dtw_path(acc: &CostMatrix) -> Vec<(usize, usize)> {
+    if acc.is_empty() {
         return Vec::new();
     }
-    let m = acc[0].len();
+    let (n, m) = (acc.rows(), acc.cols());
     let mut path = vec![(n - 1, m - 1)];
     let (mut i, mut j) = (n - 1, m - 1);
     while i > 0 || j > 0 {
-        let up = if i > 0 { acc[i - 1][j] } else { f64::INFINITY };
-        let left = if j > 0 { acc[i][j - 1] } else { f64::INFINITY };
+        let up = if i > 0 {
+            acc.get(i - 1, j)
+        } else {
+            f64::INFINITY
+        };
+        let left = if j > 0 {
+            acc.get(i, j - 1)
+        } else {
+            f64::INFINITY
+        };
         let diag = if i > 0 && j > 0 {
-            acc[i - 1][j - 1]
+            acc.get(i - 1, j - 1)
         } else {
             f64::INFINITY
         };
@@ -140,7 +200,55 @@ pub struct Envelope {
 
 impl Envelope {
     /// Builds the envelope of `reference` with warping radius `radius`.
+    ///
+    /// Runs the monotonic-deque sliding min/max in O(n) total — each
+    /// index enters and leaves each deque once — versus the
+    /// O(n·radius) per-window scan of
+    /// [`new_reference`](Self::new_reference); outputs are identical for
+    /// NaN-free input (RSS traces are). The two small index deques are
+    /// per-call allocations like the output itself; callers in the
+    /// clustering layer build envelopes per confirmed segment, not per
+    /// batch, so this stays off the steady-state hot path.
     pub fn new(reference: &[f64], radius: usize) -> Envelope {
+        let n = reference.len();
+        let mut upper = Vec::with_capacity(n);
+        let mut lower = Vec::with_capacity(n);
+        let mut maxq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut minq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut next = 0usize; // next reference index to admit
+        for i in 0..n {
+            // Window for slot i: [i − radius, i + radius], clamped.
+            let hi = i.saturating_add(radius).min(n - 1);
+            while next <= hi {
+                let x = reference[next];
+                while maxq.back().is_some_and(|&k| reference[k] <= x) {
+                    maxq.pop_back();
+                }
+                maxq.push_back(next);
+                while minq.back().is_some_and(|&k| reference[k] >= x) {
+                    minq.pop_back();
+                }
+                minq.push_back(next);
+                next += 1;
+            }
+            let lo = i.saturating_sub(radius);
+            while maxq.front().is_some_and(|&k| k < lo) {
+                maxq.pop_front();
+            }
+            while minq.front().is_some_and(|&k| k < lo) {
+                minq.pop_front();
+            }
+            upper.push(reference[maxq[0]]);
+            lower.push(reference[minq[0]]);
+        }
+        Envelope { upper, lower }
+    }
+
+    /// The per-window fold formulation of [`new`](Self::new): scans the
+    /// full window for every slot. Kept as the differential reference
+    /// for the O(n) deque implementation (and as its benchmark
+    /// baseline).
+    pub fn new_reference(reference: &[f64], radius: usize) -> Envelope {
         let n = reference.len();
         let mut upper = Vec::with_capacity(n);
         let mut lower = Vec::with_capacity(n);
@@ -181,15 +289,30 @@ pub fn lb_keogh(candidate: &[f64], envelope: &Envelope) -> f64 {
         envelope.len(),
         "LB_Keogh requires equal lengths; interpolate the candidate first"
     );
-    let mut sum = 0.0;
-    for (i, &x) in candidate.iter().enumerate() {
-        if x > envelope.upper[i] {
-            let d = x - envelope.upper[i];
-            sum += d * d;
-        } else if x < envelope.lower[i] {
-            let d = envelope.lower[i] - x;
-            sum += d * d;
+    // Branchless excursion: at most one of the two max() terms is
+    // positive because lower ≤ upper. 4 independent lanes keep the
+    // multiply-add chains out of each other's way; the lane sums are
+    // combined in a fixed order so the result is deterministic (it can
+    // differ from strict left-to-right summation only by reordering
+    // error, ~1e-16 relative).
+    let n = candidate.len();
+    let quads = n - n % 4;
+    let mut acc = [0.0f64; 4];
+    for i in (0..quads).step_by(4) {
+        for (l, a) in acc.iter_mut().enumerate() {
+            let x = candidate[i + l];
+            let d = (x - envelope.upper[i + l]).max(0.0) + (envelope.lower[i + l] - x).max(0.0);
+            *a += d * d;
         }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for ((&x, &up), &low) in candidate[quads..]
+        .iter()
+        .zip(&envelope.upper[quads..])
+        .zip(&envelope.lower[quads..])
+    {
+        let d = (x - up).max(0.0) + (low - x).max(0.0);
+        sum += d * d;
     }
     sum.sqrt()
 }
@@ -275,8 +398,9 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 2.5];
         let b = [1.0, 2.5, 3.0, 2.0];
         let acc = dtw_cost_matrix(&a, &b, usize::MAX);
-        let d = acc[3][3].sqrt();
+        let d = acc.get(3, 3).sqrt();
         assert!((d - dtw_distance(&a, &b)).abs() < 1e-12);
+        assert_eq!((acc.rows(), acc.cols()), (4, 4));
     }
 
     #[test]
@@ -293,6 +417,36 @@ mod tests {
             assert!(i1 >= i0 && j1 >= j0, "path must be monotone");
             assert!(i1 - i0 <= 1 && j1 - j0 <= 1, "path must be connected");
             assert!(i1 + j1 > i0 + j0, "path must advance");
+        }
+    }
+
+    /// The O(n) deque envelope must reproduce the per-window fold
+    /// reference exactly — the bounds are copies of input samples, so
+    /// equality is bitwise.
+    #[test]
+    fn deque_envelope_matches_fold_reference_exactly() {
+        let signals: [Vec<f64>; 4] = [
+            Vec::new(),
+            vec![-70.0],
+            (0..57)
+                .map(|i| (i as f64 * 0.37).sin() * 3.0 - 70.0)
+                .collect(),
+            (0..64)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        -60.0
+                    } else {
+                        -75.0 + i as f64 * 0.1
+                    }
+                })
+                .collect(),
+        ];
+        for r in &signals {
+            for radius in [0, 1, 2, 3, 7, 16, 100] {
+                let fast = Envelope::new(r, radius);
+                let slow = Envelope::new_reference(r, radius);
+                assert_eq!(fast, slow, "len {} radius {radius}", r.len());
+            }
         }
     }
 

@@ -240,6 +240,21 @@ impl AdaptiveKalman {
         raw.iter().zip(bf).map(|(&r, &b)| self.step(r, b)).collect()
     }
 
+    /// [`filter`](Self::filter) into a caller-owned buffer (cleared
+    /// first), reusing its capacity; bit-identical output.
+    ///
+    /// # Panics
+    /// Panics when lengths differ.
+    pub fn filter_into(&mut self, raw: &[f64], bf: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            raw.len(),
+            bf.len(),
+            "raw and BF signals must be equal length"
+        );
+        out.clear();
+        out.extend(raw.iter().zip(bf).map(|(&r, &b)| self.step(r, b)));
+    }
+
     /// Resets to the uninitialized state.
     pub fn reset(&mut self) {
         self.x = 0.0;

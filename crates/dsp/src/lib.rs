@@ -34,7 +34,9 @@ pub mod stats;
 
 pub use butterworth::{Biquad, Butterworth, SosFilter};
 pub use diff::{first_difference, remove_mean};
-pub use dtw::{dtw_cost_matrix, dtw_distance, dtw_distance_windowed, lb_keogh, Envelope};
+pub use dtw::{
+    dtw_cost_matrix, dtw_distance, dtw_distance_windowed, dtw_path, lb_keogh, CostMatrix, Envelope,
+};
 pub use kalman::{AdaptiveKalman, ScalarKalman};
 pub use metrics::{mae, max_abs_error, rmse};
 pub use moving_average::{moving_average_causal, moving_average_centered, MovingAverage};

@@ -41,6 +41,20 @@ impl TimeSeries {
         self.t.is_empty()
     }
 
+    /// Reserves capacity for at least `additional` more samples in both
+    /// columns.
+    pub fn reserve(&mut self, additional: usize) {
+        self.t.reserve(additional);
+        self.v.reserve(additional);
+    }
+
+    /// Clears the series, keeping the allocated capacity of both
+    /// columns.
+    pub fn clear(&mut self) {
+        self.t.clear();
+        self.v.clear();
+    }
+
     /// Pushes one sample.
     ///
     /// # Panics

@@ -248,6 +248,13 @@ impl BeaconSession {
             Ok(batch) => {
                 self.estimator.push_batch(&batch, motion);
                 self.batches += 1;
+                // Reclaim the batch buffers: a warm session builds its
+                // next window in the same allocations.
+                let (mut t, mut v) = batch.into_parts();
+                t.clear();
+                v.clear();
+                self.batch_t = t;
+                self.batch_v = v;
                 (1, 0)
             }
             // Unreachable in practice — ingest validates — but a bad
@@ -316,6 +323,18 @@ struct TraceMark {
 /// oldest is dropped (guards a caller that traces but never processes).
 const MAX_PENDING_MARKS: usize = 1024;
 
+/// Reusable per-[`Engine::process`] buffers, sized once at
+/// construction. With these (plus the shard queues' recycled deques and
+/// each session's reclaimed batch buffers), the single-threaded drain
+/// path runs a steady-state process call without heap allocation.
+#[derive(Default)]
+struct ProcessScratch {
+    /// Eviction decisions bucketed by shard (cleared, never shrunk).
+    evictions: Vec<Vec<(BeaconId, SessionMeta)>>,
+    /// Per-shard drain reports for the shared fold.
+    reports: Vec<DrainReport>,
+}
+
 /// The concurrent multi-beacon tracking engine. See the module docs for
 /// the dataflow and the determinism guarantee.
 pub struct Engine {
@@ -330,6 +349,7 @@ pub struct Engine {
     stats: EngineStats,
     shard_names: Option<Vec<ShardMetricNames>>,
     pending_marks: Vec<TraceMark>,
+    scratch: ProcessScratch,
 }
 
 /// An empty motion track (engine before the first motion update).
@@ -363,9 +383,29 @@ impl Engine {
             stats: EngineStats::default(),
             shard_names: shard_metric_names(&obs, config.shards),
             pending_marks: Vec::new(),
+            scratch: ProcessScratch {
+                evictions: (0..config.shards).map(|_| Vec::new()).collect(),
+                reports: vec![DrainReport::default(); config.shards],
+            },
             config,
             prototype,
             obs,
+        }
+    }
+
+    /// Pre-grows every live session's batch buffers and estimator for
+    /// `additional` more samples per session. A warm engine whose
+    /// sessions stay within that headroom runs steady-state
+    /// [`Engine::process`] calls entirely off the allocator (on the
+    /// single-threaded drain path).
+    pub fn reserve_headroom(&mut self, additional: usize) {
+        for state in &self.shards {
+            let mut state = state.lock().expect("shard not poisoned");
+            for session in state.sessions.values_mut() {
+                session.batch_t.reserve(additional);
+                session.batch_v.reserve(additional);
+                session.estimator.reserve(additional);
+            }
         }
     }
 
@@ -593,34 +633,14 @@ impl Engine {
         let evicted = self
             .registry
             .evict_idle(self.watermark, self.config.idle_evict_s);
-        let mut evictions: Vec<Vec<(BeaconId, SessionMeta)>> =
-            (0..n_shards).map(|_| Vec::new()).collect();
+        for bucket in &mut self.scratch.evictions {
+            bucket.clear();
+        }
         for (beacon, meta) in evicted {
-            evictions[meta.shard].push((beacon, meta));
+            self.scratch.evictions[meta.shard].push((beacon, meta));
         }
 
-        // Move each shard's queued work into a slot its worker can take.
-        let work: Vec<Mutex<Option<VecDeque<Advert>>>> = (0..n_shards)
-            .map(|i| Mutex::new(Some(self.queues.take_shard(i))))
-            .collect();
-        let reports: Vec<Mutex<DrainReport>> = (0..n_shards)
-            .map(|_| Mutex::new(DrainReport::default()))
-            .collect();
-
-        let shards = &self.shards;
-        let prototype = &self.prototype;
-        let backend_spec = &self.config.backend;
-        let obs = &self.obs;
-        let motion: &MotionTrack = &self.motion;
-        let evictions = &evictions;
-        let work = &work;
-        let reports = &reports;
-        let window_s = self.config.batch_window_s;
-        let refit_stride = self.config.refit_stride;
-        let idle_evict_s = self.config.idle_evict_s;
-
         let threads = self.config.threads.min(n_shards);
-        let next = AtomicUsize::new(0);
         // Close out traced batches routed since the last process call:
         // their shard-queue wait ends now, and their refit lap is the
         // drain about to run. Per-shard drain timing is only measured
@@ -629,65 +649,152 @@ impl Engine {
         let timed = !marks.is_empty();
         let drain_start_us: Vec<u64> = marks.iter().map(|m| m.obs.now_us()).collect();
         let mut span = self.obs.span("engine", "process");
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_shards {
-                        break;
-                    }
-                    let queue = work[i]
-                        .lock()
-                        .expect("work slot not poisoned")
-                        .take()
-                        .expect("each shard is drained once");
-                    let drain_t0 = timed.then(Instant::now);
-                    let mut state = shards[i].lock().expect("shard not poisoned");
-                    let mut report = DrainReport {
-                        queue_depth: queue.len(),
-                        ..DrainReport::default()
-                    };
-                    for advert in queue {
+        self.scratch.reports.clear();
+        self.scratch
+            .reports
+            .resize(n_shards, DrainReport::default());
+
+        if threads == 1 {
+            // Inline drain: same shards, same FIFO order, no worker
+            // pool. Deques are popped and handed back to the router so
+            // their capacity survives; reports land in the scratch.
+            // This is the zero-allocation steady-state path.
+            for i in 0..n_shards {
+                let mut queue = self.queues.take_shard(i);
+                let drain_t0 = timed.then(Instant::now);
+                let mut report = DrainReport {
+                    queue_depth: queue.len(),
+                    ..DrainReport::default()
+                };
+                {
+                    let mut state = self.shards[i].lock().expect("shard not poisoned");
+                    while let Some(advert) = queue.pop_front() {
                         let session = state.sessions.entry(advert.beacon).or_insert_with(|| {
-                            BeaconSession::new(backend_spec, prototype, refit_stride)
+                            BeaconSession::new(
+                                &self.config.backend,
+                                &self.prototype,
+                                self.config.refit_stride,
+                            )
                         });
-                        let (pushed, rejected) =
-                            session.push_sample(advert.t, advert.rssi_dbm, window_s, motion);
+                        let (pushed, rejected) = session.push_sample(
+                            advert.t,
+                            advert.rssi_dbm,
+                            self.config.batch_window_s,
+                            &self.motion,
+                        );
                         report.samples += 1;
                         report.batches += pushed;
                         report.batches_rejected += rejected;
                     }
-                    for (beacon, meta) in &evictions[i] {
+                    for (beacon, meta) in &self.scratch.evictions[i] {
                         if state.sessions.remove(beacon).is_some() {
                             report.evicted += 1;
-                            if obs.enabled() {
-                                obs.event(
+                            if self.obs.enabled() {
+                                self.obs.event(
                                     "engine",
                                     "session_evicted",
                                     &[
                                         ("beacon", u64::from(beacon.0).into()),
                                         ("shard", i.into()),
                                         ("last_t", meta.last_t.into()),
-                                        ("idle_threshold_s", idle_evict_s.into()),
+                                        ("idle_threshold_s", self.config.idle_evict_s.into()),
                                     ],
                                 );
                             }
                         }
                     }
-                    drop(state);
-                    if let Some(t0) = drain_t0 {
-                        report.drain_us = t0.elapsed().as_micros() as u64;
-                    }
-                    *reports[i].lock().expect("report slot not poisoned") = report;
-                });
+                }
+                self.queues.restore_shard(i, queue);
+                if let Some(t0) = drain_t0 {
+                    report.drain_us = t0.elapsed().as_micros() as u64;
+                }
+                self.scratch.reports[i] = report;
             }
-        });
+        } else {
+            // Move each shard's queued work into a slot its worker can
+            // take.
+            let work: Vec<Mutex<Option<VecDeque<Advert>>>> = (0..n_shards)
+                .map(|i| Mutex::new(Some(self.queues.take_shard(i))))
+                .collect();
+            let reports: Vec<Mutex<DrainReport>> = (0..n_shards)
+                .map(|_| Mutex::new(DrainReport::default()))
+                .collect();
+
+            let shards = &self.shards;
+            let prototype = &self.prototype;
+            let backend_spec = &self.config.backend;
+            let obs = &self.obs;
+            let motion: &MotionTrack = &self.motion;
+            let evictions = &self.scratch.evictions;
+            let work = &work;
+            let reports = &reports;
+            let window_s = self.config.batch_window_s;
+            let refit_stride = self.config.refit_stride;
+            let idle_evict_s = self.config.idle_evict_s;
+
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_shards {
+                            break;
+                        }
+                        let queue = work[i]
+                            .lock()
+                            .expect("work slot not poisoned")
+                            .take()
+                            .expect("each shard is drained once");
+                        let drain_t0 = timed.then(Instant::now);
+                        let mut state = shards[i].lock().expect("shard not poisoned");
+                        let mut report = DrainReport {
+                            queue_depth: queue.len(),
+                            ..DrainReport::default()
+                        };
+                        for advert in queue {
+                            let session =
+                                state.sessions.entry(advert.beacon).or_insert_with(|| {
+                                    BeaconSession::new(backend_spec, prototype, refit_stride)
+                                });
+                            let (pushed, rejected) =
+                                session.push_sample(advert.t, advert.rssi_dbm, window_s, motion);
+                            report.samples += 1;
+                            report.batches += pushed;
+                            report.batches_rejected += rejected;
+                        }
+                        for (beacon, meta) in &evictions[i] {
+                            if state.sessions.remove(beacon).is_some() {
+                                report.evicted += 1;
+                                if obs.enabled() {
+                                    obs.event(
+                                        "engine",
+                                        "session_evicted",
+                                        &[
+                                            ("beacon", u64::from(beacon.0).into()),
+                                            ("shard", i.into()),
+                                            ("last_t", meta.last_t.into()),
+                                            ("idle_threshold_s", idle_evict_s.into()),
+                                        ],
+                                    );
+                                }
+                            }
+                        }
+                        drop(state);
+                        if let Some(t0) = drain_t0 {
+                            report.drain_us = t0.elapsed().as_micros() as u64;
+                        }
+                        *reports[i].lock().expect("report slot not poisoned") = report;
+                    });
+                }
+            });
+            for (i, slot) in reports.iter().enumerate() {
+                self.scratch.reports[i] = *slot.lock().expect("report slot not poisoned");
+            }
+        }
 
         let mut out = ProcessReport::default();
-        let mut drain_us_by_shard = vec![0u64; n_shards];
-        for (i, slot) in reports.iter().enumerate() {
-            let r = *slot.lock().expect("report slot not poisoned");
-            drain_us_by_shard[i] = r.drain_us;
+        for i in 0..n_shards {
+            let r = self.scratch.reports[i];
             out.samples_processed += r.samples as usize;
             out.batches_pushed += r.batches as usize;
             out.sessions_evicted += r.evicted as usize;
@@ -717,7 +824,7 @@ impl Engine {
             let refit_us = mark
                 .shards
                 .iter()
-                .map(|&s| drain_us_by_shard[s])
+                .map(|&s| self.scratch.reports[s].drain_us)
                 .max()
                 .unwrap_or(0);
             mark.obs

@@ -27,7 +27,8 @@
 /// bit for bit — as re-accumulating everything from scratch.
 #[derive(Debug, Clone)]
 pub struct GramSolver<const K: usize> {
-    /// Accumulated `XᵀX`.
+    /// Accumulated `XᵀX`, upper triangle only (the matrix is symmetric;
+    /// the lower triangle is filled in at factorize time).
     gram: [[f64; K]; K],
     /// Rows accumulated so far.
     rows: usize,
@@ -83,10 +84,20 @@ impl<const K: usize> GramSolver<K> {
 
     /// Adds one design row: `gram += row·rowᵀ`. Invalidates the cached
     /// factorization.
+    ///
+    /// Only the upper triangle is maintained — `gram[j][i]` would
+    /// accumulate exactly the values `gram[i][j]` does (IEEE
+    /// multiplication is commutative and the row order is unchanged), so
+    /// the mirror is materialized once at factorize time instead of
+    /// being recomputed per row: `K(K+1)/2` multiply-adds per row
+    /// instead of `K²`. Accumulation stays strictly row-sequential,
+    /// preserving the incremental-equals-from-scratch bit-identity
+    /// contract.
     pub fn accumulate(&mut self, row: &[f64; K]) {
         for i in 0..K {
-            for j in 0..K {
-                self.gram[i][j] += row[i] * row[j];
+            let ri = row[i];
+            for (g, &rj) in self.gram[i][i..].iter_mut().zip(&row[i..]) {
+                *g += ri * rj;
             }
         }
         self.rows += 1;
@@ -107,6 +118,14 @@ impl<const K: usize> GramSolver<K> {
         self.factorized = false;
         let a = &mut self.lu;
         *a = self.gram;
+        // Mirror the accumulated upper triangle into the lower one
+        // (`gram` itself stays upper-triangular between factorizations).
+        for i in 1..K {
+            let (above, rest) = a.split_at_mut(i);
+            for (j, upper_row) in above.iter().enumerate() {
+                rest[0][j] = upper_row[i];
+            }
+        }
         for (i, row) in a.iter_mut().enumerate() {
             row[i] += ridge;
         }

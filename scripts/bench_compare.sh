@@ -6,7 +6,7 @@
 #
 #   scripts/bench_compare.sh [--tolerance PCT] [--baseline-dir DIR] [FILE...]
 #
-# Defaults: all five BENCH files, 30% tolerance (single-core CI boxes
+# Defaults: all six BENCH files, 30% tolerance (single-core CI boxes
 # are noisy; the hard floors — 1M adverts/s, 5x speedup, 3% overhead —
 # are enforced separately by the generators themselves). A file with no
 # committed baseline (first PR that adds it) is reported and skipped,
@@ -27,7 +27,7 @@ while [ $# -gt 0 ]; do
   esac
 done
 if [ ${#files[@]} -eq 0 ]; then
-  files=(BENCH_backends.json BENCH_cluster.json BENCH_obs.json BENCH_refit.json BENCH_serve.json)
+  files=(BENCH_backends.json BENCH_cluster.json BENCH_hotpath.json BENCH_obs.json BENCH_refit.json BENCH_serve.json)
 fi
 
 status=0
@@ -58,6 +58,10 @@ RATCHET = {
     "obs": [
         "noop_throughput_adverts_per_second",
         "instrumented_throughput_adverts_per_second",
+    ],
+    "hotpath": [
+        "kernels.fingerprint_score.speedup",
+        "kernels.envelope.speedup",
     ],
     "refit": ["cached_solves_per_second", "speedup"],
     "serve": [

@@ -72,6 +72,19 @@ grep -q '"particle_reconciles":true' BENCH_backends.json \
 grep -q '"fingerprint_reconciles":true' BENCH_backends.json \
   || { echo "backend shootout failed: fingerprint backend did not reconcile"; cat BENCH_backends.json; exit 1; }
 
+echo "==> hotpath smoke (release harness, kernel speedups + zero-alloc steady state + BENCH_hotpath.json)"
+hotpath_report="$(cargo run --release -q -p locble-bench --bin harness -- hotpath --hotpath-json BENCH_hotpath.json)"
+grep -q "all kernels match reference        true" <<<"$hotpath_report" \
+  || { echo "hotpath smoke failed: a vectorized kernel drifted from its scalar reference"; echo "$hotpath_report"; exit 1; }
+grep -q "fingerprint_score speedup >= 1.5x  true" <<<"$hotpath_report" \
+  || { echo "hotpath smoke failed: fingerprint scoring speedup below 1.5x"; echo "$hotpath_report"; exit 1; }
+grep -q "envelope speedup >= 1.5x           true" <<<"$hotpath_report" \
+  || { echo "hotpath smoke failed: envelope speedup below 1.5x"; echo "$hotpath_report"; exit 1; }
+grep -q "streaming zero allocs steady state true" <<<"$hotpath_report" \
+  || { echo "hotpath smoke failed: warm streaming backend allocated per batch"; echo "$hotpath_report"; exit 1; }
+test -s BENCH_hotpath.json \
+  || { echo "hotpath smoke failed: BENCH_hotpath.json missing or empty"; exit 1; }
+
 echo "==> obs smoke (release obsctl: traced batch, introspection scrape, flight dump, 3% overhead gate + BENCH_obs.json)"
 obs_report="$(cargo run --release -q -p locble-bench --bin obsctl -- smoke --json BENCH_obs.json)"
 grep -q "obs smoke: PASS" <<<"$obs_report" \
